@@ -1,0 +1,183 @@
+//! Criterion micro-benchmarks for the NATIX building blocks: slotted-page
+//! operations, Appendix-A record ser/de, split planning, XML parsing,
+//! stored-tree traversal and B+-tree lookups.
+//!
+//! These complement the `figures` binary (which reproduces the paper's
+//! system-level plots): micro-benchmarks track the CPU cost of the hot
+//! paths so regressions are visible independent of the I/O model.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use natix::{Repository, RepositoryOptions};
+use natix_corpus::{generate_play, CorpusConfig};
+use natix_storage::btree::BTree;
+use natix_storage::slotted::SlottedPage;
+use natix_storage::{
+    BufferManager, EvictionPolicy, IoStats, MemStorage, PageBuf, Rid, StorageManager,
+};
+use natix_tree::record;
+use natix_tree::typetable::TypeTable;
+use natix_tree::{PContent, RecordTree, SplitMatrix, TreeConfig};
+use natix_xml::{LiteralValue, ParserOptions, SymbolTable, WriteOptions, LABEL_TEXT};
+
+fn corpus_play_xml() -> (String, natix_xml::Document, SymbolTable) {
+    let mut syms = SymbolTable::new();
+    let cfg = CorpusConfig { scale: 0.3, ..CorpusConfig::paper() };
+    let play = generate_play(&cfg, 0, &mut syms);
+    let xml = natix_xml::write_document(&play.doc, &syms, WriteOptions::compact()).unwrap();
+    (xml, play.doc, syms)
+}
+
+fn sample_record(nodes: usize) -> RecordTree {
+    let mut t = RecordTree::new(5, PContent::Aggregate(vec![]), Rid::invalid());
+    for i in 0..nodes {
+        let e = t.alloc(6, PContent::Aggregate(vec![]));
+        t.attach(t.root(), i, e);
+        let lit = t.alloc(
+            LABEL_TEXT,
+            PContent::Literal(LiteralValue::String(format!("payload number {i}"))),
+        );
+        t.attach(e, 0, lit);
+    }
+    t
+}
+
+fn bench_slotted_page(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slotted_page");
+    g.bench_function("insert_delete_64B_8K", |b| {
+        b.iter_batched(
+            || {
+                let mut p = PageBuf::new(8192);
+                SlottedPage::format(&mut p);
+                p
+            },
+            |mut p| {
+                let mut sp = SlottedPage::open(&mut p).unwrap();
+                let mut slots = Vec::new();
+                for _ in 0..64 {
+                    slots.push(sp.insert(&[7u8; 64]).unwrap());
+                }
+                for s in slots {
+                    sp.delete(s).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_record_serde(c: &mut Criterion) {
+    let tree = sample_record(40);
+    let mut table = TypeTable::new();
+    let (bytes, _) = record::serialize(&tree, &mut table);
+    let mut g = c.benchmark_group("record");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("serialize_40_nodes", |b| {
+        b.iter(|| {
+            let mut t = TypeTable::new();
+            record::serialize(&tree, &mut t)
+        })
+    });
+    g.bench_function("deserialize_40_nodes", |b| {
+        b.iter(|| record::deserialize(&bytes, &table, Rid::new(1, 1)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_split_planning(c: &mut Criterion) {
+    let cfg = TreeConfig::paper();
+    let matrix = SplitMatrix::all_other();
+    c.bench_function("split/plan_200_nodes", |b| {
+        b.iter_batched(
+            || sample_record(200),
+            |tree| natix_tree::plan_split(tree, &cfg, &matrix, 2048).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_xml_parse(c: &mut Criterion) {
+    let (xml, _, _) = corpus_play_xml();
+    let mut g = c.benchmark_group("xml");
+    g.throughput(Throughput::Bytes(xml.len() as u64));
+    g.bench_function("parse_play", |b| {
+        b.iter(|| {
+            let mut syms = SymbolTable::new();
+            natix_xml::parse_document(&xml, &mut syms, ParserOptions::default()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_stored_traversal(c: &mut Criterion) {
+    let (_, doc, syms) = corpus_play_xml();
+    let mut repo = Repository::create_in_memory(RepositoryOptions {
+        page_size: 8192,
+        ..Default::default()
+    })
+    .unwrap();
+    *repo.symbols_mut() = syms;
+    let id = repo.put_document("play", &doc).unwrap();
+    let nodes = doc.node_count() as u64;
+    let mut g = c.benchmark_group("stored");
+    g.throughput(Throughput::Elements(nodes));
+    g.bench_function("traverse_play", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            repo.traverse_document(id, |_, _| n += 1).unwrap();
+            n
+        })
+    });
+    g.bench_function("serialize_play", |b| b.iter(|| repo.get_xml("play").unwrap()));
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let (_, doc, syms) = corpus_play_xml();
+    let mut repo = Repository::create_in_memory(RepositoryOptions {
+        page_size: 8192,
+        ..Default::default()
+    })
+    .unwrap();
+    *repo.symbols_mut() = syms;
+    repo.put_document("play", &doc).unwrap();
+    c.bench_function("query/q1_speakers", |b| {
+        b.iter(|| repo.query("play", "/PLAY/ACT[3]/SCENE[2]//SPEAKER").unwrap())
+    });
+    c.bench_function("query/q3_opening_speech", |b| {
+        b.iter(|| repo.query("play", "/PLAY/ACT[1]/SCENE[1]/SPEECH[1]").unwrap())
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let backend = Arc::new(MemStorage::new(4096).unwrap());
+    let bm = Arc::new(BufferManager::new(backend, 512, EvictionPolicy::Lru, IoStats::new_shared()));
+    let sm = StorageManager::create(bm).unwrap();
+    let seg = sm.create_segment("idx").unwrap();
+    let bt = BTree::create(&sm, seg, 8).unwrap();
+    for i in 0..50_000u64 {
+        bt.insert(&i.to_be_bytes(), i).unwrap();
+    }
+    c.bench_function("btree/get_50k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 9973) % 50_000;
+            bt.get(&i.to_be_bytes()).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_slotted_page,
+    bench_record_serde,
+    bench_split_planning,
+    bench_xml_parse,
+    bench_stored_traversal,
+    bench_query,
+    bench_btree
+);
+criterion_main!(benches);

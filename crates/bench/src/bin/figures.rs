@@ -1,0 +1,167 @@
+//! Regenerates the paper's figures 9–14 (§4).
+//!
+//! ```text
+//! figures [--quick] [--scale F] [--fig N]... [--csv PATH]
+//! ```
+//!
+//! * `--quick`     3 page sizes and a reduced corpus (CI-friendly);
+//! * `--scale F`   corpus scale factor (1.0 = the paper's ≈320k nodes);
+//! * `--fig N`     only figure N (repeatable; default: all);
+//! * `--csv PATH`  also dump raw measurements as CSV.
+//!
+//! Output: one table per figure — rows are page sizes, columns the four
+//! series of the paper's legends — in simulated-disk milliseconds (space in
+//! bytes for figure 14).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use natix_bench::{build_repo, page_sizes, Measurement, Mode, Order, BuiltRepo, SERIES};
+use natix_corpus::CorpusConfig;
+
+struct Args {
+    quick: bool,
+    scale: f64,
+    figs: Vec<u32>,
+    csv: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { quick: false, scale: 1.0, figs: Vec::new(), csv: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"))
+            }
+            "--fig" => {
+                let f = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--fig needs a figure number"));
+                if !(9..=14).contains(&f) {
+                    die("figure must be 9..=14")
+                }
+                args.figs.push(f);
+            }
+            "--csv" => args.csv = Some(it.next().unwrap_or_else(|| die("--csv needs a path"))),
+            "--help" | "-h" => {
+                println!("usage: figures [--quick] [--scale F] [--fig N]... [--csv PATH]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+    if args.figs.is_empty() {
+        args.figs = vec![9, 10, 11, 12, 13, 14];
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Key: (figure, series label, page size) → (value, wall-clock ms).
+type Results = BTreeMap<(u32, String, usize), (f64, f64)>;
+
+fn series_label(mode: Mode, order: Order) -> String {
+    format!("Record:Node {}, {}", mode.label(), order.label())
+}
+
+fn record(results: &mut Results, fig: u32, label: &str, page: usize, m: &Measurement) {
+    results.insert((fig, label.to_string(), page), (m.sim_ms, m.wall_ms));
+}
+
+fn main() {
+    let args = parse_args();
+    let corpus = CorpusConfig {
+        scale: if args.quick { 0.15 } else { args.scale },
+        plays: if args.quick { 6 } else { 37 },
+        ..CorpusConfig::paper()
+    };
+    let pages = page_sizes(args.quick);
+    let mut results: Results = BTreeMap::new();
+
+    eprintln!(
+        "natix figures: corpus = {} plays, scale {}, page sizes {:?}",
+        corpus.plays, corpus.scale, pages
+    );
+    for &page in &pages {
+        for (mode, order) in SERIES {
+            let label = series_label(mode, order);
+            eprint!("  building {label} @ {page} ... ");
+            let t0 = std::time::Instant::now();
+            let mut built: BuiltRepo =
+                build_repo(page, mode, order, &corpus).expect("corpus build");
+            eprintln!("done in {:.1}s (wall)", t0.elapsed().as_secs_f64());
+            record(&mut results, 9, &label, page, &built.insertion);
+            if args.figs.contains(&10) {
+                let m = built.full_traversal().expect("traversal");
+                record(&mut results, 10, &label, page, &m);
+            }
+            if args.figs.contains(&11) {
+                let m = built.query1().expect("query 1");
+                record(&mut results, 11, &label, page, &m);
+            }
+            if args.figs.contains(&12) {
+                let m = built.query2().expect("query 2");
+                record(&mut results, 12, &label, page, &m);
+            }
+            if args.figs.contains(&13) {
+                let m = built.query3().expect("query 3");
+                record(&mut results, 13, &label, page, &m);
+            }
+            if args.figs.contains(&14) {
+                results.insert((14, label.clone(), page), (built.space_bytes() as f64, 0.0));
+            }
+        }
+    }
+
+    let titles: BTreeMap<u32, &str> = BTreeMap::from([
+        (9u32, "Figure 9: Insertion (ms, simulated disk)"),
+        (10, "Figure 10: Full tree traversal (ms)"),
+        (11, "Figure 11: Query 1 — selection on leaf nodes of a subtree (ms)"),
+        (12, "Figure 12: Query 2 — small contiguous fragments (ms)"),
+        (13, "Figure 13: Query 3 — single path per document (ms)"),
+        (14, "Figure 14: Space requirements (bytes on disk)"),
+    ]);
+    let labels: Vec<String> =
+        SERIES.iter().map(|&(m, o)| series_label(m, o)).collect();
+
+    let mut out = String::new();
+    for &fig in &args.figs {
+        writeln!(out, "\n{}", titles[&fig]).unwrap();
+        write!(out, "{:>10}", "page").unwrap();
+        for l in &labels {
+            write!(out, "  {l:>28}").unwrap();
+        }
+        writeln!(out).unwrap();
+        for &page in &pages {
+            write!(out, "{page:>10}").unwrap();
+            for l in &labels {
+                match results.get(&(fig, l.clone(), page)) {
+                    Some((v, _)) if fig == 14 => write!(out, "  {v:>28.0}").unwrap(),
+                    Some((v, _)) => write!(out, "  {v:>28.1}").unwrap(),
+                    None => write!(out, "  {:>28}", "-").unwrap(),
+                }
+            }
+            writeln!(out).unwrap();
+        }
+    }
+    println!("{out}");
+
+    if let Some(path) = args.csv {
+        let mut csv = String::from("figure,series,page_size,value,wall_ms\n");
+        for ((fig, label, page), (v, w)) in &results {
+            writeln!(csv, "{fig},{label},{page},{v},{w:.1}").unwrap();
+        }
+        std::fs::write(&path, csv).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}

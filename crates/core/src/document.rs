@@ -1,0 +1,801 @@
+//! The document manager (§2.1).
+//!
+//! > The document manager allows application access to documents on node
+//! > and document granularity. It checks schema consistency, called
+//! > document validation in the XML world, performs necessary index
+//! > updates and integrates document fragments from other sources into a
+//! > single document view for the user.
+//!
+//! Node-granularity access uses stable **logical node ids**: records are
+//! rewritten wholesale by the tree storage manager, so physical
+//! `(rid, index)` pointers are volatile. The document manager keeps a
+//! bidirectional map `NodeId ↔ NodePtr`, updated from the relocation
+//! events every structural operation returns. The on-disk format carries
+//! no logical ids (keeping the paper's space numbers intact); the map is
+//! rebuilt by one traversal when a persisted document is first touched
+//! after re-opening.
+
+use std::collections::HashMap;
+
+use natix_storage::Rid;
+use natix_tree::{InsertPos, NewNode, NodePtr, OpResult, VisitEvent};
+use natix_xml::{Document, LiteralValue, NodeData, SymbolTable, LABEL_TEXT};
+
+use crate::error::{NatixError, NatixResult};
+use crate::repository::Repository;
+
+/// Identifies a document within a repository.
+pub type DocId = u32;
+
+/// Stable logical node id within a document.
+pub type NodeId = u64;
+
+/// What kind of logical node an id refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    Element,
+    Literal,
+}
+
+/// Summary of a logical node, resolved against the symbol table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSummary {
+    pub kind: NodeKind,
+    /// Label name (tag, attribute name, or `#text`/`#comment`/`#pi`).
+    pub label: String,
+    /// Literal value as text (`None` for elements).
+    pub text: Option<String>,
+}
+
+/// Per-document state.
+pub(crate) struct DocState {
+    pub name: String,
+    pub root_rid: Rid,
+    pub root_id: NodeId,
+    pub map: HashMap<NodeId, NodePtr>,
+    pub rev: HashMap<NodePtr, NodeId>,
+    pub next_id: NodeId,
+}
+
+impl DocState {
+    pub(crate) fn new(name: String, root_rid: Rid) -> DocState {
+        let mut s = DocState {
+            name,
+            root_rid,
+            root_id: 0,
+            map: HashMap::new(),
+            rev: HashMap::new(),
+            next_id: 0,
+        };
+        let root_ptr = NodePtr::new(root_rid, 0);
+        s.root_id = s.fresh_id(root_ptr);
+        s
+    }
+
+    pub(crate) fn fresh_id(&mut self, ptr: NodePtr) -> NodeId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.map.insert(id, ptr);
+        self.rev.insert(ptr, id);
+        id
+    }
+
+    /// Applies relocation events (two-phase so intra-record shifts cannot
+    /// collide).
+    pub(crate) fn apply(&mut self, res: &OpResult) {
+        let moved: Vec<(Option<NodeId>, NodePtr)> =
+            res.relocations.iter().map(|r| (self.rev.remove(&r.old), r.new)).collect();
+        for (id, new) in moved {
+            if let Some(i) = id {
+                self.map.insert(i, new);
+                self.rev.insert(new, i);
+            }
+        }
+        if let Some((old, new)) = res.root_moved {
+            if self.root_rid == old {
+                self.root_rid = new;
+            }
+        }
+    }
+
+    /// Drops the subtree's ids (before applying relocations of the same
+    /// operation — survivors may move into freed addresses).
+    pub(crate) fn purge(&mut self, ids: &[NodeId]) {
+        for id in ids {
+            if let Some(p) = self.map.remove(id) {
+                self.rev.remove(&p);
+            }
+        }
+    }
+}
+
+/// How much text goes into one literal node before the document manager
+/// chunks it: the tree layer cannot split a single node across records, so
+/// long text becomes consecutive literal siblings (serialisation-identical
+/// for XML character data).
+fn chunk_limit(net_capacity: usize) -> usize {
+    (net_capacity / 2).max(64)
+}
+
+impl Repository {
+    // ==================================================================
+    // Document granularity.
+    // ==================================================================
+
+    /// Stores a logical document under `name` (pre-order bulk insert).
+    pub fn put_document(&mut self, name: &str, doc: &Document) -> NatixResult<DocId> {
+        if self.by_name.contains_key(name) {
+            return Err(NatixError::DocumentExists(name.to_string()));
+        }
+        let NodeData::Element(root_label) = doc.data(doc.root()) else {
+            return Err(NatixError::Validation("document root must be an element".into()));
+        };
+        let root_rid = self.tree.create_tree(*root_label)?;
+        let mut state = DocState::new(name.to_string(), root_rid);
+        let limit = chunk_limit(self.tree.net_capacity());
+        // Pre-order walk, inserting every node as the last child of its
+        // (already inserted) parent.
+        let mut shadow_ids: HashMap<natix_xml::NodeIdx, NodeId> = HashMap::new();
+        shadow_ids.insert(doc.root(), state.root_id);
+        for n in doc.pre_order() {
+            let Some(parent) = doc.parent(n) else { continue };
+            let parent_id = shadow_ids[&parent];
+            let parent_ptr = state.map[&parent_id];
+            match doc.data(n) {
+                NodeData::Element(label) => {
+                    let res =
+                        self.tree.insert(parent_ptr, InsertPos::Last, *label, NewNode::Element)?;
+                    state.apply(&res);
+                    let id = state.fresh_id(res.new_node.expect("insert yields node"));
+                    shadow_ids.insert(n, id);
+                }
+                NodeData::Literal { label, value } => {
+                    // Long strings are chunked into sibling literals.
+                    let texts: Vec<LiteralValue> = match value {
+                        LiteralValue::String(s) if s.len() > limit => s
+                            .as_bytes()
+                            .chunks(limit)
+                            .map(|c| {
+                                LiteralValue::String(String::from_utf8_lossy(c).into_owned())
+                            })
+                            .collect(),
+                        other => vec![other.clone()],
+                    };
+                    for v in texts {
+                        let res = self.tree.insert(
+                            parent_ptr,
+                            InsertPos::Last,
+                            *label,
+                            NewNode::Literal(v),
+                        )?;
+                        state.apply(&res);
+                        let id = state.fresh_id(res.new_node.expect("insert yields node"));
+                        shadow_ids.insert(n, id);
+                    }
+                }
+            }
+        }
+        Ok(self.register(state))
+    }
+
+    pub(crate) fn register(&mut self, state: DocState) -> DocId {
+        let id = self.docs.len() as DocId;
+        self.by_name.insert(state.name.clone(), id);
+        self.docs.push(Some(state));
+        id
+    }
+
+    /// Parses and stores XML text.
+    pub fn put_xml(&mut self, name: &str, xml: &str) -> NatixResult<DocId> {
+        let options = self.parser_options();
+        let doc = natix_xml::parse_document(xml, &mut self.symbols, options)?;
+        self.put_document(name, &doc)
+    }
+
+    /// Streams XML text straight into storage, one parse event at a time,
+    /// without materialising a DOM — the paper's storage operation ("we
+    /// used an XML parser ... and inserted the document tree", §4.3).
+    /// Peak memory is the open-element stack plus one record, independent
+    /// of document size.
+    pub fn put_xml_streaming(&mut self, name: &str, xml: &str) -> NatixResult<DocId> {
+        use natix_xml::{PullParser, XmlEvent};
+        if self.by_name.contains_key(name) {
+            return Err(NatixError::DocumentExists(name.to_string()));
+        }
+        let options = self.parser_options();
+        let mut parser = PullParser::new(xml, options);
+        let mut doc: Option<DocId> = None;
+        // Stack of open elements (logical ids).
+        let mut stack: Vec<NodeId> = Vec::new();
+        while let Some(event) = parser.next_event()? {
+            match event {
+                XmlEvent::StartElement { name: tag, attrs } => {
+                    let id = match (doc, stack.last()) {
+                        (None, _) => {
+                            let id = self.create_document(name, tag)?;
+                            doc = Some(id);
+                            let root = self.root(id)?;
+                            stack.push(root);
+                            root
+                        }
+                        (Some(d), Some(&parent)) => {
+                            let e = self.insert_element(d, parent, InsertPos::Last, tag)?;
+                            stack.push(e);
+                            e
+                        }
+                        (Some(_), None) => {
+                            return Err(NatixError::Validation(
+                                "multiple root elements".into(),
+                            ))
+                        }
+                    };
+                    let d = doc.expect("document created");
+                    for (attr_name, value) in attrs {
+                        let label = self.symbols.intern_attribute(attr_name);
+                        let ptr = self.resolve(d, id)?;
+                        let res = self.tree.insert(
+                            ptr,
+                            InsertPos::Last,
+                            label,
+                            NewNode::Literal(LiteralValue::String(value)),
+                        )?;
+                        let state = self.state_mut(d)?;
+                        state.apply(&res);
+                        state.fresh_id(res.new_node.expect("insert yields node"));
+                    }
+                }
+                XmlEvent::EndElement { .. } => {
+                    stack.pop();
+                }
+                XmlEvent::Text(t) => {
+                    let (Some(d), Some(&parent)) = (doc, stack.last()) else {
+                        return Err(NatixError::Validation("text outside root".into()));
+                    };
+                    // insert_text chunks long text itself.
+                    self.insert_text(d, parent, InsertPos::Last, &t)?;
+                }
+                XmlEvent::Comment(c) => {
+                    if let (Some(d), Some(&parent)) = (doc, stack.last()) {
+                        let ptr = self.resolve(d, parent)?;
+                        let res = self.tree.insert(
+                            ptr,
+                            InsertPos::Last,
+                            natix_xml::LABEL_COMMENT,
+                            NewNode::Literal(LiteralValue::String(c.to_string())),
+                        )?;
+                        let state = self.state_mut(d)?;
+                        state.apply(&res);
+                        state.fresh_id(res.new_node.expect("insert yields node"));
+                    }
+                }
+                XmlEvent::Pi { target, data } => {
+                    if let (Some(d), Some(&parent)) = (doc, stack.last()) {
+                        let body = if data.is_empty() {
+                            target.to_string()
+                        } else {
+                            format!("{target} {data}")
+                        };
+                        let ptr = self.resolve(d, parent)?;
+                        let res = self.tree.insert(
+                            ptr,
+                            InsertPos::Last,
+                            natix_xml::LABEL_PI,
+                            NewNode::Literal(LiteralValue::String(body)),
+                        )?;
+                        let state = self.state_mut(d)?;
+                        state.apply(&res);
+                        state.fresh_id(res.new_node.expect("insert yields node"));
+                    }
+                }
+                XmlEvent::Doctype { .. } => {}
+            }
+        }
+        doc.ok_or_else(|| NatixError::Validation("empty document".into()))
+    }
+
+    /// Creates an empty document with the given root tag.
+    pub fn create_document(&mut self, name: &str, root_tag: &str) -> NatixResult<DocId> {
+        if self.by_name.contains_key(name) {
+            return Err(NatixError::DocumentExists(name.to_string()));
+        }
+        let label = self.symbols.intern_element(root_tag);
+        let root_rid = self.tree.create_tree(label)?;
+        let state = DocState::new(name.to_string(), root_rid);
+        Ok(self.register(state))
+    }
+
+    /// Reconstructs the whole logical document (§2.3.3: proxy
+    /// substitution).
+    pub fn get_document(&self, name: &str) -> NatixResult<Document> {
+        let id = self.doc_id(name)?;
+        Ok(natix_tree::reconstruct_document(&self.tree, self.state(id)?.root_rid)?)
+    }
+
+    /// Recreates the textual representation, streamed from the records.
+    pub fn get_xml(&self, name: &str) -> NatixResult<String> {
+        let id = self.doc_id(name)?;
+        let st = self.state(id)?;
+        Ok(natix_tree::serialize_xml(
+            &self.tree,
+            NodePtr::new(st.root_rid, 0),
+            &self.symbols,
+        )?)
+    }
+
+    /// Deletes a document and all its records.
+    pub fn delete_document(&mut self, name: &str) -> NatixResult<()> {
+        let id = self.doc_id(name)?;
+        let root_rid = self.state(id)?.root_rid;
+        self.tree.drop_tree(root_rid)?;
+        self.by_name.remove(name);
+        self.docs[id as usize] = None;
+        Ok(())
+    }
+
+    // ==================================================================
+    // Node granularity.
+    // ==================================================================
+
+    /// Summary (kind, label, text) of a node.
+    pub fn node_summary(&self, doc: DocId, node: NodeId) -> NatixResult<NodeSummary> {
+        let ptr = self.resolve(doc, node)?;
+        let info = self.tree.node_info(ptr)?;
+        Ok(NodeSummary {
+            kind: if info.value.is_some() { NodeKind::Literal } else { NodeKind::Element },
+            label: self.symbols.name(info.label).to_string(),
+            text: info.value.map(|v| v.to_text()),
+        })
+    }
+
+    /// Logical children of a node, in document order.
+    pub fn children(&mut self, doc: DocId, node: NodeId) -> NatixResult<Vec<NodeId>> {
+        let ptr = self.resolve(doc, node)?;
+        let ptrs = self.tree.logical_children(ptr)?;
+        let state = self.state_mut(doc)?;
+        Ok(ptrs
+            .into_iter()
+            .map(|p| state.rev.get(&p).copied().unwrap_or_else(|| state.fresh_id(p)))
+            .collect())
+    }
+
+    /// Logical parent of a node (`None` at the root).
+    pub fn parent(&mut self, doc: DocId, node: NodeId) -> NatixResult<Option<NodeId>> {
+        let ptr = self.resolve(doc, node)?;
+        let parent = self.tree.logical_parent(ptr)?;
+        let state = self.state_mut(doc)?;
+        Ok(parent.map(|p| state.rev.get(&p).copied().unwrap_or_else(|| state.fresh_id(p))))
+    }
+
+    /// Inserts a new element under `parent`.
+    pub fn insert_element(
+        &mut self,
+        doc: DocId,
+        parent: NodeId,
+        pos: InsertPos,
+        tag: &str,
+    ) -> NatixResult<NodeId> {
+        let label = self.symbols.intern_element(tag);
+        let ptr = self.resolve(doc, parent)?;
+        let res = self.tree.insert(ptr, pos, label, NewNode::Element)?;
+        let state = self.state_mut(doc)?;
+        state.apply(&res);
+        Ok(state.fresh_id(res.new_node.expect("insert yields node")))
+    }
+
+    /// Inserts a text literal under `parent`; long text is chunked into
+    /// several sibling literals and all their ids are returned.
+    pub fn insert_text(
+        &mut self,
+        doc: DocId,
+        parent: NodeId,
+        pos: InsertPos,
+        text: &str,
+    ) -> NatixResult<Vec<NodeId>> {
+        let limit = chunk_limit(self.tree.net_capacity());
+        let chunks: Vec<String> = if text.len() > limit {
+            text.as_bytes()
+                .chunks(limit)
+                .map(|c| String::from_utf8_lossy(c).into_owned())
+                .collect()
+        } else {
+            vec![text.to_string()]
+        };
+        let mut ids = Vec::with_capacity(chunks.len());
+        let mut insert_pos = pos;
+        for chunk in chunks {
+            let ptr = self.resolve(doc, parent)?;
+            let res = self.tree.insert(
+                ptr,
+                insert_pos,
+                LABEL_TEXT,
+                NewNode::Literal(LiteralValue::String(chunk)),
+            )?;
+            let state = self.state_mut(doc)?;
+            state.apply(&res);
+            let id = state.fresh_id(res.new_node.expect("insert yields node"));
+            // Subsequent chunks follow the one just inserted.
+            insert_pos = match insert_pos {
+                InsertPos::First => InsertPos::At(1),
+                InsertPos::At(k) => InsertPos::At(k + 1),
+                InsertPos::Last => InsertPos::Last,
+            };
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Inserts an element as the next sibling of `sibling`.
+    pub fn insert_element_after(
+        &mut self,
+        doc: DocId,
+        sibling: NodeId,
+        tag: &str,
+    ) -> NatixResult<NodeId> {
+        let label = self.symbols.intern_element(tag);
+        let ptr = self.resolve(doc, sibling)?;
+        let res = self.tree.insert_after(ptr, label, NewNode::Element)?;
+        let state = self.state_mut(doc)?;
+        state.apply(&res);
+        Ok(state.fresh_id(res.new_node.expect("insert yields node")))
+    }
+
+    /// Inserts a literal as the next sibling of `sibling`.
+    pub fn insert_literal_after(
+        &mut self,
+        doc: DocId,
+        sibling: NodeId,
+        label: natix_xml::LabelId,
+        value: LiteralValue,
+    ) -> NatixResult<NodeId> {
+        let ptr = self.resolve(doc, sibling)?;
+        let res = self.tree.insert_after(ptr, label, NewNode::Literal(value))?;
+        let state = self.state_mut(doc)?;
+        state.apply(&res);
+        Ok(state.fresh_id(res.new_node.expect("insert yields node")))
+    }
+
+    /// Generic insert used by the benchmark harness (label id + payload).
+    pub fn insert_node(
+        &mut self,
+        doc: DocId,
+        parent: NodeId,
+        pos: InsertPos,
+        label: natix_xml::LabelId,
+        node: NewNode,
+    ) -> NatixResult<NodeId> {
+        let ptr = self.resolve(doc, parent)?;
+        let res = self.tree.insert(ptr, pos, label, node)?;
+        let state = self.state_mut(doc)?;
+        state.apply(&res);
+        Ok(state.fresh_id(res.new_node.expect("insert yields node")))
+    }
+
+    /// Generic sibling insert used by the benchmark harness.
+    pub fn insert_node_after(
+        &mut self,
+        doc: DocId,
+        sibling: NodeId,
+        label: natix_xml::LabelId,
+        node: NewNode,
+    ) -> NatixResult<NodeId> {
+        let ptr = self.resolve(doc, sibling)?;
+        let res = self.tree.insert_after(ptr, label, node)?;
+        let state = self.state_mut(doc)?;
+        state.apply(&res);
+        Ok(state.fresh_id(res.new_node.expect("insert yields node")))
+    }
+
+    /// Deletes the subtree rooted at `node`.
+    pub fn delete_node(&mut self, doc: DocId, node: NodeId) -> NatixResult<()> {
+        let ptr = self.resolve(doc, node)?;
+        // Collect the subtree's logical ids first (their pointers are
+        // purged before relocations are applied).
+        let mut victims = Vec::new();
+        {
+            let state = self.state(doc)?;
+            natix_tree::traverse(&self.tree, ptr, &mut |ev| {
+                let p = match ev {
+                    VisitEvent::Enter { ptr, .. } | VisitEvent::Literal { ptr, .. } => Some(ptr),
+                    VisitEvent::Leave { .. } => None,
+                };
+                if let Some(p) = p {
+                    if let Some(&id) = state.rev.get(&p) {
+                        victims.push(id);
+                    }
+                }
+                true
+            })?;
+        }
+        let res = self.tree.delete_subtree(ptr)?;
+        let state = self.state_mut(doc)?;
+        state.purge(&victims);
+        state.apply(&res);
+        Ok(())
+    }
+
+    /// Replaces the value of a text/literal node.
+    pub fn update_text(&mut self, doc: DocId, node: NodeId, text: &str) -> NatixResult<()> {
+        let ptr = self.resolve(doc, node)?;
+        let res = self
+            .tree
+            .update_literal(ptr, LiteralValue::String(text.to_string()))?;
+        self.state_mut(doc)?.apply(&res);
+        Ok(())
+    }
+
+    /// Concatenated text content of a subtree (Query 2/3 style reads).
+    pub fn text_content(&self, doc: DocId, node: NodeId) -> NatixResult<String> {
+        let ptr = self.resolve(doc, node)?;
+        Ok(natix_tree::subtree_text(&self.tree, ptr)?)
+    }
+
+    /// Serialises a subtree back to XML text.
+    pub fn serialize_node(&self, doc: DocId, node: NodeId) -> NatixResult<String> {
+        let ptr = self.resolve(doc, node)?;
+        Ok(natix_tree::serialize_xml(&self.tree, ptr, &self.symbols)?)
+    }
+
+    /// Full pre-order traversal of a document, calling `f(depth, summary)`
+    /// for every node — the paper's "full tree traversal" operation.
+    pub fn traverse_document(
+        &self,
+        doc: DocId,
+        mut f: impl FnMut(usize, NodeSummary),
+    ) -> NatixResult<()> {
+        let st = self.state(doc)?;
+        let symbols: &SymbolTable = &self.symbols;
+        let mut depth = 0usize;
+        natix_tree::traverse(&self.tree, NodePtr::new(st.root_rid, 0), &mut |ev| {
+            match ev {
+                VisitEvent::Enter { label, .. } => {
+                    f(
+                        depth,
+                        NodeSummary {
+                            kind: NodeKind::Element,
+                            label: symbols.name(label).to_string(),
+                            text: None,
+                        },
+                    );
+                    depth += 1;
+                }
+                VisitEvent::Literal { label, value, .. } => f(
+                    depth,
+                    NodeSummary {
+                        kind: NodeKind::Literal,
+                        label: symbols.name(label).to_string(),
+                        text: Some(value.to_text()),
+                    },
+                ),
+                VisitEvent::Leave { .. } => depth -= 1,
+            }
+            true
+        })?;
+        Ok(())
+    }
+
+    /// Rebuilds the logical-node map of a re-opened document by one full
+    /// traversal (ids are assigned in pre-order). Called by the catalog
+    /// loader; for freshly stored documents the map is already current.
+    pub(crate) fn rebuild_map(&mut self, doc: DocId) -> NatixResult<()> {
+        let root_rid = self.state(doc)?.root_rid;
+        let mut ptrs = Vec::new();
+        natix_tree::traverse(&self.tree, NodePtr::new(root_rid, 0), &mut |ev| {
+            match ev {
+                VisitEvent::Enter { ptr, .. } | VisitEvent::Literal { ptr, .. } => {
+                    ptrs.push(ptr)
+                }
+                VisitEvent::Leave { .. } => {}
+            }
+            true
+        })?;
+        let state = self.state_mut(doc)?;
+        state.map.clear();
+        state.rev.clear();
+        state.next_id = 0;
+        for ptr in ptrs {
+            state.fresh_id(ptr);
+        }
+        state.root_id = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::RepositoryOptions;
+
+    fn small_repo() -> Repository {
+        Repository::create_in_memory(RepositoryOptions {
+            page_size: 1024,
+            ..RepositoryOptions::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut repo = small_repo();
+        let xml = "<PLAY><TITLE>Hamlet</TITLE><ACT><SCENE><SPEECH>\
+                   <SPEAKER>HAMLET</SPEAKER><LINE>To be, or not to be</LINE>\
+                   </SPEECH></SCENE></ACT></PLAY>";
+        repo.put_xml("hamlet", xml).unwrap();
+        assert_eq!(repo.get_xml("hamlet").unwrap(), xml);
+    }
+
+    #[test]
+    fn node_navigation() {
+        let mut repo = small_repo();
+        let id = repo.put_xml("d", "<a><b>x</b><c><d/>tail</c></a>").unwrap();
+        let root = repo.root(id).unwrap();
+        let kids = repo.children(id, root).unwrap();
+        assert_eq!(kids.len(), 2);
+        let b = repo.node_summary(id, kids[0]).unwrap();
+        assert_eq!(b.label, "b");
+        assert_eq!(b.kind, NodeKind::Element);
+        let c_kids = repo.children(id, kids[1]).unwrap();
+        assert_eq!(c_kids.len(), 2);
+        let tail = repo.node_summary(id, c_kids[1]).unwrap();
+        assert_eq!(tail.text.as_deref(), Some("tail"));
+        assert_eq!(repo.parent(id, kids[0]).unwrap(), Some(root));
+        assert_eq!(repo.parent(id, root).unwrap(), None);
+    }
+
+    #[test]
+    fn insert_and_serialize_subtree() {
+        let mut repo = small_repo();
+        let id = repo.create_document("d", "SPEECH").unwrap();
+        let root = repo.root(id).unwrap();
+        let speaker = repo.insert_element(id, root, InsertPos::Last, "SPEAKER").unwrap();
+        repo.insert_text(id, speaker, InsertPos::Last, "OTHELLO").unwrap();
+        let line = repo.insert_element_after(id, speaker, "LINE").unwrap();
+        repo.insert_text(id, line, InsertPos::Last, "Look in my face.").unwrap();
+        assert_eq!(
+            repo.get_xml("d").unwrap(),
+            "<SPEECH><SPEAKER>OTHELLO</SPEAKER><LINE>Look in my face.</LINE></SPEECH>"
+        );
+        assert_eq!(repo.serialize_node(id, speaker).unwrap(), "<SPEAKER>OTHELLO</SPEAKER>");
+        assert_eq!(repo.text_content(id, root).unwrap(), "OTHELLOLook in my face.");
+    }
+
+    #[test]
+    fn growth_across_many_records_keeps_ids_stable() {
+        let mut repo = Repository::create_in_memory(RepositoryOptions {
+            page_size: 512,
+            ..RepositoryOptions::default()
+        })
+        .unwrap();
+        let id = repo.create_document("d", "root").unwrap();
+        let root = repo.root(id).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..150 {
+            let e = repo.insert_element(id, root, InsertPos::Last, "item").unwrap();
+            repo.insert_text(id, e, InsertPos::Last, &format!("payload {i} {}", "x".repeat(i % 40)))
+                .unwrap();
+            ids.push((e, i));
+        }
+        // Every element id still resolves and reads back its own payload.
+        for (e, i) in ids {
+            let text = repo.text_content(id, e).unwrap();
+            assert!(text.starts_with(&format!("payload {i} ")), "node {e}: {text}");
+        }
+        repo.physical_stats("d").unwrap();
+    }
+
+    #[test]
+    fn delete_node_updates_view() {
+        let mut repo = small_repo();
+        let id = repo.put_xml("d", "<a><b>one</b><c>two</c><d>three</d></a>").unwrap();
+        let root = repo.root(id).unwrap();
+        let kids = repo.children(id, root).unwrap();
+        repo.delete_node(id, kids[1]).unwrap();
+        assert_eq!(repo.get_xml("d").unwrap(), "<a><b>one</b><d>three</d></a>");
+        assert!(matches!(
+            repo.node_summary(id, kids[1]),
+            Err(NatixError::NoSuchNode(_))
+        ));
+        // Remaining ids still work.
+        assert_eq!(repo.text_content(id, kids[0]).unwrap(), "one");
+        assert_eq!(repo.text_content(id, kids[2]).unwrap(), "three");
+    }
+
+    #[test]
+    fn update_text_in_place_and_grown() {
+        let mut repo = small_repo();
+        let id = repo.put_xml("d", "<a><b>small</b></a>").unwrap();
+        let root = repo.root(id).unwrap();
+        let b = repo.children(id, root).unwrap()[0];
+        let t = repo.children(id, b).unwrap()[0];
+        repo.update_text(id, t, "replaced").unwrap();
+        assert_eq!(repo.get_xml("d").unwrap(), "<a><b>replaced</b></a>");
+        let big = "B".repeat(400);
+        repo.update_text(id, t, &big).unwrap();
+        assert_eq!(repo.text_content(id, b).unwrap(), big);
+    }
+
+    #[test]
+    fn long_text_is_chunked_but_serialises_identically() {
+        let mut repo = Repository::create_in_memory(RepositoryOptions {
+            page_size: 512,
+            ..RepositoryOptions::default()
+        })
+        .unwrap();
+        let id = repo.create_document("d", "a").unwrap();
+        let root = repo.root(id).unwrap();
+        let long = "abcdefgh".repeat(200); // 1600 bytes > net capacity
+        let ids = repo.insert_text(id, root, InsertPos::Last, &long).unwrap();
+        assert!(ids.len() > 1, "must be chunked");
+        assert_eq!(repo.get_xml("d").unwrap(), format!("<a>{long}</a>"));
+        repo.physical_stats("d").unwrap();
+    }
+
+    #[test]
+    fn traverse_document_visits_everything() {
+        let mut repo = small_repo();
+        let id = repo.put_xml("d", "<a><b>x</b><c><d>y</d></c></a>").unwrap();
+        let mut labels = Vec::new();
+        repo.traverse_document(id, |depth, s| labels.push((depth, s.label))).unwrap();
+        assert_eq!(
+            labels,
+            vec![
+                (0, "a".to_string()),
+                (1, "b".to_string()),
+                (2, "#text".to_string()),
+                (1, "c".to_string()),
+                (2, "d".to_string()),
+                (3, "#text".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn streaming_load_equals_dom_load() {
+        let xml = "<PLAY id=\"x\"><TITLE>T &amp; T</TITLE><ACT><SCENE>\
+                   <!--note--><SPEECH><SPEAKER>A</SPEAKER>\
+                   <LINE>one</LINE><LINE>two</LINE></SPEECH>\
+                   <?render fast?></SCENE></ACT></PLAY>";
+        let mut a = small_repo();
+        a.put_xml("d", xml).unwrap();
+        let mut b = small_repo();
+        b.put_xml_streaming("d", xml).unwrap();
+        assert_eq!(a.get_xml("d").unwrap(), b.get_xml("d").unwrap());
+        b.physical_stats("d").unwrap();
+        // The streamed document is immediately editable.
+        let id = b.doc_id("d").unwrap();
+        let speakers = b.query("d", "//SPEAKER").unwrap();
+        assert_eq!(speakers.len(), 1);
+        let text_node = b.children(id, speakers[0]).unwrap()[0];
+        b.update_text(id, text_node, "B").unwrap();
+        assert!(b.get_xml("d").unwrap().contains("<SPEAKER>B</SPEAKER>"));
+    }
+
+    #[test]
+    fn streaming_load_rejects_garbage() {
+        let mut repo = small_repo();
+        assert!(repo.put_xml_streaming("d", "<a><b></a>").is_err());
+        assert!(repo.put_xml_streaming("d2", "").is_err());
+    }
+
+    #[test]
+    fn streaming_load_chunks_long_text() {
+        let mut repo = Repository::create_in_memory(RepositoryOptions {
+            page_size: 512,
+            ..RepositoryOptions::default()
+        })
+        .unwrap();
+        let long = "y".repeat(1500);
+        repo.put_xml_streaming("d", &format!("<a>{long}</a>")).unwrap();
+        assert_eq!(repo.get_xml("d").unwrap(), format!("<a>{long}</a>"));
+        repo.physical_stats("d").unwrap();
+    }
+
+    #[test]
+    fn delete_document_frees_space_for_reuse() {
+        let mut repo = small_repo();
+        repo.put_xml("d", "<a><b>some content here</b></a>").unwrap();
+        repo.delete_document("d").unwrap();
+        assert!(matches!(repo.get_xml("d"), Err(NatixError::NoSuchDocument(_))));
+        repo.put_xml("d", "<fresh/>").unwrap();
+        assert_eq!(repo.get_xml("d").unwrap(), "<fresh/>");
+    }
+}

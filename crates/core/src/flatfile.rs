@@ -1,0 +1,231 @@
+//! The flat-stream baseline (§1, first category of the taxonomy).
+//!
+//! > **Flat Streams**: trees are serialized into byte streams, for example
+//! > by means of a markup language. [...] This method is very fast when
+//! > storing or retrieving whole documents or big continuous parts of
+//! > documents. Accessing the documents' structure is only possible
+//! > through parsing.
+//!
+//! [`FlatStore`] stores serialized XML as a chain of plain pages — a
+//! minimal BLOB manager that splits "at arbitrary byte positions" (§2.3.3,
+//! exactly what NATIX's semantic splits avoid). It exists as a comparison
+//! point: whole-document reads are sequential and fast, any structural
+//! access needs a full parse, and any update rewrites the whole stream.
+
+use natix_storage::{PageKind, PAGE_HEADER_SIZE};
+use natix_storage::{PageId, INVALID_PAGE};
+use natix_xml::{Document, ParserOptions, SymbolTable};
+
+use crate::error::{NatixError, NatixResult};
+use crate::repository::Repository;
+
+/// Per-page payload layout: `u32 len` at offset 16, bytes from offset 20.
+const LEN_OFF: usize = PAGE_HEADER_SIZE;
+const DATA_OFF: usize = PAGE_HEADER_SIZE + 4;
+
+/// A named byte-stream (flat file) store inside a repository's flat
+/// segment. The directory is in-memory; the baseline exists for
+/// measurements, not durability.
+pub struct FlatStore {
+    docs: std::collections::HashMap<String, (PageId, usize)>,
+}
+
+impl FlatStore {
+    /// Creates an empty flat store.
+    pub fn new() -> FlatStore {
+        FlatStore { docs: std::collections::HashMap::new() }
+    }
+
+    /// Stores `text` under `name`, replacing any previous stream.
+    pub fn put(&mut self, repo: &Repository, name: &str, text: &str) -> NatixResult<()> {
+        if self.docs.contains_key(name) {
+            self.delete(repo, name)?;
+        }
+        let seg = repo.flat_segment();
+        let sm = repo.storage();
+        let chunk = sm.page_size() - DATA_OFF;
+        let bytes = text.as_bytes();
+        let mut first = INVALID_PAGE;
+        let mut prev: Option<PageId> = None;
+        for piece in bytes.chunks(chunk.max(1)) {
+            let page = sm.allocate_page(seg, PageKind::Plain)?;
+            {
+                let pin = sm.pin(page)?;
+                let mut buf = pin.write();
+                buf.format(PageKind::Plain);
+                buf.write_u32(LEN_OFF, piece.len() as u32);
+                buf.bytes_mut()[DATA_OFF..DATA_OFF + piece.len()].copy_from_slice(piece);
+            }
+            if let Some(p) = prev {
+                let pin = sm.pin(p)?;
+                pin.write().set_next_page(page);
+            } else {
+                first = page;
+            }
+            prev = Some(page);
+        }
+        if bytes.is_empty() {
+            first = sm.allocate_page(seg, PageKind::Plain)?;
+            let pin = sm.pin(first)?;
+            let mut buf = pin.write();
+            buf.format(PageKind::Plain);
+            buf.write_u32(LEN_OFF, 0);
+        }
+        self.docs.insert(name.to_string(), (first, bytes.len()));
+        Ok(())
+    }
+
+    /// Reads the whole stream back (sequential page chain walk).
+    pub fn get(&self, repo: &Repository, name: &str) -> NatixResult<String> {
+        let &(first, len) = self
+            .docs
+            .get(name)
+            .ok_or_else(|| NatixError::NoSuchDocument(name.to_string()))?;
+        let sm = repo.storage();
+        let mut out = Vec::with_capacity(len);
+        let mut page = first;
+        while page != INVALID_PAGE {
+            let pin = sm.pin(page)?;
+            let buf = pin.read();
+            let n = buf.read_u32(LEN_OFF) as usize;
+            out.extend_from_slice(&buf.bytes()[DATA_OFF..DATA_OFF + n]);
+            page = buf.next_page();
+        }
+        String::from_utf8(out).map_err(|_| NatixError::Catalog("flat stream not UTF-8".into()))
+    }
+
+    /// Structural access: "only possible through parsing" — parse the
+    /// whole stream into a logical document.
+    pub fn parse(
+        &self,
+        repo: &Repository,
+        name: &str,
+        symbols: &mut SymbolTable,
+    ) -> NatixResult<Document> {
+        let text = self.get(repo, name)?;
+        Ok(natix_xml::parse_document(&text, symbols, ParserOptions::default())?)
+    }
+
+    /// A "node update" in a flat stream: parse, let the caller mutate the
+    /// document, then rewrite the whole stream. The cost asymmetry against
+    /// the native store is the point of the baseline.
+    pub fn update_with(
+        &mut self,
+        repo: &Repository,
+        name: &str,
+        symbols: &mut SymbolTable,
+        mutate: impl FnOnce(&mut Document),
+    ) -> NatixResult<()> {
+        let mut doc = self.parse(repo, name, symbols)?;
+        mutate(&mut doc);
+        let text = natix_xml::write_document(&doc, symbols, natix_xml::WriteOptions::compact())?;
+        self.put(repo, name, &text)
+    }
+
+    /// Deletes a stream, returning its pages to the free pool.
+    pub fn delete(&mut self, repo: &Repository, name: &str) -> NatixResult<()> {
+        let (first, _) = self
+            .docs
+            .remove(name)
+            .ok_or_else(|| NatixError::NoSuchDocument(name.to_string()))?;
+        let sm = repo.storage();
+        let seg = repo.flat_segment();
+        let mut page = first;
+        while page != INVALID_PAGE {
+            let next = {
+                let pin = sm.pin(page)?;
+                let next = pin.read().next_page();
+                next
+            };
+            sm.free_page(seg, page)?;
+            page = next;
+        }
+        Ok(())
+    }
+
+    /// Stored names.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.docs.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Default for FlatStore {
+    fn default() -> Self {
+        FlatStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::{Repository, RepositoryOptions};
+    use natix_xml::NodeData;
+
+    fn repo() -> Repository {
+        Repository::create_in_memory(RepositoryOptions {
+            page_size: 512,
+            ..RepositoryOptions::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_multi_page() {
+        let repo = repo();
+        let mut flat = FlatStore::new();
+        let text = "<doc>".to_string() + &"<x>chunky content</x>".repeat(200) + "</doc>";
+        flat.put(&repo, "d", &text).unwrap();
+        assert_eq!(flat.get(&repo, "d").unwrap(), text);
+    }
+
+    #[test]
+    fn parse_gives_structure() {
+        let repo = repo();
+        let mut flat = FlatStore::new();
+        flat.put(&repo, "d", "<a><b>x</b><b>y</b></a>").unwrap();
+        let mut syms = SymbolTable::new();
+        let doc = flat.parse(&repo, "d", &mut syms).unwrap();
+        assert_eq!(doc.children(doc.root()).len(), 2);
+    }
+
+    #[test]
+    fn update_rewrites_stream() {
+        let repo = repo();
+        let mut flat = FlatStore::new();
+        flat.put(&repo, "d", "<a><b>x</b></a>").unwrap();
+        let mut syms = SymbolTable::new();
+        flat.update_with(&repo, "d", &mut syms, |doc| {
+            let root = doc.root();
+            doc.add_child(root, NodeData::text("tail"));
+        })
+        .unwrap();
+        assert_eq!(flat.get(&repo, "d").unwrap(), "<a><b>x</b>tail</a>");
+    }
+
+    #[test]
+    fn delete_recycles_pages() {
+        let repo = repo();
+        let mut flat = FlatStore::new();
+        let text = "x".repeat(5000);
+        flat.put(&repo, "d", &format!("<a>{text}</a>")).unwrap();
+        let before = repo.storage().allocated_pages();
+        flat.delete(&repo, "d").unwrap();
+        assert!(flat.get(&repo, "d").is_err());
+        // Re-inserting reuses the freed chain instead of growing the file.
+        flat.put(&repo, "d2", &format!("<a>{text}</a>")).unwrap();
+        assert_eq!(repo.storage().allocated_pages(), before);
+    }
+
+    #[test]
+    fn empty_and_tiny_streams() {
+        let repo = repo();
+        let mut flat = FlatStore::new();
+        flat.put(&repo, "e", "").unwrap();
+        assert_eq!(flat.get(&repo, "e").unwrap(), "");
+        flat.put(&repo, "t", "<t/>").unwrap();
+        assert_eq!(flat.get(&repo, "t").unwrap(), "<t/>");
+        assert_eq!(flat.names(), vec!["e", "t"]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Index management.
+//!
+//! NATIX's architecture (figure 1) includes an index-management module,
+//! and §6 lists "index structures that support our storage structure" as
+//! research in progress. [`LabelIndex`] is such a structure: a B+-tree
+//! mapping `(label, document, occurrence)` to the node's physical address,
+//! letting queries like the paper's Query 1 jump straight to, say, every
+//! `SPEAKER` of a document instead of walking the tree.
+//!
+//! Entries store physical [`NodePtr`]s, which mutations invalidate; the
+//! index tracks a per-document *stale* flag and callers rebuild before
+//! querying a mutated document (`ensure_current`). Incremental index
+//! maintenance is future work here — as it was in the paper.
+
+use std::collections::HashSet;
+
+use natix_storage::btree::BTree;
+use natix_storage::{PageId, Rid};
+use natix_tree::{NodePtr, VisitEvent};
+use natix_xml::LabelId;
+
+use crate::document::{DocId, NodeId};
+use crate::error::NatixResult;
+use crate::repository::Repository;
+
+/// Key bytes: label (2, BE) + doc (4, BE) + occurrence (8, BE).
+const KEY_LEN: usize = 14;
+
+fn key(label: LabelId, doc: DocId, seq: u64) -> [u8; KEY_LEN] {
+    let mut k = [0u8; KEY_LEN];
+    k[0..2].copy_from_slice(&label.to_be_bytes());
+    k[2..6].copy_from_slice(&doc.to_be_bytes());
+    k[6..14].copy_from_slice(&seq.to_be_bytes());
+    k
+}
+
+fn pack(ptr: NodePtr) -> u64 {
+    ((ptr.rid.page as u64) << 32) | ((ptr.rid.slot as u64) << 16) | ptr.node as u64
+}
+
+fn unpack(v: u64) -> NodePtr {
+    NodePtr::new(Rid::new((v >> 32) as u32, ((v >> 16) & 0xFFFF) as u16), (v & 0xFFFF) as u16)
+}
+
+/// A persistent label index over one repository.
+pub struct LabelIndex {
+    meta: PageId,
+    indexed: HashSet<DocId>,
+    stale: HashSet<DocId>,
+}
+
+impl LabelIndex {
+    /// Creates a fresh index in the repository's index segment.
+    pub fn create(repo: &Repository) -> NatixResult<LabelIndex> {
+        let seg = repo.index_segment();
+        let bt = BTree::create(repo.storage(), seg, KEY_LEN)?;
+        Ok(LabelIndex { meta: bt.meta_page(), indexed: HashSet::new(), stale: HashSet::new() })
+    }
+
+    /// The B+-tree meta page (for reopening).
+    pub fn meta_page(&self) -> PageId {
+        self.meta
+    }
+
+    fn btree<'a>(&self, repo: &'a Repository) -> NatixResult<BTree<'a>> {
+        Ok(BTree::open(repo.storage(), repo.index_segment(), self.meta)?)
+    }
+
+    /// Indexes (or re-indexes) a document: one entry per facade node.
+    pub fn index_document(&mut self, repo: &Repository, name: &str) -> NatixResult<()> {
+        let doc = repo.doc_id(name)?;
+        let root_rid = repo.root_rid(doc)?;
+        let bt = self.btree(repo)?;
+        if self.indexed.contains(&doc) {
+            // Drop old entries for this document (lazy B+-tree deletes).
+            let lo = key(0, doc, 0);
+            let hi = key(u16::MAX, doc, u64::MAX);
+            let mut old = Vec::new();
+            bt.scan_range(&lo, &hi, |k, _| {
+                if k[2..6] == doc.to_be_bytes() {
+                    old.push(k.to_vec());
+                }
+                true
+            })?;
+            for k in old {
+                bt.delete(&k)?;
+            }
+        }
+        let mut seq_per_label: std::collections::HashMap<LabelId, u64> =
+            std::collections::HashMap::new();
+        let mut entries = Vec::new();
+        natix_tree::traverse(repo.tree_store(), NodePtr::new(root_rid, 0), &mut |ev| {
+            let (label, ptr) = match ev {
+                VisitEvent::Enter { label, ptr } => (label, ptr),
+                VisitEvent::Literal { label, ptr, .. } => (label, ptr),
+                VisitEvent::Leave { .. } => return true,
+            };
+            let seq = seq_per_label.entry(label).or_insert(0);
+            entries.push((key(label, doc, *seq), pack(ptr)));
+            *seq += 1;
+            true
+        })?;
+        for (k, v) in entries {
+            bt.insert(&k, v)?;
+        }
+        self.indexed.insert(doc);
+        self.stale.remove(&doc);
+        Ok(())
+    }
+
+    /// Marks a document's entries stale (call after mutating it).
+    pub fn mark_stale(&mut self, doc: DocId) {
+        if self.indexed.contains(&doc) {
+            self.stale.insert(doc);
+        }
+    }
+
+    /// True when the document is indexed and current.
+    pub fn is_current(&self, doc: DocId) -> bool {
+        self.indexed.contains(&doc) && !self.stale.contains(&doc)
+    }
+
+    /// Re-indexes if stale or missing.
+    pub fn ensure_current(&mut self, repo: &Repository, name: &str) -> NatixResult<()> {
+        let doc = repo.doc_id(name)?;
+        if !self.is_current(doc) {
+            self.index_document(repo, name)?;
+        }
+        Ok(())
+    }
+
+    /// All nodes with the given element label in a document, in insertion
+    /// (document) order, as logical node ids.
+    pub fn lookup(
+        &self,
+        repo: &mut Repository,
+        name: &str,
+        tag: &str,
+    ) -> NatixResult<Vec<NodeId>> {
+        let doc = repo.doc_id(name)?;
+        let Some(label) = repo.symbols().lookup_element(tag) else {
+            return Ok(Vec::new());
+        };
+        let ptrs = self.lookup_ptrs(repo, doc, label)?;
+        let state = repo.state_mut(doc)?;
+        Ok(ptrs
+            .into_iter()
+            .map(|p| state.rev.get(&p).copied().unwrap_or_else(|| state.fresh_id(p)))
+            .collect())
+    }
+
+    /// Physical-pointer lookup (used by the benchmark harness to avoid
+    /// the id-mapping overhead in measurements).
+    pub fn lookup_ptrs(
+        &self,
+        repo: &Repository,
+        doc: DocId,
+        label: LabelId,
+    ) -> NatixResult<Vec<NodePtr>> {
+        let bt = self.btree(repo)?;
+        let lo = key(label, doc, 0);
+        let hi = key(label, doc, u64::MAX);
+        let mut out = Vec::new();
+        bt.scan_range(&lo, &hi, |_, v| {
+            out.push(unpack(v));
+            true
+        })?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::{Repository, RepositoryOptions};
+    use natix_tree::InsertPos;
+
+    fn repo_with_play() -> Repository {
+        let mut repo = Repository::create_in_memory(RepositoryOptions {
+            page_size: 1024,
+            ..RepositoryOptions::default()
+        })
+        .unwrap();
+        repo.put_xml(
+            "p",
+            "<PLAY><ACT><SCENE>\
+             <SPEECH><SPEAKER>A</SPEAKER><LINE>1</LINE></SPEECH>\
+             <SPEECH><SPEAKER>B</SPEAKER><LINE>2</LINE><LINE>3</LINE></SPEECH>\
+             </SCENE></ACT></PLAY>",
+        )
+        .unwrap();
+        repo
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let ptr = NodePtr::new(Rid::new(123_456, 789), 321);
+        assert_eq!(unpack(pack(ptr)), ptr);
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let mut repo = repo_with_play();
+        let mut idx = LabelIndex::create(&repo).unwrap();
+        idx.index_document(&repo, "p").unwrap();
+        let id = repo.doc_id("p").unwrap();
+        let speakers = idx.lookup(&mut repo, "p", "SPEAKER").unwrap();
+        assert_eq!(speakers.len(), 2);
+        let texts: Vec<String> =
+            speakers.iter().map(|&s| repo.text_content(id, s).unwrap()).collect();
+        assert_eq!(texts, vec!["A", "B"]);
+        let lines = idx.lookup(&mut repo, "p", "LINE").unwrap();
+        assert_eq!(lines.len(), 3);
+        assert!(idx.lookup(&mut repo, "p", "NOPE").unwrap().is_empty());
+    }
+
+    #[test]
+    fn staleness_and_rebuild() {
+        let mut repo = repo_with_play();
+        let mut idx = LabelIndex::create(&repo).unwrap();
+        idx.index_document(&repo, "p").unwrap();
+        let id = repo.doc_id("p").unwrap();
+        assert!(idx.is_current(id));
+        // Mutate: add a speech; mark stale; rebuild finds the new node.
+        let scenes = repo.query("p", "/PLAY/ACT/SCENE").unwrap();
+        let speech = repo.insert_element(id, scenes[0], InsertPos::Last, "SPEECH").unwrap();
+        let speaker = repo.insert_element(id, speech, InsertPos::Last, "SPEAKER").unwrap();
+        repo.insert_text(id, speaker, InsertPos::Last, "C").unwrap();
+        idx.mark_stale(id);
+        assert!(!idx.is_current(id));
+        idx.ensure_current(&repo, "p").unwrap();
+        let speakers = idx.lookup(&mut repo, "p", "SPEAKER").unwrap();
+        assert_eq!(speakers.len(), 3);
+    }
+
+    #[test]
+    fn multiple_documents_are_disjoint() {
+        let mut repo = repo_with_play();
+        repo.put_xml("q", "<PLAY><ACT><SCENE><SPEECH><SPEAKER>Z</SPEAKER>\
+                           <LINE>z</LINE></SPEECH></SCENE></ACT></PLAY>")
+            .unwrap();
+        let mut idx = LabelIndex::create(&repo).unwrap();
+        idx.index_document(&repo, "p").unwrap();
+        idx.index_document(&repo, "q").unwrap();
+        assert_eq!(idx.lookup(&mut repo, "p", "SPEAKER").unwrap().len(), 2);
+        assert_eq!(idx.lookup(&mut repo, "q", "SPEAKER").unwrap().len(), 1);
+    }
+}

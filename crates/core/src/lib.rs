@@ -1,0 +1,61 @@
+//! # natix — a native XML repository
+//!
+//! Rust reproduction of **NATIX**, the system of *Efficient Storage of XML
+//! Data* (Kanne & Moerkotte, ICDE 2000): "an efficient, native repository
+//! for storing, retrieving and managing tree-structured large objects,
+//! preferably XML documents."
+//!
+//! The crate wires the paper's architecture (figure 1) together:
+//!
+//! * the physical **record manager** ([`natix_storage`]): slotted pages,
+//!   segments, buffering;
+//! * the **tree storage manager** ([`natix_tree`]): the paper's primary
+//!   contribution — dynamic clustering of subtrees into records with a
+//!   tree-structured split algorithm and split matrix;
+//! * the **document manager** ([`document`]): document- and
+//!   node-granularity access, schema validation, long-text chunking,
+//!   stable logical node ids maintained from relocation events;
+//! * the **schema manager** ([`schema`]) and the **system catalog**
+//!   ([`catalog`]) — stored, as in the paper, *as an XML document inside
+//!   the system itself*;
+//! * **index management** ([`index`]) on the page-level B+-tree;
+//! * a small **path query evaluator** ([`query`]) sufficient for the
+//!   paper's evaluation queries (the full query engine is "not yet
+//!   implemented" in the paper as well);
+//! * the **flat-stream baseline** ([`flatfile`]) of §1's taxonomy.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use natix::{Repository, RepositoryOptions};
+//!
+//! let mut repo = Repository::create_in_memory(RepositoryOptions::default()).unwrap();
+//! repo.put_xml("hello", "<SPEECH><SPEAKER>OTHELLO</SPEAKER>\
+//!                        <LINE>Let me see your eyes;</LINE></SPEECH>").unwrap();
+//! let back = repo.get_xml("hello").unwrap();
+//! assert!(back.contains("OTHELLO"));
+//! let speakers = repo.query("hello", "/SPEECH/SPEAKER").unwrap();
+//! assert_eq!(speakers.len(), 1);
+//! ```
+
+pub mod catalog;
+pub mod document;
+pub mod error;
+pub mod flatfile;
+pub mod index;
+pub mod query;
+pub mod repository;
+pub mod schema;
+
+pub use document::{DocId, NodeId, NodeKind, NodeSummary};
+pub use error::{NatixError, NatixResult};
+pub use flatfile::FlatStore;
+pub use index::LabelIndex;
+pub use query::PathQuery;
+pub use repository::{Repository, RepositoryOptions};
+pub use schema::SchemaManager;
+
+// Re-exports for downstream crates (harness, examples).
+pub use natix_storage::{DiskProfile, IoStats, Rid};
+pub use natix_tree::{PhysicalStats, SplitBehaviour, SplitMatrix, TreeConfig};
+pub use natix_xml::{Document, LiteralValue, NodeData, SymbolTable};

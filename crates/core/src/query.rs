@@ -1,0 +1,340 @@
+//! Path queries.
+//!
+//! The paper's query engine is "not yet implemented" (§2.1); its
+//! evaluation nevertheless runs three hand-written queries (§4.3):
+//!
+//! 1. "retrieves all speakers in the third act and second scene of every
+//!    play" — `/PLAY/ACT[3]/SCENE[2]//SPEAKER`;
+//! 2. "recreates the textual representation of the complete first speech
+//!    in every scene" — `/PLAY/ACT/SCENE/SPEECH[1]`;
+//! 3. "reading only the opening speech of each play" —
+//!    `/PLAY/ACT[1]/SCENE[1]/SPEECH[1]`.
+//!
+//! This module implements the XPath subset needed to express those (and a
+//! bit more): absolute child steps (`/NAME`), descendant-or-self steps
+//! (`//NAME`), wildcards (`*`), 1-based positional predicates (`[n]`,
+//! counting among the nodes matching the step's name test within each
+//! parent), and a final `text()` step.
+
+use natix_tree::NodePtr;
+use natix_xml::LABEL_TEXT;
+
+use crate::document::{DocId, NodeId};
+use crate::error::{NatixError, NatixResult};
+use crate::repository::Repository;
+
+/// A name test within a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Test {
+    Name(String),
+    Any,
+    Text,
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Step {
+    descendant: bool,
+    test: Test,
+    position: Option<usize>,
+}
+
+/// A parsed path query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathQuery {
+    steps: Vec<Step>,
+}
+
+impl PathQuery {
+    /// Parses a path expression.
+    pub fn parse(path: &str) -> NatixResult<PathQuery> {
+        let bad = |m: &str| NatixError::BadQuery(format!("{m} in '{path}'"));
+        if !path.starts_with('/') {
+            return Err(bad("path must be absolute (start with '/')"));
+        }
+        let mut steps = Vec::new();
+        let mut rest = path;
+        while !rest.is_empty() {
+            let descendant = if let Some(r) = rest.strip_prefix("//") {
+                rest = r;
+                true
+            } else if let Some(r) = rest.strip_prefix('/') {
+                rest = r;
+                false
+            } else {
+                return Err(bad("expected '/'"));
+            };
+            let end = rest.find('/').unwrap_or(rest.len());
+            let mut token = &rest[..end];
+            rest = &rest[end..];
+            if token.is_empty() {
+                return Err(bad("empty step"));
+            }
+            let mut position = None;
+            if let Some(open) = token.find('[') {
+                let close = token
+                    .find(']')
+                    .ok_or_else(|| bad("unterminated predicate"))?;
+                let n: usize = token[open + 1..close]
+                    .parse()
+                    .map_err(|_| bad("predicate must be a number"))?;
+                if n == 0 {
+                    return Err(bad("positions are 1-based"));
+                }
+                position = Some(n);
+                token = &token[..open];
+            }
+            let test = match token {
+                "*" => Test::Any,
+                "text()" => Test::Text,
+                name if name.chars().all(|c| c.is_alphanumeric() || "-_.:".contains(c)) => {
+                    Test::Name(name.to_string())
+                }
+                _ => return Err(bad("invalid name test")),
+            };
+            steps.push(Step { descendant, test, position });
+        }
+        if steps.is_empty() {
+            return Err(bad("no steps"));
+        }
+        Ok(PathQuery { steps })
+    }
+
+    /// Number of steps (diagnostics).
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Adapts repository errors for use inside tree-store callbacks.
+fn to_tree_err(e: NatixError) -> natix_tree::TreeError {
+    match e {
+        NatixError::Tree(t) => t,
+        other => natix_tree::TreeError::Invariant(other.to_string()),
+    }
+}
+
+impl Repository {
+    /// Evaluates a path query against a stored document, returning logical
+    /// node ids in document order.
+    pub fn query(&mut self, name: &str, path: &str) -> NatixResult<Vec<NodeId>> {
+        let q = PathQuery::parse(path)?;
+        let doc = self.doc_id(name)?;
+        self.query_parsed(doc, &q)
+    }
+
+    /// Evaluates a pre-parsed query.
+    pub fn query_parsed(&mut self, doc: DocId, q: &PathQuery) -> NatixResult<Vec<NodeId>> {
+        let root_rid = self.state(doc)?.root_rid;
+        let root = NodePtr::new(root_rid, 0);
+        // The first step matches the root element itself (absolute paths
+        // address the document element).
+        let mut current: Vec<NodePtr> = Vec::new();
+        let first = &q.steps[0];
+        if first.descendant {
+            self.collect_descendants(root, first, &mut current)?;
+        } else if self.step_matches(root, first)? && first.position.unwrap_or(1) == 1 {
+            current.push(root);
+        }
+        for step in &q.steps[1..] {
+            let mut next = Vec::new();
+            for &ctx in &current {
+                if step.descendant {
+                    self.collect_descendants(ctx, step, &mut next)?;
+                } else {
+                    self.collect_children(ctx, step, &mut next)?;
+                }
+            }
+            current = next;
+        }
+        // Map to logical ids.
+        let state = self.state_mut(doc)?;
+        Ok(current
+            .into_iter()
+            .map(|p| state.rev.get(&p).copied().unwrap_or_else(|| state.fresh_id(p)))
+            .collect())
+    }
+
+    fn step_matches(&self, ptr: NodePtr, step: &Step) -> NatixResult<bool> {
+        let info = self.tree.node_info(ptr)?;
+        Ok(match &step.test {
+            Test::Any => info.value.is_none(),
+            Test::Text => info.label == LABEL_TEXT,
+            Test::Name(n) => {
+                info.value.is_none() && self.symbols.name(info.label) == n.as_str()
+            }
+        })
+    }
+
+    /// Children of `ctx` matching the step; the positional predicate
+    /// counts among the matching children only (XPath semantics). The walk
+    /// is lazy: once `x[n]` is satisfied, no further sibling records are
+    /// read — essential for the paper's Query 2/3 access patterns.
+    fn collect_children(
+        &self,
+        ctx: NodePtr,
+        step: &Step,
+        out: &mut Vec<NodePtr>,
+    ) -> NatixResult<()> {
+        let mut seen = 0usize;
+        self.tree.for_each_logical_child(ctx, &mut |child| {
+            if self.step_matches(child, step).map_err(to_tree_err)? {
+                seen += 1;
+                match step.position {
+                    None => out.push(child),
+                    Some(p) if p == seen => {
+                        out.push(child);
+                        return Ok(false);
+                    }
+                    Some(_) => {}
+                }
+            }
+            Ok(true)
+        })?;
+        Ok(())
+    }
+
+    /// Descendant-or-self collection in document order.
+    fn collect_descendants(
+        &self,
+        ctx: NodePtr,
+        step: &Step,
+        out: &mut Vec<NodePtr>,
+    ) -> NatixResult<()> {
+        // `//x[n]` takes the n-th match in document order under this
+        // context (a pragmatic, commonly used interpretation).
+        let mut seen = 0usize;
+        let mut stack = vec![ctx];
+        let mut first = true;
+        while let Some(p) = stack.pop() {
+            let matches = self.step_matches(p, step)?;
+            if matches && !(first && p == ctx && step.test == Test::Text) {
+                seen += 1;
+                match step.position {
+                    None => out.push(p),
+                    Some(n) if n == seen => {
+                        out.push(p);
+                        return Ok(());
+                    }
+                    Some(_) => {}
+                }
+            }
+            first = false;
+            let kids = self.tree.logical_children(p)?;
+            for k in kids.into_iter().rev() {
+                stack.push(k);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::RepositoryOptions;
+
+    fn play_repo() -> (Repository, DocId) {
+        let mut repo = Repository::create_in_memory(RepositoryOptions {
+            page_size: 1024,
+            ..RepositoryOptions::default()
+        })
+        .unwrap();
+        let xml = "<PLAY><TITLE>T</TITLE>\
+            <ACT><TITLE>ACT I</TITLE>\
+              <SCENE><TITLE>S1</TITLE>\
+                <SPEECH><SPEAKER>ALPHA</SPEAKER><LINE>a1</LINE></SPEECH>\
+                <SPEECH><SPEAKER>BETA</SPEAKER><LINE>b1</LINE></SPEECH>\
+              </SCENE>\
+            </ACT>\
+            <ACT><TITLE>ACT II</TITLE>\
+              <SCENE><TITLE>S1</TITLE>\
+                <SPEECH><SPEAKER>GAMMA</SPEAKER><LINE>g1</LINE></SPEECH>\
+              </SCENE>\
+              <SCENE><TITLE>S2</TITLE>\
+                <SPEECH><SPEAKER>DELTA</SPEAKER><LINE>d1</LINE><LINE>d2</LINE></SPEECH>\
+              </SCENE>\
+            </ACT>\
+            </PLAY>";
+        let id = repo.put_xml("play", xml).unwrap();
+        (repo, id)
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(PathQuery::parse("PLAY/ACT").is_err());
+        assert!(PathQuery::parse("/PLAY//").is_err());
+        assert!(PathQuery::parse("/PLAY/ACT[0]").is_err());
+        assert!(PathQuery::parse("/PLAY/ACT[x]").is_err());
+        assert!(PathQuery::parse("/PLAY/ACT[1").is_err());
+        assert!(PathQuery::parse("/PL AY").is_err());
+        assert_eq!(PathQuery::parse("/a/b//c[2]/text()").unwrap().step_count(), 4);
+    }
+
+    #[test]
+    fn child_steps_and_positions() {
+        let (mut repo, id) = play_repo();
+        let acts = repo.query("play", "/PLAY/ACT").unwrap();
+        assert_eq!(acts.len(), 2);
+        let act2_scenes = repo.query("play", "/PLAY/ACT[2]/SCENE").unwrap();
+        assert_eq!(act2_scenes.len(), 2);
+        let s2 = repo.query("play", "/PLAY/ACT[2]/SCENE[2]").unwrap();
+        assert_eq!(s2.len(), 1);
+        let first_child = repo.children(id, s2[0]).unwrap()[0];
+        let title = repo.node_summary(id, first_child).unwrap();
+        assert_eq!(title.label, "TITLE");
+    }
+
+    #[test]
+    fn descendant_steps() {
+        let (mut repo, id) = play_repo();
+        let speakers = repo.query("play", "//SPEAKER").unwrap();
+        assert_eq!(speakers.len(), 4);
+        let names: Vec<String> = speakers
+            .iter()
+            .map(|&s| repo.text_content(id, s).unwrap())
+            .collect();
+        assert_eq!(names, vec!["ALPHA", "BETA", "GAMMA", "DELTA"]);
+        let act2_speakers = repo.query("play", "/PLAY/ACT[2]//SPEAKER").unwrap();
+        assert_eq!(act2_speakers.len(), 2);
+    }
+
+    #[test]
+    fn paper_query_shapes() {
+        let (mut repo, id) = play_repo();
+        // Query 1 shape (act/scene adjusted to this small fixture).
+        let q1 = repo.query("play", "/PLAY/ACT[2]/SCENE[2]//SPEAKER").unwrap();
+        assert_eq!(q1.len(), 1);
+        assert_eq!(repo.text_content(id, q1[0]).unwrap(), "DELTA");
+        // Query 2 shape: first speech of every scene.
+        let q2 = repo.query("play", "/PLAY/ACT/SCENE/SPEECH[1]").unwrap();
+        assert_eq!(q2.len(), 3);
+        // Query 3 shape: the opening speech of the play.
+        let q3 = repo.query("play", "/PLAY/ACT[1]/SCENE[1]/SPEECH[1]").unwrap();
+        assert_eq!(q3.len(), 1);
+        assert_eq!(
+            repo.serialize_node(id, q3[0]).unwrap(),
+            "<SPEECH><SPEAKER>ALPHA</SPEAKER><LINE>a1</LINE></SPEECH>"
+        );
+    }
+
+    #[test]
+    fn wildcard_and_text_steps() {
+        let (mut repo, id) = play_repo();
+        let all_level2 = repo.query("play", "/PLAY/*").unwrap();
+        assert_eq!(all_level2.len(), 3, "TITLE + 2 ACTs");
+        let texts = repo.query("play", "/PLAY/ACT[1]/SCENE[1]/SPEECH[2]/LINE/text()").unwrap();
+        assert_eq!(texts.len(), 1);
+        assert_eq!(
+            repo.node_summary(id, texts[0]).unwrap().text.as_deref(),
+            Some("b1")
+        );
+    }
+
+    #[test]
+    fn missing_positions_yield_empty() {
+        let (mut repo, _) = play_repo();
+        assert!(repo.query("play", "/PLAY/ACT[3]").unwrap().is_empty());
+        assert!(repo.query("play", "/NOPE").unwrap().is_empty());
+    }
+}

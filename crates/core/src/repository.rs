@@ -1,0 +1,398 @@
+//! The repository: NATIX's top-level API.
+//!
+//! A [`Repository`] owns the storage stack of the paper's figure 1: disk
+//! backend (optionally behind the measurement disk model), buffer manager,
+//! record manager, one tree store for documents and one for the system
+//! catalog, plus the schema manager. Documents are named; node-granular
+//! operations live in [`crate::document`].
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use natix_storage::buffer::EvictionPolicy;
+use natix_storage::{
+    BufferManager, DiskBackend, DiskProfile, FileStorage, IoStats, MemStorage, Rid, SimDisk,
+    StorageManager,
+};
+use natix_tree::{NodePtr, SplitMatrix, TreeConfig, TreeStore};
+use natix_xml::{ParserOptions, SymbolTable};
+
+use crate::document::{DocId, DocState, NodeId};
+use crate::error::{NatixError, NatixResult};
+use crate::schema::SchemaManager;
+
+/// Construction options.
+#[derive(Debug, Clone)]
+pub struct RepositoryOptions {
+    /// Page size in bytes (the paper sweeps 2K–32K; default 8K).
+    pub page_size: usize,
+    /// Buffer pool size in bytes (the paper uses 2 MB).
+    pub buffer_bytes: usize,
+    /// Buffer replacement policy.
+    pub eviction: EvictionPolicy,
+    /// Tree-storage-manager configuration (split target/tolerance, merge).
+    pub tree_config: TreeConfig,
+    /// Initial split matrix (default: the native 1:n configuration).
+    pub matrix: SplitMatrix,
+    /// When set, all I/O is charged to this mechanical-disk model and the
+    /// simulated clock in [`IoStats`] (used by the benchmark harness).
+    pub disk_profile: Option<DiskProfile>,
+    /// Keep whitespace-only text nodes when parsing (default: drop).
+    pub keep_whitespace_text: bool,
+}
+
+impl Default for RepositoryOptions {
+    fn default() -> Self {
+        RepositoryOptions {
+            page_size: 8192,
+            buffer_bytes: 2 * 1024 * 1024,
+            eviction: EvictionPolicy::Lru,
+            tree_config: TreeConfig::paper(),
+            matrix: SplitMatrix::all_other(),
+            disk_profile: None,
+            keep_whitespace_text: false,
+        }
+    }
+}
+
+impl RepositoryOptions {
+    /// The paper's measurement configuration for a given page size:
+    /// 2 MB buffer, split target ½, tolerance ⅒, simulated DCAS disk.
+    pub fn paper(page_size: usize) -> RepositoryOptions {
+        RepositoryOptions {
+            page_size,
+            disk_profile: Some(DiskProfile::dcas_34330w()),
+            ..RepositoryOptions::default()
+        }
+    }
+}
+
+/// Head-position control for the simulated disk (type-erased).
+trait SimControl: Send + Sync {
+    fn reset_head(&self);
+}
+
+impl<B: DiskBackend> SimControl for SimDisk<B> {
+    fn reset_head(&self) {
+        SimDisk::reset_head(self)
+    }
+}
+
+/// A NATIX repository.
+pub struct Repository {
+    pub(crate) sm: Arc<StorageManager>,
+    pub(crate) tree: TreeStore,
+    pub(crate) catalog_tree: TreeStore,
+    pub(crate) symbols: SymbolTable,
+    pub(crate) docs: Vec<Option<DocState>>,
+    pub(crate) by_name: HashMap<String, DocId>,
+    pub(crate) schema: SchemaManager,
+    pub(crate) options: RepositoryOptions,
+    index_seg: natix_storage::SegmentId,
+    flat_seg: natix_storage::SegmentId,
+    stats: Arc<IoStats>,
+    sim: Option<Arc<dyn SimControl>>,
+}
+
+impl Repository {
+    fn build(
+        backend: Arc<dyn DiskBackend>,
+        sim: Option<Arc<dyn SimControl>>,
+        options: RepositoryOptions,
+        stats: Arc<IoStats>,
+        fresh: bool,
+    ) -> NatixResult<Repository> {
+        let bm = Arc::new(BufferManager::with_buffer_bytes(
+            backend,
+            options.buffer_bytes,
+            options.eviction,
+            Arc::clone(&stats),
+        ));
+        let sm = if fresh {
+            Arc::new(StorageManager::create(bm)?)
+        } else {
+            Arc::new(StorageManager::open(bm)?)
+        };
+        let (docs_seg, cat_seg, index_seg, flat_seg) = if fresh {
+            (
+                sm.create_segment("documents")?,
+                sm.create_segment("catalog")?,
+                sm.create_segment("index")?,
+                sm.create_segment("flat")?,
+            )
+        } else {
+            let find = |name: &str| {
+                sm.segment_by_name(name)
+                    .ok_or_else(|| NatixError::Catalog(format!("missing {name} segment")))
+            };
+            (find("documents")?, find("catalog")?, find("index")?, find("flat")?)
+        };
+        let tree = TreeStore::new(
+            Arc::clone(&sm),
+            docs_seg,
+            options.tree_config,
+            options.matrix.clone(),
+        );
+        let catalog_tree = TreeStore::new(
+            Arc::clone(&sm),
+            cat_seg,
+            options.tree_config,
+            SplitMatrix::all_other(),
+        );
+        let mut repo = Repository {
+            sm,
+            tree,
+            catalog_tree,
+            symbols: SymbolTable::new(),
+            docs: Vec::new(),
+            by_name: HashMap::new(),
+            schema: SchemaManager::new(),
+            options,
+            index_seg,
+            flat_seg,
+            stats,
+            sim,
+        };
+        if !fresh {
+            crate::catalog::load_catalog(&mut repo)?;
+        }
+        Ok(repo)
+    }
+
+    /// Creates a fresh in-memory repository.
+    pub fn create_in_memory(options: RepositoryOptions) -> NatixResult<Repository> {
+        let stats = IoStats::new_shared();
+        let mem = MemStorage::new(options.page_size)?;
+        match options.disk_profile {
+            Some(profile) => {
+                let sim = Arc::new(SimDisk::new(mem, profile, Arc::clone(&stats)));
+                let backend: Arc<dyn DiskBackend> = Arc::clone(&sim) as Arc<dyn DiskBackend>;
+                Repository::build(backend, Some(sim), options, stats, true)
+            }
+            None => Repository::build(Arc::new(mem), None, options, stats, true),
+        }
+    }
+
+    /// Creates a fresh file-backed repository (truncates `path`).
+    pub fn create_file<P: AsRef<Path>>(
+        path: P,
+        options: RepositoryOptions,
+    ) -> NatixResult<Repository> {
+        let stats = IoStats::new_shared();
+        let file = FileStorage::create(path, options.page_size)?;
+        match options.disk_profile {
+            Some(profile) => {
+                let sim = Arc::new(SimDisk::new(file, profile, Arc::clone(&stats)));
+                let backend: Arc<dyn DiskBackend> = Arc::clone(&sim) as Arc<dyn DiskBackend>;
+                Repository::build(backend, Some(sim), options, stats, true)
+            }
+            None => Repository::build(Arc::new(file), None, options, stats, true),
+        }
+    }
+
+    /// Opens an existing file-backed repository, restoring the catalog.
+    pub fn open_file<P: AsRef<Path>>(
+        path: P,
+        options: RepositoryOptions,
+    ) -> NatixResult<Repository> {
+        let stats = IoStats::new_shared();
+        let file = FileStorage::open(path, options.page_size)?;
+        match options.disk_profile {
+            Some(profile) => {
+                let sim = Arc::new(SimDisk::new(file, profile, Arc::clone(&stats)));
+                let backend: Arc<dyn DiskBackend> = Arc::clone(&sim) as Arc<dyn DiskBackend>;
+                Repository::build(backend, Some(sim), options, stats, false)
+            }
+            None => Repository::build(Arc::new(file), None, options, stats, false),
+        }
+    }
+
+    /// The repository's construction options.
+    pub fn options(&self) -> &RepositoryOptions {
+        &self.options
+    }
+
+    /// The shared label alphabet.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Mutable access to the alphabet (interning new labels).
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    /// The schema manager.
+    pub fn schema(&self) -> &SchemaManager {
+        &self.schema
+    }
+
+    /// Mutable access to the schema manager.
+    pub fn schema_mut(&mut self) -> &mut SchemaManager {
+        &mut self.schema
+    }
+
+    /// The document tree store (exposed for the benchmark harness and the
+    /// validator; ordinary clients use the document API).
+    pub fn tree_store(&self) -> &TreeStore {
+        &self.tree
+    }
+
+    /// The underlying storage manager.
+    pub fn storage(&self) -> &Arc<StorageManager> {
+        &self.sm
+    }
+
+    /// The segment reserved for index structures.
+    pub fn index_segment(&self) -> natix_storage::SegmentId {
+        self.index_seg
+    }
+
+    /// The segment reserved for the flat-stream baseline.
+    pub fn flat_segment(&self) -> natix_storage::SegmentId {
+        self.flat_seg
+    }
+
+    /// Shared I/O statistics (buffer counters + simulated disk clock).
+    pub fn io_stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Flushes and empties the buffer pool and repositions the simulated
+    /// disk head — the paper's "the buffer was cleared at the start of
+    /// each operation" (§4.2).
+    pub fn clear_buffer(&self) -> NatixResult<()> {
+        self.sm.buffer().clear()?;
+        if let Some(sim) = &self.sim {
+            sim.reset_head();
+        }
+        Ok(())
+    }
+
+    /// Parser options implied by the repository options.
+    pub(crate) fn parser_options(&self) -> ParserOptions {
+        ParserOptions { keep_whitespace_text: self.options.keep_whitespace_text, ..Default::default() }
+    }
+
+    /// Resolves a document name.
+    pub fn doc_id(&self, name: &str) -> NatixResult<DocId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| NatixError::NoSuchDocument(name.to_string()))
+    }
+
+    /// Names of all stored documents, in insertion order.
+    pub fn document_names(&self) -> Vec<String> {
+        let mut v: Vec<(DocId, String)> = self
+            .by_name
+            .iter()
+            .map(|(n, &id)| (id, n.clone()))
+            .collect();
+        v.sort();
+        v.into_iter().map(|(_, n)| n).collect()
+    }
+
+    pub(crate) fn state(&self, doc: DocId) -> NatixResult<&DocState> {
+        self.docs
+            .get(doc as usize)
+            .and_then(|d| d.as_ref())
+            .ok_or_else(|| NatixError::NoSuchDocument(format!("#{doc}")))
+    }
+
+    pub(crate) fn state_mut(&mut self, doc: DocId) -> NatixResult<&mut DocState> {
+        self.docs
+            .get_mut(doc as usize)
+            .and_then(|d| d.as_mut())
+            .ok_or_else(|| NatixError::NoSuchDocument(format!("#{doc}")))
+    }
+
+    /// Root record RID of a document (harness / validation access).
+    pub fn root_rid(&self, doc: DocId) -> NatixResult<Rid> {
+        Ok(self.state(doc)?.root_rid)
+    }
+
+    /// The logical root node id of a document.
+    pub fn root(&self, doc: DocId) -> NatixResult<NodeId> {
+        Ok(self.state(doc)?.root_id)
+    }
+
+    /// Resolves a logical node id to its current physical pointer.
+    pub(crate) fn resolve(&self, doc: DocId, node: NodeId) -> NatixResult<NodePtr> {
+        self.state(doc)?
+            .map
+            .get(&node)
+            .copied()
+            .ok_or(NatixError::NoSuchNode(node))
+    }
+
+    /// Physical statistics (records, scaffolding, depth, bytes) of one
+    /// document — also validates all invariants.
+    pub fn physical_stats(&self, name: &str) -> NatixResult<natix_tree::PhysicalStats> {
+        let id = self.doc_id(name)?;
+        Ok(natix_tree::check_tree(&self.tree, self.state(id)?.root_rid)?)
+    }
+
+    /// Total bytes on disk currently allocated to the repository
+    /// (allocated pages × page size) — the measure of Figure 14.
+    pub fn disk_bytes(&self) -> u64 {
+        self.sm.allocated_pages() * self.options.page_size as u64
+    }
+
+    /// Persists the catalog (symbol table, document directory, split
+    /// matrix, DTDs) and flushes everything to the backend.
+    pub fn checkpoint(&mut self) -> NatixResult<()> {
+        crate::catalog::save_catalog(self)?;
+        self.sm.checkpoint()?;
+        Ok(())
+    }
+
+    /// Changes a split-matrix rule by element names, interning them if
+    /// necessary. Affects future insertions.
+    pub fn set_matrix_rule(
+        &mut self,
+        parent_tag: &str,
+        child_tag: &str,
+        value: natix_tree::SplitBehaviour,
+    ) {
+        let p = self.symbols.intern_element(parent_tag);
+        let c = self.symbols.intern_element(child_tag);
+        self.tree.set_matrix_entry(p, c, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_reject_duplicate_names() {
+        let mut repo = Repository::create_in_memory(RepositoryOptions::default()).unwrap();
+        repo.put_xml("a", "<x/>").unwrap();
+        assert!(matches!(
+            repo.put_xml("a", "<y/>"),
+            Err(NatixError::DocumentExists(_))
+        ));
+        assert_eq!(repo.document_names(), vec!["a"]);
+    }
+
+    #[test]
+    fn paper_options() {
+        let o = RepositoryOptions::paper(4096);
+        assert_eq!(o.page_size, 4096);
+        assert_eq!(o.buffer_bytes, 2 * 1024 * 1024);
+        assert!(o.disk_profile.is_some());
+    }
+
+    #[test]
+    fn clear_buffer_counts_future_reads_as_misses() {
+        let mut repo = Repository::create_in_memory(RepositoryOptions::default()).unwrap();
+        repo.put_xml("d", "<a><b>hello</b></a>").unwrap();
+        repo.clear_buffer().unwrap();
+        let before = repo.io_stats().snapshot();
+        let _ = repo.get_xml("d").unwrap();
+        let after = repo.io_stats().snapshot();
+        assert!(after.since(&before).buffer_misses > 0);
+    }
+}

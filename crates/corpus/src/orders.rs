@@ -1,0 +1,186 @@
+//! Insertion orders (§4.3).
+//!
+//! > For storage, we used an XML parser written in C and inserted the
+//! > document tree in two different insertion orders. First, in pre-order,
+//! > to represent a "bulkload" of or consecutive appends to a textual
+//! > representation. Second, we traversed the binary tree representation
+//! > of the document tree (in which each node has its first child as left
+//! > binary child and next sibling as right binary child) with
+//! > breadth-first search to insert the nodes, resulting in an incremental
+//! > update pattern where inserts occur distributed over the whole
+//! > document.
+//!
+//! Each order is a sequence of [`InsertStep`]s whose [`Anchor`] names an
+//! already-inserted node: pre-order appends as the last child of the
+//! parent; the binary-BFS order inserts either as the *first child* of the
+//! binary parent (left edge) or as the *next sibling* of it (right edge) —
+//! both anchors are guaranteed inserted because BFS emits parents before
+//! children.
+
+use natix_xml::{Document, NodeIdx};
+
+/// Where a node is inserted relative to an already-inserted anchor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// Append as the last child of this (already inserted) node.
+    LastChildOf(NodeIdx),
+    /// Insert as the first child of this node.
+    FirstChildOf(NodeIdx),
+    /// Insert as the next sibling of this node.
+    After(NodeIdx),
+}
+
+/// One step of an insertion workload: create `node` (whose payload the
+/// driver looks up in the source document) at `anchor`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertStep {
+    pub node: NodeIdx,
+    pub anchor: Anchor,
+}
+
+/// Pre-order ("append" / bulkload) insertion order: every node is appended
+/// as the last child of its parent, parents before children, siblings left
+/// to right. The root is not included (it is created by the driver).
+pub fn append_order(doc: &Document) -> Vec<InsertStep> {
+    let mut steps = Vec::with_capacity(doc.node_count().saturating_sub(1));
+    for node in doc.pre_order() {
+        if let Some(parent) = doc.parent(node) {
+            steps.push(InsertStep { node, anchor: Anchor::LastChildOf(parent) });
+        }
+    }
+    steps
+}
+
+/// Incremental-update insertion order: BFS over the binary-tree
+/// representation (first child = left, next sibling = right). The root is
+/// not included.
+pub fn incremental_order(doc: &Document) -> Vec<InsertStep> {
+    let mut steps = Vec::with_capacity(doc.node_count().saturating_sub(1));
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(doc.root());
+    while let Some(n) = queue.pop_front() {
+        // Left binary child: the first logical child.
+        if let Some(&first) = doc.children(n).first() {
+            steps.push(InsertStep { node: first, anchor: Anchor::FirstChildOf(n) });
+            queue.push_back(first);
+        }
+        // Right binary child: the next logical sibling.
+        if let Some(parent) = doc.parent(n) {
+            let kids = doc.children(parent);
+            let my = kids.iter().position(|&c| c == n).expect("listed under parent");
+            if let Some(&next) = kids.get(my + 1) {
+                steps.push(InsertStep { node: next, anchor: Anchor::After(n) });
+                queue.push_back(next);
+            }
+        }
+    }
+    steps
+}
+
+/// Checks that an order is executable: every step's anchor was inserted by
+/// an earlier step (or is the root), and every non-root node appears
+/// exactly once. Used by tests and debug assertions in the harness.
+pub fn validate_order(doc: &Document, steps: &[InsertStep]) -> Result<(), String> {
+    let mut inserted = vec![false; doc.node_count()];
+    inserted[doc.root() as usize] = true;
+    for (i, step) in steps.iter().enumerate() {
+        let anchor = match step.anchor {
+            Anchor::LastChildOf(a) | Anchor::FirstChildOf(a) | Anchor::After(a) => a,
+        };
+        if !inserted[anchor as usize] {
+            return Err(format!("step {i}: anchor {anchor} not yet inserted"));
+        }
+        if inserted[step.node as usize] {
+            return Err(format!("step {i}: node {} inserted twice", step.node));
+        }
+        inserted[step.node as usize] = true;
+    }
+    let missing = inserted.iter().filter(|&&b| !b).count();
+    if missing > 0 {
+        return Err(format!("{missing} nodes never inserted"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use natix_xml::{parse_document, ParserOptions, SymbolTable};
+
+    fn sample() -> Document {
+        let mut syms = SymbolTable::new();
+        parse_document(
+            "<a><b><c/><d/></b><e>text</e><f><g><h/></g></f></a>",
+            &mut syms,
+            ParserOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn append_order_is_preorder() {
+        let doc = sample();
+        let steps = append_order(&doc);
+        assert_eq!(steps.len(), doc.node_count() - 1);
+        validate_order(&doc, &steps).unwrap();
+        // Pre-order: each step's node id sequence follows document order.
+        let order: Vec<NodeIdx> = doc.pre_order().skip(1).collect();
+        let got: Vec<NodeIdx> = steps.iter().map(|s| s.node).collect();
+        assert_eq!(got, order);
+        assert!(steps.iter().all(|s| matches!(s.anchor, Anchor::LastChildOf(_))));
+    }
+
+    #[test]
+    fn incremental_order_is_valid_and_different() {
+        let doc = sample();
+        let steps = incremental_order(&doc);
+        assert_eq!(steps.len(), doc.node_count() - 1);
+        validate_order(&doc, &steps).unwrap();
+        let pre: Vec<NodeIdx> = append_order(&doc).iter().map(|s| s.node).collect();
+        let inc: Vec<NodeIdx> = steps.iter().map(|s| s.node).collect();
+        assert_ne!(pre, inc, "BFS over the binary tree must differ from pre-order");
+    }
+
+    #[test]
+    fn incremental_order_interleaves_subtrees() {
+        // The binary-BFS property the paper relies on: inserts are spread
+        // over the document rather than completing one subtree at a time.
+        let doc = sample();
+        let steps = incremental_order(&doc);
+        let ids: Vec<NodeIdx> = steps.iter().map(|s| s.node).collect();
+        // In pre-order, all of b's subtree (c, d) comes before f's (g, h).
+        // In binary BFS, g (child of f) is reached at depth 3 while d (b's
+        // second child) is also at depth 3 — the two subtrees interleave.
+        let pos = |x: NodeIdx| ids.iter().position(|&n| n == x).unwrap();
+        // Node indices in `sample` parse order: a=0 b=1 c=2 d=3 e=4 text=5 f=6 g=7 h=8.
+        // Pre-order finishes b's subtree (c, d) before e; binary BFS visits
+        // e (b's sibling, binary depth 2) before d (binary depth 3).
+        assert!(pos(4) < pos(3), "subtree interleaving expected: {ids:?}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_orders() {
+        let doc = sample();
+        let mut steps = append_order(&doc);
+        // Swap the first two steps: child before parent.
+        steps.swap(0, 1);
+        assert!(validate_order(&doc, &steps).is_err());
+        let steps = append_order(&doc);
+        assert!(validate_order(&doc, &steps[1..]).is_err(), "missing nodes detected");
+    }
+
+    #[test]
+    fn orders_on_corpus_play() {
+        let mut syms = SymbolTable::new();
+        let play = crate::shakespeare::generate_play(
+            &crate::shakespeare::CorpusConfig::tiny(),
+            0,
+            &mut syms,
+        );
+        let a = append_order(&play.doc);
+        let i = incremental_order(&play.doc);
+        validate_order(&play.doc, &a).unwrap();
+        validate_order(&play.doc, &i).unwrap();
+        assert_eq!(a.len(), i.len());
+    }
+}

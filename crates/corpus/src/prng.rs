@@ -1,0 +1,106 @@
+//! Deterministic pseudo-random numbers.
+//!
+//! SplitMix64 — tiny, fast, and completely reproducible across platforms,
+//! which matters more here than statistical sophistication: the corpus must
+//! be bit-identical between runs so experiments are comparable.
+
+/// SplitMix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; returns 0 for `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `p` (clamped to [0, 1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// Forks an independent stream (e.g. one per play) so inserting a play
+    /// does not shift the randomness of the others.
+    pub fn fork(&mut self, tag: u64) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ tag.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_and_range_bounds() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            let w = r.range(5, 8);
+            assert!((5..=8).contains(&w));
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(3);
+        assert!(!(0..100).map(|_| r.chance(0.0)).any(|b| b));
+        assert!((0..100).map(|_| r.chance(1.0)).all(|b| b));
+    }
+
+    #[test]
+    fn forks_are_independent_of_consumption() {
+        let mut a = SplitMix64::new(9);
+        let mut fork_a = a.fork(1);
+        let mut b = SplitMix64::new(9);
+        let mut fork_b = b.fork(1);
+        assert_eq!(fork_a.next_u64(), fork_b.next_u64());
+    }
+}

@@ -1,0 +1,336 @@
+//! The synthetic Shakespeare-like document collection (§4.1 substitute).
+//!
+//! Structure follows Jon Bosak's play markup:
+//!
+//! ```text
+//! PLAY ── TITLE, PERSONAE(TITLE, PERSONA*), ACT*
+//! ACT ── TITLE, SCENE*
+//! SCENE ── TITLE, (SPEECH | STAGEDIR)*
+//! SPEECH ── SPEAKER, LINE*
+//! ```
+//!
+//! Default calibration ([`CorpusConfig::paper`]): 37 plays, ≈320 000
+//! logical nodes, ≈8 MB of XML — the figures the paper reports for its
+//! corpus. All constants are per-play deterministic: regenerating play 17
+//! always yields the same document, regardless of how many plays are
+//! requested.
+
+use natix_xml::{Document, NodeData, SymbolTable};
+
+use crate::prng::SplitMix64;
+use crate::words::{SPEAKERS, STAGEDIRS, TITLE_HEADS, TITLE_SUBJECTS, WORDS};
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of plays (the canon has 37).
+    pub plays: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Scales speech counts (1.0 = the paper's ≈320k-node corpus).
+    pub scale: f64,
+}
+
+impl CorpusConfig {
+    /// The paper's corpus: 37 plays, ≈320k nodes, ≈8 MB.
+    pub fn paper() -> CorpusConfig {
+        CorpusConfig { plays: 37, seed: 0x5EED_BA5E, scale: 1.0 }
+    }
+
+    /// A reduced corpus for fast tests/benches (≈1/20 of the paper's).
+    pub fn tiny() -> CorpusConfig {
+        CorpusConfig { plays: 4, seed: 0x5EED_BA5E, scale: 0.15 }
+    }
+}
+
+/// One generated play.
+pub struct PlayDoc {
+    /// Unique name, e.g. `play-07`.
+    pub name: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The logical document.
+    pub doc: Document,
+}
+
+/// Aggregate corpus statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusStats {
+    pub plays: usize,
+    pub nodes: usize,
+    pub speeches: usize,
+    pub lines: usize,
+}
+
+/// Labels used by the corpus, interned once.
+pub struct PlayLabels {
+    pub play: u16,
+    pub title: u16,
+    pub personae: u16,
+    pub persona: u16,
+    pub act: u16,
+    pub scene: u16,
+    pub speech: u16,
+    pub speaker: u16,
+    pub line: u16,
+    pub stagedir: u16,
+}
+
+impl PlayLabels {
+    /// Interns the play element alphabet (ΣDTD of the corpus DTD).
+    pub fn intern(symbols: &mut SymbolTable) -> PlayLabels {
+        PlayLabels {
+            play: symbols.intern_element("PLAY"),
+            title: symbols.intern_element("TITLE"),
+            personae: symbols.intern_element("PERSONAE"),
+            persona: symbols.intern_element("PERSONA"),
+            act: symbols.intern_element("ACT"),
+            scene: symbols.intern_element("SCENE"),
+            speech: symbols.intern_element("SPEECH"),
+            speaker: symbols.intern_element("SPEAKER"),
+            line: symbols.intern_element("LINE"),
+            stagedir: symbols.intern_element("STAGEDIR"),
+        }
+    }
+}
+
+/// The corpus DTD (registered with the schema manager by examples/tests).
+pub const PLAY_DTD: &str = r#"<!ELEMENT PLAY (TITLE, PERSONAE, ACT+)>
+<!ELEMENT TITLE (#PCDATA)>
+<!ELEMENT PERSONAE (TITLE, PERSONA+)>
+<!ELEMENT PERSONA (#PCDATA)>
+<!ELEMENT ACT (TITLE, SCENE+)>
+<!ELEMENT SCENE (TITLE, (SPEECH | STAGEDIR)+)>
+<!ELEMENT SPEECH (SPEAKER, (LINE | STAGEDIR)+)>
+<!ELEMENT SPEAKER (#PCDATA)>
+<!ELEMENT LINE (#PCDATA)>
+<!ELEMENT STAGEDIR (#PCDATA)>"#;
+
+fn sentence(rng: &mut SplitMix64, min_words: usize, max_words: usize) -> String {
+    let n = rng.range(min_words, max_words);
+    let mut out = String::with_capacity(n * 6);
+    for i in 0..n {
+        let w = rng.pick(WORDS);
+        if i == 0 {
+            let mut cs = w.chars();
+            if let Some(c) = cs.next() {
+                out.extend(c.to_uppercase());
+                out.push_str(cs.as_str());
+            }
+        } else {
+            out.push(' ');
+            out.push_str(w);
+        }
+    }
+    match rng.below(6) {
+        0 => out.push('.'),
+        1 => out.push(','),
+        2 => out.push(';'),
+        3 => out.push('!'),
+        4 => out.push('?'),
+        _ => out.push(':'),
+    }
+    out
+}
+
+/// Generates play number `index` (0-based) of the corpus.
+pub fn generate_play(cfg: &CorpusConfig, index: usize, symbols: &mut SymbolTable) -> PlayDoc {
+    let labels = PlayLabels::intern(symbols);
+    let mut master = SplitMix64::new(cfg.seed);
+    let mut rng = master.fork(index as u64 + 1);
+
+    let title = format!(
+        "{} {}",
+        TITLE_HEADS[rng.below(TITLE_HEADS.len())],
+        TITLE_SUBJECTS[index % TITLE_SUBJECTS.len()]
+    );
+    let mut doc = Document::new(NodeData::Element(labels.play));
+    let root = doc.root();
+
+    let t = doc.add_child(root, NodeData::Element(labels.title));
+    doc.add_child(t, NodeData::text(title.clone()));
+
+    // Dramatis personae: a cast of 18–30 speakers for this play.
+    let cast_size = rng.range(18, 30);
+    let cast_base = rng.below(SPEAKERS.len());
+    let cast: Vec<&str> =
+        (0..cast_size).map(|i| SPEAKERS[(cast_base + i * 7) % SPEAKERS.len()]).collect();
+    let personae = doc.add_child(root, NodeData::Element(labels.personae));
+    let pt = doc.add_child(personae, NodeData::Element(labels.title));
+    doc.add_child(pt, NodeData::text("Dramatis Personae"));
+    for name in &cast {
+        let p = doc.add_child(personae, NodeData::Element(labels.persona));
+        doc.add_child(p, NodeData::text(format!("{name}, of {}", rng.pick(&TITLE_SUBJECTS))));
+    }
+
+    let acts = 5;
+    for act_no in 1..=acts {
+        let act = doc.add_child(root, NodeData::Element(labels.act));
+        let at = doc.add_child(act, NodeData::Element(labels.title));
+        doc.add_child(at, NodeData::text(format!("ACT {}", roman(act_no))));
+        let scenes = rng.range(3, 5);
+        for scene_no in 1..=scenes {
+            let scene = doc.add_child(act, NodeData::Element(labels.scene));
+            let st = doc.add_child(scene, NodeData::Element(labels.title));
+            doc.add_child(
+                st,
+                NodeData::text(format!(
+                    "SCENE {}. {}.",
+                    roman(scene_no),
+                    sentence(&mut rng, 3, 6)
+                )),
+            );
+            let speeches = ((rng.range(26, 46) as f64) * cfg.scale).round().max(1.0) as usize;
+            let mut speaker_idx = rng.below(cast.len());
+            for _ in 0..speeches {
+                if rng.chance(0.12) {
+                    let sd = doc.add_child(scene, NodeData::Element(labels.stagedir));
+                    doc.add_child(
+                        sd,
+                        NodeData::text(format!(
+                            "{} {}",
+                            rng.pick(&STAGEDIRS),
+                            cast[rng.below(cast.len())]
+                        )),
+                    );
+                }
+                let speech = doc.add_child(scene, NodeData::Element(labels.speech));
+                // Dialogue alternates speakers with occasional jumps.
+                speaker_idx = if rng.chance(0.7) {
+                    (speaker_idx + 1) % cast.len()
+                } else {
+                    rng.below(cast.len())
+                };
+                let sp = doc.add_child(speech, NodeData::Element(labels.speaker));
+                doc.add_child(sp, NodeData::text(cast[speaker_idx]));
+                let lines = rng.range(1, 8); // avg 4.5
+                for _ in 0..lines {
+                    let line = doc.add_child(speech, NodeData::Element(labels.line));
+                    doc.add_child(line, NodeData::text(sentence(&mut rng, 5, 11)));
+                }
+            }
+        }
+    }
+    PlayDoc { name: format!("play-{index:02}"), title, doc }
+}
+
+/// Generates the whole corpus.
+pub fn generate_corpus(cfg: &CorpusConfig, symbols: &mut SymbolTable) -> Vec<PlayDoc> {
+    (0..cfg.plays).map(|i| generate_play(cfg, i, symbols)).collect()
+}
+
+/// Computes aggregate statistics of generated plays.
+pub fn corpus_stats(plays: &[PlayDoc], symbols: &SymbolTable) -> CorpusStats {
+    let speech = symbols.lookup_element("SPEECH");
+    let line = symbols.lookup_element("LINE");
+    let mut stats = CorpusStats { plays: plays.len(), nodes: 0, speeches: 0, lines: 0 };
+    for p in plays {
+        stats.nodes += p.doc.node_count();
+        for n in p.doc.pre_order() {
+            let l = p.doc.data(n).label();
+            if Some(l) == speech {
+                stats.speeches += 1;
+            } else if Some(l) == line {
+                stats.lines += 1;
+            }
+        }
+    }
+    stats
+}
+
+fn roman(n: usize) -> &'static str {
+    match n {
+        1 => "I",
+        2 => "II",
+        3 => "III",
+        4 => "IV",
+        5 => "V",
+        6 => "VI",
+        _ => "VII",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_per_play() {
+        let cfg = CorpusConfig::paper();
+        let mut s1 = SymbolTable::new();
+        let mut s2 = SymbolTable::new();
+        let a = generate_play(&cfg, 17, &mut s1);
+        let b = generate_play(&cfg, 17, &mut s2);
+        assert_eq!(a.title, b.title);
+        assert!(a.doc == b.doc, "same play must be bit-identical");
+    }
+
+    #[test]
+    fn plays_differ() {
+        let cfg = CorpusConfig::paper();
+        let mut syms = SymbolTable::new();
+        let a = generate_play(&cfg, 0, &mut syms);
+        let b = generate_play(&cfg, 1, &mut syms);
+        assert!(a.doc != b.doc);
+        assert_ne!(a.name, b.name);
+    }
+
+    #[test]
+    fn play_structure_is_valid_against_dtd() {
+        let cfg = CorpusConfig::tiny();
+        let mut syms = SymbolTable::new();
+        let play = generate_play(&cfg, 0, &mut syms);
+        let dtd = natix_xml::Dtd::parse(PLAY_DTD).unwrap();
+        // Validate every element's child sequence.
+        for n in play.doc.pre_order() {
+            if let NodeData::Element(label) = play.doc.data(n) {
+                let name = syms.name(*label).to_string();
+                let children: Vec<Option<String>> = play
+                    .doc
+                    .children(n)
+                    .iter()
+                    .map(|&c| match play.doc.data(c) {
+                        NodeData::Element(l) => Some(syms.name(*l).to_string()),
+                        NodeData::Literal { .. } => None,
+                    })
+                    .collect();
+                let child_refs: Vec<Option<&str>> =
+                    children.iter().map(|c| c.as_deref()).collect();
+                dtd.validate_element(&name, &child_refs)
+                    .unwrap_or_else(|e| panic!("<{name}> invalid: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let cfg = CorpusConfig::tiny();
+        let mut syms = SymbolTable::new();
+        let play = generate_play(&cfg, 2, &mut syms);
+        let xml = natix_xml::write_document(&play.doc, &syms, natix_xml::WriteOptions::compact())
+            .unwrap();
+        let reparsed =
+            natix_xml::parse_document(&xml, &mut syms, natix_xml::ParserOptions::default())
+                .unwrap();
+        assert!(reparsed == play.doc);
+    }
+
+    #[test]
+    fn scale_shrinks_output() {
+        let mut syms = SymbolTable::new();
+        let full = generate_play(&CorpusConfig::paper(), 0, &mut syms);
+        let tiny = generate_play(&CorpusConfig::tiny(), 0, &mut syms);
+        assert!(tiny.doc.node_count() < full.doc.node_count() / 3);
+    }
+
+    #[test]
+    fn stats_counts() {
+        let cfg = CorpusConfig::tiny();
+        let mut syms = SymbolTable::new();
+        let plays = generate_corpus(&cfg, &mut syms);
+        let stats = corpus_stats(&plays, &syms);
+        assert_eq!(stats.plays, 4);
+        assert!(stats.speeches > 0);
+        assert!(stats.lines >= stats.speeches, "every speech has at least one line");
+    }
+}

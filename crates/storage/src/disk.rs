@@ -1,0 +1,231 @@
+//! Disk backends.
+//!
+//! §2.1: the record manager "accesses raw disks or file system files". The
+//! [`DiskBackend`] trait abstracts over page-granular storage;
+//! [`MemStorage`] backs tests and simulations, [`FileStorage`] persists to a
+//! single file. The measurement-oriented [`crate::SimDisk`] wraps either and
+//! charges a mechanical-disk cost model.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::error::{StorageError, StorageResult};
+use crate::rid::PageId;
+
+/// Page-granular storage. Implementations must be thread-safe; the buffer
+/// manager may issue reads and writes from multiple threads.
+pub trait DiskBackend: Send + Sync {
+    /// Page size this backend was created with.
+    fn page_size(&self) -> usize;
+
+    /// Reads page `page` into `buf` (`buf.len() == page_size`).
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> StorageResult<()>;
+
+    /// Writes page `page` from `buf` (`buf.len() == page_size`).
+    fn write_page(&self, page: PageId, buf: &[u8]) -> StorageResult<()>;
+
+    /// Number of pages currently allocated.
+    fn page_count(&self) -> u64;
+
+    /// Extends the store to hold at least `new_count` pages (zero-filled).
+    fn grow(&self, new_count: u64) -> StorageResult<()>;
+
+    /// Flushes to durable storage where applicable.
+    fn sync(&self) -> StorageResult<()>;
+}
+
+/// In-memory page store.
+pub struct MemStorage {
+    page_size: usize,
+    pages: Mutex<Vec<Box<[u8]>>>,
+}
+
+impl MemStorage {
+    /// Creates an empty in-memory store with the given page size.
+    pub fn new(page_size: usize) -> StorageResult<MemStorage> {
+        crate::validate_page_size(page_size)?;
+        Ok(MemStorage { page_size, pages: Mutex::new(Vec::new()) })
+    }
+}
+
+impl DiskBackend for MemStorage {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        let pages = self.pages.lock();
+        let src = pages.get(page as usize).ok_or(StorageError::PageOutOfBounds(page))?;
+        buf.copy_from_slice(src);
+        Ok(())
+    }
+
+    fn write_page(&self, page: PageId, buf: &[u8]) -> StorageResult<()> {
+        let mut pages = self.pages.lock();
+        let dst = pages.get_mut(page as usize).ok_or(StorageError::PageOutOfBounds(page))?;
+        dst.copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+
+    fn grow(&self, new_count: u64) -> StorageResult<()> {
+        let mut pages = self.pages.lock();
+        while (pages.len() as u64) < new_count {
+            pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        Ok(())
+    }
+}
+
+/// File-backed page store. The paper's measurements used "direct disk
+/// access and no operating system buffering"; portable Rust cannot disable
+/// the OS page cache, which is one reason the harness reports modelled disk
+/// time from [`crate::SimDisk`] instead of wall-clock (see DESIGN.md).
+pub struct FileStorage {
+    page_size: usize,
+    file: Mutex<File>,
+    page_count: AtomicU64,
+}
+
+impl FileStorage {
+    /// Creates (truncating) a new store file.
+    pub fn create<P: AsRef<Path>>(path: P, page_size: usize) -> StorageResult<FileStorage> {
+        crate::validate_page_size(page_size)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        Ok(FileStorage { page_size, file: Mutex::new(file), page_count: AtomicU64::new(0) })
+    }
+
+    /// Opens an existing store file; its length must be a whole number of
+    /// pages of the given size.
+    pub fn open<P: AsRef<Path>>(path: P, page_size: usize) -> StorageResult<FileStorage> {
+        crate::validate_page_size(page_size)?;
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "file length {len} is not a multiple of page size {page_size}"
+            )));
+        }
+        Ok(FileStorage {
+            page_size,
+            file: Mutex::new(file),
+            page_count: AtomicU64::new(len / page_size as u64),
+        })
+    }
+}
+
+impl DiskBackend for FileStorage {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        if (page as u64) >= self.page_count() {
+            return Err(StorageError::PageOutOfBounds(page));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(page as u64 * self.page_size as u64))?;
+        file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_page(&self, page: PageId, buf: &[u8]) -> StorageResult<()> {
+        if (page as u64) >= self.page_count() {
+            return Err(StorageError::PageOutOfBounds(page));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(page as u64 * self.page_size as u64))?;
+        file.write_all(buf)?;
+        Ok(())
+    }
+
+    fn page_count(&self) -> u64 {
+        self.page_count.load(Ordering::Acquire)
+    }
+
+    fn grow(&self, new_count: u64) -> StorageResult<()> {
+        let cur = self.page_count();
+        if new_count <= cur {
+            return Ok(());
+        }
+        let file = self.file.lock();
+        file.set_len(new_count * self.page_size as u64)?;
+        self.page_count.store(new_count, Ordering::Release);
+        Ok(())
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(backend: &dyn DiskBackend) {
+        let ps = backend.page_size();
+        backend.grow(3).unwrap();
+        assert_eq!(backend.page_count(), 3);
+        let mut page = vec![0u8; ps];
+        page[0] = 0xAB;
+        page[ps - 1] = 0xCD;
+        backend.write_page(1, &page).unwrap();
+        let mut out = vec![0u8; ps];
+        backend.read_page(1, &mut out).unwrap();
+        assert_eq!(out, page);
+        backend.read_page(0, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0), "fresh pages are zeroed");
+        assert!(backend.read_page(3, &mut out).is_err());
+        assert!(backend.write_page(99, &page).is_err());
+        backend.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_backend() {
+        let m = MemStorage::new(1024).unwrap();
+        exercise(&m);
+    }
+
+    #[test]
+    fn file_backend_roundtrip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("natix-disk-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.natix");
+        {
+            let f = FileStorage::create(&path, 1024).unwrap();
+            exercise(&f);
+        }
+        {
+            let f = FileStorage::open(&path, 1024).unwrap();
+            assert_eq!(f.page_count(), 3);
+            let mut out = vec![0u8; 1024];
+            f.read_page(1, &mut out).unwrap();
+            assert_eq!(out[0], 0xAB);
+            assert_eq!(out[1023], 0xCD);
+        }
+        assert!(FileStorage::open(&path, 2048).is_err(), "wrong page size detected");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn grow_is_monotonic() {
+        let m = MemStorage::new(512).unwrap();
+        m.grow(5).unwrap();
+        m.grow(2).unwrap();
+        assert_eq!(m.page_count(), 5);
+    }
+}

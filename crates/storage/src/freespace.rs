@@ -1,0 +1,203 @@
+//! In-memory free-space inventory (FSI) for one segment.
+//!
+//! The tree storage manager asks "which page of this segment can take a
+//! record of n bytes, preferably near this hint?" — e.g. the paper's 1:1
+//! configuration where "the record manager was told to store parent with
+//! children and sibling nodes on the same page if possible" (§4.2). The FSI
+//! answers from memory; the authoritative free counts live in the slotted
+//! pages themselves, so FSI values are hints that are re-checked on use.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rid::PageId;
+
+/// Free-space inventory: tracks `(page, free bytes)` with best-fit lookup.
+#[derive(Debug, Default)]
+pub struct FreeSpaceInventory {
+    by_page: BTreeMap<PageId, u16>,
+    // Ordered by (free, page): range scans find the best (tightest) fit.
+    by_free: BTreeSet<(u16, PageId)>,
+}
+
+impl FreeSpaceInventory {
+    /// Creates an empty inventory.
+    pub fn new() -> FreeSpaceInventory {
+        FreeSpaceInventory::default()
+    }
+
+    /// Number of tracked pages.
+    pub fn len(&self) -> usize {
+        self.by_page.len()
+    }
+
+    /// True when no pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.by_page.is_empty()
+    }
+
+    /// Records (or updates) the free byte count of `page`.
+    pub fn set(&mut self, page: PageId, free: u16) {
+        if let Some(old) = self.by_page.insert(page, free) {
+            self.by_free.remove(&(old, page));
+        }
+        self.by_free.insert((free, page));
+    }
+
+    /// Forgets `page` (when it is returned to the free page pool).
+    pub fn remove(&mut self, page: PageId) -> bool {
+        if let Some(old) = self.by_page.remove(&page) {
+            self.by_free.remove(&(old, page));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The tracked free bytes of `page`, if known.
+    pub fn get(&self, page: PageId) -> Option<u16> {
+        self.by_page.get(&page).copied()
+    }
+
+    /// Finds a page with at least `needed` free bytes. The `hint` page is
+    /// preferred if it qualifies ("same page if possible"); otherwise the
+    /// tightest fit is returned to limit fragmentation.
+    pub fn find(&self, needed: usize, hint: Option<PageId>) -> Option<PageId> {
+        if needed > u16::MAX as usize {
+            return None;
+        }
+        if let Some(h) = hint {
+            if let Some(&free) = self.by_page.get(&h) {
+                if free as usize >= needed {
+                    return Some(h);
+                }
+            }
+        }
+        self.by_free.range((needed as u16, 0)..).next().map(|&(_, p)| p)
+    }
+
+    /// Like [`find`](Self::find) but excludes one page (used when moving a
+    /// record off a full page: the source page must not be chosen).
+    pub fn find_excluding(
+        &self,
+        needed: usize,
+        hint: Option<PageId>,
+        exclude: PageId,
+    ) -> Option<PageId> {
+        if needed > u16::MAX as usize {
+            return None;
+        }
+        if let Some(h) = hint {
+            if h != exclude {
+                if let Some(&free) = self.by_page.get(&h) {
+                    if free as usize >= needed {
+                        return Some(h);
+                    }
+                }
+            }
+        }
+        self.by_free
+            .range((needed as u16, 0)..)
+            .map(|&(_, p)| p)
+            .find(|&p| p != exclude)
+    }
+
+    /// Finds a page with at least `needed` free bytes whose page id is
+    /// within `window` of `hint` — the locality-preserving placement used
+    /// by the tree store (page ids correlate with allocation order, so
+    /// nearby ids mean nearby disk positions and shared buffer residency).
+    pub fn find_near(&self, needed: usize, hint: PageId, window: u32) -> Option<PageId> {
+        if needed > u16::MAX as usize {
+            return None;
+        }
+        let lo = hint.saturating_sub(window);
+        let hi = hint.saturating_add(window);
+        let mut best: Option<(u32, PageId)> = None;
+        for (&p, &free) in self.by_page.range(lo..=hi) {
+            if free as usize >= needed {
+                let dist = p.abs_diff(hint);
+                if best.map_or(true, |(bd, _)| dist < bd) {
+                    best = Some((dist, p));
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    /// Iterates over all `(page, free)` pairs (spacemap serialisation).
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, u16)> + '_ {
+        self.by_page.iter().map(|(&p, &f)| (p, f))
+    }
+
+    /// All tracked pages, ascending (deterministic space accounting).
+    pub fn pages_sorted(&self) -> Vec<PageId> {
+        let mut v: Vec<PageId> = self.by_page.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_find_best_fit() {
+        let mut fsi = FreeSpaceInventory::new();
+        fsi.set(1, 100);
+        fsi.set(2, 500);
+        fsi.set(3, 300);
+        // Tightest fit: 300 ≥ 200 beats 500.
+        assert_eq!(fsi.find(200, None), Some(3));
+        assert_eq!(fsi.find(400, None), Some(2));
+        assert_eq!(fsi.find(600, None), None);
+    }
+
+    #[test]
+    fn hint_wins_when_it_fits() {
+        let mut fsi = FreeSpaceInventory::new();
+        fsi.set(1, 100);
+        fsi.set(2, 500);
+        assert_eq!(fsi.find(50, Some(1)), Some(1));
+        assert_eq!(fsi.find(200, Some(1)), Some(2), "hint too small, fall back");
+        assert_eq!(fsi.find(50, Some(99)), Some(1), "unknown hint ignored");
+    }
+
+    #[test]
+    fn update_replaces_old_entry() {
+        let mut fsi = FreeSpaceInventory::new();
+        fsi.set(1, 400);
+        fsi.set(1, 10);
+        assert_eq!(fsi.find(100, None), None);
+        assert_eq!(fsi.get(1), Some(10));
+        assert_eq!(fsi.len(), 1);
+    }
+
+    #[test]
+    fn remove_forgets() {
+        let mut fsi = FreeSpaceInventory::new();
+        fsi.set(1, 400);
+        assert!(fsi.remove(1));
+        assert!(!fsi.remove(1));
+        assert!(fsi.is_empty());
+        assert_eq!(fsi.find(1, None), None);
+    }
+
+    #[test]
+    fn exclusion() {
+        let mut fsi = FreeSpaceInventory::new();
+        fsi.set(1, 300);
+        fsi.set(2, 300);
+        let found = fsi.find_excluding(200, Some(1), 1).unwrap();
+        assert_eq!(found, 2);
+        assert_eq!(fsi.find_excluding(200, None, 2), Some(1));
+        fsi.remove(2);
+        assert_eq!(fsi.find_excluding(200, None, 1), None);
+    }
+
+    #[test]
+    fn zero_need_matches_anything_tracked() {
+        let mut fsi = FreeSpaceInventory::new();
+        fsi.set(9, 0);
+        assert_eq!(fsi.find(0, None), Some(9));
+    }
+}

@@ -1,0 +1,123 @@
+//! Record identifiers.
+//!
+//! The paper (§2.1): "records are identified by a pair (pageid, slot)
+//! (called record ID or RID)". Appendix A serialises RIDs in 8 bytes
+//! ("Standalone objects contain their parent record as RID (8 bytes)"), so
+//! the wire format here is `page: u32 | slot: u16 | reserved: u16`.
+
+use std::fmt;
+
+/// Global page number within a repository file. Pages are equal-sized, so
+/// the byte offset of page `p` is `p * page_size`.
+pub type PageId = u32;
+
+/// Slot number within a slotted page.
+pub type SlotId = u16;
+
+/// Sentinel for "no page" (e.g. the parent RID of a root record).
+pub const INVALID_PAGE: PageId = u32::MAX;
+
+/// A record identifier: `(pageid, slot)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    pub page: PageId,
+    pub slot: SlotId,
+}
+
+/// Number of bytes a RID occupies on disk (Appendix A).
+pub const RID_BYTES: usize = 8;
+
+impl Rid {
+    /// Creates a RID from its components.
+    #[inline]
+    pub const fn new(page: PageId, slot: SlotId) -> Self {
+        Rid { page, slot }
+    }
+
+    /// The sentinel RID used as "no parent" in standalone object headers.
+    #[inline]
+    pub const fn invalid() -> Self {
+        Rid { page: INVALID_PAGE, slot: u16::MAX }
+    }
+
+    /// True for the sentinel returned by [`Rid::invalid`].
+    #[inline]
+    pub fn is_invalid(&self) -> bool {
+        self.page == INVALID_PAGE
+    }
+
+    /// Serialises into the 8-byte on-disk form.
+    #[inline]
+    pub fn encode(&self, out: &mut [u8]) {
+        out[0..4].copy_from_slice(&self.page.to_le_bytes());
+        out[4..6].copy_from_slice(&self.slot.to_le_bytes());
+        out[6..8].copy_from_slice(&[0, 0]);
+    }
+
+    /// Appends the 8-byte on-disk form to a buffer.
+    #[inline]
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.page.to_le_bytes());
+        out.extend_from_slice(&self.slot.to_le_bytes());
+        out.extend_from_slice(&[0, 0]);
+    }
+
+    /// Reads a RID from its 8-byte on-disk form.
+    #[inline]
+    pub fn decode(buf: &[u8]) -> Self {
+        let page = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        let slot = u16::from_le_bytes([buf[4], buf[5]]);
+        Rid { page, slot }
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_invalid() {
+            write!(f, "(nil)")
+        } else {
+            write!(f, "({},{})", self.page, self.slot)
+        }
+    }
+}
+
+impl fmt::Debug for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let rid = Rid::new(123_456, 42);
+        let mut buf = [0u8; RID_BYTES];
+        rid.encode(&mut buf);
+        assert_eq!(Rid::decode(&buf), rid);
+    }
+
+    #[test]
+    fn invalid_sentinel() {
+        let rid = Rid::invalid();
+        assert!(rid.is_invalid());
+        let mut buf = [0u8; RID_BYTES];
+        rid.encode(&mut buf);
+        assert!(Rid::decode(&buf).is_invalid());
+        assert!(!Rid::new(0, 0).is_invalid());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rid::new(7, 3).to_string(), "(7,3)");
+        assert_eq!(Rid::invalid().to_string(), "(nil)");
+    }
+
+    #[test]
+    fn ordering_is_page_major() {
+        assert!(Rid::new(1, 9) < Rid::new(2, 0));
+        assert!(Rid::new(2, 0) < Rid::new(2, 1));
+    }
+}

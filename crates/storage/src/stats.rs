@@ -1,0 +1,141 @@
+//! I/O statistics.
+//!
+//! The benchmark harness reproduces the paper's figures from these counters
+//! plus the simulated-disk clock (see [`crate::simdisk`]). All counters are
+//! atomics so a single `IoStats` can be shared by the disk backend, the
+//! buffer manager and the harness without locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe I/O and buffer counters.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Pages read from the backend.
+    pub physical_reads: AtomicU64,
+    /// Pages written to the backend.
+    pub physical_writes: AtomicU64,
+    /// Buffer pool hits.
+    pub buffer_hits: AtomicU64,
+    /// Buffer pool misses (each implies a physical read).
+    pub buffer_misses: AtomicU64,
+    /// Simulated elapsed disk time in nanoseconds (filled by [`crate::SimDisk`]).
+    pub sim_disk_ns: AtomicU64,
+    /// Seeks charged by the simulated disk (non-sequential accesses).
+    pub sim_seeks: AtomicU64,
+}
+
+impl IoStats {
+    /// Creates a zeroed, shareable counter block.
+    pub fn new_shared() -> Arc<IoStats> {
+        Arc::new(IoStats::default())
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.physical_writes.store(0, Ordering::Relaxed);
+        self.buffer_hits.store(0, Ordering::Relaxed);
+        self.buffer_misses.store(0, Ordering::Relaxed);
+        self.sim_disk_ns.store(0, Ordering::Relaxed);
+        self.sim_seeks.store(0, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
+            buffer_misses: self.buffer_misses.load(Ordering::Relaxed),
+            sim_disk_ns: self.sim_disk_ns.load(Ordering::Relaxed),
+            sim_seeks: self.sim_seeks.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn add_read(&self) {
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_write(&self) {
+        self.physical_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_hit(&self) {
+        self.buffer_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_miss(&self) {
+        self.buffer_misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    pub physical_reads: u64,
+    pub physical_writes: u64,
+    pub buffer_hits: u64,
+    pub buffer_misses: u64,
+    pub sim_disk_ns: u64,
+    pub sim_seeks: u64,
+}
+
+impl IoSnapshot {
+    /// Simulated disk time in milliseconds — the unit of the paper's plots.
+    pub fn sim_disk_ms(&self) -> f64 {
+        self.sim_disk_ns as f64 / 1e6
+    }
+
+    /// Difference against an earlier snapshot.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            physical_writes: self.physical_writes - earlier.physical_writes,
+            buffer_hits: self.buffer_hits - earlier.buffer_hits,
+            buffer_misses: self.buffer_misses - earlier.buffer_misses,
+            sim_disk_ns: self.sim_disk_ns - earlier.sim_disk_ns,
+            sim_seeks: self.sim_seeks - earlier.sim_seeks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let s = IoStats::new_shared();
+        s.add_read();
+        s.add_read();
+        s.add_write();
+        s.add_hit();
+        s.add_miss();
+        let snap = s.snapshot();
+        assert_eq!(snap.physical_reads, 2);
+        assert_eq!(snap.physical_writes, 1);
+        assert_eq!(snap.buffer_hits, 1);
+        assert_eq!(snap.buffer_misses, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = IoStats::new_shared();
+        s.add_read();
+        let a = s.snapshot();
+        s.add_read();
+        s.add_read();
+        let b = s.snapshot();
+        assert_eq!(b.since(&a).physical_reads, 2);
+    }
+
+    #[test]
+    fn ms_conversion() {
+        let s = IoStats::new_shared();
+        s.sim_disk_ns.store(2_500_000, Ordering::Relaxed);
+        assert!((s.snapshot().sim_disk_ms() - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,216 @@
+//! DOM-style navigation over stored trees.
+//!
+//! The NATIX document manager "allows application access to documents on
+//! node and document granularity" (§2.1). [`Cursor`] provides that node
+//! granularity: first-child / next-sibling / parent moves over *logical*
+//! nodes, transparently crossing proxies and skipping scaffolding. It
+//! caches the current record's parse so that local navigation (the common
+//! case — the whole point of clustering is that neighbours share a record)
+//! does not re-read pages.
+
+use natix_storage::Rid;
+use natix_xml::{LabelId, LiteralValue};
+
+use crate::error::{TreeError, TreeResult};
+use crate::model::{NodePtr, PContent, PNodeId, RecordTree};
+use crate::store::TreeStore;
+
+/// A navigable position on a facade node of a stored tree.
+pub struct Cursor<'a> {
+    store: &'a TreeStore,
+    rid: Rid,
+    tree: RecordTree,
+    node: PNodeId,
+}
+
+impl<'a> Cursor<'a> {
+    /// Opens a cursor at the root of the tree stored under `root`.
+    pub fn at_root(store: &'a TreeStore, root: Rid) -> TreeResult<Cursor<'a>> {
+        let tree = store.load(root)?;
+        let node = tree.root();
+        let mut c = Cursor { store, rid: root, tree, node };
+        if !c.current().is_facade() {
+            // A scaffolding-rooted record cannot be a tree root, but be
+            // permissive: descend to the first facade.
+            if !c.descend_to_first_facade()? {
+                return Err(TreeError::Invariant("tree has no facade nodes".into()));
+            }
+        }
+        Ok(c)
+    }
+
+    /// Opens a cursor at an arbitrary node pointer.
+    pub fn at(store: &'a TreeStore, ptr: NodePtr) -> TreeResult<Cursor<'a>> {
+        let tree = store.load(ptr.rid)?;
+        if tree.try_node(ptr.node).is_none() {
+            return Err(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node });
+        }
+        Ok(Cursor { store, rid: ptr.rid, tree, node: ptr.node })
+    }
+
+    fn current(&self) -> &crate::model::PNode {
+        self.tree.node(self.node)
+    }
+
+    /// The current node's address.
+    pub fn ptr(&self) -> NodePtr {
+        NodePtr::new(self.rid, self.node)
+    }
+
+    /// The current node's label.
+    pub fn label(&self) -> LabelId {
+        self.current().label
+    }
+
+    /// The current literal's value (`None` on aggregates).
+    pub fn value(&self) -> Option<&LiteralValue> {
+        match &self.current().content {
+            PContent::Literal(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True when the current node is an element (aggregate).
+    pub fn is_element(&self) -> bool {
+        matches!(self.current().content, PContent::Aggregate(_))
+    }
+
+    fn jump(&mut self, rid: Rid, node: PNodeId) -> TreeResult<()> {
+        if rid != self.rid {
+            self.tree = self.store.load(rid)?;
+            self.rid = rid;
+        }
+        self.node = node;
+        Ok(())
+    }
+
+    /// Moves into a proxy/scaffolding chain until a facade node is found
+    /// (pre-order first). Returns false when the subtree has none.
+    fn descend_to_first_facade(&mut self) -> TreeResult<bool> {
+        loop {
+            let n = self.tree.node(self.node);
+            if n.is_facade() {
+                return Ok(true);
+            }
+            match &n.content {
+                PContent::Proxy(target) => {
+                    let t = *target;
+                    self.tree = self.store.load(t)?;
+                    self.rid = t;
+                    self.node = self.tree.root();
+                }
+                PContent::Aggregate(kids) => {
+                    let Some(&first) = kids.first() else { return Ok(false) };
+                    self.node = first;
+                }
+                PContent::Literal(_) => return Ok(false),
+            }
+        }
+    }
+
+    /// Moves to the first logical child. Returns false (without moving)
+    /// when there is none.
+    pub fn first_child(&mut self) -> TreeResult<bool> {
+        let (save_rid, save_node) = (self.rid, self.node);
+        let save_tree = self.tree.clone();
+        let kids: Vec<PNodeId> = self.tree.children(self.node).to_vec();
+        for k in kids {
+            self.node = k;
+            if self.descend_to_first_facade()? {
+                return Ok(true);
+            }
+            // Empty scaffolding chain: restore and try the next child.
+            self.rid = save_rid;
+            self.tree = save_tree.clone();
+            self.node = save_node;
+            // (Only possible for degenerate empty helpers.)
+        }
+        self.rid = save_rid;
+        self.tree = save_tree;
+        self.node = save_node;
+        Ok(false)
+    }
+
+    /// Moves to the next logical sibling, crossing record seams. Returns
+    /// false (without moving) at the end of the sibling list.
+    pub fn next_sibling(&mut self) -> TreeResult<bool> {
+        let (save_rid, save_node) = (self.rid, self.node);
+        let save_tree = self.tree.clone();
+        loop {
+            let n = self.tree.node(self.node);
+            match n.parent {
+                Some(p) => {
+                    let kids: Vec<PNodeId> = self.tree.children(p).to_vec();
+                    let my = kids.iter().position(|&c| c == self.node).expect("listed");
+                    for &k in &kids[my + 1..] {
+                        self.node = k;
+                        if self.descend_to_first_facade()? {
+                            return Ok(true);
+                        }
+                    }
+                    // Exhausted this record level. If p is the scaffolding
+                    // root, the sibling list continues in the parent record
+                    // after our proxy.
+                    if self.tree.node(p).is_scaffolding_aggregate()
+                        && self.tree.node(p).parent.is_none()
+                    {
+                        let parent_rid = self.tree.parent_rid;
+                        if parent_rid.is_invalid() {
+                            break;
+                        }
+                        let my_rid = self.rid;
+                        self.jump(parent_rid, 0)?;
+                        let Some(proxy) = find_proxy(&self.tree, my_rid) else { break };
+                        self.node = proxy;
+                        continue; // retry: siblings after the proxy
+                    }
+                    break;
+                }
+                None => {
+                    // Record root: continue after our proxy in the parent.
+                    let parent_rid = self.tree.parent_rid;
+                    if parent_rid.is_invalid() {
+                        break;
+                    }
+                    let my_rid = self.rid;
+                    self.jump(parent_rid, 0)?;
+                    let Some(proxy) = find_proxy(&self.tree, my_rid) else { break };
+                    self.node = proxy;
+                    continue;
+                }
+            }
+        }
+        self.rid = save_rid;
+        self.tree = save_tree;
+        self.node = save_node;
+        Ok(false)
+    }
+
+    /// Moves to the logical parent. Returns false (without moving) at the
+    /// tree root.
+    pub fn parent(&mut self) -> TreeResult<bool> {
+        match self.store.logical_parent(self.ptr())? {
+            Some(p) => {
+                self.jump(p.rid, p.node)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Collects the labels of all logical children (convenience).
+    pub fn child_labels(&self) -> TreeResult<Vec<LabelId>> {
+        let kids = self.store.logical_children(self.ptr())?;
+        let mut out = Vec::with_capacity(kids.len());
+        for k in kids {
+            out.push(self.store.node_info(k)?.label);
+        }
+        Ok(out)
+    }
+}
+
+fn find_proxy(tree: &RecordTree, child: Rid) -> Option<PNodeId> {
+    tree.pre_order(tree.root())
+        .into_iter()
+        .find(|&n| matches!(tree.node(n).content, PContent::Proxy(r) if r == child))
+}

@@ -1,0 +1,459 @@
+//! The physical tree model (§2.3).
+//!
+//! The logical data tree is materialised as a *physical data tree* built
+//! from the original logical nodes plus nodes that manage the physical
+//! structure of large trees. Three classifications apply to every physical
+//! node:
+//!
+//! * **content** (§2.3.1): aggregate (inner), literal (uninterpreted
+//!   bytes), or proxy (pointer to another record);
+//! * **standalone vs embedded** (§2.3.2): each record stores exactly one
+//!   subtree, its root is the standalone object, the rest are embedded;
+//! * **facade vs scaffolding** (§2.3.3): facade objects represent logical
+//!   nodes, scaffolding objects (proxies and helper aggregates) only exist
+//!   to represent large trees.
+//!
+//! [`RecordTree`] is the in-memory form of one record's subtree; all
+//! mutation (inserts, splits, deletions) happens here, then the tree is
+//! serialised back through [`crate::record`]. Byte sizes computed here are
+//! exact mirror images of the serialised format — the split algorithm's
+//! decisions are byte-accurate.
+
+use natix_storage::Rid;
+use natix_xml::{LabelId, LiteralValue, LABEL_NONE};
+
+/// Index of a physical node within its record (pre-order position when the
+/// record is serialised; arena slot while in memory).
+pub type PNodeId = u16;
+
+/// Physical address of a node: a record plus the node's pre-order index
+/// within it. Node pointers are invalidated by record rewrites; the store
+/// reports every change as a relocation event so upper layers (the
+/// document manager's logical-node map) can follow along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodePtr {
+    pub rid: Rid,
+    pub node: PNodeId,
+}
+
+impl NodePtr {
+    /// Creates a node pointer.
+    pub fn new(rid: Rid, node: PNodeId) -> NodePtr {
+        NodePtr { rid, node }
+    }
+}
+
+impl std::fmt::Display for NodePtr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.rid, self.node)
+    }
+}
+
+/// Bytes of an embedded object header (Appendix A: "a header of only 6
+/// bytes for embedded objects").
+pub const EMBEDDED_HEADER: usize = 6;
+/// Bytes of a standalone (root) object header (Appendix A: "a standalone
+/// header usually consumes 10 bytes" — 8-byte parent RID + 2-byte type
+/// index; the size comes from the slot).
+pub const STANDALONE_HEADER: usize = 10;
+/// Serialised size of a proxy's body: the child record's RID.
+pub const PROXY_BODY: usize = 8;
+
+/// Content of a physical node (§2.3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PContent {
+    /// Inner node; contains its children.
+    Aggregate(Vec<PNodeId>),
+    /// Leaf with an uninterpreted, typed byte payload.
+    Literal(LiteralValue),
+    /// Pointer to the record holding a connected subtree.
+    Proxy(Rid),
+}
+
+/// One physical node.
+#[derive(Debug, Clone)]
+pub struct PNode {
+    /// Logical label; [`LABEL_NONE`] marks scaffolding aggregates. Proxies
+    /// always carry [`LABEL_NONE`].
+    pub label: LabelId,
+    pub content: PContent,
+    /// Arena index of the parent (`None` for the record root).
+    pub parent: Option<PNodeId>,
+    /// The node's stored location at load time (`None` for nodes created
+    /// since). Relocation events are emitted from this on serialisation;
+    /// the full address (not just the index) is kept because split
+    /// assembly mixes nodes from different source records in one tree.
+    pub orig: Option<NodePtr>,
+}
+
+impl PNode {
+    /// Facade nodes represent logical nodes; scaffolding nodes exist only
+    /// for the physical structure (§2.3.3).
+    pub fn is_facade(&self) -> bool {
+        match self.content {
+            PContent::Proxy(_) => false,
+            _ => self.label != LABEL_NONE,
+        }
+    }
+
+    /// True for proxies.
+    pub fn is_proxy(&self) -> bool {
+        matches!(self.content, PContent::Proxy(_))
+    }
+
+    /// True for scaffolding aggregates (helper nodes like h1/h2 in the
+    /// paper's figure 3).
+    pub fn is_scaffolding_aggregate(&self) -> bool {
+        self.label == LABEL_NONE && matches!(self.content, PContent::Aggregate(_))
+    }
+}
+
+/// Exact serialised size of a literal body.
+pub fn literal_body_len(v: &LiteralValue) -> usize {
+    match v {
+        LiteralValue::String(s) | LiteralValue::Uri(s) => s.len(),
+        LiteralValue::I8(_) => 1,
+        LiteralValue::I16(_) => 2,
+        LiteralValue::I32(_) => 4,
+        LiteralValue::I64(_) | LiteralValue::F64(_) => 8,
+    }
+}
+
+/// The in-memory subtree of one record.
+///
+/// Nodes live in an arena; removals leave tombstones (`None`) that vanish
+/// on serialisation. The arena root is the record's standalone object.
+#[derive(Debug, Clone)]
+pub struct RecordTree {
+    nodes: Vec<Option<PNode>>,
+    root: PNodeId,
+    /// RID of the parent record (invalid for a tree's root record) — the
+    /// standalone header's parent pointer.
+    pub parent_rid: Rid,
+}
+
+impl RecordTree {
+    /// Creates a record tree holding a single node.
+    pub fn new(label: LabelId, content: PContent, parent_rid: Rid) -> RecordTree {
+        RecordTree {
+            nodes: vec![Some(PNode { label, content, parent: None, orig: None })],
+            root: 0,
+            parent_rid,
+        }
+    }
+
+    /// Creates a tree from already-built arena parts (deserialisation).
+    pub(crate) fn from_parts(nodes: Vec<Option<PNode>>, root: PNodeId, parent_rid: Rid) -> Self {
+        RecordTree { nodes, root, parent_rid }
+    }
+
+    /// Creates a new record tree whose root is the subtree `node`
+    /// transplanted out of `src` (split partition assembly). `orig`
+    /// markers travel along, keeping relocations traceable.
+    pub fn from_transplant(src: &mut RecordTree, node: PNodeId) -> RecordTree {
+        let mut dst = RecordTree { nodes: Vec::new(), root: 0, parent_rid: Rid::invalid() };
+        let id = src.transplant(node, &mut dst);
+        dst.root = id;
+        dst
+    }
+
+    /// The record root (standalone object).
+    pub fn root(&self) -> PNodeId {
+        self.root
+    }
+
+    /// Live node count.
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Borrow a node. Panics on tombstones — indices are only produced by
+    /// this tree's own API.
+    pub fn node(&self, id: PNodeId) -> &PNode {
+        self.nodes[id as usize].as_ref().expect("live node")
+    }
+
+    /// Checked borrow (external pointers may be stale).
+    pub fn try_node(&self, id: PNodeId) -> Option<&PNode> {
+        self.nodes.get(id as usize).and_then(|n| n.as_ref())
+    }
+
+    /// Mutable borrow.
+    pub fn node_mut(&mut self, id: PNodeId) -> &mut PNode {
+        self.nodes[id as usize].as_mut().expect("live node")
+    }
+
+    /// Children of an aggregate (empty slice for leaves).
+    pub fn children(&self, id: PNodeId) -> &[PNodeId] {
+        match &self.node(id).content {
+            PContent::Aggregate(kids) => kids,
+            _ => &[],
+        }
+    }
+
+    /// Allocates a detached node.
+    pub fn alloc(&mut self, label: LabelId, content: PContent) -> PNodeId {
+        let id = self.nodes.len();
+        assert!(id <= u16::MAX as usize, "record arena exhausted");
+        self.nodes.push(Some(PNode { label, content, parent: None, orig: None }));
+        id as PNodeId
+    }
+
+    /// Attaches `child` under `parent` at `index` (clamped).
+    pub fn attach(&mut self, parent: PNodeId, index: usize, child: PNodeId) {
+        self.nodes[child as usize].as_mut().expect("live child").parent = Some(parent);
+        match &mut self.nodes[parent as usize].as_mut().expect("live parent").content {
+            PContent::Aggregate(kids) => {
+                let at = index.min(kids.len());
+                kids.insert(at, child);
+            }
+            _ => panic!("attach to non-aggregate"),
+        }
+    }
+
+    /// Detaches `child` from its parent (the subtree stays in the arena).
+    pub fn detach(&mut self, child: PNodeId) {
+        let Some(parent) = self.node(child).parent else { return };
+        if let PContent::Aggregate(kids) =
+            &mut self.nodes[parent as usize].as_mut().expect("live parent").content
+        {
+            kids.retain(|&c| c != child);
+        }
+        self.node_mut(child).parent = None;
+    }
+
+    /// Removes the subtree under `id` (tombstoning every node), returning
+    /// the RIDs of any proxies it contained — the caller must cascade the
+    /// deletion into those records.
+    pub fn remove_subtree(&mut self, id: PNodeId) -> Vec<Rid> {
+        self.detach(id);
+        let mut proxies = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            let node = self.nodes[n as usize].take().expect("live node in subtree");
+            match node.content {
+                PContent::Aggregate(kids) => stack.extend(kids),
+                PContent::Proxy(rid) => proxies.push(rid),
+                PContent::Literal(_) => {}
+            }
+        }
+        proxies
+    }
+
+    /// Pre-order walk of the subtree at `id`.
+    pub fn pre_order(&self, id: PNodeId) -> Vec<PNodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            if let PContent::Aggregate(kids) = &self.node(n).content {
+                stack.extend(kids.iter().rev());
+            }
+        }
+        out
+    }
+
+    /// Exact serialised body length of the subtree at `id` (without its own
+    /// header).
+    pub fn body_len(&self, id: PNodeId) -> usize {
+        match &self.node(id).content {
+            PContent::Literal(v) => literal_body_len(v),
+            PContent::Proxy(_) => PROXY_BODY,
+            PContent::Aggregate(kids) => {
+                kids.iter().map(|&c| EMBEDDED_HEADER + self.body_len(c)).sum()
+            }
+        }
+    }
+
+    /// Exact serialised size of the subtree at `id` as an embedded object.
+    pub fn embedded_size(&self, id: PNodeId) -> usize {
+        EMBEDDED_HEADER + self.body_len(id)
+    }
+
+    /// Exact serialised size of the whole record.
+    pub fn record_size(&self) -> usize {
+        STANDALONE_HEADER + self.body_len(self.root)
+    }
+
+    /// Size the subtree at `id` would have as the root of its own record.
+    pub fn standalone_size(&self, id: PNodeId) -> usize {
+        STANDALONE_HEADER + self.body_len(id)
+    }
+
+    /// All proxy RIDs in the subtree at `id`.
+    pub fn proxies_under(&self, id: PNodeId) -> Vec<Rid> {
+        self.pre_order(id)
+            .into_iter()
+            .filter_map(|n| match self.node(n).content {
+                PContent::Proxy(rid) => Some(rid),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Moves the subtree rooted at `id` out of this arena into `dst`,
+    /// returning its node id there. Used by split assembly. `orig`
+    /// markers travel along (relocations are emitted when `dst` is
+    /// serialised).
+    pub fn transplant(&mut self, id: PNodeId, dst: &mut RecordTree) -> PNodeId {
+        self.detach(id);
+        let node = self.nodes[id as usize].take().expect("live node");
+        let (label, content, orig) = (node.label, node.content, node.orig);
+        match content {
+            PContent::Aggregate(kids) => {
+                let new_id = dst.alloc(label, PContent::Aggregate(Vec::new()));
+                dst.node_mut(new_id).orig = orig;
+                for (i, k) in kids.into_iter().enumerate() {
+                    let moved = self.transplant_inner(k, dst);
+                    dst.attach(new_id, i, moved);
+                }
+                new_id
+            }
+            other => {
+                let new_id = dst.alloc(label, other);
+                dst.node_mut(new_id).orig = orig;
+                new_id
+            }
+        }
+    }
+
+    fn transplant_inner(&mut self, id: PNodeId, dst: &mut RecordTree) -> PNodeId {
+        let node = self.nodes[id as usize].take().expect("live node");
+        let (label, content, orig) = (node.label, node.content, node.orig);
+        match content {
+            PContent::Aggregate(kids) => {
+                let new_id = dst.alloc(label, PContent::Aggregate(Vec::new()));
+                dst.node_mut(new_id).orig = orig;
+                for (i, k) in kids.into_iter().enumerate() {
+                    let moved = self.transplant_inner(k, dst);
+                    dst.attach(new_id, i, moved);
+                }
+                new_id
+            }
+            other => {
+                let new_id = dst.alloc(label, other);
+                dst.node_mut(new_id).orig = orig;
+                new_id
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use natix_xml::LABEL_TEXT;
+
+    fn text(s: &str) -> PContent {
+        PContent::Literal(LiteralValue::String(s.into()))
+    }
+
+    /// Builds the paper's figure-2 record: SPEECH(SPEAKER("OTHELLO"),
+    /// LINE("Let me see your eyes;"), LINE("Look in my face.")).
+    fn figure2() -> RecordTree {
+        let mut t = RecordTree::new(10, PContent::Aggregate(vec![]), Rid::invalid());
+        let speaker = t.alloc(11, PContent::Aggregate(vec![]));
+        t.attach(t.root(), 0, speaker);
+        let s_text = t.alloc(LABEL_TEXT, text("OTHELLO"));
+        t.attach(speaker, 0, s_text);
+        for (i, line) in ["Let me see your eyes;", "Look in my face."].iter().enumerate() {
+            let l = t.alloc(12, PContent::Aggregate(vec![]));
+            t.attach(t.root(), i + 1, l);
+            let lt = t.alloc(LABEL_TEXT, text(line));
+            t.attach(l, 0, lt);
+        }
+        t
+    }
+
+    #[test]
+    fn sizes_match_appendix_a_example() {
+        // Appendix A, figure 15: the figure-2 tree as one record. Embedded
+        // headers are 6 bytes; the standalone header is 10.
+        let t = figure2();
+        // Text literals: 7 + 21 + 16 bytes of content.
+        let texts = 7 + 21 + 16;
+        // 6 embedded objects (SPEAKER, 2×LINE, 3 literals) + root header.
+        let expect = STANDALONE_HEADER + 6 * EMBEDDED_HEADER + texts;
+        assert_eq!(t.record_size(), expect);
+    }
+
+    #[test]
+    fn proxy_sizes() {
+        let mut t = RecordTree::new(5, PContent::Aggregate(vec![]), Rid::invalid());
+        let p = t.alloc(LABEL_NONE, PContent::Proxy(Rid::new(9, 1)));
+        t.attach(t.root(), 0, p);
+        assert_eq!(t.record_size(), STANDALONE_HEADER + EMBEDDED_HEADER + PROXY_BODY);
+        assert!(t.node(p).is_proxy());
+        assert!(!t.node(p).is_facade());
+    }
+
+    #[test]
+    fn facade_vs_scaffolding() {
+        let t = RecordTree::new(LABEL_NONE, PContent::Aggregate(vec![]), Rid::invalid());
+        assert!(t.node(t.root()).is_scaffolding_aggregate());
+        assert!(!t.node(t.root()).is_facade());
+        let f = figure2();
+        assert!(f.node(f.root()).is_facade());
+    }
+
+    #[test]
+    fn remove_subtree_returns_proxies_and_tombstones() {
+        let mut t = figure2();
+        let speaker = t.children(t.root())[0];
+        let p = t.alloc(LABEL_NONE, PContent::Proxy(Rid::new(3, 3)));
+        t.attach(speaker, 1, p);
+        let before = t.record_size();
+        let proxies = t.remove_subtree(speaker);
+        assert_eq!(proxies, vec![Rid::new(3, 3)]);
+        assert!(t.record_size() < before);
+        assert_eq!(t.children(t.root()).len(), 2);
+        assert_eq!(t.live_count(), 5);
+    }
+
+    #[test]
+    fn detach_and_attach_reorders() {
+        let mut t = figure2();
+        let kids: Vec<_> = t.children(t.root()).to_vec();
+        t.detach(kids[0]);
+        t.attach(t.root(), 5, kids[0]); // clamped to the end
+        let now: Vec<_> = t.children(t.root()).to_vec();
+        assert_eq!(now, vec![kids[1], kids[2], kids[0]]);
+    }
+
+    #[test]
+    fn pre_order_matches_structure() {
+        let t = figure2();
+        let order = t.pre_order(t.root());
+        assert_eq!(order.len(), 7);
+        assert_eq!(order[0], t.root());
+        // SPEAKER before its text, before the LINEs.
+        assert_eq!(t.node(order[1]).label, 11);
+        assert_eq!(t.node(order[2]).label, LABEL_TEXT);
+        assert_eq!(t.node(order[3]).label, 12);
+    }
+
+    #[test]
+    fn transplant_moves_subtrees_between_trees() {
+        let mut src = figure2();
+        let mut dst = RecordTree::new(LABEL_NONE, PContent::Aggregate(vec![]), Rid::invalid());
+        let speaker = src.children(src.root())[0];
+        let speaker_size = src.embedded_size(speaker);
+        let moved = src.transplant(speaker, &mut dst);
+        dst.attach(dst.root(), 0, moved);
+        assert_eq!(dst.embedded_size(moved), speaker_size);
+        assert_eq!(src.children(src.root()).len(), 2);
+        assert_eq!(dst.node(moved).label, 11);
+        assert_eq!(dst.children(moved).len(), 1);
+    }
+
+    #[test]
+    fn literal_body_lengths() {
+        assert_eq!(literal_body_len(&LiteralValue::String("abc".into())), 3);
+        assert_eq!(literal_body_len(&LiteralValue::I8(0)), 1);
+        assert_eq!(literal_body_len(&LiteralValue::I16(0)), 2);
+        assert_eq!(literal_body_len(&LiteralValue::I32(0)), 4);
+        assert_eq!(literal_body_len(&LiteralValue::I64(0)), 8);
+        assert_eq!(literal_body_len(&LiteralValue::F64(0.0)), 8);
+        assert_eq!(literal_body_len(&LiteralValue::Uri("http://x".into())), 8);
+    }
+}

@@ -1,0 +1,212 @@
+//! Reconstruction and streaming traversal of stored trees.
+//!
+//! §2.3.3: "Substituting all proxies by their respective subtrees
+//! reconstructs the original data tree." [`reconstruct_document`] does
+//! exactly that, producing an in-memory logical [`Document`];
+//! [`traverse`] streams the same information without materialising the
+//! tree (what the paper's "full tree traversal" and query experiments do);
+//! [`serialize_xml`] recreates the textual representation straight from
+//! the records (Query 2: "recreates the textual representation of the
+//! complete first speech in every scene").
+
+use natix_storage::Rid;
+use natix_xml::escape::{escape_attr, escape_text};
+use natix_xml::{
+    Document, LabelKind, LiteralValue, NodeData, SymbolTable, LABEL_COMMENT, LABEL_PI, LABEL_TEXT,
+};
+
+use crate::error::{TreeError, TreeResult};
+use crate::model::{NodePtr, PContent, PNodeId, RecordTree};
+use crate::store::TreeStore;
+
+/// Streaming traversal events for facade nodes, in document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VisitEvent<'a> {
+    /// Entering a facade aggregate.
+    Enter { label: natix_xml::LabelId, ptr: NodePtr },
+    /// A facade literal.
+    Literal { label: natix_xml::LabelId, value: &'a LiteralValue, ptr: NodePtr },
+    /// Leaving a facade aggregate.
+    Leave { label: natix_xml::LabelId },
+}
+
+/// Pre-order traversal of the whole stored tree under `ptr`, invoking
+/// `visit` for every facade node; scaffolding is skipped transparently and
+/// proxies are followed. `visit` returning `false` aborts the walk early
+/// (the remaining events are skipped, not an error).
+pub fn traverse<F>(store: &TreeStore, ptr: NodePtr, visit: &mut F) -> TreeResult<bool>
+where
+    F: FnMut(VisitEvent<'_>) -> bool,
+{
+    let tree = store.load(ptr.rid)?;
+    if tree.try_node(ptr.node).is_none() {
+        return Err(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node });
+    }
+    walk(store, ptr.rid, &tree, ptr.node, visit)
+}
+
+fn walk<F>(
+    store: &TreeStore,
+    rid: Rid,
+    tree: &RecordTree,
+    node: PNodeId,
+    visit: &mut F,
+) -> TreeResult<bool>
+where
+    F: FnMut(VisitEvent<'_>) -> bool,
+{
+    let n = tree.node(node);
+    match &n.content {
+        PContent::Proxy(target) => {
+            let child = store.load(*target)?;
+            walk(store, *target, &child, child.root(), visit)
+        }
+        PContent::Literal(v) => {
+            if n.is_facade() {
+                Ok(visit(VisitEvent::Literal {
+                    label: n.label,
+                    value: v,
+                    ptr: NodePtr::new(rid, node),
+                }))
+            } else {
+                Ok(true)
+            }
+        }
+        PContent::Aggregate(kids) => {
+            let facade = n.is_facade();
+            if facade
+                && !visit(VisitEvent::Enter { label: n.label, ptr: NodePtr::new(rid, node) })
+            {
+                return Ok(false);
+            }
+            for &k in kids {
+                if !walk(store, rid, tree, k, visit)? {
+                    return Ok(false);
+                }
+            }
+            if facade {
+                return Ok(visit(VisitEvent::Leave { label: n.label }));
+            }
+            Ok(true)
+        }
+    }
+}
+
+/// Rebuilds the logical document rooted at record `root`.
+pub fn reconstruct_document(store: &TreeStore, root: Rid) -> TreeResult<Document> {
+    let tree = store.load(root)?;
+    let root_node = tree.root();
+    if !tree.node(root_node).is_facade() {
+        return Err(TreeError::Invariant(format!(
+            "record {root} is not a facade-rooted tree root"
+        )));
+    }
+    let mut doc: Option<Document> = None;
+    let mut stack: Vec<natix_xml::NodeIdx> = Vec::new();
+    traverse(store, NodePtr::new(root, root_node), &mut |ev| {
+        match ev {
+            VisitEvent::Enter { label, .. } => {
+                match (&mut doc, stack.last()) {
+                    (None, _) => {
+                        doc = Some(Document::new(NodeData::Element(label)));
+                        stack.push(0);
+                    }
+                    (Some(d), Some(&parent)) => {
+                        let idx = d.add_child(parent, NodeData::Element(label));
+                        stack.push(idx);
+                    }
+                    (Some(_), None) => unreachable!("single root"),
+                }
+            }
+            VisitEvent::Literal { label, value, .. } => match (&mut doc, stack.last()) {
+                (Some(d), Some(&parent)) => {
+                    d.add_child(parent, NodeData::Literal { label, value: value.clone() });
+                }
+                _ => {
+                    // A standalone literal root: represent as a document
+                    // with a single literal node.
+                    doc = Some(Document::new(NodeData::Literal {
+                        label,
+                        value: value.clone(),
+                    }));
+                }
+            },
+            VisitEvent::Leave { .. } => {
+                stack.pop();
+            }
+        }
+        true
+    })?;
+    doc.ok_or_else(|| TreeError::Invariant("empty tree".into()))
+}
+
+/// Serialises the stored subtree at `ptr` to XML text without building a
+/// DOM (streaming, record by record).
+pub fn serialize_xml(store: &TreeStore, ptr: NodePtr, symbols: &SymbolTable) -> TreeResult<String> {
+    let mut out = String::new();
+    // Elements whose start tag is still open (awaiting attrs/content).
+    let mut open_tag = false;
+    traverse(store, ptr, &mut |ev| {
+        match ev {
+            VisitEvent::Enter { label, .. } => {
+                if open_tag {
+                    out.push('>');
+                }
+                out.push('<');
+                out.push_str(symbols.name(label));
+                open_tag = true;
+            }
+            VisitEvent::Literal { label, value, .. } => {
+                if symbols.kind(label) == LabelKind::Attribute && open_tag {
+                    out.push(' ');
+                    out.push_str(symbols.name(label));
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(&value.to_text()));
+                    out.push('"');
+                } else {
+                    if open_tag {
+                        out.push('>');
+                        open_tag = false;
+                    }
+                    match label {
+                        LABEL_COMMENT => {
+                            out.push_str("<!--");
+                            out.push_str(&value.to_text());
+                            out.push_str("-->");
+                        }
+                        LABEL_PI => {
+                            out.push_str("<?");
+                            out.push_str(&value.to_text());
+                            out.push_str("?>");
+                        }
+                        _ => out.push_str(&escape_text(&value.to_text())),
+                    }
+                }
+            }
+            VisitEvent::Leave { label } => {
+                if open_tag {
+                    out.push_str("/>");
+                    open_tag = false;
+                } else {
+                    out.push_str("</");
+                    out.push_str(symbols.name(label));
+                    out.push('>');
+                }
+            }
+        }
+        true
+    })?;
+    Ok(out)
+}
+
+/// Concatenated `#text` content of the stored subtree at `ptr`.
+pub fn subtree_text(store: &TreeStore, ptr: NodePtr) -> TreeResult<String> {
+    let mut out = String::new();
+    traverse(store, ptr, &mut |ev| {
+        if let VisitEvent::Literal { label: LABEL_TEXT, value, .. } = ev {
+            out.push_str(&value.to_text());
+        }
+        true
+    })?;
+    Ok(out)
+}

@@ -1,0 +1,1224 @@
+//! The tree storage manager (§3).
+//!
+//! [`TreeStore`] maps logical data trees onto physical records, running the
+//! **tree growth procedure** of figure 5 on every insert:
+//!
+//! 1. determine the record into which the node has to be inserted (per the
+//!    split matrix and the designated siblings' records, §3.2.1/§3.3);
+//! 2. if there is not enough space on the page, try to **move** the
+//!    record; if the record exceeds the net page capacity, **split** it —
+//!    determine the separator, distribute the partitions onto records, and
+//!    insert the separator into the parent record, recursively;
+//! 3. insert the new node into its designated partition record.
+//!
+//! All structural changes report **relocation events**: records are
+//! rewritten wholesale, so a node's `(rid, pre-order index)` address can
+//! change; the document manager keeps its logical-node map current from
+//! these events. Standalone parent pointers (Appendix A) are maintained by
+//! deferred 8-byte patches collected per operation.
+
+use std::sync::Arc;
+
+use natix_storage::segment::PlacementHint;
+use natix_storage::slotted::{SlottedPage, SlottedPageRef, SLOT_ENTRY_SIZE};
+use natix_storage::{PageKind, Rid, SegmentId, StorageError, StorageManager};
+use natix_xml::{LabelId, LiteralValue, LABEL_NONE};
+
+use crate::config::TreeConfig;
+use crate::error::{TreeError, TreeResult};
+use crate::matrix::{SplitBehaviour, SplitMatrix};
+use crate::model::{NodePtr, PContent, PNodeId, RecordTree};
+use crate::record;
+use crate::split::{plan_split, ProxyHome};
+use crate::typetable::TypeTable;
+
+/// Sentinel `orig` marker for the node being inserted: its final address
+/// surfaces as the operation's `new_node` instead of a relocation.
+const WATCH: NodePtr = NodePtr { rid: Rid { page: u32::MAX, slot: u16::MAX }, node: u16::MAX };
+
+/// A node moved from `old` to `new` (same identity, new address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Relocation {
+    pub old: NodePtr,
+    pub new: NodePtr,
+}
+
+/// Result of a structural operation.
+#[derive(Debug, Default)]
+pub struct OpResult {
+    /// Facade nodes whose address changed, in application order.
+    pub relocations: Vec<Relocation>,
+    /// Address of the node the operation created (inserts only).
+    pub new_node: Option<NodePtr>,
+    /// Set when the tree's root record was replaced: `(old, new)`.
+    pub root_moved: Option<(Rid, Rid)>,
+}
+
+/// Where to insert relative to the parent's *logical* child list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertPos {
+    /// As the first logical child.
+    First,
+    /// As the last logical child.
+    Last,
+    /// At a logical child index (clamped to the end).
+    At(usize),
+}
+
+/// Payload of a new facade node.
+#[derive(Debug, Clone)]
+pub enum NewNode {
+    /// An inner (element) node.
+    Element,
+    /// A leaf literal.
+    Literal(LiteralValue),
+}
+
+impl NewNode {
+    fn into_content(self) -> PContent {
+        match self {
+            NewNode::Element => PContent::Aggregate(Vec::new()),
+            NewNode::Literal(v) => PContent::Literal(v),
+        }
+    }
+}
+
+/// Basic information about a stored node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeInfo {
+    pub label: LabelId,
+    /// `None` for aggregates, the value for literals.
+    pub value: Option<LiteralValue>,
+    /// True for facade nodes (should always hold for API-returned nodes).
+    pub facade: bool,
+    /// Number of *physical* children (aggregates only).
+    pub physical_children: usize,
+}
+
+/// Per-operation bookkeeping.
+#[derive(Default)]
+struct OpCtx {
+    relocations: Vec<Relocation>,
+    new_node: Option<NodePtr>,
+    root_moved: Option<(Rid, Rid)>,
+    /// Deferred standalone-parent patches: `(child record, new parent)`,
+    /// applied in order (later entries win).
+    parent_patches: Vec<(Rid, Rid)>,
+    /// Records deleted during this operation. Patches targeting them are
+    /// stale and skipped — e.g. a record absorbed by a merge after its
+    /// parent pointer was queued for patching. Re-creating a RID (slot
+    /// reuse within the op) clears the mark.
+    deleted: std::collections::HashSet<Rid>,
+}
+
+impl OpCtx {
+    fn finish(self) -> OpResult {
+        OpResult {
+            relocations: self.relocations,
+            new_node: self.new_node,
+            root_moved: self.root_moved,
+        }
+    }
+}
+
+/// The tree storage manager.
+pub struct TreeStore {
+    sm: Arc<StorageManager>,
+    segment: SegmentId,
+    config: TreeConfig,
+    matrix: parking_lot::RwLock<SplitMatrix>,
+}
+
+impl TreeStore {
+    /// Creates a tree store over `segment` of an existing storage manager.
+    pub fn new(
+        sm: Arc<StorageManager>,
+        segment: SegmentId,
+        config: TreeConfig,
+        matrix: SplitMatrix,
+    ) -> TreeStore {
+        config.validate().expect("invalid tree configuration");
+        TreeStore { sm, segment, config, matrix: parking_lot::RwLock::new(matrix) }
+    }
+
+    /// The underlying storage manager.
+    pub fn storage(&self) -> &Arc<StorageManager> {
+        &self.sm
+    }
+
+    /// The segment records live in.
+    pub fn segment(&self) -> SegmentId {
+        self.segment
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TreeConfig {
+        &self.config
+    }
+
+    /// Page size of the repository.
+    pub fn page_size(&self) -> usize {
+        self.sm.page_size()
+    }
+
+    /// Net page capacity — the split threshold for records.
+    pub fn net_capacity(&self) -> usize {
+        self.config.net_capacity(self.page_size())
+    }
+
+    /// Read access to the split matrix.
+    pub fn matrix(&self) -> parking_lot::RwLockReadGuard<'_, SplitMatrix> {
+        self.matrix.read()
+    }
+
+    /// Replaces the split matrix (affects future operations only).
+    pub fn set_matrix(&self, matrix: SplitMatrix) {
+        *self.matrix.write() = matrix;
+    }
+
+    /// Sets a single matrix element.
+    pub fn set_matrix_entry(&self, parent: LabelId, child: LabelId, value: SplitBehaviour) {
+        self.matrix.write().set(parent, child, value);
+    }
+
+    // ==================================================================
+    // Record I/O.
+    // ==================================================================
+
+    /// Loads and parses the record at `rid`.
+    pub fn load(&self, rid: Rid) -> TreeResult<RecordTree> {
+        let pin = self.sm.pin(rid.page)?;
+        let buf = pin.read();
+        let sp = SlottedPageRef::open(&buf)?;
+        let table = match sp.get(0) {
+            Some(b) => TypeTable::decode(b)?,
+            None => TypeTable::new(),
+        };
+        let bytes = sp
+            .get(rid.slot)
+            .ok_or(TreeError::Storage(StorageError::RecordNotFound(rid)))?;
+        record::deserialize(bytes, &table, rid)
+    }
+
+    /// Rewrites the record at `rid` in place. Fails with `PageFull` when
+    /// the page cannot absorb the growth (type table included); the caller
+    /// then moves or splits.
+    fn write_at(&self, rid: Rid, tree: &RecordTree, ctx: &mut OpCtx) -> TreeResult<()> {
+        let pin = self.sm.pin(rid.page)?;
+        let mut buf = pin.write();
+        let mut sp = SlottedPage::open(&mut buf)?;
+        let had_tt = sp.is_live(0);
+        let mut table = match sp.get(0) {
+            Some(b) => TypeTable::decode(b)?,
+            None => TypeTable::new(),
+        };
+        let before = table.len();
+        let (bytes, mapping) = record::serialize(tree, &mut table);
+        // Conservative pre-check so a failed update leaves no half-state:
+        // compute the worst-case growth of table + record together.
+        let old_len = sp.get(rid.slot).map(|b| b.len()).unwrap_or(0);
+        let tt_growth = if had_tt {
+            (table.len() - before) * crate::typetable::ENTRY_BYTES
+        } else {
+            table.encoded_len() + SLOT_ENTRY_SIZE
+        };
+        let record_growth = bytes.len().saturating_sub(old_len);
+        if tt_growth + record_growth > sp.free_total() {
+            return Err(TreeError::Storage(StorageError::PageFull {
+                needed: tt_growth + record_growth,
+                free: sp.free_total(),
+            }));
+        }
+        if !had_tt {
+            sp.insert_at(0, &table.encode())?;
+        } else if table.len() > before {
+            sp.update(0, &table.encode())?;
+        }
+        sp.update(rid.slot, &bytes)?;
+        let free = sp.free_total();
+        drop(buf);
+        self.sm.note_free_space(self.segment, rid.page, free);
+        self.emit_relocations(rid, &mapping, tree, ctx);
+        Ok(())
+    }
+
+    /// Writes `tree` as a new record, choosing a page (hint first, then
+    /// best fit, then a fresh page). Fails with `RecordTooLarge` when even
+    /// a fresh page cannot take it.
+    fn write_new(
+        &self,
+        tree: &RecordTree,
+        hint: PlacementHint,
+        ctx: &mut OpCtx,
+    ) -> TreeResult<Rid> {
+        let len = tree.record_size();
+        let types = record::collect_types(tree);
+        // Worst case: every type is new and the page has no table yet.
+        let worst = len
+            + SLOT_ENTRY_SIZE
+            + 2
+            + types.len() * crate::typetable::ENTRY_BYTES
+            + SLOT_ENTRY_SIZE;
+        // Placement policy: with a locality hint, only pages *near* the
+        // hint are considered (paper §4.2: related records on the same
+        // page "if possible") — a global best-fit would scatter a growing
+        // document over cold pages of older documents and destroy exactly
+        // the clustering the tree store exists to maintain. Without a
+        // hint, best fit bounds fragmentation.
+        let mut tried: Option<u32> = None;
+        for _ in 0..2 {
+            let candidate = match (hint, tried) {
+                (PlacementHint::NearPage(h), None) => {
+                    self.sm.find_page_with_space_near(self.segment, worst, h, 16)
+                }
+                (PlacementHint::NearPage(_), Some(_)) => None,
+                (PlacementHint::Anywhere, None) => {
+                    self.sm.find_page_with_space(self.segment, worst, hint)
+                }
+                (PlacementHint::Anywhere, Some(t)) => {
+                    self.sm.find_page_with_space_excluding(self.segment, worst, hint, t)
+                }
+            };
+            let Some(page) = candidate else { break };
+            if let Some(rid) = self.try_write_on_page(page, tree, ctx)? {
+                return Ok(rid);
+            }
+            tried = Some(page);
+        }
+        let page = self.sm.allocate_page(self.segment, PageKind::Slotted)?;
+        match self.try_write_on_page(page, tree, ctx)? {
+            Some(rid) => Ok(rid),
+            None => Err(TreeError::Storage(StorageError::RecordTooLarge {
+                len,
+                max: self.net_capacity(),
+            })),
+        }
+    }
+
+    /// Attempts to place `tree` on `page`; returns `None` when it does not
+    /// fit there.
+    fn try_write_on_page(
+        &self,
+        page: u32,
+        tree: &RecordTree,
+        ctx: &mut OpCtx,
+    ) -> TreeResult<Option<Rid>> {
+        let pin = self.sm.pin(page)?;
+        let mut buf = pin.write();
+        let mut sp = SlottedPage::open(&mut buf)?;
+        let had_tt = sp.is_live(0);
+        let mut table = match sp.get(0) {
+            Some(b) => TypeTable::decode(b)?,
+            None => TypeTable::new(),
+        };
+        let before = table.len();
+        let (bytes, mapping) = record::serialize(tree, &mut table);
+        let tt_growth = if had_tt {
+            (table.len() - before) * crate::typetable::ENTRY_BYTES
+        } else {
+            table.encoded_len() + SLOT_ENTRY_SIZE
+        };
+        if tt_growth + bytes.len() > sp.free_for_new_record() {
+            return Ok(None);
+        }
+        if !had_tt {
+            sp.insert_at(0, &table.encode())?;
+        } else if table.len() > before {
+            sp.update(0, &table.encode())?;
+        }
+        let slot = sp.insert(&bytes)?;
+        let free = sp.free_total();
+        drop(buf);
+        self.sm.note_free_space(self.segment, page, free);
+        let rid = Rid::new(page, slot);
+        // Slot reuse within one operation: the RID is live again, and any
+        // patches queued for its previous tenant must not hit the new one.
+        if ctx.deleted.remove(&rid) {
+            ctx.parent_patches.retain(|(child, _)| *child != rid);
+        }
+        self.emit_relocations(rid, &mapping, tree, ctx);
+        // Every record referenced by a proxy in this fresh record now has
+        // this record as its parent. Registering here (instead of from
+        // split plans) keeps the patch order right even when partitions
+        // are split recursively.
+        for child in tree.proxies_under(tree.root()) {
+            ctx.parent_patches.push((child, rid));
+        }
+        Ok(Some(rid))
+    }
+
+    fn emit_relocations(
+        &self,
+        rid: Rid,
+        mapping: &[(PNodeId, PNodeId)],
+        tree: &RecordTree,
+        ctx: &mut OpCtx,
+    ) {
+        for &(arena, serial) in mapping {
+            let node = tree.node(arena);
+            let Some(old) = node.orig else { continue };
+            let new = NodePtr::new(rid, serial);
+            if old == WATCH {
+                ctx.new_node = Some(new);
+            } else if node.is_facade() && old != new {
+                ctx.relocations.push(Relocation { old, new });
+            }
+        }
+    }
+
+    /// Deletes the physical record at `rid` (no cascading).
+    fn delete_record_raw(&self, rid: Rid, ctx: &mut OpCtx) -> TreeResult<()> {
+        ctx.deleted.insert(rid);
+        let pin = self.sm.pin(rid.page)?;
+        let mut buf = pin.write();
+        let mut sp = SlottedPage::open(&mut buf)?;
+        sp.delete(rid.slot).map_err(|_| TreeError::Storage(StorageError::RecordNotFound(rid)))?;
+        let free = sp.free_total();
+        drop(buf);
+        self.sm.note_free_space(self.segment, rid.page, free);
+        Ok(())
+    }
+
+    /// Patches the standalone parent pointer (first 8 record bytes).
+    fn patch_parent_rid(&self, child: Rid, parent: Rid) -> TreeResult<()> {
+        let pin = self.sm.pin(child.page)?;
+        let mut buf = pin.write();
+        let mut sp = SlottedPage::open(&mut buf)?;
+        let bytes = sp
+            .get_mut(child.slot)
+            .ok_or(TreeError::Storage(StorageError::RecordNotFound(child)))?;
+        parent.encode(&mut bytes[0..8]);
+        Ok(())
+    }
+
+    fn apply_patches(&self, ctx: &mut OpCtx) -> TreeResult<()> {
+        let patches = std::mem::take(&mut ctx.parent_patches);
+        let mut last = std::collections::HashMap::new();
+        for (child, parent) in patches {
+            last.insert(child, parent);
+        }
+        for (child, parent) in last {
+            if ctx.deleted.contains(&child) {
+                continue; // the child record died later in this operation
+            }
+            self.patch_parent_rid(child, parent)?;
+        }
+        Ok(())
+    }
+
+    // ==================================================================
+    // The tree growth procedure (figure 5).
+    // ==================================================================
+
+    /// Stores an updated version of record `rid`: in place if it fits,
+    /// otherwise move, otherwise split. Returns the rid now holding the
+    /// (possibly shrunken) record.
+    fn store_updated(&self, rid: Rid, tree: RecordTree, ctx: &mut OpCtx) -> TreeResult<Rid> {
+        if tree.record_size() <= self.net_capacity() {
+            match self.write_at(rid, &tree, ctx) {
+                Ok(()) => return Ok(rid),
+                Err(TreeError::Storage(StorageError::PageFull { .. })) => {
+                    return self.move_record(rid, tree, ctx)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.split_stored(rid, tree, ctx)
+    }
+
+    /// §3.2 step 2: "the system tries to move the record to a page with
+    /// more free space".
+    fn move_record(&self, old_rid: Rid, tree: RecordTree, ctx: &mut OpCtx) -> TreeResult<Rid> {
+        // Stay near the old page: the record's neighbours live there.
+        let new_rid = self.write_new(&tree, PlacementHint::NearPage(old_rid.page), ctx)?;
+        self.delete_record_raw(old_rid, ctx)?;
+        if tree.parent_rid.is_invalid() {
+            ctx.root_moved = Some((old_rid, new_rid));
+        } else {
+            self.repoint_proxy(tree.parent_rid, old_rid, new_rid)?;
+        }
+        for child in tree.proxies_under(tree.root()) {
+            ctx.parent_patches.push((child, new_rid));
+        }
+        Ok(new_rid)
+    }
+
+    /// Rewrites the proxy in `parent_rid` that pointed at `old` to point at
+    /// `new` (an equal-size in-place rewrite).
+    fn repoint_proxy(&self, parent_rid: Rid, old: Rid, new: Rid) -> TreeResult<()> {
+        let mut parent = self.load(parent_rid)?;
+        let Some(proxy) = find_proxy(&parent, old) else {
+            return Err(TreeError::Invariant(format!(
+                "record {parent_rid} has no proxy for child {old}"
+            )));
+        };
+        parent.node_mut(proxy).content = PContent::Proxy(new);
+        // Same length: an in-place update can never fail for space.
+        let mut scratch = OpCtx::default();
+        self.write_at(parent_rid, &parent, &mut scratch)?;
+        debug_assert!(scratch.relocations.is_empty(), "structure unchanged");
+        Ok(())
+    }
+
+    /// Splits a stored record (§3.2.2) whose updated in-memory tree
+    /// exceeds the net page capacity, and recursively inserts the separator
+    /// into the parent record. Returns the rid of the record holding the
+    /// (facade or scaffolding) root of the split subtree's remainder.
+    fn split_stored(&self, rid: Rid, tree: RecordTree, ctx: &mut OpCtx) -> TreeResult<Rid> {
+        let parent_rid = tree.parent_rid;
+        let plan = {
+            let matrix = self.matrix.read();
+            plan_split(tree, &self.config, &matrix, self.page_size())?
+        };
+        // Delete the old record first: partitions gladly reuse its space.
+        self.delete_record_raw(rid, ctx)?;
+        let part_rids = self.store_partitions(plan.partitions, rid.page, ctx)?;
+        let mut separator = plan.separator;
+        for (node, part) in plan.partition_proxies {
+            separator.node_mut(node).content = PContent::Proxy(part_rids[part]);
+        }
+        if parent_rid.is_invalid() {
+            // "If the old record had no parent record, a new root record
+            // for the tree is created which contains just the separator."
+            // Storing the separator registers parent patches for every
+            // proxy it contains (partitions and ∞-moved children alike).
+            let sep_rid = self.store_possibly_oversized(separator, rid.page, ctx)?;
+            ctx.root_moved = Some((rid, sep_rid));
+            return Ok(sep_rid);
+        }
+        // The separator is spliced into the *existing* parent record below
+        // (an in-place rewrite that does not auto-register patches), so the
+        // records its proxies reference re-home to the parent explicitly.
+        // These are tentative: if the parent itself splits or moves, later
+        // patches override them.
+        for (child, home) in plan.moved_proxies {
+            if home == ProxyHome::Separator {
+                ctx.parent_patches.push((child, parent_rid));
+            }
+        }
+        for &p in &part_rids {
+            ctx.parent_patches.push((p, parent_rid));
+        }
+        // Splice the separator into the parent in place of the old proxy
+        // (§3.2.2, "Inserting the separator"), honouring special case 2.
+        let mut parent = self.load(parent_rid)?;
+        let Some(proxy) = find_proxy(&parent, rid) else {
+            return Err(TreeError::Invariant(format!(
+                "record {parent_rid} has no proxy for split child {rid}"
+            )));
+        };
+        let proxy_parent = parent.node(proxy).parent.expect("proxy is embedded");
+        let at = parent
+            .children(proxy_parent)
+            .iter()
+            .position(|&c| c == proxy)
+            .expect("proxy is a child of its parent");
+        parent.detach(proxy);
+        let sep_root = separator.root();
+        if separator.node(sep_root).is_scaffolding_aggregate() {
+            // Special case 2: "if the root node of the separator is a
+            // scaffolding aggregate, it is disregarded, and the children of
+            // the separator root are inserted in the parent record
+            // instead."
+            let kids: Vec<PNodeId> = separator.children(sep_root).to_vec();
+            for (i, k) in kids.into_iter().enumerate() {
+                let moved = separator.transplant(k, &mut parent);
+                parent.attach(proxy_parent, at + i, moved);
+            }
+        } else {
+            let moved = separator.transplant(sep_root, &mut parent);
+            parent.attach(proxy_parent, at, moved);
+        }
+        self.store_updated(parent_rid, parent, ctx)
+    }
+
+    /// Stores split partitions, splitting any partition that is *still*
+    /// larger than a page (possible with coarse tolerances).
+    fn store_partitions(
+        &self,
+        partitions: Vec<RecordTree>,
+        near: u32,
+        ctx: &mut OpCtx,
+    ) -> TreeResult<Vec<Rid>> {
+        let mut rids = Vec::with_capacity(partitions.len());
+        for p in partitions {
+            rids.push(self.store_possibly_oversized(p, near, ctx)?);
+        }
+        Ok(rids)
+    }
+
+    /// Stores a fresh (not-yet-stored) tree, recursively splitting it while
+    /// it exceeds the net capacity. Terminates because every split strictly
+    /// shrinks the remainder; a childless oversized root is reported as
+    /// [`TreeError::OversizedNode`].
+    fn store_possibly_oversized(
+        &self,
+        tree: RecordTree,
+        near: u32,
+        ctx: &mut OpCtx,
+    ) -> TreeResult<Rid> {
+        if tree.record_size() <= self.net_capacity() {
+            return self.write_new(&tree, PlacementHint::NearPage(near), ctx);
+        }
+        let before = tree.record_size();
+        let plan = {
+            let matrix = self.matrix.read();
+            plan_split(tree, &self.config, &matrix, self.page_size())?
+        };
+        // Convergence guard: every split must strictly shrink the pieces,
+        // otherwise recursion would never terminate (only possible with a
+        // node close to the page size plus pathological configuration).
+        if plan.separator.record_size() >= before
+            || plan.partitions.iter().any(|p| p.record_size() >= before)
+        {
+            return Err(TreeError::OversizedNode { size: before, max: self.net_capacity() });
+        }
+        let part_rids = self.store_partitions(plan.partitions, near, ctx)?;
+        let mut separator = plan.separator;
+        for (node, part) in plan.partition_proxies {
+            separator.node_mut(node).content = PContent::Proxy(part_rids[part]);
+        }
+        // Storing the separator (a fresh record) registers the parent
+        // patches for the partition proxies and ∞-moved children it holds.
+        let sep_rid = self.store_possibly_oversized(separator, near, ctx)?;
+        let _ = plan.moved_proxies;
+        Ok(sep_rid)
+    }
+
+    // ==================================================================
+    // Public operations.
+    // ==================================================================
+
+    /// Creates a new tree whose root is an element with `label`; returns
+    /// the root record's RID (== the root node's pointer with index 0).
+    pub fn create_tree(&self, label: LabelId) -> TreeResult<Rid> {
+        let tree = RecordTree::new(label, PContent::Aggregate(Vec::new()), Rid::invalid());
+        let mut ctx = OpCtx::default();
+        let rid = self.write_new(&tree, PlacementHint::Anywhere, &mut ctx)?;
+        Ok(rid)
+    }
+
+    /// Inserts a new facade node under `parent` at the given logical
+    /// position.
+    pub fn insert(
+        &self,
+        parent: NodePtr,
+        pos: InsertPos,
+        label: LabelId,
+        node: NewNode,
+    ) -> TreeResult<OpResult> {
+        let site = self.resolve_site(parent, pos)?;
+        self.insert_at_site(site, parent, label, node)
+    }
+
+    /// Inserts a new facade node as the next logical sibling of `sibling`
+    /// (used heavily by the incremental-update workload).
+    pub fn insert_after(
+        &self,
+        sibling: NodePtr,
+        label: LabelId,
+        node: NewNode,
+    ) -> TreeResult<OpResult> {
+        let tree = self.load(sibling.rid)?;
+        let parent = tree
+            .try_node(sibling.node)
+            .ok_or(TreeError::BadNodePtr { rid: sibling.rid, node: sibling.node })?
+            .parent;
+        let site = match parent {
+            Some(p) => {
+                let idx = tree
+                    .children(p)
+                    .iter()
+                    .position(|&c| c == sibling.node)
+                    .expect("child listed under its parent")
+                    + 1;
+                Site { rid: sibling.rid, tree, parent_node: p, index: idx }
+            }
+            None => {
+                // The sibling is a record root: insert after the proxy that
+                // points to this record, in the parent record.
+                let parent_rid = tree.parent_rid;
+                if parent_rid.is_invalid() {
+                    return Err(TreeError::Invariant(
+                        "cannot insert a sibling of the tree root".into(),
+                    ));
+                }
+                let ptree = self.load(parent_rid)?;
+                let proxy = find_proxy(&ptree, sibling.rid).ok_or_else(|| {
+                    TreeError::Invariant(format!(
+                        "record {parent_rid} has no proxy for {}",
+                        sibling.rid
+                    ))
+                })?;
+                let pp = ptree.node(proxy).parent.expect("proxy embedded");
+                let idx = ptree.children(pp).iter().position(|&c| c == proxy).unwrap() + 1;
+                Site { rid: parent_rid, tree: ptree, parent_node: pp, index: idx }
+            }
+        };
+        // The logical parent's label governs the split-matrix lookup.
+        let lparent = self
+            .logical_parent_from(site.rid, site.parent_node, site.tree.clone())?
+            .ok_or_else(|| TreeError::Invariant("sibling has no logical parent".into()))?;
+        self.insert_at_site(site, lparent, label, node)
+    }
+
+    /// Walks up from `(rid, node)` (inclusive) to the nearest facade node,
+    /// crossing record boundaries through standalone parent pointers.
+    fn logical_parent_from(
+        &self,
+        mut rid: Rid,
+        mut node: PNodeId,
+        mut tree: RecordTree,
+    ) -> TreeResult<Option<NodePtr>> {
+        loop {
+            let n = tree.node(node);
+            if n.is_facade() {
+                return Ok(Some(NodePtr::new(rid, preorder_index(&tree, node))));
+            }
+            match n.parent {
+                Some(p) => node = p,
+                None => {
+                    let parent_rid = tree.parent_rid;
+                    if parent_rid.is_invalid() {
+                        return Ok(None);
+                    }
+                    let ptree = self.load(parent_rid)?;
+                    let proxy = find_proxy(&ptree, rid).ok_or_else(|| {
+                        TreeError::Invariant(format!(
+                            "record {parent_rid} has no proxy for {rid}"
+                        ))
+                    })?;
+                    node = ptree.node(proxy).parent.expect("proxy embedded");
+                    rid = parent_rid;
+                    tree = ptree;
+                }
+            }
+        }
+    }
+
+    /// A single node larger than the net capacity can never be stored: the
+    /// split algorithm cannot divide below node granularity (§3.2.2 always
+    /// descends into subtrees; a childless node terminates it). Rejecting
+    /// it up front keeps failures non-destructive; the document manager
+    /// chunks long text to stay below this bound.
+    fn check_node_size(&self, node: &NewNode) -> TreeResult<()> {
+        let body = match node {
+            NewNode::Element => 0,
+            NewNode::Literal(v) => crate::model::literal_body_len(v),
+        };
+        let standalone = crate::model::STANDALONE_HEADER + body;
+        if standalone > self.net_capacity() {
+            return Err(TreeError::OversizedNode { size: standalone, max: self.net_capacity() });
+        }
+        Ok(())
+    }
+
+    fn insert_at_site(
+        &self,
+        mut site: Site,
+        logical_parent: NodePtr,
+        label: LabelId,
+        node: NewNode,
+    ) -> TreeResult<OpResult> {
+        self.check_node_size(&node)?;
+        let parent_label = {
+            // The logical parent may live in the site's record or higher.
+            if logical_parent.rid == site.rid {
+                site.tree
+                    .try_node(preorder_to_arena(&site.tree, logical_parent.node))
+                    .map(|n| n.label)
+            } else {
+                let t = self.load(logical_parent.rid)?;
+                t.try_node(preorder_to_arena(&t, logical_parent.node)).map(|n| n.label)
+            }
+        }
+        .ok_or(TreeError::BadNodePtr { rid: logical_parent.rid, node: logical_parent.node })?;
+
+        let behaviour = self.matrix.read().get(parent_label, label);
+        let mut ctx = OpCtx::default();
+        match behaviour {
+            SplitBehaviour::Standalone => {
+                // §3.3: "x is stored as a standalone node"; a proxy goes
+                // into the designated record. Hint: same page as the parent
+                // ("store parent with children ... on the same page if
+                // possible", §4.2).
+                let mut child = RecordTree::new(label, node.into_content(), site.rid);
+                child.node_mut(child.root()).orig = Some(WATCH);
+                let child_rid =
+                    self.write_new(&child, PlacementHint::NearPage(site.rid.page), &mut ctx)?;
+                let proxy = site.tree.alloc(LABEL_NONE, PContent::Proxy(child_rid));
+                site.tree.attach(site.parent_node, site.index, proxy);
+                let final_rid = self.store_updated(site.rid, site.tree, &mut ctx)?;
+                if final_rid == site.rid {
+                    // The host did not move/split: the tentative parent is
+                    // still right, but make it explicit for clarity.
+                    ctx.parent_patches.push((child_rid, site.rid));
+                }
+                self.apply_patches(&mut ctx)?;
+                Ok(ctx.finish())
+            }
+            SplitBehaviour::KeepWithParent | SplitBehaviour::Other => {
+                let new = site.tree.alloc(label, node.into_content());
+                site.tree.node_mut(new).orig = Some(WATCH);
+                site.tree.attach(site.parent_node, site.index, new);
+                self.store_updated(site.rid, site.tree, &mut ctx)?;
+                self.apply_patches(&mut ctx)?;
+                Ok(ctx.finish())
+            }
+        }
+    }
+
+    /// Resolves an insertion site for `pos` under `parent`. For `First`
+    /// and `Last`, the designated sibling's record is considered as an
+    /// alternative host and the one with more free space wins (§3.2.1,
+    /// §3.3: "the node is inserted on the same record as one of its
+    /// designated siblings (wherever there is more free space)").
+    fn resolve_site(&self, parent: NodePtr, pos: InsertPos) -> TreeResult<Site> {
+        let tree = self.load(parent.rid)?;
+        let pnode = preorder_to_arena(&tree, parent.node);
+        let n = tree
+            .try_node(pnode)
+            .ok_or(TreeError::BadNodePtr { rid: parent.rid, node: parent.node })?;
+        if !matches!(n.content, PContent::Aggregate(_)) {
+            return Err(TreeError::NotAnAggregate { rid: parent.rid, node: parent.node });
+        }
+        match pos {
+            InsertPos::First => self.resolve_edge(parent.rid, tree, pnode, true),
+            InsertPos::Last => self.resolve_edge(parent.rid, tree, pnode, false),
+            InsertPos::At(k) => self.resolve_at(parent.rid, tree, pnode, k),
+        }
+    }
+
+    /// Site at the first/last edge of the logical child list: either
+    /// embedded in the parent's record, or inside the first/last child's
+    /// host record reached through scaffolding chains.
+    fn resolve_edge(
+        &self,
+        rid: Rid,
+        tree: RecordTree,
+        node: PNodeId,
+        first: bool,
+    ) -> TreeResult<Site> {
+        // Follow the edge-child proxy chain to the deepest scaffolding
+        // host (the record holding the designated sibling).
+        let mut deep: Option<(Rid, RecordTree)> = None;
+        loop {
+            let (t, n) = match &deep {
+                Some((_, t)) => (t, t.root()),
+                None => (&tree, node),
+            };
+            let Some(c) = edge_child(t, n, first) else { break };
+            let PContent::Proxy(target) = t.node(c).content else { break };
+            let child_tree = self.load(target)?;
+            if !child_tree.node(child_tree.root()).is_scaffolding_aggregate() {
+                break; // facade-rooted record is a logical child itself
+            }
+            deep = Some((target, child_tree));
+        }
+        match deep {
+            None => {
+                let index = if first { 0 } else { tree.children(node).len() };
+                Ok(Site { rid, tree, parent_node: node, index })
+            }
+            Some((drid, dtree)) => {
+                // "Wherever there is more free space": parent record vs the
+                // designated sibling's record.
+                let shallow_free = self.sm.page_free_space(rid.page)?;
+                let deep_free = self.sm.page_free_space(drid.page)?;
+                if deep_free > shallow_free {
+                    let droot = dtree.root();
+                    let index = if first { 0 } else { dtree.children(droot).len() };
+                    Ok(Site { rid: drid, tree: dtree, parent_node: droot, index })
+                } else {
+                    let index = if first { 0 } else { tree.children(node).len() };
+                    Ok(Site { rid, tree, parent_node: node, index })
+                }
+            }
+        }
+    }
+
+    /// Site after the k-th logical child (so the new node lands at logical
+    /// index `k`); clamps to the end when fewer children exist.
+    fn resolve_at(&self, rid: Rid, tree: RecordTree, node: PNodeId, k: usize) -> TreeResult<Site> {
+        if k == 0 {
+            return self.resolve_edge(rid, tree, node, true);
+        }
+        // Walk the expanded logical child list, consuming k children.
+        let mut remaining = k;
+        let mut stack: Vec<(Rid, RecordTree, PNodeId, usize)> = vec![(rid, tree, node, 0)];
+        while let Some((crid, ctree, cnode, start)) = stack.pop() {
+            let kids: Vec<PNodeId> = ctree.children(cnode).to_vec();
+            let mut idx = start;
+            let mut descended = false;
+            while idx < kids.len() {
+                let c = kids[idx];
+                if let PContent::Proxy(target) = ctree.node(c).content {
+                    let child_tree = self.load(target)?;
+                    if child_tree.node(child_tree.root()).is_scaffolding_aggregate() {
+                        let root = child_tree.root();
+                        stack.push((crid, ctree, cnode, idx + 1));
+                        stack.push((target, child_tree, root, 0));
+                        descended = true;
+                        break;
+                    }
+                    // A facade-rooted record counts as one logical child.
+                }
+                remaining -= 1;
+                if remaining == 0 {
+                    return Ok(Site { rid: crid, tree: ctree, parent_node: cnode, index: idx + 1 });
+                }
+                idx += 1;
+            }
+            if descended {
+                continue;
+            }
+        }
+        // Fewer than k logical children: append at the end.
+        self.resolve_edge_reload(rid, node, false)
+    }
+
+    fn resolve_edge_reload(&self, rid: Rid, node: PNodeId, first: bool) -> TreeResult<Site> {
+        let tree = self.load(rid)?;
+        self.resolve_edge(rid, tree, node, first)
+    }
+
+    /// Replaces the value of a literal node. The record is rewritten and
+    /// may move or split when the value grew.
+    pub fn update_literal(&self, ptr: NodePtr, value: LiteralValue) -> TreeResult<OpResult> {
+        let mut tree = self.load(ptr.rid)?;
+        let arena = preorder_to_arena(&tree, ptr.node);
+        let n = tree
+            .try_node(arena)
+            .ok_or(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node })?;
+        if !matches!(n.content, PContent::Literal(_)) {
+            return Err(TreeError::NotALiteral { rid: ptr.rid, node: ptr.node });
+        }
+        self.check_node_size(&NewNode::Literal(value.clone()))?;
+        tree.node_mut(arena).content = PContent::Literal(value);
+        let mut ctx = OpCtx::default();
+        self.store_updated(ptr.rid, tree, &mut ctx)?;
+        self.apply_patches(&mut ctx)?;
+        Ok(ctx.finish())
+    }
+
+    /// Deletes the subtree rooted at `ptr`, cascading into records behind
+    /// proxies. Deleting a record's standalone root removes the record and
+    /// the proxy referring to it; empty scaffolding cascades upward.
+    pub fn delete_subtree(&self, ptr: NodePtr) -> TreeResult<OpResult> {
+        let mut ctx = OpCtx::default();
+        let tree = self.load(ptr.rid)?;
+        let arena = preorder_to_arena(&tree, ptr.node);
+        if tree.try_node(arena).is_none() {
+            return Err(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node });
+        }
+        if arena == tree.root() {
+            let parent_rid = tree.parent_rid;
+            self.drop_record_recursive(ptr.rid, &mut ctx)?;
+            if !parent_rid.is_invalid() {
+                self.remove_proxy_cascading(parent_rid, ptr.rid, &mut ctx)?;
+            }
+        } else {
+            let mut tree = tree;
+            let cascade = tree.remove_subtree(arena);
+            for rid in cascade {
+                self.drop_record_recursive(rid, &mut ctx)?;
+            }
+            self.finish_after_removal(ptr.rid, tree, &mut ctx)?;
+        }
+        self.apply_patches(&mut ctx)?;
+        Ok(ctx.finish())
+    }
+
+    /// After removing nodes from `rid`'s tree: delete the record if it
+    /// became empty scaffolding, otherwise rewrite it (and optionally try
+    /// to merge, §1's "merged into clusters").
+    fn finish_after_removal(
+        &self,
+        rid: Rid,
+        tree: RecordTree,
+        ctx: &mut OpCtx,
+    ) -> TreeResult<()> {
+        let root = tree.root();
+        if tree.node(root).is_scaffolding_aggregate() && tree.children(root).is_empty() {
+            let parent_rid = tree.parent_rid;
+            self.delete_record_raw(rid, ctx)?;
+            if !parent_rid.is_invalid() {
+                self.remove_proxy_cascading(parent_rid, rid, ctx)?;
+            }
+            return Ok(());
+        }
+        let mut tree = tree;
+        if self.config.merge_enabled {
+            self.try_absorb(rid, &mut tree, ctx)?;
+        }
+        self.store_updated(rid, tree, ctx)?;
+        Ok(())
+    }
+
+    /// Removes the proxy pointing at `child` from `parent_rid`, cascading
+    /// when the parent becomes empty scaffolding.
+    fn remove_proxy_cascading(
+        &self,
+        parent_rid: Rid,
+        child: Rid,
+        ctx: &mut OpCtx,
+    ) -> TreeResult<()> {
+        let mut tree = self.load(parent_rid)?;
+        let Some(proxy) = find_proxy(&tree, child) else {
+            return Err(TreeError::Invariant(format!(
+                "record {parent_rid} has no proxy for deleted child {child}"
+            )));
+        };
+        tree.remove_subtree(proxy);
+        self.finish_after_removal(parent_rid, tree, ctx)
+    }
+
+    /// Frees the record at `rid` and every record reachable through its
+    /// proxies.
+    fn drop_record_recursive(&self, rid: Rid, ctx: &mut OpCtx) -> TreeResult<()> {
+        let tree = self.load(rid)?;
+        for child in tree.proxies_under(tree.root()) {
+            self.drop_record_recursive(child, ctx)?;
+        }
+        self.delete_record_raw(rid, ctx)
+    }
+
+    /// Drops an entire tree by its root record.
+    pub fn drop_tree(&self, root: Rid) -> TreeResult<()> {
+        let mut ctx = OpCtx::default();
+        self.drop_record_recursive(root, &mut ctx)
+    }
+
+    /// Merge extension: absorb proxy children whose records fit inline
+    /// while the merged record stays under `merge_fill_max` of capacity.
+    fn try_absorb(&self, rid: Rid, tree: &mut RecordTree, ctx: &mut OpCtx) -> TreeResult<()> {
+        let capacity = self.net_capacity();
+        if tree.record_size() as f64 > capacity as f64 * self.config.merge_threshold {
+            return Ok(());
+        }
+        let budget = (capacity as f64 * self.config.merge_fill_max) as usize;
+        // Absorb one child at a time until the budget stops us.
+        loop {
+            let mut candidate = None;
+            for id in tree.pre_order(tree.root()) {
+                if let PContent::Proxy(target) = tree.node(id).content {
+                    candidate = Some((id, target));
+                    break;
+                }
+            }
+            let Some((proxy, target)) = candidate else { return Ok(()) };
+            let child = self.load(target)?;
+            let child_body = child.body_len(child.root());
+            let inline_growth = if child.node(child.root()).is_scaffolding_aggregate() {
+                // Children splice in; the scaffolding root vanishes.
+                child_body
+            } else {
+                crate::model::EMBEDDED_HEADER + child_body
+            };
+            // Replacing the 14-byte proxy with the inlined subtree.
+            let new_size = tree.record_size() - tree.embedded_size(proxy) + inline_growth;
+            if new_size > budget {
+                return Ok(());
+            }
+            let mut child = child;
+            let pparent = tree.node(proxy).parent.expect("proxy embedded");
+            let at = tree.children(pparent).iter().position(|&c| c == proxy).unwrap();
+            tree.remove_subtree(proxy);
+            if child.node(child.root()).is_scaffolding_aggregate() {
+                let kids: Vec<PNodeId> = child.children(child.root()).to_vec();
+                for (i, k) in kids.into_iter().enumerate() {
+                    let moved = child.transplant(k, tree);
+                    tree.attach(pparent, at + i, moved);
+                }
+            } else {
+                let root = child.root();
+                let moved = child.transplant(root, tree);
+                tree.attach(pparent, at, moved);
+            }
+            for grand in tree.proxies_under(pparent) {
+                ctx.parent_patches.push((grand, rid));
+            }
+            self.delete_record_raw(target, ctx)?;
+        }
+    }
+
+    // ==================================================================
+    // Reading.
+    // ==================================================================
+
+    /// Information about the node at `ptr`.
+    pub fn node_info(&self, ptr: NodePtr) -> TreeResult<NodeInfo> {
+        let tree = self.load(ptr.rid)?;
+        let arena = preorder_to_arena(&tree, ptr.node);
+        let n = tree
+            .try_node(arena)
+            .ok_or(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node })?;
+        Ok(NodeInfo {
+            label: n.label,
+            value: match &n.content {
+                PContent::Literal(v) => Some(v.clone()),
+                _ => None,
+            },
+            facade: n.is_facade(),
+            physical_children: tree.children(arena).len(),
+        })
+    }
+
+    /// The logical children of the facade node at `ptr`, crossing proxies
+    /// and skipping scaffolding.
+    pub fn logical_children(&self, ptr: NodePtr) -> TreeResult<Vec<NodePtr>> {
+        let tree = self.load(ptr.rid)?;
+        let arena = preorder_to_arena(&tree, ptr.node);
+        if tree.try_node(arena).is_none() {
+            return Err(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node });
+        }
+        let mut out = Vec::new();
+        self.expand_children(ptr.rid, &tree, arena, &mut out)?;
+        Ok(out)
+    }
+
+    fn expand_children(
+        &self,
+        rid: Rid,
+        tree: &RecordTree,
+        node: PNodeId,
+        out: &mut Vec<NodePtr>,
+    ) -> TreeResult<()> {
+        for &c in tree.children(node) {
+            match tree.node(c).content {
+                PContent::Proxy(target) => {
+                    let child = self.load(target)?;
+                    let root = child.root();
+                    if child.node(root).is_scaffolding_aggregate() {
+                        self.expand_children(target, &child, root, out)?;
+                    } else {
+                        out.push(NodePtr::new(target, preorder_index(&child, root)));
+                    }
+                }
+                _ => out.push(NodePtr::new(rid, preorder_index(tree, c))),
+            }
+        }
+        Ok(())
+    }
+
+    /// Lazy variant of [`logical_children`](Self::logical_children):
+    /// calls `f` for each logical child in order; `f` returning `false`
+    /// stops the walk (and no further proxy records are read). Positional
+    /// path predicates like `SPEECH[1]` rely on this to avoid loading a
+    /// whole scene to find its first speech.
+    pub fn for_each_logical_child<F>(&self, ptr: NodePtr, f: &mut F) -> TreeResult<bool>
+    where
+        F: FnMut(NodePtr) -> TreeResult<bool>,
+    {
+        let tree = self.load(ptr.rid)?;
+        let arena = preorder_to_arena(&tree, ptr.node);
+        if tree.try_node(arena).is_none() {
+            return Err(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node });
+        }
+        self.expand_children_lazy(ptr.rid, &tree, arena, f)
+    }
+
+    fn expand_children_lazy<F>(
+        &self,
+        rid: Rid,
+        tree: &RecordTree,
+        node: PNodeId,
+        f: &mut F,
+    ) -> TreeResult<bool>
+    where
+        F: FnMut(NodePtr) -> TreeResult<bool>,
+    {
+        for &c in tree.children(node) {
+            match tree.node(c).content {
+                PContent::Proxy(target) => {
+                    let child = self.load(target)?;
+                    let root = child.root();
+                    if child.node(root).is_scaffolding_aggregate() {
+                        if !self.expand_children_lazy(target, &child, root, f)? {
+                            return Ok(false);
+                        }
+                    } else if !f(NodePtr::new(target, preorder_index(&child, root)))? {
+                        return Ok(false);
+                    }
+                }
+                _ => {
+                    if !f(NodePtr::new(rid, preorder_index(tree, c)))? {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// The logical parent of the facade node at `ptr` (`None` for the tree
+    /// root).
+    pub fn logical_parent(&self, ptr: NodePtr) -> TreeResult<Option<NodePtr>> {
+        let tree = self.load(ptr.rid)?;
+        let arena = preorder_to_arena(&tree, ptr.node);
+        let parent = tree
+            .try_node(arena)
+            .ok_or(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node })?
+            .parent;
+        match parent {
+            Some(p) => self.logical_parent_from(ptr.rid, p, tree),
+            None => {
+                let parent_rid = tree.parent_rid;
+                if parent_rid.is_invalid() {
+                    return Ok(None);
+                }
+                let ptree = self.load(parent_rid)?;
+                let proxy = find_proxy(&ptree, ptr.rid).ok_or_else(|| {
+                    TreeError::Invariant(format!(
+                        "record {parent_rid} has no proxy for {}",
+                        ptr.rid
+                    ))
+                })?;
+                let pp = ptree.node(proxy).parent.expect("proxy embedded");
+                self.logical_parent_from(parent_rid, pp, ptree)
+            }
+        }
+    }
+}
+
+/// An insertion site: a record (already loaded), the physical parent node
+/// within it, and the child index at which to attach.
+struct Site {
+    rid: Rid,
+    tree: RecordTree,
+    parent_node: PNodeId,
+    index: usize,
+}
+
+/// Maps a pre-order index back to an arena id. For freshly loaded trees
+/// these coincide (deserialisation numbers nodes in pre-order).
+fn preorder_to_arena(tree: &RecordTree, pre: PNodeId) -> PNodeId {
+    // Loaded trees are never mutated before resolution, so this is the
+    // identity; kept as a function for clarity and future caching.
+    let _ = tree;
+    pre
+}
+
+/// Pre-order index of an (unmutated, freshly loaded) arena node.
+fn preorder_index(tree: &RecordTree, arena: PNodeId) -> PNodeId {
+    let _ = tree;
+    arena
+}
+
+/// Finds the proxy node in `tree` pointing at `child`.
+fn find_proxy(tree: &RecordTree, child: Rid) -> Option<PNodeId> {
+    tree.pre_order(tree.root())
+        .into_iter()
+        .find(|&n| matches!(tree.node(n).content, PContent::Proxy(r) if r == child))
+}
+
+fn edge_child(tree: &RecordTree, node: PNodeId, first: bool) -> Option<PNodeId> {
+    let kids = tree.children(node);
+    if first {
+        kids.first().copied()
+    } else {
+        kids.last().copied()
+    }
+}
+
+

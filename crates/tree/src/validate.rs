@@ -1,0 +1,123 @@
+//! Physical-tree invariant checking and statistics.
+//!
+//! The test suite (including the property-based tests) validates every
+//! stored tree against the invariants the paper's design implies:
+//!
+//! 1. every record parses under its page's node-type table;
+//! 2. every record's size is within the net page capacity;
+//! 3. scaffolding aggregates appear only as record roots (they are created
+//!    exclusively as partition-group helpers, and special case 2 plus the
+//!    merge path preserve this);
+//! 4. every non-root record's standalone parent pointer names the record
+//!    whose proxy refers to it;
+//! 5. the proxy graph is acyclic (each record is reached exactly once);
+//! 6. proxies and scaffolding aggregates carry no logical label.
+//!
+//! [`physical_stats`] gathers the figures the evaluation section talks
+//! about: record counts, scaffolding overhead, on-disk bytes (Figure 14)
+//! and the depth of the multiway record tree (the paper explains Query 3's
+//! result by "the physical record tree has only a depth of 2").
+
+use std::collections::HashSet;
+
+use natix_storage::Rid;
+
+use crate::error::{TreeError, TreeResult};
+use crate::model::PContent;
+use crate::store::TreeStore;
+
+/// Aggregate statistics of one stored tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhysicalStats {
+    /// Number of records.
+    pub records: usize,
+    /// Facade nodes (logical nodes).
+    pub facade_nodes: usize,
+    /// Scaffolding helper aggregates.
+    pub scaffolding_aggregates: usize,
+    /// Proxy nodes.
+    pub proxies: usize,
+    /// Sum of serialised record sizes (excluding page/slot overhead).
+    pub record_bytes: usize,
+    /// Depth of the multiway tree of records (1 = everything in one
+    /// record).
+    pub record_depth: usize,
+    /// Distinct pages the tree's records live on.
+    pub pages: usize,
+}
+
+/// Validates all invariants of the tree rooted at record `root` and
+/// returns its statistics.
+pub fn check_tree(store: &TreeStore, root: Rid) -> TreeResult<PhysicalStats> {
+    let mut stats = PhysicalStats::default();
+    let mut seen: HashSet<Rid> = HashSet::new();
+    let mut pages: HashSet<u32> = HashSet::new();
+    check_record(store, root, Rid::invalid(), 1, &mut stats, &mut seen, &mut pages)?;
+    stats.pages = pages.len();
+    Ok(stats)
+}
+
+fn check_record(
+    store: &TreeStore,
+    rid: Rid,
+    expected_parent: Rid,
+    depth: usize,
+    stats: &mut PhysicalStats,
+    seen: &mut HashSet<Rid>,
+    pages: &mut HashSet<u32>,
+) -> TreeResult<()> {
+    if !seen.insert(rid) {
+        return Err(TreeError::Invariant(format!(
+            "record {rid} reached twice: proxy graph is not a tree"
+        )));
+    }
+    let tree = store.load(rid)?; // invariant 1: parses
+    if tree.parent_rid != expected_parent {
+        return Err(TreeError::Invariant(format!(
+            "record {rid}: standalone parent {} but reached from {expected_parent}",
+            tree.parent_rid
+        )));
+    }
+    let size = tree.record_size();
+    if size > store.net_capacity() {
+        return Err(TreeError::Invariant(format!(
+            "record {rid}: {size} bytes exceeds net capacity {}",
+            store.net_capacity()
+        )));
+    }
+    stats.records += 1;
+    stats.record_bytes += size;
+    stats.record_depth = stats.record_depth.max(depth);
+    pages.insert(rid.page);
+    for id in tree.pre_order(tree.root()) {
+        let n = tree.node(id);
+        match &n.content {
+            PContent::Proxy(target) => {
+                if n.label != natix_xml::LABEL_NONE {
+                    return Err(TreeError::Invariant(format!(
+                        "record {rid}: proxy node {id} carries label {}",
+                        n.label
+                    )));
+                }
+                stats.proxies += 1;
+                check_record(store, *target, rid, depth + 1, stats, seen, pages)?;
+            }
+            PContent::Aggregate(_) if n.is_scaffolding_aggregate() => {
+                if id != tree.root() {
+                    return Err(TreeError::Invariant(format!(
+                        "record {rid}: scaffolding aggregate {id} is not the record root"
+                    )));
+                }
+                stats.scaffolding_aggregates += 1;
+            }
+            _ => stats.facade_nodes += 1,
+        }
+    }
+    Ok(())
+}
+
+/// Statistics without the invariant failures (tolerates e.g. merged or
+/// exotic configurations during benchmarking) — counts only.
+pub fn physical_stats(store: &TreeStore, root: Rid) -> TreeResult<PhysicalStats> {
+    check_tree(store, root)
+}

@@ -1,0 +1,168 @@
+//! Tests for DOM-style cursor navigation across record boundaries.
+
+use std::sync::Arc;
+
+use natix_storage::{BufferManager, EvictionPolicy, IoStats, MemStorage, StorageManager};
+use natix_tree::{Cursor, InsertPos, NewNode, SplitMatrix, TreeConfig, TreeStore};
+use natix_xml::{LiteralValue, LABEL_TEXT};
+
+fn mk_store(page_size: usize, matrix: SplitMatrix) -> TreeStore {
+    let backend = Arc::new(MemStorage::new(page_size).unwrap());
+    let bm = Arc::new(BufferManager::new(backend, 256, EvictionPolicy::Lru, IoStats::new_shared()));
+    let sm = Arc::new(StorageManager::create(bm).unwrap());
+    let seg = sm.create_segment("docs").unwrap();
+    TreeStore::new(sm, seg, TreeConfig::paper(), matrix)
+}
+
+/// Builds a wide tree that certainly spans several records:
+/// root(1) → 40 × item(2) → text. Returns the root rid.
+fn build_wide(store: &TreeStore) -> natix_storage::Rid {
+    let root = store.create_tree(1).unwrap();
+    let mut root_ptr = natix_tree::NodePtr::new(root, 0);
+    let mut root_rid = root;
+    for i in 0..40 {
+        let res = store.insert(root_ptr, InsertPos::Last, 2, NewNode::Element).unwrap();
+        if let Some((old, new)) = res.root_moved {
+            if old == root_rid {
+                root_rid = new;
+                root_ptr = natix_tree::NodePtr::new(new, 0);
+            }
+        }
+        // Track the root across relocations.
+        for r in &res.relocations {
+            if r.old == root_ptr {
+                root_ptr = r.new;
+            }
+        }
+        let item = res.new_node.unwrap();
+        let res2 = store
+            .insert(
+                item,
+                InsertPos::Last,
+                LABEL_TEXT,
+                NewNode::Literal(LiteralValue::String(format!("text {i} {}", "pad".repeat(6)))),
+            )
+            .unwrap();
+        if let Some((old, new)) = res2.root_moved {
+            if old == root_rid {
+                root_rid = new;
+                root_ptr = natix_tree::NodePtr::new(new, 0);
+            }
+        }
+        for r in &res2.relocations {
+            if r.old == root_ptr {
+                root_ptr = r.new;
+            }
+        }
+    }
+    root_rid
+}
+
+#[test]
+fn first_child_next_sibling_walk_crosses_records() {
+    let store = mk_store(512, SplitMatrix::all_other());
+    let root = build_wide(&store);
+    let stats = natix_tree::check_tree(&store, root).unwrap();
+    assert!(stats.records > 3, "tree must span records: {stats:?}");
+
+    let mut cursor = Cursor::at_root(&store, root).unwrap();
+    assert_eq!(cursor.label(), 1);
+    assert!(cursor.first_child().unwrap());
+    let mut items = 0;
+    loop {
+        assert_eq!(cursor.label(), 2, "every logical child is an item");
+        items += 1;
+        // Descend to the text and back up.
+        assert!(cursor.first_child().unwrap());
+        assert_eq!(cursor.label(), LABEL_TEXT);
+        let v = cursor.value().unwrap().to_text();
+        assert!(v.starts_with(&format!("text {} ", items - 1)), "{v}");
+        assert!(cursor.parent().unwrap());
+        if !cursor.next_sibling().unwrap() {
+            break;
+        }
+    }
+    assert_eq!(items, 40, "sibling walk must cross every record seam");
+    // Walking up from the last item reaches the root.
+    assert!(cursor.parent().unwrap());
+    assert_eq!(cursor.label(), 1);
+    assert!(!cursor.parent().unwrap(), "root has no parent");
+}
+
+#[test]
+fn cursor_in_one_to_one_mode() {
+    let store = mk_store(1024, SplitMatrix::all_standalone());
+    let root = build_wide(&store);
+    let mut cursor = Cursor::at_root(&store, root).unwrap();
+    assert!(cursor.first_child().unwrap());
+    let mut count = 1;
+    while cursor.next_sibling().unwrap() {
+        count += 1;
+    }
+    assert_eq!(count, 40);
+}
+
+#[test]
+fn cursor_on_leaf_positions() {
+    let store = mk_store(1024, SplitMatrix::all_other());
+    let root = store.create_tree(1).unwrap();
+    let res = store
+        .insert(
+            natix_tree::NodePtr::new(root, 0),
+            InsertPos::Last,
+            LABEL_TEXT,
+            NewNode::Literal(LiteralValue::String("only".into())),
+        )
+        .unwrap();
+    let leaf = res.new_node.unwrap();
+    let mut cursor = Cursor::at(&store, leaf).unwrap();
+    assert!(!cursor.is_element());
+    assert_eq!(cursor.value().unwrap().to_text(), "only");
+    assert!(!cursor.first_child().unwrap(), "leaves have no children");
+    assert!(!cursor.next_sibling().unwrap(), "no siblings");
+    assert!(cursor.parent().unwrap());
+    assert_eq!(cursor.label(), 1);
+    let labels = cursor.child_labels().unwrap();
+    assert_eq!(labels, vec![LABEL_TEXT]);
+}
+
+#[test]
+fn cursor_matches_traverse_order() {
+    // A full cursor-driven pre-order walk yields the same facade sequence
+    // as the streaming traversal.
+    let store = mk_store(512, SplitMatrix::all_other());
+    let root = build_wide(&store);
+    let mut via_traverse = Vec::new();
+    natix_tree::traverse(&store, natix_tree::NodePtr::new(root, 0), &mut |ev| {
+        match ev {
+            natix_tree::VisitEvent::Enter { label, .. } => via_traverse.push(label),
+            natix_tree::VisitEvent::Literal { label, .. } => via_traverse.push(label),
+            natix_tree::VisitEvent::Leave { .. } => {}
+        }
+        true
+    })
+    .unwrap();
+
+    // Cursor DFS.
+    let mut via_cursor = Vec::new();
+    let mut cursor = Cursor::at_root(&store, root).unwrap();
+    let mut depth = 0usize;
+    'walk: loop {
+        via_cursor.push(cursor.label());
+        if cursor.first_child().unwrap() {
+            depth += 1;
+            continue;
+        }
+        loop {
+            if cursor.next_sibling().unwrap() {
+                break;
+            }
+            if depth == 0 {
+                break 'walk;
+            }
+            assert!(cursor.parent().unwrap());
+            depth -= 1;
+        }
+    }
+    assert_eq!(via_cursor, via_traverse);
+}

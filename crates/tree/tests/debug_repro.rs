@@ -1,0 +1,147 @@
+//! Regression scenario distilled from the property tests: a pure-insert
+//! sequence under the all-standalone (1:1) matrix on 1 KB pages.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use natix_storage::{BufferManager, EvictionPolicy, IoStats, MemStorage, Rid, StorageManager};
+use natix_tree::{
+    check_tree, reconstruct_document, InsertPos, NewNode, NodePtr, OpResult, SplitMatrix,
+    TreeConfig, TreeStore,
+};
+use natix_xml::{Document, LiteralValue, NodeData, NodeIdx, LABEL_TEXT};
+
+struct H {
+    store: TreeStore,
+    doc: Document,
+    map: HashMap<NodeIdx, NodePtr>,
+    rev: HashMap<NodePtr, NodeIdx>,
+    root_rid: Rid,
+    live: Vec<NodeIdx>,
+}
+
+impl H {
+    fn apply(&mut self, res: &OpResult) {
+        let moved: Vec<(Option<NodeIdx>, NodePtr)> =
+            res.relocations.iter().map(|r| (self.rev.remove(&r.old), r.new)).collect();
+        for (idx, new) in moved {
+            if let Some(i) = idx {
+                self.map.insert(i, new);
+                self.rev.insert(new, i);
+            }
+        }
+        if let Some((old, new)) = res.root_moved {
+            if self.root_rid == old {
+                self.root_rid = new;
+            }
+        }
+    }
+}
+
+#[test]
+fn standalone_insert_sequence() {
+    let backend = Arc::new(MemStorage::new(1024).unwrap());
+    let bm = Arc::new(BufferManager::new(backend, 256, EvictionPolicy::Lru, IoStats::new_shared()));
+    let sm = Arc::new(StorageManager::create(bm).unwrap());
+    let seg = sm.create_segment("docs").unwrap();
+    let store = TreeStore::new(sm, seg, TreeConfig::paper(), SplitMatrix::all_standalone());
+    let root_rid = store.create_tree(1).unwrap();
+    let mut h = H {
+        store,
+        doc: Document::new(NodeData::Element(1)),
+        map: HashMap::new(),
+        rev: HashMap::new(),
+        root_rid,
+        live: vec![0],
+    };
+    h.map.insert(0, NodePtr::new(root_rid, 0));
+    h.rev.insert(NodePtr::new(root_rid, 0), 0);
+
+    // (target, pos_seed, label, text_len: None=element)
+    let ops: Vec<(usize, usize, u16, Option<usize>)> = vec![
+        (0, 0, 4, None),
+        (3463352798048616484, 2176683219257896540, 5, None),
+        (16547482297019661615, 3375051007501521340, LABEL_TEXT, Some(31)),
+        (9680681321423435532, 12833229158990715196, 5, None),
+        (16688179498362267752, 6935415870376316847, 2, None),
+        (15239617208003563711, 7102741452124097322, 5, None),
+        (6289115770950463494, 8308735912830452621, LABEL_TEXT, Some(34)),
+        (14463592814163842391, 17190842004108994094, 6, None),
+        (7961002646956014678, 10655555731747165897, 5, None),
+        (2318479113638696998, 13222850106980302339, LABEL_TEXT, Some(29)),
+        (6887953147433770219, 1500255433811445820, LABEL_TEXT, Some(18)),
+        (1130890726818129679, 5216393186615953481, 3, None),
+        (16851267365394323428, 8783501312474862137, LABEL_TEXT, Some(8)),
+        (8536952172825370729, 3704771442065470959, 5, None),
+    ];
+
+    for (i, (target, pos_seed, label, text)) in ops.into_iter().enumerate() {
+        let elems: Vec<NodeIdx> = h
+            .live
+            .iter()
+            .copied()
+            .filter(|&n| matches!(h.doc.data(n), NodeData::Element(_)))
+            .collect();
+        let parent = elems[target % elems.len()];
+        let nkids = h.doc.children(parent).len();
+        let (pos, shadow_pos) = match pos_seed % 3 {
+            0 => (InsertPos::First, 0),
+            1 => (InsertPos::Last, nkids),
+            _ => {
+                let k = if nkids == 0 { 0 } else { pos_seed % (nkids + 1) };
+                (InsertPos::At(k), k.min(nkids))
+            }
+        };
+        let node = match text {
+            None => NewNode::Element,
+            Some(len) => NewNode::Literal(LiteralValue::String("t".repeat(len))),
+        };
+        let data = match &node {
+            NewNode::Element => NodeData::Element(label),
+            NewNode::Literal(v) => NodeData::Literal { label, value: v.clone() },
+        };
+        let res = h.store.insert(h.map[&parent], pos, label, node).unwrap();
+        h.apply(&res);
+        let idx = h.doc.insert_child(parent, shadow_pos, data);
+        let ptr = res.new_node.expect("new node");
+        h.map.insert(idx, ptr);
+        h.rev.insert(ptr, idx);
+        h.live.push(idx);
+
+        // Dump physical state for debugging.
+        eprintln!("== after op {i}: root={} new={ptr}", h.root_rid);
+        for (page, free) in h.store.storage().segment_pages(h.store.segment()) {
+            let pin = h.store.storage().pin(page).unwrap();
+            let buf = pin.read();
+            let sp = natix_storage::slotted::SlottedPageRef::open(&buf).unwrap();
+            let slots: Vec<String> = sp
+                .live_slots()
+                .map(|s| format!("{s}:{}B", sp.get(s).unwrap().len()))
+                .collect();
+            eprintln!("  page {page} free={free}: {slots:?}");
+            sp.check_invariants().unwrap_or_else(|e| panic!("op {i} page {page}: {e}"));
+            for s in sp.live_slots().filter(|&s| s != 0) {
+                let rid = Rid::new(page, s);
+                match h.store.load(rid) {
+                    Ok(t) => {
+                        let root = t.root();
+                        let proxies = t.proxies_under(root);
+                        eprintln!(
+                            "    {rid}: parent={} label={} nodes={} proxies={:?}",
+                            t.parent_rid,
+                            t.node(root).label,
+                            t.live_count(),
+                            proxies
+                        );
+                    }
+                    Err(e) => eprintln!("    {rid}: PARSE ERROR {e}"),
+                }
+            }
+        }
+        // Verify after every op to localise a failure.
+        let rebuilt = reconstruct_document(&h.store, h.root_rid)
+            .unwrap_or_else(|e| panic!("op {i}: reconstruct failed: {e}"));
+        assert!(rebuilt == h.doc, "op {i}: diverged");
+        check_tree(&h.store, h.root_rid).unwrap_or_else(|e| panic!("op {i}: invariant: {e}"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Property-based tests of the tree storage manager.
+//!
+//! Strategy: generate an arbitrary sequence of structural operations
+//! (inserts at random logical positions, subtree deletions, literal
+//! updates) under a random split matrix, page size and split
+//! configuration; replay the sequence against both the store and an
+//! in-memory shadow document; then demand (a) reconstruction equality and
+//! (b) all physical invariants of `check_tree`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use natix_storage::{BufferManager, EvictionPolicy, IoStats, MemStorage, Rid, StorageManager};
+use natix_tree::{
+    check_tree, reconstruct_document, InsertPos, NewNode, NodePtr, OpResult, SplitBehaviour,
+    SplitMatrix, TreeConfig, TreeStore,
+};
+use natix_xml::{Document, LiteralValue, NodeData, NodeIdx, LABEL_TEXT};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert an element under the `target`-th live element, at position
+    /// `pos_seed`.
+    InsertElement { target: usize, pos_seed: usize, label: u16 },
+    /// Insert a text literal of the given length.
+    InsertText { target: usize, pos_seed: usize, len: usize },
+    /// Delete the `target`-th live non-root node's subtree.
+    Delete { target: usize },
+    /// Replace the `target`-th live literal's value.
+    Update { target: usize, len: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<usize>(), any::<usize>(), 2u16..8).prop_map(|(target, pos_seed, label)| {
+            Op::InsertElement { target, pos_seed, label }
+        }),
+        4 => (any::<usize>(), any::<usize>(), 0usize..60).prop_map(|(target, pos_seed, len)| {
+            Op::InsertText { target, pos_seed, len }
+        }),
+        1 => any::<usize>().prop_map(|target| Op::Delete { target }),
+        1 => (any::<usize>(), 0usize..80).prop_map(|(target, len)| Op::Update { target, len }),
+    ]
+}
+
+fn matrix_strategy() -> impl Strategy<Value = SplitMatrix> {
+    // A default behaviour plus a handful of overrides.
+    (
+        prop_oneof![
+            4 => Just(SplitBehaviour::Other),
+            1 => Just(SplitBehaviour::Standalone),
+        ],
+        proptest::collection::vec((2u16..8, 2u16..8, 0u8..3), 0..6),
+    )
+        .prop_map(|(default, overrides)| {
+            let mut m = SplitMatrix::with_default(default);
+            for (p, c, b) in overrides {
+                let b = match b {
+                    0 => SplitBehaviour::Standalone,
+                    1 => SplitBehaviour::KeepWithParent,
+                    _ => SplitBehaviour::Other,
+                };
+                m.set(p, c, b);
+            }
+            m
+        })
+}
+
+struct Harness {
+    store: TreeStore,
+    doc: Document,
+    map: HashMap<NodeIdx, NodePtr>,
+    rev: HashMap<NodePtr, NodeIdx>,
+    root_rid: Rid,
+    live: Vec<NodeIdx>,
+}
+
+impl Harness {
+    fn new(page_size: usize, matrix: SplitMatrix, config: TreeConfig) -> Harness {
+        let backend = Arc::new(MemStorage::new(page_size).unwrap());
+        let bm =
+            Arc::new(BufferManager::new(backend, 256, EvictionPolicy::Lru, IoStats::new_shared()));
+        let sm = Arc::new(StorageManager::create(bm).unwrap());
+        let seg = sm.create_segment("docs").unwrap();
+        let store = TreeStore::new(sm, seg, config, matrix);
+        let root_rid = store.create_tree(1).unwrap();
+        let mut h = Harness {
+            store,
+            doc: Document::new(NodeData::Element(1)),
+            map: HashMap::new(),
+            rev: HashMap::new(),
+            root_rid,
+            live: vec![0],
+        };
+        h.bind(0, NodePtr::new(root_rid, 0));
+        h
+    }
+
+    fn bind(&mut self, idx: NodeIdx, ptr: NodePtr) {
+        self.map.insert(idx, ptr);
+        self.rev.insert(ptr, idx);
+    }
+
+    fn apply(&mut self, res: &OpResult) {
+        let moved: Vec<(Option<NodeIdx>, NodePtr)> =
+            res.relocations.iter().map(|r| (self.rev.remove(&r.old), r.new)).collect();
+        for (idx, new) in moved {
+            if let Some(i) = idx {
+                self.map.insert(i, new);
+                self.rev.insert(new, i);
+            }
+        }
+        if let Some((old, new)) = res.root_moved {
+            if self.root_rid == old {
+                self.root_rid = new;
+            }
+        }
+    }
+
+    fn pick_element(&self, seed: usize) -> Option<NodeIdx> {
+        let elems: Vec<NodeIdx> = self
+            .live
+            .iter()
+            .copied()
+            .filter(|&n| matches!(self.doc.data(n), NodeData::Element(_)))
+            .collect();
+        (!elems.is_empty()).then(|| elems[seed % elems.len()])
+    }
+
+    fn insert(&mut self, parent: NodeIdx, pos_seed: usize, label: u16, node: NewNode) {
+        let nkids = self.doc.children(parent).len();
+        let (pos, shadow_pos) = match pos_seed % 3 {
+            0 => (InsertPos::First, 0),
+            1 => (InsertPos::Last, nkids),
+            _ => {
+                let k = if nkids == 0 { 0 } else { pos_seed % (nkids + 1) };
+                (InsertPos::At(k), k.min(nkids))
+            }
+        };
+        let data = match &node {
+            NewNode::Element => NodeData::Element(label),
+            NewNode::Literal(v) => NodeData::Literal { label, value: v.clone() },
+        };
+        let res = self.store.insert(self.map[&parent], pos, label, node).unwrap();
+        self.apply(&res);
+        let idx = self.doc.insert_child(parent, shadow_pos, data);
+        self.bind(idx, res.new_node.expect("new node reported"));
+        self.live.push(idx);
+    }
+
+    fn delete(&mut self, seed: usize) {
+        let candidates: Vec<NodeIdx> =
+            self.live.iter().copied().filter(|&n| n != 0).collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let victim = candidates[seed % candidates.len()];
+        let res = self.store.delete_subtree(self.map[&victim]).unwrap();
+        // Purge the victims (by their pre-op addresses) BEFORE applying
+        // relocations: a survivor may relocate into a victim's old slot.
+        let gone: Vec<NodeIdx> = self.doc.pre_order_from(victim).collect();
+        for n in &gone {
+            if let Some(p) = self.map.remove(n) {
+                self.rev.remove(&p);
+            }
+        }
+        self.apply(&res);
+        self.live.retain(|n| !gone.contains(n));
+        self.doc.detach(victim);
+    }
+
+    fn update(&mut self, seed: usize, len: usize) {
+        let lits: Vec<NodeIdx> = self
+            .live
+            .iter()
+            .copied()
+            .filter(|&n| matches!(self.doc.data(n), NodeData::Literal { .. }))
+            .collect();
+        if lits.is_empty() {
+            return;
+        }
+        let target = lits[seed % lits.len()];
+        let value = LiteralValue::String("u".repeat(len));
+        let res = self.store.update_literal(self.map[&target], value.clone()).unwrap();
+        self.apply(&res);
+        if let NodeData::Literal { value: v, .. } = self.doc.data_mut(target) {
+            *v = value;
+        }
+    }
+
+    fn verify(&self) {
+        let rebuilt = reconstruct_document(&self.store, self.root_rid).unwrap();
+        assert!(rebuilt == self.doc, "reconstruction diverged from shadow");
+        check_tree(&self.store, self.root_rid).unwrap();
+    }
+}
+
+fn run_ops(page_size: usize, matrix: SplitMatrix, config: TreeConfig, ops: &[Op]) {
+    let mut h = Harness::new(page_size, matrix, config);
+    for op in ops {
+        match op {
+            Op::InsertElement { target, pos_seed, label } => {
+                if let Some(parent) = h.pick_element(*target) {
+                    h.insert(parent, *pos_seed, *label, NewNode::Element);
+                }
+            }
+            Op::InsertText { target, pos_seed, len } => {
+                if let Some(parent) = h.pick_element(*target) {
+                    let text = LiteralValue::String("t".repeat(*len));
+                    h.insert(parent, *pos_seed, LABEL_TEXT, NewNode::Literal(text));
+                }
+            }
+            Op::Delete { target } => h.delete(*target),
+            Op::Update { target, len } => h.update(*target, *len),
+        }
+    }
+    h.verify();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_ops_preserve_document(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        page_size in prop_oneof![Just(512usize), Just(1024), Just(2048)],
+        matrix in matrix_strategy(),
+        split_target in 0.2f64..0.8,
+        split_tolerance in 0.02f64..0.3,
+    ) {
+        let config = TreeConfig {
+            split_target,
+            split_tolerance,
+            ..TreeConfig::paper()
+        };
+        run_ops(page_size, matrix, config, &ops);
+    }
+
+    #[test]
+    fn random_ops_with_merging(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+        page_size in prop_oneof![Just(512usize), Just(1024)],
+    ) {
+        let config = TreeConfig {
+            merge_enabled: true,
+            ..TreeConfig::paper()
+        };
+        run_ops(page_size, SplitMatrix::all_other(), config, &ops);
+    }
+
+    #[test]
+    fn one_to_one_matrix_random_ops(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        run_ops(1024, SplitMatrix::all_standalone(), TreeConfig::paper(), &ops);
+    }
+}

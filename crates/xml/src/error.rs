@@ -1,0 +1,52 @@
+//! Error type for the XML substrate.
+
+use std::fmt;
+
+/// Errors raised while parsing or serialising XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Syntax error at a byte offset with a human-readable reason.
+    Syntax { offset: usize, message: String },
+    /// End tag did not match the open element.
+    MismatchedTag { offset: usize, expected: String, found: String },
+    /// Input ended inside a construct.
+    UnexpectedEof { message: String },
+    /// A numeric character reference was out of range / not a char.
+    BadCharRef { offset: usize },
+    /// An undefined (non-predefined) entity was referenced.
+    UnknownEntity { offset: usize, name: String },
+    /// Document-level structural error (e.g. two root elements).
+    Structure(String),
+    /// DTD-specific syntax problem.
+    Dtd { offset: usize, message: String },
+}
+
+/// Convenience alias used throughout the XML crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Syntax { offset, message } => {
+                write!(f, "XML syntax error at byte {offset}: {message}")
+            }
+            XmlError::MismatchedTag { offset, expected, found } => write!(
+                f,
+                "mismatched end tag at byte {offset}: expected </{expected}>, found </{found}>"
+            ),
+            XmlError::UnexpectedEof { message } => write!(f, "unexpected end of input: {message}"),
+            XmlError::BadCharRef { offset } => {
+                write!(f, "invalid character reference at byte {offset}")
+            }
+            XmlError::UnknownEntity { offset, name } => {
+                write!(f, "unknown entity &{name}; at byte {offset}")
+            }
+            XmlError::Structure(m) => write!(f, "document structure error: {m}"),
+            XmlError::Dtd { offset, message } => {
+                write!(f, "DTD error at byte {offset}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}

@@ -1,0 +1,142 @@
+//! XML entity escaping and unescaping.
+//!
+//! Handles the five predefined entities (`&lt; &gt; &amp; &apos; &quot;`)
+//! and numeric character references (`&#10;`, `&#x1F600;`).
+
+use crate::error::{XmlError, XmlResult};
+
+/// Escapes text content: `&`, `<`, `>` are replaced. Borrow-preserving:
+/// returns the input unchanged when nothing needs escaping.
+pub fn escape_text(s: &str) -> std::borrow::Cow<'_, str> {
+    escape_impl(s, false)
+}
+
+/// Escapes an attribute value for double-quoted output: additionally
+/// replaces `"`.
+pub fn escape_attr(s: &str) -> std::borrow::Cow<'_, str> {
+    escape_impl(s, true)
+}
+
+fn escape_impl(s: &str, attr: bool) -> std::borrow::Cow<'_, str> {
+    let needs = s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>') || (attr && b == b'"'));
+    if !needs {
+        return std::borrow::Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    std::borrow::Cow::Owned(out)
+}
+
+/// Expands entity and character references in `s`. `base_offset` is the
+/// position of `s` in the whole input, for error reporting.
+pub fn unescape(s: &str, base_offset: usize) -> XmlResult<String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy the longest &-free run in one go.
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'&' {
+                i += 1;
+            }
+            out.push_str(&s[start..i]);
+            continue;
+        }
+        let semi = s[i..]
+            .find(';')
+            .map(|p| i + p)
+            .ok_or(XmlError::UnexpectedEof { message: "entity reference".into() })?;
+        let name = &s[i + 1..semi];
+        match name {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let code = u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| XmlError::BadCharRef { offset: base_offset + i })?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or(XmlError::BadCharRef { offset: base_offset + i })?,
+                );
+            }
+            _ if name.starts_with('#') => {
+                let code = name[1..]
+                    .parse::<u32>()
+                    .map_err(|_| XmlError::BadCharRef { offset: base_offset + i })?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or(XmlError::BadCharRef { offset: base_offset + i })?,
+                );
+            }
+            _ => {
+                return Err(XmlError::UnknownEntity {
+                    offset: base_offset + i,
+                    name: name.to_string(),
+                })
+            }
+        }
+        i = semi + 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_borrows_when_clean() {
+        assert!(matches!(escape_text("plain text"), std::borrow::Cow::Borrowed(_)));
+        assert!(matches!(escape_text("a < b"), std::borrow::Cow::Owned(_)));
+    }
+
+    #[test]
+    fn escape_text_replaces_specials() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+        assert_eq!(escape_text(r#"say "hi""#), r#"say "hi""#, "quotes fine in text");
+    }
+
+    #[test]
+    fn escape_attr_also_quotes() {
+        assert_eq!(escape_attr(r#"say "hi" & bye"#), "say &quot;hi&quot; &amp; bye");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(unescape("&lt;&gt;&amp;&apos;&quot;", 0).unwrap(), "<>&'\"");
+    }
+
+    #[test]
+    fn unescape_char_refs() {
+        assert_eq!(unescape("&#65;&#x42;&#x1F600;", 0).unwrap(), "AB😀");
+    }
+
+    #[test]
+    fn unescape_errors() {
+        assert!(matches!(unescape("&bogus;", 10), Err(XmlError::UnknownEntity { offset: 10, .. })));
+        assert!(matches!(unescape("&#xD800;", 0), Err(XmlError::BadCharRef { .. })));
+        assert!(matches!(unescape("&#notanum;", 0), Err(XmlError::BadCharRef { .. })));
+        assert!(matches!(unescape("&unterminated", 0), Err(XmlError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let original = "if a<b & c>d then \"quote\" 'apos'";
+        let escaped = escape_attr(original);
+        assert_eq!(unescape(&escaped, 0).unwrap(), original);
+    }
+}

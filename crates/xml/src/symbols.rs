@@ -1,0 +1,184 @@
+//! The interned label alphabet ΣDTD.
+//!
+//! §2.2: non-leaf nodes are "labelled with a symbol taken from an alphabet
+//! ΣDTD"; Appendix A stores labels as 2-byte indices into a node-type
+//! table, so labels are `u16` everywhere. The table distinguishes element
+//! names from attribute names (both can be called `id`, say) and reserves
+//! built-in labels for constructs that XML carries besides elements.
+
+use std::collections::HashMap;
+
+/// A 2-byte label, matching the paper's type-table encoding (Appendix A).
+pub type LabelId = u16;
+
+/// Label 0: "no logical label" — scaffolding nodes (§2.3.3) carry it.
+pub const LABEL_NONE: LabelId = 0;
+/// Built-in label for text (character data) literals.
+pub const LABEL_TEXT: LabelId = 1;
+/// Built-in label for comment literals.
+pub const LABEL_COMMENT: LabelId = 2;
+/// Built-in label for processing-instruction literals.
+pub const LABEL_PI: LabelId = 3;
+/// First id handed out to user labels.
+pub const FIRST_USER_LABEL: LabelId = 4;
+
+/// What namespace a label lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LabelKind {
+    /// Element (tag) name.
+    Element,
+    /// Attribute name.
+    Attribute,
+    /// One of the reserved built-ins.
+    Builtin,
+}
+
+/// Bidirectional interner for the label alphabet. Lives in the schema
+/// manager and is persisted with the repository catalog.
+#[derive(Debug, Clone)]
+pub struct SymbolTable {
+    names: Vec<(LabelKind, String)>,
+    map: HashMap<(LabelKind, String), LabelId>,
+}
+
+impl SymbolTable {
+    /// Creates a table with the built-in labels pre-interned.
+    pub fn new() -> SymbolTable {
+        let mut t = SymbolTable { names: Vec::new(), map: HashMap::new() };
+        // Order matters: ids must equal the LABEL_* constants.
+        t.push(LabelKind::Builtin, "#none");
+        t.push(LabelKind::Builtin, "#text");
+        t.push(LabelKind::Builtin, "#comment");
+        t.push(LabelKind::Builtin, "#pi");
+        t
+    }
+
+    fn push(&mut self, kind: LabelKind, name: &str) -> LabelId {
+        let id = self.names.len() as LabelId;
+        self.names.push((kind, name.to_string()));
+        self.map.insert((kind, name.to_string()), id);
+        id
+    }
+
+    /// Interns an element name.
+    pub fn intern_element(&mut self, name: &str) -> LabelId {
+        self.intern(LabelKind::Element, name)
+    }
+
+    /// Interns an attribute name.
+    pub fn intern_attribute(&mut self, name: &str) -> LabelId {
+        self.intern(LabelKind::Attribute, name)
+    }
+
+    /// Interns a name in the given namespace.
+    pub fn intern(&mut self, kind: LabelKind, name: &str) -> LabelId {
+        if let Some(&id) = self.map.get(&(kind, name.to_string())) {
+            return id;
+        }
+        assert!(self.names.len() < u16::MAX as usize, "label alphabet exhausted");
+        self.push(kind, name)
+    }
+
+    /// Looks up an existing label without interning.
+    pub fn lookup(&self, kind: LabelKind, name: &str) -> Option<LabelId> {
+        self.map.get(&(kind, name.to_string())).copied()
+    }
+
+    /// Looks up an element label.
+    pub fn lookup_element(&self, name: &str) -> Option<LabelId> {
+        self.lookup(LabelKind::Element, name)
+    }
+
+    /// The name of a label (panics on an unknown id — ids are never
+    /// fabricated, they always come from this table).
+    pub fn name(&self, id: LabelId) -> &str {
+        &self.names[id as usize].1
+    }
+
+    /// The namespace of a label.
+    pub fn kind(&self, id: LabelId) -> LabelKind {
+        self.names[id as usize].0
+    }
+
+    /// Total number of labels, including built-ins.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Never true: built-ins are always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates `(id, kind, name)` over all labels (catalog persistence).
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, LabelKind, &str)> + '_ {
+        self.names.iter().enumerate().map(|(i, (k, n))| (i as LabelId, *k, n.as_str()))
+    }
+
+    /// Rebuilds a table from persisted `(kind, name)` rows, which must
+    /// start with the built-ins in canonical order (as produced by
+    /// [`iter`](Self::iter)).
+    pub fn from_rows(rows: &[(LabelKind, String)]) -> SymbolTable {
+        let mut t = SymbolTable { names: Vec::new(), map: HashMap::new() };
+        for (kind, name) in rows {
+            t.push(*kind, name);
+        }
+        debug_assert!(t.names.len() >= FIRST_USER_LABEL as usize);
+        t
+    }
+}
+
+impl Default for SymbolTable {
+    fn default() -> Self {
+        SymbolTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_have_fixed_ids() {
+        let t = SymbolTable::new();
+        assert_eq!(t.name(LABEL_NONE), "#none");
+        assert_eq!(t.name(LABEL_TEXT), "#text");
+        assert_eq!(t.name(LABEL_COMMENT), "#comment");
+        assert_eq!(t.name(LABEL_PI), "#pi");
+        assert_eq!(t.len(), FIRST_USER_LABEL as usize);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern_element("SPEECH");
+        let b = t.intern_element("SPEECH");
+        assert_eq!(a, b);
+        assert_eq!(t.name(a), "SPEECH");
+        assert_eq!(t.kind(a), LabelKind::Element);
+    }
+
+    #[test]
+    fn namespaces_are_separate() {
+        let mut t = SymbolTable::new();
+        let e = t.intern_element("id");
+        let a = t.intern_attribute("id");
+        assert_ne!(e, a);
+        assert_eq!(t.lookup(LabelKind::Element, "id"), Some(e));
+        assert_eq!(t.lookup(LabelKind::Attribute, "id"), Some(a));
+        assert_eq!(t.lookup(LabelKind::Element, "nope"), None);
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let mut t = SymbolTable::new();
+        t.intern_element("PLAY");
+        t.intern_attribute("type");
+        let rows: Vec<(LabelKind, String)> =
+            t.iter().map(|(_, k, n)| (k, n.to_string())).collect();
+        let t2 = SymbolTable::from_rows(&rows);
+        assert_eq!(t2.len(), t.len());
+        assert_eq!(t2.lookup_element("PLAY"), t.lookup_element("PLAY"));
+        assert_eq!(t2.name(LABEL_TEXT), "#text");
+    }
+}

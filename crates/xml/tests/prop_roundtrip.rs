@@ -1,0 +1,150 @@
+//! Property-based tests: random logical documents survive
+//! serialise → parse → serialise unchanged, and the parser never panics on
+//! arbitrary input.
+
+use proptest::prelude::*;
+
+use natix_xml::{
+    parse_document, write_document, Document, NodeData, ParserOptions, SymbolTable, WriteOptions,
+};
+
+/// Strategy for tag names.
+fn tag() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_-]{0,8}".prop_map(|s| s)
+}
+
+/// Strategy for text content, including characters that need escaping.
+/// Always contains at least one letter: whitespace-only text nodes are
+/// dropped by the default parser options (by design), so they cannot
+/// roundtrip and are out of scope here.
+fn text() -> impl Strategy<Value = String> {
+    (
+        proptest::char::range('a', 'z'),
+        proptest::collection::vec(
+            prop_oneof![
+                8 => proptest::char::range('a', 'z').prop_map(|c| c.to_string()),
+                1 => Just(" ".to_string()),
+                1 => prop_oneof![
+                    Just("<".to_string()),
+                    Just(">".to_string()),
+                    Just("&".to_string()),
+                    Just("\"".to_string()),
+                    Just("é".to_string()),
+                ],
+            ],
+            0..23,
+        ),
+    )
+        .prop_map(|(first, v)| format!("{first}{}", v.concat()))
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Text(String),
+    Element { tag: String, attrs: Vec<(String, String)>, children: Vec<Shape> },
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    let leaf = prop_oneof![
+        3 => text().prop_map(Shape::Text),
+        2 => (tag(), proptest::collection::vec((tag(), text()), 0..3)).prop_map(|(t, attrs)| {
+            Shape::Element { tag: t, attrs, children: vec![] }
+        }),
+    ];
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        (tag(), proptest::collection::vec((tag(), text()), 0..3),
+         proptest::collection::vec(inner, 0..6))
+            .prop_map(|(t, attrs, children)| Shape::Element { tag: t, attrs, children })
+    })
+}
+
+fn build(shape: &Shape, doc: &mut Document, parent: u32, syms: &mut SymbolTable) {
+    match shape {
+        Shape::Text(t) => {
+            // Coalesce adjacent text like the parser would, so roundtrips
+            // compare equal.
+            if let Some(&last) = doc.children(parent).last() {
+                if let NodeData::Literal { label, value } = doc.data_mut(last) {
+                    if *label == natix_xml::LABEL_TEXT {
+                        if let natix_xml::LiteralValue::String(s) = value {
+                            s.push_str(t);
+                            return;
+                        }
+                    }
+                }
+            }
+            doc.add_child(parent, NodeData::text(t.clone()));
+        }
+        Shape::Element { tag, attrs, children } => {
+            let label = syms.intern_element(tag);
+            let e = doc.add_child(parent, NodeData::Element(label));
+            let mut seen = Vec::new();
+            for (name, value) in attrs {
+                if seen.contains(name) {
+                    continue; // XML forbids duplicate attributes
+                }
+                seen.push(name.clone());
+                let a = syms.intern_attribute(name);
+                doc.add_child(e, NodeData::attribute(a, value.clone()));
+            }
+            for c in children {
+                build(c, doc, e, syms);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn serialize_parse_roundtrip(root_tag in tag(), kids in proptest::collection::vec(shape(), 0..6)) {
+        let mut syms = SymbolTable::new();
+        let label = syms.intern_element(&root_tag);
+        let mut doc = Document::new(NodeData::Element(label));
+        for k in &kids {
+            build(k, &mut doc, 0, &mut syms);
+        }
+        let xml = write_document(&doc, &syms, WriteOptions::compact()).unwrap();
+        let reparsed = parse_document(&xml, &mut syms, ParserOptions::default())
+            .unwrap_or_else(|e| panic!("failed to reparse {xml:?}: {e}"));
+        prop_assert!(reparsed == doc, "roundtrip diverged for {xml:?}");
+        // And pretty output reparses to the same structure too.
+        let pretty = write_document(&doc, &syms, WriteOptions::pretty()).unwrap();
+        let reparsed2 = parse_document(&pretty, &mut syms, ParserOptions::default()).unwrap();
+        prop_assert!(reparsed2 == doc, "pretty roundtrip diverged for {pretty:?}");
+    }
+
+    /// The parser must never panic: any byte soup yields Ok or Err.
+    #[test]
+    fn parser_total_on_arbitrary_input(input in "\\PC*") {
+        let mut syms = SymbolTable::new();
+        let _ = parse_document(&input, &mut syms, ParserOptions::default());
+    }
+
+    /// Near-XML inputs (fragments with brackets and entities) also never
+    /// panic.
+    #[test]
+    fn parser_total_on_markup_like_input(
+        parts in proptest::collection::vec(prop_oneof![
+            Just("<a>".to_string()),
+            Just("</a>".to_string()),
+            Just("<a/>".to_string()),
+            Just("<!--x-->".to_string()),
+            Just("<![CDATA[y]]>".to_string()),
+            Just("&amp;".to_string()),
+            Just("&#65;".to_string()),
+            Just("&bogus;".to_string()),
+            Just("text".to_string()),
+            Just("<?pi d?>".to_string()),
+            Just("<!DOCTYPE a>".to_string()),
+            Just("<a b='c'>".to_string()),
+            Just("<".to_string()),
+            Just(">".to_string()),
+        ], 0..20),
+    ) {
+        let input = parts.concat();
+        let mut syms = SymbolTable::new();
+        let _ = parse_document(&input, &mut syms, ParserOptions::default());
+    }
+}

@@ -1,0 +1,78 @@
+//! Node-granular editing under churn: the dynamic behaviour of §3 — records
+//! split as subtrees grow and (with the merge extension) coalesce again as
+//! they shrink, while logical node ids stay stable throughout.
+//!
+//! ```sh
+//! cargo run --release --example incremental_editing
+//! ```
+
+use natix::{Repository, RepositoryOptions, TreeConfig};
+use natix_tree::InsertPos;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut repo = Repository::create_in_memory(RepositoryOptions {
+        page_size: 2048,
+        tree_config: TreeConfig { merge_enabled: true, ..TreeConfig::paper() },
+        ..RepositoryOptions::default()
+    })?;
+
+    let doc = repo.create_document("notebook", "NOTEBOOK")?;
+    let root = repo.root(doc)?;
+
+    // Grow: add 300 entries — watch the record count climb as splits keep
+    // every record under a page.
+    let mut entries = Vec::new();
+    for i in 0..300 {
+        let entry = repo.insert_element(doc, root, InsertPos::Last, "ENTRY")?;
+        repo.insert_text(
+            doc,
+            entry,
+            InsertPos::Last,
+            &format!("note {i}: {}", "lorem ipsum ".repeat(1 + i % 5)),
+        )?;
+        entries.push(entry);
+        if i % 100 == 99 {
+            let s = repo.physical_stats("notebook")?;
+            println!(
+                "after {:>3} inserts: {:>3} records, {:>4} facade nodes, depth {}",
+                i + 1,
+                s.records,
+                s.facade_nodes,
+                s.record_depth
+            );
+        }
+    }
+
+    // Edit in the middle: ids remain valid across the splits that happened
+    // after they were handed out.
+    let text_node = repo.children(doc, entries[150])?[0];
+    repo.update_text(
+        doc,
+        text_node,
+        "rewritten in place — logical ids survive physical reorganisation",
+    )?;
+    println!("entry 150 now: {}", repo.text_content(doc, entries[150])?);
+
+    // Shrink: delete 90% of the entries; with merging enabled, records are
+    // absorbed back into their parents ("clustered nodes can become records
+    // of their own or again be merged into clusters", §1).
+    for (i, &e) in entries.iter().enumerate() {
+        if i % 10 != 0 {
+            repo.delete_node(doc, e)?;
+        }
+    }
+    let s = repo.physical_stats("notebook")?;
+    println!(
+        "after deleting 270 entries: {} records, {} facade nodes (merge extension at work)",
+        s.records, s.facade_nodes
+    );
+
+    // Every tenth entry survived, still addressable.
+    let survivors = repo.children(doc, root)?;
+    println!("{} entries survive; first reads: {}", survivors.len(),
+        repo.text_content(doc, survivors[0])?);
+
+    // Persisting and re-opening would go through the XML system catalog —
+    // see `Repository::create_file` / `checkpoint` / `open_file`.
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Quickstart: store, query, update and retrieve an XML document.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use natix::{Repository, RepositoryOptions};
+use natix_tree::InsertPos;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A fresh in-memory repository; `Repository::create_file` persists to
+    // a single file instead.
+    let mut repo = Repository::create_in_memory(RepositoryOptions::default())?;
+
+    // 1. Store a document (the paper's figure-2 example).
+    repo.put_xml(
+        "othello-fragment",
+        "<SPEECH><SPEAKER>OTHELLO</SPEAKER>\
+         <LINE>Let me see your eyes;</LINE>\
+         <LINE>Look in my face.</LINE></SPEECH>",
+    )?;
+
+    // 2. Retrieve it — byte-identical round trip.
+    println!("stored:   {}", repo.get_xml("othello-fragment")?);
+
+    // 3. Navigate on node granularity.
+    let doc = repo.doc_id("othello-fragment")?;
+    let root = repo.root(doc)?;
+    let children = repo.children(doc, root)?;
+    println!("root has {} children:", children.len());
+    for &c in &children {
+        let s = repo.node_summary(doc, c)?;
+        println!("  <{}> {:?}", s.label, repo.text_content(doc, c)?);
+    }
+
+    // 4. Query with a path expression.
+    let lines = repo.query("othello-fragment", "/SPEECH/LINE")?;
+    println!("query /SPEECH/LINE matched {} nodes", lines.len());
+
+    // 5. Update: append another line, node-granular.
+    let line3 = repo.insert_element(doc, root, InsertPos::Last, "LINE")?;
+    repo.insert_text(doc, line3, InsertPos::Last, "Speak of me as I am;")?;
+    println!("updated:  {}", repo.get_xml("othello-fragment")?);
+
+    // 6. Inspect the physical layout (records, proxies, scaffolding).
+    let stats = repo.physical_stats("othello-fragment")?;
+    println!(
+        "physical: {} record(s), {} facade node(s), {} prox(ies), depth {}",
+        stats.records, stats.facade_nodes, stats.proxies, stats.record_depth
+    );
+    Ok(())
+}

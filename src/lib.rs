@@ -1,0 +1,2 @@
+//! Shared helpers for the natix-repro examples and integration tests.
+pub use natix;
