@@ -1,33 +1,256 @@
-//! Criterion micro-benchmarks for the NATIX building blocks: slotted-page
-//! operations, Appendix-A record ser/de, split planning, XML parsing,
-//! stored-tree traversal and B+-tree lookups.
+//! Micro-benchmarks for the NATIX building blocks, headlined by the
+//! **bulkload vs per-node insertion** comparison (the tentpole measurement
+//! of the streaming bulkloader).
 //!
-//! These complement the `figures` binary (which reproduces the paper's
-//! system-level plots): micro-benchmarks track the CPU cost of the hot
-//! paths so regressions are visible independent of the I/O model.
+//! Runs as a plain `harness = false` benchmark binary (the build
+//! environment has no network access, so no criterion):
+//!
+//! ```sh
+//! cargo bench -p natix-bench --bench micro             # full run, writes BENCH_bulkload.json
+//! cargo bench -p natix-bench --bench micro -- --check  # quick CI mode: asserts the speedup
+//! ```
+//!
+//! The bulkload comparison stores the generated Shakespeare corpus and a
+//! purchase-order batch (append order, 8 KB pages) three ways — per-node
+//! inserts through the incremental tree-growth procedure (the oracle),
+//! the bottom-up bulkloader from a parsed document, and the streaming
+//! bulkloader straight from XML text — verifies the stored documents are
+//! byte-identical on `get_xml`, and records the wall-clock speedup in
+//! `BENCH_bulkload.json` at the workspace root.
 
+use std::fmt::Write as _;
 use std::sync::Arc;
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::time::Instant;
 
 use natix::{Repository, RepositoryOptions};
-use natix_corpus::{generate_play, CorpusConfig};
+use natix_corpus::{generate_orders, generate_play, CorpusConfig, OrdersConfig};
 use natix_storage::btree::BTree;
 use natix_storage::slotted::SlottedPage;
 use natix_storage::{
     BufferManager, EvictionPolicy, IoStats, MemStorage, PageBuf, Rid, StorageManager,
 };
-use natix_tree::record;
 use natix_tree::typetable::TypeTable;
-use natix_tree::{PContent, RecordTree, SplitMatrix, TreeConfig};
-use natix_xml::{LiteralValue, ParserOptions, SymbolTable, WriteOptions, LABEL_TEXT};
+use natix_tree::{record, PContent, RecordTree, SplitMatrix, TreeConfig};
+use natix_xml::{Document, LiteralValue, ParserOptions, SymbolTable, WriteOptions, LABEL_TEXT};
 
-fn corpus_play_xml() -> (String, natix_xml::Document, SymbolTable) {
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Times `f` once after a tiny warmup (the workloads here are macro-sized;
+/// repetition is applied where iteration is cheap).
+fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, ms(t0.elapsed()))
+}
+
+struct BulkloadRow {
+    corpus: &'static str,
+    documents: usize,
+    nodes: usize,
+    xml_bytes: usize,
+    per_node_ms: f64,
+    bulkload_ms: f64,
+    streaming_ms: f64,
+    identical_xml: bool,
+    per_node_records: usize,
+    bulk_records: usize,
+    per_node_depth: usize,
+    bulk_depth: usize,
+}
+
+impl BulkloadRow {
+    fn speedup(&self) -> f64 {
+        self.per_node_ms / self.bulkload_ms.max(1e-9)
+    }
+}
+
+fn repo(page_size: usize) -> Repository {
+    Repository::create_in_memory(RepositoryOptions {
+        page_size,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+/// One corpus (named documents + shared symbols) for the comparison.
+fn shakespeare_corpus(quick: bool) -> (&'static str, Vec<(String, Document)>, SymbolTable) {
     let mut syms = SymbolTable::new();
-    let cfg = CorpusConfig { scale: 0.3, ..CorpusConfig::paper() };
-    let play = generate_play(&cfg, 0, &mut syms);
-    let xml = natix_xml::write_document(&play.doc, &syms, WriteOptions::compact()).unwrap();
-    (xml, play.doc, syms)
+    let cfg = if quick {
+        CorpusConfig {
+            plays: 2,
+            scale: 0.15,
+            ..CorpusConfig::tiny()
+        }
+    } else {
+        CorpusConfig {
+            plays: 6,
+            scale: 1.0,
+            ..CorpusConfig::paper()
+        }
+    };
+    let docs = (0..cfg.plays)
+        .map(|i| {
+            let p = generate_play(&cfg, i, &mut syms);
+            (p.name, p.doc)
+        })
+        .collect();
+    ("shakespeare", docs, syms)
+}
+
+fn orders_corpus(quick: bool) -> (&'static str, Vec<(String, Document)>, SymbolTable) {
+    let mut syms = SymbolTable::new();
+    let cfg = if quick {
+        OrdersConfig::tiny()
+    } else {
+        OrdersConfig::paper()
+    };
+    let docs = (0..3)
+        .map(|i| {
+            let doc = generate_orders(
+                &OrdersConfig {
+                    seed: cfg.seed ^ i as u64,
+                    ..cfg.clone()
+                },
+                &mut syms,
+            );
+            (format!("orders-{i}"), doc)
+        })
+        .collect();
+    ("orders", docs, syms)
+}
+
+/// The tentpole measurement: per-node oracle vs bulkload vs streaming
+/// bulkload, identical-output check included.
+fn bench_bulkload(page_size: usize, quick: bool) -> Vec<BulkloadRow> {
+    let mut rows = Vec::new();
+    for (corpus, docs, syms) in [shakespeare_corpus(quick), orders_corpus(quick)] {
+        let nodes: usize = docs.iter().map(|(_, d)| d.node_count()).sum();
+        let xmls: Vec<(String, String)> = docs
+            .iter()
+            .map(|(n, d)| {
+                (
+                    n.clone(),
+                    natix_xml::write_document(d, &syms, WriteOptions::compact()).unwrap(),
+                )
+            })
+            .collect();
+        let xml_bytes: usize = xmls.iter().map(|(_, x)| x.len()).sum();
+
+        // Per-node oracle (the pre-PR storage path).
+        let mut per_node = repo(page_size);
+        *per_node.symbols_mut() = syms.clone();
+        let (_, per_node_ms) = time_once(|| {
+            for (name, doc) in &docs {
+                per_node.put_document_per_node(name, doc).unwrap();
+            }
+        });
+
+        // Bulkload from the parsed document.
+        let mut bulk = repo(page_size);
+        *bulk.symbols_mut() = syms.clone();
+        let (_, bulkload_ms) = time_once(|| {
+            for (name, doc) in &docs {
+                bulk.put_document(name, doc).unwrap();
+            }
+        });
+
+        // Streaming bulkload straight from XML text (includes parsing).
+        let mut streamed = repo(page_size);
+        *streamed.symbols_mut() = syms.clone();
+        let (_, streaming_ms) = time_once(|| {
+            for (name, xml) in &xmls {
+                streamed.put_xml_streaming(name, xml).unwrap();
+            }
+        });
+
+        // Identical stored documents, and all invariants hold.
+        let mut identical = true;
+        let (mut pn_records, mut b_records, mut pn_depth, mut b_depth) = (0, 0, 0, 0);
+        for (name, _) in &docs {
+            let a = per_node.get_xml(name).unwrap();
+            let b = bulk.get_xml(name).unwrap();
+            let c = streamed.get_xml(name).unwrap();
+            identical &= a == b && b == c;
+            let ps = per_node.physical_stats(name).unwrap();
+            let bs = bulk.physical_stats(name).unwrap();
+            pn_records += ps.records;
+            b_records += bs.records;
+            pn_depth = pn_depth.max(ps.record_depth);
+            b_depth = b_depth.max(bs.record_depth);
+        }
+        rows.push(BulkloadRow {
+            corpus,
+            documents: docs.len(),
+            nodes,
+            xml_bytes,
+            per_node_ms,
+            bulkload_ms,
+            streaming_ms,
+            identical_xml: identical,
+            per_node_records: pn_records,
+            bulk_records: b_records,
+            per_node_depth: pn_depth,
+            bulk_depth: b_depth,
+        });
+    }
+    rows
+}
+
+fn write_json(page_size: usize, quick: bool, rows: &[BulkloadRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(
+        s,
+        "  \"benchmark\": \"bulkload vs per-node insertion (append order)\","
+    );
+    let _ = writeln!(s, "  \"page_size\": {page_size},");
+    let _ = writeln!(s, "  \"quick_mode\": {quick},");
+    s.push_str("  \"corpora\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"corpus\": \"{}\",", r.corpus);
+        let _ = writeln!(s, "      \"documents\": {},", r.documents);
+        let _ = writeln!(s, "      \"logical_nodes\": {},", r.nodes);
+        let _ = writeln!(s, "      \"xml_bytes\": {},", r.xml_bytes);
+        let _ = writeln!(s, "      \"per_node_ms\": {:.2},", r.per_node_ms);
+        let _ = writeln!(s, "      \"bulkload_ms\": {:.2},", r.bulkload_ms);
+        let _ = writeln!(s, "      \"streaming_from_xml_ms\": {:.2},", r.streaming_ms);
+        let _ = writeln!(
+            s,
+            "      \"speedup_bulkload_vs_per_node\": {:.2},",
+            r.speedup()
+        );
+        let _ = writeln!(s, "      \"identical_get_xml\": {},", r.identical_xml);
+        let _ = writeln!(s, "      \"per_node_records\": {},", r.per_node_records);
+        let _ = writeln!(s, "      \"bulkload_records\": {},", r.bulk_records);
+        let _ = writeln!(s, "      \"per_node_record_depth\": {},", r.per_node_depth);
+        let _ = writeln!(s, "      \"bulkload_record_depth\": {}", r.bulk_depth);
+        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+// ======================================================================
+// CPU micro-benchmarks for the building blocks — the full set the old
+// criterion suite tracked (slotted page, record ser/de, split planning,
+// XML parsing, stored-tree traversal and serialisation, path queries,
+// B+-tree lookups), re-hosted on plain loops, median-of-5.
+// ======================================================================
+
+fn bench_n(name: &str, iters: usize, mut f: impl FnMut()) {
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(ms(t0.elapsed()) / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    println!("  {name:<38} {:>10.4} ms/iter", samples[2]);
 }
 
 fn sample_record(nodes: usize) -> RecordTree {
@@ -44,140 +267,136 @@ fn sample_record(nodes: usize) -> RecordTree {
     t
 }
 
-fn bench_slotted_page(c: &mut Criterion) {
-    let mut g = c.benchmark_group("slotted_page");
-    g.bench_function("insert_delete_64B_8K", |b| {
-        b.iter_batched(
-            || {
-                let mut p = PageBuf::new(8192);
-                SlottedPage::format(&mut p);
-                p
-            },
-            |mut p| {
-                let mut sp = SlottedPage::open(&mut p).unwrap();
-                let mut slots = Vec::new();
-                for _ in 0..64 {
-                    slots.push(sp.insert(&[7u8; 64]).unwrap());
-                }
-                for s in slots {
-                    sp.delete(s).unwrap();
-                }
-            },
-            BatchSize::SmallInput,
-        )
+fn cpu_micros() {
+    println!("building blocks:");
+    bench_n("slotted_page/insert_delete_64B_8K", 200, || {
+        let mut p = PageBuf::new(8192);
+        SlottedPage::format(&mut p);
+        let mut sp = SlottedPage::open(&mut p).unwrap();
+        let mut slots = Vec::new();
+        for _ in 0..64 {
+            slots.push(sp.insert(&[7u8; 64]).unwrap());
+        }
+        for s in slots {
+            sp.delete(s).unwrap();
+        }
     });
-    g.finish();
-}
-
-fn bench_record_serde(c: &mut Criterion) {
     let tree = sample_record(40);
     let mut table = TypeTable::new();
     let (bytes, _) = record::serialize(&tree, &mut table);
-    let mut g = c.benchmark_group("record");
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("serialize_40_nodes", |b| {
-        b.iter(|| {
-            let mut t = TypeTable::new();
-            record::serialize(&tree, &mut t)
-        })
+    bench_n("record/serialize_40_nodes", 2000, || {
+        let mut t = TypeTable::new();
+        let _ = record::serialize(&tree, &mut t);
     });
-    g.bench_function("deserialize_40_nodes", |b| {
-        b.iter(|| record::deserialize(&bytes, &table, Rid::new(1, 1)).unwrap())
+    bench_n("record/deserialize_40_nodes", 2000, || {
+        let _ = record::deserialize(&bytes, &table, Rid::new(1, 1)).unwrap();
     });
-    g.finish();
-}
-
-fn bench_split_planning(c: &mut Criterion) {
     let cfg = TreeConfig::paper();
     let matrix = SplitMatrix::all_other();
-    c.bench_function("split/plan_200_nodes", |b| {
-        b.iter_batched(
-            || sample_record(200),
-            |tree| natix_tree::plan_split(tree, &cfg, &matrix, 2048).unwrap(),
-            BatchSize::SmallInput,
-        )
+    bench_n("split/plan_200_nodes", 200, || {
+        let t = sample_record(200);
+        let _ = natix_tree::plan_split(t, &cfg, &matrix, 2048).unwrap();
     });
-}
-
-fn bench_xml_parse(c: &mut Criterion) {
-    let (xml, _, _) = corpus_play_xml();
-    let mut g = c.benchmark_group("xml");
-    g.throughput(Throughput::Bytes(xml.len() as u64));
-    g.bench_function("parse_play", |b| {
-        b.iter(|| {
-            let mut syms = SymbolTable::new();
-            natix_xml::parse_document(&xml, &mut syms, ParserOptions::default()).unwrap()
-        })
+    let mut syms = SymbolTable::new();
+    let play = generate_play(
+        &CorpusConfig {
+            scale: 0.3,
+            ..CorpusConfig::paper()
+        },
+        0,
+        &mut syms,
+    );
+    let xml = natix_xml::write_document(&play.doc, &syms, WriteOptions::compact()).unwrap();
+    bench_n("xml/parse_play", 20, || {
+        let mut s = SymbolTable::new();
+        let _ = natix_xml::parse_document(&xml, &mut s, ParserOptions::default()).unwrap();
     });
-    g.finish();
-}
-
-fn bench_stored_traversal(c: &mut Criterion) {
-    let (_, doc, syms) = corpus_play_xml();
-    let mut repo = Repository::create_in_memory(RepositoryOptions {
-        page_size: 8192,
-        ..Default::default()
-    })
-    .unwrap();
-    *repo.symbols_mut() = syms;
-    let id = repo.put_document("play", &doc).unwrap();
-    let nodes = doc.node_count() as u64;
-    let mut g = c.benchmark_group("stored");
-    g.throughput(Throughput::Elements(nodes));
-    g.bench_function("traverse_play", |b| {
-        b.iter(|| {
-            let mut n = 0usize;
-            repo.traverse_document(id, |_, _| n += 1).unwrap();
-            n
-        })
+    let mut r = repo(8192);
+    *r.symbols_mut() = syms.clone();
+    let id = r.put_document("play", &play.doc).unwrap();
+    bench_n("stored/traverse_play", 20, || {
+        let mut n = 0usize;
+        r.traverse_document(id, |_, _| n += 1).unwrap();
+        std::hint::black_box(n);
     });
-    g.bench_function("serialize_play", |b| b.iter(|| repo.get_xml("play").unwrap()));
-    g.finish();
-}
-
-fn bench_query(c: &mut Criterion) {
-    let (_, doc, syms) = corpus_play_xml();
-    let mut repo = Repository::create_in_memory(RepositoryOptions {
-        page_size: 8192,
-        ..Default::default()
-    })
-    .unwrap();
-    *repo.symbols_mut() = syms;
-    repo.put_document("play", &doc).unwrap();
-    c.bench_function("query/q1_speakers", |b| {
-        b.iter(|| repo.query("play", "/PLAY/ACT[3]/SCENE[2]//SPEAKER").unwrap())
+    bench_n("stored/serialize_play", 20, || {
+        std::hint::black_box(r.get_xml("play").unwrap().len());
     });
-    c.bench_function("query/q3_opening_speech", |b| {
-        b.iter(|| repo.query("play", "/PLAY/ACT[1]/SCENE[1]/SPEECH[1]").unwrap())
+    bench_n("query/q1_speakers", 20, || {
+        std::hint::black_box(
+            r.query("play", "/PLAY/ACT[3]/SCENE[2]//SPEAKER")
+                .unwrap()
+                .len(),
+        );
     });
-}
-
-fn bench_btree(c: &mut Criterion) {
+    bench_n("query/q3_opening_speech", 20, || {
+        std::hint::black_box(
+            r.query("play", "/PLAY/ACT[1]/SCENE[1]/SPEECH[1]")
+                .unwrap()
+                .len(),
+        );
+    });
     let backend = Arc::new(MemStorage::new(4096).unwrap());
-    let bm = Arc::new(BufferManager::new(backend, 512, EvictionPolicy::Lru, IoStats::new_shared()));
+    let bm = Arc::new(BufferManager::new(
+        backend,
+        512,
+        EvictionPolicy::Lru,
+        IoStats::new_shared(),
+    ));
     let sm = StorageManager::create(bm).unwrap();
     let seg = sm.create_segment("idx").unwrap();
     let bt = BTree::create(&sm, seg, 8).unwrap();
     for i in 0..50_000u64 {
         bt.insert(&i.to_be_bytes(), i).unwrap();
     }
-    c.bench_function("btree/get_50k", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 9973) % 50_000;
-            bt.get(&i.to_be_bytes()).unwrap()
-        })
+    let mut i = 0u64;
+    bench_n("btree/get_50k", 2000, || {
+        i = (i + 9973) % 50_000;
+        std::hint::black_box(bt.get(&i.to_be_bytes()).unwrap());
     });
 }
 
-criterion_group!(
-    benches,
-    bench_slotted_page,
-    bench_record_serde,
-    bench_split_planning,
-    bench_xml_parse,
-    bench_stored_traversal,
-    bench_query,
-    bench_btree
-);
-criterion_main!(benches);
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--check" || a == "--quick");
+    let skip_json = args.iter().any(|a| a == "--check");
+    let page_size = 8192;
+
+    println!(
+        "bulkload vs per-node insertion (append order, {page_size} B pages{}):",
+        if quick { ", quick" } else { "" }
+    );
+    let rows = bench_bulkload(page_size, quick);
+    for r in &rows {
+        println!(
+            "  {:<12} {:>7} nodes {:>9} B XML | per-node {:>9.1} ms | bulkload {:>8.1} ms | stream {:>8.1} ms | {:>6.1}x | identical: {}",
+            r.corpus, r.nodes, r.xml_bytes, r.per_node_ms, r.bulkload_ms, r.streaming_ms,
+            r.speedup(), r.identical_xml,
+        );
+        assert!(
+            r.identical_xml,
+            "{}: bulkload output differs from the per-node oracle",
+            r.corpus
+        );
+    }
+
+    if skip_json {
+        // CI check mode: fail the build if the bulkloader regresses below
+        // the acceptance threshold (≥5× vs per-node at 8 KB pages).
+        for r in &rows {
+            assert!(
+                r.speedup() >= 5.0,
+                "{}: bulkload speedup {:.1}x fell below the 5x acceptance floor",
+                r.corpus,
+                r.speedup()
+            );
+        }
+        println!("check mode: all speedups >= 5x");
+    } else {
+        let json = write_json(page_size, quick, &rows);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bulkload.json");
+        std::fs::write(path, &json).unwrap();
+        println!("wrote {path}");
+        cpu_micros();
+    }
+}

@@ -21,7 +21,11 @@ use natix_corpus::{generate_play, CorpusConfig};
 use natix_tree::InsertPos;
 
 fn corpus() -> CorpusConfig {
-    CorpusConfig { plays: 4, scale: 0.5, ..CorpusConfig::paper() }
+    CorpusConfig {
+        plays: 4,
+        scale: 0.5,
+        ..CorpusConfig::paper()
+    }
 }
 
 fn build_with_config(config: TreeConfig) -> Repository {
@@ -34,7 +38,11 @@ fn build_with_config(config: TreeConfig) -> Repository {
     let cfg = corpus();
     for i in 0..cfg.plays {
         let play = generate_play(&cfg, i, repo.symbols_mut());
-        repo.put_document(&play.name, &play.doc).expect("store play");
+        // Per-node path: the split target/tolerance under ablation are
+        // parameters of the incremental split planner — the bulkloader
+        // does not consult them, so sweeping it would measure nothing.
+        repo.put_document_per_node(&play.name, &play.doc)
+            .expect("store play");
     }
     repo
 }
@@ -56,17 +64,29 @@ fn summarise(repo: &Repository) -> (usize, usize, usize, usize) {
 
 fn main() {
     println!("== split target sweep (pre-order build, 4K pages) ==");
-    println!("{:>8} {:>9} {:>10} {:>9} {:>6}", "target", "records", "bytes", "helpers", "depth");
+    println!(
+        "{:>8} {:>9} {:>10} {:>9} {:>6}",
+        "target", "records", "bytes", "helpers", "depth"
+    );
     for target in [0.25, 0.33, 0.5, 0.67, 0.75] {
-        let repo = build_with_config(TreeConfig { split_target: target, ..TreeConfig::paper() });
+        let repo = build_with_config(TreeConfig {
+            split_target: target,
+            ..TreeConfig::paper()
+        });
         let (r, b, h, d) = summarise(&repo);
         println!("{target:>8.2} {r:>9} {b:>10} {h:>9} {d:>6}");
     }
 
     println!("\n== split tolerance sweep (pre-order build, 4K pages) ==");
-    println!("{:>8} {:>9} {:>10} {:>9} {:>6}", "tol", "records", "bytes", "helpers", "depth");
+    println!(
+        "{:>8} {:>9} {:>10} {:>9} {:>6}",
+        "tol", "records", "bytes", "helpers", "depth"
+    );
     for tol in [0.02, 0.05, 0.1, 0.2] {
-        let repo = build_with_config(TreeConfig { split_tolerance: tol, ..TreeConfig::paper() });
+        let repo = build_with_config(TreeConfig {
+            split_tolerance: tol,
+            ..TreeConfig::paper()
+        });
         let (r, b, h, d) = summarise(&repo);
         println!("{tol:>8.2} {r:>9} {b:>10} {h:>9} {d:>6}");
     }
@@ -75,7 +95,10 @@ fn main() {
     for merge in [false, true] {
         let mut repo = Repository::create_in_memory(RepositoryOptions {
             page_size: 2048,
-            tree_config: TreeConfig { merge_enabled: merge, ..TreeConfig::paper() },
+            tree_config: TreeConfig {
+                merge_enabled: merge,
+                ..TreeConfig::paper()
+            },
             matrix: SplitMatrix::all_other(),
             ..RepositoryOptions::default()
         })
@@ -84,9 +107,16 @@ fn main() {
         let root = repo.root(id).expect("root");
         let mut kids = Vec::new();
         for i in 0..400 {
-            let e = repo.insert_element(id, root, InsertPos::Last, "item").expect("insert");
-            repo.insert_text(id, e, InsertPos::Last, &format!("payload {i} {}", "x".repeat(20)))
-                .expect("text");
+            let e = repo
+                .insert_element(id, root, InsertPos::Last, "item")
+                .expect("insert");
+            repo.insert_text(
+                id,
+                e,
+                InsertPos::Last,
+                &format!("payload {i} {}", "x".repeat(20)),
+            )
+            .expect("text");
             kids.push(e);
         }
         let before = repo.physical_stats("doc").expect("stats").records;
@@ -97,10 +127,10 @@ fn main() {
         println!("merge={merge:<5}  records before delete: {before:>4}, after: {after:>4}");
     }
 
-    println!("\n== buffer size sweep (pre-order build, 2K pages, 1:n, sim-disk ms) ==");
+    println!("\n== buffer size sweep (per-node pre-order build, 2K pages, 1:n, sim-disk ms) ==");
     // The paper fixes 2 MB. A pre-order build has near-perfect locality,
     // so the flat result is itself the finding: clustering makes the
-    // bulkload insensitive to buffer size.
+    // incremental build insensitive to buffer size.
     for buffer_kb in [256usize, 512, 1024, 2048, 4096] {
         let cfg = corpus();
         // Reuse the harness but override the buffer via a bespoke build.
@@ -114,7 +144,8 @@ fn main() {
             let play = generate_play(&cfg, i, repo.symbols_mut());
             repo.clear_buffer().expect("clear");
             let before = repo.io_stats().snapshot();
-            repo.put_document(&play.name, &play.doc).expect("store");
+            repo.put_document_per_node(&play.name, &play.doc)
+                .expect("store");
             repo.storage().buffer().flush_all().expect("flush");
             sim_ms += repo.io_stats().snapshot().since(&before).sim_disk_ms();
         }

@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use natix_bench::{build_repo, page_sizes, Measurement, Mode, Order, BuiltRepo, SERIES};
+use natix_bench::{build_repo, page_sizes, BuiltRepo, Measurement, Mode, Order, SERIES};
 use natix_corpus::CorpusConfig;
 
 struct Args {
@@ -27,7 +27,12 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { quick: false, scale: 1.0, figs: Vec::new(), csv: None };
+    let mut args = Args {
+        quick: false,
+        scale: 1.0,
+        figs: Vec::new(),
+        csv: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -126,13 +131,15 @@ fn main() {
     let titles: BTreeMap<u32, &str> = BTreeMap::from([
         (9u32, "Figure 9: Insertion (ms, simulated disk)"),
         (10, "Figure 10: Full tree traversal (ms)"),
-        (11, "Figure 11: Query 1 — selection on leaf nodes of a subtree (ms)"),
+        (
+            11,
+            "Figure 11: Query 1 — selection on leaf nodes of a subtree (ms)",
+        ),
         (12, "Figure 12: Query 2 — small contiguous fragments (ms)"),
         (13, "Figure 13: Query 3 — single path per document (ms)"),
         (14, "Figure 14: Space requirements (bytes on disk)"),
     ]);
-    let labels: Vec<String> =
-        SERIES.iter().map(|&(m, o)| series_label(m, o)).collect();
+    let labels: Vec<String> = SERIES.iter().map(|&(m, o)| series_label(m, o)).collect();
 
     let mut out = String::new();
     for &fig in &args.figs {

@@ -19,12 +19,8 @@
 //! on modern hardware cannot reproduce the paper's numbers while the model
 //! reproduces their shape.
 
-use natix::{
-    DocId, NatixResult, PathQuery, Repository, RepositoryOptions, SplitMatrix,
-};
-use natix_corpus::{
-    generate_play, incremental_order, Anchor, CorpusConfig, PlayDoc,
-};
+use natix::{DocId, NatixResult, PathQuery, Repository, RepositoryOptions, SplitMatrix};
+use natix_corpus::{generate_play, incremental_order, Anchor, CorpusConfig, PlayDoc};
 use natix_tree::{InsertPos, NewNode};
 use natix_xml::{Document, NodeData, NodeIdx};
 
@@ -123,11 +119,7 @@ fn measure<T>(
 
 /// Inserts one play node by node in the given order, through the public
 /// node-level API (exactly the paper's §4.3 storage operation).
-fn insert_play(
-    repo: &mut Repository,
-    play: &PlayDoc,
-    order: Order,
-) -> NatixResult<DocId> {
+fn insert_play(repo: &mut Repository, play: &PlayDoc, order: Order) -> NatixResult<DocId> {
     let doc = &play.doc;
     let NodeData::Element(root_label) = doc.data(doc.root()) else {
         unreachable!("plays are element-rooted")
@@ -143,7 +135,9 @@ fn insert_play(
     match order {
         Order::Append => {
             for n in doc.pre_order() {
-                let Some(parent) = doc.parent(n) else { continue };
+                let Some(parent) = doc.parent(n) else {
+                    continue;
+                };
                 let parent_id = ids[parent as usize].expect("pre-order: parent inserted");
                 let (label, node) = payload(doc, n);
                 let new = repo.insert_node(id, parent_id, InsertPos::Last, label, node)?;
@@ -189,8 +183,13 @@ pub fn build_repo(
     };
     let mut repo = Repository::create_in_memory(options)?;
     let mut doc_ids = Vec::with_capacity(corpus.plays);
-    let mut total =
-        Measurement { sim_ms: 0.0, wall_ms: 0.0, physical_reads: 0, physical_writes: 0, seeks: 0 };
+    let mut total = Measurement {
+        sim_ms: 0.0,
+        wall_ms: 0.0,
+        physical_reads: 0,
+        physical_writes: 0,
+        seeks: 0,
+    };
     for i in 0..corpus.plays {
         let play = generate_play(corpus, i, repo.symbols_mut());
         repo.clear_buffer()?;
@@ -207,7 +206,14 @@ pub fn build_repo(
         total.seeks += d.sim_seeks;
         doc_ids.push(id);
     }
-    Ok(BuiltRepo { repo, doc_ids, mode, order, page_size, insertion: total })
+    Ok(BuiltRepo {
+        repo,
+        doc_ids,
+        mode,
+        order,
+        page_size,
+        insertion: total,
+    })
 }
 
 impl BuiltRepo {
@@ -229,8 +235,7 @@ impl BuiltRepo {
     /// Figure 11 (Query 1): all SPEAKER leaves in act 3, scene 2 of every
     /// play.
     pub fn query1(&mut self) -> NatixResult<Measurement> {
-        let q = PathQuery::parse("/PLAY/ACT[3]/SCENE[2]//SPEAKER")
-            .expect("static query parses");
+        let q = PathQuery::parse("/PLAY/ACT[3]/SCENE[2]//SPEAKER").expect("static query parses");
         let ids = self.doc_ids.clone();
         self.repo.clear_buffer()?;
         let before = self.repo.io_stats().snapshot();
@@ -281,8 +286,7 @@ impl BuiltRepo {
 
     /// Figure 13 (Query 3): read the opening speech of each play.
     pub fn query3(&mut self) -> NatixResult<Measurement> {
-        let q =
-            PathQuery::parse("/PLAY/ACT[1]/SCENE[1]/SPEECH[1]").expect("static query parses");
+        let q = PathQuery::parse("/PLAY/ACT[1]/SCENE[1]/SPEECH[1]").expect("static query parses");
         let ids = self.doc_ids.clone();
         self.repo.clear_buffer()?;
         let before = self.repo.io_stats().snapshot();
@@ -350,7 +354,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> CorpusConfig {
-        CorpusConfig { plays: 2, scale: 0.08, ..CorpusConfig::tiny() }
+        CorpusConfig {
+            plays: 2,
+            scale: 0.08,
+            ..CorpusConfig::tiny()
+        }
     }
 
     #[test]

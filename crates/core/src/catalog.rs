@@ -15,10 +15,8 @@
 //! catalog document can be decoded before the user alphabet is known. The
 //! catalog root RID lives in the storage manager's header user-root area.
 
-use std::collections::HashMap;
-
 use natix_storage::Rid;
-use natix_tree::{InsertPos, NewNode, NodePtr, SplitBehaviour, SplitMatrix, TreeStore};
+use natix_tree::{SplitBehaviour, SplitMatrix, TreeStore};
 use natix_xml::{Document, LabelKind, NodeData, SymbolTable};
 
 use crate::document::DocState;
@@ -111,7 +109,10 @@ fn build_catalog_doc(repo: &Repository, cs: &CatalogSymbols) -> Document {
     let root = doc.root();
 
     let syms = doc.add_child(root, NodeData::Element(cs.symbols));
-    for (_, kind, name) in repo.symbols.iter().skip(natix_xml::symbols::FIRST_USER_LABEL as usize)
+    for (_, kind, name) in repo
+        .symbols
+        .iter()
+        .skip(natix_xml::symbols::FIRST_USER_LABEL as usize)
     {
         let s = doc.add_child(syms, NodeData::Element(cs.sym));
         let k = match kind {
@@ -137,7 +138,12 @@ fn build_catalog_doc(repo: &Repository, cs: &CatalogSymbols) -> Document {
 
     let matrix = repo.tree.matrix();
     let m = doc.add_child(root, NodeData::Element(cs.matrix));
-    attr(&mut doc, m, cs.a_default, behaviour_name(matrix.default_behaviour()));
+    attr(
+        &mut doc,
+        m,
+        cs.a_default,
+        behaviour_name(matrix.default_behaviour()),
+    );
     let mut rules: Vec<(u16, u16, SplitBehaviour)> = matrix.overrides().collect();
     rules.sort_by_key(|&(p, c, _)| (p, c));
     for (p, c, b) in rules {
@@ -157,45 +163,20 @@ fn build_catalog_doc(repo: &Repository, cs: &CatalogSymbols) -> Document {
     doc
 }
 
-/// Stores a logical document into a tree store (bulk, pre-order), without
-/// document-manager bookkeeping. Returns the root record RID.
+/// Stores a logical document into a tree store through the streaming
+/// bulkloader (records built bottom-up, each written once), without
+/// document-manager bookkeeping. Long string literals (DTD sources) are
+/// chunked into sibling literals to stay below the record-size ceiling.
+/// Returns the root record RID.
 pub(crate) fn store_plain_document(tree: &TreeStore, doc: &Document) -> NatixResult<Rid> {
-    let NodeData::Element(root_label) = doc.data(doc.root()) else {
-        return Err(NatixError::Validation("catalog root must be an element".into()));
-    };
-    let root_rid = tree.create_tree(*root_label)?;
-    let mut map: HashMap<natix_xml::NodeIdx, NodePtr> = HashMap::new();
-    let mut rev: HashMap<NodePtr, natix_xml::NodeIdx> = HashMap::new();
-    let mut root_rid_now = root_rid;
-    map.insert(doc.root(), NodePtr::new(root_rid, 0));
-    rev.insert(NodePtr::new(root_rid, 0), doc.root());
-    for n in doc.pre_order() {
-        let Some(parent) = doc.parent(n) else { continue };
-        let parent_ptr = map[&parent];
-        let (label, node) = match doc.data(n) {
-            NodeData::Element(l) => (*l, NewNode::Element),
-            NodeData::Literal { label, value } => (*label, NewNode::Literal(value.clone())),
-        };
-        let res = tree.insert(parent_ptr, InsertPos::Last, label, node)?;
-        // Apply relocations two-phase.
-        let moved: Vec<(Option<natix_xml::NodeIdx>, NodePtr)> =
-            res.relocations.iter().map(|r| (rev.remove(&r.old), r.new)).collect();
-        for (idx, new) in moved {
-            if let Some(i) = idx {
-                map.insert(i, new);
-                rev.insert(new, i);
-            }
-        }
-        if let Some((old, new)) = res.root_moved {
-            if root_rid_now == old {
-                root_rid_now = new;
-            }
-        }
-        let ptr = res.new_node.expect("insert yields node");
-        map.insert(n, ptr);
-        rev.insert(ptr, n);
+    if !matches!(doc.data(doc.root()), NodeData::Element(_)) {
+        return Err(NatixError::Validation(
+            "catalog root must be an element".into(),
+        ));
     }
-    Ok(root_rid_now)
+    let limit = crate::document::chunk_limit(tree.net_capacity());
+    let stats = natix_tree::bulkload_document(tree, doc, Some(limit))?;
+    Ok(stats.root_rid)
 }
 
 /// Writes the catalog document and records its root RID in the header.
@@ -254,9 +235,7 @@ pub fn load_catalog(repo: &mut Repository) -> NatixResult<()> {
                 Some("e") => LabelKind::Element,
                 Some("a") => LabelKind::Attribute,
                 Some("b") => LabelKind::Builtin,
-                other => {
-                    return Err(NatixError::Catalog(format!("bad symbol kind {other:?}")))
-                }
+                other => return Err(NatixError::Catalog(format!("bad symbol kind {other:?}"))),
             };
             let name = get_attr(s, cs.a_name)
                 .ok_or_else(|| NatixError::Catalog("symbol without name".into()))?;
@@ -267,9 +246,7 @@ pub fn load_catalog(repo: &mut Repository) -> NatixResult<()> {
 
     // 2. Split matrix.
     if let Some(m) = doc.first_child_element(root, cs.matrix) {
-        let default = behaviour_from(
-            get_attr(m, cs.a_default).as_deref().unwrap_or("other"),
-        )?;
+        let default = behaviour_from(get_attr(m, cs.a_default).as_deref().unwrap_or("other"))?;
         let mut matrix = SplitMatrix::with_default(default);
         for &r in doc.children(m) {
             if doc.data(r).label() != cs.rule {
@@ -345,8 +322,7 @@ mod tests {
         let doc_xml = "<PLAY><TITLE>Test</TITLE><ACT><SCENE><SPEECH>\
                        <SPEAKER>A</SPEAKER><LINE>line one</LINE></SPEECH></SCENE></ACT></PLAY>";
         {
-            let mut repo =
-                Repository::create_file(&path, RepositoryOptions::default()).unwrap();
+            let mut repo = Repository::create_file(&path, RepositoryOptions::default()).unwrap();
             repo.put_xml("t1", doc_xml).unwrap();
             repo.put_xml("t2", "<a><b x=\"1\">v</b></a>").unwrap();
             repo.set_matrix_rule("SPEECH", "SPEAKER", SplitBehaviour::KeepWithParent);
@@ -379,8 +355,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("repo.natix");
         {
-            let mut repo =
-                Repository::create_file(&path, RepositoryOptions::default()).unwrap();
+            let mut repo = Repository::create_file(&path, RepositoryOptions::default()).unwrap();
             repo.put_xml("d", "<list><item>one</item></list>").unwrap();
             repo.checkpoint().unwrap();
         }
@@ -391,7 +366,8 @@ mod tests {
             let item2 = repo
                 .insert_element(id, root, natix_tree::InsertPos::Last, "item")
                 .unwrap();
-            repo.insert_text(id, item2, natix_tree::InsertPos::Last, "two").unwrap();
+            repo.insert_text(id, item2, natix_tree::InsertPos::Last, "two")
+                .unwrap();
             assert_eq!(
                 repo.get_xml("d").unwrap(),
                 "<list><item>one</item><item>two</item></list>"

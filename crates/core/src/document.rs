@@ -83,8 +83,11 @@ impl DocState {
     /// Applies relocation events (two-phase so intra-record shifts cannot
     /// collide).
     pub(crate) fn apply(&mut self, res: &OpResult) {
-        let moved: Vec<(Option<NodeId>, NodePtr)> =
-            res.relocations.iter().map(|r| (self.rev.remove(&r.old), r.new)).collect();
+        let moved: Vec<(Option<NodeId>, NodePtr)> = res
+            .relocations
+            .iter()
+            .map(|r| (self.rev.remove(&r.old), r.new))
+            .collect();
         for (id, new) in moved {
             if let Some(i) = id {
                 self.map.insert(i, new);
@@ -113,7 +116,7 @@ impl DocState {
 /// chunks it: the tree layer cannot split a single node across records, so
 /// long text becomes consecutive literal siblings (serialisation-identical
 /// for XML character data).
-fn chunk_limit(net_capacity: usize) -> usize {
+pub(crate) fn chunk_limit(net_capacity: usize) -> usize {
     (net_capacity / 2).max(64)
 }
 
@@ -122,13 +125,43 @@ impl Repository {
     // Document granularity.
     // ==================================================================
 
-    /// Stores a logical document under `name` (pre-order bulk insert).
+    /// Stores a logical document under `name` through the streaming
+    /// bulkloader: records are built bottom-up and written once each,
+    /// instead of rewriting the enclosing record for every node (see
+    /// [`natix_tree::bulkload`]). [`put_document_per_node`] keeps the
+    /// node-by-node path as the differential-testing oracle.
+    ///
+    /// [`put_document_per_node`]: Self::put_document_per_node
     pub fn put_document(&mut self, name: &str, doc: &Document) -> NatixResult<DocId> {
         if self.by_name.contains_key(name) {
             return Err(NatixError::DocumentExists(name.to_string()));
         }
+        if !matches!(doc.data(doc.root()), NodeData::Element(_)) {
+            return Err(NatixError::Validation(
+                "document root must be an element".into(),
+            ));
+        }
+        let limit = chunk_limit(self.tree.net_capacity());
+        let stats = natix_tree::bulkload_document(&self.tree, doc, Some(limit))?;
+        // Node ids are handed out lazily as the document is navigated
+        // (`children`/`parent` bind unseen pointers); only the root is
+        // bound eagerly.
+        let state = DocState::new(name.to_string(), stats.root_rid);
+        Ok(self.register(state))
+    }
+
+    /// Stores a logical document by inserting one node at a time through
+    /// the incremental tree-growth procedure — the pre-PR storage path,
+    /// kept as the oracle for differential tests and benchmarks of the
+    /// bulkloader.
+    pub fn put_document_per_node(&mut self, name: &str, doc: &Document) -> NatixResult<DocId> {
+        if self.by_name.contains_key(name) {
+            return Err(NatixError::DocumentExists(name.to_string()));
+        }
         let NodeData::Element(root_label) = doc.data(doc.root()) else {
-            return Err(NatixError::Validation("document root must be an element".into()));
+            return Err(NatixError::Validation(
+                "document root must be an element".into(),
+            ));
         };
         let root_rid = self.tree.create_tree(*root_label)?;
         let mut state = DocState::new(name.to_string(), root_rid);
@@ -138,36 +171,41 @@ impl Repository {
         let mut shadow_ids: HashMap<natix_xml::NodeIdx, NodeId> = HashMap::new();
         shadow_ids.insert(doc.root(), state.root_id);
         for n in doc.pre_order() {
-            let Some(parent) = doc.parent(n) else { continue };
+            let Some(parent) = doc.parent(n) else {
+                continue;
+            };
             let parent_id = shadow_ids[&parent];
             let parent_ptr = state.map[&parent_id];
             match doc.data(n) {
                 NodeData::Element(label) => {
                     let res =
-                        self.tree.insert(parent_ptr, InsertPos::Last, *label, NewNode::Element)?;
+                        self.tree
+                            .insert(parent_ptr, InsertPos::Last, *label, NewNode::Element)?;
                     state.apply(&res);
                     let id = state.fresh_id(res.new_node.expect("insert yields node"));
                     shadow_ids.insert(n, id);
                 }
                 NodeData::Literal { label, value } => {
-                    // Long strings are chunked into sibling literals.
+                    // Long character data is chunked into sibling literals
+                    // on UTF-8 boundaries; other labels (attributes,
+                    // comments, PIs) stay whole — splitting them would
+                    // change the serialisation.
                     let texts: Vec<LiteralValue> = match value {
-                        LiteralValue::String(s) if s.len() > limit => s
-                            .as_bytes()
-                            .chunks(limit)
-                            .map(|c| {
-                                LiteralValue::String(String::from_utf8_lossy(c).into_owned())
-                            })
-                            .collect(),
+                        LiteralValue::String(s) if s.len() > limit && *label == LABEL_TEXT => {
+                            natix_xml::chunk_str(s, limit)
+                                .map(|c| LiteralValue::String(c.to_owned()))
+                                .collect()
+                        }
                         other => vec![other.clone()],
                     };
                     for v in texts {
-                        let res = self.tree.insert(
-                            parent_ptr,
-                            InsertPos::Last,
-                            *label,
-                            NewNode::Literal(v),
-                        )?;
+                        // Re-resolve the parent for every chunk: inserting
+                        // the previous chunk may have split or moved the
+                        // parent's record, invalidating the old pointer.
+                        let ptr = state.map[&parent_id];
+                        let res =
+                            self.tree
+                                .insert(ptr, InsertPos::Last, *label, NewNode::Literal(v))?;
                         state.apply(&res);
                         let id = state.fresh_id(res.new_node.expect("insert yields node"));
                         shadow_ids.insert(n, id);
@@ -195,102 +233,99 @@ impl Repository {
     /// Streams XML text straight into storage, one parse event at a time,
     /// without materialising a DOM — the paper's storage operation ("we
     /// used an XML parser ... and inserted the document tree", §4.3).
-    /// Peak memory is the open-element stack plus one record, independent
-    /// of document size.
+    ///
+    /// Parse events feed the streaming bulkloader directly: records are
+    /// assembled bottom-up, each page is written once via the append fast
+    /// path, and peak memory is the right spine of open subtrees (bounded
+    /// by the page capacity times the element depth), independent of
+    /// document size — node ids are bound lazily on navigation, never
+    /// materialised for the whole document. A failed load deletes every
+    /// record it had already flushed.
     pub fn put_xml_streaming(&mut self, name: &str, xml: &str) -> NatixResult<DocId> {
         use natix_xml::{PullParser, XmlEvent};
         if self.by_name.contains_key(name) {
             return Err(NatixError::DocumentExists(name.to_string()));
         }
         let options = self.parser_options();
+        let limit = chunk_limit(self.tree.net_capacity());
         let mut parser = PullParser::new(xml, options);
-        let mut doc: Option<DocId> = None;
-        // Stack of open elements (logical ids).
-        let mut stack: Vec<NodeId> = Vec::new();
-        while let Some(event) = parser.next_event()? {
-            match event {
-                XmlEvent::StartElement { name: tag, attrs } => {
-                    let id = match (doc, stack.last()) {
-                        (None, _) => {
-                            let id = self.create_document(name, tag)?;
-                            doc = Some(id);
-                            let root = self.root(id)?;
-                            stack.push(root);
-                            root
+        // Split borrows: the loader holds the tree store while tag and
+        // attribute names are interned into the symbol table.
+        let Repository {
+            ref tree,
+            ref mut symbols,
+            ..
+        } = *self;
+        let mut loader = natix_tree::BulkLoader::new(tree);
+        let mut feed = |loader: &mut natix_tree::BulkLoader<'_>| -> NatixResult<()> {
+            let mut seen_root = false;
+            while let Some(event) = parser.next_event()? {
+                match event {
+                    XmlEvent::StartElement { name: tag, attrs } => {
+                        // A second root element is rejected by the parser
+                        // itself (`XmlError::Structure`).
+                        seen_root = true;
+                        loader.start_element(symbols.intern_element(tag))?;
+                        for (attr_name, value) in attrs {
+                            let label = symbols.intern_attribute(attr_name);
+                            loader.literal(label, LiteralValue::String(value))?;
                         }
-                        (Some(d), Some(&parent)) => {
-                            let e = self.insert_element(d, parent, InsertPos::Last, tag)?;
-                            stack.push(e);
-                            e
-                        }
-                        (Some(_), None) => {
-                            return Err(NatixError::Validation(
-                                "multiple root elements".into(),
-                            ))
-                        }
-                    };
-                    let d = doc.expect("document created");
-                    for (attr_name, value) in attrs {
-                        let label = self.symbols.intern_attribute(attr_name);
-                        let ptr = self.resolve(d, id)?;
-                        let res = self.tree.insert(
-                            ptr,
-                            InsertPos::Last,
-                            label,
-                            NewNode::Literal(LiteralValue::String(value)),
-                        )?;
-                        let state = self.state_mut(d)?;
-                        state.apply(&res);
-                        state.fresh_id(res.new_node.expect("insert yields node"));
                     }
-                }
-                XmlEvent::EndElement { .. } => {
-                    stack.pop();
-                }
-                XmlEvent::Text(t) => {
-                    let (Some(d), Some(&parent)) = (doc, stack.last()) else {
-                        return Err(NatixError::Validation("text outside root".into()));
-                    };
-                    // insert_text chunks long text itself.
-                    self.insert_text(d, parent, InsertPos::Last, &t)?;
-                }
-                XmlEvent::Comment(c) => {
-                    if let (Some(d), Some(&parent)) = (doc, stack.last()) {
-                        let ptr = self.resolve(d, parent)?;
-                        let res = self.tree.insert(
-                            ptr,
-                            InsertPos::Last,
-                            natix_xml::LABEL_COMMENT,
-                            NewNode::Literal(LiteralValue::String(c.to_string())),
-                        )?;
-                        let state = self.state_mut(d)?;
-                        state.apply(&res);
-                        state.fresh_id(res.new_node.expect("insert yields node"));
-                    }
-                }
-                XmlEvent::Pi { target, data } => {
-                    if let (Some(d), Some(&parent)) = (doc, stack.last()) {
-                        let body = if data.is_empty() {
-                            target.to_string()
+                    XmlEvent::EndElement { .. } => loader.end_element()?,
+                    XmlEvent::Text(t) => {
+                        if !seen_root || parser.depth() == 0 {
+                            return Err(NatixError::Validation("text outside root".into()));
+                        }
+                        // Long text becomes consecutive sibling literals,
+                        // split on UTF-8 character boundaries
+                        // (serialisation-identical for XML character data).
+                        if t.len() > limit {
+                            for chunk in natix_xml::chunk_str(&t, limit) {
+                                loader
+                                    .literal(LABEL_TEXT, LiteralValue::String(chunk.to_owned()))?;
+                            }
                         } else {
-                            format!("{target} {data}")
-                        };
-                        let ptr = self.resolve(d, parent)?;
-                        let res = self.tree.insert(
-                            ptr,
-                            InsertPos::Last,
-                            natix_xml::LABEL_PI,
-                            NewNode::Literal(LiteralValue::String(body)),
-                        )?;
-                        let state = self.state_mut(d)?;
-                        state.apply(&res);
-                        state.fresh_id(res.new_node.expect("insert yields node"));
+                            loader.literal(LABEL_TEXT, LiteralValue::String(t))?;
+                        }
                     }
+                    XmlEvent::Comment(c) => {
+                        // Comments outside the root element are dropped, as
+                        // in the per-node path.
+                        if parser.depth() > 0 {
+                            loader.literal(
+                                natix_xml::LABEL_COMMENT,
+                                LiteralValue::String(c.to_string()),
+                            )?;
+                        }
+                    }
+                    XmlEvent::Pi { target, data } => {
+                        if parser.depth() > 0 {
+                            let body = if data.is_empty() {
+                                target.to_string()
+                            } else {
+                                format!("{target} {data}")
+                            };
+                            loader.literal(natix_xml::LABEL_PI, LiteralValue::String(body))?;
+                        }
+                    }
+                    XmlEvent::Doctype { .. } => {}
                 }
-                XmlEvent::Doctype { .. } => {}
             }
-        }
-        doc.ok_or_else(|| NatixError::Validation("empty document".into()))
+            if !seen_root {
+                return Err(NatixError::Validation("empty document".into()));
+            }
+            Ok(())
+        };
+        let stats = match feed(&mut loader) {
+            Ok(()) => loader.finish()?,
+            Err(e) => {
+                // Never leak the records flushed before the failure.
+                loader.abort();
+                return Err(e);
+            }
+        };
+        let state = DocState::new(name.to_string(), stats.root_rid);
+        Ok(self.register(state))
     }
 
     /// Creates an empty document with the given root tag.
@@ -308,7 +343,10 @@ impl Repository {
     /// substitution).
     pub fn get_document(&self, name: &str) -> NatixResult<Document> {
         let id = self.doc_id(name)?;
-        Ok(natix_tree::reconstruct_document(&self.tree, self.state(id)?.root_rid)?)
+        Ok(natix_tree::reconstruct_document(
+            &self.tree,
+            self.state(id)?.root_rid,
+        )?)
     }
 
     /// Recreates the textual representation, streamed from the records.
@@ -341,7 +379,11 @@ impl Repository {
         let ptr = self.resolve(doc, node)?;
         let info = self.tree.node_info(ptr)?;
         Ok(NodeSummary {
-            kind: if info.value.is_some() { NodeKind::Literal } else { NodeKind::Element },
+            kind: if info.value.is_some() {
+                NodeKind::Literal
+            } else {
+                NodeKind::Element
+            },
             label: self.symbols.name(info.label).to_string(),
             text: info.value.map(|v| v.to_text()),
         })
@@ -354,7 +396,13 @@ impl Repository {
         let state = self.state_mut(doc)?;
         Ok(ptrs
             .into_iter()
-            .map(|p| state.rev.get(&p).copied().unwrap_or_else(|| state.fresh_id(p)))
+            .map(|p| {
+                state
+                    .rev
+                    .get(&p)
+                    .copied()
+                    .unwrap_or_else(|| state.fresh_id(p))
+            })
             .collect())
     }
 
@@ -363,7 +411,13 @@ impl Repository {
         let ptr = self.resolve(doc, node)?;
         let parent = self.tree.logical_parent(ptr)?;
         let state = self.state_mut(doc)?;
-        Ok(parent.map(|p| state.rev.get(&p).copied().unwrap_or_else(|| state.fresh_id(p))))
+        Ok(parent.map(|p| {
+            state
+                .rev
+                .get(&p)
+                .copied()
+                .unwrap_or_else(|| state.fresh_id(p))
+        }))
     }
 
     /// Inserts a new element under `parent`.
@@ -393,9 +447,10 @@ impl Repository {
     ) -> NatixResult<Vec<NodeId>> {
         let limit = chunk_limit(self.tree.net_capacity());
         let chunks: Vec<String> = if text.len() > limit {
-            text.as_bytes()
-                .chunks(limit)
-                .map(|c| String::from_utf8_lossy(c).into_owned())
+            // Split on UTF-8 character boundaries: a byte split would
+            // corrupt multi-byte characters straddling a chunk edge.
+            natix_xml::chunk_str(text, limit)
+                .map(str::to_owned)
                 .collect()
         } else {
             vec![text.to_string()]
@@ -448,7 +503,9 @@ impl Repository {
         value: LiteralValue,
     ) -> NatixResult<NodeId> {
         let ptr = self.resolve(doc, sibling)?;
-        let res = self.tree.insert_after(ptr, label, NewNode::Literal(value))?;
+        let res = self
+            .tree
+            .insert_after(ptr, label, NewNode::Literal(value))?;
         let state = self.state_mut(doc)?;
         state.apply(&res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
@@ -581,9 +638,7 @@ impl Repository {
         let mut ptrs = Vec::new();
         natix_tree::traverse(&self.tree, NodePtr::new(root_rid, 0), &mut |ev| {
             match ev {
-                VisitEvent::Enter { ptr, .. } | VisitEvent::Literal { ptr, .. } => {
-                    ptrs.push(ptr)
-                }
+                VisitEvent::Enter { ptr, .. } | VisitEvent::Literal { ptr, .. } => ptrs.push(ptr),
                 VisitEvent::Leave { .. } => {}
             }
             true
@@ -646,16 +701,26 @@ mod tests {
         let mut repo = small_repo();
         let id = repo.create_document("d", "SPEECH").unwrap();
         let root = repo.root(id).unwrap();
-        let speaker = repo.insert_element(id, root, InsertPos::Last, "SPEAKER").unwrap();
-        repo.insert_text(id, speaker, InsertPos::Last, "OTHELLO").unwrap();
+        let speaker = repo
+            .insert_element(id, root, InsertPos::Last, "SPEAKER")
+            .unwrap();
+        repo.insert_text(id, speaker, InsertPos::Last, "OTHELLO")
+            .unwrap();
         let line = repo.insert_element_after(id, speaker, "LINE").unwrap();
-        repo.insert_text(id, line, InsertPos::Last, "Look in my face.").unwrap();
+        repo.insert_text(id, line, InsertPos::Last, "Look in my face.")
+            .unwrap();
         assert_eq!(
             repo.get_xml("d").unwrap(),
             "<SPEECH><SPEAKER>OTHELLO</SPEAKER><LINE>Look in my face.</LINE></SPEECH>"
         );
-        assert_eq!(repo.serialize_node(id, speaker).unwrap(), "<SPEAKER>OTHELLO</SPEAKER>");
-        assert_eq!(repo.text_content(id, root).unwrap(), "OTHELLOLook in my face.");
+        assert_eq!(
+            repo.serialize_node(id, speaker).unwrap(),
+            "<SPEAKER>OTHELLO</SPEAKER>"
+        );
+        assert_eq!(
+            repo.text_content(id, root).unwrap(),
+            "OTHELLOLook in my face."
+        );
     }
 
     #[test]
@@ -669,15 +734,25 @@ mod tests {
         let root = repo.root(id).unwrap();
         let mut ids = Vec::new();
         for i in 0..150 {
-            let e = repo.insert_element(id, root, InsertPos::Last, "item").unwrap();
-            repo.insert_text(id, e, InsertPos::Last, &format!("payload {i} {}", "x".repeat(i % 40)))
+            let e = repo
+                .insert_element(id, root, InsertPos::Last, "item")
                 .unwrap();
+            repo.insert_text(
+                id,
+                e,
+                InsertPos::Last,
+                &format!("payload {i} {}", "x".repeat(i % 40)),
+            )
+            .unwrap();
             ids.push((e, i));
         }
         // Every element id still resolves and reads back its own payload.
         for (e, i) in ids {
             let text = repo.text_content(id, e).unwrap();
-            assert!(text.starts_with(&format!("payload {i} ")), "node {e}: {text}");
+            assert!(
+                text.starts_with(&format!("payload {i} ")),
+                "node {e}: {text}"
+            );
         }
         repo.physical_stats("d").unwrap();
     }
@@ -685,7 +760,9 @@ mod tests {
     #[test]
     fn delete_node_updates_view() {
         let mut repo = small_repo();
-        let id = repo.put_xml("d", "<a><b>one</b><c>two</c><d>three</d></a>").unwrap();
+        let id = repo
+            .put_xml("d", "<a><b>one</b><c>two</c><d>three</d></a>")
+            .unwrap();
         let root = repo.root(id).unwrap();
         let kids = repo.children(id, root).unwrap();
         repo.delete_node(id, kids[1]).unwrap();
@@ -734,7 +811,8 @@ mod tests {
         let mut repo = small_repo();
         let id = repo.put_xml("d", "<a><b>x</b><c><d>y</d></c></a>").unwrap();
         let mut labels = Vec::new();
-        repo.traverse_document(id, |depth, s| labels.push((depth, s.label))).unwrap();
+        repo.traverse_document(id, |depth, s| labels.push((depth, s.label)))
+            .unwrap();
         assert_eq!(
             labels,
             vec![
@@ -784,7 +862,8 @@ mod tests {
         })
         .unwrap();
         let long = "y".repeat(1500);
-        repo.put_xml_streaming("d", &format!("<a>{long}</a>")).unwrap();
+        repo.put_xml_streaming("d", &format!("<a>{long}</a>"))
+            .unwrap();
         assert_eq!(repo.get_xml("d").unwrap(), format!("<a>{long}</a>"));
         repo.physical_stats("d").unwrap();
     }
@@ -792,9 +871,13 @@ mod tests {
     #[test]
     fn delete_document_frees_space_for_reuse() {
         let mut repo = small_repo();
-        repo.put_xml("d", "<a><b>some content here</b></a>").unwrap();
+        repo.put_xml("d", "<a><b>some content here</b></a>")
+            .unwrap();
         repo.delete_document("d").unwrap();
-        assert!(matches!(repo.get_xml("d"), Err(NatixError::NoSuchDocument(_))));
+        assert!(matches!(
+            repo.get_xml("d"),
+            Err(NatixError::NoSuchDocument(_))
+        ));
         repo.put_xml("d", "<fresh/>").unwrap();
         assert_eq!(repo.get_xml("d").unwrap(), "<fresh/>");
     }

@@ -12,8 +12,8 @@
 //! point: whole-document reads are sequential and fast, any structural
 //! access needs a full parse, and any update rewrites the whole stream.
 
-use natix_storage::{PageKind, PAGE_HEADER_SIZE};
 use natix_storage::{PageId, INVALID_PAGE};
+use natix_storage::{PageKind, PAGE_HEADER_SIZE};
 use natix_xml::{Document, ParserOptions, SymbolTable};
 
 use crate::error::{NatixError, NatixResult};
@@ -33,7 +33,9 @@ pub struct FlatStore {
 impl FlatStore {
     /// Creates an empty flat store.
     pub fn new() -> FlatStore {
-        FlatStore { docs: std::collections::HashMap::new() }
+        FlatStore {
+            docs: std::collections::HashMap::new(),
+        }
     }
 
     /// Stores `text` under `name`, replacing any previous stream.
@@ -103,7 +105,11 @@ impl FlatStore {
         symbols: &mut SymbolTable,
     ) -> NatixResult<Document> {
         let text = self.get(repo, name)?;
-        Ok(natix_xml::parse_document(&text, symbols, ParserOptions::default())?)
+        Ok(natix_xml::parse_document(
+            &text,
+            symbols,
+            ParserOptions::default(),
+        )?)
     }
 
     /// A "node update" in a flat stream: parse, let the caller mutate the

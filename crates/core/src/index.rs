@@ -39,7 +39,10 @@ fn pack(ptr: NodePtr) -> u64 {
 }
 
 fn unpack(v: u64) -> NodePtr {
-    NodePtr::new(Rid::new((v >> 32) as u32, ((v >> 16) & 0xFFFF) as u16), (v & 0xFFFF) as u16)
+    NodePtr::new(
+        Rid::new((v >> 32) as u32, ((v >> 16) & 0xFFFF) as u16),
+        (v & 0xFFFF) as u16,
+    )
 }
 
 /// A persistent label index over one repository.
@@ -54,7 +57,11 @@ impl LabelIndex {
     pub fn create(repo: &Repository) -> NatixResult<LabelIndex> {
         let seg = repo.index_segment();
         let bt = BTree::create(repo.storage(), seg, KEY_LEN)?;
-        Ok(LabelIndex { meta: bt.meta_page(), indexed: HashSet::new(), stale: HashSet::new() })
+        Ok(LabelIndex {
+            meta: bt.meta_page(),
+            indexed: HashSet::new(),
+            stale: HashSet::new(),
+        })
     }
 
     /// The B+-tree meta page (for reopening).
@@ -63,7 +70,11 @@ impl LabelIndex {
     }
 
     fn btree<'a>(&self, repo: &'a Repository) -> NatixResult<BTree<'a>> {
-        Ok(BTree::open(repo.storage(), repo.index_segment(), self.meta)?)
+        Ok(BTree::open(
+            repo.storage(),
+            repo.index_segment(),
+            self.meta,
+        )?)
     }
 
     /// Indexes (or re-indexes) a document: one entry per facade node.
@@ -131,12 +142,7 @@ impl LabelIndex {
 
     /// All nodes with the given element label in a document, in insertion
     /// (document) order, as logical node ids.
-    pub fn lookup(
-        &self,
-        repo: &mut Repository,
-        name: &str,
-        tag: &str,
-    ) -> NatixResult<Vec<NodeId>> {
+    pub fn lookup(&self, repo: &mut Repository, name: &str, tag: &str) -> NatixResult<Vec<NodeId>> {
         let doc = repo.doc_id(name)?;
         let Some(label) = repo.symbols().lookup_element(tag) else {
             return Ok(Vec::new());
@@ -145,7 +151,13 @@ impl LabelIndex {
         let state = repo.state_mut(doc)?;
         Ok(ptrs
             .into_iter()
-            .map(|p| state.rev.get(&p).copied().unwrap_or_else(|| state.fresh_id(p)))
+            .map(|p| {
+                state
+                    .rev
+                    .get(&p)
+                    .copied()
+                    .unwrap_or_else(|| state.fresh_id(p))
+            })
             .collect())
     }
 
@@ -206,8 +218,10 @@ mod tests {
         let id = repo.doc_id("p").unwrap();
         let speakers = idx.lookup(&mut repo, "p", "SPEAKER").unwrap();
         assert_eq!(speakers.len(), 2);
-        let texts: Vec<String> =
-            speakers.iter().map(|&s| repo.text_content(id, s).unwrap()).collect();
+        let texts: Vec<String> = speakers
+            .iter()
+            .map(|&s| repo.text_content(id, s).unwrap())
+            .collect();
         assert_eq!(texts, vec!["A", "B"]);
         let lines = idx.lookup(&mut repo, "p", "LINE").unwrap();
         assert_eq!(lines.len(), 3);
@@ -223,8 +237,12 @@ mod tests {
         assert!(idx.is_current(id));
         // Mutate: add a speech; mark stale; rebuild finds the new node.
         let scenes = repo.query("p", "/PLAY/ACT/SCENE").unwrap();
-        let speech = repo.insert_element(id, scenes[0], InsertPos::Last, "SPEECH").unwrap();
-        let speaker = repo.insert_element(id, speech, InsertPos::Last, "SPEAKER").unwrap();
+        let speech = repo
+            .insert_element(id, scenes[0], InsertPos::Last, "SPEECH")
+            .unwrap();
+        let speaker = repo
+            .insert_element(id, speech, InsertPos::Last, "SPEAKER")
+            .unwrap();
         repo.insert_text(id, speaker, InsertPos::Last, "C").unwrap();
         idx.mark_stale(id);
         assert!(!idx.is_current(id));
@@ -236,9 +254,12 @@ mod tests {
     #[test]
     fn multiple_documents_are_disjoint() {
         let mut repo = repo_with_play();
-        repo.put_xml("q", "<PLAY><ACT><SCENE><SPEECH><SPEAKER>Z</SPEAKER>\
-                           <LINE>z</LINE></SPEECH></SCENE></ACT></PLAY>")
-            .unwrap();
+        repo.put_xml(
+            "q",
+            "<PLAY><ACT><SCENE><SPEECH><SPEAKER>Z</SPEAKER>\
+                           <LINE>z</LINE></SPEECH></SCENE></ACT></PLAY>",
+        )
+        .unwrap();
         let mut idx = LabelIndex::create(&repo).unwrap();
         idx.index_document(&repo, "p").unwrap();
         idx.index_document(&repo, "q").unwrap();

@@ -87,12 +87,19 @@ impl PathQuery {
             let test = match token {
                 "*" => Test::Any,
                 "text()" => Test::Text,
-                name if name.chars().all(|c| c.is_alphanumeric() || "-_.:".contains(c)) => {
+                name if name
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || "-_.:".contains(c)) =>
+                {
                     Test::Name(name.to_string())
                 }
                 _ => return Err(bad("invalid name test")),
             };
-            steps.push(Step { descendant, test, position });
+            steps.push(Step {
+                descendant,
+                test,
+                position,
+            });
         }
         if steps.is_empty() {
             return Err(bad("no steps"));
@@ -151,7 +158,13 @@ impl Repository {
         let state = self.state_mut(doc)?;
         Ok(current
             .into_iter()
-            .map(|p| state.rev.get(&p).copied().unwrap_or_else(|| state.fresh_id(p)))
+            .map(|p| {
+                state
+                    .rev
+                    .get(&p)
+                    .copied()
+                    .unwrap_or_else(|| state.fresh_id(p))
+            })
             .collect())
     }
 
@@ -160,9 +173,7 @@ impl Repository {
         Ok(match &step.test {
             Test::Any => info.value.is_none(),
             Test::Text => info.label == LABEL_TEXT,
-            Test::Name(n) => {
-                info.value.is_none() && self.symbols.name(info.label) == n.as_str()
-            }
+            Test::Name(n) => info.value.is_none() && self.symbols.name(info.label) == n.as_str(),
         })
     }
 
@@ -268,7 +279,10 @@ mod tests {
         assert!(PathQuery::parse("/PLAY/ACT[x]").is_err());
         assert!(PathQuery::parse("/PLAY/ACT[1").is_err());
         assert!(PathQuery::parse("/PL AY").is_err());
-        assert_eq!(PathQuery::parse("/a/b//c[2]/text()").unwrap().step_count(), 4);
+        assert_eq!(
+            PathQuery::parse("/a/b//c[2]/text()").unwrap().step_count(),
+            4
+        );
     }
 
     #[test]
@@ -303,14 +317,18 @@ mod tests {
     fn paper_query_shapes() {
         let (mut repo, id) = play_repo();
         // Query 1 shape (act/scene adjusted to this small fixture).
-        let q1 = repo.query("play", "/PLAY/ACT[2]/SCENE[2]//SPEAKER").unwrap();
+        let q1 = repo
+            .query("play", "/PLAY/ACT[2]/SCENE[2]//SPEAKER")
+            .unwrap();
         assert_eq!(q1.len(), 1);
         assert_eq!(repo.text_content(id, q1[0]).unwrap(), "DELTA");
         // Query 2 shape: first speech of every scene.
         let q2 = repo.query("play", "/PLAY/ACT/SCENE/SPEECH[1]").unwrap();
         assert_eq!(q2.len(), 3);
         // Query 3 shape: the opening speech of the play.
-        let q3 = repo.query("play", "/PLAY/ACT[1]/SCENE[1]/SPEECH[1]").unwrap();
+        let q3 = repo
+            .query("play", "/PLAY/ACT[1]/SCENE[1]/SPEECH[1]")
+            .unwrap();
         assert_eq!(q3.len(), 1);
         assert_eq!(
             repo.serialize_node(id, q3[0]).unwrap(),
@@ -323,7 +341,9 @@ mod tests {
         let (mut repo, id) = play_repo();
         let all_level2 = repo.query("play", "/PLAY/*").unwrap();
         assert_eq!(all_level2.len(), 3, "TITLE + 2 ACTs");
-        let texts = repo.query("play", "/PLAY/ACT[1]/SCENE[1]/SPEECH[2]/LINE/text()").unwrap();
+        let texts = repo
+            .query("play", "/PLAY/ACT[1]/SCENE[1]/SPEECH[2]/LINE/text()")
+            .unwrap();
         assert_eq!(texts.len(), 1);
         assert_eq!(
             repo.node_summary(id, texts[0]).unwrap().text.as_deref(),

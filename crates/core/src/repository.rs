@@ -126,7 +126,12 @@ impl Repository {
                 sm.segment_by_name(name)
                     .ok_or_else(|| NatixError::Catalog(format!("missing {name} segment")))
             };
-            (find("documents")?, find("catalog")?, find("index")?, find("flat")?)
+            (
+                find("documents")?,
+                find("catalog")?,
+                find("index")?,
+                find("flat")?,
+            )
         };
         let tree = TreeStore::new(
             Arc::clone(&sm),
@@ -272,7 +277,10 @@ impl Repository {
 
     /// Parser options implied by the repository options.
     pub(crate) fn parser_options(&self) -> ParserOptions {
-        ParserOptions { keep_whitespace_text: self.options.keep_whitespace_text, ..Default::default() }
+        ParserOptions {
+            keep_whitespace_text: self.options.keep_whitespace_text,
+            ..Default::default()
+        }
     }
 
     /// Resolves a document name.
@@ -331,7 +339,10 @@ impl Repository {
     /// document — also validates all invariants.
     pub fn physical_stats(&self, name: &str) -> NatixResult<natix_tree::PhysicalStats> {
         let id = self.doc_id(name)?;
-        Ok(natix_tree::check_tree(&self.tree, self.state(id)?.root_rid)?)
+        Ok(natix_tree::check_tree(
+            &self.tree,
+            self.state(id)?.root_rid,
+        )?)
     }
 
     /// Total bytes on disk currently allocated to the repository

@@ -44,7 +44,10 @@ impl SchemaManager {
 
     /// The parsed DTD registered under `name`.
     pub fn dtd(&self, name: &str) -> Option<&Dtd> {
-        self.dtds.iter().find(|(n, _, _)| n == name).map(|(_, _, d)| d)
+        self.dtds
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, d)| d)
     }
 
     /// Registered `(name, source)` pairs (catalog persistence).
@@ -72,7 +75,9 @@ impl SchemaManager {
             )));
         }
         for n in doc.pre_order() {
-            let NodeData::Element(label) = doc.data(n) else { continue };
+            let NodeData::Element(label) = doc.data(n) else {
+                continue;
+            };
             let name = symbols.name(*label);
             let children: Vec<Option<&str>> = doc
                 .children(n)
@@ -98,11 +103,7 @@ impl SchemaManager {
 
     /// Histogram of element labels in a document — the "statistics" the
     /// schema manager keeps for tuning (e.g. choosing split-matrix rules).
-    pub fn label_histogram(
-        &self,
-        doc: &Document,
-        symbols: &SymbolTable,
-    ) -> HashMap<String, usize> {
+    pub fn label_histogram(&self, doc: &Document, symbols: &SymbolTable) -> HashMap<String, usize> {
         let mut h = HashMap::new();
         for n in doc.pre_order() {
             if let NodeData::Element(l) = doc.data(n) {
@@ -142,7 +143,8 @@ mod tests {
         assert!(sm.dtd("nope").is_none());
         assert_eq!(sm.dtd_sources().count(), 1);
         // Re-registering replaces.
-        sm.register_dtd("play", "<!ELEMENT SPEECH (SPEAKER)>").unwrap();
+        sm.register_dtd("play", "<!ELEMENT SPEECH (SPEAKER)>")
+            .unwrap();
         assert_eq!(sm.dtd_sources().count(), 1);
     }
 
@@ -159,15 +161,16 @@ mod tests {
             Err(NatixError::Validation(_))
         ));
         let (undeclared_root, syms) = parse("<OTHER/>");
-        assert!(sm.validate_document(&undeclared_root, &syms, "play").is_err());
+        assert!(sm
+            .validate_document(&undeclared_root, &syms, "play")
+            .is_err());
     }
 
     #[test]
     fn attributes_do_not_break_content_models() {
         let mut sm = SchemaManager::new();
         sm.register_dtd("play", DTD).unwrap();
-        let (doc, syms) =
-            parse("<SPEECH act=\"3\"><SPEAKER>A</SPEAKER><LINE>x</LINE></SPEECH>");
+        let (doc, syms) = parse("<SPEECH act=\"3\"><SPEAKER>A</SPEAKER><LINE>x</LINE></SPEECH>");
         sm.validate_document(&doc, &syms, "play").unwrap();
     }
 

@@ -23,11 +23,13 @@
 
 pub mod orders;
 pub mod prng;
+pub mod purchase;
 pub mod shakespeare;
 pub mod words;
 
 pub use orders::{append_order, incremental_order, Anchor, InsertStep};
 pub use prng::SplitMix64;
+pub use purchase::{generate_orders, OrdersConfig};
 pub use shakespeare::{generate_corpus, generate_play, CorpusConfig, CorpusStats, PlayDoc};
 
 #[cfg(test)]

@@ -45,7 +45,10 @@ pub fn append_order(doc: &Document) -> Vec<InsertStep> {
     let mut steps = Vec::with_capacity(doc.node_count().saturating_sub(1));
     for node in doc.pre_order() {
         if let Some(parent) = doc.parent(node) {
-            steps.push(InsertStep { node, anchor: Anchor::LastChildOf(parent) });
+            steps.push(InsertStep {
+                node,
+                anchor: Anchor::LastChildOf(parent),
+            });
         }
     }
     steps
@@ -61,15 +64,24 @@ pub fn incremental_order(doc: &Document) -> Vec<InsertStep> {
     while let Some(n) = queue.pop_front() {
         // Left binary child: the first logical child.
         if let Some(&first) = doc.children(n).first() {
-            steps.push(InsertStep { node: first, anchor: Anchor::FirstChildOf(n) });
+            steps.push(InsertStep {
+                node: first,
+                anchor: Anchor::FirstChildOf(n),
+            });
             queue.push_back(first);
         }
         // Right binary child: the next logical sibling.
         if let Some(parent) = doc.parent(n) {
             let kids = doc.children(parent);
-            let my = kids.iter().position(|&c| c == n).expect("listed under parent");
+            let my = kids
+                .iter()
+                .position(|&c| c == n)
+                .expect("listed under parent");
             if let Some(&next) = kids.get(my + 1) {
-                steps.push(InsertStep { node: next, anchor: Anchor::After(n) });
+                steps.push(InsertStep {
+                    node: next,
+                    anchor: Anchor::After(n),
+                });
                 queue.push_back(next);
             }
         }
@@ -127,7 +139,9 @@ mod tests {
         let order: Vec<NodeIdx> = doc.pre_order().skip(1).collect();
         let got: Vec<NodeIdx> = steps.iter().map(|s| s.node).collect();
         assert_eq!(got, order);
-        assert!(steps.iter().all(|s| matches!(s.anchor, Anchor::LastChildOf(_))));
+        assert!(steps
+            .iter()
+            .all(|s| matches!(s.anchor, Anchor::LastChildOf(_))));
     }
 
     #[test]
@@ -138,7 +152,10 @@ mod tests {
         validate_order(&doc, &steps).unwrap();
         let pre: Vec<NodeIdx> = append_order(&doc).iter().map(|s| s.node).collect();
         let inc: Vec<NodeIdx> = steps.iter().map(|s| s.node).collect();
-        assert_ne!(pre, inc, "BFS over the binary tree must differ from pre-order");
+        assert_ne!(
+            pre, inc,
+            "BFS over the binary tree must differ from pre-order"
+        );
     }
 
     #[test]
@@ -166,7 +183,10 @@ mod tests {
         steps.swap(0, 1);
         assert!(validate_order(&doc, &steps).is_err());
         let steps = append_order(&doc);
-        assert!(validate_order(&doc, &steps[1..]).is_err(), "missing nodes detected");
+        assert!(
+            validate_order(&doc, &steps[1..]).is_err(),
+            "missing nodes detected"
+        );
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! A synthetic purchase-order corpus — the "many small, uniform records"
+//! counterpoint to the Shakespeare plays.
+//!
+//! Business documents of this shape (order batches with customer blocks
+//! and line items) are the other classic XML storage workload: shallow,
+//! high fan-out, short numeric-ish text. The bulkload benchmarks run both
+//! corpora because they stress the packer differently — plays produce
+//! long sibling runs of mid-sized SPEECH subtrees, order batches produce
+//! huge runs of small ORDER subtrees.
+//!
+//! ```text
+//! ORDERS ── ORDER*
+//! ORDER ── ID, DATE, CUSTOMER(NAME, CITY), ITEM*
+//! ITEM ── SKU, QTY, PRICE
+//! ```
+//!
+//! Generation is deterministic in the seed.
+
+use natix_xml::{Document, NodeData, SymbolTable};
+
+use crate::prng::SplitMix64;
+use crate::words::WORDS;
+
+/// Purchase-order generation parameters.
+#[derive(Debug, Clone)]
+pub struct OrdersConfig {
+    /// Number of orders in the batch document.
+    pub orders: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl OrdersConfig {
+    /// A batch comparable in node count to one large play (≈10k nodes).
+    pub fn paper() -> OrdersConfig {
+        OrdersConfig {
+            orders: 600,
+            seed: 0x0D0E_0A11,
+        }
+    }
+
+    /// A reduced batch for fast tests.
+    pub fn tiny() -> OrdersConfig {
+        OrdersConfig {
+            orders: 40,
+            seed: 0x0D0E_0A11,
+        }
+    }
+}
+
+/// Labels used by the order documents, interned once.
+pub struct OrderLabels {
+    pub orders: u16,
+    pub order: u16,
+    pub id: u16,
+    pub date: u16,
+    pub customer: u16,
+    pub name: u16,
+    pub city: u16,
+    pub item: u16,
+    pub sku: u16,
+    pub qty: u16,
+    pub price: u16,
+}
+
+impl OrderLabels {
+    /// Interns the order element alphabet.
+    pub fn intern(symbols: &mut SymbolTable) -> OrderLabels {
+        OrderLabels {
+            orders: symbols.intern_element("ORDERS"),
+            order: symbols.intern_element("ORDER"),
+            id: symbols.intern_element("ID"),
+            date: symbols.intern_element("DATE"),
+            customer: symbols.intern_element("CUSTOMER"),
+            name: symbols.intern_element("NAME"),
+            city: symbols.intern_element("CITY"),
+            item: symbols.intern_element("ITEM"),
+            sku: symbols.intern_element("SKU"),
+            qty: symbols.intern_element("QTY"),
+            price: symbols.intern_element("PRICE"),
+        }
+    }
+}
+
+/// Generates one deterministic order-batch document.
+pub fn generate_orders(cfg: &OrdersConfig, symbols: &mut SymbolTable) -> Document {
+    let l = OrderLabels::intern(symbols);
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut doc = Document::new(NodeData::Element(l.orders));
+    let root = doc.root();
+    let leaf = |doc: &mut Document, parent, label, text: String| {
+        let e = doc.add_child(parent, NodeData::Element(label));
+        doc.add_child(e, NodeData::text(text));
+    };
+    for i in 0..cfg.orders {
+        let order = doc.add_child(root, NodeData::Element(l.order));
+        leaf(&mut doc, order, l.id, format!("PO-{i:06}"));
+        leaf(
+            &mut doc,
+            order,
+            l.date,
+            format!(
+                "19{:02}-{:02}-{:02}",
+                rng.range(90, 100),
+                rng.range(1, 13),
+                rng.range(1, 29)
+            ),
+        );
+        let customer = doc.add_child(order, NodeData::Element(l.customer));
+        let first = rng.pick(WORDS);
+        let last = rng.pick(WORDS);
+        leaf(
+            &mut doc,
+            customer,
+            l.name,
+            format!("{} {}", capitalised(first), capitalised(last)),
+        );
+        let city = rng.pick(WORDS);
+        leaf(&mut doc, customer, l.city, capitalised(city));
+        for _ in 0..rng.range(1, 7) {
+            let item = doc.add_child(order, NodeData::Element(l.item));
+            leaf(
+                &mut doc,
+                item,
+                l.sku,
+                format!("SKU-{:05}", rng.below(100_000)),
+            );
+            leaf(&mut doc, item, l.qty, format!("{}", rng.range(1, 100)));
+            leaf(
+                &mut doc,
+                item,
+                l.price,
+                format!("{}.{:02}", rng.range(1, 500), rng.below(100)),
+            );
+        }
+    }
+    doc
+}
+
+fn capitalised(word: &str) -> String {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_well_formed() {
+        let mut s1 = SymbolTable::new();
+        let mut s2 = SymbolTable::new();
+        let a = generate_orders(&OrdersConfig::tiny(), &mut s1);
+        let b = generate_orders(&OrdersConfig::tiny(), &mut s2);
+        assert!(
+            a.subtree_eq(a.root(), &b, b.root()),
+            "same seed, same document"
+        );
+        assert_eq!(a.children(a.root()).len(), OrdersConfig::tiny().orders);
+        // Round-trips through the writer/parser.
+        let xml = natix_xml::write_document(&a, &s1, natix_xml::WriteOptions::compact()).unwrap();
+        let mut s3 = SymbolTable::new();
+        let back =
+            natix_xml::parse_document(&xml, &mut s3, natix_xml::ParserOptions::default()).unwrap();
+        assert_eq!(back.node_count(), a.node_count());
+    }
+
+    #[test]
+    fn paper_batch_is_substantial() {
+        let mut syms = SymbolTable::new();
+        let doc = generate_orders(&OrdersConfig::paper(), &mut syms);
+        assert!(
+            doc.node_count() > 8_000,
+            "batch has {} nodes",
+            doc.node_count()
+        );
+    }
+}

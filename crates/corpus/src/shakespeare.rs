@@ -34,12 +34,20 @@ pub struct CorpusConfig {
 impl CorpusConfig {
     /// The paper's corpus: 37 plays, ≈320k nodes, ≈8 MB.
     pub fn paper() -> CorpusConfig {
-        CorpusConfig { plays: 37, seed: 0x5EED_BA5E, scale: 1.0 }
+        CorpusConfig {
+            plays: 37,
+            seed: 0x5EED_BA5E,
+            scale: 1.0,
+        }
     }
 
     /// A reduced corpus for fast tests/benches (≈1/20 of the paper's).
     pub fn tiny() -> CorpusConfig {
-        CorpusConfig { plays: 4, seed: 0x5EED_BA5E, scale: 0.15 }
+        CorpusConfig {
+            plays: 4,
+            seed: 0x5EED_BA5E,
+            scale: 0.15,
+        }
     }
 }
 
@@ -153,14 +161,18 @@ pub fn generate_play(cfg: &CorpusConfig, index: usize, symbols: &mut SymbolTable
     // Dramatis personae: a cast of 18–30 speakers for this play.
     let cast_size = rng.range(18, 30);
     let cast_base = rng.below(SPEAKERS.len());
-    let cast: Vec<&str> =
-        (0..cast_size).map(|i| SPEAKERS[(cast_base + i * 7) % SPEAKERS.len()]).collect();
+    let cast: Vec<&str> = (0..cast_size)
+        .map(|i| SPEAKERS[(cast_base + i * 7) % SPEAKERS.len()])
+        .collect();
     let personae = doc.add_child(root, NodeData::Element(labels.personae));
     let pt = doc.add_child(personae, NodeData::Element(labels.title));
     doc.add_child(pt, NodeData::text("Dramatis Personae"));
     for name in &cast {
         let p = doc.add_child(personae, NodeData::Element(labels.persona));
-        doc.add_child(p, NodeData::text(format!("{name}, of {}", rng.pick(&TITLE_SUBJECTS))));
+        doc.add_child(
+            p,
+            NodeData::text(format!("{name}, of {}", rng.pick(TITLE_SUBJECTS))),
+        );
     }
 
     let acts = 5;
@@ -189,7 +201,7 @@ pub fn generate_play(cfg: &CorpusConfig, index: usize, symbols: &mut SymbolTable
                         sd,
                         NodeData::text(format!(
                             "{} {}",
-                            rng.pick(&STAGEDIRS),
+                            rng.pick(STAGEDIRS),
                             cast[rng.below(cast.len())]
                         )),
                     );
@@ -211,19 +223,30 @@ pub fn generate_play(cfg: &CorpusConfig, index: usize, symbols: &mut SymbolTable
             }
         }
     }
-    PlayDoc { name: format!("play-{index:02}"), title, doc }
+    PlayDoc {
+        name: format!("play-{index:02}"),
+        title,
+        doc,
+    }
 }
 
 /// Generates the whole corpus.
 pub fn generate_corpus(cfg: &CorpusConfig, symbols: &mut SymbolTable) -> Vec<PlayDoc> {
-    (0..cfg.plays).map(|i| generate_play(cfg, i, symbols)).collect()
+    (0..cfg.plays)
+        .map(|i| generate_play(cfg, i, symbols))
+        .collect()
 }
 
 /// Computes aggregate statistics of generated plays.
 pub fn corpus_stats(plays: &[PlayDoc], symbols: &SymbolTable) -> CorpusStats {
     let speech = symbols.lookup_element("SPEECH");
     let line = symbols.lookup_element("LINE");
-    let mut stats = CorpusStats { plays: plays.len(), nodes: 0, speeches: 0, lines: 0 };
+    let mut stats = CorpusStats {
+        plays: plays.len(),
+        nodes: 0,
+        speeches: 0,
+        lines: 0,
+    };
     for p in plays {
         stats.nodes += p.doc.node_count();
         for n in p.doc.pre_order() {
@@ -294,8 +317,7 @@ mod tests {
                         NodeData::Literal { .. } => None,
                     })
                     .collect();
-                let child_refs: Vec<Option<&str>> =
-                    children.iter().map(|c| c.as_deref()).collect();
+                let child_refs: Vec<Option<&str>> = children.iter().map(|c| c.as_deref()).collect();
                 dtd.validate_element(&name, &child_refs)
                     .unwrap_or_else(|e| panic!("<{name}> invalid: {e}"));
             }
@@ -331,6 +353,9 @@ mod tests {
         let stats = corpus_stats(&plays, &syms);
         assert_eq!(stats.plays, 4);
         assert!(stats.speeches > 0);
-        assert!(stats.lines >= stats.speeches, "every speech has at least one line");
+        assert!(
+            stats.lines >= stats.speeches,
+            "every speech has at least one line"
+        );
     }
 }

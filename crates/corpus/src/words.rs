@@ -6,61 +6,77 @@
 //! the English prose average (~4.7 characters).
 
 /// Common and period-flavoured words for line text.
+#[rustfmt::skip]
 pub const WORDS: &[&str] = &[
-    "the", "and", "to", "of", "a", "my", "in", "you", "is", "that", "it", "not", "his", "me",
-    "with", "be", "your", "for", "he", "this", "have", "thou", "but", "as", "him", "so", "will",
-    "what", "thy", "all", "her", "no", "by", "do", "shall", "if", "are", "we", "thee", "on",
-    "lord", "our", "king", "good", "now", "sir", "from", "come", "at", "they", "she", "or",
-    "here", "would", "more", "was", "how", "let", "there", "am", "love", "man", "them", "hath",
-    "than", "like", "one", "go", "upon", "say", "may", "make", "did", "us", "yet", "should",
-    "know", "then", "take", "see", "when", "their", "most", "such", "where", "out", "well",
-    "speak", "night", "day", "heart", "death", "time", "never", "life", "think", "give",
-    "honour", "father", "blood", "eyes", "heaven", "word", "noble", "sweet", "fair", "true",
-    "great", "poor", "hand", "head", "world", "nature", "soul", "grace", "majesty", "crown",
-    "sword", "battle", "fortune", "sorrow", "tears", "fear", "hope", "grief", "joy", "rage",
-    "villain", "friend", "enemy", "brother", "daughter", "mother", "wife", "son", "duke",
-    "prince", "queen", "lady", "master", "servant", "soldier", "messenger", "gentleman",
-    "madam", "cousin", "uncle", "tonight", "tomorrow", "yesterday", "morrow", "anon",
-    "prithee", "forsooth", "wherefore", "hither", "thither", "henceforth", "perchance",
-    "methinks", "alas", "farewell", "adieu", "hark", "behold", "attend", "beseech",
+    "the", "and", "to", "of", "a", "my", "in", "you", "is", "that", "it",
+    "not", "his", "me", "with", "be", "your", "for", "he", "this", "have",
+    "thou", "but", "as", "him", "so", "will", "what", "thy", "all", "her",
+    "no", "by", "do", "shall", "if", "are", "we", "thee", "on", "lord",
+    "our", "king", "good", "now", "sir", "from", "come", "at", "they", "she",
+    "or", "here", "would", "more", "was", "how", "let", "there", "am",
+    "love", "man", "them", "hath", "than", "like", "one", "go", "upon",
+    "say", "may", "make", "did", "us", "yet", "should", "know", "then",
+    "take", "see", "when", "their", "most", "such", "where", "out", "well",
+    "speak", "night", "day", "heart", "death", "time", "never", "life",
+    "think", "give", "honour", "father", "blood", "eyes", "heaven", "word",
+    "noble", "sweet", "fair", "true", "great", "poor", "hand", "head",
+    "world", "nature", "soul", "grace", "majesty", "crown", "sword",
+    "battle", "fortune", "sorrow", "tears", "fear", "hope", "grief", "joy",
+    "rage", "villain", "friend", "enemy", "brother", "daughter", "mother",
+    "wife", "son", "duke", "prince", "queen", "lady", "master", "servant",
+    "soldier", "messenger", "gentleman", "madam", "cousin", "uncle",
+    "tonight", "tomorrow", "yesterday", "morrow", "anon", "prithee",
+    "forsooth", "wherefore", "hither", "thither", "henceforth", "perchance",
+    "methinks", "alas", "farewell", "adieu", "hark", "behold", "attend",
+    "beseech",
 ];
 
 /// Speaker names (drawn per play, prefixed to vary across plays).
+#[rustfmt::skip]
 pub const SPEAKERS: &[&str] = &[
-    "OTHELLO", "HAMLET", "MACBETH", "LEAR", "ROSALIND", "VIOLA", "PORTIA", "BRUTUS",
-    "CASSIUS", "ANTONY", "CLEOPATRA", "PROSPERO", "MIRANDA", "ARIEL", "CALIBAN", "ORLANDO",
-    "ORSINO", "OLIVIA", "MALVOLIO", "FESTE", "TOUCHSTONE", "JAQUES", "BENEDICK", "BEATRICE",
-    "CLAUDIO", "HERO", "LEONATO", "DOGBERRY", "SHYLOCK", "BASSANIO", "ANTONIO", "GRATIANO",
-    "NERISSA", "JESSICA", "LORENZO", "PUCK", "OBERON", "TITANIA", "BOTTOM", "LYSANDER",
-    "DEMETRIUS", "HERMIA", "HELENA", "THESEUS", "HIPPOLYTA", "EGEUS", "MERCUTIO", "TYBALT",
-    "ROMEO", "JULIET", "CAPULET", "MONTAGUE", "FRIAR", "NURSE", "PARIS", "BENVOLIO",
-    "FALSTAFF", "HOTSPUR", "GLENDOWER", "WESTMORELAND", "EXETER", "GLOUCESTER", "KENT",
-    "CORDELIA", "GONERIL", "REGAN", "EDMUND", "EDGAR", "ALBANY", "CORNWALL", "OSWALD",
-    "FOOL", "IAGO", "DESDEMONA", "CASSIO", "EMILIA", "RODERIGO", "BRABANTIO", "LODOVICO",
-    "MESSENGER", "SERVANT", "FIRST_LORD", "SECOND_LORD", "FIRST_WITCH", "SECOND_WITCH",
-    "THIRD_WITCH", "BANQUO", "MACDUFF", "DUNCAN", "MALCOLM", "DONALBAIN", "LENNOX", "ROSS",
+    "OTHELLO", "HAMLET", "MACBETH", "LEAR", "ROSALIND", "VIOLA", "PORTIA",
+    "BRUTUS", "CASSIUS", "ANTONY", "CLEOPATRA", "PROSPERO", "MIRANDA",
+    "ARIEL", "CALIBAN", "ORLANDO", "ORSINO", "OLIVIA", "MALVOLIO", "FESTE",
+    "TOUCHSTONE", "JAQUES", "BENEDICK", "BEATRICE", "CLAUDIO", "HERO",
+    "LEONATO", "DOGBERRY", "SHYLOCK", "BASSANIO", "ANTONIO", "GRATIANO",
+    "NERISSA", "JESSICA", "LORENZO", "PUCK", "OBERON", "TITANIA", "BOTTOM",
+    "LYSANDER", "DEMETRIUS", "HERMIA", "HELENA", "THESEUS", "HIPPOLYTA",
+    "EGEUS", "MERCUTIO", "TYBALT", "ROMEO", "JULIET", "CAPULET", "MONTAGUE",
+    "FRIAR", "NURSE", "PARIS", "BENVOLIO", "FALSTAFF", "HOTSPUR",
+    "GLENDOWER", "WESTMORELAND", "EXETER", "GLOUCESTER", "KENT", "CORDELIA",
+    "GONERIL", "REGAN", "EDMUND", "EDGAR", "ALBANY", "CORNWALL", "OSWALD",
+    "FOOL", "IAGO", "DESDEMONA", "CASSIO", "EMILIA", "RODERIGO", "BRABANTIO",
+    "LODOVICO", "MESSENGER", "SERVANT", "FIRST_LORD", "SECOND_LORD",
+    "FIRST_WITCH", "SECOND_WITCH", "THIRD_WITCH", "BANQUO", "MACDUFF",
+    "DUNCAN", "MALCOLM", "DONALBAIN", "LENNOX", "ROSS",
 ];
 
 /// Title fragments for generated plays.
+#[rustfmt::skip]
 pub const TITLE_HEADS: &[&str] = &[
-    "The Tragedy of", "The Comedy of", "The History of", "The Life of", "The Famous Chronicle of",
-    "The Merry Tale of", "The Lamentable Story of", "The True Account of",
+    "The Tragedy of", "The Comedy of", "The History of", "The Life of",
+    "The Famous Chronicle of", "The Merry Tale of",
+    "The Lamentable Story of", "The True Account of",
 ];
 
 /// Title subjects.
+#[rustfmt::skip]
 pub const TITLE_SUBJECTS: &[&str] = &[
-    "Albion", "Verona", "Illyria", "Bohemia", "Navarre", "Messina", "Elsinore", "Dunsinane",
-    "Arden", "Belmont", "Cyprus", "Venice", "Athens", "Ephesus", "Padua", "Windsor", "Rousillon",
-    "Tyre", "Antioch", "Pentapolis", "Mytilene", "Sicilia", "Britain", "Troy", "Rome", "Egypt",
-    "Scotland", "Denmark", "Vienna", "Florence", "Milan", "Naples", "Aquitaine", "Gaultree",
-    "Agincourt", "Bosworth", "Shrewsbury",
+    "Albion", "Verona", "Illyria", "Bohemia", "Navarre", "Messina",
+    "Elsinore", "Dunsinane", "Arden", "Belmont", "Cyprus", "Venice",
+    "Athens", "Ephesus", "Padua", "Windsor", "Rousillon", "Tyre", "Antioch",
+    "Pentapolis", "Mytilene", "Sicilia", "Britain", "Troy", "Rome", "Egypt",
+    "Scotland", "Denmark", "Vienna", "Florence", "Milan", "Naples",
+    "Aquitaine", "Gaultree", "Agincourt", "Bosworth", "Shrewsbury",
 ];
 
 /// Stage-direction templates.
+#[rustfmt::skip]
 pub const STAGEDIRS: &[&str] = &[
-    "Enter", "Exit", "Exeunt", "Flourish", "Alarum", "Enter, fighting", "Dies",
-    "Aside", "Within", "Trumpets sound", "Thunder and lightning", "Enter with attendants",
-    "Exeunt all but", "Drawing his sword", "Reads the letter", "Kneels",
+    "Enter", "Exit", "Exeunt", "Flourish", "Alarum", "Enter, fighting",
+    "Dies", "Aside", "Within", "Trumpets sound", "Thunder and lightning",
+    "Enter with attendants", "Exeunt all but", "Drawing his sword",
+    "Reads the letter", "Kneels",
 ];
 
 #[cfg(test)]
@@ -71,7 +87,11 @@ mod tests {
     fn vocabulary_sizes() {
         assert!(WORDS.len() >= 150);
         assert!(SPEAKERS.len() >= 80);
-        assert_eq!(TITLE_SUBJECTS.len(), 37, "one subject per play of the canon");
+        assert_eq!(
+            TITLE_SUBJECTS.len(),
+            37,
+            "one subject per play of the canon"
+        );
     }
 
     #[test]

@@ -72,20 +72,36 @@ impl<'a> BTree<'a> {
             p.write_u32(OFF_META_KEYLEN, key_len as u32);
             p.write_u64(OFF_META_COUNT, 0);
         }
-        Ok(BTree { sm, segment, meta, key_len })
+        Ok(BTree {
+            sm,
+            segment,
+            meta,
+            key_len,
+        })
     }
 
     /// Opens an existing tree by its meta page.
-    pub fn open(sm: &'a StorageManager, segment: SegmentId, meta: PageId) -> StorageResult<BTree<'a>> {
+    pub fn open(
+        sm: &'a StorageManager,
+        segment: SegmentId,
+        meta: PageId,
+    ) -> StorageResult<BTree<'a>> {
         let key_len = {
             let pin = sm.pin(meta)?;
             let p = pin.read();
             if &p.bytes()[OFF_META_MAGIC..OFF_META_MAGIC + 4] != META_MAGIC {
-                return Err(StorageError::Corrupt(format!("page {meta} is not a B+-tree meta")));
+                return Err(StorageError::Corrupt(format!(
+                    "page {meta} is not a B+-tree meta"
+                )));
             }
             p.read_u32(OFF_META_KEYLEN) as usize
         };
-        Ok(BTree { sm, segment, meta, key_len })
+        Ok(BTree {
+            sm,
+            segment,
+            meta,
+            key_len,
+        })
     }
 
     /// The meta page identifying this tree on disk.
@@ -132,7 +148,10 @@ impl<'a> BTree<'a> {
 
     fn check_key(&self, key: &[u8]) -> StorageResult<()> {
         if key.len() != self.key_len {
-            return Err(StorageError::BadKeyLength { expected: self.key_len, got: key.len() });
+            return Err(StorageError::BadKeyLength {
+                expected: self.key_len,
+                got: key.len(),
+            });
         }
         Ok(())
     }
@@ -263,8 +282,14 @@ impl<'a> BTree<'a> {
             let n = p.slot_count() as usize;
             if i < n && self.leaf_key(&p, i) == key {
                 let old = self.leaf_value(&p, i);
-                p.write_u64(PAGE_HEADER_SIZE + i * self.leaf_entry() + self.key_len, value);
-                return Ok(InsertOutcome { replaced: Some(old), split: None });
+                p.write_u64(
+                    PAGE_HEADER_SIZE + i * self.leaf_entry() + self.key_len,
+                    value,
+                );
+                return Ok(InsertOutcome {
+                    replaced: Some(old),
+                    split: None,
+                });
             }
             let entry = self.leaf_entry();
             if n < self.leaf_capacity() {
@@ -274,7 +299,10 @@ impl<'a> BTree<'a> {
                 p.bytes_mut()[start..start + self.key_len].copy_from_slice(key);
                 p.write_u64(start + self.key_len, value);
                 p.set_slot_count((n + 1) as u16);
-                return Ok(InsertOutcome { replaced: None, split: None });
+                return Ok(InsertOutcome {
+                    replaced: None,
+                    split: None,
+                });
             }
             // Leaf split: right half moves to a new leaf.
             let mid = n / 2;
@@ -300,7 +328,10 @@ impl<'a> BTree<'a> {
             let target = if key < sep.as_slice() { page } else { new_leaf };
             let sub = self.insert_rec(target, key, value)?;
             debug_assert!(sub.split.is_none(), "half-full leaf cannot split again");
-            return Ok(InsertOutcome { replaced: sub.replaced, split: Some((sep, new_leaf)) });
+            return Ok(InsertOutcome {
+                replaced: sub.replaced,
+                split: Some((sep, new_leaf)),
+            });
         }
         // Inner node.
         let pos = self.inner_descend_pos(&p, key);
@@ -323,11 +354,19 @@ impl<'a> BTree<'a> {
             p.bytes_mut()[start..start + self.key_len].copy_from_slice(&sep);
             p.write_u32(start + self.key_len, new_child);
             p.set_slot_count((n + 1) as u16);
-            return Ok(InsertOutcome { replaced: sub.replaced, split: None });
+            return Ok(InsertOutcome {
+                replaced: sub.replaced,
+                split: None,
+            });
         }
         // Inner split. Work on an owned, already-inserted entry list.
         let mut entries: Vec<(Vec<u8>, PageId)> = (0..n)
-            .map(|i| (self.inner_key(&p, i).to_vec(), self.inner_child(&p, i as isize)))
+            .map(|i| {
+                (
+                    self.inner_key(&p, i).to_vec(),
+                    self.inner_child(&p, i as isize),
+                )
+            })
             .collect();
         entries.insert(insert_at, (sep, new_child));
         let mid = entries.len() / 2;
@@ -345,7 +384,10 @@ impl<'a> BTree<'a> {
         np.set_flags(0);
         self.write_inner(&mut np, right_first, &right_entries);
         drop(np);
-        Ok(InsertOutcome { replaced: sub.replaced, split: Some((up_key, new_inner)) })
+        Ok(InsertOutcome {
+            replaced: sub.replaced,
+            split: Some((up_key, new_inner)),
+        })
     }
 
     fn write_inner(&self, p: &mut PageBuf, first_child: PageId, entries: &[(Vec<u8>, PageId)]) {
@@ -525,7 +567,9 @@ mod tests {
         let seg = sm.create_segment("idx").unwrap();
         let bt = BTree::create(&sm, seg, 8).unwrap();
         // Deterministic shuffle via multiplicative hashing.
-        let keys: Vec<u64> = (0..2000u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        let keys: Vec<u64> = (0..2000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
         for (i, k) in keys.iter().enumerate() {
             bt.insert(&key8(*k), i as u64).unwrap();
         }
@@ -595,7 +639,10 @@ mod tests {
         let bt = BTree::create(&sm, seg, 8).unwrap();
         assert!(matches!(
             bt.insert(b"short", 0),
-            Err(StorageError::BadKeyLength { expected: 8, got: 5 })
+            Err(StorageError::BadKeyLength {
+                expected: 8,
+                got: 5
+            })
         ));
         assert!(bt.get(b"longer-than-8!!!").is_err());
     }

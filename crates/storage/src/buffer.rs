@@ -7,17 +7,24 @@
 //! clock alternative for ablation experiments.
 //!
 //! Concurrency model: the frame table and replacement state live under one
-//! pool mutex that is held across miss handling (including the disk I/O).
-//! Page *contents* are protected by per-frame `RwLock`s, so pinned readers
-//! and writers of distinct pages proceed in parallel. This coarse miss path
-//! is deliberate — the paper's system is single-user and the harness is
-//! sequential; the locking here is for safety, not scalability.
+//! pool mutex, but the mutex is **not** held across disk I/O. A miss
+//! reserves its victim frame under the lock (a nonzero pin count keeps
+//! other threads from re-victimising it), marks both the evicted page and
+//! the loading page in-flight, and performs the write-back and the read
+//! outside the lock; the page→frame mapping is published only once the
+//! load succeeded, so a mapping always points at a fully loaded frame.
+//! Pins on in-flight pages block on a condvar until the I/O settles —
+//! a re-read can never observe the stale disk image of a page whose dirty
+//! frame is still being written back, nor a half-read frame. Page
+//! *contents* are protected by per-frame `RwLock`s, so pinned readers and
+//! writers of distinct pages proceed in parallel, and so do misses on
+//! distinct pages.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::disk::DiskBackend;
 use crate::error::{StorageError, StorageResult};
@@ -49,6 +56,10 @@ struct PoolState {
     ref_bit: Vec<bool>,
     clock_hand: usize,
     tick: u64,
+    /// Evicted pages whose dirty image is still being written back (the
+    /// write happens outside the pool mutex). A pin on such a page waits
+    /// until the disk image is current before re-reading it.
+    io_in_flight: HashSet<PageId>,
 }
 
 /// The buffer pool. Cheap to share via `Arc`.
@@ -56,6 +67,8 @@ pub struct BufferManager {
     backend: Arc<dyn DiskBackend>,
     frames: Vec<Arc<Frame>>,
     state: Mutex<PoolState>,
+    /// Signalled whenever an entry leaves `io_in_flight`.
+    io_done: Condvar,
     policy: EvictionPolicy,
     stats: Arc<IoStats>,
 }
@@ -89,7 +102,9 @@ impl BufferManager {
                 ref_bit: vec![false; frame_count],
                 clock_hand: 0,
                 tick: 0,
+                io_in_flight: HashSet::new(),
             }),
+            io_done: Condvar::new(),
             policy,
             stats,
         }
@@ -135,8 +150,14 @@ impl BufferManager {
     }
 
     fn find_victim(&self, st: &mut PoolState) -> StorageResult<usize> {
-        // Prefer a frame that was never used.
-        if let Some(free) = st.resident.iter().position(|r| r.is_none()) {
+        // Prefer an unused frame. The pin-count check matters: a frame
+        // mid-install (reserved, I/O in flight) has no resident page but
+        // must not be handed out again.
+        if let Some(free) =
+            st.resident.iter().enumerate().position(|(i, r)| {
+                r.is_none() && self.frames[i].pin_count.load(Ordering::Acquire) == 0
+            })
+        {
             return Ok(free);
         }
         match self.policy {
@@ -145,7 +166,7 @@ impl BufferManager {
                 for (i, frame) in self.frames.iter().enumerate() {
                     if frame.pin_count.load(Ordering::Acquire) == 0 {
                         let t = st.last_use[i];
-                        if best.map_or(true, |(bt, _)| t < bt) {
+                        if best.is_none_or(|(bt, _)| t < bt) {
                             best = Some((t, i));
                         }
                     }
@@ -181,49 +202,123 @@ impl BufferManager {
         Ok(())
     }
 
-    /// Evicts the victim's current page (writing it back if dirty) and
-    /// installs `page` in its frame. Pool mutex must be held.
-    fn install(
-        &self,
-        st: &mut PoolState,
-        page: PageId,
-        load_from_disk: bool,
-    ) -> StorageResult<usize> {
-        let frame = self.find_victim(st)?;
-        if let Some(old) = st.resident[frame] {
-            self.write_back(frame, old)?;
-            st.table.remove(&old);
-        }
-        {
-            let mut data = self.frames[frame].data.write();
-            if load_from_disk {
-                self.backend.read_page(page, data.bytes_mut())?;
-                self.stats.add_read();
-            } else {
-                data.clear();
-                self.frames[frame].dirty.store(true, Ordering::Release);
-            }
-        }
-        st.resident[frame] = Some(page);
-        st.table.insert(page, frame);
-        Ok(frame)
-    }
-
     fn pin_inner(&self, page: PageId, load_from_disk: bool) -> StorageResult<PinnedPage> {
         let mut st = self.state.lock();
-        let frame = match st.table.get(&page) {
-            Some(&f) => {
+        loop {
+            if let Some(&frame) = st.table.get(&page) {
                 self.stats.add_hit();
-                f
+                self.frames[frame].pin_count.fetch_add(1, Ordering::AcqRel);
+                self.touch(&mut st, frame);
+                return Ok(PinnedPage {
+                    frame: Arc::clone(&self.frames[frame]),
+                    page,
+                });
             }
-            None => {
-                self.stats.add_miss();
-                self.install(&mut st, page, load_from_disk)?
+            if st.io_in_flight.contains(&page) {
+                // Either the page was just evicted and its dirty image is
+                // still on its way to disk (re-reading now would see the
+                // stale image), or another thread is loading it right now.
+                // Block until that I/O settles, then re-check.
+                st = self.io_done.wait(st);
+                continue;
             }
-        };
+            break;
+        }
+        self.stats.add_miss();
+        let frame = self.find_victim(&mut st)?;
+        // Reserve the frame under the lock: the nonzero pin count keeps it
+        // from being re-victimised while the I/O below runs without the
+        // lock. The page→frame mapping is NOT published yet — a mapping
+        // must only ever point at a fully loaded frame, so concurrent
+        // pinners of `page` wait on the in-flight marker instead and never
+        // observe a half-read image (even if this load fails).
         self.frames[frame].pin_count.fetch_add(1, Ordering::AcqRel);
-        self.touch(&mut st, frame);
-        Ok(PinnedPage { frame: Arc::clone(&self.frames[frame]), page })
+        let old = st.resident[frame];
+        // Only a *dirty* evicted page needs in-flight protection (its disk
+        // image is stale until the write-back lands); a clean one can be
+        // re-read immediately. The frame is unpinned, so nobody can be
+        // mutating the dirty flag concurrently.
+        let dirty_old = old.is_some() && self.frames[frame].dirty.load(Ordering::Acquire);
+        if let Some(old_page) = old {
+            st.table.remove(&old_page);
+            if dirty_old {
+                st.io_in_flight.insert(old_page);
+            }
+        }
+        st.resident[frame] = None;
+        st.io_in_flight.insert(page);
+        drop(st);
+
+        // All disk I/O happens here, outside the pool mutex. The frame is
+        // unreachable by other threads (reserved, unmapped), so the
+        // content lock is uncontended.
+        let mut data = self.frames[frame].data.write();
+
+        // Write back the evicted page first. If that fails, the dirty
+        // image must NOT be dropped: restore the flag and re-map the old
+        // page so its latest contents stay resident and a later flush can
+        // retry — losing them would silently corrupt the store.
+        if dirty_old {
+            let old_page = old.expect("dirty_old implies an evicted page");
+            self.frames[frame].dirty.store(false, Ordering::Release);
+            if let Err(e) = self.backend.write_page(old_page, data.bytes()) {
+                self.frames[frame].dirty.store(true, Ordering::Release);
+                drop(data);
+                let mut st = self.state.lock();
+                st.io_in_flight.remove(&old_page);
+                st.io_in_flight.remove(&page);
+                st.resident[frame] = Some(old_page);
+                st.table.insert(old_page, frame);
+                drop(st);
+                self.io_done.notify_all();
+                self.frames[frame].pin_count.fetch_sub(1, Ordering::AcqRel);
+                return Err(e);
+            }
+            self.stats.add_write();
+            // The old page's disk image is current again: release its
+            // waiters before the (unrelated) read of the new page. Taking
+            // the pool mutex while holding the content guard is safe here:
+            // pool-lock holders only touch content locks of frames listed
+            // in `resident`, and this frame is unmapped.
+            let mut st = self.state.lock();
+            st.io_in_flight.remove(&old_page);
+            drop(st);
+            self.io_done.notify_all();
+        }
+        let result = if load_from_disk {
+            self.backend
+                .read_page(page, data.bytes_mut())
+                .map(|()| self.stats.add_read())
+        } else {
+            data.clear();
+            self.frames[frame].dirty.store(true, Ordering::Release);
+            Ok(())
+        };
+        drop(data);
+
+        let mut st = self.state.lock();
+        st.io_in_flight.remove(&page);
+        let out = match result {
+            Ok(()) => {
+                st.resident[frame] = Some(page);
+                st.table.insert(page, frame);
+                self.touch(&mut st, frame);
+                Ok(PinnedPage {
+                    frame: Arc::clone(&self.frames[frame]),
+                    page,
+                })
+            }
+            Err(e) => Err(e),
+        };
+        drop(st);
+        self.io_done.notify_all();
+        if out.is_err() {
+            // Read failure: the evicted page is safely on disk by now, so
+            // the frame simply stays unmapped (contents are garbage) and
+            // returns to the pool as a free frame once unpinned.
+            self.frames[frame].pin_count.fetch_sub(1, Ordering::AcqRel);
+        }
+        out
     }
 
     /// Pins `page` for access, reading it from disk on a miss.
@@ -255,7 +350,11 @@ impl BufferManager {
     /// buffer was cleared at the start of each operation", §4.2).
     pub fn clear(&self) -> StorageResult<()> {
         let mut st = self.state.lock();
-        if self.frames.iter().any(|f| f.pin_count.load(Ordering::Acquire) != 0) {
+        if self
+            .frames
+            .iter()
+            .any(|f| f.pin_count.load(Ordering::Acquire) != 0)
+        {
             return Err(StorageError::BufferExhausted);
         }
         for (frame, resident) in st.resident.iter().enumerate() {
@@ -335,7 +434,12 @@ mod tests {
         let stats = IoStats::new_shared();
         let backend = Arc::new(MemStorage::new(512).unwrap());
         backend.grow(64).unwrap();
-        let bm = Arc::new(BufferManager::new(backend, frames, policy, Arc::clone(&stats)));
+        let bm = Arc::new(BufferManager::new(
+            backend,
+            frames,
+            policy,
+            Arc::clone(&stats),
+        ));
         (bm, stats)
     }
 
@@ -419,7 +523,11 @@ mod tests {
         let before = stats.snapshot();
         let p = bm.pin(5).unwrap();
         assert_eq!(p.read().bytes()[0], 9);
-        assert_eq!(stats.snapshot().since(&before).buffer_misses, 1, "pool was emptied");
+        assert_eq!(
+            stats.snapshot().since(&before).buffer_misses,
+            1,
+            "pool was emptied"
+        );
     }
 
     #[test]
@@ -449,6 +557,47 @@ mod tests {
         drop(p);
         bm.flush_all().unwrap();
         assert_eq!(stats.snapshot().physical_writes, 1);
+    }
+
+    #[test]
+    fn concurrent_miss_eviction_storm_preserves_contents() {
+        // Hammer a tiny pool from several threads so misses, evictions and
+        // write-backs overlap; every page must always read back the bytes
+        // last written to it (the write-back happens outside the pool
+        // mutex, so this exercises the in-flight tracking).
+        let stats = IoStats::new_shared();
+        let backend = Arc::new(MemStorage::new(512).unwrap());
+        backend.grow(32).unwrap();
+        let bm = Arc::new(BufferManager::new(backend, 4, EvictionPolicy::Lru, stats));
+        // Seed every page with its own marker.
+        for p in 0..32u32 {
+            let g = bm.pin(p).unwrap();
+            g.write().bytes_mut()[0] = p as u8;
+        }
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let bm = Arc::clone(&bm);
+            handles.push(std::thread::spawn(move || {
+                let mut x = t + 1;
+                for _ in 0..2_000 {
+                    // Cheap xorshift for page selection.
+                    x ^= x << 13;
+                    x ^= x >> 17;
+                    x ^= x << 5;
+                    let page = x % 32;
+                    let g = match bm.pin(page) {
+                        Ok(g) => g,
+                        Err(StorageError::BufferExhausted) => continue,
+                        Err(e) => panic!("{e}"),
+                    };
+                    let seen = g.read().bytes()[0];
+                    assert_eq!(seen, page as u8, "page {page} corrupted");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl MemStorage {
     /// Creates an empty in-memory store with the given page size.
     pub fn new(page_size: usize) -> StorageResult<MemStorage> {
         crate::validate_page_size(page_size)?;
-        Ok(MemStorage { page_size, pages: Mutex::new(Vec::new()) })
+        Ok(MemStorage {
+            page_size,
+            pages: Mutex::new(Vec::new()),
+        })
     }
 }
 
@@ -59,14 +62,18 @@ impl DiskBackend for MemStorage {
 
     fn read_page(&self, page: PageId, buf: &mut [u8]) -> StorageResult<()> {
         let pages = self.pages.lock();
-        let src = pages.get(page as usize).ok_or(StorageError::PageOutOfBounds(page))?;
+        let src = pages
+            .get(page as usize)
+            .ok_or(StorageError::PageOutOfBounds(page))?;
         buf.copy_from_slice(src);
         Ok(())
     }
 
     fn write_page(&self, page: PageId, buf: &[u8]) -> StorageResult<()> {
         let mut pages = self.pages.lock();
-        let dst = pages.get_mut(page as usize).ok_or(StorageError::PageOutOfBounds(page))?;
+        let dst = pages
+            .get_mut(page as usize)
+            .ok_or(StorageError::PageOutOfBounds(page))?;
         dst.copy_from_slice(buf);
         Ok(())
     }
@@ -102,9 +109,17 @@ impl FileStorage {
     /// Creates (truncating) a new store file.
     pub fn create<P: AsRef<Path>>(path: P, page_size: usize) -> StorageResult<FileStorage> {
         crate::validate_page_size(page_size)?;
-        let file =
-            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
-        Ok(FileStorage { page_size, file: Mutex::new(file), page_count: AtomicU64::new(0) })
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileStorage {
+            page_size,
+            file: Mutex::new(file),
+            page_count: AtomicU64::new(0),
+        })
     }
 
     /// Opens an existing store file; its length must be a whole number of
@@ -217,7 +232,10 @@ mod tests {
             assert_eq!(out[0], 0xAB);
             assert_eq!(out[1023], 0xCD);
         }
-        assert!(FileStorage::open(&path, 2048).is_err(), "wrong page size detected");
+        assert!(
+            FileStorage::open(&path, 2048).is_err(),
+            "wrong page size detected"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

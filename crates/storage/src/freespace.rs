@@ -72,7 +72,10 @@ impl FreeSpaceInventory {
                 }
             }
         }
-        self.by_free.range((needed as u16, 0)..).next().map(|&(_, p)| p)
+        self.by_free
+            .range((needed as u16, 0)..)
+            .next()
+            .map(|&(_, p)| p)
     }
 
     /// Like [`find`](Self::find) but excludes one page (used when moving a
@@ -115,7 +118,7 @@ impl FreeSpaceInventory {
         for (&p, &free) in self.by_page.range(lo..=hi) {
             if free as usize >= needed {
                 let dist = p.abs_diff(hint);
-                if best.map_or(true, |(bd, _)| dist < bd) {
+                if best.is_none_or(|(bd, _)| dist < bd) {
                     best = Some((dist, p));
                 }
             }

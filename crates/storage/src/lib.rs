@@ -59,7 +59,7 @@ pub const MAX_PAGE_SIZE: usize = 32 * 1024;
 /// points (6K, 12K, ...), so we only require a sane range and 8-byte
 /// alignment.
 pub fn validate_page_size(page_size: usize) -> StorageResult<()> {
-    if !(MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&page_size) || page_size % 8 != 0 {
+    if !(MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&page_size) || !page_size.is_multiple_of(8) {
         return Err(StorageError::BadPageSize(page_size));
     }
     Ok(())

@@ -69,7 +69,9 @@ pub struct PageBuf {
 impl PageBuf {
     /// Allocates a zeroed page of `page_size` bytes (kind = `Free`).
     pub fn new(page_size: usize) -> Self {
-        PageBuf { data: vec![0u8; page_size].into_boxed_slice() }
+        PageBuf {
+            data: vec![0u8; page_size].into_boxed_slice(),
+        }
     }
 
     /// Wraps an existing page image.

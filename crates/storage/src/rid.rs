@@ -37,7 +37,10 @@ impl Rid {
     /// The sentinel RID used as "no parent" in standalone object headers.
     #[inline]
     pub const fn invalid() -> Self {
-        Rid { page: INVALID_PAGE, slot: u16::MAX }
+        Rid {
+            page: INVALID_PAGE,
+            slot: u16::MAX,
+        }
     }
 
     /// True for the sentinel returned by [`Rid::invalid`].

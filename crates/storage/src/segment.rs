@@ -122,8 +122,7 @@ impl StorageManager {
         let (next_unallocated, free_list_head, seg_heads) = {
             let hdr = buffer.pin(0)?;
             let page = hdr.read();
-            if page.kind()? != PageKind::Header
-                || &page.bytes()[OFF_MAGIC..OFF_MAGIC + 8] != MAGIC
+            if page.kind()? != PageKind::Header || &page.bytes()[OFF_MAGIC..OFF_MAGIC + 8] != MAGIC
             {
                 return Err(StorageError::Corrupt("missing NATIX header".into()));
             }
@@ -147,7 +146,11 @@ impl StorageManager {
                     String::from_utf8_lossy(&page.bytes()[at + 6..at + 6 + name_len]).into_owned();
                 heads.push((head, name));
             }
-            (page.read_u32(OFF_NEXT_UNALLOCATED), page.read_u32(OFF_FREE_LIST), heads)
+            (
+                page.read_u32(OFF_NEXT_UNALLOCATED),
+                page.read_u32(OFF_FREE_LIST),
+                heads,
+            )
         };
         let mut segments = Vec::with_capacity(seg_heads.len());
         for (head, name) in seg_heads {
@@ -168,11 +171,19 @@ impl StorageManager {
                 }
                 cur = page.next_page();
             }
-            segments.push(SegmentState { name, fsi, spacemap_head: head });
+            segments.push(SegmentState {
+                name,
+                fsi,
+                spacemap_head: head,
+            });
         }
         Ok(StorageManager {
             buffer,
-            state: Mutex::new(SmState { next_unallocated, free_list_head, segments }),
+            state: Mutex::new(SmState {
+                next_unallocated,
+                free_list_head,
+                segments,
+            }),
         })
     }
 
@@ -223,7 +234,9 @@ impl StorageManager {
         }
         let mut st = self.state.lock();
         if st.segments.iter().any(|s| s.name == name) {
-            return Err(StorageError::Corrupt(format!("segment '{name}' already exists")));
+            return Err(StorageError::Corrupt(format!(
+                "segment '{name}' already exists"
+            )));
         }
         let max = (self.page_size() - OFF_SEGDIR) / SEGDIR_ENTRY;
         if st.segments.len() >= max {
@@ -250,7 +263,12 @@ impl StorageManager {
 
     /// Names of all segments, in id order.
     pub fn segment_names(&self) -> Vec<String> {
-        self.state.lock().segments.iter().map(|s| s.name.clone()).collect()
+        self.state
+            .lock()
+            .segments
+            .iter()
+            .map(|s| s.name.clone())
+            .collect()
     }
 
     fn alloc_raw(&self, st: &mut SmState) -> StorageResult<PageId> {
@@ -331,7 +349,10 @@ impl StorageManager {
         hint: PlacementHint,
     ) -> Option<PageId> {
         let st = self.state.lock();
-        st.segments.get(segment as usize)?.fsi.find(needed, hint.page())
+        st.segments
+            .get(segment as usize)?
+            .fsi
+            .find(needed, hint.page())
     }
 
     /// Locality-preserving variant: a page with enough space whose id is
@@ -345,7 +366,10 @@ impl StorageManager {
         window: u32,
     ) -> Option<PageId> {
         let st = self.state.lock();
-        st.segments.get(segment as usize)?.fsi.find_near(needed, hint, window)
+        st.segments
+            .get(segment as usize)?
+            .fsi
+            .find_near(needed, hint, window)
     }
 
     /// Like [`find_page_with_space`](Self::find_page_with_space) but never
@@ -358,7 +382,10 @@ impl StorageManager {
         exclude: PageId,
     ) -> Option<PageId> {
         let st = self.state.lock();
-        st.segments.get(segment as usize)?.fsi.find_excluding(needed, hint.page(), exclude)
+        st.segments
+            .get(segment as usize)?
+            .fsi
+            .find_excluding(needed, hint.page(), exclude)
     }
 
     /// All pages of a segment (ascending) with their cached free bytes —
@@ -463,7 +490,8 @@ impl StorageManager {
         let pin = self.buffer.pin(rid.page)?;
         let mut buf = pin.write();
         let mut sp = SlottedPage::open(&mut buf)?;
-        sp.delete(rid.slot).map_err(|_| StorageError::RecordNotFound(rid))?;
+        sp.delete(rid.slot)
+            .map_err(|_| StorageError::RecordNotFound(rid))?;
         let free = sp.free_total();
         drop(buf);
         self.note_free_space(segment, rid.page, free);
@@ -589,7 +617,9 @@ mod tests {
     fn create_segment_and_records() {
         let sm = mk(2048, 16);
         let seg = sm.create_segment("docs").unwrap();
-        let rid = sm.insert_record(seg, b"hello natix", PlacementHint::Anywhere).unwrap();
+        let rid = sm
+            .insert_record(seg, b"hello natix", PlacementHint::Anywhere)
+            .unwrap();
         assert_eq!(sm.read_record(rid).unwrap(), b"hello natix");
         sm.update_record(seg, rid, b"updated").unwrap();
         assert_eq!(sm.read_record(rid).unwrap(), b"updated");
@@ -601,8 +631,12 @@ mod tests {
     fn placement_hint_clusters_records() {
         let sm = mk(2048, 16);
         let seg = sm.create_segment("docs").unwrap();
-        let a = sm.insert_record(seg, &[0u8; 100], PlacementHint::Anywhere).unwrap();
-        let b = sm.insert_record(seg, &[1u8; 100], PlacementHint::NearPage(a.page)).unwrap();
+        let a = sm
+            .insert_record(seg, &[0u8; 100], PlacementHint::Anywhere)
+            .unwrap();
+        let b = sm
+            .insert_record(seg, &[1u8; 100], PlacementHint::NearPage(a.page))
+            .unwrap();
         assert_eq!(a.page, b.page, "hint should cluster on the same page");
     }
 
@@ -612,7 +646,9 @@ mod tests {
         let seg = sm.create_segment("docs").unwrap();
         let mut pages = std::collections::HashSet::new();
         for _ in 0..20 {
-            let rid = sm.insert_record(seg, &[7u8; 200], PlacementHint::Anywhere).unwrap();
+            let rid = sm
+                .insert_record(seg, &[7u8; 200], PlacementHint::Anywhere)
+                .unwrap();
             pages.insert(rid.page);
         }
         assert!(pages.len() >= 10, "two 200-byte records per 512-byte page");
@@ -662,9 +698,14 @@ mod tests {
         let seg2 = sm.create_segment("index").unwrap();
         let mut rids = Vec::new();
         for i in 0..50u8 {
-            rids.push(sm.insert_record(seg, &[i; 64], PlacementHint::Anywhere).unwrap());
+            rids.push(
+                sm.insert_record(seg, &[i; 64], PlacementHint::Anywhere)
+                    .unwrap(),
+            );
         }
-        let irid = sm.insert_record(seg2, b"idx", PlacementHint::Anywhere).unwrap();
+        let irid = sm
+            .insert_record(seg2, b"idx", PlacementHint::Anywhere)
+            .unwrap();
         sm.set_user_root(b"root!").unwrap();
         sm.checkpoint().unwrap();
         drop(sm);
@@ -679,7 +720,9 @@ mod tests {
         assert_eq!(sm.read_record(irid).unwrap(), b"idx");
         assert_eq!(&sm.user_root().unwrap()[..5], b"root!");
         // FSI survives: a small record lands on an existing page.
-        let r = sm.insert_record(seg, &[9u8; 16], PlacementHint::Anywhere).unwrap();
+        let r = sm
+            .insert_record(seg, &[9u8; 16], PlacementHint::Anywhere)
+            .unwrap();
         assert!(rids.iter().any(|old| old.page == r.page));
     }
 
@@ -687,7 +730,9 @@ mod tests {
     fn find_page_with_space_excluding() {
         let sm = mk(512, 16);
         let seg = sm.create_segment("docs").unwrap();
-        let a = sm.insert_record(seg, &[1u8; 100], PlacementHint::Anywhere).unwrap();
+        let a = sm
+            .insert_record(seg, &[1u8; 100], PlacementHint::Anywhere)
+            .unwrap();
         let found = sm.find_page_with_space_excluding(seg, 50, PlacementHint::Anywhere, a.page);
         assert!(found.is_none(), "only one page exists and it is excluded");
     }

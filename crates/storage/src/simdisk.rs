@@ -64,8 +64,11 @@ impl DiskProfile {
     /// `sequential` indicating the head is already positioned.
     pub fn access_ns(&self, page_size: usize, sequential: bool) -> u64 {
         let transfer_ms = page_size as f64 / self.transfer_bytes_per_s * 1e3;
-        let position_ms =
-            if sequential { 0.0 } else { self.avg_seek_ms + self.avg_rotation_ms };
+        let position_ms = if sequential {
+            0.0
+        } else {
+            self.avg_seek_ms + self.avg_rotation_ms
+        };
         ((position_ms + transfer_ms) * 1e6) as u64
     }
 }
@@ -83,7 +86,12 @@ pub struct SimDisk<B: DiskBackend> {
 impl<B: DiskBackend> SimDisk<B> {
     /// Wraps `inner`, accumulating costs into `stats`.
     pub fn new(inner: B, profile: DiskProfile, stats: Arc<IoStats>) -> SimDisk<B> {
-        SimDisk { inner, profile, stats, head: Mutex::new(None) }
+        SimDisk {
+            inner,
+            profile,
+            stats,
+            head: Mutex::new(None),
+        }
     }
 
     /// The shared statistics block (also holds the virtual clock).

@@ -48,7 +48,9 @@ impl<'a> SlottedPage<'a> {
     pub fn open(page: &'a mut PageBuf) -> StorageResult<SlottedPage<'a>> {
         match page.kind()? {
             PageKind::Slotted => Ok(SlottedPage { page }),
-            k => Err(StorageError::Corrupt(format!("expected slotted page, found {k:?}"))),
+            k => Err(StorageError::Corrupt(format!(
+                "expected slotted page, found {k:?}"
+            ))),
         }
     }
 
@@ -145,7 +147,10 @@ impl<'a> SlottedPage<'a> {
         let new_slots = (slot as usize + 1).saturating_sub(self.slot_count() as usize);
         let needed = bytes.len() + new_slots * SLOT_ENTRY_SIZE;
         if needed > self.free_total() {
-            return Err(StorageError::PageFull { needed, free: self.free_total() });
+            return Err(StorageError::PageFull {
+                needed,
+                free: self.free_total(),
+            });
         }
         // Growing the directory moves the slot-area boundary down; any
         // record data reaching into the new directory bytes must be
@@ -171,7 +176,8 @@ impl<'a> SlottedPage<'a> {
         self.page.bytes_mut()[off..off + bytes.len()].copy_from_slice(bytes);
         self.set_slot_entry(slot, off as u16, bytes.len() as u16);
         self.page.set_free_start((off + bytes.len()) as u16);
-        self.page.set_free_total((self.free_total() - needed) as u16);
+        self.page
+            .set_free_total((self.free_total() - needed) as u16);
         Ok(())
     }
 
@@ -196,7 +202,8 @@ impl<'a> SlottedPage<'a> {
             reclaimed += SLOT_ENTRY_SIZE;
         }
         self.page.set_slot_count(count);
-        self.page.set_free_total((self.free_total() + reclaimed) as u16);
+        self.page
+            .set_free_total((self.free_total() + reclaimed) as u16);
         Ok(())
     }
 
@@ -213,12 +220,16 @@ impl<'a> SlottedPage<'a> {
             if off + len == self.page.free_start() as usize {
                 self.page.set_free_start((off + bytes.len()) as u16);
             }
-            self.page.set_free_total((self.free_total() + len - bytes.len()) as u16);
+            self.page
+                .set_free_total((self.free_total() + len - bytes.len()) as u16);
             return Ok(());
         }
         let grow = bytes.len() - len;
         if grow > self.free_total() {
-            return Err(StorageError::PageFull { needed: grow, free: self.free_total() });
+            return Err(StorageError::PageFull {
+                needed: grow,
+                free: self.free_total(),
+            });
         }
         // Relocate: free the old image, then place the new one, compacting
         // if the contiguous region is fragmented.
@@ -333,7 +344,9 @@ impl<'a> SlottedPageRef<'a> {
     pub fn open(page: &'a PageBuf) -> StorageResult<SlottedPageRef<'a>> {
         match page.kind()? {
             PageKind::Slotted => Ok(SlottedPageRef { page }),
-            k => Err(StorageError::Corrupt(format!("expected slotted page, found {k:?}"))),
+            k => Err(StorageError::Corrupt(format!(
+                "expected slotted page, found {k:?}"
+            ))),
         }
     }
 
@@ -515,7 +528,9 @@ mod tests {
         let mut p = fresh(size);
         let mut sp = SlottedPage::open(&mut p).unwrap();
         // One slot so far; fill the data area right up to the boundary.
-        let payload: Vec<u8> = (0..max_record_payload(size) - 40).map(|i| i as u8).collect();
+        let payload: Vec<u8> = (0..max_record_payload(size) - 40)
+            .map(|i| i as u8)
+            .collect();
         let a = sp.insert(&payload).unwrap();
         let marker = vec![0xEE; 36]; // ends exactly at size - 2*SLOT_ENTRY
         let b = sp.insert(&marker).unwrap();
@@ -533,9 +548,10 @@ mod tests {
     #[test]
     fn read_only_view_matches() {
         let mut p = fresh(1024);
-        let mut sp = SlottedPage::open(&mut p).unwrap();
-        let a = sp.insert(b"shared").unwrap();
-        drop(sp);
+        let a = {
+            let mut sp = SlottedPage::open(&mut p).unwrap();
+            sp.insert(b"shared").unwrap()
+        };
         let view = SlottedPageRef::open(&p).unwrap();
         assert_eq!(view.get(a).unwrap(), b"shared");
         assert_eq!(view.live_slots().count(), 1);

@@ -1,12 +1,20 @@
 //! Property-based tests: slotted pages against a shadow model, and the
 //! B+-tree against `BTreeMap`.
+//!
+//! The build environment has no network access, so instead of `proptest`
+//! the cases are driven by a small deterministic SplitMix64 generator over
+//! many seeds — same shadow-model properties, reproducible by seed.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-
+use natix_corpus::SplitMix64 as Gen;
 use natix_storage::slotted::SlottedPage;
 use natix_storage::{PageBuf, StorageError};
+
+fn random_bytes(g: &mut Gen, max_len: usize) -> Vec<u8> {
+    let len = g.below(max_len + 1);
+    (0..len).map(|_| g.next_u64() as u8).collect()
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,52 +23,57 @@ enum Op {
     Delete(usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => proptest::collection::vec(any::<u8>(), 0..120).prop_map(Op::Insert),
-        2 => (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..150))
-            .prop_map(|(i, b)| Op::Update(i, b)),
-        1 => any::<usize>().prop_map(Op::Delete),
-    ]
+fn random_op(g: &mut Gen) -> Op {
+    match g.below(6) {
+        0..=2 => Op::Insert(random_bytes(g, 120)),
+        3..=4 => Op::Update(g.below(usize::MAX / 2), random_bytes(g, 150)),
+        _ => Op::Delete(g.below(usize::MAX / 2)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Arbitrary op sequences never corrupt a page: every live record
-    /// reads back exactly, and the internal free-space accounting plus the
-    /// no-overlap invariant hold after every operation.
-    #[test]
-    fn slotted_page_matches_shadow(
-        ops in proptest::collection::vec(op_strategy(), 1..120),
-        page_size in prop_oneof![Just(512usize), Just(1024), Just(4096)],
-    ) {
+/// Arbitrary op sequences never corrupt a page: every live record reads
+/// back exactly, and the internal free-space accounting plus the
+/// no-overlap invariant hold after every operation.
+#[test]
+fn slotted_page_matches_shadow() {
+    for case in 0..64u64 {
+        let mut g = Gen::new(case);
+        let page_size = [512usize, 1024, 4096][g.below(3)];
+        let nops = 1 + g.below(120);
         let mut page = PageBuf::new(page_size);
         SlottedPage::format(&mut page);
         let mut sp = SlottedPage::open(&mut page).unwrap();
         let mut shadow: HashMap<u16, Vec<u8>> = HashMap::new();
-        for op in ops {
-            match op {
+        for _ in 0..nops {
+            match random_op(&mut g) {
                 Op::Insert(bytes) => match sp.insert(&bytes) {
                     Ok(slot) => {
                         shadow.insert(slot, bytes);
                     }
                     Err(StorageError::PageFull { .. }) => {}
-                    Err(e) => panic!("unexpected: {e}"),
+                    Err(e) => panic!("case {case}: unexpected: {e}"),
                 },
                 Op::Update(pick, bytes) => {
-                    let slots: Vec<u16> = shadow.keys().copied().collect();
-                    if slots.is_empty() { continue; }
+                    let mut slots: Vec<u16> = shadow.keys().copied().collect();
+                    slots.sort_unstable();
+                    if slots.is_empty() {
+                        continue;
+                    }
                     let slot = slots[pick % slots.len()];
                     match sp.update(slot, &bytes) {
-                        Ok(()) => { shadow.insert(slot, bytes); }
+                        Ok(()) => {
+                            shadow.insert(slot, bytes);
+                        }
                         Err(StorageError::PageFull { .. }) => {}
-                        Err(e) => panic!("unexpected: {e}"),
+                        Err(e) => panic!("case {case}: unexpected: {e}"),
                     }
                 }
                 Op::Delete(pick) => {
-                    let slots: Vec<u16> = shadow.keys().copied().collect();
-                    if slots.is_empty() { continue; }
+                    let mut slots: Vec<u16> = shadow.keys().copied().collect();
+                    slots.sort_unstable();
+                    if slots.is_empty() {
+                        continue;
+                    }
                     let slot = slots[pick % slots.len()];
                     sp.delete(slot).unwrap();
                     shadow.remove(&slot);
@@ -68,55 +81,64 @@ proptest! {
             }
             sp.check_invariants().unwrap();
             for (&slot, bytes) in &shadow {
-                prop_assert_eq!(sp.get(slot), Some(bytes.as_slice()));
+                assert_eq!(sp.get(slot), Some(bytes.as_slice()), "case {case}");
             }
         }
     }
 }
 
 mod btree_props {
-    use super::*;
+    use super::Gen;
     use natix_storage::btree::BTree;
     use natix_storage::{BufferManager, EvictionPolicy, IoStats, MemStorage, StorageManager};
     use std::collections::BTreeMap;
     use std::sync::Arc;
 
-    proptest! {
-        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-        #[test]
-        fn btree_matches_btreemap(
-            ops in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..400),
-        ) {
+    #[test]
+    fn btree_matches_btreemap() {
+        for case in 0..32u64 {
+            let mut g = Gen::new(0xB7EE ^ case);
+            let nops = 1 + g.below(400);
             let backend = Arc::new(MemStorage::new(512).unwrap());
             let bm = Arc::new(BufferManager::new(
-                backend, 128, EvictionPolicy::Lru, IoStats::new_shared(),
+                backend,
+                128,
+                EvictionPolicy::Lru,
+                IoStats::new_shared(),
             ));
             let sm = StorageManager::create(bm).unwrap();
             let seg = sm.create_segment("idx").unwrap();
             let bt = BTree::create(&sm, seg, 2).unwrap();
             let mut shadow: BTreeMap<u16, u64> = BTreeMap::new();
-            for (key, action) in ops {
+            for _ in 0..nops {
+                let key = g.next_u64() as u16;
+                let action = g.next_u64() as u8;
                 let k = key.to_be_bytes();
-                if action % 4 == 0 {
-                    prop_assert_eq!(bt.delete(&k).unwrap(), shadow.remove(&key));
+                if action.is_multiple_of(4) {
+                    assert_eq!(bt.delete(&k).unwrap(), shadow.remove(&key), "case {case}");
                 } else {
                     let v = action as u64;
-                    prop_assert_eq!(bt.insert(&k, v).unwrap(), shadow.insert(key, v));
+                    assert_eq!(
+                        bt.insert(&k, v).unwrap(),
+                        shadow.insert(key, v),
+                        "case {case}"
+                    );
                 }
             }
             // Full scan agrees, in order.
             let all = bt.collect_all().unwrap();
-            prop_assert_eq!(all.len(), shadow.len());
+            assert_eq!(all.len(), shadow.len(), "case {case}");
             for ((k, v), (sk, sv)) in all.iter().zip(shadow.iter()) {
                 let expect = sk.to_be_bytes();
-                prop_assert_eq!(k.as_slice(), expect.as_slice());
-                prop_assert_eq!(v, sv);
+                assert_eq!(k.as_slice(), expect.as_slice(), "case {case}");
+                assert_eq!(v, sv, "case {case}");
             }
             // Random range agrees.
             if let (Some(&lo), Some(&hi)) = (shadow.keys().next(), shadow.keys().last()) {
-                let got = bt.range_collect(&lo.to_be_bytes(), &hi.to_be_bytes()).unwrap();
-                prop_assert_eq!(got.len(), shadow.len());
+                let got = bt
+                    .range_collect(&lo.to_be_bytes(), &hi.to_be_bytes())
+                    .unwrap();
+                assert_eq!(got.len(), shadow.len(), "case {case}");
             }
         }
     }

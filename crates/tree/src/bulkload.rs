@@ -1,0 +1,1099 @@
+//! Streaming bulkloader — the paper's §4.3 *append* experiment, done right.
+//!
+//! The evaluation of *Efficient Storage of XML Data* stores documents by
+//! driving an XML parser and inserting the tree "in pre-order, to
+//! represent a 'bulkload' of or consecutive appends to a textual
+//! representation" (§4.3). Routing every one of those appends through the
+//! incremental tree-growth procedure (figure 5) costs O(record size) per
+//! node: each insert re-loads, re-serialises and re-writes the enclosing
+//! record, which is quadratic within a record and dominated by memcpy, not
+//! by the clustering decisions the paper is about.
+//!
+//! [`BulkLoader`] replaces that path for whole-document loads. It consumes
+//! the same pre-order event stream but builds records **bottom-up**:
+//!
+//! * only the **right spine** of the document — the chain of currently
+//!   open elements — is held in memory, inside one in-flight
+//!   [`RecordTree`];
+//! * when the in-flight tree outgrows the net page capacity, maximal runs
+//!   of already-**finished** sibling subtrees are packed into records of
+//!   their own (grouped under a scaffolding aggregate, exactly like the
+//!   split algorithm's helper nodes h1/h2 of figure 8) and replaced by a
+//!   proxy;
+//! * finished records are flushed through
+//!   [`TreeStore::append_record`], which fills pages sequentially via
+//!   freshly allocated buffers — no read-modify-write of earlier pages and
+//!   no free-space search;
+//! * the split matrix (§3.3) is honoured on the way: children whose matrix
+//!   entry is *standalone* (0) become records of their own the moment they
+//!   finish, children marked *keep-with-parent* (∞) are never packed away
+//!   from their parent;
+//! * standalone parent pointers (Appendix A) are patched bottom-up: a
+//!   child record is written before its parent record exists, so its
+//!   parent RID is patched exactly once, when the record holding its proxy
+//!   is flushed.
+//!
+//! The result obeys every invariant of [`crate::validate::check_tree`] and
+//! reconstructs to the identical logical document as the per-node path,
+//! which remains in place for incremental edits and serves as the
+//! differential-testing oracle. Unlike the per-node path, total work is
+//! O(document bytes): each node is serialised once, each page written
+//! once (plus an 8-byte in-buffer patch when its parent flushes).
+
+use natix_storage::Rid;
+use natix_xml::{LabelId, LiteralValue, LABEL_NONE};
+
+use crate::error::{TreeError, TreeResult};
+use crate::matrix::{SplitBehaviour, SplitMatrix};
+use crate::model::{
+    literal_body_len, PContent, PNodeId, RecordTree, EMBEDDED_HEADER, PROXY_BODY, STANDALONE_HEADER,
+};
+use crate::store::{AppendCursor, TreeStore};
+
+/// Compact the in-flight arena before it can exhaust `u16` node ids: the
+/// arena only grows (removals tombstone), while live nodes are bounded by
+/// the page capacity. Two allocations can happen per event, so any margin
+/// below `u16::MAX` works; compacting earlier keeps the copies small.
+const COMPACT_THRESHOLD: usize = 48_000;
+
+/// Summary of one bulk load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BulkStats {
+    /// RID of the tree's root record.
+    pub root_rid: Rid,
+    /// Records written.
+    pub records: u64,
+    /// Facade (logical) nodes stored.
+    pub nodes: u64,
+}
+
+/// A placeholder proxy awaiting its target record: `holder` is the flushed
+/// record containing the proxy, `sentinel` the unique invalid RID written
+/// into it (patched in place once the target exists, or removed when it
+/// turns out unused).
+#[derive(Debug, Clone, Copy)]
+struct PendingSlot {
+    holder: Rid,
+    sentinel: Rid,
+    /// Logical label of the open element this slot belongs to (split-matrix
+    /// decisions for its late children).
+    label: LabelId,
+}
+
+/// Streaming bottom-up document builder over a [`TreeStore`].
+///
+/// Feed it the pre-order event stream of exactly one document —
+/// [`start_element`](Self::start_element) /
+/// [`literal`](Self::literal) / [`end_element`](Self::end_element),
+/// properly nested — then call [`finish`](Self::finish).
+pub struct BulkLoader<'s> {
+    store: &'s TreeStore,
+    /// Snapshot of the split matrix (the store's matrix governs "future
+    /// operations"; one load is one operation).
+    matrix: SplitMatrix,
+    /// Net page capacity — the record-size ceiling.
+    capacity: usize,
+    /// The in-flight tree: the lower part of the right spine of open
+    /// elements plus the finished subtrees not yet packed into records.
+    /// `None` before the root element arrives and while *detached* (the
+    /// deepest open element lives in an already-flushed record; see
+    /// `spilled`).
+    cur: Option<RecordTree>,
+    /// Arena ids of the open elements inside `cur`, outermost first.
+    /// `spine[0]` is `cur.root()`; `spine[i + 1]` is always the *last*
+    /// child of `spine[i]` (events arrive in pre-order, appends only).
+    spine: Vec<PNodeId>,
+    /// True when `cur`'s root is a continuation scaffold (not an open
+    /// element): the record continues the deepest `spilled` level.
+    scaffold_base: bool,
+    /// The placeholder the eventual flush of `cur` resolves (chain pieces
+    /// and continuation groups; `None` for the original root tree).
+    cur_resolves: Option<PendingSlot>,
+    /// Open elements that were spilled to disk mid-document (deeply nested
+    /// documents), outermost first. Each carries the continuation
+    /// placeholder through which late children re-attach.
+    spilled: Vec<PendingSlot>,
+    /// Exact serialised size of `cur`, maintained incrementally.
+    cur_size: usize,
+    /// True once the root element has been closed.
+    root_closed: bool,
+    cursor: AppendCursor,
+    /// RIDs of every record flushed so far, so an aborted load can delete
+    /// them instead of leaking unreachable records. Cleared by `finish`.
+    flushed: Vec<Rid>,
+    /// RID of the record holding the document root (set on its flush).
+    stored_root: Option<Rid>,
+    /// Continuation placeholders that turned out unused (their level closed
+    /// without late children); stripped from their records by `finish`.
+    unused_slots: Vec<PendingSlot>,
+    /// Monotonic counter making placeholder sentinels distinct.
+    sentinels: u16,
+    records: u64,
+    nodes: u64,
+}
+
+impl<'s> BulkLoader<'s> {
+    /// Creates a loader over `store`.
+    pub fn new(store: &'s TreeStore) -> BulkLoader<'s> {
+        BulkLoader {
+            matrix: store.matrix().clone(),
+            capacity: store.net_capacity(),
+            store,
+            cur: None,
+            spine: Vec::new(),
+            scaffold_base: false,
+            cur_resolves: None,
+            spilled: Vec::new(),
+            cur_size: 0,
+            root_closed: false,
+            cursor: AppendCursor::new(),
+            flushed: Vec::new(),
+            stored_root: None,
+            unused_slots: Vec::new(),
+            sentinels: 0,
+            records: 0,
+            nodes: 0,
+        }
+    }
+
+    /// A fresh placeholder RID: reads as invalid (`page == INVALID_PAGE`)
+    /// but is distinguishable from other placeholders in the same record.
+    fn new_sentinel(&mut self) -> Rid {
+        self.sentinels = self.sentinels.wrapping_add(1);
+        Rid::new(natix_storage::INVALID_PAGE, self.sentinels)
+    }
+
+    /// Aborts the load, deleting every record flushed so far — a failed or
+    /// abandoned bulkload must not leak unreachable records into the
+    /// segment. Deletion errors are ignored (best-effort cleanup on a path
+    /// that is already failing).
+    pub fn abort(mut self) {
+        self.abort_in_place();
+    }
+
+    fn abort_in_place(&mut self) {
+        for rid in self.flushed.drain(..) {
+            let _ = self.store.discard_record(rid);
+        }
+    }
+
+    fn state_err(&self, what: &str) -> TreeError {
+        TreeError::Invariant(format!("bulkload: {what}"))
+    }
+
+    /// Opens an element with `label`.
+    pub fn start_element(&mut self, label: LabelId) -> TreeResult<()> {
+        if self.root_closed {
+            return Err(self.state_err("content after the root element closed"));
+        }
+        self.nodes += 1;
+        if self.cur.is_none() {
+            if self.spilled.is_empty() {
+                // The document root.
+                self.cur = Some(RecordTree::new(
+                    label,
+                    PContent::Aggregate(Vec::new()),
+                    Rid::invalid(),
+                ));
+                self.spine.push(self.cur.as_ref().expect("just set").root());
+                self.scaffold_base = false;
+                self.cur_resolves = None;
+                self.cur_size = STANDALONE_HEADER;
+                return Ok(());
+            }
+            // Detached: a late child of a spilled open element — start its
+            // continuation group.
+            self.open_continuation();
+        }
+        let tree = self.cur.as_mut().expect("ensured above");
+        let parent = *self.spine.last().expect("continuation has a base");
+        let node = tree.alloc(label, PContent::Aggregate(Vec::new()));
+        let at = tree.children(parent).len();
+        tree.attach(parent, at, node);
+        self.spine.push(node);
+        self.cur_size += EMBEDDED_HEADER;
+        self.maybe_compact();
+        self.spill_until_fits()
+    }
+
+    /// Appends a literal under the currently open element.
+    pub fn literal(&mut self, label: LabelId, value: LiteralValue) -> TreeResult<()> {
+        if self.root_closed {
+            return Err(self.state_err("content after the root element closed"));
+        }
+        if self.cur.is_none() {
+            if self.spilled.is_empty() {
+                return Err(self.state_err("literal outside the root element"));
+            }
+            self.open_continuation();
+        }
+        let body = literal_body_len(&value);
+        if STANDALONE_HEADER + body > self.capacity {
+            // Same bound as the per-node path: a single node larger than
+            // the capacity can never be stored (§3.2.2 splits at node
+            // granularity); callers chunk long text.
+            return Err(TreeError::OversizedNode {
+                size: STANDALONE_HEADER + body,
+                max: self.capacity,
+            });
+        }
+        self.nodes += 1;
+        let parent = *self.spine.last().expect("ensured above");
+        let parent_label = self.logical_label_of(parent);
+        let tree = self.cur.as_mut().expect("ensured above");
+        if self.matrix.get(parent_label, label) == SplitBehaviour::Standalone {
+            // §3.3: "x is stored as a standalone node"; the proxy goes into
+            // the designated record.
+            let child = RecordTree::new(label, PContent::Literal(value), Rid::invalid());
+            let rid = self.write_record(&child)?;
+            let tree = self.cur.as_mut().expect("ensured above");
+            let proxy = tree.alloc(LABEL_NONE, PContent::Proxy(rid));
+            let at = tree.children(parent).len();
+            tree.attach(parent, at, proxy);
+            self.cur_size += EMBEDDED_HEADER + PROXY_BODY;
+        } else {
+            let node = tree.alloc(label, PContent::Literal(value));
+            let at = tree.children(parent).len();
+            tree.attach(parent, at, node);
+            self.cur_size += EMBEDDED_HEADER + body;
+        }
+        self.maybe_compact();
+        self.spill_until_fits()
+    }
+
+    /// Closes the currently open element.
+    pub fn end_element(&mut self) -> TreeResult<()> {
+        if self.root_closed {
+            return Err(self.state_err("end_element without a matching start_element"));
+        }
+        if self.cur.is_none() {
+            // Detached: the event closes the deepest spilled level, which
+            // received no late children — its continuation placeholder is
+            // unused and will be stripped by `finish`.
+            let Some(slot) = self.spilled.pop() else {
+                return Err(self.state_err("end_element without a matching start_element"));
+            };
+            self.unused_slots.push(slot);
+            if self.spilled.is_empty() {
+                self.root_closed = true;
+            }
+            return Ok(());
+        }
+        if self.scaffold_base && self.spine.len() == 1 {
+            // The event closes the spilled level this continuation group
+            // belongs to: the group is complete.
+            self.flush_cur_piece()?;
+            self.spilled
+                .pop()
+                .expect("continuation implies a spilled level");
+            if self.spilled.is_empty() {
+                self.root_closed = true;
+            }
+            return Ok(());
+        }
+        let closed = self.spine.pop().expect("cur implies a non-empty spine");
+        if self.spine.is_empty() {
+            debug_assert!(!self.scaffold_base);
+            if self.spilled.is_empty() {
+                // The document root closed; `finish` flushes the tree.
+                self.root_closed = true;
+                return Ok(());
+            }
+            // A chain piece (rooted at a real element) is complete.
+            self.flush_cur_piece()?;
+            return Ok(());
+        }
+        let parent = *self.spine.last().expect("non-empty");
+        let parent_label = self.logical_label_of(parent);
+        let tree = self.cur.as_mut().expect("spine was non-empty");
+        let closed_label = tree.node(closed).label;
+        if self.matrix.get(parent_label, closed_label) == SplitBehaviour::Standalone {
+            // The finished subtree becomes a record of its own right away.
+            let at = tree
+                .children(parent)
+                .iter()
+                .position(|&c| c == closed)
+                .expect("closed element is a child of its parent");
+            let sub_size = tree.embedded_size(closed);
+            let tree = self.cur.as_mut().expect("spine was non-empty");
+            let child = RecordTree::from_transplant(tree, closed);
+            let rid = self.write_record(&child)?;
+            let tree = self.cur.as_mut().expect("spine was non-empty");
+            let proxy = tree.alloc(LABEL_NONE, PContent::Proxy(rid));
+            tree.attach(parent, at, proxy);
+            self.cur_size = self.cur_size - sub_size + EMBEDDED_HEADER + PROXY_BODY;
+            self.maybe_compact();
+        }
+        self.spill_until_fits()
+    }
+
+    /// Flushes the remaining in-flight tree, resolves and strips the
+    /// outstanding placeholders, and returns the load summary.
+    pub fn finish(mut self) -> TreeResult<BulkStats> {
+        if !self.root_closed {
+            self.abort_in_place();
+            return Err(
+                self.state_err(if self.cur.is_none() && self.spilled.is_empty() {
+                    "empty document"
+                } else {
+                    "finish with unclosed elements"
+                }),
+            );
+        }
+        if let Some(tree) = self.cur.as_ref() {
+            debug_assert_eq!(
+                self.cur_size,
+                tree.record_size(),
+                "size accounting must be exact"
+            );
+        }
+        let result = (|| -> TreeResult<Rid> {
+            if self.cur.is_some() {
+                self.flush_cur_piece()?;
+            }
+            // Strip the continuation placeholders that were never used.
+            let unused = std::mem::take(&mut self.unused_slots);
+            for slot in unused {
+                self.store.remove_placeholder(slot.holder, slot.sentinel)?;
+            }
+            Ok(self.stored_root.expect("root record flushed"))
+        })();
+        match result {
+            Ok(root_rid) => {
+                // The document is complete and reachable from its root
+                // record; nothing to clean up any more.
+                self.flushed.clear();
+                Ok(BulkStats {
+                    root_rid,
+                    records: self.records,
+                    nodes: self.nodes,
+                })
+            }
+            Err(e) => {
+                self.abort_in_place();
+                Err(e)
+            }
+        }
+    }
+
+    /// Logical label governing split-matrix lookups for children of
+    /// `parent`: the element's own label, or — for a continuation
+    /// scaffold root — the spilled element's label.
+    fn logical_label_of(&self, parent: PNodeId) -> LabelId {
+        let tree = self.cur.as_ref().expect("cur is live");
+        let label = tree.node(parent).label;
+        if label == LABEL_NONE && self.scaffold_base && parent == tree.root() {
+            self.spilled
+                .last()
+                .expect("scaffold continues a level")
+                .label
+        } else {
+            label
+        }
+    }
+
+    /// Starts a continuation group for the deepest spilled level: a
+    /// scaffolding-rooted in-flight tree whose flush will resolve that
+    /// level's continuation placeholder.
+    fn open_continuation(&mut self) {
+        let slot = *self.spilled.last().expect("detached implies spilled");
+        let tree = RecordTree::new(LABEL_NONE, PContent::Aggregate(Vec::new()), slot.holder);
+        self.spine.push(tree.root());
+        self.scaffold_base = true;
+        self.cur_resolves = Some(slot);
+        self.cur_size = STANDALONE_HEADER;
+        self.cur = Some(tree);
+    }
+
+    /// Flushes `cur` as a complete record and resolves the placeholder it
+    /// was created for. Leaves the loader detached.
+    fn flush_cur_piece(&mut self) -> TreeResult<()> {
+        let tree = self.cur.take().expect("piece to flush");
+        self.spine.clear();
+        self.scaffold_base = false;
+        let rid = self.write_record(&tree)?;
+        if tree.parent_rid.is_invalid() {
+            debug_assert!(self.stored_root.is_none());
+            self.stored_root = Some(rid);
+        }
+        if let Some(slot) = self.cur_resolves.take() {
+            self.store.repoint_proxy(slot.holder, slot.sentinel, rid)?;
+        }
+        Ok(())
+    }
+
+    // ==================================================================
+    // Packing.
+    // ==================================================================
+
+    fn write_record(&mut self, tree: &RecordTree) -> TreeResult<Rid> {
+        let rid = self.store.append_record(tree, &mut self.cursor)?;
+        self.flushed.push(rid);
+        self.records += 1;
+        Ok(rid)
+    }
+
+    /// Packs finished subtrees into records until the in-flight tree fits
+    /// the net page capacity again.
+    fn spill_until_fits(&mut self) -> TreeResult<()> {
+        while self.cur_size > self.capacity {
+            // Prefer runs that do not *start* with an already-packed proxy:
+            // letting proxies accumulate until they fill a run of their own
+            // yields a record tree with logarithmic fan-out, instead of one
+            // nested group record per eviction.
+            if self.spill_once(false, false)? {
+                continue;
+            }
+            if self.spill_once(false, true)? {
+                continue;
+            }
+            // Everything evictable is pinned by ∞ matrix entries; like the
+            // split planner's fallback, "kept as long as possible in the
+            // same record" ends where the page does.
+            if self.spill_once(true, false)? {
+                continue;
+            }
+            if self.spill_once(true, true)? {
+                continue;
+            }
+            // No finished subtree can move: the open spine itself carries
+            // the weight (deeply nested documents). Break the spine across
+            // records, upper part first.
+            if self.spill_spine()? {
+                continue;
+            }
+            return Err(TreeError::OversizedNode {
+                size: self.cur_size,
+                max: self.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Flushes the upper part of the open spine as a record of its own,
+    /// leaving the lower part (rooted at a spine element) in flight — the
+    /// bulkload analogue of the incremental path splitting a too-deep
+    /// chain across records. The flushed record holds one placeholder
+    /// proxy for the rest of the chain (patched when the next piece
+    /// flushes) and one *continuation* placeholder per spilled open
+    /// element, through which late children — arriving after the inner
+    /// chain closes — re-attach without rewriting a full page. Returns
+    /// false when no spine prefix fits a record.
+    fn spill_spine(&mut self) -> TreeResult<bool> {
+        if self.spine.len() < 2 {
+            return Ok(false);
+        }
+        // The upper record is everything except the subtree at spine[k],
+        // plus k + 1 placeholder proxies (chain + one continuation per
+        // spilled spine node); embedded_size(spine[k]) shrinks as k grows,
+        // so take the largest k that still fits (fullest record, shortest
+        // remaining chain).
+        let tree = self.cur.as_ref().expect("spine is non-empty");
+        let mut chosen = None;
+        for k in 1..self.spine.len() {
+            let upper = self.cur_size - tree.embedded_size(self.spine[k])
+                + (k + 1) * (EMBEDDED_HEADER + PROXY_BODY);
+            if upper <= self.capacity {
+                chosen = Some(k);
+            } else {
+                break;
+            }
+        }
+        let Some(k) = chosen else { return Ok(false) };
+        let split_node = self.spine[k];
+        let parent_of_split = self.spine[k - 1];
+        let tree = self.cur.as_mut().expect("spine is non-empty");
+        let at = tree
+            .children(parent_of_split)
+            .iter()
+            .position(|&c| c == split_node)
+            .expect("spine child listed under its parent");
+        let mut lower = RecordTree::from_transplant(tree, split_node);
+        // Chain placeholder where the lower chain used to hang.
+        let chain_sentinel = self.new_sentinel();
+        let tree = self.cur.as_mut().expect("spine is non-empty");
+        let proxy = tree.alloc(LABEL_NONE, PContent::Proxy(chain_sentinel));
+        tree.attach(parent_of_split, at, proxy);
+        // One trailing continuation placeholder per spilled open element:
+        // late children are appended after everything it already has.
+        let mut continuations = Vec::with_capacity(k);
+        for i in 0..k {
+            let sentinel = self.new_sentinel();
+            let node = self.spine[i];
+            let tree = self.cur.as_mut().expect("spine is non-empty");
+            let label = tree.node(node).label;
+            let p = tree.alloc(LABEL_NONE, PContent::Proxy(sentinel));
+            let end = tree.children(node).len();
+            tree.attach(node, end, p);
+            continuations.push((sentinel, label));
+        }
+        let upper = self.cur.take().expect("checked above");
+        let was_scaffold = self.scaffold_base;
+        let resolves = self.cur_resolves.take();
+        let remaining_depth = self.spine.len() - k;
+        self.spine.clear();
+        self.scaffold_base = false;
+        let upper_rid = self.write_record(&upper)?;
+        if upper.parent_rid.is_invalid() {
+            // This record holds the document root: it is the tree root.
+            debug_assert!(self.stored_root.is_none());
+            self.stored_root = Some(upper_rid);
+        }
+        if let Some(slot) = resolves {
+            // The upper piece is the record its placeholder was waiting
+            // for (a chain piece's predecessor or a continuation group).
+            self.store
+                .repoint_proxy(slot.holder, slot.sentinel, upper_rid)?;
+        }
+        // Register the spilled open elements, outermost first. For a
+        // scaffold base, the first "element" is the continuation scaffold
+        // of an already-spilled level: its slot moves to the new record
+        // instead of stacking a new level.
+        for (i, (sentinel, label)) in continuations.into_iter().enumerate() {
+            let slot = PendingSlot {
+                holder: upper_rid,
+                sentinel,
+                label: if i == 0 && was_scaffold {
+                    self.spilled
+                        .last()
+                        .expect("scaffold continues a level")
+                        .label
+                } else {
+                    label
+                },
+            };
+            if i == 0 && was_scaffold {
+                *self.spilled.last_mut().expect("scaffold continues a level") = slot;
+            } else {
+                self.spilled.push(slot);
+            }
+        }
+        // The lower chain continues in flight, parented on the record that
+        // now holds its (placeholder) proxy.
+        lower.parent_rid = upper_rid;
+        self.cur_size = lower.record_size();
+        self.cur_resolves = Some(PendingSlot {
+            holder: upper_rid,
+            sentinel: chain_sentinel,
+            label: LABEL_NONE,
+        });
+        // The spine below the split survives as the chain of last children
+        // from the new root (no placeholders were added below the split).
+        let mut node = lower.root();
+        self.spine.push(node);
+        for _ in 1..remaining_depth {
+            node = *lower
+                .children(node)
+                .last()
+                .expect("spine child is the last child");
+            self.spine.push(node);
+        }
+        self.cur = Some(lower);
+        Ok(true)
+    }
+
+    /// Packs the first maximal run of finished, evictable sibling subtrees
+    /// into one record. Returns false when no such run exists.
+    fn spill_once(&mut self, ignore_matrix: bool, allow_proxy_start: bool) -> TreeResult<bool> {
+        // Sweep the spine top-down: upper levels hold the oldest finished
+        // subtrees (titles, earlier acts), which pack into records first —
+        // the same front-to-back order in which the incremental path splits
+        // them off, and the order that keeps pages filling sequentially.
+        for level in 0..self.spine.len() {
+            let parent = self.spine[level];
+            let spine_child = self.spine.get(level + 1).copied();
+            if let Some((start, count, bytes)) =
+                self.find_run(parent, spine_child, ignore_matrix, allow_proxy_start)
+            {
+                self.flush_run(parent, start, count, bytes)?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Finds the first run of consecutive evictable finished children of
+    /// `parent`: at most `capacity`-sized, skipping the open (spine) child
+    /// and — unless `ignore_matrix` — children pinned by ∞ entries. Unless
+    /// `allow_proxy_start`, a proxy cannot *start* a run (packing the
+    /// previous group record into every new group would chain records
+    /// linearly). Returns `(start index, count, embedded bytes)`.
+    fn find_run(
+        &self,
+        parent: PNodeId,
+        spine_child: Option<PNodeId>,
+        ignore_matrix: bool,
+        allow_proxy_start: bool,
+    ) -> Option<(usize, usize, usize)> {
+        let tree = self.cur.as_ref()?;
+        let parent_label = tree.node(parent).label;
+        let kids = tree.children(parent);
+        // Budget for the children's embedded bodies inside a group record:
+        // the scaffolding root costs a standalone header.
+        let budget = self.capacity - STANDALONE_HEADER;
+        let mut start = 0usize;
+        let mut count = 0usize;
+        let mut bytes = 0usize;
+        for (i, &k) in kids.iter().enumerate() {
+            let node = tree.node(k);
+            let pinned = !ignore_matrix
+                && node.is_facade()
+                && self.matrix.get(parent_label, node.label) == SplitBehaviour::KeepWithParent;
+            let evictable = Some(k) != spine_child
+                && !pinned
+                && (allow_proxy_start || count > 0 || !node.is_proxy());
+            if evictable {
+                let sz = tree.embedded_size(k);
+                if count > 0 && bytes + sz > budget {
+                    break; // run full — pack what we have
+                }
+                if sz > budget {
+                    // A single finished subtree close to a whole page:
+                    // record of its own (no scaffolding wrapper would fit).
+                    // Cannot happen for freshly finished subtrees (they
+                    // spill while open), only via pathological matrices.
+                    continue;
+                }
+                if count == 0 {
+                    start = i;
+                }
+                count += 1;
+                bytes += sz;
+            } else if count > 0 {
+                break;
+            }
+        }
+        // A run must shrink the record: replacing it with a proxy costs
+        // EMBEDDED_HEADER + PROXY_BODY bytes.
+        (count > 0 && bytes > EMBEDDED_HEADER + PROXY_BODY).then_some((start, count, bytes))
+    }
+
+    /// Extracts children `[start, start + count)` of `parent` into a new
+    /// record (scaffolding-rooted for sibling groups, facade-rooted for a
+    /// single subtree) and splices a proxy in their place.
+    fn flush_run(
+        &mut self,
+        parent: PNodeId,
+        start: usize,
+        count: usize,
+        bytes: usize,
+    ) -> TreeResult<()> {
+        let tree = self.cur.as_mut().expect("run was found");
+        let record = if count == 1 {
+            let child = tree.children(parent)[start];
+            RecordTree::from_transplant(tree, child)
+        } else {
+            // Sibling group under a scaffolding aggregate — the helper
+            // objects h1/h2 of the paper's figures 3 and 8.
+            let mut group =
+                RecordTree::new(LABEL_NONE, PContent::Aggregate(Vec::new()), Rid::invalid());
+            for i in 0..count {
+                let child = tree.children(parent)[start];
+                let moved = tree.transplant(child, &mut group);
+                group.attach(group.root(), i, moved);
+            }
+            group
+        };
+        let rid = self.write_record(&record)?;
+        let tree = self.cur.as_mut().expect("run was found");
+        let proxy = tree.alloc(LABEL_NONE, PContent::Proxy(rid));
+        tree.attach(parent, start, proxy);
+        self.cur_size = self.cur_size - bytes + EMBEDDED_HEADER + PROXY_BODY;
+        self.maybe_compact();
+        Ok(())
+    }
+
+    /// Rebuilds the in-flight arena when tombstones (from packed-away
+    /// subtrees) approach the `u16` id space. Live nodes are bounded by
+    /// the page capacity, so this copies little and happens rarely.
+    fn maybe_compact(&mut self) {
+        let needs = self
+            .cur
+            .as_ref()
+            .is_some_and(|t| t.arena_len() >= COMPACT_THRESHOLD);
+        if !needs {
+            return;
+        }
+        let mut old = self.cur.take().expect("checked above");
+        let root = old.root();
+        let mut fresh = RecordTree::from_transplant(&mut old, root);
+        // from_transplant starts a parentless tree — carry the parent
+        // pointer over, or compacting a chain piece / continuation group
+        // (parented on an earlier chain record) would silently turn it
+        // into a second "root" record.
+        fresh.parent_rid = old.parent_rid;
+        // The spine is exactly the chain of last children from the root
+        // (appends only happen at the spine), so it rebuilds by walking
+        // down `depth` levels.
+        let depth = self.spine.len();
+        self.spine.clear();
+        if depth > 0 {
+            let mut at = fresh.root();
+            self.spine.push(at);
+            for _ in 1..depth {
+                at = *fresh
+                    .children(at)
+                    .last()
+                    .expect("spine child is the last child");
+                self.spine.push(at);
+            }
+        }
+        self.cur = Some(fresh);
+    }
+}
+
+/// Convenience: bulk-load a logical [`natix_xml::Document`] into `store`,
+/// chunking long string literals into consecutive sibling literals of at
+/// most `chunk_limit` bytes (serialisation-identical for XML character
+/// data; `None` disables chunking). Returns the load summary.
+pub fn bulkload_document(
+    store: &TreeStore,
+    doc: &natix_xml::Document,
+    chunk_limit: Option<usize>,
+) -> TreeResult<BulkStats> {
+    let mut loader = BulkLoader::new(store);
+    match feed_document(&mut loader, doc, chunk_limit) {
+        Ok(()) => loader.finish(),
+        Err(e) => {
+            // Never leak the records flushed before the failure.
+            loader.abort();
+            Err(e)
+        }
+    }
+}
+
+fn feed_document(
+    loader: &mut BulkLoader<'_>,
+    doc: &natix_xml::Document,
+    chunk_limit: Option<usize>,
+) -> TreeResult<()> {
+    use natix_xml::NodeData;
+    // Pre-order with explicit close events.
+    let mut stack: Vec<(natix_xml::NodeIdx, bool)> = vec![(doc.root(), false)];
+    while let Some((n, closing)) = stack.pop() {
+        if closing {
+            loader.end_element()?;
+            continue;
+        }
+        match doc.data(n) {
+            NodeData::Element(label) => {
+                loader.start_element(*label)?;
+                stack.push((n, true));
+                for &c in doc.children(n).iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+            NodeData::Literal { label, value } => match (chunk_limit, value) {
+                // Only character data may be split into sibling literals
+                // (serialisation-identical for XML text). Attribute values
+                // and other labelled literals must stay whole — splitting
+                // them would duplicate the attribute — so an oversized one
+                // surfaces as `OversizedNode` instead of silent truncation.
+                (Some(limit), LiteralValue::String(s))
+                    if s.len() > limit && *label == natix_xml::LABEL_TEXT =>
+                {
+                    for chunk in natix_xml::chunk_str(s, limit) {
+                        loader.literal(*label, LiteralValue::String(chunk.to_owned()))?;
+                    }
+                }
+                _ => loader.literal(*label, value.clone())?,
+            },
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TreeConfig;
+    use crate::validate::check_tree;
+    use natix_storage::{BufferManager, EvictionPolicy, IoStats, MemStorage, StorageManager};
+    use natix_xml::LABEL_TEXT;
+    use std::sync::Arc;
+
+    fn store(page_size: usize, matrix: SplitMatrix) -> TreeStore {
+        let backend = Arc::new(MemStorage::new(page_size).unwrap());
+        let bm = Arc::new(BufferManager::new(
+            backend,
+            256,
+            EvictionPolicy::Lru,
+            IoStats::new_shared(),
+        ));
+        let sm = Arc::new(StorageManager::create(bm).unwrap());
+        let seg = sm.create_segment("docs").unwrap();
+        TreeStore::new(sm, seg, TreeConfig::paper(), matrix)
+    }
+
+    fn text(s: &str) -> LiteralValue {
+        LiteralValue::String(s.to_string())
+    }
+
+    #[test]
+    fn single_record_document() {
+        let st = store(2048, SplitMatrix::all_other());
+        let mut l = BulkLoader::new(&st);
+        l.start_element(10).unwrap();
+        l.start_element(11).unwrap();
+        l.literal(LABEL_TEXT, text("OTHELLO")).unwrap();
+        l.end_element().unwrap();
+        l.end_element().unwrap();
+        let stats = l.finish().unwrap();
+        assert_eq!(stats.records, 1);
+        assert_eq!(stats.nodes, 3);
+        let s = check_tree(&st, stats.root_rid).unwrap();
+        assert_eq!(s.records, 1);
+        assert_eq!(s.facade_nodes, 3);
+    }
+
+    #[test]
+    fn overflowing_document_packs_groups() {
+        let st = store(512, SplitMatrix::all_other());
+        let mut l = BulkLoader::new(&st);
+        l.start_element(10).unwrap();
+        for i in 0..40 {
+            l.start_element(11).unwrap();
+            l.literal(
+                LABEL_TEXT,
+                text(&format!("payload number {i} {}", "x".repeat(i % 30))),
+            )
+            .unwrap();
+            l.end_element().unwrap();
+        }
+        l.end_element().unwrap();
+        let stats = l.finish().unwrap();
+        assert!(stats.records > 1, "must have packed multiple records");
+        let s = check_tree(&st, stats.root_rid).unwrap();
+        assert_eq!(s.records as u64, stats.records);
+        assert_eq!(s.facade_nodes, 81);
+        assert!(s.scaffolding_aggregates > 0, "groups use helper aggregates");
+    }
+
+    #[test]
+    fn standalone_matrix_entries_make_standalone_records() {
+        let mut m = SplitMatrix::all_other();
+        m.set(10, 11, SplitBehaviour::Standalone);
+        let st = store(2048, m);
+        let mut l = BulkLoader::new(&st);
+        l.start_element(10).unwrap();
+        for _ in 0..3 {
+            l.start_element(11).unwrap();
+            l.literal(LABEL_TEXT, text("a")).unwrap();
+            l.end_element().unwrap();
+        }
+        l.end_element().unwrap();
+        let stats = l.finish().unwrap();
+        assert_eq!(stats.records, 4, "root + three standalone children");
+        check_tree(&st, stats.root_rid).unwrap();
+    }
+
+    #[test]
+    fn keep_with_parent_is_never_packed_away() {
+        let mut m = SplitMatrix::all_other();
+        m.set(10, 12, SplitBehaviour::KeepWithParent);
+        let st = store(512, m);
+        let mut l = BulkLoader::new(&st);
+        l.start_element(10).unwrap();
+        // One pinned child among many evictable ones.
+        l.start_element(12).unwrap();
+        l.literal(LABEL_TEXT, text("pinned")).unwrap();
+        l.end_element().unwrap();
+        for i in 0..40 {
+            l.start_element(11).unwrap();
+            l.literal(LABEL_TEXT, text(&format!("filler {i} {}", "y".repeat(20))))
+                .unwrap();
+            l.end_element().unwrap();
+        }
+        l.end_element().unwrap();
+        let stats = l.finish().unwrap();
+        check_tree(&st, stats.root_rid).unwrap();
+        // The pinned subtree lives in the root record.
+        let root = st.load(stats.root_rid).unwrap();
+        let labels: Vec<LabelId> = root
+            .pre_order(root.root())
+            .iter()
+            .map(|&n| root.node(n).label)
+            .collect();
+        assert!(
+            labels.contains(&12),
+            "∞-child must stay in the root record: {labels:?}"
+        );
+    }
+
+    #[test]
+    fn all_pinned_falls_back_to_ignoring_the_matrix() {
+        let mut m = SplitMatrix::all_other();
+        m.set(10, 11, SplitBehaviour::KeepWithParent);
+        let st = store(512, m);
+        let mut l = BulkLoader::new(&st);
+        l.start_element(10).unwrap();
+        for i in 0..40 {
+            l.start_element(11).unwrap();
+            l.literal(
+                LABEL_TEXT,
+                text(&format!("long payload {i} {}", "z".repeat(25))),
+            )
+            .unwrap();
+            l.end_element().unwrap();
+        }
+        l.end_element().unwrap();
+        let stats = l.finish().unwrap();
+        assert!(stats.records > 1);
+        check_tree(&st, stats.root_rid).unwrap();
+    }
+
+    #[test]
+    fn deep_documents_compact_the_arena() {
+        let st = store(1024, SplitMatrix::all_other());
+        let mut l = BulkLoader::new(&st);
+        l.start_element(10).unwrap();
+        // Enough churn to trigger compaction several times.
+        for i in 0..COMPACT_THRESHOLD + 5_000 {
+            l.start_element(11).unwrap();
+            if i % 3 == 0 {
+                l.literal(LABEL_TEXT, text("body")).unwrap();
+            }
+            l.end_element().unwrap();
+        }
+        l.end_element().unwrap();
+        let stats = l.finish().unwrap();
+        let s = check_tree(&st, stats.root_rid).unwrap();
+        assert_eq!(s.records as u64, stats.records);
+    }
+
+    #[test]
+    fn deep_chains_split_the_spine_across_records() {
+        // A purely nested document whose open spine alone exceeds the net
+        // page capacity: the loader must chain records top-down instead of
+        // failing (per-node insertion handles this via separator splits).
+        for page_size in [512usize, 2048] {
+            let st = store(page_size, SplitMatrix::all_other());
+            let depth = 3_000;
+            let mut l = BulkLoader::new(&st);
+            for _ in 0..depth {
+                l.start_element(10).unwrap();
+            }
+            l.literal(LABEL_TEXT, text("bottom")).unwrap();
+            for _ in 0..depth {
+                l.end_element().unwrap();
+            }
+            let stats = l.finish().unwrap();
+            assert!(stats.records > 1, "page {page_size}: chain must split");
+            let s = check_tree(&st, stats.root_rid).unwrap();
+            assert_eq!(s.facade_nodes, depth + 1, "page {page_size}");
+            assert_eq!(s.records as u64, stats.records, "page {page_size}");
+        }
+    }
+
+    #[test]
+    fn late_children_after_a_deep_chain_reattach() {
+        // The hard case for spine spilling: a deep chain closes, then MORE
+        // content arrives for ancestors that were already flushed — it must
+        // re-attach through their continuation placeholders.
+        for page_size in [512usize, 1024] {
+            let st = store(page_size, SplitMatrix::all_other());
+            let depth: usize = 600;
+            let mut l = BulkLoader::new(&st);
+            // <a> * depth, then close the inner 2/3 of the chain...
+            for _ in 0..depth {
+                l.start_element(10).unwrap();
+            }
+            for _ in 0..(depth * 2 / 3) {
+                l.end_element().unwrap();
+            }
+            // ...then late content at the now-deepest open ancestor, with
+            // its own nested structure...
+            for i in 0..30 {
+                l.start_element(11).unwrap();
+                l.literal(LABEL_TEXT, text(&format!("late {i}"))).unwrap();
+                l.end_element().unwrap();
+            }
+            // ...close a few more levels, appending stragglers on the way
+            // up so several distinct spilled levels get continuations.
+            for j in 0..(depth / 3) {
+                l.end_element().unwrap();
+                if j % 17 == 0 {
+                    l.start_element(12).unwrap();
+                    l.literal(LABEL_TEXT, text("straggler")).unwrap();
+                    l.end_element().unwrap();
+                }
+            }
+            let stats = l.finish().unwrap();
+            let s = check_tree(&st, stats.root_rid).unwrap();
+            let expected_nodes = depth + 60 + 2 * (depth / 3).div_ceil(17);
+            assert_eq!(s.facade_nodes, expected_nodes, "page {page_size}");
+            assert_eq!(s.records as u64, stats.records, "page {page_size}");
+        }
+    }
+
+    #[test]
+    fn deep_chain_with_payload_at_every_level() {
+        let st = store(512, SplitMatrix::all_other());
+        let depth = 400;
+        let mut l = BulkLoader::new(&st);
+        for i in 0..depth {
+            l.start_element(10).unwrap();
+            l.literal(LABEL_TEXT, text(&format!("level {i}"))).unwrap();
+        }
+        for _ in 0..depth {
+            l.end_element().unwrap();
+        }
+        let stats = l.finish().unwrap();
+        let s = check_tree(&st, stats.root_rid).unwrap();
+        assert_eq!(s.facade_nodes, 2 * depth);
+        assert_eq!(s.records as u64, stats.records);
+    }
+
+    #[test]
+    fn compaction_of_a_chain_piece_keeps_its_parent_pointer() {
+        // Regression: a deep wrapper forces a spine spill (the in-flight
+        // piece is then parented on the flushed upper record); a large
+        // flat body below pushes the arena past COMPACT_THRESHOLD, and
+        // compaction must not reset that parent pointer.
+        let st = store(512, SplitMatrix::all_other());
+        let depth = 600;
+        let mut l = BulkLoader::new(&st);
+        for _ in 0..depth {
+            l.start_element(10).unwrap();
+        }
+        for _ in 0..COMPACT_THRESHOLD / 2 + 5_000 {
+            l.start_element(11).unwrap();
+            l.literal(LABEL_TEXT, text("b")).unwrap();
+            l.end_element().unwrap();
+        }
+        for _ in 0..depth {
+            l.end_element().unwrap();
+        }
+        let stats = l.finish().unwrap();
+        let s = check_tree(&st, stats.root_rid).unwrap();
+        assert_eq!(s.records as u64, stats.records);
+    }
+
+    #[test]
+    fn unbalanced_streams_are_rejected() {
+        let st = store(1024, SplitMatrix::all_other());
+        let mut l = BulkLoader::new(&st);
+        assert!(l.end_element().is_err(), "close before open");
+        let mut l = BulkLoader::new(&st);
+        l.start_element(10).unwrap();
+        assert!(l.finish().is_err(), "finish with open elements");
+        let mut l = BulkLoader::new(&st);
+        l.start_element(10).unwrap();
+        l.end_element().unwrap();
+        assert!(l.start_element(11).is_err(), "second root");
+        let l = BulkLoader::new(&st);
+        assert!(l.finish().is_err(), "empty document");
+    }
+
+    #[test]
+    fn oversized_literal_rejected() {
+        let st = store(512, SplitMatrix::all_other());
+        let mut l = BulkLoader::new(&st);
+        l.start_element(10).unwrap();
+        let huge = "h".repeat(600);
+        assert!(matches!(
+            l.literal(LABEL_TEXT, text(&huge)),
+            Err(TreeError::OversizedNode { .. })
+        ));
+    }
+}

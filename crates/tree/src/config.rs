@@ -77,10 +77,16 @@ impl TreeConfig {
     /// Validates parameter ranges.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.05..=0.95).contains(&self.split_target) {
-            return Err(format!("split_target {} outside [0.05, 0.95]", self.split_target));
+            return Err(format!(
+                "split_target {} outside [0.05, 0.95]",
+                self.split_target
+            ));
         }
         if !(0.0..=0.5).contains(&self.split_tolerance) {
-            return Err(format!("split_tolerance {} outside [0, 0.5]", self.split_tolerance));
+            return Err(format!(
+                "split_tolerance {} outside [0, 0.5]",
+                self.split_tolerance
+            ));
         }
         if self.merge_threshold >= self.merge_fill_max {
             return Err("merge_threshold must be below merge_fill_max".into());
@@ -112,14 +118,20 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_ranges() {
-        let mut c = TreeConfig::default();
-        c.split_target = 0.01;
+        let c = TreeConfig {
+            split_target: 0.01,
+            ..TreeConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = TreeConfig::default();
-        c.split_tolerance = 0.9;
+        let c = TreeConfig {
+            split_tolerance: 0.9,
+            ..TreeConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = TreeConfig::default();
-        c.merge_threshold = 0.9;
+        let c = TreeConfig {
+            merge_threshold: 0.9,
+            ..TreeConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -28,7 +28,12 @@ impl<'a> Cursor<'a> {
     pub fn at_root(store: &'a TreeStore, root: Rid) -> TreeResult<Cursor<'a>> {
         let tree = store.load(root)?;
         let node = tree.root();
-        let mut c = Cursor { store, rid: root, tree, node };
+        let mut c = Cursor {
+            store,
+            rid: root,
+            tree,
+            node,
+        };
         if !c.current().is_facade() {
             // A scaffolding-rooted record cannot be a tree root, but be
             // permissive: descend to the first facade.
@@ -43,9 +48,17 @@ impl<'a> Cursor<'a> {
     pub fn at(store: &'a TreeStore, ptr: NodePtr) -> TreeResult<Cursor<'a>> {
         let tree = store.load(ptr.rid)?;
         if tree.try_node(ptr.node).is_none() {
-            return Err(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node });
+            return Err(TreeError::BadNodePtr {
+                rid: ptr.rid,
+                node: ptr.node,
+            });
         }
-        Ok(Cursor { store, rid: ptr.rid, tree, node: ptr.node })
+        Ok(Cursor {
+            store,
+            rid: ptr.rid,
+            tree,
+            node: ptr.node,
+        })
     }
 
     fn current(&self) -> &crate::model::PNode {
@@ -100,7 +113,9 @@ impl<'a> Cursor<'a> {
                     self.node = self.tree.root();
                 }
                 PContent::Aggregate(kids) => {
-                    let Some(&first) = kids.first() else { return Ok(false) };
+                    let Some(&first) = kids.first() else {
+                        return Ok(false);
+                    };
                     self.node = first;
                 }
                 PContent::Literal(_) => return Ok(false),
@@ -160,7 +175,9 @@ impl<'a> Cursor<'a> {
                         }
                         let my_rid = self.rid;
                         self.jump(parent_rid, 0)?;
-                        let Some(proxy) = find_proxy(&self.tree, my_rid) else { break };
+                        let Some(proxy) = find_proxy(&self.tree, my_rid) else {
+                            break;
+                        };
                         self.node = proxy;
                         continue; // retry: siblings after the proxy
                     }
@@ -174,7 +191,9 @@ impl<'a> Cursor<'a> {
                     }
                     let my_rid = self.rid;
                     self.jump(parent_rid, 0)?;
-                    let Some(proxy) = find_proxy(&self.tree, my_rid) else { break };
+                    let Some(proxy) = find_proxy(&self.tree, my_rid) else {
+                        break;
+                    };
                     self.node = proxy;
                     continue;
                 }

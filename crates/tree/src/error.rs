@@ -41,7 +41,10 @@ impl fmt::Display for TreeError {
                 write!(f, "node pointer {rid}/{node} does not resolve")
             }
             TreeError::OversizedNode { size, max } => {
-                write!(f, "single node of {size} bytes exceeds record capacity {max}")
+                write!(
+                    f,
+                    "single node of {size} bytes exceeds record capacity {max}"
+                )
             }
             TreeError::NotAnAggregate { rid, node } => {
                 write!(f, "node {rid}/{node} is not an aggregate")

@@ -25,24 +25,29 @@
 //! * [`store`] — the tree growth procedure (figure 5): insertion-location
 //!   resolution, record moves, splits with recursive separator insertion,
 //!   deletion with cascades, the merge extension, relocation events;
+//! * [`bulkload`] — the streaming bottom-up bulkloader for whole-document
+//!   loads (the paper's §4.3 append workload without per-node
+//!   read-modify-write);
 //! * [`cursor`] — DOM-style navigation that transparently crosses records;
 //! * [`reconstruct`] — proxy substitution back into logical documents,
 //!   streaming traversal and XML serialisation;
 //! * [`validate`] — invariant checks and the physical statistics used by
 //!   the evaluation harness.
 
+pub mod bulkload;
 pub mod config;
 pub mod cursor;
 pub mod error;
 pub mod matrix;
 pub mod model;
-pub mod record;
 pub mod reconstruct;
+pub mod record;
 pub mod split;
 pub mod store;
 pub mod typetable;
 pub mod validate;
 
+pub use bulkload::{bulkload_document, BulkLoader, BulkStats};
 pub use config::TreeConfig;
 pub use cursor::Cursor;
 pub use error::{TreeError, TreeResult};
@@ -50,5 +55,5 @@ pub use matrix::{SplitBehaviour, SplitMatrix};
 pub use model::{NodePtr, PContent, PNode, PNodeId, RecordTree};
 pub use reconstruct::{reconstruct_document, serialize_xml, subtree_text, traverse, VisitEvent};
 pub use split::{find_separator, plan_split, SplitPlan};
-pub use store::{InsertPos, NewNode, NodeInfo, OpResult, Relocation, TreeStore};
+pub use store::{AppendCursor, InsertPos, NewNode, NodeInfo, OpResult, Relocation, TreeStore};
 pub use validate::{check_tree, PhysicalStats};

@@ -46,18 +46,27 @@ impl SplitMatrix {
     /// has been specified is the one with all entries set to the value
     /// other").
     pub fn all_other() -> SplitMatrix {
-        SplitMatrix { default: SplitBehaviour::Other, entries: HashMap::new() }
+        SplitMatrix {
+            default: SplitBehaviour::Other,
+            entries: HashMap::new(),
+        }
     }
 
     /// The 1:1 configuration: every element is 0, emulating one record per
     /// tree node (§4.2).
     pub fn all_standalone() -> SplitMatrix {
-        SplitMatrix { default: SplitBehaviour::Standalone, entries: HashMap::new() }
+        SplitMatrix {
+            default: SplitBehaviour::Standalone,
+            entries: HashMap::new(),
+        }
     }
 
     /// A matrix with an arbitrary default.
     pub fn with_default(default: SplitBehaviour) -> SplitMatrix {
-        SplitMatrix { default, entries: HashMap::new() }
+        SplitMatrix {
+            default,
+            entries: HashMap::new(),
+        }
     }
 
     /// The default element value.
@@ -76,7 +85,10 @@ impl SplitMatrix {
 
     /// Reads s_ij.
     pub fn get(&self, parent: LabelId, child: LabelId) -> SplitBehaviour {
-        self.entries.get(&(parent, child)).copied().unwrap_or(self.default)
+        self.entries
+            .get(&(parent, child))
+            .copied()
+            .unwrap_or(self.default)
     }
 
     /// Number of non-default overrides.

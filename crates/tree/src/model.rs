@@ -136,7 +136,12 @@ impl RecordTree {
     /// Creates a record tree holding a single node.
     pub fn new(label: LabelId, content: PContent, parent_rid: Rid) -> RecordTree {
         RecordTree {
-            nodes: vec![Some(PNode { label, content, parent: None, orig: None })],
+            nodes: vec![Some(PNode {
+                label,
+                content,
+                parent: None,
+                orig: None,
+            })],
             root: 0,
             parent_rid,
         }
@@ -144,14 +149,22 @@ impl RecordTree {
 
     /// Creates a tree from already-built arena parts (deserialisation).
     pub(crate) fn from_parts(nodes: Vec<Option<PNode>>, root: PNodeId, parent_rid: Rid) -> Self {
-        RecordTree { nodes, root, parent_rid }
+        RecordTree {
+            nodes,
+            root,
+            parent_rid,
+        }
     }
 
     /// Creates a new record tree whose root is the subtree `node`
     /// transplanted out of `src` (split partition assembly). `orig`
     /// markers travel along, keeping relocations traceable.
     pub fn from_transplant(src: &mut RecordTree, node: PNodeId) -> RecordTree {
-        let mut dst = RecordTree { nodes: Vec::new(), root: 0, parent_rid: Rid::invalid() };
+        let mut dst = RecordTree {
+            nodes: Vec::new(),
+            root: 0,
+            parent_rid: Rid::invalid(),
+        };
         let id = src.transplant(node, &mut dst);
         dst.root = id;
         dst
@@ -165,6 +178,13 @@ impl RecordTree {
     /// Live node count.
     pub fn live_count(&self) -> usize {
         self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Arena slots used so far, tombstones included. The arena is bounded
+    /// by `u16::MAX`; long-lived trees that churn nodes (the bulkloader's
+    /// in-flight spine tree) compact before they approach it.
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Borrow a node. Panics on tombstones — indices are only produced by
@@ -195,14 +215,26 @@ impl RecordTree {
     pub fn alloc(&mut self, label: LabelId, content: PContent) -> PNodeId {
         let id = self.nodes.len();
         assert!(id <= u16::MAX as usize, "record arena exhausted");
-        self.nodes.push(Some(PNode { label, content, parent: None, orig: None }));
+        self.nodes.push(Some(PNode {
+            label,
+            content,
+            parent: None,
+            orig: None,
+        }));
         id as PNodeId
     }
 
     /// Attaches `child` under `parent` at `index` (clamped).
     pub fn attach(&mut self, parent: PNodeId, index: usize, child: PNodeId) {
-        self.nodes[child as usize].as_mut().expect("live child").parent = Some(parent);
-        match &mut self.nodes[parent as usize].as_mut().expect("live parent").content {
+        self.nodes[child as usize]
+            .as_mut()
+            .expect("live child")
+            .parent = Some(parent);
+        match &mut self.nodes[parent as usize]
+            .as_mut()
+            .expect("live parent")
+            .content
+        {
             PContent::Aggregate(kids) => {
                 let at = index.min(kids.len());
                 kids.insert(at, child);
@@ -213,9 +245,13 @@ impl RecordTree {
 
     /// Detaches `child` from its parent (the subtree stays in the arena).
     pub fn detach(&mut self, child: PNodeId) {
-        let Some(parent) = self.node(child).parent else { return };
-        if let PContent::Aggregate(kids) =
-            &mut self.nodes[parent as usize].as_mut().expect("live parent").content
+        let Some(parent) = self.node(child).parent else {
+            return;
+        };
+        if let PContent::Aggregate(kids) = &mut self.nodes[parent as usize]
+            .as_mut()
+            .expect("live parent")
+            .content
         {
             kids.retain(|&c| c != child);
         }
@@ -259,9 +295,10 @@ impl RecordTree {
         match &self.node(id).content {
             PContent::Literal(v) => literal_body_len(v),
             PContent::Proxy(_) => PROXY_BODY,
-            PContent::Aggregate(kids) => {
-                kids.iter().map(|&c| EMBEDDED_HEADER + self.body_len(c)).sum()
-            }
+            PContent::Aggregate(kids) => kids
+                .iter()
+                .map(|&c| EMBEDDED_HEADER + self.body_len(c))
+                .sum(),
         }
     }
 
@@ -356,7 +393,10 @@ mod tests {
         t.attach(t.root(), 0, speaker);
         let s_text = t.alloc(LABEL_TEXT, text("OTHELLO"));
         t.attach(speaker, 0, s_text);
-        for (i, line) in ["Let me see your eyes;", "Look in my face."].iter().enumerate() {
+        for (i, line) in ["Let me see your eyes;", "Look in my face."]
+            .iter()
+            .enumerate()
+        {
             let l = t.alloc(12, PContent::Aggregate(vec![]));
             t.attach(t.root(), i + 1, l);
             let lt = t.alloc(LABEL_TEXT, text(line));
@@ -382,7 +422,10 @@ mod tests {
         let mut t = RecordTree::new(5, PContent::Aggregate(vec![]), Rid::invalid());
         let p = t.alloc(LABEL_NONE, PContent::Proxy(Rid::new(9, 1)));
         t.attach(t.root(), 0, p);
-        assert_eq!(t.record_size(), STANDALONE_HEADER + EMBEDDED_HEADER + PROXY_BODY);
+        assert_eq!(
+            t.record_size(),
+            STANDALONE_HEADER + EMBEDDED_HEADER + PROXY_BODY
+        );
         assert!(t.node(p).is_proxy());
         assert!(!t.node(p).is_facade());
     }

@@ -23,9 +23,16 @@ use crate::store::TreeStore;
 #[derive(Debug, Clone, PartialEq)]
 pub enum VisitEvent<'a> {
     /// Entering a facade aggregate.
-    Enter { label: natix_xml::LabelId, ptr: NodePtr },
+    Enter {
+        label: natix_xml::LabelId,
+        ptr: NodePtr,
+    },
     /// A facade literal.
-    Literal { label: natix_xml::LabelId, value: &'a LiteralValue, ptr: NodePtr },
+    Literal {
+        label: natix_xml::LabelId,
+        value: &'a LiteralValue,
+        ptr: NodePtr,
+    },
     /// Leaving a facade aggregate.
     Leave { label: natix_xml::LabelId },
 }
@@ -40,7 +47,10 @@ where
 {
     let tree = store.load(ptr.rid)?;
     if tree.try_node(ptr.node).is_none() {
-        return Err(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node });
+        return Err(TreeError::BadNodePtr {
+            rid: ptr.rid,
+            node: ptr.node,
+        });
     }
     walk(store, ptr.rid, &tree, ptr.node, visit)
 }
@@ -75,7 +85,10 @@ where
         PContent::Aggregate(kids) => {
             let facade = n.is_facade();
             if facade
-                && !visit(VisitEvent::Enter { label: n.label, ptr: NodePtr::new(rid, node) })
+                && !visit(VisitEvent::Enter {
+                    label: n.label,
+                    ptr: NodePtr::new(rid, node),
+                })
             {
                 return Ok(false);
             }
@@ -105,22 +118,26 @@ pub fn reconstruct_document(store: &TreeStore, root: Rid) -> TreeResult<Document
     let mut stack: Vec<natix_xml::NodeIdx> = Vec::new();
     traverse(store, NodePtr::new(root, root_node), &mut |ev| {
         match ev {
-            VisitEvent::Enter { label, .. } => {
-                match (&mut doc, stack.last()) {
-                    (None, _) => {
-                        doc = Some(Document::new(NodeData::Element(label)));
-                        stack.push(0);
-                    }
-                    (Some(d), Some(&parent)) => {
-                        let idx = d.add_child(parent, NodeData::Element(label));
-                        stack.push(idx);
-                    }
-                    (Some(_), None) => unreachable!("single root"),
+            VisitEvent::Enter { label, .. } => match (&mut doc, stack.last()) {
+                (None, _) => {
+                    doc = Some(Document::new(NodeData::Element(label)));
+                    stack.push(0);
                 }
-            }
+                (Some(d), Some(&parent)) => {
+                    let idx = d.add_child(parent, NodeData::Element(label));
+                    stack.push(idx);
+                }
+                (Some(_), None) => unreachable!("single root"),
+            },
             VisitEvent::Literal { label, value, .. } => match (&mut doc, stack.last()) {
                 (Some(d), Some(&parent)) => {
-                    d.add_child(parent, NodeData::Literal { label, value: value.clone() });
+                    d.add_child(
+                        parent,
+                        NodeData::Literal {
+                            label,
+                            value: value.clone(),
+                        },
+                    );
                 }
                 _ => {
                     // A standalone literal root: represent as a document
@@ -203,7 +220,12 @@ pub fn serialize_xml(store: &TreeStore, ptr: NodePtr, symbols: &SymbolTable) -> 
 pub fn subtree_text(store: &TreeStore, ptr: NodePtr) -> TreeResult<String> {
     let mut out = String::new();
     traverse(store, ptr, &mut |ev| {
-        if let VisitEvent::Literal { label: LABEL_TEXT, value, .. } = ev {
+        if let VisitEvent::Literal {
+            label: LABEL_TEXT,
+            value,
+            ..
+        } = ev
+        {
             out.push_str(&value.to_text());
         }
         true

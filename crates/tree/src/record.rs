@@ -73,8 +73,20 @@ pub fn serialize(tree: &RecordTree, table: &mut TypeTable) -> (Vec<u8>, Vec<(PNo
     out.extend_from_slice(&root_type.to_le_bytes());
     mapping.push((root, next_serial));
     next_serial += 1;
-    write_body(tree, root, 0, table, &mut out, &mut mapping, &mut next_serial);
-    debug_assert_eq!(out.len(), tree.record_size(), "size accounting must be exact");
+    write_body(
+        tree,
+        root,
+        0,
+        table,
+        &mut out,
+        &mut mapping,
+        &mut next_serial,
+    );
+    debug_assert_eq!(
+        out.len(),
+        tree.record_size(),
+        "size accounting must be exact"
+    );
     (out, mapping)
 }
 
@@ -123,7 +135,10 @@ fn write_literal(v: &LiteralValue, out: &mut Vec<u8>) {
 pub fn deserialize(bytes: &[u8], table: &TypeTable, rid: Rid) -> TreeResult<RecordTree> {
     let corrupt = |m: String| TreeError::CorruptRecord { rid, message: m };
     if bytes.len() < STANDALONE_HEADER {
-        return Err(corrupt(format!("record of {} bytes has no standalone header", bytes.len())));
+        return Err(corrupt(format!(
+            "record of {} bytes has no standalone header",
+            bytes.len()
+        )));
     }
     let parent_rid = Rid::decode(&bytes[0..8]);
     let root_type = u16::from_le_bytes([bytes[8], bytes[9]]);
@@ -136,7 +151,17 @@ pub fn deserialize(bytes: &[u8], table: &TypeTable, rid: Rid) -> TreeResult<Reco
         orig: Some(NodePtr::new(rid, 0)),
     }));
     let body = &bytes[STANDALONE_HEADER..];
-    parse_body(bytes, STANDALONE_HEADER, body.len(), 0, 0, kind, table, &mut nodes, rid)?;
+    parse_body(
+        bytes,
+        STANDALONE_HEADER,
+        body.len(),
+        0,
+        0,
+        kind,
+        table,
+        &mut nodes,
+        rid,
+    )?;
     Ok(RecordTree::from_parts(nodes, 0, parent_rid))
 }
 
@@ -172,8 +197,7 @@ fn parse_body(
             if body_len != 8 {
                 return Err(corrupt(format!("proxy body of {body_len} bytes")));
             }
-            nodes[me as usize].as_mut().expect("live").content =
-                PContent::Proxy(Rid::decode(body));
+            nodes[me as usize].as_mut().expect("live").content = PContent::Proxy(Rid::decode(body));
         }
         ContentKind::Aggregate => {
             let mut at = 0;
@@ -249,7 +273,10 @@ mod tests {
         let mut t = RecordTree::new(10, PContent::Aggregate(vec![]), Rid::new(4, 2));
         let speaker = t.alloc(11, PContent::Aggregate(vec![]));
         t.attach(t.root(), 0, speaker);
-        let txt = t.alloc(LABEL_TEXT, PContent::Literal(LiteralValue::String("OTHELLO".into())));
+        let txt = t.alloc(
+            LABEL_TEXT,
+            PContent::Literal(LiteralValue::String("OTHELLO".into())),
+        );
         t.attach(speaker, 0, txt);
         let proxy = t.alloc(LABEL_NONE, PContent::Proxy(Rid::new(77, 3)));
         t.attach(t.root(), 1, proxy);
@@ -265,8 +292,7 @@ mod tests {
         }
         match (&na.content, &nb.content) {
             (PContent::Aggregate(ka), PContent::Aggregate(kb)) => {
-                ka.len() == kb.len()
-                    && ka.iter().zip(kb).all(|(&x, &y)| tree_eq(a, x, b, y))
+                ka.len() == kb.len() && ka.iter().zip(kb).all(|(&x, &y)| tree_eq(a, x, b, y))
             }
             (x, y) => x == y,
         }
@@ -297,7 +323,10 @@ mod tests {
         assert_eq!(back.node(0).label, 10);
         assert_eq!(back.node(1).label, 11);
         assert!(matches!(back.node(3).content, PContent::Proxy(r) if r == Rid::new(77, 3)));
-        assert!(matches!(back.node(4).content, PContent::Literal(LiteralValue::I32(-5))));
+        assert!(matches!(
+            back.node(4).content,
+            PContent::Literal(LiteralValue::I32(-5))
+        ));
         assert_eq!(back.node(4).orig, Some(NodePtr::new(Rid::new(1, 1), 4)));
     }
 
@@ -314,7 +343,7 @@ mod tests {
 
     #[test]
     fn all_literal_types_roundtrip() {
-        let values = vec![
+        let values = [
             LiteralValue::String("héllo <&>".into()),
             LiteralValue::Uri("http://example.com/x".into()),
             LiteralValue::I8(-8),

@@ -241,7 +241,12 @@ fn plan_split_inner(
         sep_parent = next_sep_parent;
     }
 
-    Ok(SplitPlan { separator, partitions, partition_proxies, moved_proxies })
+    Ok(SplitPlan {
+        separator,
+        partitions,
+        partition_proxies,
+        moved_proxies,
+    })
 }
 
 /// Closes a run of sibling subtrees into a partition record (or, for a
@@ -383,9 +388,17 @@ mod tests {
         );
         // The split target ½ gives a reasonably balanced first/last split.
         let left = plan.partitions.first().unwrap().record_size();
-        let right: usize = plan.partitions.iter().skip(1).map(|p| p.record_size()).sum();
+        let right: usize = plan
+            .partitions
+            .iter()
+            .skip(1)
+            .map(|p| p.record_size())
+            .sum();
         let ratio = left as f64 / (left + right) as f64;
-        assert!((0.2..=0.8).contains(&ratio), "L/R ratio {ratio} wildly unbalanced");
+        assert!(
+            (0.2..=0.8).contains(&ratio),
+            "L/R ratio {ratio} wildly unbalanced"
+        );
     }
 
     #[test]
@@ -397,7 +410,10 @@ mod tests {
             .iter()
             .filter(|p| p.node(p.root()).is_scaffolding_aggregate())
             .count();
-        assert!(with_helpers >= 1, "sibling groups need helper aggregates (h1/h2)");
+        assert!(
+            with_helpers >= 1,
+            "sibling groups need helper aggregates (h1/h2)"
+        );
         // Every proxy in the separator refers to a partition placeholder.
         assert_eq!(
             plan.partition_proxies.len(),
@@ -421,7 +437,9 @@ mod tests {
         );
         // Partition nodes keep their markers too.
         let any_marked = plan.partitions.iter().any(|p| {
-            p.pre_order(p.root()).iter().any(|&n| p.node(n).orig.is_some())
+            p.pre_order(p.root())
+                .iter()
+                .any(|&n| p.node(n).orig.is_some())
         });
         assert!(any_marked);
     }
@@ -434,12 +452,21 @@ mod tests {
         m.set(1, 14, SplitBehaviour::KeepWithParent);
         let plan = plan_split(t, &cfg(), &m, 2048).unwrap();
         let sep = &plan.separator;
-        let sep_labels: Vec<u16> =
-            sep.pre_order(sep.root()).iter().map(|&n| sep.node(n).label).collect();
-        assert!(sep_labels.contains(&14), "f14 moved into the separator: {sep_labels:?}");
+        let sep_labels: Vec<u16> = sep
+            .pre_order(sep.root())
+            .iter()
+            .map(|&n| sep.node(n).label)
+            .collect();
+        assert!(
+            sep_labels.contains(&14),
+            "f14 moved into the separator: {sep_labels:?}"
+        );
         for p in &plan.partitions {
-            let labels: Vec<u16> =
-                p.pre_order(p.root()).iter().map(|&n| p.node(n).label).collect();
+            let labels: Vec<u16> = p
+                .pre_order(p.root())
+                .iter()
+                .map(|&n| p.node(n).label)
+                .collect();
             assert!(!labels.contains(&14), "f14 must not be in a partition");
         }
     }
@@ -490,7 +517,10 @@ mod tests {
             .iter()
             .any(|pt| pt.proxies_under(pt.root()).contains(&Rid::new(42, 1)));
         assert!(in_sep || in_part);
-        assert!(plan.moved_proxies.iter().any(|&(r, _)| r == Rid::new(42, 1)));
+        assert!(plan
+            .moved_proxies
+            .iter()
+            .any(|&(r, _)| r == Rid::new(42, 1)));
     }
 
     #[test]
@@ -515,7 +545,10 @@ mod tests {
         // Facade nodes after = separator facades + partition facades;
         // scaffolding (helpers/proxies) may be added, never removed facades.
         let facades = |rt: &RecordTree| {
-            rt.pre_order(rt.root()).iter().filter(|&&n| rt.node(n).is_facade()).count()
+            rt.pre_order(rt.root())
+                .iter()
+                .filter(|&&n| rt.node(n).is_facade())
+                .count()
         };
         let after: usize =
             facades(&plan.separator) + plan.partitions.iter().map(facades).sum::<usize>();
@@ -524,7 +557,11 @@ mod tests {
         assert!(after <= count_before + plan.partitions.len());
         // No bytes lost: total serialised size ≥ original (headers added).
         let total_after: usize = plan.separator.record_size()
-            + plan.partitions.iter().map(|p| p.record_size()).sum::<usize>();
+            + plan
+                .partitions
+                .iter()
+                .map(|p| p.record_size())
+                .sum::<usize>();
         assert!(total_after + 100 >= payload_before);
     }
 }

@@ -34,7 +34,13 @@ use crate::typetable::TypeTable;
 
 /// Sentinel `orig` marker for the node being inserted: its final address
 /// surfaces as the operation's `new_node` instead of a relocation.
-const WATCH: NodePtr = NodePtr { rid: Rid { page: u32::MAX, slot: u16::MAX }, node: u16::MAX };
+const WATCH: NodePtr = NodePtr {
+    rid: Rid {
+        page: u32::MAX,
+        slot: u16::MAX,
+    },
+    node: u16::MAX,
+};
 
 /// A node moved from `old` to `new` (same identity, new address).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,7 +144,12 @@ impl TreeStore {
         matrix: SplitMatrix,
     ) -> TreeStore {
         config.validate().expect("invalid tree configuration");
-        TreeStore { sm, segment, config, matrix: parking_lot::RwLock::new(matrix) }
+        TreeStore {
+            sm,
+            segment,
+            config,
+            matrix: parking_lot::RwLock::new(matrix),
+        }
     }
 
     /// The underlying storage manager.
@@ -269,14 +280,16 @@ impl TreeStore {
         for _ in 0..2 {
             let candidate = match (hint, tried) {
                 (PlacementHint::NearPage(h), None) => {
-                    self.sm.find_page_with_space_near(self.segment, worst, h, 16)
+                    self.sm
+                        .find_page_with_space_near(self.segment, worst, h, 16)
                 }
                 (PlacementHint::NearPage(_), Some(_)) => None,
                 (PlacementHint::Anywhere, None) => {
                     self.sm.find_page_with_space(self.segment, worst, hint)
                 }
                 (PlacementHint::Anywhere, Some(t)) => {
-                    self.sm.find_page_with_space_excluding(self.segment, worst, hint, t)
+                    self.sm
+                        .find_page_with_space_excluding(self.segment, worst, hint, t)
                 }
             };
             let Some(page) = candidate else { break };
@@ -347,6 +360,44 @@ impl TreeStore {
         Ok(Some(rid))
     }
 
+    /// Bulk-append fast path (used by [`crate::bulkload`]): writes `tree`
+    /// as a new record on the cursor's current fill page, or on a freshly
+    /// allocated page when it no longer fits. Unlike [`write_new`] this
+    /// never searches the free-space inventory and never touches existing
+    /// pages — sequential bulkloads fill pages one at a time, left to
+    /// right, with no read-modify-write of earlier pages. Standalone
+    /// parent pointers of records referenced by proxies in `tree` are
+    /// patched to the new record's RID.
+    ///
+    /// [`write_new`]: Self::write_new
+    pub fn append_record(&self, tree: &RecordTree, cursor: &mut AppendCursor) -> TreeResult<Rid> {
+        let mut ctx = OpCtx::default();
+        let rid = 'placed: {
+            if let Some(page) = cursor.page {
+                if let Some(rid) = self.try_write_on_page(page, tree, &mut ctx)? {
+                    break 'placed rid;
+                }
+            }
+            let page = self.sm.allocate_page(self.segment, PageKind::Slotted)?;
+            cursor.page = Some(page);
+            match self.try_write_on_page(page, tree, &mut ctx)? {
+                Some(rid) => rid,
+                None => {
+                    return Err(TreeError::Storage(StorageError::RecordTooLarge {
+                        len: tree.record_size(),
+                        max: self.net_capacity(),
+                    }))
+                }
+            }
+        };
+        // try_write_on_page queued a parent patch for every proxy in the
+        // fresh record; apply them now (bulkloads flush children before
+        // their parent record exists, so every child is patched exactly
+        // once, when its parent is written).
+        self.apply_patches(&mut ctx)?;
+        Ok(rid)
+    }
+
     fn emit_relocations(
         &self,
         rid: Rid,
@@ -369,10 +420,18 @@ impl TreeStore {
     /// Deletes the physical record at `rid` (no cascading).
     fn delete_record_raw(&self, rid: Rid, ctx: &mut OpCtx) -> TreeResult<()> {
         ctx.deleted.insert(rid);
+        self.discard_record(rid)
+    }
+
+    /// Deletes a single physical record with no cascading and no operation
+    /// bookkeeping — used by the bulkloader to roll back flushed records
+    /// when a load is aborted.
+    pub(crate) fn discard_record(&self, rid: Rid) -> TreeResult<()> {
         let pin = self.sm.pin(rid.page)?;
         let mut buf = pin.write();
         let mut sp = SlottedPage::open(&mut buf)?;
-        sp.delete(rid.slot).map_err(|_| TreeError::Storage(StorageError::RecordNotFound(rid)))?;
+        sp.delete(rid.slot)
+            .map_err(|_| TreeError::Storage(StorageError::RecordNotFound(rid)))?;
         let free = sp.free_total();
         drop(buf);
         self.sm.note_free_space(self.segment, rid.page, free);
@@ -395,6 +454,11 @@ impl TreeStore {
         let patches = std::mem::take(&mut ctx.parent_patches);
         let mut last = std::collections::HashMap::new();
         for (child, parent) in patches {
+            if child.is_invalid() {
+                // Placeholder proxy (bulkload spine chaining): the target
+                // record does not exist yet; the bulkloader repoints it.
+                continue;
+            }
             last.insert(child, parent);
         }
         for (child, parent) in last {
@@ -445,7 +509,22 @@ impl TreeStore {
 
     /// Rewrites the proxy in `parent_rid` that pointed at `old` to point at
     /// `new` (an equal-size in-place rewrite).
-    fn repoint_proxy(&self, parent_rid: Rid, old: Rid, new: Rid) -> TreeResult<()> {
+    /// Removes a placeholder proxy (bulkload continuation slot that was
+    /// never needed) from a stored record — an in-place shrink, so it can
+    /// never fail for space.
+    pub(crate) fn remove_placeholder(&self, rid: Rid, sentinel: Rid) -> TreeResult<()> {
+        let mut tree = self.load(rid)?;
+        let Some(proxy) = find_proxy(&tree, sentinel) else {
+            return Err(TreeError::Invariant(format!(
+                "record {rid} has no placeholder proxy {sentinel}"
+            )));
+        };
+        tree.remove_subtree(proxy);
+        let mut scratch = OpCtx::default();
+        self.write_at(rid, &tree, &mut scratch)
+    }
+
+    pub(crate) fn repoint_proxy(&self, parent_rid: Rid, old: Rid, new: Rid) -> TreeResult<()> {
         let mut parent = self.load(parent_rid)?;
         let Some(proxy) = find_proxy(&parent, old) else {
             return Err(TreeError::Invariant(format!(
@@ -519,11 +598,13 @@ impl TreeStore {
             // Special case 2: "if the root node of the separator is a
             // scaffolding aggregate, it is disregarded, and the children of
             // the separator root are inserted in the parent record
-            // instead."
-            let kids: Vec<PNodeId> = separator.children(sep_root).to_vec();
-            for (i, k) in kids.into_iter().enumerate() {
+            // instead." Transplanting detaches the child, so the first
+            // child advances without copying the child list.
+            let mut i = 0;
+            while let Some(&k) = separator.children(sep_root).first() {
                 let moved = separator.transplant(k, &mut parent);
                 parent.attach(proxy_parent, at + i, moved);
+                i += 1;
             }
         } else {
             let moved = separator.transplant(sep_root, &mut parent);
@@ -571,7 +652,10 @@ impl TreeStore {
         if plan.separator.record_size() >= before
             || plan.partitions.iter().any(|p| p.record_size() >= before)
         {
-            return Err(TreeError::OversizedNode { size: before, max: self.net_capacity() });
+            return Err(TreeError::OversizedNode {
+                size: before,
+                max: self.net_capacity(),
+            });
         }
         let part_rids = self.store_partitions(plan.partitions, near, ctx)?;
         let mut separator = plan.separator;
@@ -622,7 +706,10 @@ impl TreeStore {
         let tree = self.load(sibling.rid)?;
         let parent = tree
             .try_node(sibling.node)
-            .ok_or(TreeError::BadNodePtr { rid: sibling.rid, node: sibling.node })?
+            .ok_or(TreeError::BadNodePtr {
+                rid: sibling.rid,
+                node: sibling.node,
+            })?
             .parent;
         let site = match parent {
             Some(p) => {
@@ -632,7 +719,12 @@ impl TreeStore {
                     .position(|&c| c == sibling.node)
                     .expect("child listed under its parent")
                     + 1;
-                Site { rid: sibling.rid, tree, parent_node: p, index: idx }
+                Site {
+                    rid: sibling.rid,
+                    tree,
+                    parent_node: p,
+                    index: idx,
+                }
             }
             None => {
                 // The sibling is a record root: insert after the proxy that
@@ -652,45 +744,54 @@ impl TreeStore {
                 })?;
                 let pp = ptree.node(proxy).parent.expect("proxy embedded");
                 let idx = ptree.children(pp).iter().position(|&c| c == proxy).unwrap() + 1;
-                Site { rid: parent_rid, tree: ptree, parent_node: pp, index: idx }
+                Site {
+                    rid: parent_rid,
+                    tree: ptree,
+                    parent_node: pp,
+                    index: idx,
+                }
             }
         };
         // The logical parent's label governs the split-matrix lookup.
         let lparent = self
-            .logical_parent_from(site.rid, site.parent_node, site.tree.clone())?
+            .logical_parent_from(site.rid, site.parent_node, &site.tree)?
             .ok_or_else(|| TreeError::Invariant("sibling has no logical parent".into()))?;
         self.insert_at_site(site, lparent, label, node)
     }
 
     /// Walks up from `(rid, node)` (inclusive) to the nearest facade node,
-    /// crossing record boundaries through standalone parent pointers.
+    /// crossing record boundaries through standalone parent pointers. The
+    /// starting tree is borrowed (the common case never leaves it); only
+    /// boundary crossings load further records.
     fn logical_parent_from(
         &self,
         mut rid: Rid,
         mut node: PNodeId,
-        mut tree: RecordTree,
+        tree: &RecordTree,
     ) -> TreeResult<Option<NodePtr>> {
+        let mut owned: Option<RecordTree> = None;
         loop {
-            let n = tree.node(node);
-            if n.is_facade() {
-                return Ok(Some(NodePtr::new(rid, preorder_index(&tree, node))));
-            }
-            match n.parent {
+            let (parent, parent_rid) = {
+                let t = owned.as_ref().unwrap_or(tree);
+                let n = t.node(node);
+                if n.is_facade() {
+                    return Ok(Some(NodePtr::new(rid, preorder_index(t, node))));
+                }
+                (n.parent, t.parent_rid)
+            };
+            match parent {
                 Some(p) => node = p,
                 None => {
-                    let parent_rid = tree.parent_rid;
                     if parent_rid.is_invalid() {
                         return Ok(None);
                     }
                     let ptree = self.load(parent_rid)?;
                     let proxy = find_proxy(&ptree, rid).ok_or_else(|| {
-                        TreeError::Invariant(format!(
-                            "record {parent_rid} has no proxy for {rid}"
-                        ))
+                        TreeError::Invariant(format!("record {parent_rid} has no proxy for {rid}"))
                     })?;
                     node = ptree.node(proxy).parent.expect("proxy embedded");
                     rid = parent_rid;
-                    tree = ptree;
+                    owned = Some(ptree);
                 }
             }
         }
@@ -708,7 +809,10 @@ impl TreeStore {
         };
         let standalone = crate::model::STANDALONE_HEADER + body;
         if standalone > self.net_capacity() {
-            return Err(TreeError::OversizedNode { size: standalone, max: self.net_capacity() });
+            return Err(TreeError::OversizedNode {
+                size: standalone,
+                max: self.net_capacity(),
+            });
         }
         Ok(())
     }
@@ -729,10 +833,14 @@ impl TreeStore {
                     .map(|n| n.label)
             } else {
                 let t = self.load(logical_parent.rid)?;
-                t.try_node(preorder_to_arena(&t, logical_parent.node)).map(|n| n.label)
+                t.try_node(preorder_to_arena(&t, logical_parent.node))
+                    .map(|n| n.label)
             }
         }
-        .ok_or(TreeError::BadNodePtr { rid: logical_parent.rid, node: logical_parent.node })?;
+        .ok_or(TreeError::BadNodePtr {
+            rid: logical_parent.rid,
+            node: logical_parent.node,
+        })?;
 
         let behaviour = self.matrix.read().get(parent_label, label);
         let mut ctx = OpCtx::default();
@@ -776,11 +884,15 @@ impl TreeStore {
     fn resolve_site(&self, parent: NodePtr, pos: InsertPos) -> TreeResult<Site> {
         let tree = self.load(parent.rid)?;
         let pnode = preorder_to_arena(&tree, parent.node);
-        let n = tree
-            .try_node(pnode)
-            .ok_or(TreeError::BadNodePtr { rid: parent.rid, node: parent.node })?;
+        let n = tree.try_node(pnode).ok_or(TreeError::BadNodePtr {
+            rid: parent.rid,
+            node: parent.node,
+        })?;
         if !matches!(n.content, PContent::Aggregate(_)) {
-            return Err(TreeError::NotAnAggregate { rid: parent.rid, node: parent.node });
+            return Err(TreeError::NotAnAggregate {
+                rid: parent.rid,
+                node: parent.node,
+            });
         }
         match pos {
             InsertPos::First => self.resolve_edge(parent.rid, tree, pnode, true),
@@ -807,10 +919,17 @@ impl TreeStore {
                 Some((_, t)) => (t, t.root()),
                 None => (&tree, node),
             };
-            let Some(c) = edge_child(t, n, first) else { break };
-            let PContent::Proxy(target) = t.node(c).content else { break };
+            let Some(c) = edge_child(t, n, first) else {
+                break;
+            };
+            let PContent::Proxy(target) = t.node(c).content else {
+                break;
+            };
             let child_tree = self.load(target)?;
-            if !child_tree.node(child_tree.root()).is_scaffolding_aggregate() {
+            if !child_tree
+                .node(child_tree.root())
+                .is_scaffolding_aggregate()
+            {
                 break; // facade-rooted record is a logical child itself
             }
             deep = Some((target, child_tree));
@@ -818,7 +937,12 @@ impl TreeStore {
         match deep {
             None => {
                 let index = if first { 0 } else { tree.children(node).len() };
-                Ok(Site { rid, tree, parent_node: node, index })
+                Ok(Site {
+                    rid,
+                    tree,
+                    parent_node: node,
+                    index,
+                })
             }
             Some((drid, dtree)) => {
                 // "Wherever there is more free space": parent record vs the
@@ -827,11 +951,25 @@ impl TreeStore {
                 let deep_free = self.sm.page_free_space(drid.page)?;
                 if deep_free > shallow_free {
                     let droot = dtree.root();
-                    let index = if first { 0 } else { dtree.children(droot).len() };
-                    Ok(Site { rid: drid, tree: dtree, parent_node: droot, index })
+                    let index = if first {
+                        0
+                    } else {
+                        dtree.children(droot).len()
+                    };
+                    Ok(Site {
+                        rid: drid,
+                        tree: dtree,
+                        parent_node: droot,
+                        index,
+                    })
                 } else {
                     let index = if first { 0 } else { tree.children(node).len() };
-                    Ok(Site { rid, tree, parent_node: node, index })
+                    Ok(Site {
+                        rid,
+                        tree,
+                        parent_node: node,
+                        index,
+                    })
                 }
             }
         }
@@ -843,34 +981,38 @@ impl TreeStore {
         if k == 0 {
             return self.resolve_edge(rid, tree, node, true);
         }
-        // Walk the expanded logical child list, consuming k children.
+        // Walk the expanded logical child list, consuming k children. The
+        // child list is indexed in place — nothing here mutates the trees,
+        // so no copy of the list is needed.
         let mut remaining = k;
         let mut stack: Vec<(Rid, RecordTree, PNodeId, usize)> = vec![(rid, tree, node, 0)];
         while let Some((crid, ctree, cnode, start)) = stack.pop() {
-            let kids: Vec<PNodeId> = ctree.children(cnode).to_vec();
             let mut idx = start;
-            let mut descended = false;
-            while idx < kids.len() {
-                let c = kids[idx];
+            while idx < ctree.children(cnode).len() {
+                let c = ctree.children(cnode)[idx];
                 if let PContent::Proxy(target) = ctree.node(c).content {
                     let child_tree = self.load(target)?;
-                    if child_tree.node(child_tree.root()).is_scaffolding_aggregate() {
+                    if child_tree
+                        .node(child_tree.root())
+                        .is_scaffolding_aggregate()
+                    {
                         let root = child_tree.root();
                         stack.push((crid, ctree, cnode, idx + 1));
                         stack.push((target, child_tree, root, 0));
-                        descended = true;
                         break;
                     }
                     // A facade-rooted record counts as one logical child.
                 }
                 remaining -= 1;
                 if remaining == 0 {
-                    return Ok(Site { rid: crid, tree: ctree, parent_node: cnode, index: idx + 1 });
+                    return Ok(Site {
+                        rid: crid,
+                        tree: ctree,
+                        parent_node: cnode,
+                        index: idx + 1,
+                    });
                 }
                 idx += 1;
-            }
-            if descended {
-                continue;
             }
         }
         // Fewer than k logical children: append at the end.
@@ -887,11 +1029,15 @@ impl TreeStore {
     pub fn update_literal(&self, ptr: NodePtr, value: LiteralValue) -> TreeResult<OpResult> {
         let mut tree = self.load(ptr.rid)?;
         let arena = preorder_to_arena(&tree, ptr.node);
-        let n = tree
-            .try_node(arena)
-            .ok_or(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node })?;
+        let n = tree.try_node(arena).ok_or(TreeError::BadNodePtr {
+            rid: ptr.rid,
+            node: ptr.node,
+        })?;
         if !matches!(n.content, PContent::Literal(_)) {
-            return Err(TreeError::NotALiteral { rid: ptr.rid, node: ptr.node });
+            return Err(TreeError::NotALiteral {
+                rid: ptr.rid,
+                node: ptr.node,
+            });
         }
         self.check_node_size(&NewNode::Literal(value.clone()))?;
         tree.node_mut(arena).content = PContent::Literal(value);
@@ -909,7 +1055,10 @@ impl TreeStore {
         let tree = self.load(ptr.rid)?;
         let arena = preorder_to_arena(&tree, ptr.node);
         if tree.try_node(arena).is_none() {
-            return Err(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node });
+            return Err(TreeError::BadNodePtr {
+                rid: ptr.rid,
+                node: ptr.node,
+            });
         }
         if arena == tree.root() {
             let parent_rid = tree.parent_rid;
@@ -932,12 +1081,7 @@ impl TreeStore {
     /// After removing nodes from `rid`'s tree: delete the record if it
     /// became empty scaffolding, otherwise rewrite it (and optionally try
     /// to merge, §1's "merged into clusters").
-    fn finish_after_removal(
-        &self,
-        rid: Rid,
-        tree: RecordTree,
-        ctx: &mut OpCtx,
-    ) -> TreeResult<()> {
+    fn finish_after_removal(&self, rid: Rid, tree: RecordTree, ctx: &mut OpCtx) -> TreeResult<()> {
         let root = tree.root();
         if tree.node(root).is_scaffolding_aggregate() && tree.children(root).is_empty() {
             let parent_rid = tree.parent_rid;
@@ -1006,7 +1150,9 @@ impl TreeStore {
                     break;
                 }
             }
-            let Some((proxy, target)) = candidate else { return Ok(()) };
+            let Some((proxy, target)) = candidate else {
+                return Ok(());
+            };
             let child = self.load(target)?;
             let child_body = child.body_len(child.root());
             let inline_growth = if child.node(child.root()).is_scaffolding_aggregate() {
@@ -1022,13 +1168,18 @@ impl TreeStore {
             }
             let mut child = child;
             let pparent = tree.node(proxy).parent.expect("proxy embedded");
-            let at = tree.children(pparent).iter().position(|&c| c == proxy).unwrap();
+            let at = tree
+                .children(pparent)
+                .iter()
+                .position(|&c| c == proxy)
+                .unwrap();
             tree.remove_subtree(proxy);
             if child.node(child.root()).is_scaffolding_aggregate() {
-                let kids: Vec<PNodeId> = child.children(child.root()).to_vec();
-                for (i, k) in kids.into_iter().enumerate() {
+                let mut i = 0;
+                while let Some(&k) = child.children(child.root()).first() {
                     let moved = child.transplant(k, tree);
                     tree.attach(pparent, at + i, moved);
+                    i += 1;
                 }
             } else {
                 let root = child.root();
@@ -1050,9 +1201,10 @@ impl TreeStore {
     pub fn node_info(&self, ptr: NodePtr) -> TreeResult<NodeInfo> {
         let tree = self.load(ptr.rid)?;
         let arena = preorder_to_arena(&tree, ptr.node);
-        let n = tree
-            .try_node(arena)
-            .ok_or(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node })?;
+        let n = tree.try_node(arena).ok_or(TreeError::BadNodePtr {
+            rid: ptr.rid,
+            node: ptr.node,
+        })?;
         Ok(NodeInfo {
             label: n.label,
             value: match &n.content {
@@ -1070,7 +1222,10 @@ impl TreeStore {
         let tree = self.load(ptr.rid)?;
         let arena = preorder_to_arena(&tree, ptr.node);
         if tree.try_node(arena).is_none() {
-            return Err(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node });
+            return Err(TreeError::BadNodePtr {
+                rid: ptr.rid,
+                node: ptr.node,
+            });
         }
         let mut out = Vec::new();
         self.expand_children(ptr.rid, &tree, arena, &mut out)?;
@@ -1113,7 +1268,10 @@ impl TreeStore {
         let tree = self.load(ptr.rid)?;
         let arena = preorder_to_arena(&tree, ptr.node);
         if tree.try_node(arena).is_none() {
-            return Err(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node });
+            return Err(TreeError::BadNodePtr {
+                rid: ptr.rid,
+                node: ptr.node,
+            });
         }
         self.expand_children_lazy(ptr.rid, &tree, arena, f)
     }
@@ -1158,10 +1316,13 @@ impl TreeStore {
         let arena = preorder_to_arena(&tree, ptr.node);
         let parent = tree
             .try_node(arena)
-            .ok_or(TreeError::BadNodePtr { rid: ptr.rid, node: ptr.node })?
+            .ok_or(TreeError::BadNodePtr {
+                rid: ptr.rid,
+                node: ptr.node,
+            })?
             .parent;
         match parent {
-            Some(p) => self.logical_parent_from(ptr.rid, p, tree),
+            Some(p) => self.logical_parent_from(ptr.rid, p, &tree),
             None => {
                 let parent_rid = tree.parent_rid;
                 if parent_rid.is_invalid() {
@@ -1175,9 +1336,28 @@ impl TreeStore {
                     ))
                 })?;
                 let pp = ptree.node(proxy).parent.expect("proxy embedded");
-                self.logical_parent_from(parent_rid, pp, ptree)
+                self.logical_parent_from(parent_rid, pp, &ptree)
             }
         }
+    }
+}
+
+/// Placement state of a sequential bulk append: the page currently being
+/// filled. See [`TreeStore::append_record`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AppendCursor {
+    page: Option<u32>,
+}
+
+impl AppendCursor {
+    /// A cursor that will allocate its first page on first use.
+    pub fn new() -> AppendCursor {
+        AppendCursor::default()
+    }
+
+    /// The page currently being filled, if any.
+    pub fn page(&self) -> Option<u32> {
+        self.page
     }
 }
 
@@ -1220,5 +1400,3 @@ fn edge_child(tree: &RecordTree, node: PNodeId, first: bool) -> Option<PNodeId> 
         kids.last().copied()
     }
 }
-
-

@@ -120,7 +120,10 @@ impl TypeTable {
 
     /// Index of an existing entry.
     pub fn find(&self, kind: ContentKind, label: LabelId) -> Option<u16> {
-        self.entries.iter().position(|&e| e == (kind, label)).map(|i| i as u16)
+        self.entries
+            .iter()
+            .position(|&e| e == (kind, label))
+            .map(|i| i as u16)
     }
 
     /// Index of an entry, appending it if new. Returns `(index, grew)`.
@@ -128,7 +131,10 @@ impl TypeTable {
         if let Some(i) = self.find(kind, label) {
             return (i, false);
         }
-        assert!(self.entries.len() < u16::MAX as usize, "type table exhausted");
+        assert!(
+            self.entries.len() < u16::MAX as usize,
+            "type table exhausted"
+        );
         self.entries.push((kind, label));
         ((self.entries.len() - 1) as u16, true)
     }
@@ -189,8 +195,14 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert!(TypeTable::decode(&[]).is_err());
-        assert!(TypeTable::decode(&[5, 0, 1]).is_err(), "count says 5, data truncated");
-        assert!(TypeTable::decode(&[1, 0, 99, 0, 0]).is_err(), "bad kind byte");
+        assert!(
+            TypeTable::decode(&[5, 0, 1]).is_err(),
+            "count says 5, data truncated"
+        );
+        assert!(
+            TypeTable::decode(&[1, 0, 99, 0, 0]).is_err(),
+            "bad kind byte"
+        );
     }
 
     #[test]

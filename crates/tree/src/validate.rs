@@ -47,73 +47,65 @@ pub struct PhysicalStats {
 }
 
 /// Validates all invariants of the tree rooted at record `root` and
-/// returns its statistics.
+/// returns its statistics. Iterative over an explicit work list: the
+/// record tree can be deep (chained group records), so call-stack
+/// recursion would overflow before the proxy graph ran out.
 pub fn check_tree(store: &TreeStore, root: Rid) -> TreeResult<PhysicalStats> {
     let mut stats = PhysicalStats::default();
     let mut seen: HashSet<Rid> = HashSet::new();
     let mut pages: HashSet<u32> = HashSet::new();
-    check_record(store, root, Rid::invalid(), 1, &mut stats, &mut seen, &mut pages)?;
-    stats.pages = pages.len();
-    Ok(stats)
-}
-
-fn check_record(
-    store: &TreeStore,
-    rid: Rid,
-    expected_parent: Rid,
-    depth: usize,
-    stats: &mut PhysicalStats,
-    seen: &mut HashSet<Rid>,
-    pages: &mut HashSet<u32>,
-) -> TreeResult<()> {
-    if !seen.insert(rid) {
-        return Err(TreeError::Invariant(format!(
-            "record {rid} reached twice: proxy graph is not a tree"
-        )));
-    }
-    let tree = store.load(rid)?; // invariant 1: parses
-    if tree.parent_rid != expected_parent {
-        return Err(TreeError::Invariant(format!(
-            "record {rid}: standalone parent {} but reached from {expected_parent}",
-            tree.parent_rid
-        )));
-    }
-    let size = tree.record_size();
-    if size > store.net_capacity() {
-        return Err(TreeError::Invariant(format!(
-            "record {rid}: {size} bytes exceeds net capacity {}",
-            store.net_capacity()
-        )));
-    }
-    stats.records += 1;
-    stats.record_bytes += size;
-    stats.record_depth = stats.record_depth.max(depth);
-    pages.insert(rid.page);
-    for id in tree.pre_order(tree.root()) {
-        let n = tree.node(id);
-        match &n.content {
-            PContent::Proxy(target) => {
-                if n.label != natix_xml::LABEL_NONE {
-                    return Err(TreeError::Invariant(format!(
-                        "record {rid}: proxy node {id} carries label {}",
-                        n.label
-                    )));
+    let mut work: Vec<(Rid, Rid, usize)> = vec![(root, Rid::invalid(), 1)];
+    while let Some((rid, expected_parent, depth)) = work.pop() {
+        if !seen.insert(rid) {
+            return Err(TreeError::Invariant(format!(
+                "record {rid} reached twice: proxy graph is not a tree"
+            )));
+        }
+        let tree = store.load(rid)?; // invariant 1: parses
+        if tree.parent_rid != expected_parent {
+            return Err(TreeError::Invariant(format!(
+                "record {rid}: standalone parent {} but reached from {expected_parent}",
+                tree.parent_rid
+            )));
+        }
+        let size = tree.record_size();
+        if size > store.net_capacity() {
+            return Err(TreeError::Invariant(format!(
+                "record {rid}: {size} bytes exceeds net capacity {}",
+                store.net_capacity()
+            )));
+        }
+        stats.records += 1;
+        stats.record_bytes += size;
+        stats.record_depth = stats.record_depth.max(depth);
+        pages.insert(rid.page);
+        for id in tree.pre_order(tree.root()) {
+            let n = tree.node(id);
+            match &n.content {
+                PContent::Proxy(target) => {
+                    if n.label != natix_xml::LABEL_NONE {
+                        return Err(TreeError::Invariant(format!(
+                            "record {rid}: proxy node {id} carries label {}",
+                            n.label
+                        )));
+                    }
+                    stats.proxies += 1;
+                    work.push((*target, rid, depth + 1));
                 }
-                stats.proxies += 1;
-                check_record(store, *target, rid, depth + 1, stats, seen, pages)?;
-            }
-            PContent::Aggregate(_) if n.is_scaffolding_aggregate() => {
-                if id != tree.root() {
-                    return Err(TreeError::Invariant(format!(
-                        "record {rid}: scaffolding aggregate {id} is not the record root"
-                    )));
+                PContent::Aggregate(_) if n.is_scaffolding_aggregate() => {
+                    if id != tree.root() {
+                        return Err(TreeError::Invariant(format!(
+                            "record {rid}: scaffolding aggregate {id} is not the record root"
+                        )));
+                    }
+                    stats.scaffolding_aggregates += 1;
                 }
-                stats.scaffolding_aggregates += 1;
+                _ => stats.facade_nodes += 1,
             }
-            _ => stats.facade_nodes += 1,
         }
     }
-    Ok(())
+    stats.pages = pages.len();
+    Ok(stats)
 }
 
 /// Statistics without the invariant failures (tolerates e.g. merged or

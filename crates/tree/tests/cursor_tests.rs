@@ -8,7 +8,12 @@ use natix_xml::{LiteralValue, LABEL_TEXT};
 
 fn mk_store(page_size: usize, matrix: SplitMatrix) -> TreeStore {
     let backend = Arc::new(MemStorage::new(page_size).unwrap());
-    let bm = Arc::new(BufferManager::new(backend, 256, EvictionPolicy::Lru, IoStats::new_shared()));
+    let bm = Arc::new(BufferManager::new(
+        backend,
+        256,
+        EvictionPolicy::Lru,
+        IoStats::new_shared(),
+    ));
     let sm = Arc::new(StorageManager::create(bm).unwrap());
     let seg = sm.create_segment("docs").unwrap();
     TreeStore::new(sm, seg, TreeConfig::paper(), matrix)
@@ -21,7 +26,9 @@ fn build_wide(store: &TreeStore) -> natix_storage::Rid {
     let mut root_ptr = natix_tree::NodePtr::new(root, 0);
     let mut root_rid = root;
     for i in 0..40 {
-        let res = store.insert(root_ptr, InsertPos::Last, 2, NewNode::Element).unwrap();
+        let res = store
+            .insert(root_ptr, InsertPos::Last, 2, NewNode::Element)
+            .unwrap();
         if let Some((old, new)) = res.root_moved {
             if old == root_rid {
                 root_rid = new;
@@ -40,7 +47,10 @@ fn build_wide(store: &TreeStore) -> natix_storage::Rid {
                 item,
                 InsertPos::Last,
                 LABEL_TEXT,
-                NewNode::Literal(LiteralValue::String(format!("text {i} {}", "pad".repeat(6)))),
+                NewNode::Literal(LiteralValue::String(format!(
+                    "text {i} {}",
+                    "pad".repeat(6)
+                ))),
             )
             .unwrap();
         if let Some((old, new)) = res2.root_moved {

@@ -22,8 +22,11 @@ struct H {
 
 impl H {
     fn apply(&mut self, res: &OpResult) {
-        let moved: Vec<(Option<NodeIdx>, NodePtr)> =
-            res.relocations.iter().map(|r| (self.rev.remove(&r.old), r.new)).collect();
+        let moved: Vec<(Option<NodeIdx>, NodePtr)> = res
+            .relocations
+            .iter()
+            .map(|r| (self.rev.remove(&r.old), r.new))
+            .collect();
         for (idx, new) in moved {
             if let Some(i) = idx {
                 self.map.insert(i, new);
@@ -41,7 +44,12 @@ impl H {
 #[test]
 fn standalone_insert_sequence() {
     let backend = Arc::new(MemStorage::new(1024).unwrap());
-    let bm = Arc::new(BufferManager::new(backend, 256, EvictionPolicy::Lru, IoStats::new_shared()));
+    let bm = Arc::new(BufferManager::new(
+        backend,
+        256,
+        EvictionPolicy::Lru,
+        IoStats::new_shared(),
+    ));
     let sm = Arc::new(StorageManager::create(bm).unwrap());
     let seg = sm.create_segment("docs").unwrap();
     let store = TreeStore::new(sm, seg, TreeConfig::paper(), SplitMatrix::all_standalone());
@@ -61,17 +69,42 @@ fn standalone_insert_sequence() {
     let ops: Vec<(usize, usize, u16, Option<usize>)> = vec![
         (0, 0, 4, None),
         (3463352798048616484, 2176683219257896540, 5, None),
-        (16547482297019661615, 3375051007501521340, LABEL_TEXT, Some(31)),
+        (
+            16547482297019661615,
+            3375051007501521340,
+            LABEL_TEXT,
+            Some(31),
+        ),
         (9680681321423435532, 12833229158990715196, 5, None),
         (16688179498362267752, 6935415870376316847, 2, None),
         (15239617208003563711, 7102741452124097322, 5, None),
-        (6289115770950463494, 8308735912830452621, LABEL_TEXT, Some(34)),
+        (
+            6289115770950463494,
+            8308735912830452621,
+            LABEL_TEXT,
+            Some(34),
+        ),
         (14463592814163842391, 17190842004108994094, 6, None),
         (7961002646956014678, 10655555731747165897, 5, None),
-        (2318479113638696998, 13222850106980302339, LABEL_TEXT, Some(29)),
-        (6887953147433770219, 1500255433811445820, LABEL_TEXT, Some(18)),
+        (
+            2318479113638696998,
+            13222850106980302339,
+            LABEL_TEXT,
+            Some(29),
+        ),
+        (
+            6887953147433770219,
+            1500255433811445820,
+            LABEL_TEXT,
+            Some(18),
+        ),
         (1130890726818129679, 5216393186615953481, 3, None),
-        (16851267365394323428, 8783501312474862137, LABEL_TEXT, Some(8)),
+        (
+            16851267365394323428,
+            8783501312474862137,
+            LABEL_TEXT,
+            Some(8),
+        ),
         (8536952172825370729, 3704771442065470959, 5, None),
     ];
 
@@ -88,7 +121,11 @@ fn standalone_insert_sequence() {
             0 => (InsertPos::First, 0),
             1 => (InsertPos::Last, nkids),
             _ => {
-                let k = if nkids == 0 { 0 } else { pos_seed % (nkids + 1) };
+                let k = if nkids == 0 {
+                    0
+                } else {
+                    pos_seed % (nkids + 1)
+                };
                 (InsertPos::At(k), k.min(nkids))
             }
         };
@@ -98,7 +135,10 @@ fn standalone_insert_sequence() {
         };
         let data = match &node {
             NewNode::Element => NodeData::Element(label),
-            NewNode::Literal(v) => NodeData::Literal { label, value: v.clone() },
+            NewNode::Literal(v) => NodeData::Literal {
+                label,
+                value: v.clone(),
+            },
         };
         let res = h.store.insert(h.map[&parent], pos, label, node).unwrap();
         h.apply(&res);
@@ -119,7 +159,8 @@ fn standalone_insert_sequence() {
                 .map(|s| format!("{s}:{}B", sp.get(s).unwrap().len()))
                 .collect();
             eprintln!("  page {page} free={free}: {slots:?}");
-            sp.check_invariants().unwrap_or_else(|e| panic!("op {i} page {page}: {e}"));
+            sp.check_invariants()
+                .unwrap_or_else(|e| panic!("op {i} page {page}: {e}"));
             for s in sp.live_slots().filter(|&s| s != 0) {
                 let rid = Rid::new(page, s);
                 match h.store.load(rid) {

@@ -40,8 +40,11 @@ struct H {
 
 impl H {
     fn apply(&mut self, res: &OpResult) {
-        let moved: Vec<(Option<NodeIdx>, NodePtr)> =
-            res.relocations.iter().map(|r| (self.rev.remove(&r.old), r.new)).collect();
+        let moved: Vec<(Option<NodeIdx>, NodePtr)> = res
+            .relocations
+            .iter()
+            .map(|r| (self.rev.remove(&r.old), r.new))
+            .collect();
         for (idx, new) in moved {
             if let Some(i) = idx {
                 self.map.insert(i, new);
@@ -58,7 +61,10 @@ impl H {
     fn verify(&self, seed: u64, op: usize, desc: &str) {
         let rebuilt = reconstruct_document(&self.store, self.root_rid)
             .unwrap_or_else(|e| panic!("seed {seed} op {op} ({desc}): reconstruct: {e}"));
-        assert!(rebuilt == self.doc, "seed {seed} op {op} ({desc}): diverged");
+        assert!(
+            rebuilt == self.doc,
+            "seed {seed} op {op} ({desc}): diverged"
+        );
         check_tree(&self.store, self.root_rid)
             .unwrap_or_else(|e| panic!("seed {seed} op {op} ({desc}): {e}"));
         // The logical↔physical map must agree with the store, including
@@ -100,10 +106,18 @@ impl H {
 fn run(seed: u64, nops: usize, verify_each: bool) {
     let mut rng = Rng(seed);
     let backend = Arc::new(MemStorage::new(512).unwrap());
-    let bm = Arc::new(BufferManager::new(backend, 256, EvictionPolicy::Lru, IoStats::new_shared()));
+    let bm = Arc::new(BufferManager::new(
+        backend,
+        256,
+        EvictionPolicy::Lru,
+        IoStats::new_shared(),
+    ));
     let sm = Arc::new(StorageManager::create(bm).unwrap());
     let seg = sm.create_segment("docs").unwrap();
-    let config = TreeConfig { merge_enabled: true, ..TreeConfig::paper() };
+    let config = TreeConfig {
+        merge_enabled: true,
+        ..TreeConfig::paper()
+    };
     let store = TreeStore::new(sm, seg, config, SplitMatrix::all_other());
     let root_rid = store.create_tree(1).unwrap();
     let mut h = H {
@@ -173,9 +187,14 @@ fn run(seed: u64, nops: usize, verify_each: bool) {
             desc = d;
             let data = match &node {
                 NewNode::Element => NodeData::Element(label),
-                NewNode::Literal(v) => NodeData::Literal { label, value: v.clone() },
+                NewNode::Literal(v) => NodeData::Literal {
+                    label,
+                    value: v.clone(),
+                },
             };
-            let res = h.store.insert(h.map[&parent], pos, label, node)
+            let res = h
+                .store
+                .insert(h.map[&parent], pos, label, node)
                 .unwrap_or_else(|e| panic!("seed {seed} op {op} insert: {e}"));
             let idx = h.doc.insert_child(parent, spos, data);
             h.apply(&res);
@@ -232,7 +251,9 @@ fn run(seed: u64, nops: usize, verify_each: bool) {
             }
             let target = lits[rng.below(lits.len())];
             let value = LiteralValue::String("u".repeat(rng.below(80)));
-            let res = h.store.update_literal(h.map[&target], value.clone())
+            let res = h
+                .store
+                .update_literal(h.map[&target], value.clone())
                 .unwrap_or_else(|e| panic!("seed {seed} op {op} update: {e}"));
             h.apply(&res);
             if let NodeData::Literal { value: v, .. } = h.doc.data_mut(target) {

@@ -6,11 +6,13 @@
 //! configuration; replay the sequence against both the store and an
 //! in-memory shadow document; then demand (a) reconstruction equality and
 //! (b) all physical invariants of `check_tree`.
+//!
+//! The build environment has no network access, so instead of `proptest`
+//! the cases are driven by a small deterministic SplitMix64 generator over
+//! many seeds — same shadow-model properties, reproducible by seed.
 
 use std::collections::HashMap;
 use std::sync::Arc;
-
-use proptest::prelude::*;
 
 use natix_storage::{BufferManager, EvictionPolicy, IoStats, MemStorage, Rid, StorageManager};
 use natix_tree::{
@@ -19,53 +21,77 @@ use natix_tree::{
 };
 use natix_xml::{Document, LiteralValue, NodeData, NodeIdx, LABEL_TEXT};
 
+use natix_corpus::SplitMix64 as Gen;
+
+fn f64_range(g: &mut Gen, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * (g.next_u64() as f64 / u64::MAX as f64)
+}
+
 #[derive(Debug, Clone)]
 enum Op {
     /// Insert an element under the `target`-th live element, at position
     /// `pos_seed`.
-    InsertElement { target: usize, pos_seed: usize, label: u16 },
+    InsertElement {
+        target: usize,
+        pos_seed: usize,
+        label: u16,
+    },
     /// Insert a text literal of the given length.
-    InsertText { target: usize, pos_seed: usize, len: usize },
+    InsertText {
+        target: usize,
+        pos_seed: usize,
+        len: usize,
+    },
     /// Delete the `target`-th live non-root node's subtree.
     Delete { target: usize },
     /// Replace the `target`-th live literal's value.
     Update { target: usize, len: usize },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (any::<usize>(), any::<usize>(), 2u16..8).prop_map(|(target, pos_seed, label)| {
-            Op::InsertElement { target, pos_seed, label }
-        }),
-        4 => (any::<usize>(), any::<usize>(), 0usize..60).prop_map(|(target, pos_seed, len)| {
-            Op::InsertText { target, pos_seed, len }
-        }),
-        1 => any::<usize>().prop_map(|target| Op::Delete { target }),
-        1 => (any::<usize>(), 0usize..80).prop_map(|(target, len)| Op::Update { target, len }),
-    ]
+fn random_op(g: &mut Gen) -> Op {
+    match g.below(10) {
+        0..=3 => Op::InsertElement {
+            target: g.below(usize::MAX / 2),
+            pos_seed: g.below(usize::MAX / 2),
+            label: g.range(2, 8) as u16,
+        },
+        4..=7 => Op::InsertText {
+            target: g.below(usize::MAX / 2),
+            pos_seed: g.below(usize::MAX / 2),
+            len: g.below(60),
+        },
+        8 => Op::Delete {
+            target: g.below(usize::MAX / 2),
+        },
+        _ => Op::Update {
+            target: g.below(usize::MAX / 2),
+            len: g.below(80),
+        },
+    }
 }
 
-fn matrix_strategy() -> impl Strategy<Value = SplitMatrix> {
+fn random_ops(g: &mut Gen, lo: usize, hi: usize) -> Vec<Op> {
+    let n = g.range(lo, hi);
+    (0..n).map(|_| random_op(g)).collect()
+}
+
+fn random_matrix(g: &mut Gen) -> SplitMatrix {
     // A default behaviour plus a handful of overrides.
-    (
-        prop_oneof![
-            4 => Just(SplitBehaviour::Other),
-            1 => Just(SplitBehaviour::Standalone),
-        ],
-        proptest::collection::vec((2u16..8, 2u16..8, 0u8..3), 0..6),
-    )
-        .prop_map(|(default, overrides)| {
-            let mut m = SplitMatrix::with_default(default);
-            for (p, c, b) in overrides {
-                let b = match b {
-                    0 => SplitBehaviour::Standalone,
-                    1 => SplitBehaviour::KeepWithParent,
-                    _ => SplitBehaviour::Other,
-                };
-                m.set(p, c, b);
-            }
-            m
-        })
+    let default = if g.below(5) == 0 {
+        SplitBehaviour::Standalone
+    } else {
+        SplitBehaviour::Other
+    };
+    let mut m = SplitMatrix::with_default(default);
+    for _ in 0..g.below(6) {
+        let b = match g.below(3) {
+            0 => SplitBehaviour::Standalone,
+            1 => SplitBehaviour::KeepWithParent,
+            _ => SplitBehaviour::Other,
+        };
+        m.set(g.range(2, 8) as u16, g.range(2, 8) as u16, b);
+    }
+    m
 }
 
 struct Harness {
@@ -80,8 +106,12 @@ struct Harness {
 impl Harness {
     fn new(page_size: usize, matrix: SplitMatrix, config: TreeConfig) -> Harness {
         let backend = Arc::new(MemStorage::new(page_size).unwrap());
-        let bm =
-            Arc::new(BufferManager::new(backend, 256, EvictionPolicy::Lru, IoStats::new_shared()));
+        let bm = Arc::new(BufferManager::new(
+            backend,
+            256,
+            EvictionPolicy::Lru,
+            IoStats::new_shared(),
+        ));
         let sm = Arc::new(StorageManager::create(bm).unwrap());
         let seg = sm.create_segment("docs").unwrap();
         let store = TreeStore::new(sm, seg, config, matrix);
@@ -104,8 +134,11 @@ impl Harness {
     }
 
     fn apply(&mut self, res: &OpResult) {
-        let moved: Vec<(Option<NodeIdx>, NodePtr)> =
-            res.relocations.iter().map(|r| (self.rev.remove(&r.old), r.new)).collect();
+        let moved: Vec<(Option<NodeIdx>, NodePtr)> = res
+            .relocations
+            .iter()
+            .map(|r| (self.rev.remove(&r.old), r.new))
+            .collect();
         for (idx, new) in moved {
             if let Some(i) = idx {
                 self.map.insert(i, new);
@@ -135,15 +168,25 @@ impl Harness {
             0 => (InsertPos::First, 0),
             1 => (InsertPos::Last, nkids),
             _ => {
-                let k = if nkids == 0 { 0 } else { pos_seed % (nkids + 1) };
+                let k = if nkids == 0 {
+                    0
+                } else {
+                    pos_seed % (nkids + 1)
+                };
                 (InsertPos::At(k), k.min(nkids))
             }
         };
         let data = match &node {
             NewNode::Element => NodeData::Element(label),
-            NewNode::Literal(v) => NodeData::Literal { label, value: v.clone() },
+            NewNode::Literal(v) => NodeData::Literal {
+                label,
+                value: v.clone(),
+            },
         };
-        let res = self.store.insert(self.map[&parent], pos, label, node).unwrap();
+        let res = self
+            .store
+            .insert(self.map[&parent], pos, label, node)
+            .unwrap();
         self.apply(&res);
         let idx = self.doc.insert_child(parent, shadow_pos, data);
         self.bind(idx, res.new_node.expect("new node reported"));
@@ -151,8 +194,7 @@ impl Harness {
     }
 
     fn delete(&mut self, seed: usize) {
-        let candidates: Vec<NodeIdx> =
-            self.live.iter().copied().filter(|&n| n != 0).collect();
+        let candidates: Vec<NodeIdx> = self.live.iter().copied().filter(|&n| n != 0).collect();
         if candidates.is_empty() {
             return;
         }
@@ -183,7 +225,10 @@ impl Harness {
         }
         let target = lits[seed % lits.len()];
         let value = LiteralValue::String("u".repeat(len));
-        let res = self.store.update_literal(self.map[&target], value.clone()).unwrap();
+        let res = self
+            .store
+            .update_literal(self.map[&target], value.clone())
+            .unwrap();
         self.apply(&res);
         if let NodeData::Literal { value: v, .. } = self.doc.data_mut(target) {
             *v = value;
@@ -201,12 +246,20 @@ fn run_ops(page_size: usize, matrix: SplitMatrix, config: TreeConfig, ops: &[Op]
     let mut h = Harness::new(page_size, matrix, config);
     for op in ops {
         match op {
-            Op::InsertElement { target, pos_seed, label } => {
+            Op::InsertElement {
+                target,
+                pos_seed,
+                label,
+            } => {
                 if let Some(parent) = h.pick_element(*target) {
                     h.insert(parent, *pos_seed, *label, NewNode::Element);
                 }
             }
-            Op::InsertText { target, pos_seed, len } => {
+            Op::InsertText {
+                target,
+                pos_seed,
+                len,
+            } => {
                 if let Some(parent) = h.pick_element(*target) {
                     let text = LiteralValue::String("t".repeat(*len));
                     h.insert(parent, *pos_seed, LABEL_TEXT, NewNode::Literal(text));
@@ -219,41 +272,46 @@ fn run_ops(page_size: usize, matrix: SplitMatrix, config: TreeConfig, ops: &[Op]
     h.verify();
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    #[test]
-    fn random_ops_preserve_document(
-        ops in proptest::collection::vec(op_strategy(), 1..120),
-        page_size in prop_oneof![Just(512usize), Just(1024), Just(2048)],
-        matrix in matrix_strategy(),
-        split_target in 0.2f64..0.8,
-        split_tolerance in 0.02f64..0.3,
-    ) {
+#[test]
+fn random_ops_preserve_document() {
+    for case in 0..48u64 {
+        let mut g = Gen::new(case);
+        let ops = random_ops(&mut g, 1, 120);
+        let page_size = [512usize, 1024, 2048][g.below(3)];
+        let matrix = random_matrix(&mut g);
         let config = TreeConfig {
-            split_target,
-            split_tolerance,
+            split_target: f64_range(&mut g, 0.2, 0.8),
+            split_tolerance: f64_range(&mut g, 0.02, 0.3),
             ..TreeConfig::paper()
         };
         run_ops(page_size, matrix, config, &ops);
     }
+}
 
-    #[test]
-    fn random_ops_with_merging(
-        ops in proptest::collection::vec(op_strategy(), 1..100),
-        page_size in prop_oneof![Just(512usize), Just(1024)],
-    ) {
+#[test]
+fn random_ops_with_merging() {
+    for case in 0..48u64 {
+        let mut g = Gen::new(0x4E46 ^ case);
+        let ops = random_ops(&mut g, 1, 100);
+        let page_size = [512usize, 1024][g.below(2)];
         let config = TreeConfig {
             merge_enabled: true,
             ..TreeConfig::paper()
         };
         run_ops(page_size, SplitMatrix::all_other(), config, &ops);
     }
+}
 
-    #[test]
-    fn one_to_one_matrix_random_ops(
-        ops in proptest::collection::vec(op_strategy(), 1..80),
-    ) {
-        run_ops(1024, SplitMatrix::all_standalone(), TreeConfig::paper(), &ops);
+#[test]
+fn one_to_one_matrix_random_ops() {
+    for case in 0..48u64 {
+        let mut g = Gen::new(0x0101 ^ case);
+        let ops = random_ops(&mut g, 1, 80);
+        run_ops(
+            1024,
+            SplitMatrix::all_standalone(),
+            TreeConfig::paper(),
+            &ops,
+        );
     }
 }

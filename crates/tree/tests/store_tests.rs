@@ -11,7 +11,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use natix_storage::{BufferManager, EvictionPolicy, IoStats, MemStorage, PageKind, Rid, StorageManager};
+use natix_storage::{
+    BufferManager, EvictionPolicy, IoStats, MemStorage, PageKind, Rid, StorageManager,
+};
 use natix_tree::{
     check_tree, reconstruct_document, InsertPos, NewNode, NodePtr, OpResult, SplitBehaviour,
     SplitMatrix, TreeConfig, TreeStore,
@@ -20,7 +22,12 @@ use natix_xml::{Document, LiteralValue, NodeData, NodeIdx, LABEL_TEXT};
 
 fn mk_store(page_size: usize, matrix: SplitMatrix, config: TreeConfig) -> TreeStore {
     let backend = Arc::new(MemStorage::new(page_size).unwrap());
-    let bm = Arc::new(BufferManager::new(backend, 256, EvictionPolicy::Lru, IoStats::new_shared()));
+    let bm = Arc::new(BufferManager::new(
+        backend,
+        256,
+        EvictionPolicy::Lru,
+        IoStats::new_shared(),
+    ));
     let sm = Arc::new(StorageManager::create(bm).unwrap());
     let seg = sm.create_segment("docs").unwrap();
     TreeStore::new(sm, seg, config, matrix)
@@ -39,7 +46,12 @@ impl Shadow {
     fn new(store: &TreeStore, root_label: u16) -> Shadow {
         let root_rid = store.create_tree(root_label).unwrap();
         let doc = Document::new(NodeData::Element(root_label));
-        let mut s = Shadow { doc, map: HashMap::new(), rev: HashMap::new(), root_rid };
+        let mut s = Shadow {
+            doc,
+            map: HashMap::new(),
+            rev: HashMap::new(),
+            root_rid,
+        };
         s.bind(0, NodePtr::new(root_rid, 0));
         s
     }
@@ -56,8 +68,11 @@ impl Shadow {
     fn apply(&mut self, res: &OpResult) {
         // Two-phase: remove all old addresses, then install the new ones
         // (relocations within one record may otherwise collide).
-        let moved: Vec<(Option<NodeIdx>, NodePtr)> =
-            res.relocations.iter().map(|r| (self.rev.remove(&r.old), r.new)).collect();
+        let moved: Vec<(Option<NodeIdx>, NodePtr)> = res
+            .relocations
+            .iter()
+            .map(|r| (self.rev.remove(&r.old), r.new))
+            .collect();
         for (idx, new) in moved {
             if let Some(i) = idx {
                 self.map.insert(i, new);
@@ -93,9 +108,14 @@ impl Shadow {
     ) -> NodeIdx {
         let data = match &node {
             NewNode::Element => NodeData::Element(label),
-            NewNode::Literal(v) => NodeData::Literal { label, value: v.clone() },
+            NewNode::Literal(v) => NodeData::Literal {
+                label,
+                value: v.clone(),
+            },
         };
-        let res = store.insert(self.ptr(parent_idx), pos, label, node).unwrap();
+        let res = store
+            .insert(self.ptr(parent_idx), pos, label, node)
+            .unwrap();
         self.apply(&res);
         let new_ptr = res.new_node.expect("insert reports the new node");
         let shadow_pos = match pos {
@@ -117,9 +137,14 @@ impl Shadow {
     ) -> NodeIdx {
         let data = match &node {
             NewNode::Element => NodeData::Element(label),
-            NewNode::Literal(v) => NodeData::Literal { label, value: v.clone() },
+            NewNode::Literal(v) => NodeData::Literal {
+                label,
+                value: v.clone(),
+            },
         };
-        let res = store.insert_after(self.ptr(sibling_idx), label, node).unwrap();
+        let res = store
+            .insert_after(self.ptr(sibling_idx), label, node)
+            .unwrap();
         self.apply(&res);
         let new_ptr = res.new_node.expect("insert reports the new node");
         let parent = self.doc.parent(sibling_idx).expect("sibling has a parent");
@@ -138,7 +163,9 @@ impl Shadow {
 
 fn text(n: usize, seed: usize) -> NewNode {
     NewNode::Literal(LiteralValue::String(
-        (0..n).map(|i| (b'a' + ((seed + i) % 26) as u8) as char).collect(),
+        (0..n)
+            .map(|i| (b'a' + ((seed + i) % 26) as u8) as char)
+            .collect(),
     ))
 }
 
@@ -262,7 +289,10 @@ fn keep_with_parent_never_separated() {
     // Verify: wherever a SPEAKER(11) facade node lives, its physical
     // parent chain within the record reaches the SPEECH(10) facade.
     let stats = check_tree(&store, sh.root_rid).unwrap();
-    assert!(stats.records > 1, "the tree must have split for the test to bite");
+    assert!(
+        stats.records > 1,
+        "the tree must have split for the test to bite"
+    );
     for (&idx, &ptr) in &sh.map {
         if let NodeData::Element(11) = sh.doc.data(idx) {
             let tree = store.load(ptr.rid).unwrap();
@@ -314,7 +344,10 @@ fn delete_everything_leaves_root() {
         let node = if i % 2 == 0 {
             NewNode::Element
         } else {
-            NewNode::Literal(LiteralValue::String(format!("payload-{i}-{}", "x".repeat(i % 30))))
+            NewNode::Literal(LiteralValue::String(format!(
+                "payload-{i}-{}",
+                "x".repeat(i % 30)
+            )))
         };
         let label = if i % 2 == 0 { 2 } else { LABEL_TEXT };
         kids.push(sh.insert(&store, 0, InsertPos::Last, label, node));
@@ -333,7 +366,10 @@ fn delete_everything_leaves_root() {
     sh.verify(&store);
     let stats = check_tree(&store, sh.root_rid).unwrap();
     assert_eq!(stats.facade_nodes, 1);
-    assert_eq!(stats.records, 1, "empty root collapses to one record: {stats:?}");
+    assert_eq!(
+        stats.records, 1,
+        "empty root collapses to one record: {stats:?}"
+    );
 }
 
 #[test]
@@ -401,7 +437,9 @@ fn oversized_single_node_rejected() {
         matches!(
             err,
             natix_tree::TreeError::OversizedNode { .. }
-                | natix_tree::TreeError::Storage(natix_storage::StorageError::RecordTooLarge { .. })
+                | natix_tree::TreeError::Storage(
+                    natix_storage::StorageError::RecordTooLarge { .. }
+                )
         ),
         "got {err}"
     );
@@ -501,7 +539,13 @@ fn logical_navigation_matches_shadow() {
     for i in 0..70 {
         let parent = all[i * 7 % all.len()];
         if matches!(sh.doc.data(parent), NodeData::Element(_)) {
-            let e = sh.insert(&store, parent, InsertPos::Last, 2 + (i % 3) as u16, NewNode::Element);
+            let e = sh.insert(
+                &store,
+                parent,
+                InsertPos::Last,
+                2 + (i % 3) as u16,
+                NewNode::Element,
+            );
             all.push(e);
         }
     }

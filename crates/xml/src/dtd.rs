@@ -80,17 +80,21 @@ impl Dtd {
                 continue;
             }
             if text[pos..].starts_with("<!--") {
-                pos = text[pos..]
-                    .find("-->")
-                    .map(|p| pos + p + 3)
-                    .ok_or(XmlError::UnexpectedEof { message: "DTD comment".into() })?;
+                pos = text[pos..].find("-->").map(|p| pos + p + 3).ok_or(
+                    XmlError::UnexpectedEof {
+                        message: "DTD comment".into(),
+                    },
+                )?;
                 continue;
             }
             if text[pos..].starts_with("<?") {
-                pos = text[pos..]
-                    .find("?>")
-                    .map(|p| pos + p + 2)
-                    .ok_or(XmlError::UnexpectedEof { message: "DTD PI".into() })?;
+                pos =
+                    text[pos..]
+                        .find("?>")
+                        .map(|p| pos + p + 2)
+                        .ok_or(XmlError::UnexpectedEof {
+                            message: "DTD PI".into(),
+                        })?;
                 continue;
             }
             if !text[pos..].starts_with("<!") {
@@ -102,7 +106,9 @@ impl Dtd {
             let end = text[pos..]
                 .find('>')
                 .map(|p| pos + p)
-                .ok_or(XmlError::UnexpectedEof { message: "DTD declaration".into() })?;
+                .ok_or(XmlError::UnexpectedEof {
+                    message: "DTD declaration".into(),
+                })?;
             let decl = &text[pos + 2..end];
             if let Some(rest) = decl.strip_prefix("ELEMENT") {
                 let (name, model_text) = split_first_token(rest.trim());
@@ -111,7 +117,10 @@ impl Dtd {
             } else if let Some(rest) = decl.strip_prefix("ATTLIST") {
                 let (elem, defs_text) = split_first_token(rest.trim());
                 let defs = parse_attdefs(defs_text.trim());
-                dtd.attlists.entry(elem.to_string()).or_default().extend(defs);
+                dtd.attlists
+                    .entry(elem.to_string())
+                    .or_default()
+                    .extend(defs);
             } else if let Some(rest) = decl.strip_prefix("ENTITY") {
                 let (name, value_text) = split_first_token(rest.trim());
                 let value = value_text.trim().trim_matches(|c| c == '"' || c == '\'');
@@ -127,7 +136,8 @@ impl Dtd {
         if let Some(&i) = self.element_index.get(name) {
             self.elements[i].1 = model;
         } else {
-            self.element_index.insert(name.to_string(), self.elements.len());
+            self.element_index
+                .insert(name.to_string(), self.elements.len());
             self.elements.push((name.to_string(), model));
         }
     }
@@ -228,9 +238,9 @@ fn parse_attdefs(mut s: &str) -> Vec<AttDef> {
                 Some(i) => (&rest[..i + 2], &rest[i + 2..]),
                 None => (rest, ""),
             }
-        } else if rest.starts_with("#FIXED") {
+        } else if let Some(tail) = rest.strip_prefix("#FIXED") {
             // #FIXED "literal"
-            let after = rest["#FIXED".len()..].trim_start();
+            let after = tail.trim_start();
             if after.starts_with('"') || after.starts_with('\'') {
                 let q = after.as_bytes()[0] as char;
                 match after[1..].find(q) {
@@ -308,7 +318,10 @@ impl ExprParser<'_> {
     }
 
     fn err(&self, m: &str) -> XmlError {
-        XmlError::Dtd { offset: self.base + self.pos, message: m.to_string() }
+        XmlError::Dtd {
+            offset: self.base + self.pos,
+            message: m.to_string(),
+        }
     }
 
     fn parse_particle(&mut self) -> XmlResult<ContentExpr> {
@@ -346,7 +359,10 @@ impl ExprParser<'_> {
         } else {
             let start = self.pos;
             while self.pos < self.s.len()
-                && !matches!(self.s.as_bytes()[self.pos], b',' | b'|' | b')' | b'?' | b'*' | b'+')
+                && !matches!(
+                    self.s.as_bytes()[self.pos],
+                    b',' | b'|' | b')' | b'?' | b'*' | b'+'
+                )
                 && !self.s.as_bytes()[self.pos].is_ascii_whitespace()
             {
                 self.pos += 1;
@@ -379,7 +395,7 @@ impl ExprParser<'_> {
 /// (expression node, position) pairs; content models are tiny, so this is
 /// plenty fast.
 pub fn matches_expr(expr: &ContentExpr, seq: &[&str]) -> bool {
-    fn go<'a>(expr: &ContentExpr, seq: &[&'a str], from: usize, out: &mut Vec<usize>) {
+    fn go(expr: &ContentExpr, seq: &[&str], from: usize, out: &mut Vec<usize>) {
         match expr {
             ContentExpr::Name(n) => {
                 if seq.get(from) == Some(&n.as_str()) {
@@ -488,12 +504,18 @@ mod tests {
     #[test]
     fn content_models_parsed() {
         let dtd = Dtd::parse(PLAY_DTD).unwrap();
-        assert_eq!(dtd.content_model("TITLE"), Some(&ContentModel::Mixed(vec![])));
+        assert_eq!(
+            dtd.content_model("TITLE"),
+            Some(&ContentModel::Mixed(vec![]))
+        );
         assert_eq!(
             dtd.content_model("LINE"),
             Some(&ContentModel::Mixed(vec!["STAGEDIR".into()]))
         );
-        assert!(matches!(dtd.content_model("PLAY"), Some(ContentModel::Children(_))));
+        assert!(matches!(
+            dtd.content_model("PLAY"),
+            Some(ContentModel::Children(_))
+        ));
     }
 
     #[test]
@@ -528,13 +550,25 @@ mod tests {
         assert!(dtd
             .validate_element(
                 "SPEECH",
-                &[Some("SPEAKER"), Some("SPEAKER"), Some("STAGEDIR"), Some("LINE")]
+                &[
+                    Some("SPEAKER"),
+                    Some("SPEAKER"),
+                    Some("STAGEDIR"),
+                    Some("LINE")
+                ]
             )
             .is_ok());
-        assert!(dtd.validate_element("SPEECH", &[Some("LINE")]).is_err(), "missing speaker");
-        assert!(dtd.validate_element("SPEECH", &[Some("SPEAKER")]).is_err(), "missing line");
         assert!(
-            dtd.validate_element("SPEECH", &[Some("SPEAKER"), None]).is_err(),
+            dtd.validate_element("SPEECH", &[Some("LINE")]).is_err(),
+            "missing speaker"
+        );
+        assert!(
+            dtd.validate_element("SPEECH", &[Some("SPEAKER")]).is_err(),
+            "missing line"
+        );
+        assert!(
+            dtd.validate_element("SPEECH", &[Some("SPEAKER"), None])
+                .is_err(),
             "text not allowed in SPEECH"
         );
     }
@@ -542,10 +576,16 @@ mod tests {
     #[test]
     fn validate_mixed() {
         let dtd = Dtd::parse(PLAY_DTD).unwrap();
-        assert!(dtd.validate_element("LINE", &[None, Some("STAGEDIR"), None]).is_ok());
+        assert!(dtd
+            .validate_element("LINE", &[None, Some("STAGEDIR"), None])
+            .is_ok());
         assert!(dtd.validate_element("LINE", &[Some("SPEAKER")]).is_err());
         assert!(dtd.validate_element("TITLE", &[None]).is_ok());
-        assert!(dtd.validate_element("UNDECLARED", &[None, Some("x")]).is_ok(), "open world");
+        assert!(
+            dtd.validate_element("UNDECLARED", &[None, Some("x")])
+                .is_ok(),
+            "open world"
+        );
     }
 
     #[test]

@@ -8,7 +8,11 @@ pub enum XmlError {
     /// Syntax error at a byte offset with a human-readable reason.
     Syntax { offset: usize, message: String },
     /// End tag did not match the open element.
-    MismatchedTag { offset: usize, expected: String, found: String },
+    MismatchedTag {
+        offset: usize,
+        expected: String,
+        found: String,
+    },
     /// Input ended inside a construct.
     UnexpectedEof { message: String },
     /// A numeric character reference was out of range / not a char.
@@ -30,7 +34,11 @@ impl fmt::Display for XmlError {
             XmlError::Syntax { offset, message } => {
                 write!(f, "XML syntax error at byte {offset}: {message}")
             }
-            XmlError::MismatchedTag { offset, expected, found } => write!(
+            XmlError::MismatchedTag {
+                offset,
+                expected,
+                found,
+            } => write!(
                 f,
                 "mismatched end tag at byte {offset}: expected </{expected}>, found </{found}>"
             ),

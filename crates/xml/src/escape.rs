@@ -18,7 +18,9 @@ pub fn escape_attr(s: &str) -> std::borrow::Cow<'_, str> {
 }
 
 fn escape_impl(s: &str, attr: bool) -> std::borrow::Cow<'_, str> {
-    let needs = s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>') || (attr && b == b'"'));
+    let needs = s
+        .bytes()
+        .any(|b| matches!(b, b'&' | b'<' | b'>') || (attr && b == b'"'));
     if !needs {
         return std::borrow::Cow::Borrowed(s);
     }
@@ -57,7 +59,9 @@ pub fn unescape(s: &str, base_offset: usize) -> XmlResult<String> {
         let semi = s[i..]
             .find(';')
             .map(|p| i + p)
-            .ok_or(XmlError::UnexpectedEof { message: "entity reference".into() })?;
+            .ok_or(XmlError::UnexpectedEof {
+                message: "entity reference".into(),
+            })?;
         let name = &s[i + 1..semi];
         match name {
             "lt" => out.push('<'),
@@ -66,21 +70,21 @@ pub fn unescape(s: &str, base_offset: usize) -> XmlResult<String> {
             "apos" => out.push('\''),
             "quot" => out.push('"'),
             _ if name.starts_with("#x") || name.starts_with("#X") => {
-                let code = u32::from_str_radix(&name[2..], 16)
-                    .map_err(|_| XmlError::BadCharRef { offset: base_offset + i })?;
-                out.push(
-                    char::from_u32(code)
-                        .ok_or(XmlError::BadCharRef { offset: base_offset + i })?,
-                );
+                let code =
+                    u32::from_str_radix(&name[2..], 16).map_err(|_| XmlError::BadCharRef {
+                        offset: base_offset + i,
+                    })?;
+                out.push(char::from_u32(code).ok_or(XmlError::BadCharRef {
+                    offset: base_offset + i,
+                })?);
             }
             _ if name.starts_with('#') => {
-                let code = name[1..]
-                    .parse::<u32>()
-                    .map_err(|_| XmlError::BadCharRef { offset: base_offset + i })?;
-                out.push(
-                    char::from_u32(code)
-                        .ok_or(XmlError::BadCharRef { offset: base_offset + i })?,
-                );
+                let code = name[1..].parse::<u32>().map_err(|_| XmlError::BadCharRef {
+                    offset: base_offset + i,
+                })?;
+                out.push(char::from_u32(code).ok_or(XmlError::BadCharRef {
+                    offset: base_offset + i,
+                })?);
             }
             _ => {
                 return Err(XmlError::UnknownEntity {
@@ -100,19 +104,29 @@ mod tests {
 
     #[test]
     fn escape_borrows_when_clean() {
-        assert!(matches!(escape_text("plain text"), std::borrow::Cow::Borrowed(_)));
+        assert!(matches!(
+            escape_text("plain text"),
+            std::borrow::Cow::Borrowed(_)
+        ));
         assert!(matches!(escape_text("a < b"), std::borrow::Cow::Owned(_)));
     }
 
     #[test]
     fn escape_text_replaces_specials() {
         assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
-        assert_eq!(escape_text(r#"say "hi""#), r#"say "hi""#, "quotes fine in text");
+        assert_eq!(
+            escape_text(r#"say "hi""#),
+            r#"say "hi""#,
+            "quotes fine in text"
+        );
     }
 
     #[test]
     fn escape_attr_also_quotes() {
-        assert_eq!(escape_attr(r#"say "hi" & bye"#), "say &quot;hi&quot; &amp; bye");
+        assert_eq!(
+            escape_attr(r#"say "hi" & bye"#),
+            "say &quot;hi&quot; &amp; bye"
+        );
     }
 
     #[test]
@@ -127,10 +141,22 @@ mod tests {
 
     #[test]
     fn unescape_errors() {
-        assert!(matches!(unescape("&bogus;", 10), Err(XmlError::UnknownEntity { offset: 10, .. })));
-        assert!(matches!(unescape("&#xD800;", 0), Err(XmlError::BadCharRef { .. })));
-        assert!(matches!(unescape("&#notanum;", 0), Err(XmlError::BadCharRef { .. })));
-        assert!(matches!(unescape("&unterminated", 0), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(
+            unescape("&bogus;", 10),
+            Err(XmlError::UnknownEntity { offset: 10, .. })
+        ));
+        assert!(matches!(
+            unescape("&#xD800;", 0),
+            Err(XmlError::BadCharRef { .. })
+        ));
+        assert!(matches!(
+            unescape("&#notanum;", 0),
+            Err(XmlError::BadCharRef { .. })
+        ));
+        assert!(matches!(
+            unescape("&unterminated", 0),
+            Err(XmlError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub struct SymbolTable {
 impl SymbolTable {
     /// Creates a table with the built-in labels pre-interned.
     pub fn new() -> SymbolTable {
-        let mut t = SymbolTable { names: Vec::new(), map: HashMap::new() };
+        let mut t = SymbolTable {
+            names: Vec::new(),
+            map: HashMap::new(),
+        };
         // Order matters: ids must equal the LABEL_* constants.
         t.push(LabelKind::Builtin, "#none");
         t.push(LabelKind::Builtin, "#text");
@@ -75,7 +78,10 @@ impl SymbolTable {
         if let Some(&id) = self.map.get(&(kind, name.to_string())) {
             return id;
         }
-        assert!(self.names.len() < u16::MAX as usize, "label alphabet exhausted");
+        assert!(
+            self.names.len() < u16::MAX as usize,
+            "label alphabet exhausted"
+        );
         self.push(kind, name)
     }
 
@@ -112,14 +118,20 @@ impl SymbolTable {
 
     /// Iterates `(id, kind, name)` over all labels (catalog persistence).
     pub fn iter(&self) -> impl Iterator<Item = (LabelId, LabelKind, &str)> + '_ {
-        self.names.iter().enumerate().map(|(i, (k, n))| (i as LabelId, *k, n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, (k, n))| (i as LabelId, *k, n.as_str()))
     }
 
     /// Rebuilds a table from persisted `(kind, name)` rows, which must
     /// start with the built-ins in canonical order (as produced by
     /// [`iter`](Self::iter)).
     pub fn from_rows(rows: &[(LabelKind, String)]) -> SymbolTable {
-        let mut t = SymbolTable { names: Vec::new(), map: HashMap::new() };
+        let mut t = SymbolTable {
+            names: Vec::new(),
+            map: HashMap::new(),
+        };
         for (kind, name) in rows {
             t.push(*kind, name);
         }
@@ -174,8 +186,7 @@ mod tests {
         let mut t = SymbolTable::new();
         t.intern_element("PLAY");
         t.intern_attribute("type");
-        let rows: Vec<(LabelKind, String)> =
-            t.iter().map(|(_, k, n)| (k, n.to_string())).collect();
+        let rows: Vec<(LabelKind, String)> = t.iter().map(|(_, k, n)| (k, n.to_string())).collect();
         let t2 = SymbolTable::from_rows(&rows);
         assert_eq!(t2.len(), t.len());
         assert_eq!(t2.lookup_element("PLAY"), t.lookup_element("PLAY"));

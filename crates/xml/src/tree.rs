@@ -79,12 +79,18 @@ pub enum NodeData {
 impl NodeData {
     /// Convenience constructor for a text node.
     pub fn text(s: impl Into<String>) -> NodeData {
-        NodeData::Literal { label: LABEL_TEXT, value: LiteralValue::String(s.into()) }
+        NodeData::Literal {
+            label: LABEL_TEXT,
+            value: LiteralValue::String(s.into()),
+        }
     }
 
     /// Convenience constructor for an attribute node.
     pub fn attribute(label: LabelId, value: impl Into<String>) -> NodeData {
-        NodeData::Literal { label, value: LiteralValue::String(value.into()) }
+        NodeData::Literal {
+            label,
+            value: LiteralValue::String(value.into()),
+        }
     }
 
     /// The node's label (elements and literals both have one).
@@ -118,7 +124,14 @@ pub struct Document {
 impl Document {
     /// Creates a document containing only a root node.
     pub fn new(root_data: NodeData) -> Document {
-        Document { nodes: vec![LNode { data: root_data, parent: None, children: Vec::new() }], root: 0 }
+        Document {
+            nodes: vec![LNode {
+                data: root_data,
+                parent: None,
+                children: Vec::new(),
+            }],
+            root: 0,
+        }
     }
 
     /// The root node.
@@ -154,7 +167,11 @@ impl Document {
     /// Appends a child under `parent`.
     pub fn add_child(&mut self, parent: NodeIdx, data: NodeData) -> NodeIdx {
         let idx = self.nodes.len() as NodeIdx;
-        self.nodes.push(LNode { data, parent: Some(parent), children: Vec::new() });
+        self.nodes.push(LNode {
+            data,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
         self.nodes[parent as usize].children.push(idx);
         idx
     }
@@ -162,7 +179,11 @@ impl Document {
     /// Inserts a child under `parent` at `position` (clamped to the end).
     pub fn insert_child(&mut self, parent: NodeIdx, position: usize, data: NodeData) -> NodeIdx {
         let idx = self.nodes.len() as NodeIdx;
-        self.nodes.push(LNode { data, parent: Some(parent), children: Vec::new() });
+        self.nodes.push(LNode {
+            data,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
         let kids = &mut self.nodes[parent as usize].children;
         let pos = position.min(kids.len());
         kids.insert(pos, idx);
@@ -179,12 +200,18 @@ impl Document {
 
     /// Pre-order traversal from the root.
     pub fn pre_order(&self) -> PreOrder<'_> {
-        PreOrder { doc: self, stack: vec![self.root] }
+        PreOrder {
+            doc: self,
+            stack: vec![self.root],
+        }
     }
 
     /// Pre-order traversal of the subtree rooted at `node`.
     pub fn pre_order_from(&self, node: NodeIdx) -> PreOrder<'_> {
-        PreOrder { doc: self, stack: vec![node] }
+        PreOrder {
+            doc: self,
+            stack: vec![node],
+        }
     }
 
     /// Number of reachable nodes (equals [`node_count`](Self::node_count)
@@ -199,7 +226,11 @@ impl Document {
     pub fn text_content(&self, node: NodeIdx) -> String {
         let mut out = String::new();
         for n in self.pre_order_from(node) {
-            if let NodeData::Literal { label: LABEL_TEXT, value } = self.data(n) {
+            if let NodeData::Literal {
+                label: LABEL_TEXT,
+                value,
+            } = self.data(n)
+            {
                 out.push_str(&value.to_text());
             }
         }
@@ -214,7 +245,10 @@ impl Document {
         let ka = self.children(a);
         let kb = other.children(b);
         ka.len() == kb.len()
-            && ka.iter().zip(kb.iter()).all(|(&ca, &cb)| self.subtree_eq(ca, other, cb))
+            && ka
+                .iter()
+                .zip(kb.iter())
+                .all(|(&ca, &cb)| self.subtree_eq(ca, other, cb))
     }
 
     /// First child element of `node` with the given label.
@@ -290,8 +324,10 @@ pub fn build_from_text(
                 };
                 // Coalesce with a trailing text sibling.
                 if let Some(&last) = d.children(parent).last() {
-                    if let NodeData::Literal { label: LABEL_TEXT, value: LiteralValue::String(s) } =
-                        d.data_mut(last)
+                    if let NodeData::Literal {
+                        label: LABEL_TEXT,
+                        value: LiteralValue::String(s),
+                    } = d.data_mut(last)
                     {
                         s.push_str(&t);
                         continue;
@@ -312,11 +348,17 @@ pub fn build_from_text(
             }
             XmlEvent::Pi { target, data } => {
                 if let (Some(d), Some(&parent)) = (&mut doc, stack.last()) {
-                    let body =
-                        if data.is_empty() { target.to_string() } else { format!("{target} {data}") };
+                    let body = if data.is_empty() {
+                        target.to_string()
+                    } else {
+                        format!("{target} {data}")
+                    };
                     d.add_child(
                         parent,
-                        NodeData::Literal { label: LABEL_PI, value: LiteralValue::String(body) },
+                        NodeData::Literal {
+                            label: LABEL_PI,
+                            value: LiteralValue::String(body),
+                        },
                     );
                 }
             }
@@ -345,11 +387,17 @@ mod tests {
              <LINE>Look in my face.</LINE></SPEECH>",
         );
         let root = doc.root();
-        assert_eq!(doc.data(root).label(), syms.lookup_element("SPEECH").unwrap());
+        assert_eq!(
+            doc.data(root).label(),
+            syms.lookup_element("SPEECH").unwrap()
+        );
         assert_eq!(doc.children(root).len(), 3);
         // 4 elements + 3 text leaves.
         assert_eq!(doc.node_count(), 7);
-        assert_eq!(doc.text_content(root), "OTHELLOLet me see your eyes;Look in my face.");
+        assert_eq!(
+            doc.text_content(root),
+            "OTHELLOLet me see your eyes;Look in my face."
+        );
     }
 
     #[test]
@@ -357,7 +405,9 @@ mod tests {
         let (doc, syms) = parse(r#"<PLAY id="othello" year="1604"><TITLE>Othello</TITLE></PLAY>"#);
         let kids = doc.children(doc.root());
         assert_eq!(kids.len(), 3);
-        let NodeData::Literal { label, value } = doc.data(kids[0]) else { panic!() };
+        let NodeData::Literal { label, value } = doc.data(kids[0]) else {
+            panic!()
+        };
         assert_eq!(*label, syms.lookup(LabelKind::Attribute, "id").unwrap());
         assert_eq!(value.as_str(), Some("othello"));
         assert!(doc.data(kids[2]).is_element());
@@ -417,15 +467,29 @@ mod tests {
         let kids = doc.children(doc.root());
         assert_eq!(doc.data(kids[0]).label(), LABEL_COMMENT);
         assert_eq!(doc.data(kids[1]).label(), LABEL_PI);
-        let NodeData::Literal { value, .. } = doc.data(kids[1]) else { panic!() };
+        let NodeData::Literal { value, .. } = doc.data(kids[1]) else {
+            panic!()
+        };
         assert_eq!(value.as_str(), Some("style css"));
     }
 
     #[test]
     fn typed_literals() {
         let mut doc = Document::new(NodeData::Element(5));
-        doc.add_child(0, NodeData::Literal { label: LABEL_TEXT, value: LiteralValue::I32(-42) });
-        doc.add_child(0, NodeData::Literal { label: LABEL_TEXT, value: LiteralValue::F64(2.5) });
+        doc.add_child(
+            0,
+            NodeData::Literal {
+                label: LABEL_TEXT,
+                value: LiteralValue::I32(-42),
+            },
+        );
+        doc.add_child(
+            0,
+            NodeData::Literal {
+                label: LABEL_TEXT,
+                value: LiteralValue::F64(2.5),
+            },
+        );
         let texts = doc.text_content(0);
         assert_eq!(texts, "-422.5");
         assert_eq!(LiteralValue::I64(1).byte_len(), 8);

@@ -23,12 +23,18 @@ pub struct WriteOptions {
 impl WriteOptions {
     /// No whitespace, no declaration — roundtrip-stable form.
     pub fn compact() -> WriteOptions {
-        WriteOptions { indent: None, xml_decl: false }
+        WriteOptions {
+            indent: None,
+            xml_decl: false,
+        }
     }
 
     /// Two-space indentation with declaration.
     pub fn pretty() -> WriteOptions {
-        WriteOptions { indent: Some(2), xml_decl: true }
+        WriteOptions {
+            indent: Some(2),
+            xml_decl: true,
+        }
     }
 }
 
@@ -80,7 +86,7 @@ fn indent(out: &mut String, options: WriteOptions, depth: usize) {
         if !out.is_empty() {
             out.push('\n');
         }
-        out.extend(std::iter::repeat(' ').take(w * depth));
+        out.extend(std::iter::repeat_n(' ', w * depth));
     }
 }
 
@@ -116,11 +122,10 @@ fn write_node(
                 }
                 break;
             }
-            if kids[content_from..]
-                .iter()
-                .any(|&k| matches!(doc.data(k), NodeData::Literal { label, .. }
-                    if symbols.kind(*label) == LabelKind::Attribute))
-            {
+            if kids[content_from..].iter().any(|&k| {
+                matches!(doc.data(k), NodeData::Literal { label, .. }
+                    if symbols.kind(*label) == LabelKind::Attribute)
+            }) {
                 return Err(XmlError::Structure(format!(
                     "element <{name}> has an attribute literal after content"
                 )));
@@ -134,11 +139,23 @@ fn write_node(
             // Mixed content (any text child) must stay inline: indentation
             // would inject whitespace into character data and break
             // parse/serialise roundtrips.
-            let mixed = content
-                .iter()
-                .any(|&k| matches!(doc.data(k), NodeData::Literal { label: LABEL_TEXT, .. }));
-            let child_options =
-                if mixed { WriteOptions { indent: None, ..options } } else { options };
+            let mixed = content.iter().any(|&k| {
+                matches!(
+                    doc.data(k),
+                    NodeData::Literal {
+                        label: LABEL_TEXT,
+                        ..
+                    }
+                )
+            });
+            let child_options = if mixed {
+                WriteOptions {
+                    indent: None,
+                    ..options
+                }
+            } else {
+                options
+            };
             for &k in content {
                 write_node(doc, k, symbols, child_options, depth + 1, out)?;
             }
@@ -224,12 +241,18 @@ mod tests {
     #[test]
     fn pretty_printing_indents_elements_not_text() {
         let mut syms = SymbolTable::new();
-        let doc =
-            build_from_text("<a><b>x</b><c><d/></c></a>", &mut syms, ParserOptions::default())
-                .unwrap();
+        let doc = build_from_text(
+            "<a><b>x</b><c><d/></c></a>",
+            &mut syms,
+            ParserOptions::default(),
+        )
+        .unwrap();
         let out = write_document(&doc, &syms, WriteOptions::pretty()).unwrap();
         assert!(out.starts_with("<?xml version=\"1.0\"?>\n<a>"));
-        assert!(out.contains("\n  <b>x</b>"), "text content stays inline: {out}");
+        assert!(
+            out.contains("\n  <b>x</b>"),
+            "text content stays inline: {out}"
+        );
         assert!(out.contains("\n    <d/>"));
         // Pretty output reparses to the same tree.
         let mut syms2 = SymbolTable::new();
@@ -240,8 +263,12 @@ mod tests {
     #[test]
     fn subtree_serialisation() {
         let mut syms = SymbolTable::new();
-        let doc = build_from_text("<a><b i=\"1\">x</b><c/></a>", &mut syms, ParserOptions::default())
-            .unwrap();
+        let doc = build_from_text(
+            "<a><b i=\"1\">x</b><c/></a>",
+            &mut syms,
+            ParserOptions::default(),
+        )
+        .unwrap();
         let b = doc.children(doc.root())[0];
         let out = write_subtree(&doc, b, &syms, WriteOptions::compact()).unwrap();
         assert_eq!(out, "<b i=\"1\">x</b>");

@@ -1,61 +1,79 @@
 //! Property-based tests: random logical documents survive
 //! serialise → parse → serialise unchanged, and the parser never panics on
 //! arbitrary input.
-
-use proptest::prelude::*;
+//!
+//! The build environment has no network access, so instead of `proptest`
+//! the cases are driven by a small deterministic SplitMix64 generator over
+//! many seeds — same properties, reproducible by seed.
 
 use natix_xml::{
     parse_document, write_document, Document, NodeData, ParserOptions, SymbolTable, WriteOptions,
 };
 
-/// Strategy for tag names.
-fn tag() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9_-]{0,8}".prop_map(|s| s)
+use natix_corpus::SplitMix64 as Gen;
+
+/// Random tag name: `[A-Za-z][A-Za-z0-9_-]{0,8}`.
+fn tag(g: &mut Gen) -> String {
+    const FIRST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_-";
+    let mut s = String::new();
+    s.push(FIRST[g.below(FIRST.len())] as char);
+    for _ in 0..g.below(9) {
+        s.push(REST[g.below(REST.len())] as char);
+    }
+    s
 }
 
-/// Strategy for text content, including characters that need escaping.
-/// Always contains at least one letter: whitespace-only text nodes are
-/// dropped by the default parser options (by design), so they cannot
-/// roundtrip and are out of scope here.
-fn text() -> impl Strategy<Value = String> {
-    (
-        proptest::char::range('a', 'z'),
-        proptest::collection::vec(
-            prop_oneof![
-                8 => proptest::char::range('a', 'z').prop_map(|c| c.to_string()),
-                1 => Just(" ".to_string()),
-                1 => prop_oneof![
-                    Just("<".to_string()),
-                    Just(">".to_string()),
-                    Just("&".to_string()),
-                    Just("\"".to_string()),
-                    Just("é".to_string()),
-                ],
-            ],
-            0..23,
-        ),
-    )
-        .prop_map(|(first, v)| format!("{first}{}", v.concat()))
+/// Random text content, including characters that need escaping. Always
+/// starts with a letter: whitespace-only text nodes are dropped by the
+/// default parser options (by design), so they cannot roundtrip and are
+/// out of scope here.
+fn text(g: &mut Gen) -> String {
+    let mut s = String::new();
+    s.push((b'a' + g.below(26) as u8) as char);
+    for _ in 0..g.below(23) {
+        match g.below(10) {
+            0..=7 => s.push((b'a' + g.below(26) as u8) as char),
+            8 => s.push(' '),
+            _ => s.push_str(["<", ">", "&", "\"", "é"][g.below(5)]),
+        }
+    }
+    s
 }
 
 #[derive(Debug, Clone)]
 enum Shape {
     Text(String),
-    Element { tag: String, attrs: Vec<(String, String)>, children: Vec<Shape> },
+    Element {
+        tag: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Shape>,
+    },
 }
 
-fn shape() -> impl Strategy<Value = Shape> {
-    let leaf = prop_oneof![
-        3 => text().prop_map(Shape::Text),
-        2 => (tag(), proptest::collection::vec((tag(), text()), 0..3)).prop_map(|(t, attrs)| {
-            Shape::Element { tag: t, attrs, children: vec![] }
-        }),
-    ];
-    leaf.prop_recursive(4, 64, 6, |inner| {
-        (tag(), proptest::collection::vec((tag(), text()), 0..3),
-         proptest::collection::vec(inner, 0..6))
-            .prop_map(|(t, attrs, children)| Shape::Element { tag: t, attrs, children })
-    })
+fn shape(g: &mut Gen, depth: usize) -> Shape {
+    let attrs = |g: &mut Gen| -> Vec<(String, String)> {
+        (0..g.below(3)).map(|_| (tag(g), text(g))).collect()
+    };
+    if depth >= 4 || g.below(5) < 2 {
+        // Leaf.
+        if g.below(5) < 3 {
+            Shape::Text(text(g))
+        } else {
+            Shape::Element {
+                tag: tag(g),
+                attrs: attrs(g),
+                children: vec![],
+            }
+        }
+    } else {
+        let children = (0..g.below(6)).map(|_| shape(g, depth + 1)).collect();
+        Shape::Element {
+            tag: tag(g),
+            attrs: attrs(g),
+            children,
+        }
+    }
 }
 
 fn build(shape: &Shape, doc: &mut Document, parent: u32, syms: &mut SymbolTable) {
@@ -75,7 +93,11 @@ fn build(shape: &Shape, doc: &mut Document, parent: u32, syms: &mut SymbolTable)
             }
             doc.add_child(parent, NodeData::text(t.clone()));
         }
-        Shape::Element { tag, attrs, children } => {
+        Shape::Element {
+            tag,
+            attrs,
+            children,
+        } => {
             let label = syms.intern_element(tag);
             let e = doc.add_child(parent, NodeData::Element(label));
             let mut seen = Vec::new();
@@ -94,11 +116,12 @@ fn build(shape: &Shape, doc: &mut Document, parent: u32, syms: &mut SymbolTable)
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
-
-    #[test]
-    fn serialize_parse_roundtrip(root_tag in tag(), kids in proptest::collection::vec(shape(), 0..6)) {
+#[test]
+fn serialize_parse_roundtrip() {
+    for case in 0..96u64 {
+        let mut g = Gen::new(case);
+        let root_tag = tag(&mut g);
+        let kids: Vec<Shape> = (0..g.below(6)).map(|_| shape(&mut g, 1)).collect();
         let mut syms = SymbolTable::new();
         let label = syms.intern_element(&root_tag);
         let mut doc = Document::new(NodeData::Element(label));
@@ -108,42 +131,59 @@ proptest! {
         let xml = write_document(&doc, &syms, WriteOptions::compact()).unwrap();
         let reparsed = parse_document(&xml, &mut syms, ParserOptions::default())
             .unwrap_or_else(|e| panic!("failed to reparse {xml:?}: {e}"));
-        prop_assert!(reparsed == doc, "roundtrip diverged for {xml:?}");
+        assert!(reparsed == doc, "roundtrip diverged for {xml:?}");
         // And pretty output reparses to the same structure too.
         let pretty = write_document(&doc, &syms, WriteOptions::pretty()).unwrap();
         let reparsed2 = parse_document(&pretty, &mut syms, ParserOptions::default()).unwrap();
-        prop_assert!(reparsed2 == doc, "pretty roundtrip diverged for {pretty:?}");
+        assert!(reparsed2 == doc, "pretty roundtrip diverged for {pretty:?}");
     }
+}
 
-    /// The parser must never panic: any byte soup yields Ok or Err.
-    #[test]
-    fn parser_total_on_arbitrary_input(input in "\\PC*") {
+/// The parser must never panic: any byte soup yields Ok or Err.
+#[test]
+fn parser_total_on_arbitrary_input() {
+    for case in 0..96u64 {
+        let mut g = Gen::new(0xB17E ^ case);
+        let len = g.below(200);
+        let input: String = (0..len)
+            .map(|_| {
+                // Printable-ish chars plus markup punctuation and non-ASCII.
+                const POOL: &[char] = &[
+                    'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\t', '\n', '<', '>', '&', ';', '"',
+                    '\'', '/', '?', '!', '[', ']', '-', '=', 'é', '∞', '\u{7f}',
+                ];
+                POOL[g.below(POOL.len())]
+            })
+            .collect();
         let mut syms = SymbolTable::new();
         let _ = parse_document(&input, &mut syms, ParserOptions::default());
     }
+}
 
-    /// Near-XML inputs (fragments with brackets and entities) also never
-    /// panic.
-    #[test]
-    fn parser_total_on_markup_like_input(
-        parts in proptest::collection::vec(prop_oneof![
-            Just("<a>".to_string()),
-            Just("</a>".to_string()),
-            Just("<a/>".to_string()),
-            Just("<!--x-->".to_string()),
-            Just("<![CDATA[y]]>".to_string()),
-            Just("&amp;".to_string()),
-            Just("&#65;".to_string()),
-            Just("&bogus;".to_string()),
-            Just("text".to_string()),
-            Just("<?pi d?>".to_string()),
-            Just("<!DOCTYPE a>".to_string()),
-            Just("<a b='c'>".to_string()),
-            Just("<".to_string()),
-            Just(">".to_string()),
-        ], 0..20),
-    ) {
-        let input = parts.concat();
+/// Near-XML inputs (fragments with brackets and entities) also never panic.
+#[test]
+fn parser_total_on_markup_like_input() {
+    const PARTS: &[&str] = &[
+        "<a>",
+        "</a>",
+        "<a/>",
+        "<!--x-->",
+        "<![CDATA[y]]>",
+        "&amp;",
+        "&#65;",
+        "&bogus;",
+        "text",
+        "<?pi d?>",
+        "<!DOCTYPE a>",
+        "<a b='c'>",
+        "<",
+        ">",
+    ];
+    for case in 0..96u64 {
+        let mut g = Gen::new(0x3A9 ^ case);
+        let input: String = (0..g.below(20))
+            .map(|_| PARTS[g.below(PARTS.len())])
+            .collect();
         let mut syms = SymbolTable::new();
         let _ = parse_document(&input, &mut syms, ParserOptions::default());
     }

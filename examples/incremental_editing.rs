@@ -12,7 +12,10 @@ use natix_tree::InsertPos;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut repo = Repository::create_in_memory(RepositoryOptions {
         page_size: 2048,
-        tree_config: TreeConfig { merge_enabled: true, ..TreeConfig::paper() },
+        tree_config: TreeConfig {
+            merge_enabled: true,
+            ..TreeConfig::paper()
+        },
         ..RepositoryOptions::default()
     })?;
 
@@ -69,8 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Every tenth entry survived, still addressable.
     let survivors = repo.children(doc, root)?;
-    println!("{} entries survive; first reads: {}", survivors.len(),
-        repo.text_content(doc, survivors[0])?);
+    println!(
+        "{} entries survive; first reads: {}",
+        survivors.len(),
+        repo.text_content(doc, survivors[0])?
+    );
 
     // Persisting and re-opening would go through the XML system catalog —
     // see `Repository::create_file` / `checkpoint` / `open_file`.

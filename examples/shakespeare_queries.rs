@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Load a reduced corpus (8 plays) — `CorpusConfig::paper()` generates
     // the full ≈320k-node collection.
-    let cfg = CorpusConfig { plays: 8, scale: 0.4, ..CorpusConfig::paper() };
+    let cfg = CorpusConfig {
+        plays: 8,
+        scale: 0.4,
+        ..CorpusConfig::paper()
+    };
     let plays = generate_corpus(&cfg, repo.symbols_mut());
     let mut bytes = 0usize;
     for play in &plays {
@@ -68,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let d = repo.io_stats().snapshot().since(&before);
-    println!("Q3 (opening speech per play): {:.1} ms simulated disk", d.sim_disk_ms());
+    println!(
+        "Q3 (opening speech per play): {:.1} ms simulated disk",
+        d.sim_disk_ms()
+    );
 
     // Ablation: Query-1-style lookup through the label index instead of
     // navigation (index structures are the paper's §6 future work).

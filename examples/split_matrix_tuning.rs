@@ -33,7 +33,10 @@ fn build(matrix: SplitMatrix, tune: impl FnOnce(&mut Repository)) -> Repository 
     })
     .expect("create repository");
     tune(&mut repo);
-    let cfg = CorpusConfig { scale: 0.5, ..CorpusConfig::paper() };
+    let cfg = CorpusConfig {
+        scale: 0.5,
+        ..CorpusConfig::paper()
+    };
     let play = generate_play(&cfg, 0, repo.symbols_mut());
     repo.put_document("play", &play.doc).expect("store play");
     repo

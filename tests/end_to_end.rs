@@ -7,15 +7,21 @@ use natix_tree::InsertPos;
 use natix_xml::WriteOptions;
 
 fn tiny_corpus() -> CorpusConfig {
-    CorpusConfig { plays: 3, scale: 0.12, ..CorpusConfig::tiny() }
+    CorpusConfig {
+        plays: 3,
+        scale: 0.12,
+        ..CorpusConfig::tiny()
+    }
 }
 
 #[test]
 fn corpus_roundtrips_through_repository() {
     for page_size in [2048usize, 8192] {
-        let mut repo =
-            Repository::create_in_memory(RepositoryOptions { page_size, ..Default::default() })
-                .unwrap();
+        let mut repo = Repository::create_in_memory(RepositoryOptions {
+            page_size,
+            ..Default::default()
+        })
+        .unwrap();
         let plays = generate_corpus(&tiny_corpus(), repo.symbols_mut());
         for play in &plays {
             repo.put_document(&play.name, &play.doc).unwrap();
@@ -24,7 +30,11 @@ fn corpus_roundtrips_through_repository() {
             let expected =
                 natix_xml::write_document(&play.doc, repo.symbols(), WriteOptions::compact())
                     .unwrap();
-            assert_eq!(repo.get_xml(&play.name).unwrap(), expected, "page {page_size}");
+            assert_eq!(
+                repo.get_xml(&play.name).unwrap(),
+                expected,
+                "page {page_size}"
+            );
             repo.physical_stats(&play.name).unwrap();
         }
     }
@@ -44,7 +54,10 @@ fn corpus_roundtrips_in_one_to_one_mode() {
         natix_xml::write_document(&play.doc, repo.symbols(), WriteOptions::compact()).unwrap();
     assert_eq!(repo.get_xml("p").unwrap(), expected);
     let stats = repo.physical_stats("p").unwrap();
-    assert_eq!(stats.records, stats.facade_nodes, "1:1: one record per logical node");
+    assert_eq!(
+        stats.records, stats.facade_nodes,
+        "1:1: one record per logical node"
+    );
 }
 
 #[test]
@@ -52,14 +65,19 @@ fn full_lifecycle_with_persistence() {
     let dir = std::env::temp_dir().join(format!("natix-e2e-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("repo.natix");
-    let options = || RepositoryOptions { page_size: 2048, ..Default::default() };
+    let options = || RepositoryOptions {
+        page_size: 2048,
+        ..Default::default()
+    };
 
     let expected = {
         let mut repo = Repository::create_file(&path, options()).unwrap();
         let play = generate_play(&tiny_corpus(), 0, repo.symbols_mut());
         repo.put_document("play", &play.doc).unwrap();
         repo.set_matrix_rule("SPEECH", "SPEAKER", SplitBehaviour::KeepWithParent);
-        repo.schema_mut().register_dtd("play", natix_corpus::shakespeare::PLAY_DTD).unwrap();
+        repo.schema_mut()
+            .register_dtd("play", natix_corpus::shakespeare::PLAY_DTD)
+            .unwrap();
         repo.checkpoint().unwrap();
         repo.get_xml("play").unwrap()
     };
@@ -71,18 +89,28 @@ fn full_lifecycle_with_persistence() {
     assert!(!speakers.is_empty());
     // Validation against the persisted DTD.
     let doc = repo.get_document("play").unwrap();
-    repo.schema().validate_document(&doc, repo.symbols(), "play").unwrap();
+    repo.schema()
+        .validate_document(&doc, repo.symbols(), "play")
+        .unwrap();
     // Edit after re-open, checkpoint again, re-open again.
     let id = repo.doc_id("play").unwrap();
     let root = repo.root(id).unwrap();
-    let act = repo.insert_element(id, root, InsertPos::Last, "ACT").unwrap();
-    let title = repo.insert_element(id, act, InsertPos::Last, "TITLE").unwrap();
-    repo.insert_text(id, title, InsertPos::Last, "ACT VI (apocryphal)").unwrap();
+    let act = repo
+        .insert_element(id, root, InsertPos::Last, "ACT")
+        .unwrap();
+    let title = repo
+        .insert_element(id, act, InsertPos::Last, "TITLE")
+        .unwrap();
+    repo.insert_text(id, title, InsertPos::Last, "ACT VI (apocryphal)")
+        .unwrap();
     repo.checkpoint().unwrap();
     drop(repo);
 
     let repo = Repository::open_file(&path, options()).unwrap();
-    assert!(repo.get_xml("play").unwrap().contains("ACT VI (apocryphal)"));
+    assert!(repo
+        .get_xml("play")
+        .unwrap()
+        .contains("ACT VI (apocryphal)"));
     repo.physical_stats("play").unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -92,8 +120,11 @@ fn queries_agree_between_storage_modes() {
     // The same queries on the same logical documents must return the same
     // answers regardless of physical configuration.
     let cfg = tiny_corpus();
-    let queries =
-        ["/PLAY/ACT[2]/SCENE[1]//SPEAKER", "/PLAY/ACT/SCENE/SPEECH[1]", "//STAGEDIR"];
+    let queries = [
+        "/PLAY/ACT[2]/SCENE[1]//SPEAKER",
+        "/PLAY/ACT/SCENE/SPEECH[1]",
+        "//STAGEDIR",
+    ];
     let mut answers: Vec<Vec<usize>> = Vec::new();
     for matrix in [SplitMatrix::all_other(), SplitMatrix::all_standalone()] {
         let mut repo = Repository::create_in_memory(RepositoryOptions {
@@ -116,8 +147,14 @@ fn queries_agree_between_storage_modes() {
         }
         answers.push(counts);
     }
-    assert_eq!(answers[0], answers[1], "physical layout must not change query answers");
-    assert!(answers[0].iter().all(|&n| n > 0), "queries must match: {answers:?}");
+    assert_eq!(
+        answers[0], answers[1],
+        "physical layout must not change query answers"
+    );
+    assert!(
+        answers[0].iter().all(|&n| n > 0),
+        "queries must match: {answers:?}"
+    );
 }
 
 #[test]
@@ -135,7 +172,10 @@ fn flat_stream_baseline_agrees_with_native_store() {
     // Flat-stream baseline.
     let mut flat = natix::FlatStore::new();
     flat.put(&repo, "flat", &xml).unwrap();
-    assert_eq!(flat.get(&repo, "flat").unwrap(), repo.get_xml("native").unwrap());
+    assert_eq!(
+        flat.get(&repo, "flat").unwrap(),
+        repo.get_xml("native").unwrap()
+    );
     // Structural access through the flat store requires parsing the whole
     // stream; the result matches the native reconstruction.
     let mut syms = repo.symbols().clone();
@@ -156,9 +196,11 @@ fn hyperstorm_style_matrix_round_trips() {
     .unwrap();
     let play = generate_play(&tiny_corpus(), 0, repo.symbols_mut());
     // Everything below SPEECH is "flat" (∞); everything above standalone.
-    for (parent, child) in
-        [("SPEECH", "SPEAKER"), ("SPEECH", "LINE"), ("SPEECH", "STAGEDIR")]
-    {
+    for (parent, child) in [
+        ("SPEECH", "SPEAKER"),
+        ("SPEECH", "LINE"),
+        ("SPEECH", "STAGEDIR"),
+    ] {
         repo.set_matrix_rule(parent, child, SplitBehaviour::KeepWithParent);
     }
     // Text literals: keep with whatever parent they have. (#text is a
@@ -166,7 +208,8 @@ fn hyperstorm_style_matrix_round_trips() {
     let text = natix_xml::LABEL_TEXT;
     for parent in ["SPEAKER", "LINE", "STAGEDIR", "TITLE", "PERSONA"] {
         let p = repo.symbols_mut().intern_element(parent);
-        repo.tree_store().set_matrix_entry(p, text, SplitBehaviour::KeepWithParent);
+        repo.tree_store()
+            .set_matrix_entry(p, text, SplitBehaviour::KeepWithParent);
     }
     repo.put_document("p", &play.doc).unwrap();
     let expected =
@@ -175,7 +218,10 @@ fn hyperstorm_style_matrix_round_trips() {
     let stats = repo.physical_stats("p").unwrap();
     // Far fewer records than pure 1:1 (speeches are flat), far more than
     // native (structure elements standalone).
-    assert!(stats.records > 100, "coarse structures standalone: {stats:?}");
+    assert!(
+        stats.records > 100,
+        "coarse structures standalone: {stats:?}"
+    );
     assert!(
         stats.records < stats.facade_nodes / 2,
         "fine structures flattened: {stats:?}"
@@ -189,7 +235,10 @@ fn hyperstorm_style_matrix_round_trips() {
 fn heavy_editing_session_stays_consistent() {
     let mut repo = Repository::create_in_memory(RepositoryOptions {
         page_size: 1024,
-        tree_config: natix::TreeConfig { merge_enabled: true, ..natix::TreeConfig::paper() },
+        tree_config: natix::TreeConfig {
+            merge_enabled: true,
+            ..natix::TreeConfig::paper()
+        },
         ..Default::default()
     })
     .unwrap();
@@ -198,9 +247,16 @@ fn heavy_editing_session_stays_consistent() {
     let mut entries = std::collections::VecDeque::new();
     // A rolling log: append at the end, expire from the front.
     for i in 0..400 {
-        let e = repo.insert_element(id, root, InsertPos::Last, "ENTRY").unwrap();
-        repo.insert_text(id, e, InsertPos::Last, &format!("event-{i} {}", "d".repeat(i % 60)))
+        let e = repo
+            .insert_element(id, root, InsertPos::Last, "ENTRY")
             .unwrap();
+        repo.insert_text(
+            id,
+            e,
+            InsertPos::Last,
+            &format!("event-{i} {}", "d".repeat(i % 60)),
+        )
+        .unwrap();
         entries.push_back((i, e));
         if entries.len() > 50 {
             let (_, victim) = entries.pop_front().unwrap();
@@ -212,7 +268,10 @@ fn heavy_editing_session_stays_consistent() {
     // Remaining entries are the last 50, in order.
     for (offset, &(i, e)) in entries.iter().enumerate() {
         assert_eq!(kids[offset], e);
-        assert!(repo.text_content(id, e).unwrap().starts_with(&format!("event-{i} ")));
+        assert!(repo
+            .text_content(id, e)
+            .unwrap()
+            .starts_with(&format!("event-{i} ")));
     }
     repo.physical_stats("log").unwrap();
 }
