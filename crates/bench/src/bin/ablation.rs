@@ -37,7 +37,7 @@ fn build_with_config(config: TreeConfig) -> Repository {
     .expect("create repository");
     let cfg = corpus();
     for i in 0..cfg.plays {
-        let play = generate_play(&cfg, i, repo.symbols_mut());
+        let play = generate_play(&cfg, i, &mut repo.symbols_mut());
         // Per-node path: the split target/tolerance under ablation are
         // parameters of the incremental split planner — the bulkloader
         // does not consult them, so sweeping it would measure nothing.
@@ -141,7 +141,7 @@ fn main() {
         .expect("create");
         let mut sim_ms = 0.0;
         for i in 0..cfg.plays {
-            let play = generate_play(&cfg, i, repo.symbols_mut());
+            let play = generate_play(&cfg, i, &mut repo.symbols_mut());
             repo.clear_buffer().expect("clear");
             let before = repo.io_stats().snapshot();
             repo.put_document_per_node(&play.name, &play.doc)

@@ -191,7 +191,7 @@ pub fn build_repo(
         seeks: 0,
     };
     for i in 0..corpus.plays {
-        let play = generate_play(corpus, i, repo.symbols_mut());
+        let play = generate_play(corpus, i, &mut repo.symbols_mut());
         repo.clear_buffer()?;
         let before = repo.io_stats().snapshot();
         let t0 = std::time::Instant::now();

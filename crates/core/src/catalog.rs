@@ -108,9 +108,9 @@ fn build_catalog_doc(repo: &Repository, cs: &CatalogSymbols) -> Document {
     let mut doc = Document::new(NodeData::Element(cs.catalog));
     let root = doc.root();
 
+    let symbols = repo.symbols();
     let syms = doc.add_child(root, NodeData::Element(cs.symbols));
-    for (_, kind, name) in repo
-        .symbols
+    for (_, kind, name) in symbols
         .iter()
         .skip(natix_xml::symbols::FIRST_USER_LABEL as usize)
     {
@@ -125,15 +125,11 @@ fn build_catalog_doc(repo: &Repository, cs: &CatalogSymbols) -> Document {
     }
 
     let docs = doc.add_child(root, NodeData::Element(cs.documents));
-    let mut entries: Vec<(&String, u32)> = repo.by_name.iter().map(|(n, &id)| (n, id)).collect();
-    entries.sort_by_key(|&(_, id)| id);
-    for (name, id) in entries {
-        if let Ok(state) = repo.state(id) {
-            let d = doc.add_child(docs, NodeData::Element(cs.doc));
-            attr(&mut doc, d, cs.a_name, name.clone());
-            attr(&mut doc, d, cs.a_page, state.root_rid.page.to_string());
-            attr(&mut doc, d, cs.a_slot, state.root_rid.slot.to_string());
-        }
+    for (name, _, root_rid) in repo.doc_entries() {
+        let d = doc.add_child(docs, NodeData::Element(cs.doc));
+        attr(&mut doc, d, cs.a_name, name);
+        attr(&mut doc, d, cs.a_page, root_rid.page.to_string());
+        attr(&mut doc, d, cs.a_slot, root_rid.slot.to_string());
     }
 
     let matrix = repo.tree.matrix();
@@ -148,14 +144,16 @@ fn build_catalog_doc(repo: &Repository, cs: &CatalogSymbols) -> Document {
     rules.sort_by_key(|&(p, c, _)| (p, c));
     for (p, c, b) in rules {
         let r = doc.add_child(m, NodeData::Element(cs.rule));
-        attr(&mut doc, r, cs.a_parent, repo.symbols.name(p));
-        attr(&mut doc, r, cs.a_child, repo.symbols.name(c));
+        attr(&mut doc, r, cs.a_parent, symbols.name(p));
+        attr(&mut doc, r, cs.a_child, symbols.name(c));
         attr(&mut doc, r, cs.a_value, behaviour_name(b));
     }
     drop(matrix);
+    drop(symbols);
 
     let dtds = doc.add_child(root, NodeData::Element(cs.dtds));
-    for (name, text) in repo.schema.dtd_sources() {
+    let schema = repo.schema();
+    for (name, text) in schema.dtd_sources() {
         let d = doc.add_child(dtds, NodeData::Element(cs.dtd));
         attr(&mut doc, d, cs.a_name, name);
         doc.add_child(d, NodeData::text(text));
@@ -242,25 +240,27 @@ pub fn load_catalog(repo: &mut Repository) -> NatixResult<()> {
             rows.push((kind, name));
         }
     }
-    repo.symbols = SymbolTable::from_rows(&rows);
+    *repo.symbols_mut() = SymbolTable::from_rows(&rows);
 
     // 2. Split matrix.
     if let Some(m) = doc.first_child_element(root, cs.matrix) {
         let default = behaviour_from(get_attr(m, cs.a_default).as_deref().unwrap_or("other"))?;
         let mut matrix = SplitMatrix::with_default(default);
+        let symbols = repo.symbols();
         for &r in doc.children(m) {
             if doc.data(r).label() != cs.rule {
                 continue;
             }
             let p = get_attr(r, cs.a_parent)
-                .and_then(|n| repo.symbols.lookup_element(&n))
+                .and_then(|n| symbols.lookup_element(&n))
                 .ok_or_else(|| NatixError::Catalog("rule parent unknown".into()))?;
             let c = get_attr(r, cs.a_child)
-                .and_then(|n| repo.symbols.lookup_element(&n))
+                .and_then(|n| symbols.lookup_element(&n))
                 .ok_or_else(|| NatixError::Catalog("rule child unknown".into()))?;
             let v = behaviour_from(&get_attr(r, cs.a_value).unwrap_or_default())?;
             matrix.set(p, c, v);
         }
+        drop(symbols);
         repo.tree.set_matrix(matrix);
     }
 
@@ -273,7 +273,7 @@ pub fn load_catalog(repo: &mut Repository) -> NatixResult<()> {
             let name = get_attr(d, cs.a_name)
                 .ok_or_else(|| NatixError::Catalog("dtd without name".into()))?;
             let text = doc.text_content(d);
-            repo.schema.register_dtd(&name, &text)?;
+            repo.schema_mut().register_dtd(&name, &text)?;
         }
     }
 

@@ -14,11 +14,19 @@
 //! no logical ids (keeping the paper's space numbers intact); the map is
 //! rebuilt by one traversal when a persisted document is first touched
 //! after re-opening.
+//!
+//! The id map lives behind a per-document mutex inside [`DocState`]:
+//! read-only traversal (`children`, `parent`) binds ids lazily through
+//! `&self`, so concurrent readers of different documents — and readers
+//! running alongside ingestion of other documents — never serialize
+//! behind a repository-wide writer lock.
 
 use std::collections::HashMap;
 
+use parking_lot::Mutex;
+
 use natix_storage::Rid;
-use natix_tree::{InsertPos, NewNode, NodePtr, OpResult, VisitEvent};
+use natix_tree::{BulkStats, InsertPos, NewNode, NodePtr, OpResult, TreeStore, VisitEvent};
 use natix_xml::{Document, LiteralValue, NodeData, SymbolTable, LABEL_TEXT};
 
 use crate::error::{NatixError, NatixResult};
@@ -47,69 +55,125 @@ pub struct NodeSummary {
     pub text: Option<String>,
 }
 
-/// Per-document state.
+/// The lazy `NodeId ↔ NodePtr` map of one document.
+struct NodeMap {
+    map: HashMap<NodeId, NodePtr>,
+    rev: HashMap<NodePtr, NodeId>,
+    next_id: NodeId,
+}
+
+/// Per-document state. Shared as `Arc<DocState>`; the volatile pieces
+/// (the id map and the root record RID, which moves on root splits) sit
+/// behind their own mutexes so readers take `&self`.
 pub(crate) struct DocState {
     pub name: String,
-    pub root_rid: Rid,
+    root_rid: Mutex<Rid>,
+    /// The root's logical id — the first id handed out, always 0.
     pub root_id: NodeId,
-    pub map: HashMap<NodeId, NodePtr>,
-    pub rev: HashMap<NodePtr, NodeId>,
-    pub next_id: NodeId,
+    ids: Mutex<NodeMap>,
 }
 
 impl DocState {
     pub(crate) fn new(name: String, root_rid: Rid) -> DocState {
-        let mut s = DocState {
-            name,
-            root_rid,
-            root_id: 0,
+        let root_ptr = NodePtr::new(root_rid, 0);
+        let mut ids = NodeMap {
             map: HashMap::new(),
             rev: HashMap::new(),
             next_id: 0,
         };
-        let root_ptr = NodePtr::new(root_rid, 0);
-        s.root_id = s.fresh_id(root_ptr);
-        s
+        let root_id = fresh(&mut ids, root_ptr);
+        DocState {
+            name,
+            root_rid: Mutex::new(root_rid),
+            root_id,
+            ids: Mutex::new(ids),
+        }
     }
 
-    pub(crate) fn fresh_id(&mut self, ptr: NodePtr) -> NodeId {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.map.insert(id, ptr);
-        self.rev.insert(ptr, id);
-        id
+    /// Current RID of the record holding the document root.
+    pub(crate) fn root_rid(&self) -> Rid {
+        *self.root_rid.lock()
+    }
+
+    /// Resolves a logical id to its current physical pointer.
+    pub(crate) fn resolve(&self, id: NodeId) -> Option<NodePtr> {
+        self.ids.lock().map.get(&id).copied()
+    }
+
+    /// The id already bound to `ptr`, if any (no binding).
+    pub(crate) fn lookup_ptr(&self, ptr: NodePtr) -> Option<NodeId> {
+        self.ids.lock().rev.get(&ptr).copied()
+    }
+
+    /// The id bound to `ptr`, binding a fresh one if it was never seen —
+    /// the lazy-id path of read-only navigation.
+    pub(crate) fn bind(&self, ptr: NodePtr) -> NodeId {
+        let mut ids = self.ids.lock();
+        match ids.rev.get(&ptr) {
+            Some(&id) => id,
+            None => fresh(&mut ids, ptr),
+        }
+    }
+
+    /// Binds a fresh id to `ptr` (insertion results).
+    pub(crate) fn fresh_id(&self, ptr: NodePtr) -> NodeId {
+        fresh(&mut self.ids.lock(), ptr)
     }
 
     /// Applies relocation events (two-phase so intra-record shifts cannot
     /// collide).
-    pub(crate) fn apply(&mut self, res: &OpResult) {
+    pub(crate) fn apply(&self, res: &OpResult) {
+        let mut ids = self.ids.lock();
         let moved: Vec<(Option<NodeId>, NodePtr)> = res
             .relocations
             .iter()
-            .map(|r| (self.rev.remove(&r.old), r.new))
+            .map(|r| (ids.rev.remove(&r.old), r.new))
             .collect();
         for (id, new) in moved {
             if let Some(i) = id {
-                self.map.insert(i, new);
-                self.rev.insert(new, i);
+                ids.map.insert(i, new);
+                ids.rev.insert(new, i);
             }
         }
+        drop(ids);
         if let Some((old, new)) = res.root_moved {
-            if self.root_rid == old {
-                self.root_rid = new;
+            let mut root = self.root_rid.lock();
+            if *root == old {
+                *root = new;
             }
         }
     }
 
     /// Drops the subtree's ids (before applying relocations of the same
     /// operation — survivors may move into freed addresses).
-    pub(crate) fn purge(&mut self, ids: &[NodeId]) {
-        for id in ids {
-            if let Some(p) = self.map.remove(id) {
-                self.rev.remove(&p);
+    pub(crate) fn purge(&self, victims: &[NodeId]) {
+        let mut ids = self.ids.lock();
+        for id in victims {
+            if let Some(p) = ids.map.remove(id) {
+                ids.rev.remove(&p);
             }
         }
     }
+
+    /// Rebinds the whole map to `ptrs` in order, ids starting at 0 (used
+    /// when a persisted document is reopened).
+    pub(crate) fn reset_map(&self, ptrs: &[NodePtr]) {
+        let mut ids = self.ids.lock();
+        ids.map.clear();
+        ids.rev.clear();
+        ids.next_id = 0;
+        for &ptr in ptrs {
+            fresh(&mut ids, ptr);
+        }
+    }
+}
+
+fn fresh(ids: &mut NodeMap, ptr: NodePtr) -> NodeId {
+    let id = ids.next_id;
+    ids.next_id += 1;
+    ids.map.insert(id, ptr);
+    ids.rev.insert(ptr, id);
+    id
 }
 
 /// How much text goes into one literal node before the document manager
@@ -133,38 +197,52 @@ impl Repository {
     ///
     /// [`put_document_per_node`]: Self::put_document_per_node
     pub fn put_document(&mut self, name: &str, doc: &Document) -> NatixResult<DocId> {
-        if self.by_name.contains_key(name) {
-            return Err(NatixError::DocumentExists(name.to_string()));
+        self.claim_name(name)?;
+        let load = || -> NatixResult<Rid> {
+            if !matches!(doc.data(doc.root()), NodeData::Element(_)) {
+                return Err(NatixError::Validation(
+                    "document root must be an element".into(),
+                ));
+            }
+            let limit = chunk_limit(self.tree.net_capacity());
+            let stats = natix_tree::bulkload_document(&self.tree, doc, Some(limit))?;
+            Ok(stats.root_rid)
+        };
+        match load() {
+            // Node ids are handed out lazily as the document is navigated
+            // (`children`/`parent` bind unseen pointers); only the root is
+            // bound eagerly.
+            Ok(root_rid) => Ok(self.register(DocState::new(name.to_string(), root_rid))),
+            Err(e) => {
+                self.abandon_claim(name);
+                Err(e)
+            }
         }
-        if !matches!(doc.data(doc.root()), NodeData::Element(_)) {
-            return Err(NatixError::Validation(
-                "document root must be an element".into(),
-            ));
-        }
-        let limit = chunk_limit(self.tree.net_capacity());
-        let stats = natix_tree::bulkload_document(&self.tree, doc, Some(limit))?;
-        // Node ids are handed out lazily as the document is navigated
-        // (`children`/`parent` bind unseen pointers); only the root is
-        // bound eagerly.
-        let state = DocState::new(name.to_string(), stats.root_rid);
-        Ok(self.register(state))
     }
 
     /// Stores a logical document by inserting one node at a time through
-    /// the incremental tree-growth procedure — the pre-PR storage path,
-    /// kept as the oracle for differential tests and benchmarks of the
-    /// bulkloader.
+    /// the incremental tree-growth procedure — the pre-bulkloader storage
+    /// path, kept as the oracle for differential tests and benchmarks of
+    /// the bulkloader.
     pub fn put_document_per_node(&mut self, name: &str, doc: &Document) -> NatixResult<DocId> {
-        if self.by_name.contains_key(name) {
-            return Err(NatixError::DocumentExists(name.to_string()));
+        self.claim_name(name)?;
+        match self.per_node_load(name, doc) {
+            Ok(state) => Ok(self.register(state)),
+            Err(e) => {
+                self.abandon_claim(name);
+                Err(e)
+            }
         }
+    }
+
+    fn per_node_load(&mut self, name: &str, doc: &Document) -> NatixResult<DocState> {
         let NodeData::Element(root_label) = doc.data(doc.root()) else {
             return Err(NatixError::Validation(
                 "document root must be an element".into(),
             ));
         };
         let root_rid = self.tree.create_tree(*root_label)?;
-        let mut state = DocState::new(name.to_string(), root_rid);
+        let state = DocState::new(name.to_string(), root_rid);
         let limit = chunk_limit(self.tree.net_capacity());
         // Pre-order walk, inserting every node as the last child of its
         // (already inserted) parent.
@@ -175,7 +253,7 @@ impl Repository {
                 continue;
             };
             let parent_id = shadow_ids[&parent];
-            let parent_ptr = state.map[&parent_id];
+            let parent_ptr = state.resolve(parent_id).expect("parent id is bound");
             match doc.data(n) {
                 NodeData::Element(label) => {
                     let res =
@@ -202,7 +280,7 @@ impl Repository {
                         // Re-resolve the parent for every chunk: inserting
                         // the previous chunk may have split or moved the
                         // parent's record, invalidating the old pointer.
-                        let ptr = state.map[&parent_id];
+                        let ptr = state.resolve(parent_id).expect("parent id is bound");
                         let res =
                             self.tree
                                 .insert(ptr, InsertPos::Last, *label, NewNode::Literal(v))?;
@@ -213,20 +291,16 @@ impl Repository {
                 }
             }
         }
-        Ok(self.register(state))
-    }
-
-    pub(crate) fn register(&mut self, state: DocState) -> DocId {
-        let id = self.docs.len() as DocId;
-        self.by_name.insert(state.name.clone(), id);
-        self.docs.push(Some(state));
-        id
+        Ok(state)
     }
 
     /// Parses and stores XML text.
     pub fn put_xml(&mut self, name: &str, xml: &str) -> NatixResult<DocId> {
         let options = self.parser_options();
-        let doc = natix_xml::parse_document(xml, &mut self.symbols, options)?;
+        let doc = {
+            let mut symbols = self.symbols.write();
+            natix_xml::parse_document(xml, &mut symbols, options)?
+        };
         self.put_document(name, &doc)
     }
 
@@ -240,22 +314,24 @@ impl Repository {
     /// by the page capacity times the element depth), independent of
     /// document size — node ids are bound lazily on navigation, never
     /// materialised for the whole document. A failed load deletes every
-    /// record it had already flushed.
+    /// record it had already flushed and releases its name claim.
     pub fn put_xml_streaming(&mut self, name: &str, xml: &str) -> NatixResult<DocId> {
-        use natix_xml::{PullParser, XmlEvent};
-        if self.by_name.contains_key(name) {
-            return Err(NatixError::DocumentExists(name.to_string()));
-        }
+        // Same claim → load → publish protocol as one concurrent
+        // ingestion job, over the main document store.
+        self.ingest_one(&self.tree, name, xml)
+    }
+
+    /// The shared streaming-load engine: parses `xml` and feeds the event
+    /// stream to a bulkloader over `tree` (the main document store, or a
+    /// per-worker ingestion store — see [`Self::put_documents_parallel`]).
+    /// Labels are interned through the read-locked fast path, so any
+    /// number of these can run concurrently. On failure every flushed
+    /// record has been rolled back; registry bookkeeping is the caller's.
+    pub(crate) fn stream_load(&self, tree: &TreeStore, xml: &str) -> NatixResult<BulkStats> {
+        use natix_xml::{LabelKind, PullParser, XmlEvent};
         let options = self.parser_options();
-        let limit = chunk_limit(self.tree.net_capacity());
+        let limit = chunk_limit(tree.net_capacity());
         let mut parser = PullParser::new(xml, options);
-        // Split borrows: the loader holds the tree store while tag and
-        // attribute names are interned into the symbol table.
-        let Repository {
-            ref tree,
-            ref mut symbols,
-            ..
-        } = *self;
         let mut loader = natix_tree::BulkLoader::new(tree);
         let mut feed = |loader: &mut natix_tree::BulkLoader<'_>| -> NatixResult<()> {
             let mut seen_root = false;
@@ -265,9 +341,9 @@ impl Repository {
                         // A second root element is rejected by the parser
                         // itself (`XmlError::Structure`).
                         seen_root = true;
-                        loader.start_element(symbols.intern_element(tag))?;
+                        loader.start_element(self.intern_shared(LabelKind::Element, tag))?;
                         for (attr_name, value) in attrs {
-                            let label = symbols.intern_attribute(attr_name);
+                            let label = self.intern_shared(LabelKind::Attribute, attr_name);
                             loader.literal(label, LiteralValue::String(value))?;
                         }
                     }
@@ -316,27 +392,27 @@ impl Repository {
             }
             Ok(())
         };
-        let stats = match feed(&mut loader) {
-            Ok(()) => loader.finish()?,
+        match feed(&mut loader) {
+            Ok(()) => Ok(loader.finish()?),
             Err(e) => {
                 // Never leak the records flushed before the failure.
                 loader.abort();
-                return Err(e);
+                Err(e)
             }
-        };
-        let state = DocState::new(name.to_string(), stats.root_rid);
-        Ok(self.register(state))
+        }
     }
 
     /// Creates an empty document with the given root tag.
     pub fn create_document(&mut self, name: &str, root_tag: &str) -> NatixResult<DocId> {
-        if self.by_name.contains_key(name) {
-            return Err(NatixError::DocumentExists(name.to_string()));
+        self.claim_name(name)?;
+        let label = self.symbols.write().intern_element(root_tag);
+        match self.tree.create_tree(label) {
+            Ok(root_rid) => Ok(self.register(DocState::new(name.to_string(), root_rid))),
+            Err(e) => {
+                self.abandon_claim(name);
+                Err(e.into())
+            }
         }
-        let label = self.symbols.intern_element(root_tag);
-        let root_rid = self.tree.create_tree(label)?;
-        let state = DocState::new(name.to_string(), root_rid);
-        Ok(self.register(state))
     }
 
     /// Reconstructs the whole logical document (§2.3.3: proxy
@@ -345,7 +421,7 @@ impl Repository {
         let id = self.doc_id(name)?;
         Ok(natix_tree::reconstruct_document(
             &self.tree,
-            self.state(id)?.root_rid,
+            self.state(id)?.root_rid(),
         )?)
     }
 
@@ -353,21 +429,26 @@ impl Repository {
     pub fn get_xml(&self, name: &str) -> NatixResult<String> {
         let id = self.doc_id(name)?;
         let st = self.state(id)?;
+        // Serialize against a snapshot: holding the read lock across a
+        // whole-document walk (buffer misses included) would let one
+        // queued intern from an ingestion worker stall every other
+        // reader behind the writer for the duration. The alphabet is
+        // small and append-only, so a clone is cheap and never stale
+        // for labels this document can reference.
+        let symbols = self.symbols.read().clone();
         Ok(natix_tree::serialize_xml(
             &self.tree,
-            NodePtr::new(st.root_rid, 0),
-            &self.symbols,
+            NodePtr::new(st.root_rid(), 0),
+            &symbols,
         )?)
     }
 
     /// Deletes a document and all its records.
     pub fn delete_document(&mut self, name: &str) -> NatixResult<()> {
         let id = self.doc_id(name)?;
-        let root_rid = self.state(id)?.root_rid;
+        let root_rid = self.state(id)?.root_rid();
         self.tree.drop_tree(root_rid)?;
-        self.by_name.remove(name);
-        self.docs[id as usize] = None;
-        Ok(())
+        self.unregister(name)
     }
 
     // ==================================================================
@@ -384,40 +465,29 @@ impl Repository {
             } else {
                 NodeKind::Element
             },
-            label: self.symbols.name(info.label).to_string(),
+            label: self.symbols.read().name(info.label).to_string(),
             text: info.value.map(|v| v.to_text()),
         })
     }
 
-    /// Logical children of a node, in document order.
-    pub fn children(&mut self, doc: DocId, node: NodeId) -> NatixResult<Vec<NodeId>> {
+    /// Logical children of a node, in document order. Read-only: unseen
+    /// pointers are bound to fresh ids through the document's own id-map
+    /// mutex, so concurrent readers never block behind writers of other
+    /// documents.
+    pub fn children(&self, doc: DocId, node: NodeId) -> NatixResult<Vec<NodeId>> {
         let ptr = self.resolve(doc, node)?;
         let ptrs = self.tree.logical_children(ptr)?;
-        let state = self.state_mut(doc)?;
-        Ok(ptrs
-            .into_iter()
-            .map(|p| {
-                state
-                    .rev
-                    .get(&p)
-                    .copied()
-                    .unwrap_or_else(|| state.fresh_id(p))
-            })
-            .collect())
+        let state = self.state(doc)?;
+        Ok(ptrs.into_iter().map(|p| state.bind(p)).collect())
     }
 
-    /// Logical parent of a node (`None` at the root).
-    pub fn parent(&mut self, doc: DocId, node: NodeId) -> NatixResult<Option<NodeId>> {
+    /// Logical parent of a node (`None` at the root). Read-only, like
+    /// [`children`](Self::children).
+    pub fn parent(&self, doc: DocId, node: NodeId) -> NatixResult<Option<NodeId>> {
         let ptr = self.resolve(doc, node)?;
         let parent = self.tree.logical_parent(ptr)?;
-        let state = self.state_mut(doc)?;
-        Ok(parent.map(|p| {
-            state
-                .rev
-                .get(&p)
-                .copied()
-                .unwrap_or_else(|| state.fresh_id(p))
-        }))
+        let state = self.state(doc)?;
+        Ok(parent.map(|p| state.bind(p)))
     }
 
     /// Inserts a new element under `parent`.
@@ -428,10 +498,10 @@ impl Repository {
         pos: InsertPos,
         tag: &str,
     ) -> NatixResult<NodeId> {
-        let label = self.symbols.intern_element(tag);
+        let label = self.symbols.write().intern_element(tag);
         let ptr = self.resolve(doc, parent)?;
         let res = self.tree.insert(ptr, pos, label, NewNode::Element)?;
-        let state = self.state_mut(doc)?;
+        let state = self.state(doc)?;
         state.apply(&res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
@@ -465,7 +535,7 @@ impl Repository {
                 LABEL_TEXT,
                 NewNode::Literal(LiteralValue::String(chunk)),
             )?;
-            let state = self.state_mut(doc)?;
+            let state = self.state(doc)?;
             state.apply(&res);
             let id = state.fresh_id(res.new_node.expect("insert yields node"));
             // Subsequent chunks follow the one just inserted.
@@ -486,10 +556,10 @@ impl Repository {
         sibling: NodeId,
         tag: &str,
     ) -> NatixResult<NodeId> {
-        let label = self.symbols.intern_element(tag);
+        let label = self.symbols.write().intern_element(tag);
         let ptr = self.resolve(doc, sibling)?;
         let res = self.tree.insert_after(ptr, label, NewNode::Element)?;
-        let state = self.state_mut(doc)?;
+        let state = self.state(doc)?;
         state.apply(&res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
@@ -506,7 +576,7 @@ impl Repository {
         let res = self
             .tree
             .insert_after(ptr, label, NewNode::Literal(value))?;
-        let state = self.state_mut(doc)?;
+        let state = self.state(doc)?;
         state.apply(&res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
@@ -522,7 +592,7 @@ impl Repository {
     ) -> NatixResult<NodeId> {
         let ptr = self.resolve(doc, parent)?;
         let res = self.tree.insert(ptr, pos, label, node)?;
-        let state = self.state_mut(doc)?;
+        let state = self.state(doc)?;
         state.apply(&res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
@@ -537,7 +607,7 @@ impl Repository {
     ) -> NatixResult<NodeId> {
         let ptr = self.resolve(doc, sibling)?;
         let res = self.tree.insert_after(ptr, label, node)?;
-        let state = self.state_mut(doc)?;
+        let state = self.state(doc)?;
         state.apply(&res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
@@ -545,26 +615,23 @@ impl Repository {
     /// Deletes the subtree rooted at `node`.
     pub fn delete_node(&mut self, doc: DocId, node: NodeId) -> NatixResult<()> {
         let ptr = self.resolve(doc, node)?;
+        let state = self.state(doc)?;
         // Collect the subtree's logical ids first (their pointers are
         // purged before relocations are applied).
         let mut victims = Vec::new();
-        {
-            let state = self.state(doc)?;
-            natix_tree::traverse(&self.tree, ptr, &mut |ev| {
-                let p = match ev {
-                    VisitEvent::Enter { ptr, .. } | VisitEvent::Literal { ptr, .. } => Some(ptr),
-                    VisitEvent::Leave { .. } => None,
-                };
-                if let Some(p) = p {
-                    if let Some(&id) = state.rev.get(&p) {
-                        victims.push(id);
-                    }
+        natix_tree::traverse(&self.tree, ptr, &mut |ev| {
+            let p = match ev {
+                VisitEvent::Enter { ptr, .. } | VisitEvent::Literal { ptr, .. } => Some(ptr),
+                VisitEvent::Leave { .. } => None,
+            };
+            if let Some(p) = p {
+                if let Some(id) = state.lookup_ptr(p) {
+                    victims.push(id);
                 }
-                true
-            })?;
-        }
+            }
+            true
+        })?;
         let res = self.tree.delete_subtree(ptr)?;
-        let state = self.state_mut(doc)?;
         state.purge(&victims);
         state.apply(&res);
         Ok(())
@@ -576,7 +643,7 @@ impl Repository {
         let res = self
             .tree
             .update_literal(ptr, LiteralValue::String(text.to_string()))?;
-        self.state_mut(doc)?.apply(&res);
+        self.state(doc)?.apply(&res);
         Ok(())
     }
 
@@ -589,7 +656,9 @@ impl Repository {
     /// Serialises a subtree back to XML text.
     pub fn serialize_node(&self, doc: DocId, node: NodeId) -> NatixResult<String> {
         let ptr = self.resolve(doc, node)?;
-        Ok(natix_tree::serialize_xml(&self.tree, ptr, &self.symbols)?)
+        // Snapshot, not guard: see `get_xml`.
+        let symbols = self.symbols.read().clone();
+        Ok(natix_tree::serialize_xml(&self.tree, ptr, &symbols)?)
     }
 
     /// Full pre-order traversal of a document, calling `f(depth, summary)`
@@ -600,9 +669,11 @@ impl Repository {
         mut f: impl FnMut(usize, NodeSummary),
     ) -> NatixResult<()> {
         let st = self.state(doc)?;
-        let symbols: &SymbolTable = &self.symbols;
+        // Snapshot, not guard: see `get_xml`.
+        let symbols: SymbolTable = self.symbols.read().clone();
+        let symbols: &SymbolTable = &symbols;
         let mut depth = 0usize;
-        natix_tree::traverse(&self.tree, NodePtr::new(st.root_rid, 0), &mut |ev| {
+        natix_tree::traverse(&self.tree, NodePtr::new(st.root_rid(), 0), &mut |ev| {
             match ev {
                 VisitEvent::Enter { label, .. } => {
                     f(
@@ -633,24 +704,17 @@ impl Repository {
     /// Rebuilds the logical-node map of a re-opened document by one full
     /// traversal (ids are assigned in pre-order). Called by the catalog
     /// loader; for freshly stored documents the map is already current.
-    pub(crate) fn rebuild_map(&mut self, doc: DocId) -> NatixResult<()> {
-        let root_rid = self.state(doc)?.root_rid;
+    pub(crate) fn rebuild_map(&self, doc: DocId) -> NatixResult<()> {
+        let state = self.state(doc)?;
         let mut ptrs = Vec::new();
-        natix_tree::traverse(&self.tree, NodePtr::new(root_rid, 0), &mut |ev| {
+        natix_tree::traverse(&self.tree, NodePtr::new(state.root_rid(), 0), &mut |ev| {
             match ev {
                 VisitEvent::Enter { ptr, .. } | VisitEvent::Literal { ptr, .. } => ptrs.push(ptr),
                 VisitEvent::Leave { .. } => {}
             }
             true
         })?;
-        let state = self.state_mut(doc)?;
-        state.map.clear();
-        state.rev.clear();
-        state.next_id = 0;
-        for ptr in ptrs {
-            state.fresh_id(ptr);
-        }
-        state.root_id = 0;
+        state.reset_map(&ptrs);
         Ok(())
     }
 }
@@ -694,6 +758,20 @@ mod tests {
         assert_eq!(tail.text.as_deref(), Some("tail"));
         assert_eq!(repo.parent(id, kids[0]).unwrap(), Some(root));
         assert_eq!(repo.parent(id, root).unwrap(), None);
+    }
+
+    #[test]
+    fn readers_navigate_through_shared_reference() {
+        // `children`/`parent`/`node_summary` take `&self`: a read-only
+        // traversal needs no exclusive access to the repository.
+        let mut repo = small_repo();
+        let id = repo.put_xml("d", "<a><b>x</b><c>y</c></a>").unwrap();
+        let shared: &Repository = &repo;
+        let root = shared.root(id).unwrap();
+        let kids = shared.children(id, root).unwrap();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(shared.parent(id, kids[1]).unwrap(), Some(root));
+        assert_eq!(shared.node_summary(id, kids[0]).unwrap().label, "b");
     }
 
     #[test]
@@ -852,6 +930,9 @@ mod tests {
         let mut repo = small_repo();
         assert!(repo.put_xml_streaming("d", "<a><b></a>").is_err());
         assert!(repo.put_xml_streaming("d2", "").is_err());
+        // Failed loads release their claims: the names are free again.
+        repo.put_xml_streaming("d", "<a/>").unwrap();
+        repo.put_xml_streaming("d2", "<b/>").unwrap();
     }
 
     #[test]

@@ -142,23 +142,14 @@ impl LabelIndex {
 
     /// All nodes with the given element label in a document, in insertion
     /// (document) order, as logical node ids.
-    pub fn lookup(&self, repo: &mut Repository, name: &str, tag: &str) -> NatixResult<Vec<NodeId>> {
+    pub fn lookup(&self, repo: &Repository, name: &str, tag: &str) -> NatixResult<Vec<NodeId>> {
         let doc = repo.doc_id(name)?;
         let Some(label) = repo.symbols().lookup_element(tag) else {
             return Ok(Vec::new());
         };
         let ptrs = self.lookup_ptrs(repo, doc, label)?;
-        let state = repo.state_mut(doc)?;
-        Ok(ptrs
-            .into_iter()
-            .map(|p| {
-                state
-                    .rev
-                    .get(&p)
-                    .copied()
-                    .unwrap_or_else(|| state.fresh_id(p))
-            })
-            .collect())
+        let state = repo.state(doc)?;
+        Ok(ptrs.into_iter().map(|p| state.bind(p)).collect())
     }
 
     /// Physical-pointer lookup (used by the benchmark harness to avoid
@@ -212,20 +203,20 @@ mod tests {
 
     #[test]
     fn index_and_lookup() {
-        let mut repo = repo_with_play();
+        let repo = repo_with_play();
         let mut idx = LabelIndex::create(&repo).unwrap();
         idx.index_document(&repo, "p").unwrap();
         let id = repo.doc_id("p").unwrap();
-        let speakers = idx.lookup(&mut repo, "p", "SPEAKER").unwrap();
+        let speakers = idx.lookup(&repo, "p", "SPEAKER").unwrap();
         assert_eq!(speakers.len(), 2);
         let texts: Vec<String> = speakers
             .iter()
             .map(|&s| repo.text_content(id, s).unwrap())
             .collect();
         assert_eq!(texts, vec!["A", "B"]);
-        let lines = idx.lookup(&mut repo, "p", "LINE").unwrap();
+        let lines = idx.lookup(&repo, "p", "LINE").unwrap();
         assert_eq!(lines.len(), 3);
-        assert!(idx.lookup(&mut repo, "p", "NOPE").unwrap().is_empty());
+        assert!(idx.lookup(&repo, "p", "NOPE").unwrap().is_empty());
     }
 
     #[test]
@@ -247,7 +238,7 @@ mod tests {
         idx.mark_stale(id);
         assert!(!idx.is_current(id));
         idx.ensure_current(&repo, "p").unwrap();
-        let speakers = idx.lookup(&mut repo, "p", "SPEAKER").unwrap();
+        let speakers = idx.lookup(&repo, "p", "SPEAKER").unwrap();
         assert_eq!(speakers.len(), 3);
     }
 
@@ -263,7 +254,7 @@ mod tests {
         let mut idx = LabelIndex::create(&repo).unwrap();
         idx.index_document(&repo, "p").unwrap();
         idx.index_document(&repo, "q").unwrap();
-        assert_eq!(idx.lookup(&mut repo, "p", "SPEAKER").unwrap().len(), 2);
-        assert_eq!(idx.lookup(&mut repo, "q", "SPEAKER").unwrap().len(), 1);
+        assert_eq!(idx.lookup(&repo, "p", "SPEAKER").unwrap().len(), 2);
+        assert_eq!(idx.lookup(&repo, "q", "SPEAKER").unwrap().len(), 1);
     }
 }

@@ -43,6 +43,7 @@ pub mod document;
 pub mod error;
 pub mod flatfile;
 pub mod index;
+pub mod ingest;
 pub mod query;
 pub mod repository;
 pub mod schema;

@@ -123,57 +123,72 @@ fn to_tree_err(e: NatixError) -> natix_tree::TreeError {
 
 impl Repository {
     /// Evaluates a path query against a stored document, returning logical
-    /// node ids in document order.
-    pub fn query(&mut self, name: &str, path: &str) -> NatixResult<Vec<NodeId>> {
+    /// node ids in document order. Read-only (`&self`): queries of
+    /// different threads run in parallel.
+    pub fn query(&self, name: &str, path: &str) -> NatixResult<Vec<NodeId>> {
         let q = PathQuery::parse(path)?;
         let doc = self.doc_id(name)?;
         self.query_parsed(doc, &q)
     }
 
     /// Evaluates a pre-parsed query.
-    pub fn query_parsed(&mut self, doc: DocId, q: &PathQuery) -> NatixResult<Vec<NodeId>> {
-        let root_rid = self.state(doc)?.root_rid;
+    pub fn query_parsed(&self, doc: DocId, q: &PathQuery) -> NatixResult<Vec<NodeId>> {
+        let root_rid = self.state(doc)?.root_rid();
         let root = NodePtr::new(root_rid, 0);
+        // Resolve every name test to a label id up front: the walk below
+        // matches a step per visited node, and taking the symbol-table
+        // lock (plus a string comparison) per node would put lock traffic
+        // on the query hot path. A name absent from the alphabet matches
+        // nothing, exactly like the string comparison it replaces.
+        let steps: Vec<(&Step, Option<natix_xml::LabelId>)> = {
+            let symbols = self.symbols();
+            q.steps
+                .iter()
+                .map(|s| {
+                    let label = match &s.test {
+                        Test::Name(n) => symbols.lookup_element(n),
+                        _ => None,
+                    };
+                    (s, label)
+                })
+                .collect()
+        };
         // The first step matches the root element itself (absolute paths
         // address the document element).
         let mut current: Vec<NodePtr> = Vec::new();
-        let first = &q.steps[0];
+        let (first, first_label) = steps[0];
         if first.descendant {
-            self.collect_descendants(root, first, &mut current)?;
-        } else if self.step_matches(root, first)? && first.position.unwrap_or(1) == 1 {
+            self.collect_descendants(root, first, first_label, &mut current)?;
+        } else if self.step_matches(root, first, first_label)? && first.position.unwrap_or(1) == 1 {
             current.push(root);
         }
-        for step in &q.steps[1..] {
+        for &(step, label) in &steps[1..] {
             let mut next = Vec::new();
             for &ctx in &current {
                 if step.descendant {
-                    self.collect_descendants(ctx, step, &mut next)?;
+                    self.collect_descendants(ctx, step, label, &mut next)?;
                 } else {
-                    self.collect_children(ctx, step, &mut next)?;
+                    self.collect_children(ctx, step, label, &mut next)?;
                 }
             }
             current = next;
         }
         // Map to logical ids.
-        let state = self.state_mut(doc)?;
-        Ok(current
-            .into_iter()
-            .map(|p| {
-                state
-                    .rev
-                    .get(&p)
-                    .copied()
-                    .unwrap_or_else(|| state.fresh_id(p))
-            })
-            .collect())
+        let state = self.state(doc)?;
+        Ok(current.into_iter().map(|p| state.bind(p)).collect())
     }
 
-    fn step_matches(&self, ptr: NodePtr, step: &Step) -> NatixResult<bool> {
+    fn step_matches(
+        &self,
+        ptr: NodePtr,
+        step: &Step,
+        name_label: Option<natix_xml::LabelId>,
+    ) -> NatixResult<bool> {
         let info = self.tree.node_info(ptr)?;
         Ok(match &step.test {
             Test::Any => info.value.is_none(),
             Test::Text => info.label == LABEL_TEXT,
-            Test::Name(n) => info.value.is_none() && self.symbols.name(info.label) == n.as_str(),
+            Test::Name(_) => info.value.is_none() && name_label.is_some_and(|l| info.label == l),
         })
     }
 
@@ -185,11 +200,15 @@ impl Repository {
         &self,
         ctx: NodePtr,
         step: &Step,
+        name_label: Option<natix_xml::LabelId>,
         out: &mut Vec<NodePtr>,
     ) -> NatixResult<()> {
         let mut seen = 0usize;
         self.tree.for_each_logical_child(ctx, &mut |child| {
-            if self.step_matches(child, step).map_err(to_tree_err)? {
+            if self
+                .step_matches(child, step, name_label)
+                .map_err(to_tree_err)?
+            {
                 seen += 1;
                 match step.position {
                     None => out.push(child),
@@ -210,6 +229,7 @@ impl Repository {
         &self,
         ctx: NodePtr,
         step: &Step,
+        name_label: Option<natix_xml::LabelId>,
         out: &mut Vec<NodePtr>,
     ) -> NatixResult<()> {
         // `//x[n]` takes the n-th match in document order under this
@@ -218,7 +238,7 @@ impl Repository {
         let mut stack = vec![ctx];
         let mut first = true;
         while let Some(p) = stack.pop() {
-            let matches = self.step_matches(p, step)?;
+            let matches = self.step_matches(p, step, name_label)?;
             if matches && !(first && p == ctx && step.test == Test::Text) {
                 seen += 1;
                 match step.position {
@@ -287,7 +307,7 @@ mod tests {
 
     #[test]
     fn child_steps_and_positions() {
-        let (mut repo, id) = play_repo();
+        let (repo, id) = play_repo();
         let acts = repo.query("play", "/PLAY/ACT").unwrap();
         assert_eq!(acts.len(), 2);
         let act2_scenes = repo.query("play", "/PLAY/ACT[2]/SCENE").unwrap();
@@ -301,7 +321,7 @@ mod tests {
 
     #[test]
     fn descendant_steps() {
-        let (mut repo, id) = play_repo();
+        let (repo, id) = play_repo();
         let speakers = repo.query("play", "//SPEAKER").unwrap();
         assert_eq!(speakers.len(), 4);
         let names: Vec<String> = speakers
@@ -315,7 +335,7 @@ mod tests {
 
     #[test]
     fn paper_query_shapes() {
-        let (mut repo, id) = play_repo();
+        let (repo, id) = play_repo();
         // Query 1 shape (act/scene adjusted to this small fixture).
         let q1 = repo
             .query("play", "/PLAY/ACT[2]/SCENE[2]//SPEAKER")
@@ -338,7 +358,7 @@ mod tests {
 
     #[test]
     fn wildcard_and_text_steps() {
-        let (mut repo, id) = play_repo();
+        let (repo, id) = play_repo();
         let all_level2 = repo.query("play", "/PLAY/*").unwrap();
         assert_eq!(all_level2.len(), 3, "TITLE + 2 ACTs");
         let texts = repo
@@ -353,7 +373,7 @@ mod tests {
 
     #[test]
     fn missing_positions_yield_empty() {
-        let (mut repo, _) = play_repo();
+        let (repo, _) = play_repo();
         assert!(repo.query("play", "/PLAY/ACT[3]").unwrap().is_empty());
         assert!(repo.query("play", "/NOPE").unwrap().is_empty());
     }

@@ -5,10 +5,56 @@
 //! record manager, one tree store for documents and one for the system
 //! catalog, plus the schema manager. Documents are named; node-granular
 //! operations live in [`crate::document`].
+//!
+//! # Concurrency model
+//!
+//! The repository is a multi-user server in the paper's design, and this
+//! implementation is `Sync`: a `&Repository` may be shared across threads.
+//! The locks, from the outside in:
+//!
+//! * **Symbol table** — `RwLock<SymbolTable>`: readers (serialisation,
+//!   queries, name lookups) share; interning a *new* label takes the write
+//!   lock briefly. Concurrent parsers intern through a read-locked lookup
+//!   fast path ([`Repository::intern_shared`]) and only escalate on a
+//!   genuinely new name, so label interning does not serialize ingestion.
+//! * **Schema manager** — `RwLock<SchemaManager>`: DTD registration is
+//!   exclusive, validation shares.
+//! * **Document registry** — `Mutex<DocRegistry>`: the name→id directory
+//!   plus the *pending* set of the claim-name-then-publish protocol (see
+//!   below). Held only for map operations, never across I/O. Each
+//!   registered document is an `Arc<DocState>` whose lazy node-id map sits
+//!   behind its own mutex, so read-only traversal ([`children`],
+//!   [`parent`], [`node_summary`]) takes `&self` and never blocks behind a
+//!   writer of a *different* document.
+//! * **Storage** — the buffer pool performs all disk I/O outside its pool
+//!   mutex (stalls of different threads overlap), the storage manager's
+//!   allocator lock is never held across page I/O, and the tree stores are
+//!   lock-free apart from their split-matrix `RwLock`.
+//!
+//! What may run in parallel: any number of read-only operations; read-only
+//! operations against ingestion of *other* documents; and N concurrent
+//! streaming bulkloads ([`put_documents_parallel`]) into distinct
+//! segments. Structural edits of a single document take `&mut self` and
+//! remain single-writer, as in the paper.
+//!
+//! **Claim-name-then-publish:** storing a document first *claims* its name
+//! atomically in the registry (the name is neither taken nor pending, or
+//! the caller gets [`NatixError::DocumentExists`]), then performs the
+//! load, then publishes the `DocState`. A failed load abandons the claim
+//! and the bulkloader rolls back every record it flushed — concurrent
+//! ingests of the same name produce exactly one winner and no leaked
+//! pages.
+//!
+//! [`children`]: Repository::children
+//! [`parent`]: Repository::parent
+//! [`node_summary`]: Repository::node_summary
+//! [`put_documents_parallel`]: Repository::put_documents_parallel
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use natix_storage::buffer::EvictionPolicy;
 use natix_storage::{
@@ -16,7 +62,7 @@ use natix_storage::{
     StorageManager,
 };
 use natix_tree::{NodePtr, SplitMatrix, TreeConfig, TreeStore};
-use natix_xml::{ParserOptions, SymbolTable};
+use natix_xml::{LabelId, LabelKind, ParserOptions, SymbolTable};
 
 use crate::document::{DocId, DocState, NodeId};
 use crate::error::{NatixError, NatixResult};
@@ -79,16 +125,27 @@ impl<B: DiskBackend> SimControl for SimDisk<B> {
     }
 }
 
+/// The document directory: registered documents, the name→id map, and the
+/// pending set of the claim-name-then-publish protocol.
+pub(crate) struct DocRegistry {
+    docs: Vec<Option<Arc<DocState>>>,
+    by_name: HashMap<String, DocId>,
+    /// Names claimed by in-flight loads, not yet published.
+    pending: HashSet<String>,
+}
+
 /// A NATIX repository.
 pub struct Repository {
     pub(crate) sm: Arc<StorageManager>,
     pub(crate) tree: TreeStore,
     pub(crate) catalog_tree: TreeStore,
-    pub(crate) symbols: SymbolTable,
-    pub(crate) docs: Vec<Option<DocState>>,
-    pub(crate) by_name: HashMap<String, DocId>,
-    pub(crate) schema: SchemaManager,
+    pub(crate) symbols: RwLock<SymbolTable>,
+    pub(crate) registry: Mutex<DocRegistry>,
+    pub(crate) schema: RwLock<SchemaManager>,
     pub(crate) options: RepositoryOptions,
+    /// Ingestion-segment pool (slot → segment id), grown lazily by
+    /// [`Repository::put_documents_parallel`].
+    pub(crate) ingest_segs: Mutex<HashMap<usize, natix_storage::SegmentId>>,
     index_seg: natix_storage::SegmentId,
     flat_seg: natix_storage::SegmentId,
     stats: Arc<IoStats>,
@@ -149,11 +206,15 @@ impl Repository {
             sm,
             tree,
             catalog_tree,
-            symbols: SymbolTable::new(),
-            docs: Vec::new(),
-            by_name: HashMap::new(),
-            schema: SchemaManager::new(),
+            symbols: RwLock::new(SymbolTable::new()),
+            registry: Mutex::new(DocRegistry {
+                docs: Vec::new(),
+                by_name: HashMap::new(),
+                pending: HashSet::new(),
+            }),
+            schema: RwLock::new(SchemaManager::new()),
             options,
+            ingest_segs: Mutex::new(HashMap::new()),
             index_seg,
             flat_seg,
             stats,
@@ -177,6 +238,26 @@ impl Repository {
             }
             None => Repository::build(Arc::new(mem), None, options, stats, true),
         }
+    }
+
+    /// Creates a fresh repository over a caller-provided backend (used by
+    /// the concurrency benchmarks to run on a throttled disk model). The
+    /// backend's page size must match `options.page_size`; any
+    /// `disk_profile` in the options is ignored — cost accounting is the
+    /// backend's business here.
+    pub fn create_on_backend(
+        backend: Arc<dyn DiskBackend>,
+        options: RepositoryOptions,
+    ) -> NatixResult<Repository> {
+        if backend.page_size() != options.page_size {
+            return Err(NatixError::Catalog(format!(
+                "backend page size {} != options page size {}",
+                backend.page_size(),
+                options.page_size
+            )));
+        }
+        let stats = IoStats::new_shared();
+        Repository::build(backend, None, options, stats, true)
     }
 
     /// Creates a fresh file-backed repository (truncates `path`).
@@ -218,24 +299,34 @@ impl Repository {
         &self.options
     }
 
-    /// The shared label alphabet.
-    pub fn symbols(&self) -> &SymbolTable {
-        &self.symbols
+    /// Read access to the shared label alphabet.
+    pub fn symbols(&self) -> RwLockReadGuard<'_, SymbolTable> {
+        self.symbols.read()
     }
 
-    /// Mutable access to the alphabet (interning new labels).
-    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
-        &mut self.symbols
+    /// Write access to the alphabet (interning new labels).
+    pub fn symbols_mut(&self) -> RwLockWriteGuard<'_, SymbolTable> {
+        self.symbols.write()
     }
 
-    /// The schema manager.
-    pub fn schema(&self) -> &SchemaManager {
-        &self.schema
+    /// Interns through a read-locked lookup fast path: concurrent parsers
+    /// call this once per tag/attribute event, and almost every name is
+    /// already interned.
+    pub(crate) fn intern_shared(&self, kind: LabelKind, name: &str) -> LabelId {
+        if let Some(id) = self.symbols.read().lookup(kind, name) {
+            return id;
+        }
+        self.symbols.write().intern(kind, name)
     }
 
-    /// Mutable access to the schema manager.
-    pub fn schema_mut(&mut self) -> &mut SchemaManager {
-        &mut self.schema
+    /// Read access to the schema manager.
+    pub fn schema(&self) -> RwLockReadGuard<'_, SchemaManager> {
+        self.schema.read()
+    }
+
+    /// Write access to the schema manager.
+    pub fn schema_mut(&self) -> RwLockWriteGuard<'_, SchemaManager> {
+        self.schema.write()
     }
 
     /// The document tree store (exposed for the benchmark harness and the
@@ -283,9 +374,15 @@ impl Repository {
         }
     }
 
+    // ==================================================================
+    // Document registry: lookups and the claim/publish protocol.
+    // ==================================================================
+
     /// Resolves a document name.
     pub fn doc_id(&self, name: &str) -> NatixResult<DocId> {
-        self.by_name
+        self.registry
+            .lock()
+            .by_name
             .get(name)
             .copied()
             .ok_or_else(|| NatixError::NoSuchDocument(name.to_string()))
@@ -293,32 +390,85 @@ impl Repository {
 
     /// Names of all stored documents, in insertion order.
     pub fn document_names(&self) -> Vec<String> {
-        let mut v: Vec<(DocId, String)> = self
-            .by_name
-            .iter()
-            .map(|(n, &id)| (id, n.clone()))
-            .collect();
+        let reg = self.registry.lock();
+        let mut v: Vec<(DocId, String)> =
+            reg.by_name.iter().map(|(n, &id)| (id, n.clone())).collect();
+        drop(reg);
         v.sort();
         v.into_iter().map(|(_, n)| n).collect()
     }
 
-    pub(crate) fn state(&self, doc: DocId) -> NatixResult<&DocState> {
-        self.docs
+    /// Snapshot of `(name, id, root rid)` for every document, in id order
+    /// (catalog persistence).
+    pub(crate) fn doc_entries(&self) -> Vec<(String, DocId, Rid)> {
+        let reg = self.registry.lock();
+        let mut v: Vec<(String, DocId, Rid)> = reg
+            .by_name
+            .iter()
+            .filter_map(|(n, &id)| {
+                reg.docs
+                    .get(id as usize)
+                    .and_then(|d| d.as_ref())
+                    .map(|st| (n.clone(), id, st.root_rid()))
+            })
+            .collect();
+        drop(reg);
+        v.sort_by_key(|&(_, id, _)| id);
+        v
+    }
+
+    pub(crate) fn state(&self, doc: DocId) -> NatixResult<Arc<DocState>> {
+        self.registry
+            .lock()
+            .docs
             .get(doc as usize)
             .and_then(|d| d.as_ref())
+            .cloned()
             .ok_or_else(|| NatixError::NoSuchDocument(format!("#{doc}")))
     }
 
-    pub(crate) fn state_mut(&mut self, doc: DocId) -> NatixResult<&mut DocState> {
-        self.docs
-            .get_mut(doc as usize)
-            .and_then(|d| d.as_mut())
-            .ok_or_else(|| NatixError::NoSuchDocument(format!("#{doc}")))
+    /// Atomically claims `name` for an in-flight load. Fails with
+    /// [`NatixError::DocumentExists`] when the name is registered *or*
+    /// claimed by a concurrent load — of two racing ingests of the same
+    /// name, exactly one proceeds.
+    pub(crate) fn claim_name(&self, name: &str) -> NatixResult<()> {
+        let mut reg = self.registry.lock();
+        if reg.by_name.contains_key(name) || !reg.pending.insert(name.to_string()) {
+            return Err(NatixError::DocumentExists(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Releases a claim whose load failed (the loader has already rolled
+    /// back its records).
+    pub(crate) fn abandon_claim(&self, name: &str) {
+        self.registry.lock().pending.remove(name);
+    }
+
+    /// Registers a loaded document, releasing its claim if one was taken.
+    pub(crate) fn register(&self, state: DocState) -> DocId {
+        let mut reg = self.registry.lock();
+        let id = reg.docs.len() as DocId;
+        reg.pending.remove(&state.name);
+        reg.by_name.insert(state.name.clone(), id);
+        reg.docs.push(Some(Arc::new(state)));
+        id
+    }
+
+    /// Removes a document from the registry (storage already reclaimed).
+    pub(crate) fn unregister(&self, name: &str) -> NatixResult<()> {
+        let mut reg = self.registry.lock();
+        let id = reg
+            .by_name
+            .remove(name)
+            .ok_or_else(|| NatixError::NoSuchDocument(name.to_string()))?;
+        reg.docs[id as usize] = None;
+        Ok(())
     }
 
     /// Root record RID of a document (harness / validation access).
     pub fn root_rid(&self, doc: DocId) -> NatixResult<Rid> {
-        Ok(self.state(doc)?.root_rid)
+        Ok(self.state(doc)?.root_rid())
     }
 
     /// The logical root node id of a document.
@@ -329,9 +479,7 @@ impl Repository {
     /// Resolves a logical node id to its current physical pointer.
     pub(crate) fn resolve(&self, doc: DocId, node: NodeId) -> NatixResult<NodePtr> {
         self.state(doc)?
-            .map
-            .get(&node)
-            .copied()
+            .resolve(node)
             .ok_or(NatixError::NoSuchNode(node))
     }
 
@@ -341,7 +489,7 @@ impl Repository {
         let id = self.doc_id(name)?;
         Ok(natix_tree::check_tree(
             &self.tree,
-            self.state(id)?.root_rid,
+            self.state(id)?.root_rid(),
         )?)
     }
 
@@ -360,15 +508,21 @@ impl Repository {
     }
 
     /// Changes a split-matrix rule by element names, interning them if
-    /// necessary. Affects future insertions.
+    /// necessary. Affects future insertions (loads already in flight keep
+    /// their snapshot of the matrix).
     pub fn set_matrix_rule(
         &mut self,
         parent_tag: &str,
         child_tag: &str,
         value: natix_tree::SplitBehaviour,
     ) {
-        let p = self.symbols.intern_element(parent_tag);
-        let c = self.symbols.intern_element(child_tag);
+        let (p, c) = {
+            let mut symbols = self.symbols.write();
+            (
+                symbols.intern_element(parent_tag),
+                symbols.intern_element(child_tag),
+            )
+        };
         self.tree.set_matrix_entry(p, c, value);
     }
 }
@@ -405,5 +559,25 @@ mod tests {
         let _ = repo.get_xml("d").unwrap();
         let after = repo.io_stats().snapshot();
         assert!(after.since(&before).buffer_misses > 0);
+    }
+
+    #[test]
+    fn repository_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Repository>();
+    }
+
+    #[test]
+    fn claim_is_exclusive_until_released() {
+        let mut repo = Repository::create_in_memory(RepositoryOptions::default()).unwrap();
+        repo.claim_name("d").unwrap();
+        assert!(matches!(
+            repo.claim_name("d"),
+            Err(NatixError::DocumentExists(_))
+        ));
+        // A failed load releases the claim; the name is free again.
+        repo.abandon_claim("d");
+        repo.put_xml("d", "<a/>").unwrap();
+        assert_eq!(repo.document_names(), vec!["d"]);
     }
 }

@@ -85,6 +85,22 @@ impl Condvar {
         MutexGuard(self.0.wait(guard.0).unwrap_or_else(|e| e.into_inner()))
     }
 
+    /// Waits with an upper bound; returns the reacquired guard and whether
+    /// the wait timed out (same consume-and-return style as [`wait`]).
+    ///
+    /// [`wait`]: Condvar::wait
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (g, res) = self
+            .0
+            .wait_timeout(guard.0, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        (MutexGuard(g), res.timed_out())
+    }
+
     pub fn notify_one(&self) {
         self.0.notify_one();
     }

@@ -18,7 +18,11 @@
 //! frame is still being written back, nor a half-read frame. Page
 //! *contents* are protected by per-frame `RwLock`s, so pinned readers and
 //! writers of distinct pages proceed in parallel, and so do misses on
-//! distinct pages.
+//! distinct pages. When every evictable frame is reserved for in-flight
+//! I/O, a miss *waits* for a completion instead of failing: frames held
+//! mid-load are released within one disk service time, and erroring there
+//! would surface spurious [`StorageError::BufferExhausted`] under exactly
+//! the concurrent-ingestion load the pool exists to serve.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -204,7 +208,12 @@ impl BufferManager {
 
     fn pin_inner(&self, page: PageId, load_from_disk: bool) -> StorageResult<PinnedPage> {
         let mut st = self.state.lock();
-        loop {
+        // Bounded patience for the all-frames-pinned case below: pins are
+        // short-lived (a guard over one record operation), so a brief
+        // retry window separates transient contention from a true leak of
+        // pins. 64 × 1 ms keeps genuine exhaustion errors prompt.
+        let mut patience = 64u32;
+        let frame = loop {
             if let Some(&frame) = st.table.get(&page) {
                 self.stats.add_hit();
                 self.frames[frame].pin_count.fetch_add(1, Ordering::AcqRel);
@@ -222,10 +231,33 @@ impl BufferManager {
                 st = self.io_done.wait(st);
                 continue;
             }
-            break;
-        }
+            match self.find_victim(&mut st) {
+                Ok(f) => break f,
+                // No evictable frame right now. With many threads missing
+                // concurrently this is usually *transient*: frames reserved
+                // for in-flight loads/write-backs are pinned until their
+                // I/O settles, and failing here would surface a spurious
+                // `BufferExhausted` to a caller that merely raced the I/O.
+                // Wait for in-flight I/O to release its reservation (the
+                // condvar fires on every completion); when nothing is in
+                // flight the frames are held by live guards — poll briefly
+                // in case they are just about to drop, then give up.
+                Err(e) => {
+                    if !st.io_in_flight.is_empty() {
+                        st = self.io_done.wait(st);
+                    } else if patience > 0 {
+                        patience -= 1;
+                        let (g, _) = self
+                            .io_done
+                            .wait_timeout(st, std::time::Duration::from_millis(1));
+                        st = g;
+                    } else {
+                        return Err(e);
+                    }
+                }
+            }
+        };
         self.stats.add_miss();
-        let frame = self.find_victim(&mut st)?;
         // Reserve the frame under the lock: the nonzero pin count keeps it
         // from being re-victimised while the I/O below runs without the
         // lock. The page→frame mapping is NOT published yet — a mapping
@@ -592,6 +624,94 @@ mod tests {
                     };
                     let seen = g.read().bytes()[0];
                     assert_eq!(seen, page as u8, "page {page} corrupted");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn stress_small_pool_pin_miss_dirty_evict() {
+        // Many threads over a tiny pool: every operation mixes hits,
+        // misses, dirty writes and evictions, so loads and write-backs of
+        // different threads constantly overlap on the in-flight/condvar
+        // path. Each page carries a pair of bytes that is only ever
+        // written together under one content write guard — observing a
+        // torn pair means a reader saw a half-loaded or stale frame.
+        let stats = IoStats::new_shared();
+        let backend = Arc::new(MemStorage::new(512).unwrap());
+        backend.grow(24).unwrap();
+        let bm = Arc::new(BufferManager::new(backend, 3, EvictionPolicy::Lru, stats));
+        for p in 0..24u32 {
+            let g = bm.pin(p).unwrap();
+            let mut w = g.write();
+            w.bytes_mut()[0] = p as u8;
+            w.bytes_mut()[1] = 0;
+            w.bytes_mut()[2] = 0;
+        }
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let bm = Arc::clone(&bm);
+            handles.push(std::thread::spawn(move || {
+                let mut x = 0x9E37u32.wrapping_mul(t + 1) | 1;
+                for i in 0..1_500u32 {
+                    x ^= x << 13;
+                    x ^= x >> 17;
+                    x ^= x << 5;
+                    let page = x % 24;
+                    let g = bm.pin(page).unwrap();
+                    if (x >> 8).is_multiple_of(3) {
+                        let mut w = g.write();
+                        let v = (t.wrapping_mul(31).wrapping_add(i)) as u8;
+                        w.bytes_mut()[1] = v;
+                        w.bytes_mut()[2] = v;
+                    } else {
+                        let r = g.read();
+                        assert_eq!(r.bytes()[0], page as u8, "page {page} corrupted");
+                        assert_eq!(
+                            r.bytes()[1],
+                            r.bytes()[2],
+                            "page {page}: torn write observed"
+                        );
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn misses_wait_for_inflight_io_instead_of_failing() {
+        // More threads than frames over a *slow* disk: while two loads are
+        // in flight both frames are reserved, and the third thread's miss
+        // used to fail with a spurious BufferExhausted. With the wait on
+        // the in-flight condvar, every pin succeeds.
+        let stats = IoStats::new_shared();
+        let backend = Arc::new(crate::disk::ThrottledDisk::new(
+            MemStorage::new(512).unwrap(),
+            300,
+            600,
+        ));
+        backend.grow(16).unwrap();
+        let bm = Arc::new(BufferManager::new(backend, 2, EvictionPolicy::Lru, stats));
+        let mut handles = Vec::new();
+        for t in 0..3u32 {
+            let bm = Arc::clone(&bm);
+            handles.push(std::thread::spawn(move || {
+                let mut x = t.wrapping_mul(0xABCD) | 1;
+                for _ in 0..120 {
+                    x ^= x << 13;
+                    x ^= x >> 17;
+                    x ^= x << 5;
+                    let page = x % 16;
+                    // Every pin must succeed: transient reservation of all
+                    // frames is never an error.
+                    let g = bm.pin(page).expect("pin must wait, not fail");
+                    g.write().bytes_mut()[3] = page as u8;
                 }
             }));
         }

@@ -41,7 +41,7 @@ pub mod slotted;
 pub mod stats;
 
 pub use buffer::{BufferManager, EvictionPolicy, PinnedPage};
-pub use disk::{DiskBackend, FileStorage, MemStorage};
+pub use disk::{DiskBackend, FileStorage, MemStorage, ThrottledDisk};
 pub use error::{StorageError, StorageResult};
 pub use page::{PageBuf, PageKind, PAGE_HEADER_SIZE};
 pub use rid::{PageId, Rid, SlotId, INVALID_PAGE};

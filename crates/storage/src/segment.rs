@@ -290,11 +290,18 @@ impl StorageManager {
     /// Allocates and formats a page for `segment`. Slotted pages enter the
     /// segment's free-space inventory immediately.
     pub fn allocate_page(&self, segment: SegmentId, kind: PageKind) -> StorageResult<PageId> {
-        let mut st = self.state.lock();
-        if segment as usize >= st.segments.len() {
-            return Err(StorageError::NoSuchSegment(segment));
-        }
-        let page = self.alloc_raw(&mut st)?;
+        let page = {
+            let mut st = self.state.lock();
+            if segment as usize >= st.segments.len() {
+                return Err(StorageError::NoSuchSegment(segment));
+            }
+            self.alloc_raw(&mut st)?
+        };
+        // Format outside the allocator lock: pinning the fresh page can
+        // evict a dirty frame (a disk write), and holding the state mutex
+        // across that would serialize every concurrent bulkload behind one
+        // writer's I/O stall. The page id is not published anywhere until
+        // the FSI entry below, so no other thread can reach it yet.
         let free = {
             let pin = self.buffer.pin_new(page)?;
             let mut buf = pin.write();
@@ -305,6 +312,7 @@ impl StorageManager {
             }
             buf.free_total()
         };
+        let mut st = self.state.lock();
         st.segments[segment as usize].fsi.set(page, free);
         Ok(page)
     }
@@ -333,11 +341,33 @@ impl StorageManager {
         self.buffer.pin(page)
     }
 
-    /// Updates the cached free-space value for a slotted page.
+    /// Updates the cached free-space value for a slotted page. `segment`
+    /// is the caller's working segment; if another segment's inventory
+    /// already tracks the page, that entry is updated instead — record
+    /// RIDs are repository-global, so a tree store routinely touches pages
+    /// that a concurrent-ingestion segment allocated (e.g. deleting a
+    /// document that was bulkloaded into an `ingestN` segment), and a
+    /// blind insert here would leave the owning inventory stale while
+    /// double-listing the page under the caller's segment.
     pub fn note_free_space(&self, segment: SegmentId, page: PageId, free: usize) {
+        let free = free.min(u16::MAX as usize) as u16;
         let mut st = self.state.lock();
         if let Some(seg) = st.segments.get_mut(segment as usize) {
-            seg.fsi.set(page, free.min(u16::MAX as usize) as u16);
+            if seg.fsi.get(page).is_some() {
+                seg.fsi.set(page, free);
+                return;
+            }
+        }
+        if let Some(owner) = st
+            .segments
+            .iter_mut()
+            .find(|seg| seg.fsi.get(page).is_some())
+        {
+            owner.fsi.set(page, free);
+            return;
+        }
+        if let Some(seg) = st.segments.get_mut(segment as usize) {
+            seg.fsi.set(page, free);
         }
     }
 

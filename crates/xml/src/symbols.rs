@@ -35,10 +35,17 @@ pub enum LabelKind {
 
 /// Bidirectional interner for the label alphabet. Lives in the schema
 /// manager and is persisted with the repository catalog.
+///
+/// One name→id map per [`LabelKind`], so lookups take a borrowed `&str`
+/// without allocating a key — concurrent parsers resolve every tag and
+/// attribute name through the read-locked fast path, and an allocation
+/// per event would dominate that path.
 #[derive(Debug, Clone)]
 pub struct SymbolTable {
     names: Vec<(LabelKind, String)>,
-    map: HashMap<(LabelKind, String), LabelId>,
+    elements: HashMap<String, LabelId>,
+    attributes: HashMap<String, LabelId>,
+    builtins: HashMap<String, LabelId>,
 }
 
 impl SymbolTable {
@@ -46,7 +53,9 @@ impl SymbolTable {
     pub fn new() -> SymbolTable {
         let mut t = SymbolTable {
             names: Vec::new(),
-            map: HashMap::new(),
+            elements: HashMap::new(),
+            attributes: HashMap::new(),
+            builtins: HashMap::new(),
         };
         // Order matters: ids must equal the LABEL_* constants.
         t.push(LabelKind::Builtin, "#none");
@@ -56,10 +65,23 @@ impl SymbolTable {
         t
     }
 
+    fn map_for(&self, kind: LabelKind) -> &HashMap<String, LabelId> {
+        match kind {
+            LabelKind::Element => &self.elements,
+            LabelKind::Attribute => &self.attributes,
+            LabelKind::Builtin => &self.builtins,
+        }
+    }
+
     fn push(&mut self, kind: LabelKind, name: &str) -> LabelId {
         let id = self.names.len() as LabelId;
         self.names.push((kind, name.to_string()));
-        self.map.insert((kind, name.to_string()), id);
+        let map = match kind {
+            LabelKind::Element => &mut self.elements,
+            LabelKind::Attribute => &mut self.attributes,
+            LabelKind::Builtin => &mut self.builtins,
+        };
+        map.insert(name.to_string(), id);
         id
     }
 
@@ -75,7 +97,7 @@ impl SymbolTable {
 
     /// Interns a name in the given namespace.
     pub fn intern(&mut self, kind: LabelKind, name: &str) -> LabelId {
-        if let Some(&id) = self.map.get(&(kind, name.to_string())) {
+        if let Some(&id) = self.map_for(kind).get(name) {
             return id;
         }
         assert!(
@@ -85,9 +107,10 @@ impl SymbolTable {
         self.push(kind, name)
     }
 
-    /// Looks up an existing label without interning.
+    /// Looks up an existing label without interning (and without
+    /// allocating — this is the concurrent parsers' fast path).
     pub fn lookup(&self, kind: LabelKind, name: &str) -> Option<LabelId> {
-        self.map.get(&(kind, name.to_string())).copied()
+        self.map_for(kind).get(name).copied()
     }
 
     /// Looks up an element label.
@@ -130,7 +153,9 @@ impl SymbolTable {
     pub fn from_rows(rows: &[(LabelKind, String)]) -> SymbolTable {
         let mut t = SymbolTable {
             names: Vec::new(),
-            map: HashMap::new(),
+            elements: HashMap::new(),
+            attributes: HashMap::new(),
+            builtins: HashMap::new(),
         };
         for (kind, name) in rows {
             t.push(*kind, name);

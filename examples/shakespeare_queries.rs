@@ -19,10 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scale: 0.4,
         ..CorpusConfig::paper()
     };
-    let plays = generate_corpus(&cfg, repo.symbols_mut());
+    let plays = generate_corpus(&cfg, &mut repo.symbols_mut());
     let mut bytes = 0usize;
     for play in &plays {
-        let xml = natix_xml::write_document(&play.doc, repo.symbols(), WriteOptions::compact())?;
+        let xml = natix_xml::write_document(&play.doc, &repo.symbols(), WriteOptions::compact())?;
         bytes += xml.len();
         repo.put_document(&play.name, &play.doc)?;
     }
@@ -87,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let before = repo.io_stats().snapshot();
     let mut via_index = 0usize;
     for play in &plays {
-        via_index += index.lookup(&mut repo, &play.name, "SPEAKER")?.len();
+        via_index += index.lookup(&repo, &play.name, "SPEAKER")?.len();
     }
     let d = repo.io_stats().snapshot().since(&before);
     println!(

@@ -37,7 +37,7 @@ fn build(matrix: SplitMatrix, tune: impl FnOnce(&mut Repository)) -> Repository 
         scale: 0.5,
         ..CorpusConfig::paper()
     };
-    let play = generate_play(&cfg, 0, repo.symbols_mut());
+    let play = generate_play(&cfg, 0, &mut repo.symbols_mut());
     repo.put_document("play", &play.doc).expect("store play");
     repo
 }

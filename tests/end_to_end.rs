@@ -22,13 +22,13 @@ fn corpus_roundtrips_through_repository() {
             ..Default::default()
         })
         .unwrap();
-        let plays = generate_corpus(&tiny_corpus(), repo.symbols_mut());
+        let plays = generate_corpus(&tiny_corpus(), &mut repo.symbols_mut());
         for play in &plays {
             repo.put_document(&play.name, &play.doc).unwrap();
         }
         for play in &plays {
             let expected =
-                natix_xml::write_document(&play.doc, repo.symbols(), WriteOptions::compact())
+                natix_xml::write_document(&play.doc, &repo.symbols(), WriteOptions::compact())
                     .unwrap();
             assert_eq!(
                 repo.get_xml(&play.name).unwrap(),
@@ -48,10 +48,10 @@ fn corpus_roundtrips_in_one_to_one_mode() {
         ..Default::default()
     })
     .unwrap();
-    let play = generate_play(&tiny_corpus(), 1, repo.symbols_mut());
+    let play = generate_play(&tiny_corpus(), 1, &mut repo.symbols_mut());
     repo.put_document("p", &play.doc).unwrap();
     let expected =
-        natix_xml::write_document(&play.doc, repo.symbols(), WriteOptions::compact()).unwrap();
+        natix_xml::write_document(&play.doc, &repo.symbols(), WriteOptions::compact()).unwrap();
     assert_eq!(repo.get_xml("p").unwrap(), expected);
     let stats = repo.physical_stats("p").unwrap();
     assert_eq!(
@@ -72,7 +72,7 @@ fn full_lifecycle_with_persistence() {
 
     let expected = {
         let mut repo = Repository::create_file(&path, options()).unwrap();
-        let play = generate_play(&tiny_corpus(), 0, repo.symbols_mut());
+        let play = generate_play(&tiny_corpus(), 0, &mut repo.symbols_mut());
         repo.put_document("play", &play.doc).unwrap();
         repo.set_matrix_rule("SPEECH", "SPEAKER", SplitBehaviour::KeepWithParent);
         repo.schema_mut()
@@ -90,7 +90,7 @@ fn full_lifecycle_with_persistence() {
     // Validation against the persisted DTD.
     let doc = repo.get_document("play").unwrap();
     repo.schema()
-        .validate_document(&doc, repo.symbols(), "play")
+        .validate_document(&doc, &repo.symbols(), "play")
         .unwrap();
     // Edit after re-open, checkpoint again, re-open again.
     let id = repo.doc_id("play").unwrap();
@@ -133,7 +133,7 @@ fn queries_agree_between_storage_modes() {
             ..Default::default()
         })
         .unwrap();
-        let plays = generate_corpus(&cfg, repo.symbols_mut());
+        let plays = generate_corpus(&cfg, &mut repo.symbols_mut());
         for play in &plays {
             repo.put_document(&play.name, &play.doc).unwrap();
         }
@@ -164,9 +164,9 @@ fn flat_stream_baseline_agrees_with_native_store() {
         ..Default::default()
     })
     .unwrap();
-    let play = generate_play(&tiny_corpus(), 2, repo.symbols_mut());
+    let play = generate_play(&tiny_corpus(), 2, &mut repo.symbols_mut());
     let xml =
-        natix_xml::write_document(&play.doc, repo.symbols(), WriteOptions::compact()).unwrap();
+        natix_xml::write_document(&play.doc, &repo.symbols(), WriteOptions::compact()).unwrap();
     // Native store.
     repo.put_document("native", &play.doc).unwrap();
     // Flat-stream baseline.
@@ -194,7 +194,7 @@ fn hyperstorm_style_matrix_round_trips() {
         ..Default::default()
     })
     .unwrap();
-    let play = generate_play(&tiny_corpus(), 0, repo.symbols_mut());
+    let play = generate_play(&tiny_corpus(), 0, &mut repo.symbols_mut());
     // Everything below SPEECH is "flat" (∞); everything above standalone.
     for (parent, child) in [
         ("SPEECH", "SPEAKER"),
@@ -213,7 +213,7 @@ fn hyperstorm_style_matrix_round_trips() {
     }
     repo.put_document("p", &play.doc).unwrap();
     let expected =
-        natix_xml::write_document(&play.doc, repo.symbols(), WriteOptions::compact()).unwrap();
+        natix_xml::write_document(&play.doc, &repo.symbols(), WriteOptions::compact()).unwrap();
     assert_eq!(repo.get_xml("p").unwrap(), expected);
     let stats = repo.physical_stats("p").unwrap();
     // Far fewer records than pure 1:1 (speeches are flat), far more than
