@@ -1,0 +1,454 @@
+//! Thread-scaling benchmark of the parallel query subsystem.
+//!
+//! ```sh
+//! cargo bench -p natix-bench --bench parallel_query             # writes BENCH_parallel_query.json
+//! cargo bench -p natix-bench --bench parallel_query -- --check  # CI mode: asserts the scaling floor
+//! ```
+//!
+//! Two modes per corpus (Shakespeare plays and purchase-order batches,
+//! 8 KB pages, throttled disk — the same rationale as the concurrent
+//! ingestion benchmark: a RAM-backed store has no stalls to overlap, so
+//! reads really sleep a per-page service time and a deliberately small
+//! buffer pool forces queries to miss):
+//!
+//! * **fan-out** — a query set over all documents through
+//!   `query_documents_opts`, one worker per document, at 1/2/4/8 threads;
+//! * **intra-document** — the same thread counts over a single large
+//!   document through `query_parallel`, whose descendant steps split work
+//!   at record boundaries (threshold low enough that the record work
+//!   queue actually engages).
+//!
+//! Every parallel run is compared against the single-thread run: the
+//! logical-node-id lists must be identical, and a sample of the matched
+//! nodes is re-serialised and byte-compared. Check mode fails the build
+//! when the speedup at 4 threads drops below **1.5×** in either mode on
+//! either corpus.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use natix::{NodeId, ParallelQueryOptions, PathQuery, Repository, RepositoryOptions};
+use natix_corpus::{generate_orders, generate_play, CorpusConfig, OrdersConfig};
+use natix_storage::{DiskBackend, MemStorage, ThrottledDisk};
+use natix_xml::{SymbolTable, WriteOptions};
+
+const PAGE_SIZE: usize = 8192;
+/// Small on purpose: the corpora must not fit the pool, so queries stall
+/// on reads and workers have stalls to overlap.
+const BUFFER_FRAMES: usize = 48;
+/// The order of magnitude of the paper's late-90s measurement disk, as in
+/// the concurrent-ingestion benchmark.
+const READ_LATENCY_US: u64 = 1_500;
+/// Writes are free: this benchmark measures the read path; loading the
+/// corpora should not dominate wall time.
+const WRITE_LATENCY_US: u64 = 0;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Repetitions per thread count; the fastest run is reported.
+const REPS: usize = 2;
+/// Acceptance floor asserted in `--check` mode, per corpus and per mode
+/// (fan-out and intra-document), at 4 threads.
+const SPEEDUP_FLOOR_AT_4: f64 = 1.5;
+/// How many matches per query are re-serialised for the byte-identity
+/// check (the full node-id lists are always compared).
+const SERIALIZE_SAMPLE: usize = 64;
+
+struct Run {
+    threads: usize,
+    wall_ms: f64,
+    speedup: f64,
+}
+
+struct ModeRows {
+    mode: &'static str,
+    hits: usize,
+    runs: Vec<Run>,
+}
+
+struct CorpusRows {
+    corpus: &'static str,
+    documents: usize,
+    records: usize,
+    modes: Vec<ModeRows>,
+}
+
+fn shakespeare_xmls(quick: bool) -> (&'static str, Vec<(String, String)>, String) {
+    let mut syms = SymbolTable::new();
+    let cfg = if quick {
+        CorpusConfig {
+            plays: 8,
+            scale: 0.3,
+            ..CorpusConfig::tiny()
+        }
+    } else {
+        CorpusConfig {
+            plays: 12,
+            scale: 0.4,
+            ..CorpusConfig::paper()
+        }
+    };
+    let docs = (0..cfg.plays)
+        .map(|i| {
+            let p = generate_play(&cfg, i, &mut syms);
+            let xml = natix_xml::write_document(&p.doc, &syms, WriteOptions::compact()).unwrap();
+            (p.name, xml)
+        })
+        .collect();
+    // One larger play for the intra-document mode.
+    let big_cfg = CorpusConfig {
+        plays: 1,
+        scale: if quick { 1.5 } else { 3.0 },
+        ..CorpusConfig::paper()
+    };
+    let big = generate_play(&big_cfg, 0, &mut syms);
+    let big_xml = natix_xml::write_document(&big.doc, &syms, WriteOptions::compact()).unwrap();
+    ("shakespeare", docs, big_xml)
+}
+
+fn orders_xmls(quick: bool) -> (&'static str, Vec<(String, String)>, String) {
+    let mut syms = SymbolTable::new();
+    let base = if quick {
+        OrdersConfig {
+            orders: 150,
+            ..OrdersConfig::tiny()
+        }
+    } else {
+        OrdersConfig {
+            orders: 300,
+            ..OrdersConfig::paper()
+        }
+    };
+    let docs = (0..16)
+        .map(|i| {
+            let doc = generate_orders(
+                &OrdersConfig {
+                    seed: base.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                    ..base.clone()
+                },
+                &mut syms,
+            );
+            let xml = natix_xml::write_document(&doc, &syms, WriteOptions::compact()).unwrap();
+            (format!("orders-{i}"), xml)
+        })
+        .collect();
+    let big = generate_orders(
+        &OrdersConfig {
+            orders: if quick { 1500 } else { 3000 },
+            seed: base.seed ^ 0xB16,
+        },
+        &mut syms,
+    );
+    let big_xml = natix_xml::write_document(&big, &syms, WriteOptions::compact()).unwrap();
+    ("orders", docs, big_xml)
+}
+
+/// Full descendant scans — the workload the surveys name as the dominant
+/// cost of read-heavy XML stores, and the shape the record work queue
+/// parallelises. (Positional descendant predicates like `//X[2]` stay on
+/// the lazy early-exit walk and are deliberately not measured here: an
+/// eager parallel scan of the whole subtree cannot beat reading two
+/// records.)
+fn queries_for(corpus: &str) -> &'static [&'static str] {
+    match corpus {
+        "shakespeare" => &["//SPEAKER", "//LINE"],
+        _ => &["//SKU", "//PRICE"],
+    }
+}
+
+fn throttled_repo() -> Repository {
+    let backend = Arc::new(ThrottledDisk::new(
+        MemStorage::new(PAGE_SIZE).unwrap(),
+        READ_LATENCY_US,
+        WRITE_LATENCY_US,
+    )) as Arc<dyn DiskBackend>;
+    Repository::create_on_backend(
+        backend,
+        RepositoryOptions {
+            page_size: PAGE_SIZE,
+            buffer_bytes: BUFFER_FRAMES * PAGE_SIZE,
+            ..RepositoryOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+/// The single-thread run's results plus the serialised bytes of a sample
+/// of its matches — what every parallel run is compared against.
+struct Baseline {
+    results: Vec<(natix::DocId, Vec<NodeId>)>,
+    sample_xml: Vec<String>,
+}
+
+/// Serialises the first `SERIALIZE_SAMPLE` matches of the first result
+/// list (bounded: serialisation reads pages through the throttled disk).
+fn sample_xml(repo: &Repository, results: &[(natix::DocId, Vec<NodeId>)]) -> Vec<String> {
+    results
+        .iter()
+        .take(1)
+        .flat_map(|&(doc, ref ids)| {
+            ids.iter()
+                .take(SERIALIZE_SAMPLE)
+                .map(move |&id| repo.serialize_node(doc, id).unwrap())
+        })
+        .collect()
+}
+
+/// Asserts that a parallel run matches the baseline: identical node-id
+/// lists, and the run's own serialisation of the sampled matches is
+/// byte-identical to the bytes captured from the single-thread run.
+fn assert_identical(
+    repo: &Repository,
+    corpus: &str,
+    mode: &str,
+    threads: usize,
+    baseline: &Baseline,
+    got: &[(natix::DocId, Vec<NodeId>)],
+) {
+    assert_eq!(
+        got, baseline.results,
+        "{corpus}/{mode}: {threads}-thread results diverge from sequential"
+    );
+    assert_eq!(
+        sample_xml(repo, got),
+        baseline.sample_xml,
+        "{corpus}/{mode}: {threads}-thread result bytes diverge from sequential"
+    );
+}
+
+fn bench_corpus(corpus: &'static str, docs: &[(String, String)], big_xml: &str) -> CorpusRows {
+    let repo = throttled_repo();
+    for res in repo.put_documents_parallel(docs, 4) {
+        res.unwrap();
+    }
+    let mut loader = repo;
+    let big_id = loader.put_xml_streaming("big", big_xml).unwrap();
+    let repo = loader;
+    let ids: Vec<natix::DocId> = docs.iter().map(|(n, _)| repo.doc_id(n).unwrap()).collect();
+    let records = repo
+        .subtree_record_count(big_id, repo.root(big_id).unwrap())
+        .unwrap();
+    let queries: Vec<PathQuery> = queries_for(corpus)
+        .iter()
+        .map(|q| PathQuery::parse(q).unwrap())
+        .collect();
+
+    let mut modes = Vec::new();
+
+    // ---- fan-out: the query set over every document -------------------
+    let mut baseline: Option<Baseline> = None;
+    let mut baseline_ms = f64::NAN;
+    let mut runs = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let opts = ParallelQueryOptions {
+            threads,
+            parallel_record_threshold: usize::MAX, // fan-out only
+        };
+        let mut wall_ms = f64::INFINITY;
+        let mut last: Vec<(natix::DocId, Vec<NodeId>)> = Vec::new();
+        for _ in 0..REPS {
+            repo.clear_buffer().unwrap();
+            let t0 = Instant::now();
+            last.clear();
+            for q in &queries {
+                for (slot, res) in repo
+                    .query_documents_opts(&ids, q, &opts)
+                    .into_iter()
+                    .enumerate()
+                {
+                    last.push((ids[slot], res.unwrap()));
+                }
+            }
+            wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        match &baseline {
+            None => {
+                baseline_ms = wall_ms;
+                baseline = Some(Baseline {
+                    sample_xml: sample_xml(&repo, &last),
+                    results: last,
+                });
+            }
+            Some(base) => assert_identical(&repo, corpus, "fan-out", threads, base, &last),
+        }
+        runs.push(Run {
+            threads,
+            wall_ms,
+            speedup: baseline_ms / wall_ms,
+        });
+        println!(
+            "  {corpus:<12} fan-out    {threads} thread(s): {wall_ms:>8.1} ms  {:>5.2}x",
+            runs.last().unwrap().speedup
+        );
+    }
+    let hits = baseline
+        .as_ref()
+        .unwrap()
+        .results
+        .iter()
+        .map(|(_, v)| v.len())
+        .sum();
+    modes.push(ModeRows {
+        mode: "fan-out",
+        hits,
+        runs,
+    });
+
+    // ---- intra-document: the same queries over one large document -----
+    let mut baseline: Option<Baseline> = None;
+    let mut baseline_ms = f64::NAN;
+    let mut runs = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let opts = ParallelQueryOptions {
+            threads,
+            parallel_record_threshold: 8,
+        };
+        let mut wall_ms = f64::INFINITY;
+        let mut last: Vec<(natix::DocId, Vec<NodeId>)> = Vec::new();
+        for _ in 0..REPS {
+            repo.clear_buffer().unwrap();
+            let t0 = Instant::now();
+            last.clear();
+            for q in &queries {
+                last.push((big_id, repo.query_parallel(big_id, q, &opts).unwrap()));
+            }
+            wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        match &baseline {
+            None => {
+                baseline_ms = wall_ms;
+                baseline = Some(Baseline {
+                    sample_xml: sample_xml(&repo, &last),
+                    results: last,
+                });
+            }
+            Some(base) => assert_identical(&repo, corpus, "intra-doc", threads, base, &last),
+        }
+        runs.push(Run {
+            threads,
+            wall_ms,
+            speedup: baseline_ms / wall_ms,
+        });
+        println!(
+            "  {corpus:<12} intra-doc  {threads} thread(s): {wall_ms:>8.1} ms  {:>5.2}x",
+            runs.last().unwrap().speedup
+        );
+    }
+    let hits = baseline
+        .as_ref()
+        .unwrap()
+        .results
+        .iter()
+        .map(|(_, v)| v.len())
+        .sum();
+    modes.push(ModeRows {
+        mode: "intra-doc",
+        hits,
+        runs,
+    });
+
+    CorpusRows {
+        corpus,
+        documents: docs.len(),
+        records,
+        modes,
+    }
+}
+
+fn write_json(quick: bool, all: &[CorpusRows]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(
+        s,
+        "  \"benchmark\": \"parallel path-query execution (thread scaling)\","
+    );
+    let _ = writeln!(s, "  \"page_size\": {PAGE_SIZE},");
+    let _ = writeln!(s, "  \"buffer_frames\": {BUFFER_FRAMES},");
+    let _ = writeln!(
+        s,
+        "  \"disk\": \"throttled: {READ_LATENCY_US} us/page read, free writes\","
+    );
+    let _ = writeln!(s, "  \"quick_mode\": {quick},");
+    s.push_str("  \"corpora\": [\n");
+    for (i, c) in all.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"corpus\": \"{}\",", c.corpus);
+        let _ = writeln!(s, "      \"documents\": {},", c.documents);
+        let _ = writeln!(s, "      \"big_document_records\": {},", c.records);
+        s.push_str("      \"modes\": [\n");
+        for (j, m) in c.modes.iter().enumerate() {
+            let _ = writeln!(s, "        {{");
+            let _ = writeln!(s, "          \"mode\": \"{}\",", m.mode);
+            let _ = writeln!(s, "          \"hits\": {},", m.hits);
+            s.push_str("          \"runs\": [\n");
+            for (k, r) in m.runs.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "            {{\"threads\": {}, \"wall_ms\": {:.1}, \
+                     \"speedup_vs_1_thread\": {:.2}, \"identical_results\": true}}{}",
+                    r.threads,
+                    r.wall_ms,
+                    r.speedup,
+                    if k + 1 < m.runs.len() { "," } else { "" }
+                );
+            }
+            s.push_str("          ]\n");
+            let _ = writeln!(
+                s,
+                "        }}{}",
+                if j + 1 < c.modes.len() { "," } else { "" }
+            );
+        }
+        s.push_str("      ]\n");
+        let _ = writeln!(s, "    }}{}", if i + 1 < all.len() { "," } else { "" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--check" || a == "--quick");
+    let skip_json = args.iter().any(|a| a == "--check");
+
+    println!(
+        "parallel query scaling ({PAGE_SIZE} B pages, {BUFFER_FRAMES}-frame pool, \
+         throttled disk{}):",
+        if quick { ", quick" } else { "" }
+    );
+    let corpora = [orders_xmls(quick), shakespeare_xmls(quick)];
+    let mut all = Vec::new();
+    for (name, docs, big) in &corpora {
+        all.push(bench_corpus(name, docs, big));
+    }
+
+    for c in &all {
+        for m in &c.modes {
+            let at4 = m.runs.iter().find(|r| r.threads == 4).unwrap();
+            if skip_json {
+                assert!(
+                    at4.speedup >= SPEEDUP_FLOOR_AT_4,
+                    "{}/{}: {:.2}x speedup at 4 threads fell below the \
+                     {SPEEDUP_FLOOR_AT_4}x acceptance floor",
+                    c.corpus,
+                    m.mode,
+                    at4.speedup
+                );
+            }
+            println!(
+                "{}/{}: speedup at 4 threads = {:.2}x (floor {SPEEDUP_FLOOR_AT_4}x)",
+                c.corpus, m.mode, at4.speedup
+            );
+        }
+    }
+    if !skip_json {
+        let json = write_json(quick, &all);
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_parallel_query.json"
+        );
+        std::fs::write(path, &json).unwrap();
+        println!("wrote {path}");
+    } else {
+        println!("check mode: all floors met");
+    }
+}

@@ -490,6 +490,45 @@ impl Repository {
         Ok(parent.map(|p| state.bind(p)))
     }
 
+    /// Calls `f` with the physical pointer of every record spanned by the
+    /// subtree at `node`, in document order of first reach — built on the
+    /// same record-boundary primitive
+    /// ([`natix_tree::TreeStore::scan_record_subtree`]) whose
+    /// `ChildRecord` entries feed the parallel descendant scans' work
+    /// queue, but walked here depth-first on one thread. Read-only
+    /// (`&self`); each record is loaded exactly once and its buffer pin
+    /// is released before the next record is touched.
+    pub fn for_each_subtree_record(
+        &self,
+        doc: DocId,
+        node: NodeId,
+        f: &mut impl FnMut(NodePtr),
+    ) -> NatixResult<()> {
+        let start = self.resolve(doc, node)?;
+        let mut stack = vec![start];
+        let mut found = Vec::new();
+        while let Some(p) = stack.pop() {
+            f(p);
+            self.tree.scan_record_subtree(p, &mut |entry| {
+                if let natix_tree::RecordEntry::ChildRecord(rid) = *entry {
+                    found.push(NodePtr::new(rid, 0));
+                }
+                Ok(true)
+            })?;
+            // Reverse so the leftmost child record is reached first.
+            stack.extend(found.drain(..).rev());
+        }
+        Ok(())
+    }
+
+    /// Number of records the subtree at `node` spans (the work-queue size
+    /// of a parallel scan over it).
+    pub fn subtree_record_count(&self, doc: DocId, node: NodeId) -> NatixResult<usize> {
+        let mut n = 0usize;
+        self.for_each_subtree_record(doc, node, &mut |_| n += 1)?;
+        Ok(n)
+    }
+
     /// Inserts a new element under `parent`.
     pub fn insert_element(
         &mut self,

@@ -11,6 +11,12 @@
 //! index tracks a per-document *stale* flag and callers rebuild before
 //! querying a mutated document (`ensure_current`). Incremental index
 //! maintenance is future work here — as it was in the paper.
+//!
+//! Lookups ([`LabelIndex::lookup`] / [`LabelIndex::lookup_ptrs`]) take
+//! `&self` and read B+-tree pages through short buffer pins only, so any
+//! number of them run in parallel with each other and with the parallel
+//! query evaluators — the same read-side discipline as
+//! [`crate::parallel_query`].
 
 use std::collections::HashSet;
 
@@ -240,6 +246,36 @@ mod tests {
         idx.ensure_current(&repo, "p").unwrap();
         let speakers = idx.lookup(&repo, "p", "SPEAKER").unwrap();
         assert_eq!(speakers.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_lookups_share_the_index() {
+        // Index lookups are read-only (`&self`): many threads resolving
+        // different labels through the same index concurrently must all
+        // see the full, consistent entry set — racing the parallel query
+        // evaluator on the same repository.
+        let repo = repo_with_play();
+        let mut idx = LabelIndex::create(&repo).unwrap();
+        idx.index_document(&repo, "p").unwrap();
+        let idx = &idx;
+        let repo = &repo;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(idx.lookup(repo, "p", "SPEAKER").unwrap().len(), 2);
+                        assert_eq!(idx.lookup(repo, "p", "LINE").unwrap().len(), 3);
+                        assert!(idx.lookup(repo, "p", "NOPE").unwrap().is_empty());
+                    }
+                });
+            }
+            s.spawn(move || {
+                for _ in 0..50 {
+                    // The evaluator and the index agree while both race.
+                    assert_eq!(repo.query("p", "//SPEAKER").unwrap().len(), 2);
+                }
+            });
+        });
     }
 
     #[test]

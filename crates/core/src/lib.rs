@@ -21,7 +21,9 @@
 //! * **index management** ([`index`]) on the page-level B+-tree;
 //! * a small **path query evaluator** ([`query`]) sufficient for the
 //!   paper's evaluation queries (the full query engine is "not yet
-//!   implemented" in the paper as well);
+//!   implemented" in the paper as well), plus **parallel query
+//!   execution** ([`parallel_query`]): multi-document fan-out and
+//!   intra-document descendant scans split at record boundaries;
 //! * the **flat-stream baseline** ([`flatfile`]) of §1's taxonomy.
 //!
 //! ## Quickstart
@@ -44,6 +46,7 @@ pub mod error;
 pub mod flatfile;
 pub mod index;
 pub mod ingest;
+pub mod parallel_query;
 pub mod query;
 pub mod repository;
 pub mod schema;
@@ -52,6 +55,7 @@ pub use document::{DocId, NodeId, NodeKind, NodeSummary};
 pub use error::{NatixError, NatixResult};
 pub use flatfile::FlatStore;
 pub use index::LabelIndex;
+pub use parallel_query::ParallelQueryOptions;
 pub use query::PathQuery;
 pub use repository::{Repository, RepositoryOptions};
 pub use schema::SchemaManager;

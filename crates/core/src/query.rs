@@ -25,7 +25,7 @@ use crate::repository::Repository;
 
 /// A name test within a step.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Test {
+pub(crate) enum Test {
     Name(String),
     Any,
     Text,
@@ -33,16 +33,16 @@ enum Test {
 
 /// One location step.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Step {
-    descendant: bool,
-    test: Test,
-    position: Option<usize>,
+pub(crate) struct Step {
+    pub(crate) descendant: bool,
+    pub(crate) test: Test,
+    pub(crate) position: Option<usize>,
 }
 
 /// A parsed path query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathQuery {
-    steps: Vec<Step>,
+    pub(crate) steps: Vec<Step>,
 }
 
 impl PathQuery {
@@ -75,6 +75,9 @@ impl PathQuery {
                 let close = token
                     .find(']')
                     .ok_or_else(|| bad("unterminated predicate"))?;
+                if close != token.len() - 1 {
+                    return Err(bad("trailing garbage after predicate"));
+                }
                 let n: usize = token[open + 1..close]
                     .parse()
                     .map_err(|_| bad("predicate must be a number"))?;
@@ -131,28 +134,36 @@ impl Repository {
         self.query_parsed(doc, &q)
     }
 
+    /// Resolves every name test of `q` to a label id up front: the
+    /// evaluation walk matches a step per visited node, and taking the
+    /// symbol-table lock (plus a string comparison) per node would put
+    /// lock traffic on the query hot path. The lookup is **read-only** —
+    /// a name absent from the alphabet cannot occur in any stored
+    /// document, so it matches nothing (empty result), exactly like the
+    /// string comparison it replaces; the read path never interns and
+    /// never takes the symbol-table write lock.
+    pub(crate) fn resolve_steps<'q>(
+        &self,
+        q: &'q PathQuery,
+    ) -> Vec<(&'q Step, Option<natix_xml::LabelId>)> {
+        let symbols = self.symbols();
+        q.steps
+            .iter()
+            .map(|s| {
+                let label = match &s.test {
+                    Test::Name(n) => symbols.lookup_element(n),
+                    _ => None,
+                };
+                (s, label)
+            })
+            .collect()
+    }
+
     /// Evaluates a pre-parsed query.
     pub fn query_parsed(&self, doc: DocId, q: &PathQuery) -> NatixResult<Vec<NodeId>> {
         let root_rid = self.state(doc)?.root_rid();
         let root = NodePtr::new(root_rid, 0);
-        // Resolve every name test to a label id up front: the walk below
-        // matches a step per visited node, and taking the symbol-table
-        // lock (plus a string comparison) per node would put lock traffic
-        // on the query hot path. A name absent from the alphabet matches
-        // nothing, exactly like the string comparison it replaces.
-        let steps: Vec<(&Step, Option<natix_xml::LabelId>)> = {
-            let symbols = self.symbols();
-            q.steps
-                .iter()
-                .map(|s| {
-                    let label = match &s.test {
-                        Test::Name(n) => symbols.lookup_element(n),
-                        _ => None,
-                    };
-                    (s, label)
-                })
-                .collect()
-        };
+        let steps = self.resolve_steps(q);
         // The first step matches the root element itself (absolute paths
         // address the document element).
         let mut current: Vec<NodePtr> = Vec::new();
@@ -178,7 +189,7 @@ impl Repository {
         Ok(current.into_iter().map(|p| state.bind(p)).collect())
     }
 
-    fn step_matches(
+    pub(crate) fn step_matches(
         &self,
         ptr: NodePtr,
         step: &Step,
@@ -196,7 +207,7 @@ impl Repository {
     /// counts among the matching children only (XPath semantics). The walk
     /// is lazy: once `x[n]` is satisfied, no further sibling records are
     /// read — essential for the paper's Query 2/3 access patterns.
-    fn collect_children(
+    pub(crate) fn collect_children(
         &self,
         ctx: NodePtr,
         step: &Step,
@@ -376,5 +387,64 @@ mod tests {
         let (repo, _) = play_repo();
         assert!(repo.query("play", "/PLAY/ACT[3]").unwrap().is_empty());
         assert!(repo.query("play", "/NOPE").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_edge_cases() {
+        // Empty and relative paths are rejected.
+        assert!(matches!(PathQuery::parse(""), Err(NatixError::BadQuery(_))));
+        assert!(matches!(
+            PathQuery::parse("/"),
+            Err(NatixError::BadQuery(_))
+        ));
+        assert!(matches!(
+            PathQuery::parse("a/b"),
+            Err(NatixError::BadQuery(_))
+        ));
+        // Runs of slashes beyond `//` leave an empty step behind.
+        assert!(PathQuery::parse("///a").is_err());
+        assert!(PathQuery::parse("/a///b").is_err());
+        assert!(PathQuery::parse("/a////b").is_err());
+        // Trailing slashes (single or double) are empty final steps.
+        assert!(PathQuery::parse("/a/").is_err());
+        assert!(PathQuery::parse("/a//").is_err());
+        assert!(PathQuery::parse("//").is_err());
+        // A lone `//NAME` is fine, as is `//` mid-path.
+        assert_eq!(PathQuery::parse("//a").unwrap().step_count(), 1);
+        assert_eq!(PathQuery::parse("/a//b/c").unwrap().step_count(), 3);
+        // Predicate garbage.
+        assert!(PathQuery::parse("/a[]").is_err());
+        assert!(PathQuery::parse("/a[-1]").is_err());
+        assert!(PathQuery::parse("/a[1]]").is_err());
+    }
+
+    #[test]
+    fn unknown_tag_resolves_to_empty_without_interning() {
+        // The read path must *look up* name tests, never intern them: a
+        // query for a tag no document has ever used returns an empty
+        // result, leaves the alphabet untouched (no write-lock traffic on
+        // the query hot path), and does not error.
+        let (repo, _) = play_repo();
+        let before = repo.symbols().len();
+        assert!(repo.query("play", "//NEVER_SEEN").unwrap().is_empty());
+        assert!(repo
+            .query("play", "/PLAY/UNKNOWN[2]/ALSO_UNKNOWN")
+            .unwrap()
+            .is_empty());
+        let doc = repo.doc_id("play").unwrap();
+        let q = PathQuery::parse("//NEVER_SEEN/text()").unwrap();
+        assert!(repo
+            .query_parallel(
+                doc,
+                &q,
+                &crate::parallel_query::ParallelQueryOptions::default()
+            )
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            repo.symbols().len(),
+            before,
+            "querying unknown names must not grow the symbol table"
+        );
     }
 }

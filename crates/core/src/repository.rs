@@ -37,6 +37,31 @@
 //! segments. Structural edits of a single document take `&mut self` and
 //! remain single-writer, as in the paper.
 //!
+//! # Query-side lock and pin discipline
+//!
+//! The parallel query evaluators ([`crate::parallel_query`]) are pure
+//! readers and obey three rules that keep any number of them — plus the
+//! index and ingestion of other documents — deadlock-free on one
+//! repository:
+//!
+//! 1. **Symbol table: one read-locked lookup per query, never a write.**
+//!    Name tests are resolved to label ids once, up front, through
+//!    [`SymbolTable::lookup_element`]; an unknown name means an empty
+//!    result, not an interning. The only lock a query takes per *node* is
+//!    none at all — matching compares pre-resolved label ids.
+//! 2. **Buffer pins are record-scoped.** Every unit of query work loads
+//!    one record ([`natix_tree::TreeStore::scan_record_subtree`] /
+//!    `load`), which pins the page, parses, and unpins before any
+//!    matching or any further page is touched. A query thread therefore
+//!    never holds a pin while blocking on another pin, and a worker
+//!    stalled on a miss waits on the buffer's in-flight condvar without
+//!    reserving frames it does not need.
+//! 3. **Per-document id maps bind only results.** Workers traverse
+//!    physical pointers; the per-document id-map mutex is taken once at
+//!    the end, to bind the merged result list — so scans of different
+//!    documents (and scans racing ingestion of other documents) never
+//!    serialize on shared mutable state.
+//!
 //! **Claim-name-then-publish:** storing a document first *claims* its name
 //! atomically in the registry (the name is neither taken nor pending, or
 //! the caller gets [`NatixError::DocumentExists`]), then performs the

@@ -1,9 +1,10 @@
 //! Integration tests of the concurrent multi-document ingestion subsystem:
 //! the duplicate-name race, rollback without leaked pages, persistence of
-//! documents ingested into the segment pool, and readers running against
-//! in-flight ingestion.
+//! documents ingested into the segment pool, readers running against
+//! in-flight ingestion, and path queries (sequential and parallel) racing
+//! ingestion of *other* documents.
 
-use natix::{NatixError, Repository, RepositoryOptions};
+use natix::{NatixError, ParallelQueryOptions, PathQuery, Repository, RepositoryOptions};
 
 fn repo(page_size: usize) -> Repository {
     Repository::create_in_memory(RepositoryOptions {
@@ -173,6 +174,95 @@ fn more_writers_than_segments_share_stores_safely() {
         res.as_ref().unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(&r.get_xml(name).unwrap(), xml, "{name}");
         r.physical_stats(name).unwrap();
+    }
+}
+
+#[test]
+fn queries_race_ingestion_of_other_documents() {
+    // The PR 2 follow-up boundary: queries may overlap ingestion of
+    // *other* documents (same-document overlap needs record versioning,
+    // which remains future work). A small buffer pool makes the two
+    // workloads fight for frames: query workers and ingest workers must
+    // wait on in-flight I/O rather than fail with BufferExhausted, never
+    // deadlock, and the query results must be exactly the pre-ingestion
+    // results throughout.
+    let mut r = Repository::create_in_memory(RepositoryOptions {
+        page_size: 1024,
+        buffer_bytes: 24 * 1024, // 24 frames — far smaller than the data
+        ..RepositoryOptions::default()
+    })
+    .unwrap();
+    let mut expected = Vec::new();
+    for i in 0..4 {
+        let name = format!("stable-{i}");
+        let id = r.put_xml_streaming(&name, &order_doc(i, 60)).unwrap();
+        expected.push((name, id));
+    }
+    let queries = ["//sku", "/orders/order[7]/qty", "//order/note/text()"];
+    let parsed: Vec<PathQuery> = queries
+        .iter()
+        .map(|q| PathQuery::parse(q).unwrap())
+        .collect();
+    let baseline: Vec<Vec<Vec<natix::NodeId>>> = parsed
+        .iter()
+        .map(|q| {
+            expected
+                .iter()
+                .map(|&(_, id)| r.query_parsed(id, q).unwrap())
+                .collect()
+        })
+        .collect();
+    let ids: Vec<natix::DocId> = expected.iter().map(|&(_, id)| id).collect();
+    let r = &r;
+    let incoming: Vec<(String, String)> = (0..10)
+        .map(|i| (format!("incoming-{i}"), order_doc(100 + i, 90)))
+        .collect();
+    std::thread::scope(|s| {
+        // One thread runs the multi-document fan-out, one runs forced
+        // intra-document parallel scans, while 4 ingest workers load a
+        // fresh batch — all over the same 24-frame pool.
+        let fanout = s.spawn(|| {
+            let opts = ParallelQueryOptions {
+                threads: 3,
+                parallel_record_threshold: 16,
+            };
+            for _ in 0..25 {
+                for (q, base) in parsed.iter().zip(&baseline) {
+                    let got: Vec<Vec<natix::NodeId>> = r
+                        .query_documents_opts(&ids, q, &opts)
+                        .into_iter()
+                        .map(|res| res.unwrap())
+                        .collect();
+                    assert_eq!(&got, base, "fan-out results changed under ingestion");
+                }
+            }
+        });
+        let intra = s.spawn(|| {
+            let opts = ParallelQueryOptions {
+                threads: 3,
+                parallel_record_threshold: 1, // force the record work queue
+            };
+            for _ in 0..25 {
+                for (q, base) in parsed.iter().zip(&baseline) {
+                    for (slot, &id) in ids.iter().enumerate() {
+                        let got = r.query_parallel(id, q, &opts).unwrap();
+                        assert_eq!(got, base[slot], "parallel scan changed under ingestion");
+                    }
+                }
+            }
+        });
+        let writer = s.spawn(|| {
+            for res in r.put_documents_parallel(&incoming, 4) {
+                res.unwrap();
+            }
+        });
+        fanout.join().unwrap();
+        intra.join().unwrap();
+        writer.join().unwrap();
+    });
+    // Everything landed intact.
+    for (name, xml) in &incoming {
+        assert_eq!(&r.get_xml(name).unwrap(), xml);
     }
 }
 

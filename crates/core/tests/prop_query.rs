@@ -1,0 +1,351 @@
+//! Differential property tests of the path-query evaluators.
+//!
+//! For random documents (stored both through the streaming bulkloader and
+//! through the per-node oracle path) and random generated path queries:
+//!
+//! * the **parallel** evaluator (forced past its sequential fallback with
+//!   a threshold of 1) must return exactly what the **sequential**
+//!   evaluator returns, across thread counts;
+//! * both must agree with a **naive in-memory DOM oracle** that evaluates
+//!   the same steps over the parsed `Document`, node for node;
+//! * the multi-document fan-out must agree with per-document sequential
+//!   evaluation.
+//!
+//! Node identity across the storage/DOM boundary is compared by pre-order
+//! position: generated text stays below the chunking limit, so stored
+//! documents correspond 1:1 to their DOM in pre-order.
+//!
+//! No network access at build time, so the cases are driven by the local
+//! SplitMix64 generator over many seeds — reproducible by seed.
+
+use std::collections::HashMap;
+
+use natix::{DocId, NodeId, ParallelQueryOptions, PathQuery, Repository, RepositoryOptions};
+use natix_corpus::SplitMix64 as Gen;
+use natix_xml::{Document, NodeData, NodeIdx, SymbolTable, LABEL_TEXT};
+
+const TAGS: &[&str] = &["a", "b", "c", "d", "e"];
+
+/// A random element-rooted document with short texts (strictly below the
+/// chunk limit of every page size used here, so stored nodes correspond
+/// 1:1 to DOM nodes in pre-order) and occasional attributes.
+fn random_document(g: &mut Gen, syms: &mut SymbolTable) -> Document {
+    let root = syms.intern_element(TAGS[g.below(TAGS.len())]);
+    let mut doc = Document::new(NodeData::Element(root));
+    let mut open = vec![doc.root()];
+    for _ in 0..1 + g.below(300) {
+        let parent = open[g.below(open.len())];
+        match g.below(10) {
+            0..=5 => {
+                let label = syms.intern_element(TAGS[g.below(TAGS.len())]);
+                let e = doc.add_child(parent, NodeData::Element(label));
+                if g.below(3) > 0 && open.len() < 10 {
+                    open.push(e);
+                }
+            }
+            6 => {
+                let label = syms.intern_attribute(TAGS[g.below(TAGS.len())]);
+                let dup = doc.children(parent).iter().any(
+                    |&c| matches!(doc.data(c), NodeData::Literal { label: l, .. } if *l == label),
+                );
+                if !dup {
+                    doc.add_child(parent, NodeData::attribute(label, "v".repeat(g.below(12))));
+                }
+            }
+            _ => {
+                let len = 1 + g.below(40);
+                let mut s = String::with_capacity(len);
+                while s.len() < len {
+                    s.push((b'a' + g.below(26) as u8) as char);
+                }
+                doc.add_child(parent, NodeData::text(s));
+            }
+        }
+    }
+    doc
+}
+
+/// Oracle-side mirror of the evaluator's step representation.
+enum OTest {
+    Name(String),
+    Any,
+    Text,
+}
+
+struct OStep {
+    descendant: bool,
+    test: OTest,
+    position: Option<usize>,
+}
+
+/// Generates a random query as both its oracle steps and its rendered
+/// path expression (the exact string handed to `PathQuery::parse`).
+fn random_query(g: &mut Gen) -> (String, Vec<OStep>) {
+    let nsteps = 1 + g.below(4);
+    let mut path = String::new();
+    let mut steps = Vec::new();
+    for _ in 0..nsteps {
+        let descendant = g.below(10) < 4;
+        path.push('/');
+        if descendant {
+            path.push('/');
+        }
+        let test = match g.below(10) {
+            0 => OTest::Any,
+            1 => OTest::Text,
+            // Mostly known tags; sometimes a name no document ever uses
+            // (must resolve to an empty result, not an error).
+            _ if g.below(8) == 0 => OTest::Name("zz".to_string()),
+            _ => OTest::Name(TAGS[g.below(TAGS.len())].to_string()),
+        };
+        match &test {
+            OTest::Any => path.push('*'),
+            OTest::Text => path.push_str("text()"),
+            OTest::Name(n) => path.push_str(n),
+        }
+        let position = (g.below(4) == 0).then(|| 1 + g.below(4));
+        if let Some(p) = position {
+            path.push_str(&format!("[{p}]"));
+        }
+        steps.push(OStep {
+            descendant,
+            test,
+            position,
+        });
+    }
+    (path, steps)
+}
+
+fn omatches(doc: &Document, syms: &SymbolTable, n: NodeIdx, t: &OTest) -> bool {
+    match doc.data(n) {
+        NodeData::Element(label) => match t {
+            OTest::Any => true,
+            OTest::Name(name) => syms.name(*label) == name.as_str(),
+            OTest::Text => false,
+        },
+        NodeData::Literal { label, .. } => matches!(t, OTest::Text) && *label == LABEL_TEXT,
+    }
+}
+
+fn oracle_children(
+    doc: &Document,
+    syms: &SymbolTable,
+    ctx: NodeIdx,
+    step: &OStep,
+    out: &mut Vec<NodeIdx>,
+) {
+    let mut seen = 0usize;
+    for &c in doc.children(ctx) {
+        if omatches(doc, syms, c, &step.test) {
+            seen += 1;
+            match step.position {
+                None => out.push(c),
+                Some(p) if p == seen => {
+                    out.push(c);
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+fn oracle_descendants(
+    doc: &Document,
+    syms: &SymbolTable,
+    ctx: NodeIdx,
+    step: &OStep,
+    out: &mut Vec<NodeIdx>,
+) {
+    let mut seen = 0usize;
+    let mut stack = vec![ctx];
+    let mut first = true;
+    while let Some(p) = stack.pop() {
+        let m = omatches(doc, syms, p, &step.test);
+        if m && !(first && p == ctx && matches!(step.test, OTest::Text)) {
+            seen += 1;
+            match step.position {
+                None => out.push(p),
+                Some(n) if n == seen => {
+                    out.push(p);
+                    return;
+                }
+                Some(_) => {}
+            }
+        }
+        first = false;
+        for &k in doc.children(p).iter().rev() {
+            stack.push(k);
+        }
+    }
+}
+
+/// The naive DOM oracle: same semantics as the repository evaluator,
+/// over the in-memory document.
+fn oracle_eval(doc: &Document, syms: &SymbolTable, steps: &[OStep]) -> Vec<NodeIdx> {
+    let root = doc.root();
+    let first = &steps[0];
+    let mut current = Vec::new();
+    if first.descendant {
+        oracle_descendants(doc, syms, root, first, &mut current);
+    } else if omatches(doc, syms, root, &first.test) && first.position.unwrap_or(1) == 1 {
+        current.push(root);
+    }
+    for step in &steps[1..] {
+        let mut next = Vec::new();
+        for &ctx in &current {
+            if step.descendant {
+                oracle_descendants(doc, syms, ctx, step, &mut next);
+            } else {
+                oracle_children(doc, syms, ctx, step, &mut next);
+            }
+        }
+        current = next;
+    }
+    current
+}
+
+fn repo(page_size: usize, syms: &SymbolTable) -> Repository {
+    let r = Repository::create_in_memory(RepositoryOptions {
+        page_size,
+        ..RepositoryOptions::default()
+    })
+    .unwrap();
+    *r.symbols_mut() = syms.clone();
+    r
+}
+
+/// All logical node ids of a stored document in pre-order (binds every
+/// node through the read-only `children` API).
+fn collect_preorder_ids(r: &Repository, doc: DocId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut stack = vec![r.root(doc).unwrap()];
+    while let Some(n) = stack.pop() {
+        out.push(n);
+        for &c in r.children(doc, n).unwrap().iter().rev() {
+            stack.push(c);
+        }
+    }
+    out
+}
+
+#[test]
+fn parallel_and_sequential_match_dom_oracle() {
+    for case in 0..20u64 {
+        let mut g = Gen::new(0x9E37_79B9 ^ case);
+        let mut syms = SymbolTable::new();
+        let doc = random_document(&mut g, &mut syms);
+        let page_size = [512usize, 1024, 2048][g.below(3)];
+        let queries: Vec<(String, Vec<OStep>)> = (0..8).map(|_| random_query(&mut g)).collect();
+
+        let mut bulk = repo(page_size, &syms);
+        bulk.put_document("d", &doc).unwrap();
+        let mut per_node = repo(page_size, &syms);
+        per_node.put_document_per_node("d", &doc).unwrap();
+
+        let dom_pre: Vec<NodeIdx> = doc.pre_order().collect();
+        let dom_pos: HashMap<NodeIdx, usize> =
+            dom_pre.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+        for (load_path, r) in [("bulkload", &bulk), ("per-node", &per_node)] {
+            let id = r.doc_id("d").unwrap();
+            let repo_pre = collect_preorder_ids(r, id);
+            assert_eq!(
+                repo_pre.len(),
+                dom_pre.len(),
+                "case {case} [{load_path}]: stored node count diverges from the DOM"
+            );
+            let repo_pos: HashMap<NodeId, usize> =
+                repo_pre.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+            for (path, osteps) in &queries {
+                let q = PathQuery::parse(path).unwrap();
+                let seq = r.query_parsed(id, &q).unwrap();
+                // Threshold 1 defeats the sequential fallback so the
+                // record work queue really runs; 1 thread exercises the
+                // degenerate pool.
+                for threads in [1usize, 2, 4] {
+                    let par = r
+                        .query_parallel(
+                            id,
+                            &q,
+                            &ParallelQueryOptions {
+                                threads,
+                                parallel_record_threshold: 1,
+                            },
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        par, seq,
+                        "case {case} [{load_path}] '{path}': parallel ({threads} threads) \
+                         diverges from sequential"
+                    );
+                }
+                let oracle = oracle_eval(&doc, &syms, osteps);
+                let seq_pos: Vec<usize> = seq.iter().map(|n| repo_pos[n]).collect();
+                let oracle_pos: Vec<usize> = oracle.iter().map(|n| dom_pos[n]).collect();
+                assert_eq!(
+                    seq_pos, oracle_pos,
+                    "case {case} [{load_path}] '{path}': stored-tree evaluation \
+                     diverges from the DOM oracle"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fanout_matches_per_document_sequential_on_random_corpora() {
+    for case in 0..6u64 {
+        let mut g = Gen::new(0xFA40 ^ case);
+        let mut syms = SymbolTable::new();
+        let docs: Vec<Document> = (0..5).map(|_| random_document(&mut g, &mut syms)).collect();
+        let mut r = repo(1024, &syms);
+        let ids: Vec<DocId> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| r.put_document(&format!("doc{i}"), d).unwrap())
+            .collect();
+        for _ in 0..4 {
+            let (path, _) = random_query(&mut g);
+            let q = PathQuery::parse(&path).unwrap();
+            let seq: Vec<Vec<NodeId>> = ids
+                .iter()
+                .map(|&d| r.query_parsed(d, &q).unwrap())
+                .collect();
+            let par: Vec<Vec<NodeId>> = r
+                .query_documents_opts(
+                    &ids,
+                    &q,
+                    &ParallelQueryOptions {
+                        threads: 4,
+                        parallel_record_threshold: 16,
+                    },
+                )
+                .into_iter()
+                .map(|res| res.unwrap())
+                .collect();
+            assert_eq!(par, seq, "case {case} '{path}'");
+        }
+    }
+}
+
+#[test]
+fn subtree_record_counts_cover_the_whole_document() {
+    // The record-granular enumeration reaches every record exactly once:
+    // the count from the document root equals the physical record count
+    // reported by the validator.
+    for case in 0..8u64 {
+        let mut g = Gen::new(0x5EC0 ^ case);
+        let mut syms = SymbolTable::new();
+        let doc = random_document(&mut g, &mut syms);
+        let mut r = repo(512, &syms);
+        let id = r.put_document("d", &doc).unwrap();
+        let stats = r.physical_stats("d").unwrap();
+        let counted = r.subtree_record_count(id, r.root(id).unwrap()).unwrap();
+        assert_eq!(
+            counted, stats.records,
+            "case {case}: record enumeration missed or repeated records"
+        );
+    }
+}

@@ -101,6 +101,23 @@ pub struct NodeInfo {
     pub physical_children: usize,
 }
 
+/// One entry of a record-granular subtree scan
+/// ([`TreeStore::scan_record_subtree`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordEntry {
+    /// A facade node inside the scanned record.
+    Node {
+        ptr: NodePtr,
+        label: LabelId,
+        /// True for literals (text, attributes, comments, PIs); false for
+        /// element aggregates.
+        literal: bool,
+    },
+    /// A proxy to a child record, at its document-order position. The
+    /// caller scans the child record as a separate unit of work.
+    ChildRecord(Rid),
+}
+
 /// Per-operation bookkeeping.
 #[derive(Default)]
 struct OpCtx {
@@ -1304,6 +1321,69 @@ impl TreeStore {
                         return Ok(false);
                     }
                 }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Scans the subtree of `ptr` **within its own record only**, calling
+    /// `f` for every facade node and for every proxy to a child record, in
+    /// document (pre-)order. Exactly one record is loaded — and `load`
+    /// releases its page pin before `f` ever runs — so the record is a
+    /// natural unit of parallel work: concurrent scanners claiming whole
+    /// records keep buffer pins short and never read a record twice.
+    /// Scaffolding aggregates are descended through silently (they carry
+    /// no logical node). `f` returning `false` stops the scan.
+    pub fn scan_record_subtree<F>(&self, ptr: NodePtr, f: &mut F) -> TreeResult<bool>
+    where
+        F: FnMut(&RecordEntry) -> TreeResult<bool>,
+    {
+        let tree = self.load(ptr.rid)?;
+        let arena = preorder_to_arena(&tree, ptr.node);
+        if tree.try_node(arena).is_none() {
+            return Err(TreeError::BadNodePtr {
+                rid: ptr.rid,
+                node: ptr.node,
+            });
+        }
+        let mut stack = vec![arena];
+        while let Some(n) = stack.pop() {
+            let node = tree.node(n);
+            match &node.content {
+                // Child records are reported, never followed: following
+                // them here would chain page reads under one task and
+                // defeat record-granular work claiming.
+                PContent::Proxy(target) => {
+                    if !f(&RecordEntry::ChildRecord(*target))? {
+                        return Ok(false);
+                    }
+                    continue;
+                }
+                PContent::Literal(_) => {
+                    if node.is_facade()
+                        && !f(&RecordEntry::Node {
+                            ptr: NodePtr::new(ptr.rid, preorder_index(&tree, n)),
+                            label: node.label,
+                            literal: true,
+                        })?
+                    {
+                        return Ok(false);
+                    }
+                }
+                PContent::Aggregate(_) => {
+                    if node.is_facade()
+                        && !f(&RecordEntry::Node {
+                            ptr: NodePtr::new(ptr.rid, preorder_index(&tree, n)),
+                            label: node.label,
+                            literal: false,
+                        })?
+                    {
+                        return Ok(false);
+                    }
+                }
+            }
+            for &k in tree.children(n).iter().rev() {
+                stack.push(k);
             }
         }
         Ok(true)
