@@ -139,7 +139,7 @@ fn bench_bulkload(page_size: usize, quick: bool) -> Vec<BulkloadRow> {
         let xml_bytes: usize = xmls.iter().map(|(_, x)| x.len()).sum();
 
         // Per-node oracle (the pre-PR storage path).
-        let mut per_node = repo(page_size);
+        let per_node = repo(page_size);
         *per_node.symbols_mut() = syms.clone();
         let (_, per_node_ms) = time_once(|| {
             for (name, doc) in &docs {
@@ -148,7 +148,7 @@ fn bench_bulkload(page_size: usize, quick: bool) -> Vec<BulkloadRow> {
         });
 
         // Bulkload from the parsed document.
-        let mut bulk = repo(page_size);
+        let bulk = repo(page_size);
         *bulk.symbols_mut() = syms.clone();
         let (_, bulkload_ms) = time_once(|| {
             for (name, doc) in &docs {
@@ -157,7 +157,7 @@ fn bench_bulkload(page_size: usize, quick: bool) -> Vec<BulkloadRow> {
         });
 
         // Streaming bulkload straight from XML text (includes parsing).
-        let mut streamed = repo(page_size);
+        let streamed = repo(page_size);
         *streamed.symbols_mut() = syms.clone();
         let (_, streaming_ms) = time_once(|| {
             for (name, xml) in &xmls {
@@ -311,7 +311,7 @@ fn cpu_micros() {
         let mut s = SymbolTable::new();
         let _ = natix_xml::parse_document(&xml, &mut s, ParserOptions::default()).unwrap();
     });
-    let mut r = repo(8192);
+    let r = repo(8192);
     *r.symbols_mut() = syms.clone();
     let id = r.put_document("play", &play.doc).unwrap();
     bench_n("stored/traverse_play", 20, || {

@@ -1,0 +1,337 @@
+//! Mixed read/write workload benchmark of the shared-state edit path:
+//! **N reader threads racing one writer on the same document** over the
+//! throttled disk model.
+//!
+//! ```sh
+//! cargo bench -p natix-bench --bench mixed_workload             # writes BENCH_mixed_workload.json
+//! cargo bench -p natix-bench --bench mixed_workload -- --check  # CI mode: asserts the speedup floor
+//! ```
+//!
+//! Before record-level versioning, structural edits took `&mut
+//! Repository`: a mixed workload had to alternate exclusive phases —
+//! every query waited for every edit and vice versa. The **baseline**
+//! reproduces that serialize-everything world faithfully by running the
+//! same operation mix (E text updates + N×Q snapshot queries) strictly
+//! one after another on a single thread. The **concurrent** run issues
+//! the identical mix from N reader threads plus one writer thread
+//! against the shared `&Repository`; readers pin record-version
+//! snapshots while the writer rewrites the very records they scan.
+//!
+//! Reported per reader count: wall time, aggregate read throughput
+//! (queries/s), and the throughput ratio vs the serialized baseline.
+//! Check mode fails the build when the ratio at **4 readers drops below
+//! 2.0×**. Correctness is asserted alongside speed: the queried `audit`
+//! elements are never edited, so every racing query must return exactly
+//! the pre-run answer — on a snapshot that the writer is concurrently
+//! superseding record by record.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use natix::{ParallelQueryOptions, PathQuery, Repository, RepositoryOptions};
+use natix_corpus::SplitMix64;
+use natix_storage::{DiskBackend, MemStorage, ThrottledDisk};
+
+const PAGE_SIZE: usize = 8192;
+/// Small on purpose: the document must not fit the pool, so queries hit
+/// the throttled disk and the writer's rewrites force evictions.
+const BUFFER_FRAMES: usize = 48;
+const READ_LATENCY_US: u64 = 1_500;
+const WRITE_LATENCY_US: u64 = 3_000;
+const READER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Queries per reader thread and text updates by the writer, per run.
+const QUERIES_PER_READER: usize = 10;
+const EDITS: usize = 40;
+/// Repetitions per reader count; the fastest run is reported.
+const REPS: usize = 3;
+/// Acceptance floor asserted in `--check` mode: aggregate read
+/// throughput at 4 readers vs the serialize-everything baseline.
+const SPEEDUP_FLOOR_AT_4: f64 = 2.0;
+
+struct Run {
+    readers: usize,
+    wall_ms: f64,
+    baseline_ms: f64,
+    reads_per_s: f64,
+    speedup_vs_serialized: f64,
+    identical: bool,
+}
+
+fn order_doc(orders: usize) -> String {
+    let mut g = SplitMix64::new(0xBEEF);
+    let body: String = (0..orders)
+        .map(|j| {
+            // Every 97th order carries an <audit> marker: the readers'
+            // query (`//audit`) scans every record of the document (disk
+            // work proportional to document size) but matches rarely, so
+            // the measured cost is the scan, not match resolution — on a
+            // single-core host only overlapped disk stalls can scale.
+            let audit = if j % 97 == 0 {
+                format!("<audit>trail {j}</audit>")
+            } else {
+                String::new()
+            };
+            format!(
+                "<order id=\"{j}\"><sku>PART-{j}</sku><qty>{}</qty>\
+                 <note>note {j} {}</note>{audit}</order>",
+                j % 9 + 1,
+                "n".repeat(g.below(40))
+            )
+        })
+        .collect();
+    format!("<orders>{body}</orders>")
+}
+
+fn throttled_repo() -> Repository {
+    let backend = Arc::new(ThrottledDisk::new(
+        MemStorage::new(PAGE_SIZE).unwrap(),
+        READ_LATENCY_US,
+        WRITE_LATENCY_US,
+    )) as Arc<dyn DiskBackend>;
+    Repository::create_on_backend(
+        backend,
+        RepositoryOptions {
+            page_size: PAGE_SIZE,
+            buffer_bytes: BUFFER_FRAMES * PAGE_SIZE,
+            ..RepositoryOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Loads the contested document and collects the writer's targets (the
+/// text nodes of every `note`) plus the readers' expected answer.
+struct Setup {
+    repo: Repository,
+    doc: natix::DocId,
+    note_texts: Vec<natix::NodeId>,
+    q_sku: PathQuery,
+    expected_sku: Vec<(String, String)>,
+}
+
+fn setup() -> Setup {
+    let repo = throttled_repo();
+    let doc = repo
+        .put_xml_streaming("contested", &order_doc(12_000))
+        .unwrap();
+    let q_sku = PathQuery::parse("//audit").unwrap();
+    let q_note_text = PathQuery::parse("//note/text()").unwrap();
+    // Bind the writer's targets once, before the race (the writer is the
+    // only thread touching the id map during the measured window). The
+    // record-granular evaluator parses each record once — the lazy walk
+    // would parse one record per node.
+    let seq = ParallelQueryOptions {
+        threads: 1,
+        parallel_record_threshold: usize::MAX,
+    };
+    let note_texts = repo.query_parallel(doc, &q_note_text, &seq).unwrap();
+    let expected_sku = repo.query_content_opts(doc, &q_sku, &seq).unwrap();
+    Setup {
+        repo,
+        doc,
+        note_texts,
+        q_sku,
+        expected_sku,
+    }
+}
+
+fn run_edit(s: &Setup, g: &mut SplitMix64, i: usize) {
+    let t = s.note_texts[g.below(s.note_texts.len())];
+    s.repo
+        .update_text(
+            s.doc,
+            t,
+            &format!("rewritten {i} {}", "m".repeat(g.below(48))),
+        )
+        .unwrap();
+}
+
+fn run_query(s: &Setup, opts: &ParallelQueryOptions) -> bool {
+    s.repo.query_content_opts(s.doc, &s.q_sku, opts).unwrap() == s.expected_sku
+}
+
+/// Serialize-everything baseline: the identical operation mix, one
+/// operation at a time on one thread — the old exclusive-phase world.
+fn baseline_ms(readers: usize) -> f64 {
+    let s = setup();
+    let opts = ParallelQueryOptions {
+        threads: 1,
+        parallel_record_threshold: usize::MAX,
+    };
+    let total_queries = readers * QUERIES_PER_READER;
+    let mut g = SplitMix64::new(1);
+    s.repo.clear_buffer().unwrap();
+    let t0 = Instant::now();
+    let mut identical = true;
+    // Interleave edits among the queries, round-robin, as a fair serial
+    // schedule of the same mix.
+    let mut edits_done = 0usize;
+    for qi in 0..total_queries {
+        identical &= run_query(&s, &opts);
+        while edits_done * total_queries < EDITS * (qi + 1) && edits_done < EDITS {
+            run_edit(&s, &mut g, edits_done);
+            edits_done += 1;
+        }
+    }
+    while edits_done < EDITS {
+        run_edit(&s, &mut g, edits_done);
+        edits_done += 1;
+    }
+    assert!(identical, "baseline query returned a wrong answer");
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Concurrent run: `readers` reader threads + 1 writer thread on the
+/// shared repository. Returns (wall ms, all-answers-identical).
+fn concurrent_ms(readers: usize) -> (f64, bool) {
+    let s = setup();
+    s.repo.clear_buffer().unwrap();
+    let s = &s;
+    let identical = AtomicUsize::new(1);
+    let identical = &identical;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut g = SplitMix64::new(1);
+            for i in 0..EDITS {
+                run_edit(s, &mut g, i);
+            }
+        });
+        for r in 0..readers {
+            scope.spawn(move || {
+                let opts = ParallelQueryOptions {
+                    threads: 1,
+                    parallel_record_threshold: usize::MAX,
+                };
+                let mut ok = true;
+                let _ = r;
+                for _ in 0..QUERIES_PER_READER {
+                    ok &= run_query(s, &opts);
+                }
+                if !ok {
+                    identical.store(0, Ordering::Release);
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    (wall, identical.load(Ordering::Acquire) == 1)
+}
+
+fn bench() -> Vec<Run> {
+    let mut runs = Vec::new();
+    for &readers in &READER_COUNTS {
+        let mut best_wall = f64::INFINITY;
+        let mut best_base = f64::INFINITY;
+        let mut identical = true;
+        for _ in 0..REPS {
+            best_base = best_base.min(baseline_ms(readers));
+            let (wall, ok) = concurrent_ms(readers);
+            best_wall = best_wall.min(wall);
+            identical &= ok;
+        }
+        let total_queries = (readers * QUERIES_PER_READER) as f64;
+        let reads_per_s = total_queries / (best_wall / 1e3);
+        let base_reads_per_s = total_queries / (best_base / 1e3);
+        runs.push(Run {
+            readers,
+            wall_ms: best_wall,
+            baseline_ms: best_base,
+            reads_per_s,
+            speedup_vs_serialized: reads_per_s / base_reads_per_s,
+            identical,
+        });
+        let r = runs.last().unwrap();
+        println!(
+            "  {readers} reader(s) + 1 writer: {:>8.1} ms (serialized {:>8.1} ms)  \
+             {:>7.1} reads/s  {:>5.2}x  identical: {}",
+            r.wall_ms, r.baseline_ms, r.reads_per_s, r.speedup_vs_serialized, r.identical
+        );
+    }
+    runs
+}
+
+fn write_json(runs: &[Run]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(
+        s,
+        "  \"benchmark\": \"mixed workload: N snapshot readers racing one writer on one document\","
+    );
+    let _ = writeln!(s, "  \"page_size\": {PAGE_SIZE},");
+    let _ = writeln!(s, "  \"buffer_frames\": {BUFFER_FRAMES},");
+    let _ = writeln!(
+        s,
+        "  \"disk\": \"throttled: {READ_LATENCY_US} us/page read, \
+         {WRITE_LATENCY_US} us/page write\","
+    );
+    let _ = writeln!(
+        s,
+        "  \"workload\": \"{EDITS} update_text edits vs {QUERIES_PER_READER} \
+         //audit content queries per reader; baseline = same mix fully serialized on one thread\","
+    );
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"readers\": {}, \"wall_ms\": {:.1}, \"serialized_ms\": {:.1}, \
+             \"reads_per_s\": {:.2}, \"speedup_vs_serialized\": {:.2}, \
+             \"identical_answers\": {}}}{}",
+            r.readers,
+            r.wall_ms,
+            r.baseline_ms,
+            r.reads_per_s,
+            r.speedup_vs_serialized,
+            r.identical,
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+
+    println!(
+        "mixed read/write workload ({PAGE_SIZE} B pages, {BUFFER_FRAMES}-frame pool, \
+         throttled disk):"
+    );
+    let runs = bench();
+    for r in &runs {
+        assert!(
+            r.identical,
+            "{} readers: a racing query saw an answer differing from the \
+             serialized result",
+            r.readers
+        );
+    }
+    let at4 = runs.iter().find(|r| r.readers == 4).unwrap();
+    if check {
+        assert!(
+            at4.speedup_vs_serialized >= SPEEDUP_FLOOR_AT_4,
+            "aggregate read throughput at 4 readers is {:.2}x the \
+             serialize-everything baseline, below the {SPEEDUP_FLOOR_AT_4}x floor",
+            at4.speedup_vs_serialized
+        );
+        println!(
+            "check mode: speedup at 4 readers = {:.2}x (floor {SPEEDUP_FLOOR_AT_4}x)",
+            at4.speedup_vs_serialized
+        );
+    } else {
+        let json = write_json(&runs);
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_mixed_workload.json"
+        );
+        std::fs::write(path, &json).unwrap();
+        println!("wrote {path}");
+        println!(
+            "speedup at 4 readers: {:.2}x (floor {SPEEDUP_FLOOR_AT_4}x)",
+            at4.speedup_vs_serialized
+        );
+    }
+}

@@ -220,7 +220,7 @@ fn bench_corpus(corpus: &'static str, docs: &[(String, String)], big_xml: &str) 
     for res in repo.put_documents_parallel(docs, 4) {
         res.unwrap();
     }
-    let mut loader = repo;
+    let loader = repo;
     let big_id = loader.put_xml_streaming("big", big_xml).unwrap();
     let repo = loader;
     let ids: Vec<natix::DocId> = docs.iter().map(|(n, _)| repo.doc_id(n).unwrap()).collect();

@@ -29,7 +29,7 @@ fn corpus() -> CorpusConfig {
 }
 
 fn build_with_config(config: TreeConfig) -> Repository {
-    let mut repo = Repository::create_in_memory(RepositoryOptions {
+    let repo = Repository::create_in_memory(RepositoryOptions {
         page_size: 4096,
         tree_config: config,
         ..RepositoryOptions::paper(4096)
@@ -93,7 +93,7 @@ fn main() {
 
     println!("\n== merge extension under churn (2K pages) ==");
     for merge in [false, true] {
-        let mut repo = Repository::create_in_memory(RepositoryOptions {
+        let repo = Repository::create_in_memory(RepositoryOptions {
             page_size: 2048,
             tree_config: TreeConfig {
                 merge_enabled: merge,
@@ -134,7 +134,7 @@ fn main() {
     for buffer_kb in [256usize, 512, 1024, 2048, 4096] {
         let cfg = corpus();
         // Reuse the harness but override the buffer via a bespoke build.
-        let mut repo = Repository::create_in_memory(RepositoryOptions {
+        let repo = Repository::create_in_memory(RepositoryOptions {
             buffer_bytes: buffer_kb * 1024,
             ..RepositoryOptions::paper(2048)
         })

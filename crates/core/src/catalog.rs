@@ -178,7 +178,9 @@ pub(crate) fn store_plain_document(tree: &TreeStore, doc: &Document) -> NatixRes
 }
 
 /// Writes the catalog document and records its root RID in the header.
-pub fn save_catalog(repo: &mut Repository) -> NatixResult<()> {
+/// Takes `&Repository`: the rewrite is an ordinary write operation of the
+/// record-version layer (callers serialise checkpoints).
+pub fn save_catalog(repo: &Repository) -> NatixResult<()> {
     let cs = CatalogSymbols::new();
     let doc = build_catalog_doc(repo, &cs);
     // Drop the previous catalog tree, if any.
@@ -322,7 +324,7 @@ mod tests {
         let doc_xml = "<PLAY><TITLE>Test</TITLE><ACT><SCENE><SPEECH>\
                        <SPEAKER>A</SPEAKER><LINE>line one</LINE></SPEECH></SCENE></ACT></PLAY>";
         {
-            let mut repo = Repository::create_file(&path, RepositoryOptions::default()).unwrap();
+            let repo = Repository::create_file(&path, RepositoryOptions::default()).unwrap();
             repo.put_xml("t1", doc_xml).unwrap();
             repo.put_xml("t2", "<a><b x=\"1\">v</b></a>").unwrap();
             repo.set_matrix_rule("SPEECH", "SPEAKER", SplitBehaviour::KeepWithParent);
@@ -355,12 +357,12 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("repo.natix");
         {
-            let mut repo = Repository::create_file(&path, RepositoryOptions::default()).unwrap();
+            let repo = Repository::create_file(&path, RepositoryOptions::default()).unwrap();
             repo.put_xml("d", "<list><item>one</item></list>").unwrap();
             repo.checkpoint().unwrap();
         }
         {
-            let mut repo = Repository::open_file(&path, RepositoryOptions::default()).unwrap();
+            let repo = Repository::open_file(&path, RepositoryOptions::default()).unwrap();
             let id = repo.doc_id("d").unwrap();
             let root = repo.root(id).unwrap();
             let item2 = repo

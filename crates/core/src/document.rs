@@ -22,6 +22,7 @@
 //! behind a repository-wide writer lock.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -62,15 +63,40 @@ struct NodeMap {
     next_id: NodeId,
 }
 
+/// The document's root record RID, versioned by publish epoch: the root
+/// moves on root splits, and a snapshot reader must start from the root
+/// of *its* epoch — the current RID may belong to an operation published
+/// after the reader pinned (whose record images the reader must not mix
+/// with its snapshot). Old entries carry the epoch from which their
+/// replacement is current; `dead_from` marks document deletion.
+struct RootSlot {
+    current: Rid,
+    /// `(valid_until, rid)` — readers pinned below `valid_until` start at
+    /// `rid`. Ascending; pruned against the reader floor on every publish.
+    old: Vec<(u64, Rid)>,
+    /// Epoch at which the document was registered: readers pinned below
+    /// it resolve to "no such document" — a snapshot predating the
+    /// document must not see it, even if it re-resolves the name after a
+    /// deleted predecessor's slot was reused.
+    born_at: u64,
+    dead_from: Option<u64>,
+}
+
 /// Per-document state. Shared as `Arc<DocState>`; the volatile pieces
-/// (the id map and the root record RID, which moves on root splits) sit
-/// behind their own mutexes so readers take `&self`.
+/// (the id map and the epoch-versioned root slot) sit behind their own
+/// mutexes so readers take `&self`.
 pub(crate) struct DocState {
     pub name: String,
-    root_rid: Mutex<Rid>,
+    root: Mutex<RootSlot>,
     /// The root's logical id — the first id handed out, always 0.
     pub root_id: NodeId,
     ids: Mutex<NodeMap>,
+    /// Serialises structural edits of this document: writers of one
+    /// document go one at a time (as in the paper), writers of different
+    /// documents — and any number of snapshot readers — do not contend on
+    /// it. First element of the writer's acquisition order (see the lock
+    /// hierarchy in [`crate::repository`]).
+    pub(crate) edit_latch: Mutex<()>,
 }
 
 impl DocState {
@@ -84,15 +110,81 @@ impl DocState {
         let root_id = fresh(&mut ids, root_ptr);
         DocState {
             name,
-            root_rid: Mutex::new(root_rid),
+            root: Mutex::new(RootSlot {
+                current: root_rid,
+                old: Vec::new(),
+                born_at: 0,
+                dead_from: None,
+            }),
             root_id,
             ids: Mutex::new(ids),
+            edit_latch: Mutex::new(()),
         }
     }
 
-    /// Current RID of the record holding the document root.
+    /// Current RID of the record holding the document root (writers and
+    /// unpinned readers).
     pub(crate) fn root_rid(&self) -> Rid {
-        *self.root_rid.lock()
+        self.root.lock().current
+    }
+
+    /// Root RID as of `epoch`; `None` when the document did not exist at
+    /// that epoch (deleted at or before it, or registered after it).
+    pub(crate) fn root_rid_at(&self, epoch: u64) -> Option<Rid> {
+        let r = self.root.lock();
+        if epoch < r.born_at || r.dead_from.is_some_and(|d| epoch >= d) {
+            return None;
+        }
+        Some(
+            r.old
+                .iter()
+                .find(|&&(valid_until, _)| valid_until > epoch)
+                .map(|&(_, rid)| rid)
+                .unwrap_or(r.current),
+        )
+    }
+
+    /// Publish hook of a root move: runs inside the version store's
+    /// publish critical section, so the new root becomes current exactly
+    /// when the moving operation's epoch does. Readers pinned below
+    /// `epoch` keep starting from `old` (whose pre-image the operation
+    /// deposited).
+    fn publish_root_move(&self, old: Rid, new: Rid, epoch: u64, floor: u64) {
+        let mut r = self.root.lock();
+        if r.current == old {
+            r.old.push((epoch, old));
+            r.current = new;
+        }
+        r.old.retain(|&(valid_until, _)| valid_until > floor);
+    }
+
+    /// Publish hook of a document deletion: readers pinned below `epoch`
+    /// keep reading the deposited records, later ones get "no such
+    /// document".
+    fn retire(&self, epoch: u64, floor: u64) {
+        let mut r = self.root.lock();
+        r.dead_from = Some(epoch);
+        r.old.retain(|&(valid_until, _)| valid_until > floor);
+    }
+
+    /// Immediate root swap for unpublished paths (per-node loads of
+    /// not-yet-registered documents, reopened catalogs).
+    fn set_root_now(&self, old: Rid, new: Rid) {
+        let mut r = self.root.lock();
+        if r.current == old {
+            r.current = new;
+        }
+    }
+
+    /// Stamps the registration epoch (called once, by
+    /// [`Repository::register`]).
+    pub(crate) fn set_born(&self, epoch: u64) {
+        self.root.lock().born_at = epoch;
+    }
+
+    /// True once the document has been deleted (its publish hook ran).
+    pub(crate) fn is_dead(&self) -> bool {
+        self.root.lock().dead_from.is_some()
     }
 
     /// Resolves a logical id to its current physical pointer.
@@ -121,8 +213,10 @@ impl DocState {
     }
 
     /// Applies relocation events (two-phase so intra-record shifts cannot
-    /// collide).
-    pub(crate) fn apply(&self, res: &OpResult) {
+    /// collide). Does not touch the root slot — published edits defer the
+    /// root move to the publish hook, unpublished paths use
+    /// [`apply`](Self::apply).
+    pub(crate) fn apply_relocations(&self, res: &OpResult) {
         let mut ids = self.ids.lock();
         let moved: Vec<(Option<NodeId>, NodePtr)> = res
             .relocations
@@ -135,12 +229,16 @@ impl DocState {
                 ids.rev.insert(new, i);
             }
         }
-        drop(ids);
+    }
+
+    /// Applies an operation result with an *immediate* root swap — only
+    /// for documents no reader can see yet (per-node loads before
+    /// registration). Published edits go through
+    /// [`Repository::finish_edit`].
+    pub(crate) fn apply(&self, res: &OpResult) {
+        self.apply_relocations(res);
         if let Some((old, new)) = res.root_moved {
-            let mut root = self.root_rid.lock();
-            if *root == old {
-                *root = new;
-            }
+            self.set_root_now(old, new);
         }
     }
 
@@ -185,6 +283,38 @@ pub(crate) fn chunk_limit(net_capacity: usize) -> usize {
 }
 
 impl Repository {
+    /// Completes one published structural edit: applies relocation events
+    /// to the id map immediately (the writer needs them for its next
+    /// operation) and schedules the root move, if any, for the ambient
+    /// write operation's publish point — the root RID must switch
+    /// *atomically with the epoch*, or a reader could pair a fresh epoch
+    /// with the stale root (or vice versa) and walk a mixed record graph.
+    /// Rejects edits of a deleted document. Called after acquiring the
+    /// edit latch: the deleting operation retires the document (publish
+    /// hook) *before* releasing its latch, so this check is race-free.
+    fn check_live(&self, state: &DocState) -> NatixResult<()> {
+        if state.is_dead() {
+            return Err(NatixError::NoSuchDocument(state.name.clone()));
+        }
+        Ok(())
+    }
+
+    fn finish_edit(&self, state: &Arc<DocState>, res: &OpResult) {
+        state.apply_relocations(res);
+        if let Some((old, new)) = res.root_moved {
+            let st = Arc::clone(state);
+            let deferred = self
+                .tree
+                .versions()
+                .defer_until_publish(move |epoch, floor| {
+                    st.publish_root_move(old, new, epoch, floor)
+                });
+            if !deferred {
+                state.set_root_now(old, new);
+            }
+        }
+    }
+
     // ==================================================================
     // Document granularity.
     // ==================================================================
@@ -196,7 +326,7 @@ impl Repository {
     /// node-by-node path as the differential-testing oracle.
     ///
     /// [`put_document_per_node`]: Self::put_document_per_node
-    pub fn put_document(&mut self, name: &str, doc: &Document) -> NatixResult<DocId> {
+    pub fn put_document(&self, name: &str, doc: &Document) -> NatixResult<DocId> {
         self.claim_name(name)?;
         let load = || -> NatixResult<Rid> {
             if !matches!(doc.data(doc.root()), NodeData::Element(_)) {
@@ -224,7 +354,7 @@ impl Repository {
     /// the incremental tree-growth procedure — the pre-bulkloader storage
     /// path, kept as the oracle for differential tests and benchmarks of
     /// the bulkloader.
-    pub fn put_document_per_node(&mut self, name: &str, doc: &Document) -> NatixResult<DocId> {
+    pub fn put_document_per_node(&self, name: &str, doc: &Document) -> NatixResult<DocId> {
         self.claim_name(name)?;
         match self.per_node_load(name, doc) {
             Ok(state) => Ok(self.register(state)),
@@ -235,7 +365,7 @@ impl Repository {
         }
     }
 
-    fn per_node_load(&mut self, name: &str, doc: &Document) -> NatixResult<DocState> {
+    fn per_node_load(&self, name: &str, doc: &Document) -> NatixResult<DocState> {
         let NodeData::Element(root_label) = doc.data(doc.root()) else {
             return Err(NatixError::Validation(
                 "document root must be an element".into(),
@@ -295,7 +425,7 @@ impl Repository {
     }
 
     /// Parses and stores XML text.
-    pub fn put_xml(&mut self, name: &str, xml: &str) -> NatixResult<DocId> {
+    pub fn put_xml(&self, name: &str, xml: &str) -> NatixResult<DocId> {
         let options = self.parser_options();
         let doc = {
             let mut symbols = self.symbols.write();
@@ -315,9 +445,13 @@ impl Repository {
     /// document size — node ids are bound lazily on navigation, never
     /// materialised for the whole document. A failed load deletes every
     /// record it had already flushed and releases its name claim.
-    pub fn put_xml_streaming(&mut self, name: &str, xml: &str) -> NatixResult<DocId> {
-        // Same claim → load → publish protocol as one concurrent
-        // ingestion job, over the main document store.
+    pub fn put_xml_streaming(&self, name: &str, xml: &str) -> NatixResult<DocId> {
+        // Takes `&self`: the load is one write operation of the
+        // record-version layer, so queries — of other documents *and of
+        // this name, which simply does not exist until the publish point*
+        // — run concurrently with the ingestion and never observe a
+        // half-loaded document. Same claim → load → publish protocol as
+        // one concurrent ingestion job, over the main document store.
         self.ingest_one(&self.tree, name, xml)
     }
 
@@ -403,7 +537,7 @@ impl Repository {
     }
 
     /// Creates an empty document with the given root tag.
-    pub fn create_document(&mut self, name: &str, root_tag: &str) -> NatixResult<DocId> {
+    pub fn create_document(&self, name: &str, root_tag: &str) -> NatixResult<DocId> {
         self.claim_name(name)?;
         let label = self.symbols.write().intern_element(root_tag);
         match self.tree.create_tree(label) {
@@ -416,19 +550,22 @@ impl Repository {
     }
 
     /// Reconstructs the whole logical document (§2.3.3: proxy
-    /// substitution).
+    /// substitution). Snapshot-consistent under concurrent edits.
     pub fn get_document(&self, name: &str) -> NatixResult<Document> {
         let id = self.doc_id(name)?;
-        Ok(natix_tree::reconstruct_document(
-            &self.tree,
-            self.state(id)?.root_rid(),
-        )?)
+        let st = self.state(id)?;
+        let _pin = self.tree.begin_read();
+        let root = self.snapshot_root(&st)?;
+        Ok(natix_tree::reconstruct_document(&self.tree, root)?)
     }
 
     /// Recreates the textual representation, streamed from the records.
     pub fn get_xml(&self, name: &str) -> NatixResult<String> {
         let id = self.doc_id(name)?;
         let st = self.state(id)?;
+        // Record-version snapshot: the whole-document walk observes one
+        // epoch even while writers edit the same document.
+        let _pin = self.tree.begin_read();
         // Serialize against a snapshot: holding the read lock across a
         // whole-document walk (buffer misses included) would let one
         // queued intern from an ingestion worker stall every other
@@ -436,19 +573,51 @@ impl Repository {
         // small and append-only, so a clone is cheap and never stale
         // for labels this document can reference.
         let symbols = self.symbols.read().clone();
+        let root = self.snapshot_root(&st)?;
         Ok(natix_tree::serialize_xml(
             &self.tree,
-            NodePtr::new(st.root_rid(), 0),
+            NodePtr::new(root, 0),
             &symbols,
         )?)
     }
 
-    /// Deletes a document and all its records.
-    pub fn delete_document(&mut self, name: &str) -> NatixResult<()> {
+    /// Deletes a document and all its records. Readers that already hold
+    /// a snapshot (or are mid-query) keep reading the superseded records;
+    /// readers arriving after the drop see [`NatixError::NoSuchDocument`].
+    pub fn delete_document(&self, name: &str) -> NatixResult<()> {
         let id = self.doc_id(name)?;
-        let root_rid = self.state(id)?.root_rid();
-        self.tree.drop_tree(root_rid)?;
-        self.unregister(name)
+        let state = self.state(id)?;
+        let _latch = state.edit_latch.lock();
+        // The document may have been deleted while this writer waited on
+        // the latch: proceeding would mutate (or double-free) records
+        // whose slots another document may already own.
+        self.check_live(&state)?;
+        // Outer write operation: publishes (epoch advance + root-move
+        // hook) after the edit's bookkeeping below, before the latch
+        // releases (drop order is reverse declaration order).
+        let _op = self.tree.begin_write();
+        let result = self.tree.drop_tree(state.root_rid());
+        // Unregister and retire atomically with the publish: readers
+        // pinned earlier keep both name resolution and the deposited
+        // records; readers pinned later get a clean NoSuchDocument, and
+        // the name only becomes re-claimable once the delete's epoch
+        // exists. On a failed cascade the document is retired anyway — a
+        // half-freed tree must not stay addressable (the unfreed records
+        // leak, which beats dangling-pointer walks).
+        let st = Arc::clone(&state);
+        let registry = Arc::clone(&self.registry);
+        let doc_name = state.name.clone();
+        self.tree
+            .versions()
+            .defer_until_publish(move |epoch, floor| {
+                st.retire(epoch, floor);
+                let mut reg = registry.lock();
+                if reg.by_name.get(&doc_name) == Some(&id) {
+                    reg.by_name.remove(&doc_name);
+                    reg.docs[id as usize] = None;
+                }
+            });
+        Ok(result?)
     }
 
     // ==================================================================
@@ -457,6 +626,7 @@ impl Repository {
 
     /// Summary (kind, label, text) of a node.
     pub fn node_summary(&self, doc: DocId, node: NodeId) -> NatixResult<NodeSummary> {
+        let _pin = self.tree.begin_read();
         let ptr = self.resolve(doc, node)?;
         let info = self.tree.node_info(ptr)?;
         Ok(NodeSummary {
@@ -475,6 +645,7 @@ impl Repository {
     /// mutex, so concurrent readers never block behind writers of other
     /// documents.
     pub fn children(&self, doc: DocId, node: NodeId) -> NatixResult<Vec<NodeId>> {
+        let _pin = self.tree.begin_read();
         let ptr = self.resolve(doc, node)?;
         let ptrs = self.tree.logical_children(ptr)?;
         let state = self.state(doc)?;
@@ -484,6 +655,7 @@ impl Repository {
     /// Logical parent of a node (`None` at the root). Read-only, like
     /// [`children`](Self::children).
     pub fn parent(&self, doc: DocId, node: NodeId) -> NatixResult<Option<NodeId>> {
+        let _pin = self.tree.begin_read();
         let ptr = self.resolve(doc, node)?;
         let parent = self.tree.logical_parent(ptr)?;
         let state = self.state(doc)?;
@@ -504,6 +676,7 @@ impl Repository {
         node: NodeId,
         f: &mut impl FnMut(NodePtr),
     ) -> NatixResult<()> {
+        let _pin = self.tree.begin_read();
         let start = self.resolve(doc, node)?;
         let mut stack = vec![start];
         let mut found = Vec::new();
@@ -529,31 +702,54 @@ impl Repository {
         Ok(n)
     }
 
-    /// Inserts a new element under `parent`.
+    /// Inserts a new element under `parent`. Takes `&self`: the
+    /// document's edit latch serialises writers of *this* document;
+    /// readers and writers of other documents proceed concurrently.
     pub fn insert_element(
-        &mut self,
+        &self,
         doc: DocId,
         parent: NodeId,
         pos: InsertPos,
         tag: &str,
     ) -> NatixResult<NodeId> {
-        let label = self.symbols.write().intern_element(tag);
-        let ptr = self.resolve(doc, parent)?;
-        let res = self.tree.insert(ptr, pos, label, NewNode::Element)?;
         let state = self.state(doc)?;
-        state.apply(&res);
+        let _latch = state.edit_latch.lock();
+        // The document may have been deleted while this writer waited on
+        // the latch: proceeding would mutate (or double-free) records
+        // whose slots another document may already own.
+        self.check_live(&state)?;
+        // Outer write operation: publishes (epoch advance + root-move
+        // hook) after the edit's bookkeeping below, before the latch
+        // releases (drop order is reverse declaration order).
+        let _op = self.tree.begin_write();
+        let label = self.symbols.write().intern_element(tag);
+        let ptr = state
+            .resolve(parent)
+            .ok_or(NatixError::NoSuchNode(parent))?;
+        let res = self.tree.insert(ptr, pos, label, NewNode::Element)?;
+        self.finish_edit(&state, &res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
 
     /// Inserts a text literal under `parent`; long text is chunked into
     /// several sibling literals and all their ids are returned.
     pub fn insert_text(
-        &mut self,
+        &self,
         doc: DocId,
         parent: NodeId,
         pos: InsertPos,
         text: &str,
     ) -> NatixResult<Vec<NodeId>> {
+        let state = self.state(doc)?;
+        let _latch = state.edit_latch.lock();
+        // The document may have been deleted while this writer waited on
+        // the latch: proceeding would mutate (or double-free) records
+        // whose slots another document may already own.
+        self.check_live(&state)?;
+        // Outer write operation: publishes (epoch advance + root-move
+        // hook) after the edit's bookkeeping below, before the latch
+        // releases (drop order is reverse declaration order).
+        let _op = self.tree.begin_write();
         let limit = chunk_limit(self.tree.net_capacity());
         let chunks: Vec<String> = if text.len() > limit {
             // Split on UTF-8 character boundaries: a byte split would
@@ -567,15 +763,18 @@ impl Repository {
         let mut ids = Vec::with_capacity(chunks.len());
         let mut insert_pos = pos;
         for chunk in chunks {
-            let ptr = self.resolve(doc, parent)?;
+            // Re-resolve the parent for every chunk: inserting the
+            // previous chunk may have split or moved its record.
+            let ptr = state
+                .resolve(parent)
+                .ok_or(NatixError::NoSuchNode(parent))?;
             let res = self.tree.insert(
                 ptr,
                 insert_pos,
                 LABEL_TEXT,
                 NewNode::Literal(LiteralValue::String(chunk)),
             )?;
-            let state = self.state(doc)?;
-            state.apply(&res);
+            self.finish_edit(&state, &res);
             let id = state.fresh_id(res.new_node.expect("insert yields node"));
             // Subsequent chunks follow the one just inserted.
             insert_pos = match insert_pos {
@@ -590,71 +789,124 @@ impl Repository {
 
     /// Inserts an element as the next sibling of `sibling`.
     pub fn insert_element_after(
-        &mut self,
+        &self,
         doc: DocId,
         sibling: NodeId,
         tag: &str,
     ) -> NatixResult<NodeId> {
-        let label = self.symbols.write().intern_element(tag);
-        let ptr = self.resolve(doc, sibling)?;
-        let res = self.tree.insert_after(ptr, label, NewNode::Element)?;
         let state = self.state(doc)?;
-        state.apply(&res);
+        let _latch = state.edit_latch.lock();
+        // The document may have been deleted while this writer waited on
+        // the latch: proceeding would mutate (or double-free) records
+        // whose slots another document may already own.
+        self.check_live(&state)?;
+        // Outer write operation: publishes (epoch advance + root-move
+        // hook) after the edit's bookkeeping below, before the latch
+        // releases (drop order is reverse declaration order).
+        let _op = self.tree.begin_write();
+        let label = self.symbols.write().intern_element(tag);
+        let ptr = state
+            .resolve(sibling)
+            .ok_or(NatixError::NoSuchNode(sibling))?;
+        let res = self.tree.insert_after(ptr, label, NewNode::Element)?;
+        self.finish_edit(&state, &res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
 
     /// Inserts a literal as the next sibling of `sibling`.
     pub fn insert_literal_after(
-        &mut self,
+        &self,
         doc: DocId,
         sibling: NodeId,
         label: natix_xml::LabelId,
         value: LiteralValue,
     ) -> NatixResult<NodeId> {
-        let ptr = self.resolve(doc, sibling)?;
+        let state = self.state(doc)?;
+        let _latch = state.edit_latch.lock();
+        // The document may have been deleted while this writer waited on
+        // the latch: proceeding would mutate (or double-free) records
+        // whose slots another document may already own.
+        self.check_live(&state)?;
+        // Outer write operation: publishes (epoch advance + root-move
+        // hook) after the edit's bookkeeping below, before the latch
+        // releases (drop order is reverse declaration order).
+        let _op = self.tree.begin_write();
+        let ptr = state
+            .resolve(sibling)
+            .ok_or(NatixError::NoSuchNode(sibling))?;
         let res = self
             .tree
             .insert_after(ptr, label, NewNode::Literal(value))?;
-        let state = self.state(doc)?;
-        state.apply(&res);
+        self.finish_edit(&state, &res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
 
     /// Generic insert used by the benchmark harness (label id + payload).
     pub fn insert_node(
-        &mut self,
+        &self,
         doc: DocId,
         parent: NodeId,
         pos: InsertPos,
         label: natix_xml::LabelId,
         node: NewNode,
     ) -> NatixResult<NodeId> {
-        let ptr = self.resolve(doc, parent)?;
-        let res = self.tree.insert(ptr, pos, label, node)?;
         let state = self.state(doc)?;
-        state.apply(&res);
+        let _latch = state.edit_latch.lock();
+        // The document may have been deleted while this writer waited on
+        // the latch: proceeding would mutate (or double-free) records
+        // whose slots another document may already own.
+        self.check_live(&state)?;
+        // Outer write operation: publishes (epoch advance + root-move
+        // hook) after the edit's bookkeeping below, before the latch
+        // releases (drop order is reverse declaration order).
+        let _op = self.tree.begin_write();
+        let ptr = state
+            .resolve(parent)
+            .ok_or(NatixError::NoSuchNode(parent))?;
+        let res = self.tree.insert(ptr, pos, label, node)?;
+        self.finish_edit(&state, &res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
 
     /// Generic sibling insert used by the benchmark harness.
     pub fn insert_node_after(
-        &mut self,
+        &self,
         doc: DocId,
         sibling: NodeId,
         label: natix_xml::LabelId,
         node: NewNode,
     ) -> NatixResult<NodeId> {
-        let ptr = self.resolve(doc, sibling)?;
-        let res = self.tree.insert_after(ptr, label, node)?;
         let state = self.state(doc)?;
-        state.apply(&res);
+        let _latch = state.edit_latch.lock();
+        // The document may have been deleted while this writer waited on
+        // the latch: proceeding would mutate (or double-free) records
+        // whose slots another document may already own.
+        self.check_live(&state)?;
+        // Outer write operation: publishes (epoch advance + root-move
+        // hook) after the edit's bookkeeping below, before the latch
+        // releases (drop order is reverse declaration order).
+        let _op = self.tree.begin_write();
+        let ptr = state
+            .resolve(sibling)
+            .ok_or(NatixError::NoSuchNode(sibling))?;
+        let res = self.tree.insert_after(ptr, label, node)?;
+        self.finish_edit(&state, &res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
 
     /// Deletes the subtree rooted at `node`.
-    pub fn delete_node(&mut self, doc: DocId, node: NodeId) -> NatixResult<()> {
-        let ptr = self.resolve(doc, node)?;
+    pub fn delete_node(&self, doc: DocId, node: NodeId) -> NatixResult<()> {
         let state = self.state(doc)?;
+        let _latch = state.edit_latch.lock();
+        // The document may have been deleted while this writer waited on
+        // the latch: proceeding would mutate (or double-free) records
+        // whose slots another document may already own.
+        self.check_live(&state)?;
+        // Outer write operation: publishes (epoch advance + root-move
+        // hook) after the edit's bookkeeping below, before the latch
+        // releases (drop order is reverse declaration order).
+        let _op = self.tree.begin_write();
+        let ptr = state.resolve(node).ok_or(NatixError::NoSuchNode(node))?;
         // Collect the subtree's logical ids first (their pointers are
         // purged before relocations are applied).
         let mut victims = Vec::new();
@@ -672,28 +924,40 @@ impl Repository {
         })?;
         let res = self.tree.delete_subtree(ptr)?;
         state.purge(&victims);
-        state.apply(&res);
+        self.finish_edit(&state, &res);
         Ok(())
     }
 
     /// Replaces the value of a text/literal node.
-    pub fn update_text(&mut self, doc: DocId, node: NodeId, text: &str) -> NatixResult<()> {
-        let ptr = self.resolve(doc, node)?;
+    pub fn update_text(&self, doc: DocId, node: NodeId, text: &str) -> NatixResult<()> {
+        let state = self.state(doc)?;
+        let _latch = state.edit_latch.lock();
+        // The document may have been deleted while this writer waited on
+        // the latch: proceeding would mutate (or double-free) records
+        // whose slots another document may already own.
+        self.check_live(&state)?;
+        // Outer write operation: publishes (epoch advance + root-move
+        // hook) after the edit's bookkeeping below, before the latch
+        // releases (drop order is reverse declaration order).
+        let _op = self.tree.begin_write();
+        let ptr = state.resolve(node).ok_or(NatixError::NoSuchNode(node))?;
         let res = self
             .tree
             .update_literal(ptr, LiteralValue::String(text.to_string()))?;
-        self.state(doc)?.apply(&res);
+        self.finish_edit(&state, &res);
         Ok(())
     }
 
     /// Concatenated text content of a subtree (Query 2/3 style reads).
     pub fn text_content(&self, doc: DocId, node: NodeId) -> NatixResult<String> {
+        let _pin = self.tree.begin_read();
         let ptr = self.resolve(doc, node)?;
         Ok(natix_tree::subtree_text(&self.tree, ptr)?)
     }
 
     /// Serialises a subtree back to XML text.
     pub fn serialize_node(&self, doc: DocId, node: NodeId) -> NatixResult<String> {
+        let _pin = self.tree.begin_read();
         let ptr = self.resolve(doc, node)?;
         // Snapshot, not guard: see `get_xml`.
         let symbols = self.symbols.read().clone();
@@ -708,11 +972,13 @@ impl Repository {
         mut f: impl FnMut(usize, NodeSummary),
     ) -> NatixResult<()> {
         let st = self.state(doc)?;
+        let _pin = self.tree.begin_read();
         // Snapshot, not guard: see `get_xml`.
         let symbols: SymbolTable = self.symbols.read().clone();
         let symbols: &SymbolTable = &symbols;
         let mut depth = 0usize;
-        natix_tree::traverse(&self.tree, NodePtr::new(st.root_rid(), 0), &mut |ev| {
+        let root = self.snapshot_root(&st)?;
+        natix_tree::traverse(&self.tree, NodePtr::new(root, 0), &mut |ev| {
             match ev {
                 VisitEvent::Enter { label, .. } => {
                     f(
@@ -773,7 +1039,7 @@ mod tests {
 
     #[test]
     fn put_get_roundtrip() {
-        let mut repo = small_repo();
+        let repo = small_repo();
         let xml = "<PLAY><TITLE>Hamlet</TITLE><ACT><SCENE><SPEECH>\
                    <SPEAKER>HAMLET</SPEAKER><LINE>To be, or not to be</LINE>\
                    </SPEECH></SCENE></ACT></PLAY>";
@@ -783,7 +1049,7 @@ mod tests {
 
     #[test]
     fn node_navigation() {
-        let mut repo = small_repo();
+        let repo = small_repo();
         let id = repo.put_xml("d", "<a><b>x</b><c><d/>tail</c></a>").unwrap();
         let root = repo.root(id).unwrap();
         let kids = repo.children(id, root).unwrap();
@@ -803,7 +1069,7 @@ mod tests {
     fn readers_navigate_through_shared_reference() {
         // `children`/`parent`/`node_summary` take `&self`: a read-only
         // traversal needs no exclusive access to the repository.
-        let mut repo = small_repo();
+        let repo = small_repo();
         let id = repo.put_xml("d", "<a><b>x</b><c>y</c></a>").unwrap();
         let shared: &Repository = &repo;
         let root = shared.root(id).unwrap();
@@ -815,7 +1081,7 @@ mod tests {
 
     #[test]
     fn insert_and_serialize_subtree() {
-        let mut repo = small_repo();
+        let repo = small_repo();
         let id = repo.create_document("d", "SPEECH").unwrap();
         let root = repo.root(id).unwrap();
         let speaker = repo
@@ -842,7 +1108,7 @@ mod tests {
 
     #[test]
     fn growth_across_many_records_keeps_ids_stable() {
-        let mut repo = Repository::create_in_memory(RepositoryOptions {
+        let repo = Repository::create_in_memory(RepositoryOptions {
             page_size: 512,
             ..RepositoryOptions::default()
         })
@@ -876,7 +1142,7 @@ mod tests {
 
     #[test]
     fn delete_node_updates_view() {
-        let mut repo = small_repo();
+        let repo = small_repo();
         let id = repo
             .put_xml("d", "<a><b>one</b><c>two</c><d>three</d></a>")
             .unwrap();
@@ -895,7 +1161,7 @@ mod tests {
 
     #[test]
     fn update_text_in_place_and_grown() {
-        let mut repo = small_repo();
+        let repo = small_repo();
         let id = repo.put_xml("d", "<a><b>small</b></a>").unwrap();
         let root = repo.root(id).unwrap();
         let b = repo.children(id, root).unwrap()[0];
@@ -909,7 +1175,7 @@ mod tests {
 
     #[test]
     fn long_text_is_chunked_but_serialises_identically() {
-        let mut repo = Repository::create_in_memory(RepositoryOptions {
+        let repo = Repository::create_in_memory(RepositoryOptions {
             page_size: 512,
             ..RepositoryOptions::default()
         })
@@ -925,7 +1191,7 @@ mod tests {
 
     #[test]
     fn traverse_document_visits_everything() {
-        let mut repo = small_repo();
+        let repo = small_repo();
         let id = repo.put_xml("d", "<a><b>x</b><c><d>y</d></c></a>").unwrap();
         let mut labels = Vec::new();
         repo.traverse_document(id, |depth, s| labels.push((depth, s.label)))
@@ -949,9 +1215,9 @@ mod tests {
                    <!--note--><SPEECH><SPEAKER>A</SPEAKER>\
                    <LINE>one</LINE><LINE>two</LINE></SPEECH>\
                    <?render fast?></SCENE></ACT></PLAY>";
-        let mut a = small_repo();
+        let a = small_repo();
         a.put_xml("d", xml).unwrap();
-        let mut b = small_repo();
+        let b = small_repo();
         b.put_xml_streaming("d", xml).unwrap();
         assert_eq!(a.get_xml("d").unwrap(), b.get_xml("d").unwrap());
         b.physical_stats("d").unwrap();
@@ -966,7 +1232,7 @@ mod tests {
 
     #[test]
     fn streaming_load_rejects_garbage() {
-        let mut repo = small_repo();
+        let repo = small_repo();
         assert!(repo.put_xml_streaming("d", "<a><b></a>").is_err());
         assert!(repo.put_xml_streaming("d2", "").is_err());
         // Failed loads release their claims: the names are free again.
@@ -976,7 +1242,7 @@ mod tests {
 
     #[test]
     fn streaming_load_chunks_long_text() {
-        let mut repo = Repository::create_in_memory(RepositoryOptions {
+        let repo = Repository::create_in_memory(RepositoryOptions {
             page_size: 512,
             ..RepositoryOptions::default()
         })
@@ -989,8 +1255,68 @@ mod tests {
     }
 
     #[test]
+    fn edits_after_delete_fail_cleanly() {
+        let repo = small_repo();
+        let id = repo.put_xml("d", "<a><b>x</b></a>").unwrap();
+        let root = repo.root(id).unwrap();
+        repo.delete_document("d").unwrap();
+        assert!(matches!(
+            repo.insert_element(id, root, InsertPos::Last, "c"),
+            Err(NatixError::NoSuchDocument(_))
+        ));
+        assert!(matches!(
+            repo.delete_node(id, root),
+            Err(NatixError::NoSuchDocument(_))
+        ));
+        assert!(matches!(
+            repo.delete_document("d"),
+            Err(NatixError::NoSuchDocument(_))
+        ));
+        // The name is reusable and old ids do not resurrect onto the new
+        // document.
+        let id2 = repo.put_xml("d", "<z/>").unwrap();
+        assert_eq!(repo.get_xml("d").unwrap(), "<z/>");
+        assert_ne!(id, id2);
+    }
+
+    #[test]
+    fn concurrent_edit_and_delete_serialize_cleanly() {
+        // A writer mid-stream of inserts races delete_document: once the
+        // delete publishes, every further edit fails with a clean
+        // NoSuchDocument — never a dangling-record error, never a write
+        // into freed slots (the edit latch plus the post-latch liveness
+        // check close that window).
+        for round in 0..20 {
+            let repo = small_repo();
+            let id = repo.put_xml("d", "<a><b>x</b></a>").unwrap();
+            let root = repo.root(id).unwrap();
+            let repo = &repo;
+            std::thread::scope(|s| {
+                let editor = s.spawn(move || {
+                    let mut inserted = 0usize;
+                    loop {
+                        match repo.insert_element(id, root, InsertPos::Last, "x") {
+                            Ok(_) => inserted += 1,
+                            Err(NatixError::NoSuchDocument(_)) => break inserted,
+                            Err(e) => panic!("round {round}: {e}"),
+                        }
+                    }
+                });
+                s.spawn(move || {
+                    repo.delete_document("d").unwrap();
+                });
+                editor.join().unwrap();
+            });
+            // The storage is fully reclaimed and the name reusable.
+            repo.put_xml("d", "<fresh/>").unwrap();
+            assert_eq!(repo.get_xml("d").unwrap(), "<fresh/>");
+            repo.physical_stats("d").unwrap();
+        }
+    }
+
+    #[test]
     fn delete_document_frees_space_for_reuse() {
-        let mut repo = small_repo();
+        let repo = small_repo();
         repo.put_xml("d", "<a><b>some content here</b></a>")
             .unwrap();
         repo.delete_document("d").unwrap();

@@ -83,9 +83,13 @@ impl LabelIndex {
         )?)
     }
 
-    /// Indexes (or re-indexes) a document: one entry per facade node.
+    /// Indexes (or re-indexes) a document: one entry per facade node. The
+    /// traversal runs under a record-version snapshot, so indexing a
+    /// document while another thread edits it produces a consistent (if
+    /// immediately stale) entry set rather than a torn walk.
     pub fn index_document(&mut self, repo: &Repository, name: &str) -> NatixResult<()> {
         let doc = repo.doc_id(name)?;
+        let _pin = repo.tree_store().begin_read();
         let root_rid = repo.root_rid(doc)?;
         let bt = self.btree(repo)?;
         if self.indexed.contains(&doc) {
@@ -185,7 +189,7 @@ mod tests {
     use natix_tree::InsertPos;
 
     fn repo_with_play() -> Repository {
-        let mut repo = Repository::create_in_memory(RepositoryOptions {
+        let repo = Repository::create_in_memory(RepositoryOptions {
             page_size: 1024,
             ..RepositoryOptions::default()
         })
@@ -227,7 +231,7 @@ mod tests {
 
     #[test]
     fn staleness_and_rebuild() {
-        let mut repo = repo_with_play();
+        let repo = repo_with_play();
         let mut idx = LabelIndex::create(&repo).unwrap();
         idx.index_document(&repo, "p").unwrap();
         let id = repo.doc_id("p").unwrap();
@@ -280,7 +284,7 @@ mod tests {
 
     #[test]
     fn multiple_documents_are_disjoint() {
-        let mut repo = repo_with_play();
+        let repo = repo_with_play();
         repo.put_xml(
             "q",
             "<PLAY><ACT><SCENE><SPEECH><SPEAKER>Z</SPEAKER>\

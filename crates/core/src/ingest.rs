@@ -192,7 +192,7 @@ mod tests {
     #[test]
     fn parallel_ingest_with_one_writer_matches_sequential() {
         let a = repo();
-        let mut b = repo();
+        let b = repo();
         let docs: Vec<_> = (0..4).map(doc).collect();
         for res in a.put_documents_parallel(&docs, 1) {
             res.unwrap();

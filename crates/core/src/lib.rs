@@ -62,5 +62,5 @@ pub use schema::SchemaManager;
 
 // Re-exports for downstream crates (harness, examples).
 pub use natix_storage::{DiskProfile, IoStats, Rid};
-pub use natix_tree::{PhysicalStats, SplitBehaviour, SplitMatrix, TreeConfig};
+pub use natix_tree::{PhysicalStats, ReadPin, SplitBehaviour, SplitMatrix, TreeConfig};
 pub use natix_xml::{Document, LiteralValue, NodeData, SymbolTable};

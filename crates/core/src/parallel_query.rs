@@ -56,6 +56,7 @@ use natix_xml::{LabelId, LABEL_TEXT};
 
 use crate::document::{DocId, NodeId};
 use crate::error::{NatixError, NatixResult};
+use crate::index::LabelIndex;
 use crate::query::{PathQuery, Step, Test};
 use crate::repository::Repository;
 
@@ -139,12 +140,77 @@ impl Repository {
         opts: &ParallelQueryOptions,
     ) -> NatixResult<Vec<NodeId>> {
         let state = self.state(doc)?;
-        let root = NodePtr::new(state.root_rid(), 0);
+        // One record-version snapshot for the whole evaluation; scan
+        // workers adopt its epoch, so every record — across all workers —
+        // is read as of the same instant even while writers edit or
+        // ingest this very document.
+        let _pin = self.tree.begin_read();
+        let root = self.snapshot_root(&state)?;
+        let current = self.eval_parallel_ptrs(doc, NodePtr::new(root, 0), q, opts, None)?;
+        Ok(current.into_iter().map(|p| state.bind(p)).collect())
+    }
+
+    /// [`query_parallel`](Self::query_parallel) with a [`LabelIndex`]:
+    /// when the query starts with a descendant name (or `text()`) step
+    /// and the index is current for `doc`, the index's document-order
+    /// entries *are* the step's matches — the scan (warm-up walk
+    /// included) is skipped entirely and later steps start from the
+    /// seeded context set. Falls back to the plain scan whenever the
+    /// index cannot answer (stale, wildcard step, unknown label).
+    pub fn query_parallel_indexed(
+        &self,
+        doc: DocId,
+        q: &PathQuery,
+        opts: &ParallelQueryOptions,
+        index: &LabelIndex,
+    ) -> NatixResult<Vec<NodeId>> {
+        let state = self.state(doc)?;
+        let _pin = self.tree.begin_read();
+        let root = self.snapshot_root(&state)?;
+        let current = self.eval_parallel_ptrs(doc, NodePtr::new(root, 0), q, opts, Some(index))?;
+        Ok(current.into_iter().map(|p| state.bind(p)).collect())
+    }
+
+    /// Snapshot-consistent content query with parallel evaluation: like
+    /// [`Repository::query_content`], but the physical phase runs through
+    /// the parallel evaluator (positional descendant predicates dispatch
+    /// to the lazy walk, as in
+    /// [`query_sequential`](Self::query_sequential)).
+    pub fn query_content_opts(
+        &self,
+        doc: DocId,
+        q: &PathQuery,
+        opts: &ParallelQueryOptions,
+    ) -> NatixResult<Vec<(String, String)>> {
+        let state = self.state(doc)?;
+        let _pin = self.tree.begin_read();
+        let root = NodePtr::new(self.snapshot_root(&state)?, 0);
+        let ptrs = if q.steps.iter().any(|s| s.descendant && s.position.is_some()) {
+            self.eval_lazy_ptrs(root, q)?
+        } else {
+            self.eval_parallel_ptrs(doc, root, q, opts, None)?
+        };
+        self.resolve_content(&ptrs)
+    }
+
+    /// The parallel evaluator at physical-pointer level. The caller owns
+    /// the snapshot pin; workers spawned here adopt its epoch.
+    fn eval_parallel_ptrs(
+        &self,
+        doc: DocId,
+        root: NodePtr,
+        q: &PathQuery,
+        opts: &ParallelQueryOptions,
+        index: Option<&LabelIndex>,
+    ) -> NatixResult<Vec<NodePtr>> {
         let steps = self.resolve_steps(q);
         let (first, first_label) = steps[0];
         let mut current: Vec<NodePtr> = Vec::new();
         if first.descendant {
-            current = self.descendant_scan(&[root], first, first_label, opts)?;
+            current = match self.index_seed(index, doc, first, first_label)? {
+                Some(seeded) => seeded,
+                None => self.descendant_scan(&[root], first, first_label, opts)?,
+            };
         } else if self.step_matches(root, first, first_label)? && first.position.unwrap_or(1) == 1 {
             current.push(root);
         }
@@ -164,7 +230,44 @@ impl Repository {
                 next
             };
         }
-        Ok(current.into_iter().map(|p| state.bind(p)).collect())
+        Ok(current)
+    }
+
+    /// Seeds a leading descendant step straight from the label index: the
+    /// index stores one entry per facade node in document (traversal)
+    /// order, so its per-label range for this document *is* the step's
+    /// match list — no record is scanned at all. `None` when the index
+    /// cannot answer (not provided, stale for `doc`, wildcard test, or a
+    /// name the alphabet has never seen — which would also be an empty
+    /// scan, but the scan is the conservative default).
+    fn index_seed(
+        &self,
+        index: Option<&LabelIndex>,
+        doc: DocId,
+        step: &Step,
+        label: Option<LabelId>,
+    ) -> NatixResult<Option<Vec<NodePtr>>> {
+        let Some(idx) = index else { return Ok(None) };
+        if !idx.is_current(doc) {
+            return Ok(None);
+        }
+        let label = match (&step.test, label) {
+            (Test::Name(_), Some(l)) => l,
+            (Test::Text, _) => LABEL_TEXT,
+            _ => return Ok(None),
+        };
+        let mut ptrs = idx.lookup_ptrs(self, doc, label)?;
+        if let Some(n) = step.position {
+            // `//x[n]` from the document root: the n-th match in document
+            // order, exactly as the scan's deterministic merge selects.
+            ptrs = ptrs
+                .get(n - 1)
+                .map(|&p| vec![p])
+                .into_iter()
+                .flatten()
+                .collect();
+        }
+        Ok(Some(ptrs))
     }
 
     /// The record-granular evaluator run to completion on the calling
@@ -299,10 +402,18 @@ impl Repository {
                 work: Condvar::new(),
             };
             // The calling thread drains alongside `threads - 1` helpers.
+            // Helpers adopt the coordinator's snapshot epoch, so all
+            // workers read records as of the same instant.
+            let epoch = self.tree.ambient_read_epoch();
             let helpers = opts.threads - 1;
             let mut worker_hits = std::thread::scope(|scope| -> NatixResult<Vec<Vec<ScanHit>>> {
                 let handles: Vec<_> = (0..helpers)
-                    .map(|_| scope.spawn(|| self.drain_scan_queue(&shared, step, label)))
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let _pin = epoch.map(|e| self.tree.adopt_read(e));
+                            self.drain_scan_queue(&shared, step, label)
+                        })
+                    })
                     .collect();
                 let mine = self.drain_scan_queue(&shared, step, label);
                 let mut all = Vec::with_capacity(helpers + 1);
@@ -495,25 +606,29 @@ impl Repository {
             contexts.iter().map(|_| Mutex::new(Vec::new())).collect();
         let next = AtomicUsize::new(0);
         let failed: Mutex<Option<NatixError>> = Mutex::new(None);
+        let epoch = self.tree.ambient_read_epoch();
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&ctx) = contexts.get(i) else {
-                        break;
-                    };
-                    if failed.lock().is_some() {
-                        break;
-                    }
-                    let mut out = Vec::new();
-                    match self.collect_children(ctx, step, label, &mut out) {
-                        Ok(()) => *slots[i].lock() = out,
-                        Err(e) => {
-                            let mut f = failed.lock();
-                            if f.is_none() {
-                                *f = Some(e);
-                            }
+                scope.spawn(|| {
+                    let _pin = epoch.map(|e| self.tree.adopt_read(e));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&ctx) = contexts.get(i) else {
                             break;
+                        };
+                        if failed.lock().is_some() {
+                            break;
+                        }
+                        let mut out = Vec::new();
+                        match self.collect_children(ctx, step, label, &mut out) {
+                            Ok(()) => *slots[i].lock() = out,
+                            Err(e) => {
+                                let mut f = failed.lock();
+                                if f.is_none() {
+                                    *f = Some(e);
+                                }
+                                break;
+                            }
                         }
                     }
                 });
@@ -540,7 +655,7 @@ mod tests {
 
     /// A repository whose documents span many records (small pages).
     fn multi_record_repo(docs: usize) -> (Repository, Vec<String>) {
-        let mut repo = Repository::create_in_memory(RepositoryOptions {
+        let repo = Repository::create_in_memory(RepositoryOptions {
             page_size: 512,
             ..RepositoryOptions::default()
         })
@@ -622,6 +737,74 @@ mod tests {
         for (name, hits) in &all {
             assert_eq!(hits.len(), 1, "{name}");
         }
+    }
+
+    #[test]
+    fn index_seeded_descendant_scan_matches_plain_scan() {
+        let (repo, names) = multi_record_repo(1);
+        let doc = repo.doc_id(&names[0]).unwrap();
+        let mut idx = crate::index::LabelIndex::create(&repo).unwrap();
+        idx.index_document(&repo, &names[0]).unwrap();
+        for path in [
+            "//SPEAKER",                // seeded: leading descendant name step
+            "//SPEECH[7]",              // seeded with a positional predicate
+            "//LINE/text()",            // seeded, then a child step
+            "//SPEECH/LINE",            // seeded context set feeds a child step
+            "//*",                      // wildcard: falls back to the scan
+            "//NOPE",                   // unknown label: empty either way
+            "/PLAY//SPEECH[3]/SPEAKER", // not a leading descendant step
+        ] {
+            let q = PathQuery::parse(path).unwrap();
+            let plain = repo.query_parallel(doc, &q, &opts(3, 1)).unwrap();
+            let seeded = repo
+                .query_parallel_indexed(doc, &q, &opts(3, 1), &idx)
+                .unwrap();
+            assert_eq!(seeded, plain, "{path}");
+        }
+        // A stale index is never consulted: results stay correct after an
+        // edit that invalidates the entries.
+        let root = repo.root(doc).unwrap();
+        repo.insert_element(doc, root, natix_tree::InsertPos::Last, "SPEAKER")
+            .unwrap();
+        idx.mark_stale(doc);
+        let q = PathQuery::parse("//SPEAKER").unwrap();
+        let plain = repo.query_parallel(doc, &q, &opts(3, 1)).unwrap();
+        let seeded = repo
+            .query_parallel_indexed(doc, &q, &opts(3, 1), &idx)
+            .unwrap();
+        assert_eq!(seeded, plain, "stale index must fall back to the scan");
+        assert_eq!(seeded.len(), 41, "40 speeches + the appended SPEAKER");
+    }
+
+    #[test]
+    fn index_seeding_skips_the_scan_entirely() {
+        // With a current index and a single `//TAG` step, the evaluation
+        // must not read a single record beyond the B+-tree pages: compare
+        // buffer misses after clearing the pool.
+        let (repo, names) = multi_record_repo(1);
+        let doc = repo.doc_id(&names[0]).unwrap();
+        let mut idx = crate::index::LabelIndex::create(&repo).unwrap();
+        idx.index_document(&repo, &names[0]).unwrap();
+        let q = PathQuery::parse("//SPEAKER").unwrap();
+        let full = repo.query_parallel(doc, &q, &opts(1, 1)).unwrap();
+
+        repo.clear_buffer().unwrap();
+        let before = repo.io_stats().snapshot();
+        let seeded = repo
+            .query_parallel_indexed(doc, &q, &opts(1, 1), &idx)
+            .unwrap();
+        let seeded_misses = repo.io_stats().snapshot().since(&before).buffer_misses;
+        assert_eq!(seeded, full);
+
+        repo.clear_buffer().unwrap();
+        let before = repo.io_stats().snapshot();
+        let _ = repo.query_parallel(doc, &q, &opts(1, 1)).unwrap();
+        let scan_misses = repo.io_stats().snapshot().since(&before).buffer_misses;
+        assert!(
+            seeded_misses < scan_misses,
+            "index seeding must read fewer pages than the record scan \
+             ({seeded_misses} vs {scan_misses})"
+        );
     }
 
     #[test]

@@ -161,8 +161,22 @@ impl Repository {
 
     /// Evaluates a pre-parsed query.
     pub fn query_parsed(&self, doc: DocId, q: &PathQuery) -> NatixResult<Vec<NodeId>> {
-        let root_rid = self.state(doc)?.root_rid();
-        let root = NodePtr::new(root_rid, 0);
+        let state = self.state(doc)?;
+        // Record-version snapshot: the whole walk — and the result
+        // binding — observes one epoch even while writers edit the
+        // document (see the lock hierarchy in [`crate::repository`]).
+        let _pin = self.tree.begin_read();
+        let root = self.snapshot_root(&state)?;
+        let current = self.eval_lazy_ptrs(NodePtr::new(root, 0), q)?;
+        // Map to logical ids.
+        Ok(current.into_iter().map(|p| state.bind(p)).collect())
+    }
+
+    /// The lazy reference evaluator at physical-pointer level (no id
+    /// binding): the differential oracle, and the engine behind the
+    /// snapshot-consistent content queries. The caller owns the snapshot
+    /// pin.
+    pub(crate) fn eval_lazy_ptrs(&self, root: NodePtr, q: &PathQuery) -> NatixResult<Vec<NodePtr>> {
         let steps = self.resolve_steps(q);
         // The first step matches the root element itself (absolute paths
         // address the document element).
@@ -184,9 +198,37 @@ impl Repository {
             }
             current = next;
         }
-        // Map to logical ids.
+        Ok(current)
+    }
+
+    /// Evaluates `q` and resolves every match to `(label name, subtree
+    /// text content)` **within one record-version snapshot** — the
+    /// self-contained form for readers racing writers of the same
+    /// document: the match set and the extracted content always belong to
+    /// the same epoch, and the logical-id map is never touched. Matches
+    /// come back in document order.
+    pub fn query_content(&self, doc: DocId, q: &PathQuery) -> NatixResult<Vec<(String, String)>> {
         let state = self.state(doc)?;
-        Ok(current.into_iter().map(|p| state.bind(p)).collect())
+        let _pin = self.tree.begin_read();
+        let root = self.snapshot_root(&state)?;
+        let ptrs = self.eval_lazy_ptrs(NodePtr::new(root, 0), q)?;
+        self.resolve_content(&ptrs)
+    }
+
+    /// Maps matched pointers to `(label name, subtree text)` under the
+    /// caller's snapshot pin.
+    pub(crate) fn resolve_content(&self, ptrs: &[NodePtr]) -> NatixResult<Vec<(String, String)>> {
+        // Symbol-table snapshot, not guard: see `get_xml`.
+        let symbols = self.symbols.read().clone();
+        let mut out = Vec::with_capacity(ptrs.len());
+        for &p in ptrs {
+            let info = self.tree.node_info(p)?;
+            out.push((
+                symbols.name(info.label).to_string(),
+                natix_tree::subtree_text(&self.tree, p)?,
+            ));
+        }
+        Ok(out)
     }
 
     pub(crate) fn step_matches(
@@ -277,7 +319,7 @@ mod tests {
     use crate::repository::RepositoryOptions;
 
     fn play_repo() -> (Repository, DocId) {
-        let mut repo = Repository::create_in_memory(RepositoryOptions {
+        let repo = Repository::create_in_memory(RepositoryOptions {
             page_size: 1024,
             ..RepositoryOptions::default()
         })

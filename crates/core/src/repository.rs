@@ -31,11 +31,57 @@
 //!   allocator lock is never held across page I/O, and the tree stores are
 //!   lock-free apart from their split-matrix `RwLock`.
 //!
-//! What may run in parallel: any number of read-only operations; read-only
-//! operations against ingestion of *other* documents; and N concurrent
-//! streaming bulkloads ([`put_documents_parallel`]) into distinct
-//! segments. Structural edits of a single document take `&mut self` and
-//! remain single-writer, as in the paper.
+//! What may run in parallel: any number of read-only operations;
+//! read-only operations against structural edits **and streaming
+//! ingestion of the same document**; structural edits of *different*
+//! documents; and N concurrent streaming bulkloads
+//! ([`put_documents_parallel`]) into distinct segments. The global
+//! reader/writer phase distinction is gone — everything below takes
+//! `&self`.
+//!
+//! # Record versions and the latch discipline
+//!
+//! The shared-state edit path rests on the record-level versioning layer
+//! ([`natix_tree::version`]); the protocol, from a writer's and a
+//! reader's point of view:
+//!
+//! * **Acquisition order (writers).** A structural edit takes, in this
+//!   order: (1) the target document's **edit latch** (a per-document
+//!   mutex inside `DocState` — writers of one document are serialised,
+//!   writers of different documents are not), (2) a **write operation**
+//!   of the shared version store (every tree store of this repository —
+//!   documents, catalog, ingestion pool — feeds one
+//!   [`natix_tree::VersionStore`]), (3) page pins/frame locks, one page
+//!   at a time. No latch is ever taken while holding a page pin, so the
+//!   hierarchy is acyclic.
+//! * **Copy-on-write publish point.** Before the writer overwrites,
+//!   patches or deletes any stored record it deposits the record's
+//!   pre-image in the version store; when the operation completes the
+//!   epoch watermark advances and the deposits are stamped with it — that
+//!   instant is the only point where the edit becomes visible to new
+//!   readers, making every multi-record operation atomic for them.
+//! * **Pin lifetime (readers).** A read operation pins the current epoch
+//!   for its whole duration (one `query`, one `get_xml`, one `children`
+//!   call — or a caller-scoped [`Repository::read_snapshot`]). Loads
+//!   under the pin serve superseded records from the version store, so
+//!   the reader observes the record graph exactly as of its epoch.
+//!   Buffer-page pins stay record-scoped and short as before; the epoch
+//!   pin is what keeps superseded versions (and, via
+//!   `BufferManager::discard` retirement, freed page images) alive until
+//!   the last reader lets go.
+//! * **Serialisability.** Reader snapshots land exactly on epoch
+//!   boundaries and writers of one document are serialised by the edit
+//!   latch, so any racing execution is equivalent to *some* serial
+//!   interleaving of whole operations — the differential suite in
+//!   `crates/core/tests/prop_edit_race.rs` enforces this against a
+//!   recorded serial oracle.
+//!
+//! Caveat on logical node ids: binding result ids while the same document
+//! is being edited may bind addresses that the concurrent edit has
+//! already superseded. Racing readers that need self-contained results
+//! use the snapshot-consistent [`Repository::query_content`] family,
+//! which resolves labels and text within the query's own snapshot and
+//! never touches the id map.
 //!
 //! # Query-side lock and pin discipline
 //!
@@ -86,7 +132,8 @@ use natix_storage::{
     BufferManager, DiskBackend, DiskProfile, FileStorage, IoStats, MemStorage, Rid, SimDisk,
     StorageManager,
 };
-use natix_tree::{NodePtr, SplitMatrix, TreeConfig, TreeStore};
+use natix_tree::version::ReadPin;
+use natix_tree::{NodePtr, SplitMatrix, TreeConfig, TreeStore, VersionStore};
 use natix_xml::{LabelId, LabelKind, ParserOptions, SymbolTable};
 
 use crate::document::{DocId, DocState, NodeId};
@@ -151,10 +198,12 @@ impl<B: DiskBackend> SimControl for SimDisk<B> {
 }
 
 /// The document directory: registered documents, the name→id map, and the
-/// pending set of the claim-name-then-publish protocol.
+/// pending set of the claim-name-then-publish protocol. Behind an `Arc`
+/// so document-deletion publish hooks can unregister atomically with
+/// their epoch.
 pub(crate) struct DocRegistry {
-    docs: Vec<Option<Arc<DocState>>>,
-    by_name: HashMap<String, DocId>,
+    pub(crate) docs: Vec<Option<Arc<DocState>>>,
+    pub(crate) by_name: HashMap<String, DocId>,
     /// Names claimed by in-flight loads, not yet published.
     pending: HashSet<String>,
 }
@@ -165,7 +214,7 @@ pub struct Repository {
     pub(crate) tree: TreeStore,
     pub(crate) catalog_tree: TreeStore,
     pub(crate) symbols: RwLock<SymbolTable>,
-    pub(crate) registry: Mutex<DocRegistry>,
+    pub(crate) registry: Arc<Mutex<DocRegistry>>,
     pub(crate) schema: RwLock<SchemaManager>,
     pub(crate) options: RepositoryOptions,
     /// Ingestion-segment pool (slot → segment id), grown lazily by
@@ -175,6 +224,9 @@ pub struct Repository {
     flat_seg: natix_storage::SegmentId,
     stats: Arc<IoStats>,
     sim: Option<Arc<dyn SimControl>>,
+    /// Serialises catalog checkpoints (two racing checkpoints would drop
+    /// each other's catalog tree); ordinary edits and reads do not take it.
+    checkpoint_lock: Mutex<()>,
 }
 
 impl Repository {
@@ -215,28 +267,34 @@ impl Repository {
                 find("flat")?,
             )
         };
-        let tree = TreeStore::new(
+        // One version store for every tree store of this repository:
+        // records are addressed globally, so snapshot readers of the main
+        // store must see versions deposited through any store.
+        let versions = Arc::new(VersionStore::new());
+        let tree = TreeStore::with_versions(
             Arc::clone(&sm),
             docs_seg,
             options.tree_config,
             options.matrix.clone(),
+            Arc::clone(&versions),
         );
-        let catalog_tree = TreeStore::new(
+        let catalog_tree = TreeStore::with_versions(
             Arc::clone(&sm),
             cat_seg,
             options.tree_config,
             SplitMatrix::all_other(),
+            versions,
         );
         let mut repo = Repository {
             sm,
             tree,
             catalog_tree,
             symbols: RwLock::new(SymbolTable::new()),
-            registry: Mutex::new(DocRegistry {
+            registry: Arc::new(Mutex::new(DocRegistry {
                 docs: Vec::new(),
                 by_name: HashMap::new(),
                 pending: HashSet::new(),
-            }),
+            })),
             schema: RwLock::new(SchemaManager::new()),
             options,
             ingest_segs: Mutex::new(HashMap::new()),
@@ -244,6 +302,7 @@ impl Repository {
             flat_seg,
             stats,
             sim,
+            checkpoint_lock: Mutex::new(()),
         };
         if !fresh {
             crate::catalog::load_catalog(&mut repo)?;
@@ -360,6 +419,26 @@ impl Repository {
         &self.tree
     }
 
+    /// Pins the current record-version epoch as a read snapshot for the
+    /// calling thread. Every read through this repository until the guard
+    /// drops — queries, navigation, serialisation, cursors — observes the
+    /// stored documents exactly as of one instant, even while other
+    /// threads edit or ingest them. Individual read operations pin their
+    /// own snapshot internally; take this only to make *several* calls
+    /// mutually consistent. Do not perform edits on the same thread while
+    /// holding the guard.
+    ///
+    /// Document *existence* is epoch-versioned too: a document registered
+    /// after the pinned epoch resolves to [`NatixError::NoSuchDocument`],
+    /// and one deleted after it stays fully readable. The name→id
+    /// *directory lookup* itself, however, reflects the live registry —
+    /// so a name deleted-and-recreated mid-snapshot resolves to the new
+    /// id, whose epoch check then reports "no such document" for this
+    /// snapshot rather than resurrecting the old content.
+    pub fn read_snapshot(&self) -> ReadPin<'_> {
+        self.tree.begin_read()
+    }
+
     /// The underlying storage manager.
     pub fn storage(&self) -> &Arc<StorageManager> {
         &self.sm
@@ -471,7 +550,11 @@ impl Repository {
     }
 
     /// Registers a loaded document, releasing its claim if one was taken.
+    /// The registration epoch is stamped into the document's root slot:
+    /// readers pinned below it (snapshots taken before the load
+    /// published) resolve the document to "not there yet".
     pub(crate) fn register(&self, state: DocState) -> DocId {
+        state.set_born(self.tree.versions().epoch());
         let mut reg = self.registry.lock();
         let id = reg.docs.len() as DocId;
         reg.pending.remove(&state.name);
@@ -480,20 +563,25 @@ impl Repository {
         id
     }
 
-    /// Removes a document from the registry (storage already reclaimed).
-    pub(crate) fn unregister(&self, name: &str) -> NatixResult<()> {
-        let mut reg = self.registry.lock();
-        let id = reg
-            .by_name
-            .remove(name)
-            .ok_or_else(|| NatixError::NoSuchDocument(name.to_string()))?;
-        reg.docs[id as usize] = None;
-        Ok(())
+    /// Root record RID of a document as of the calling thread's snapshot
+    /// (see [`DocState::root_rid_at`]): a reader pinned at epoch E must
+    /// start its walk from E's root, not from a root published later —
+    /// and a document deleted at or before E resolves to a clean
+    /// [`NatixError::NoSuchDocument`].
+    pub(crate) fn snapshot_root(&self, state: &DocState) -> NatixResult<Rid> {
+        match self.tree.ambient_read_epoch() {
+            Some(epoch) => state
+                .root_rid_at(epoch)
+                .ok_or_else(|| NatixError::NoSuchDocument(state.name.clone())),
+            None => Ok(state.root_rid()),
+        }
     }
 
     /// Root record RID of a document (harness / validation access).
+    /// Epoch-consistent when the calling thread holds a read snapshot.
     pub fn root_rid(&self, doc: DocId) -> NatixResult<Rid> {
-        Ok(self.state(doc)?.root_rid())
+        let st = self.state(doc)?;
+        self.snapshot_root(&st)
     }
 
     /// The logical root node id of a document.
@@ -512,10 +600,10 @@ impl Repository {
     /// document — also validates all invariants.
     pub fn physical_stats(&self, name: &str) -> NatixResult<natix_tree::PhysicalStats> {
         let id = self.doc_id(name)?;
-        Ok(natix_tree::check_tree(
-            &self.tree,
-            self.state(id)?.root_rid(),
-        )?)
+        let st = self.state(id)?;
+        let _pin = self.tree.begin_read();
+        let root = self.snapshot_root(&st)?;
+        Ok(natix_tree::check_tree(&self.tree, root)?)
     }
 
     /// Total bytes on disk currently allocated to the repository
@@ -525,8 +613,15 @@ impl Repository {
     }
 
     /// Persists the catalog (symbol table, document directory, split
-    /// matrix, DTDs) and flushes everything to the backend.
-    pub fn checkpoint(&mut self) -> NatixResult<()> {
+    /// matrix, DTDs) and flushes everything to the backend. Takes
+    /// `&self`: checkpoints are serialised against each other by the
+    /// checkpoint lock, and the catalog rewrite runs as an ordinary write
+    /// operation of the version layer, so readers (and edits of user
+    /// documents) proceed concurrently. Page flushes race in-flight
+    /// edits; the *catalog itself* is consistent, as the directory
+    /// snapshot is taken under the registry lock.
+    pub fn checkpoint(&self) -> NatixResult<()> {
+        let _ck = self.checkpoint_lock.lock();
         crate::catalog::save_catalog(self)?;
         self.sm.checkpoint()?;
         Ok(())
@@ -536,7 +631,7 @@ impl Repository {
     /// necessary. Affects future insertions (loads already in flight keep
     /// their snapshot of the matrix).
     pub fn set_matrix_rule(
-        &mut self,
+        &self,
         parent_tag: &str,
         child_tag: &str,
         value: natix_tree::SplitBehaviour,
@@ -558,7 +653,7 @@ mod tests {
 
     #[test]
     fn create_and_reject_duplicate_names() {
-        let mut repo = Repository::create_in_memory(RepositoryOptions::default()).unwrap();
+        let repo = Repository::create_in_memory(RepositoryOptions::default()).unwrap();
         repo.put_xml("a", "<x/>").unwrap();
         assert!(matches!(
             repo.put_xml("a", "<y/>"),
@@ -577,7 +672,7 @@ mod tests {
 
     #[test]
     fn clear_buffer_counts_future_reads_as_misses() {
-        let mut repo = Repository::create_in_memory(RepositoryOptions::default()).unwrap();
+        let repo = Repository::create_in_memory(RepositoryOptions::default()).unwrap();
         repo.put_xml("d", "<a><b>hello</b></a>").unwrap();
         repo.clear_buffer().unwrap();
         let before = repo.io_stats().snapshot();
@@ -594,7 +689,7 @@ mod tests {
 
     #[test]
     fn claim_is_exclusive_until_released() {
-        let mut repo = Repository::create_in_memory(RepositoryOptions::default()).unwrap();
+        let repo = Repository::create_in_memory(RepositoryOptions::default()).unwrap();
         repo.claim_name("d").unwrap();
         assert!(matches!(
             repo.claim_name("d"),

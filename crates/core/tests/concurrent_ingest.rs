@@ -1,8 +1,9 @@
-//! Integration tests of the concurrent multi-document ingestion subsystem:
-//! the duplicate-name race, rollback without leaked pages, persistence of
+//! Integration tests of the concurrent ingestion subsystem: the
+//! duplicate-name race, rollback without leaked pages, persistence of
 //! documents ingested into the segment pool, readers running against
-//! in-flight ingestion, and path queries (sequential and parallel) racing
-//! ingestion of *other* documents.
+//! in-flight ingestion, path queries (sequential and parallel) racing
+//! ingestion of *other* documents, and — since record-level versioning —
+//! queries overlapping streaming ingestion of the *same* document.
 
 use natix::{NatixError, ParallelQueryOptions, PathQuery, Repository, RepositoryOptions};
 
@@ -80,7 +81,7 @@ fn duplicate_name_race_has_exactly_one_winner_and_no_leaks() {
 
     // Delete the winner: every record across the document and ingestion
     // segments must be gone — the loser left nothing behind.
-    let mut r = r;
+    let r = r;
     r.delete_document("contested").unwrap();
     assert_segment_empty(&r, "documents", page_size);
     for slot in 0..8 {
@@ -134,14 +135,14 @@ fn parallel_ingested_documents_survive_checkpoint_and_reopen() {
         .map(|i| (format!("orders-{i}"), order_doc(i, 60)))
         .collect();
     {
-        let mut repo = Repository::create_file(&path, options()).unwrap();
+        let repo = Repository::create_file(&path, options()).unwrap();
         for res in repo.put_documents_parallel(&docs, 3) {
             res.unwrap();
         }
         repo.checkpoint().unwrap();
     }
     {
-        let mut repo = Repository::open_file(&path, options()).unwrap();
+        let repo = Repository::open_file(&path, options()).unwrap();
         for (name, xml) in &docs {
             assert_eq!(&repo.get_xml(name).unwrap(), xml, "{name} after reopen");
             repo.physical_stats(name).unwrap();
@@ -179,14 +180,14 @@ fn more_writers_than_segments_share_stores_safely() {
 
 #[test]
 fn queries_race_ingestion_of_other_documents() {
-    // The PR 2 follow-up boundary: queries may overlap ingestion of
-    // *other* documents (same-document overlap needs record versioning,
-    // which remains future work). A small buffer pool makes the two
-    // workloads fight for frames: query workers and ingest workers must
-    // wait on in-flight I/O rather than fail with BufferExhausted, never
+    // Queries overlapping ingestion of *other* documents (same-document
+    // overlap is covered by `queries_overlap_ingestion_of_the_same_
+    // document` below). A small buffer pool makes the two workloads
+    // fight for frames: query workers and ingest workers must wait on
+    // in-flight I/O rather than fail with BufferExhausted, never
     // deadlock, and the query results must be exactly the pre-ingestion
     // results throughout.
-    let mut r = Repository::create_in_memory(RepositoryOptions {
+    let r = Repository::create_in_memory(RepositoryOptions {
         page_size: 1024,
         buffer_bytes: 24 * 1024, // 24 frames — far smaller than the data
         ..RepositoryOptions::default()
@@ -267,8 +268,88 @@ fn queries_race_ingestion_of_other_documents() {
 }
 
 #[test]
+fn queries_overlap_ingestion_of_the_same_document() {
+    // The PR 2/3 follow-up, closed by record-level versioning: queries
+    // run *while the very document they ask for is being streamed into
+    // the main store* (put_xml_streaming now takes &self). A query must
+    // observe exactly one of the two serial states — "not ingested yet"
+    // (NoSuchDocument) or the complete document — never a partial load.
+    // Queries of a pre-existing document keep their exact pre-ingestion
+    // answers throughout, and a concurrent editor of that document stays
+    // serializable too.
+    let r = Repository::create_in_memory(RepositoryOptions {
+        page_size: 1024,
+        buffer_bytes: 24 * 1024, // pool far smaller than the data
+        ..RepositoryOptions::default()
+    })
+    .unwrap();
+    let stable_id = r.put_xml_streaming("stable", &order_doc(0, 60)).unwrap();
+    let incoming_xml = order_doc(7, 400);
+    // Expected post-publish answers, computed on a scratch repository.
+    let scratch = repo(1024);
+    scratch
+        .put_xml_streaming("incoming", &incoming_xml)
+        .unwrap();
+    let scratch_id = scratch.doc_id("incoming").unwrap();
+    let q_sku = PathQuery::parse("//sku").unwrap();
+    let q_qty = PathQuery::parse("/orders/order[7]/qty").unwrap();
+    let expected_sku = scratch.query_content(scratch_id, &q_sku).unwrap();
+    let expected_qty = scratch.query_content(scratch_id, &q_qty).unwrap();
+    let stable_sku = r.query_content(stable_id, &q_sku).unwrap();
+
+    let r = &r;
+    let (q_sku, q_qty) = (&q_sku, &q_qty);
+    let (expected_sku, expected_qty, stable_sku) = (&expected_sku, &expected_qty, &stable_sku);
+    std::thread::scope(|s| {
+        let writer = s.spawn(move || {
+            r.put_xml_streaming("incoming", &incoming_xml).unwrap();
+        });
+        // Polling readers: every successful read of "incoming" must be
+        // the complete document.
+        for t in 0..2 {
+            s.spawn(move || {
+                let opts = ParallelQueryOptions {
+                    threads: 3,
+                    parallel_record_threshold: 1,
+                };
+                let mut seen_complete = false;
+                for _ in 0..400 {
+                    match r.doc_id("incoming") {
+                        Err(NatixError::NoSuchDocument(_)) => {}
+                        Err(e) => panic!("{e}"),
+                        Ok(id) => {
+                            let sku = if t == 0 {
+                                r.query_content(id, q_sku).unwrap()
+                            } else {
+                                r.query_content_opts(id, q_sku, &opts).unwrap()
+                            };
+                            assert_eq!(&sku, expected_sku, "partial ingest visible");
+                            assert_eq!(&r.query_content(id, q_qty).unwrap(), expected_qty);
+                            seen_complete = true;
+                        }
+                    }
+                    // The stable document's answers never change.
+                    assert_eq!(&r.query_content(stable_id, q_sku).unwrap(), stable_sku);
+                }
+                // The writer publishes long before 400 polling rounds end.
+                assert!(seen_complete, "reader never saw the published document");
+            });
+        }
+        writer.join().unwrap();
+    });
+    assert_eq!(r.get_xml("incoming").unwrap(), order_doc(7, 400));
+    r.physical_stats("incoming").unwrap();
+    r.physical_stats("stable").unwrap();
+    assert_eq!(
+        r.tree_store().versions().retained_versions(),
+        0,
+        "superseded versions reclaimed after the stress"
+    );
+}
+
+#[test]
 fn readers_run_concurrently_with_ingestion() {
-    let mut r = repo(1024);
+    let r = repo(1024);
     let base = order_doc(99, 80);
     let id = r.put_xml_streaming("base", &base).unwrap();
     let r = &r;

@@ -113,9 +113,9 @@ fn bulkload_matches_per_node_oracle() {
         let page_size = [512usize, 1024, 2048, 8192][g.below(4)];
         let matrix = random_matrix(&mut g, &syms);
 
-        let mut bulk = repo(page_size, matrix.clone(), &syms);
+        let bulk = repo(page_size, matrix.clone(), &syms);
         bulk.put_document("d", &doc).unwrap();
-        let mut oracle = repo(page_size, matrix, &syms);
+        let oracle = repo(page_size, matrix, &syms);
         oracle.put_document_per_node("d", &doc).unwrap();
 
         // Byte-identical logical documents.
@@ -179,8 +179,8 @@ fn bulkload_matches_per_node_oracle() {
         );
 
         // The streaming XML path produces the same document, too.
-        let mut streamed = repo(page_size, SplitMatrix::all_other(), &syms);
-        let mut direct = repo(page_size, SplitMatrix::all_other(), &syms);
+        let streamed = repo(page_size, SplitMatrix::all_other(), &syms);
+        let direct = repo(page_size, SplitMatrix::all_other(), &syms);
         streamed.put_xml_streaming("d", &bulk_xml).unwrap();
         direct.put_xml("d", &bulk_xml).unwrap();
         assert_eq!(
@@ -262,14 +262,14 @@ fn concurrent_ingest_matches_sequential_per_node_oracle() {
         for res in parallel.put_documents_parallel(&xmls, 4) {
             res.unwrap();
         }
-        let mut oracle = repo(page_size, matrix.clone(), &syms);
+        let oracle = repo(page_size, matrix.clone(), &syms);
         for (name, doc) in &docs {
             oracle.put_document_per_node(name, doc).unwrap();
         }
         // And a *sequential* streaming load of the identical XML: the
         // concurrent path must reproduce its physical structure exactly
         // (scheduling must not influence packing decisions).
-        let mut sequential = repo(page_size, matrix, &syms);
+        let sequential = repo(page_size, matrix, &syms);
         for (name, xml) in &xmls {
             sequential.put_xml_streaming(name, xml).unwrap();
         }
@@ -322,9 +322,9 @@ fn deep_documents_match_per_node_oracle() {
             doc.add_child(e, NodeData::text("late"));
         }
         let page_size = [512usize, 1024, 2048][g.below(3)];
-        let mut bulk = repo(page_size, SplitMatrix::all_other(), &syms);
+        let bulk = repo(page_size, SplitMatrix::all_other(), &syms);
         bulk.put_document("d", &doc).unwrap();
-        let mut oracle = repo(page_size, SplitMatrix::all_other(), &syms);
+        let oracle = repo(page_size, SplitMatrix::all_other(), &syms);
         oracle.put_document_per_node("d", &doc).unwrap();
         assert_eq!(
             bulk.get_xml("d").unwrap(),
@@ -346,7 +346,7 @@ fn multibyte_text_survives_chunking() {
     let xml = format!("<a>{text}</a>");
     for page_size in [512usize, 1024, 2048] {
         let syms = SymbolTable::new();
-        let mut streamed = repo(page_size, SplitMatrix::all_other(), &syms);
+        let streamed = repo(page_size, SplitMatrix::all_other(), &syms);
         streamed.put_xml_streaming("d", &xml).unwrap();
         assert_eq!(
             streamed.get_xml("d").unwrap(),
@@ -354,11 +354,11 @@ fn multibyte_text_survives_chunking() {
             "streamed, page {page_size}"
         );
 
-        let mut dom = repo(page_size, SplitMatrix::all_other(), &syms);
+        let dom = repo(page_size, SplitMatrix::all_other(), &syms);
         dom.put_xml("d", &xml).unwrap();
         assert_eq!(dom.get_xml("d").unwrap(), xml, "bulk DOM, page {page_size}");
 
-        let mut per_node = repo(page_size, SplitMatrix::all_other(), &syms);
+        let per_node = repo(page_size, SplitMatrix::all_other(), &syms);
         let mut s2 = SymbolTable::new();
         let doc =
             natix_xml::parse_document(&xml, &mut s2, natix_xml::ParserOptions::default()).unwrap();
@@ -378,7 +378,7 @@ fn failed_streaming_load_leaks_no_records() {
     // large document) must delete every record it had already flushed;
     // otherwise repeated failing ingests grow the segment unboundedly.
     let syms = SymbolTable::new();
-    let mut r = repo(512, SplitMatrix::all_other(), &syms);
+    let r = repo(512, SplitMatrix::all_other(), &syms);
     let body = "<item>payload</item>".repeat(500);
     let bad = format!("<root>{body}<oops></root>");
     assert!(r.put_xml_streaming("d", &bad).is_err());
@@ -407,7 +407,7 @@ fn bulkloaded_documents_are_editable() {
         let mut g = Gen::new(0xED17 ^ case);
         let mut syms = SymbolTable::new();
         let doc = random_document(&mut g, &mut syms);
-        let mut r = repo(1024, SplitMatrix::all_other(), &syms);
+        let r = repo(1024, SplitMatrix::all_other(), &syms);
         let id = r.put_document("d", &doc).unwrap();
         let root = r.root(id).unwrap();
         let e = r
@@ -420,7 +420,7 @@ fn bulkloaded_documents_are_editable() {
         r.delete_node(id, e).unwrap();
         r.physical_stats("d").unwrap();
         assert_eq!(r.get_xml("d").unwrap(), {
-            let mut oracle = repo(1024, SplitMatrix::all_other(), &syms);
+            let oracle = repo(1024, SplitMatrix::all_other(), &syms);
             oracle.put_document_per_node("d", &doc).unwrap();
             oracle.get_xml("d").unwrap()
         });

@@ -238,9 +238,9 @@ fn parallel_and_sequential_match_dom_oracle() {
         let page_size = [512usize, 1024, 2048][g.below(3)];
         let queries: Vec<(String, Vec<OStep>)> = (0..8).map(|_| random_query(&mut g)).collect();
 
-        let mut bulk = repo(page_size, &syms);
+        let bulk = repo(page_size, &syms);
         bulk.put_document("d", &doc).unwrap();
-        let mut per_node = repo(page_size, &syms);
+        let per_node = repo(page_size, &syms);
         per_node.put_document_per_node("d", &doc).unwrap();
 
         let dom_pre: Vec<NodeIdx> = doc.pre_order().collect();
@@ -300,7 +300,7 @@ fn fanout_matches_per_document_sequential_on_random_corpora() {
         let mut g = Gen::new(0xFA40 ^ case);
         let mut syms = SymbolTable::new();
         let docs: Vec<Document> = (0..5).map(|_| random_document(&mut g, &mut syms)).collect();
-        let mut r = repo(1024, &syms);
+        let r = repo(1024, &syms);
         let ids: Vec<DocId> = docs
             .iter()
             .enumerate()
@@ -339,7 +339,7 @@ fn subtree_record_counts_cover_the_whole_document() {
         let mut g = Gen::new(0x5EC0 ^ case);
         let mut syms = SymbolTable::new();
         let doc = random_document(&mut g, &mut syms);
-        let mut r = repo(512, &syms);
+        let r = repo(512, &syms);
         let id = r.put_document("d", &doc).unwrap();
         let stats = r.physical_stats("d").unwrap();
         let counted = r.subtree_record_count(id, r.root(id).unwrap()).unwrap();

@@ -23,6 +23,12 @@
 //! mid-load are released within one disk service time, and erroring there
 //! would surface spurious [`StorageError::BufferExhausted`] under exactly
 //! the concurrent-ingestion load the pool exists to serve.
+//!
+//! Freed pages and readers: [`BufferManager::discard`] *retires* a page
+//! that is still pinned — the mapping goes away at once, but the
+//! superseded frame image stays alive and readable until the last pin
+//! drops. Writers freeing storage therefore never block on, or fail
+//! because of, concurrent snapshot readers holding short pins.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -277,6 +283,11 @@ impl BufferManager {
                 st.io_in_flight.insert(old_page);
             }
         }
+        if !dirty_old {
+            // A frame retired by `discard` while its page was dirty keeps
+            // the stale flag; clear it so the new tenant starts clean.
+            self.frames[frame].dirty.store(false, Ordering::Release);
+        }
         st.resident[frame] = None;
         st.io_in_flight.insert(page);
         drop(st);
@@ -401,17 +412,26 @@ impl BufferManager {
         Ok(())
     }
 
-    /// Drops `page` from the pool without writing it back (used when a page
-    /// is freed). No-op if the page is not resident; fails if pinned.
+    /// Drops `page` from the pool without writing it back (used when a
+    /// page is freed). No-op if the page is not resident.
+    ///
+    /// A *pinned* page is **retired** instead of rejected: the page→frame
+    /// mapping is removed immediately (a subsequent pin of the same page
+    /// id gets a fresh frame with the page's post-free contents), but the
+    /// frame itself — the superseded image — stays alive and readable for
+    /// every pin guard already holding it, and returns to the pool only
+    /// when the last such pin drops. This is what lets a writer free
+    /// pages while snapshot readers still hold short pins on them: the
+    /// reader finishes its record parse against the superseded image, the
+    /// writer never blocks on (or errors because of) reader pins.
     pub fn discard(&self, page: PageId) -> StorageResult<()> {
         let mut st = self.state.lock();
         if let Some(&frame) = st.table.get(&page) {
-            if self.frames[frame].pin_count.load(Ordering::Acquire) != 0 {
-                return Err(StorageError::BufferExhausted);
-            }
             self.frames[frame].dirty.store(false, Ordering::Release);
             st.table.remove(&page);
             st.resident[frame] = None;
+            // If pinned, the nonzero pin count keeps `find_victim` away
+            // until the last holder unpins; nothing else to do.
         }
         Ok(())
     }
@@ -578,6 +598,36 @@ mod tests {
         }
         bm.discard(7).unwrap();
         assert_eq!(stats.snapshot().physical_writes, 0);
+    }
+
+    #[test]
+    fn discard_retires_pinned_page_until_last_unpin() {
+        let (bm, _) = pool(4, EvictionPolicy::Lru);
+        // Seed page 7 on disk with a marker, then dirty it in the pool.
+        {
+            let p = bm.pin(7).unwrap();
+            p.write().bytes_mut()[0] = 1;
+        }
+        bm.flush_all().unwrap();
+        let held = bm.pin(7).unwrap();
+        held.write().bytes_mut()[0] = 2; // superseded image, never flushed
+        bm.discard(7).unwrap();
+        // The holder keeps reading the retired image...
+        assert_eq!(held.read().bytes()[0], 2);
+        // ...while a fresh pin of the same page id gets the disk image in
+        // a different frame.
+        let fresh = bm.pin(7).unwrap();
+        assert_eq!(fresh.read().bytes()[0], 1);
+        assert_eq!(held.read().bytes()[0], 2);
+        drop(held);
+        drop(fresh);
+        // The retired frame returned to the pool clean: filling the pool
+        // must not write its stale image anywhere.
+        let before = bm.stats().snapshot().physical_writes;
+        for p in 20..28u32 {
+            drop(bm.pin(p).unwrap());
+        }
+        assert_eq!(bm.stats().snapshot().physical_writes, before);
     }
 
     #[test]

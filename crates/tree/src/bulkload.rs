@@ -49,6 +49,7 @@ use crate::model::{
     literal_body_len, PContent, PNodeId, RecordTree, EMBEDDED_HEADER, PROXY_BODY, STANDALONE_HEADER,
 };
 use crate::store::{AppendCursor, TreeStore};
+use crate::version::WriteOp;
 
 /// Compact the in-flight arena before it can exhaust `u16` node ids: the
 /// arena only grows (removals tombstone), while live nodes are bounded by
@@ -88,6 +89,11 @@ struct PendingSlot {
 /// properly nested — then call [`finish`](Self::finish).
 pub struct BulkLoader<'s> {
     store: &'s TreeStore,
+    /// The whole load is one write operation of the record-version layer:
+    /// snapshot readers observe the repository either entirely without or
+    /// entirely with this document's records (publish happens when the
+    /// loader drops — after `finish` or `abort`).
+    _op: WriteOp<'s>,
     /// Snapshot of the split matrix (the store's matrix governs "future
     /// operations"; one load is one operation).
     matrix: SplitMatrix,
@@ -138,6 +144,7 @@ impl<'s> BulkLoader<'s> {
         BulkLoader {
             matrix: store.matrix().clone(),
             capacity: store.net_capacity(),
+            _op: store.begin_write(),
             store,
             cur: None,
             spine: Vec::new(),

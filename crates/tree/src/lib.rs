@@ -32,7 +32,10 @@
 //! * [`reconstruct`] — proxy substitution back into logical documents,
 //!   streaming traversal and XML serialisation;
 //! * [`validate`] — invariant checks and the physical statistics used by
-//!   the evaluation harness.
+//!   the evaluation harness;
+//! * [`version`] — record-level versioning: epoch-pinned read snapshots
+//!   over copy-on-write record pre-images, so readers overlap structural
+//!   edits and bulkloads of the same tree.
 
 pub mod bulkload;
 pub mod config;
@@ -46,6 +49,7 @@ pub mod split;
 pub mod store;
 pub mod typetable;
 pub mod validate;
+pub mod version;
 
 pub use bulkload::{bulkload_document, BulkLoader, BulkStats};
 pub use config::TreeConfig;
@@ -59,3 +63,4 @@ pub use store::{
     AppendCursor, InsertPos, NewNode, NodeInfo, OpResult, RecordEntry, Relocation, TreeStore,
 };
 pub use validate::{check_tree, PhysicalStats};
+pub use version::{ReadPin, VersionStore, WriteOp};

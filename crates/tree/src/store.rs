@@ -31,6 +31,7 @@ use crate::model::{NodePtr, PContent, PNodeId, RecordTree};
 use crate::record;
 use crate::split::{plan_split, ProxyHome};
 use crate::typetable::TypeTable;
+use crate::version::{ReadPin, VersionStore, WriteOp};
 
 /// Sentinel `orig` marker for the node being inserted: its final address
 /// surfaces as the operation's `new_node` instead of a relocation.
@@ -150,15 +151,34 @@ pub struct TreeStore {
     segment: SegmentId,
     config: TreeConfig,
     matrix: parking_lot::RwLock<SplitMatrix>,
+    /// Record-version/epoch state (see [`crate::version`]). Shared across
+    /// every tree store of one repository — records are addressed
+    /// globally, so a reader of the main store must see versions
+    /// deposited through an ingestion store and vice versa.
+    versions: Arc<VersionStore>,
 }
 
 impl TreeStore {
-    /// Creates a tree store over `segment` of an existing storage manager.
+    /// Creates a tree store over `segment` of an existing storage manager,
+    /// with its own private version store.
     pub fn new(
         sm: Arc<StorageManager>,
         segment: SegmentId,
         config: TreeConfig,
         matrix: SplitMatrix,
+    ) -> TreeStore {
+        TreeStore::with_versions(sm, segment, config, matrix, Arc::new(VersionStore::new()))
+    }
+
+    /// Creates a tree store sharing `versions` with other stores of the
+    /// same storage manager (the repository wires all of its stores —
+    /// documents, catalog, ingestion pool — to one version store).
+    pub fn with_versions(
+        sm: Arc<StorageManager>,
+        segment: SegmentId,
+        config: TreeConfig,
+        matrix: SplitMatrix,
+        versions: Arc<VersionStore>,
     ) -> TreeStore {
         config.validate().expect("invalid tree configuration");
         TreeStore {
@@ -166,7 +186,41 @@ impl TreeStore {
             segment,
             config,
             matrix: parking_lot::RwLock::new(matrix),
+            versions,
         }
+    }
+
+    /// The shared record-version store.
+    pub fn versions(&self) -> &Arc<VersionStore> {
+        &self.versions
+    }
+
+    /// Pins the current epoch as a read snapshot for this thread: every
+    /// [`load`](Self::load) until the pin drops reads record images as of
+    /// the pinned epoch, even while writers rewrite, split or delete the
+    /// same records.
+    pub fn begin_read(&self) -> ReadPin<'_> {
+        self.versions.begin_read()
+    }
+
+    /// Joins the snapshot `epoch` from a worker thread (the coordinator's
+    /// own pin must outlive the adoption).
+    pub fn adopt_read(&self, epoch: u64) -> ReadPin<'_> {
+        self.versions.adopt_read(epoch)
+    }
+
+    /// The snapshot epoch pinned by the current thread, if any.
+    pub fn ambient_read_epoch(&self) -> Option<u64> {
+        self.versions.ambient_read_epoch()
+    }
+
+    /// Starts (or joins) a write operation for this thread; superseded
+    /// record images deposited during the operation are published when
+    /// the outermost guard drops. Public mutating operations take this
+    /// internally — explicit use is only needed by multi-call writers
+    /// like the bulkloader.
+    pub fn begin_write(&self) -> WriteOp<'_> {
+        self.versions.begin_write()
     }
 
     /// The underlying storage manager.
@@ -214,7 +268,35 @@ impl TreeStore {
     // ==================================================================
 
     /// Loads and parses the record at `rid`.
+    ///
+    /// With a read snapshot pinned on this thread
+    /// ([`begin_read`](Self::begin_read)), the load is *versioned*: a
+    /// record superseded since the pinned epoch is served from the version
+    /// store instead of the page, so a multi-record walk observes the
+    /// record graph as of one epoch even while writers rewrite it.
+    /// Without a pin (and on every writer's own loads) the on-page image
+    /// is authoritative.
     pub fn load(&self, rid: Rid) -> TreeResult<RecordTree> {
+        let Some(epoch) = self.versions.ambient_read_epoch() else {
+            return self.load_current(rid);
+        };
+        if let Some(v) = self.versions.lookup(rid, epoch) {
+            return Ok((*v).clone());
+        }
+        let current = self.load_current(rid);
+        // A writer may have superseded `rid` between the lookup above and
+        // the page read; the deposit lands in the version store *before*
+        // the page bytes change (see `crate::version`), so a second
+        // lookup catches every such race — including a page read that
+        // failed because the slot was deleted underneath us.
+        if let Some(v) = self.versions.lookup(rid, epoch) {
+            return Ok((*v).clone());
+        }
+        current
+    }
+
+    /// Loads the on-page image of the record at `rid` (no versioning).
+    fn load_current(&self, rid: Rid) -> TreeResult<RecordTree> {
         let pin = self.sm.pin(rid.page)?;
         let buf = pin.read();
         let sp = SlottedPageRef::open(&buf)?;
@@ -226,6 +308,34 @@ impl TreeStore {
             .get(rid.slot)
             .ok_or(TreeError::Storage(StorageError::RecordNotFound(rid)))?;
         record::deserialize(bytes, &table, rid)
+    }
+
+    /// Deposits the current image of `rid` into the version store before a
+    /// write operation overwrites, patches or deletes it — the
+    /// copy-on-write half of record-level versioning. No-op outside a
+    /// write operation (standalone stores keep the old single-writer
+    /// behaviour) and for slots that hold no record.
+    fn deposit_superseded(
+        &self,
+        rid: Rid,
+        bytes: Option<&[u8]>,
+        table: &TypeTable,
+    ) -> TreeResult<()> {
+        let Some(op) = self.versions.ambient_write_op() else {
+            return Ok(());
+        };
+        let Some(bytes) = bytes else {
+            return Ok(());
+        };
+        if self.versions.created_by(op, rid) {
+            // Created by this very operation (bulkloaded records being
+            // parent-patched, recursively re-split partitions): no reader
+            // can reach it, so skip the pre-image decode entirely.
+            return Ok(());
+        }
+        let tree = record::deserialize(bytes, table, rid)?;
+        self.versions.supersede(op, rid, Arc::new(tree));
+        Ok(())
     }
 
     /// Rewrites the record at `rid` in place. Fails with `PageFull` when
@@ -257,6 +367,11 @@ impl TreeStore {
                 free: sp.free_total(),
             }));
         }
+        // Copy-on-write: deposit the record's pre-image before any page
+        // byte changes (the type-table update below may already compact
+        // the page). Type-table growth is append-only, so decoding the old
+        // bytes with the grown table is exact.
+        self.deposit_superseded(rid, sp.get(rid.slot), &table)?;
         if !had_tt {
             sp.insert_at(0, &table.encode())?;
         } else if table.len() > before {
@@ -357,10 +472,28 @@ impl TreeStore {
             sp.update(0, &table.encode())?;
         }
         let slot = sp.insert(&bytes)?;
+        let rid = Rid::new(page, slot);
+        // Slot-reuse quarantine: a slot freed by a *different, still
+        // in-flight* operation must not be re-tenanted — the old tenant's
+        // pending pre-image and the new record would claim overlapping
+        // epoch windows and `(rid, epoch)` lookups would become ambiguous
+        // (see `VersionStore::pending_elsewhere`). Back the insert out
+        // and report "does not fit here"; the caller falls back to
+        // another page or a fresh one.
+        if let Some(op) = self.versions.ambient_write_op() {
+            if self.versions.pending_elsewhere(rid, op) {
+                sp.delete(slot)
+                    .map_err(|_| TreeError::Storage(StorageError::RecordNotFound(rid)))?;
+                return Ok(None);
+            }
+            // A record this operation creates has no pre-image: snapshot
+            // readers resolve the RID through the previous tenant's
+            // deposit (same-operation reuse) or cannot reach it at all.
+            self.versions.note_created(op, rid);
+        }
         let free = sp.free_total();
         drop(buf);
         self.sm.note_free_space(self.segment, page, free);
-        let rid = Rid::new(page, slot);
         // Slot reuse within one operation: the RID is live again, and any
         // patches queued for its previous tenant must not hit the new one.
         if ctx.deleted.remove(&rid) {
@@ -388,6 +521,7 @@ impl TreeStore {
     ///
     /// [`write_new`]: Self::write_new
     pub fn append_record(&self, tree: &RecordTree, cursor: &mut AppendCursor) -> TreeResult<Rid> {
+        let _op = self.versions.begin_write();
         let mut ctx = OpCtx::default();
         let rid = 'placed: {
             if let Some(page) = cursor.page {
@@ -447,6 +581,11 @@ impl TreeStore {
         let pin = self.sm.pin(rid.page)?;
         let mut buf = pin.write();
         let mut sp = SlottedPage::open(&mut buf)?;
+        let table = match sp.get(0) {
+            Some(b) => TypeTable::decode(b)?,
+            None => TypeTable::new(),
+        };
+        self.deposit_superseded(rid, sp.get(rid.slot), &table)?;
         sp.delete(rid.slot)
             .map_err(|_| TreeError::Storage(StorageError::RecordNotFound(rid)))?;
         let free = sp.free_total();
@@ -455,11 +594,19 @@ impl TreeStore {
         Ok(())
     }
 
-    /// Patches the standalone parent pointer (first 8 record bytes).
+    /// Patches the standalone parent pointer (first 8 record bytes). The
+    /// pre-image is deposited first: a snapshot reader navigating upward
+    /// from this record must see the parent RID of its epoch, not the
+    /// patched one (the new parent record may not exist in its snapshot).
     fn patch_parent_rid(&self, child: Rid, parent: Rid) -> TreeResult<()> {
         let pin = self.sm.pin(child.page)?;
         let mut buf = pin.write();
         let mut sp = SlottedPage::open(&mut buf)?;
+        let table = match sp.get(0) {
+            Some(b) => TypeTable::decode(b)?,
+            None => TypeTable::new(),
+        };
+        self.deposit_superseded(child, sp.get(child.slot), &table)?;
         let bytes = sp
             .get_mut(child.slot)
             .ok_or(TreeError::Storage(StorageError::RecordNotFound(child)))?;
@@ -530,7 +677,8 @@ impl TreeStore {
     /// never needed) from a stored record — an in-place shrink, so it can
     /// never fail for space.
     pub(crate) fn remove_placeholder(&self, rid: Rid, sentinel: Rid) -> TreeResult<()> {
-        let mut tree = self.load(rid)?;
+        let _op = self.versions.begin_write();
+        let mut tree = self.load_current(rid)?;
         let Some(proxy) = find_proxy(&tree, sentinel) else {
             return Err(TreeError::Invariant(format!(
                 "record {rid} has no placeholder proxy {sentinel}"
@@ -542,7 +690,8 @@ impl TreeStore {
     }
 
     pub(crate) fn repoint_proxy(&self, parent_rid: Rid, old: Rid, new: Rid) -> TreeResult<()> {
-        let mut parent = self.load(parent_rid)?;
+        let _op = self.versions.begin_write();
+        let mut parent = self.load_current(parent_rid)?;
         let Some(proxy) = find_proxy(&parent, old) else {
             return Err(TreeError::Invariant(format!(
                 "record {parent_rid} has no proxy for child {old}"
@@ -597,7 +746,7 @@ impl TreeStore {
         }
         // Splice the separator into the parent in place of the old proxy
         // (§3.2.2, "Inserting the separator"), honouring special case 2.
-        let mut parent = self.load(parent_rid)?;
+        let mut parent = self.load_current(parent_rid)?;
         let Some(proxy) = find_proxy(&parent, rid) else {
             return Err(TreeError::Invariant(format!(
                 "record {parent_rid} has no proxy for split child {rid}"
@@ -693,6 +842,7 @@ impl TreeStore {
     /// Creates a new tree whose root is an element with `label`; returns
     /// the root record's RID (== the root node's pointer with index 0).
     pub fn create_tree(&self, label: LabelId) -> TreeResult<Rid> {
+        let _op = self.versions.begin_write();
         let tree = RecordTree::new(label, PContent::Aggregate(Vec::new()), Rid::invalid());
         let mut ctx = OpCtx::default();
         let rid = self.write_new(&tree, PlacementHint::Anywhere, &mut ctx)?;
@@ -708,6 +858,7 @@ impl TreeStore {
         label: LabelId,
         node: NewNode,
     ) -> TreeResult<OpResult> {
+        let _op = self.versions.begin_write();
         let site = self.resolve_site(parent, pos)?;
         self.insert_at_site(site, parent, label, node)
     }
@@ -720,7 +871,8 @@ impl TreeStore {
         label: LabelId,
         node: NewNode,
     ) -> TreeResult<OpResult> {
-        let tree = self.load(sibling.rid)?;
+        let _op = self.versions.begin_write();
+        let tree = self.load_current(sibling.rid)?;
         let parent = tree
             .try_node(sibling.node)
             .ok_or(TreeError::BadNodePtr {
@@ -752,7 +904,7 @@ impl TreeStore {
                         "cannot insert a sibling of the tree root".into(),
                     ));
                 }
-                let ptree = self.load(parent_rid)?;
+                let ptree = self.load_current(parent_rid)?;
                 let proxy = find_proxy(&ptree, sibling.rid).ok_or_else(|| {
                     TreeError::Invariant(format!(
                         "record {parent_rid} has no proxy for {}",
@@ -771,7 +923,7 @@ impl TreeStore {
         };
         // The logical parent's label governs the split-matrix lookup.
         let lparent = self
-            .logical_parent_from(site.rid, site.parent_node, &site.tree)?
+            .logical_parent_from(site.rid, site.parent_node, &site.tree, true)?
             .ok_or_else(|| TreeError::Invariant("sibling has no logical parent".into()))?;
         self.insert_at_site(site, lparent, label, node)
     }
@@ -779,12 +931,14 @@ impl TreeStore {
     /// Walks up from `(rid, node)` (inclusive) to the nearest facade node,
     /// crossing record boundaries through standalone parent pointers. The
     /// starting tree is borrowed (the common case never leaves it); only
-    /// boundary crossings load further records.
+    /// boundary crossings load further records. `current` selects the
+    /// on-page image (write paths) over the versioned view (read paths).
     fn logical_parent_from(
         &self,
         mut rid: Rid,
         mut node: PNodeId,
         tree: &RecordTree,
+        current: bool,
     ) -> TreeResult<Option<NodePtr>> {
         let mut owned: Option<RecordTree> = None;
         loop {
@@ -802,7 +956,11 @@ impl TreeStore {
                     if parent_rid.is_invalid() {
                         return Ok(None);
                     }
-                    let ptree = self.load(parent_rid)?;
+                    let ptree = if current {
+                        self.load_current(parent_rid)?
+                    } else {
+                        self.load(parent_rid)?
+                    };
                     let proxy = find_proxy(&ptree, rid).ok_or_else(|| {
                         TreeError::Invariant(format!("record {parent_rid} has no proxy for {rid}"))
                     })?;
@@ -849,7 +1007,7 @@ impl TreeStore {
                     .try_node(preorder_to_arena(&site.tree, logical_parent.node))
                     .map(|n| n.label)
             } else {
-                let t = self.load(logical_parent.rid)?;
+                let t = self.load_current(logical_parent.rid)?;
                 t.try_node(preorder_to_arena(&t, logical_parent.node))
                     .map(|n| n.label)
             }
@@ -899,7 +1057,7 @@ impl TreeStore {
     /// §3.3: "the node is inserted on the same record as one of its
     /// designated siblings (wherever there is more free space)").
     fn resolve_site(&self, parent: NodePtr, pos: InsertPos) -> TreeResult<Site> {
-        let tree = self.load(parent.rid)?;
+        let tree = self.load_current(parent.rid)?;
         let pnode = preorder_to_arena(&tree, parent.node);
         let n = tree.try_node(pnode).ok_or(TreeError::BadNodePtr {
             rid: parent.rid,
@@ -942,7 +1100,7 @@ impl TreeStore {
             let PContent::Proxy(target) = t.node(c).content else {
                 break;
             };
-            let child_tree = self.load(target)?;
+            let child_tree = self.load_current(target)?;
             if !child_tree
                 .node(child_tree.root())
                 .is_scaffolding_aggregate()
@@ -1008,7 +1166,7 @@ impl TreeStore {
             while idx < ctree.children(cnode).len() {
                 let c = ctree.children(cnode)[idx];
                 if let PContent::Proxy(target) = ctree.node(c).content {
-                    let child_tree = self.load(target)?;
+                    let child_tree = self.load_current(target)?;
                     if child_tree
                         .node(child_tree.root())
                         .is_scaffolding_aggregate()
@@ -1037,14 +1195,15 @@ impl TreeStore {
     }
 
     fn resolve_edge_reload(&self, rid: Rid, node: PNodeId, first: bool) -> TreeResult<Site> {
-        let tree = self.load(rid)?;
+        let tree = self.load_current(rid)?;
         self.resolve_edge(rid, tree, node, first)
     }
 
     /// Replaces the value of a literal node. The record is rewritten and
     /// may move or split when the value grew.
     pub fn update_literal(&self, ptr: NodePtr, value: LiteralValue) -> TreeResult<OpResult> {
-        let mut tree = self.load(ptr.rid)?;
+        let _op = self.versions.begin_write();
+        let mut tree = self.load_current(ptr.rid)?;
         let arena = preorder_to_arena(&tree, ptr.node);
         let n = tree.try_node(arena).ok_or(TreeError::BadNodePtr {
             rid: ptr.rid,
@@ -1068,8 +1227,9 @@ impl TreeStore {
     /// proxies. Deleting a record's standalone root removes the record and
     /// the proxy referring to it; empty scaffolding cascades upward.
     pub fn delete_subtree(&self, ptr: NodePtr) -> TreeResult<OpResult> {
+        let _op = self.versions.begin_write();
         let mut ctx = OpCtx::default();
-        let tree = self.load(ptr.rid)?;
+        let tree = self.load_current(ptr.rid)?;
         let arena = preorder_to_arena(&tree, ptr.node);
         if tree.try_node(arena).is_none() {
             return Err(TreeError::BadNodePtr {
@@ -1124,7 +1284,7 @@ impl TreeStore {
         child: Rid,
         ctx: &mut OpCtx,
     ) -> TreeResult<()> {
-        let mut tree = self.load(parent_rid)?;
+        let mut tree = self.load_current(parent_rid)?;
         let Some(proxy) = find_proxy(&tree, child) else {
             return Err(TreeError::Invariant(format!(
                 "record {parent_rid} has no proxy for deleted child {child}"
@@ -1137,7 +1297,7 @@ impl TreeStore {
     /// Frees the record at `rid` and every record reachable through its
     /// proxies.
     fn drop_record_recursive(&self, rid: Rid, ctx: &mut OpCtx) -> TreeResult<()> {
-        let tree = self.load(rid)?;
+        let tree = self.load_current(rid)?;
         for child in tree.proxies_under(tree.root()) {
             self.drop_record_recursive(child, ctx)?;
         }
@@ -1146,6 +1306,7 @@ impl TreeStore {
 
     /// Drops an entire tree by its root record.
     pub fn drop_tree(&self, root: Rid) -> TreeResult<()> {
+        let _op = self.versions.begin_write();
         let mut ctx = OpCtx::default();
         self.drop_record_recursive(root, &mut ctx)
     }
@@ -1170,7 +1331,7 @@ impl TreeStore {
             let Some((proxy, target)) = candidate else {
                 return Ok(());
             };
-            let child = self.load(target)?;
+            let child = self.load_current(target)?;
             let child_body = child.body_len(child.root());
             let inline_growth = if child.node(child.root()).is_scaffolding_aggregate() {
                 // Children splice in; the scaffolding root vanishes.
@@ -1402,7 +1563,7 @@ impl TreeStore {
             })?
             .parent;
         match parent {
-            Some(p) => self.logical_parent_from(ptr.rid, p, &tree),
+            Some(p) => self.logical_parent_from(ptr.rid, p, &tree, false),
             None => {
                 let parent_rid = tree.parent_rid;
                 if parent_rid.is_invalid() {
@@ -1416,7 +1577,7 @@ impl TreeStore {
                     ))
                 })?;
                 let pp = ptree.node(proxy).parent.expect("proxy embedded");
-                self.logical_parent_from(parent_rid, pp, &ptree)
+                self.logical_parent_from(parent_rid, pp, &ptree, false)
             }
         }
     }

@@ -1,0 +1,632 @@
+//! Record-level versioning — the shared-state edit path's read side.
+//!
+//! The tree storage manager rewrites records wholesale: an insert, split
+//! or delete replaces the byte image of every record it touches, and one
+//! logical operation touches several records (the updated host, split
+//! partitions, the parent holding the separator, standalone parent-pointer
+//! patches). A reader that walks the record graph while such an operation
+//! is in flight would see a *mix* of pre- and post-operation records —
+//! proxies pointing at records that do not exist yet, parent pointers one
+//! step ahead of their children.
+//!
+//! [`VersionStore`] makes concurrent readers safe without blocking them:
+//!
+//! * **Epoch watermark.** Every completed structural operation advances a
+//!   global epoch. A reader *pins* the current epoch for the duration of
+//!   one read operation ([`VersionStore::begin_read`]); the pin is the
+//!   reader's snapshot identity.
+//! * **Copy-on-write record versions.** Before a writer overwrites,
+//!   patches or deletes a stored record, it deposits the record's current
+//!   parsed image in the version store ([`VersionStore::supersede`]),
+//!   tagged with its operation. When the operation completes
+//!   ([`WriteOp`] drop), the deposited versions are *published*: stamped
+//!   with the new epoch, meaning "readers pinned below this epoch read
+//!   me". Versions are garbage-collected as soon as no pinned reader can
+//!   need them.
+//! * **Latch-free read validation.** A reader first consults the version
+//!   store, then reads the page, then consults the version store *again*:
+//!   because the writer deposits the old image before touching the page
+//!   (and page content is handed over through the frame's `RwLock`), a
+//!   reader that raced the overwrite is guaranteed to find the deposit on
+//!   the second look. No per-read lock is held across page I/O, and when
+//!   no writer has deposited anything the whole check is one relaxed
+//!   atomic load.
+//!
+//! Writers of *one* document are serialised by the document manager's
+//! per-document edit latch; writers of different documents (and streaming
+//! bulkloads) run concurrently — their record sets are disjoint, and each
+//! carries its own operation token.
+//!
+//! The ambient snapshot/operation is thread-local: [`ReadPin`] and
+//! [`WriteOp`] install themselves for the current thread, so the many
+//! layers between a public API call and `TreeStore::load` need no epoch
+//! plumbing. Parallel query workers join their coordinator's snapshot
+//! with [`VersionStore::adopt_read`].
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use natix_storage::Rid;
+
+use crate::model::RecordTree;
+
+thread_local! {
+    /// `(store identity, pinned epoch)` of the innermost read snapshot
+    /// active on this thread.
+    static READ_PIN: Cell<Option<(usize, u64)>> = const { Cell::new(None) };
+    /// `(store identity, op token)` of the write operation active on this
+    /// thread.
+    static WRITE_OP: Cell<Option<(usize, u64)>> = const { Cell::new(None) };
+}
+
+/// One retained pre-image of a record.
+struct RecordVersion {
+    /// Epoch from which the replacement is current: readers pinned at an
+    /// epoch `< valid_until` read this image. `u64::MAX` while the
+    /// superseding operation is still in flight.
+    valid_until: u64,
+    /// Token of the superseding operation (meaningful while pending).
+    op: u64,
+    tree: Arc<RecordTree>,
+}
+
+/// A side effect an operation schedules for its publish point: runs with
+/// `(new_epoch, floor)` — the operation's epoch and the lowest epoch any
+/// reader still pins — *inside* the publish critical section, so its
+/// state change and the epoch advance are atomic for readers. Hooks must
+/// not call back into the version store.
+type PublishHook = Box<dyn FnOnce(u64, u64) + Send>;
+
+struct VersionState {
+    /// The published epoch: advanced once per completed write operation.
+    epoch: u64,
+    /// Pinned reader epochs → pin count.
+    readers: BTreeMap<u64, usize>,
+    /// Superseded images per record, oldest first (ascending
+    /// `valid_until`, pending `u64::MAX` entries last).
+    records: HashMap<Rid, Vec<RecordVersion>>,
+    /// Records superseded by each in-flight operation.
+    pending: HashMap<u64, Vec<Rid>>,
+    /// Publish hooks per in-flight operation (document-root moves, document
+    /// retirement — state that must flip atomically with the epoch).
+    hooks: HashMap<u64, Vec<PublishHook>>,
+    /// Records *created* by each in-flight operation: no pre-image exists
+    /// and no older snapshot can reach them, so superseding one later in
+    /// the same operation (parent-pointer patches of freshly bulkloaded
+    /// records, partitions re-split recursively) deposits nothing —
+    /// without this, a streaming bulkload would retain its entire
+    /// document in parsed form until publish.
+    created: HashMap<u64, HashSet<Rid>>,
+    next_op: u64,
+}
+
+/// The shared epoch/version state of one repository's record stores. All
+/// [`crate::TreeStore`]s of one storage manager share a single
+/// `Arc<VersionStore>`, because records are addressed globally.
+pub struct VersionStore {
+    state: Mutex<VersionState>,
+    /// Number of retained versions — the readers' fast-path gate. Zero
+    /// means no writer has deposited anything a reader could need, so
+    /// `lookup` never takes the mutex.
+    retained: AtomicUsize,
+}
+
+impl Default for VersionStore {
+    fn default() -> Self {
+        VersionStore::new()
+    }
+}
+
+impl VersionStore {
+    /// Creates an empty version store at epoch 0.
+    pub fn new() -> VersionStore {
+        VersionStore {
+            state: Mutex::new(VersionState {
+                epoch: 0,
+                readers: BTreeMap::new(),
+                records: HashMap::new(),
+                pending: HashMap::new(),
+                hooks: HashMap::new(),
+                created: HashMap::new(),
+                next_op: 0,
+            }),
+            retained: AtomicUsize::new(0),
+        }
+    }
+
+    /// Identity used to match thread-local ambient state to this store.
+    fn id(&self) -> usize {
+        self as *const VersionStore as usize
+    }
+
+    /// The current published epoch (diagnostics and tests).
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    /// Number of retained superseded record versions (tests).
+    pub fn retained_versions(&self) -> usize {
+        self.retained.load(Ordering::Acquire)
+    }
+
+    // ==================================================================
+    // Reader side.
+    // ==================================================================
+
+    /// Pins the current epoch as a read snapshot for this thread. Nested
+    /// pins on the same store share the outermost epoch, so a read
+    /// operation that calls another read operation stays on one snapshot.
+    pub fn begin_read(&self) -> ReadPin<'_> {
+        let prev = READ_PIN.get();
+        let epoch = match prev {
+            Some((id, e)) if id == self.id() => {
+                // Nested: join the enclosing snapshot.
+                let mut st = self.state.lock();
+                *st.readers.entry(e).or_insert(0) += 1;
+                e
+            }
+            _ => {
+                let mut st = self.state.lock();
+                let e = st.epoch;
+                *st.readers.entry(e).or_insert(0) += 1;
+                e
+            }
+        };
+        READ_PIN.set(Some((self.id(), epoch)));
+        ReadPin {
+            store: self,
+            epoch,
+            prev,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Joins an existing snapshot from another thread (parallel query
+    /// workers adopt their coordinator's epoch). The coordinator's own pin
+    /// must outlive the adoption — it keeps the epoch's versions alive.
+    pub fn adopt_read(&self, epoch: u64) -> ReadPin<'_> {
+        {
+            let mut st = self.state.lock();
+            *st.readers.entry(epoch).or_insert(0) += 1;
+        }
+        let prev = READ_PIN.get();
+        READ_PIN.set(Some((self.id(), epoch)));
+        ReadPin {
+            store: self,
+            epoch,
+            prev,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Pins the current epoch without touching the thread-local ambient
+    /// state — test helper for holding several snapshots at distinct
+    /// epochs on one thread.
+    #[cfg(test)]
+    fn pin_raw(&self) -> u64 {
+        let mut st = self.state.lock();
+        let e = st.epoch;
+        *st.readers.entry(e).or_insert(0) += 1;
+        e
+    }
+
+    /// The epoch pinned by this thread on *this* store, if any.
+    pub fn ambient_read_epoch(&self) -> Option<u64> {
+        match READ_PIN.get() {
+            Some((id, e)) if id == self.id() => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The superseded image of `rid` a reader pinned at `epoch` must use,
+    /// or `None` when the on-page record is current for that epoch.
+    pub fn lookup(&self, rid: Rid, epoch: u64) -> Option<Arc<RecordTree>> {
+        if self.retained.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let st = self.state.lock();
+        st.records
+            .get(&rid)?
+            .iter()
+            .find(|v| v.valid_until > epoch)
+            .map(|v| Arc::clone(&v.tree))
+    }
+
+    fn unpin(&self, epoch: u64) {
+        let mut st = self.state.lock();
+        match st.readers.get_mut(&epoch) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                st.readers.remove(&epoch);
+            }
+        }
+        self.gc(&mut st);
+    }
+
+    // ==================================================================
+    // Writer side.
+    // ==================================================================
+
+    /// Starts a write operation for this thread. Nested calls on the same
+    /// store return a passive guard — the outermost operation owns the
+    /// publish.
+    pub fn begin_write(&self) -> WriteOp<'_> {
+        let prev = WRITE_OP.get();
+        if matches!(prev, Some((id, _)) if id == self.id()) {
+            return WriteOp {
+                store: self,
+                op: None,
+                prev,
+                _not_send: PhantomData,
+            };
+        }
+        let op = {
+            let mut st = self.state.lock();
+            st.next_op += 1;
+            st.next_op
+        };
+        WRITE_OP.set(Some((self.id(), op)));
+        WriteOp {
+            store: self,
+            op: Some(op),
+            prev,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The op token of the write operation active on this thread, if any.
+    pub fn ambient_write_op(&self) -> Option<u64> {
+        match WRITE_OP.get() {
+            Some((id, op)) if id == self.id() => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Marks `rid` as created by operation `op`: it has no pre-image, and
+    /// no snapshot older than the operation can reach it, so later
+    /// supersedes within the same operation are skipped.
+    pub fn note_created(&self, op: u64, rid: Rid) {
+        self.state.lock().created.entry(op).or_default().insert(rid);
+    }
+
+    /// True when `rid` was created by operation `op` (its supersedes need
+    /// no deposit — callers use this to skip the pre-image decode too).
+    pub fn created_by(&self, op: u64, rid: Rid) -> bool {
+        self.state
+            .lock()
+            .created
+            .get(&op)
+            .is_some_and(|s| s.contains(&rid))
+    }
+
+    /// True when `rid` has a *pending* deposit from an operation other
+    /// than `op` — the slot-reuse quarantine. A freed slot whose
+    /// pre-image is still pending belongs, for every current reader, to
+    /// the old tenant: if another in-flight operation re-created the slot
+    /// and published first, `(rid, epoch)` would resolve to *two* valid
+    /// images at once (the creator's readers need the page, the deleter's
+    /// readers need the deposit). Writers therefore refuse to place a new
+    /// record in such a slot until the deleting operation publishes —
+    /// published deposits are safe, because their validity window closes
+    /// at the deleter's epoch, strictly before any later creation's.
+    pub fn pending_elsewhere(&self, rid: Rid, op: u64) -> bool {
+        if self.retained.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        let st = self.state.lock();
+        st.records
+            .get(&rid)
+            .is_some_and(|vs| vs.iter().any(|v| v.valid_until == u64::MAX && v.op != op))
+    }
+
+    /// Deposits the current image of `rid` before operation `op`
+    /// overwrites, patches or deletes it. Must be called *before* the page
+    /// bytes change. Only the first deposit per record per operation
+    /// sticks — later rewrites of the same record within one operation are
+    /// intermediate states no reader may observe.
+    pub fn supersede(&self, op: u64, rid: Rid, tree: Arc<RecordTree>) {
+        let mut st = self.state.lock();
+        if st.created.get(&op).is_some_and(|s| s.contains(&rid)) {
+            return; // created by this very operation — no reader can need it
+        }
+        if let Some(versions) = st.records.get(&rid) {
+            if versions
+                .last()
+                .is_some_and(|v| v.valid_until == u64::MAX && v.op == op)
+            {
+                return; // already deposited by this operation
+            }
+        }
+        st.records.entry(rid).or_default().push(RecordVersion {
+            valid_until: u64::MAX,
+            op,
+            tree,
+        });
+        st.pending.entry(op).or_default().push(rid);
+        self.retained.fetch_add(1, Ordering::Release);
+    }
+
+    /// Schedules `hook` to run at the current thread's operation's publish
+    /// point, atomically with the epoch advance. Returns `false` (without
+    /// scheduling) when no operation is active on this thread — the caller
+    /// then applies the effect immediately (unpublished/bootstrap paths).
+    pub fn defer_until_publish(&self, hook: impl FnOnce(u64, u64) + Send + 'static) -> bool {
+        let Some(op) = self.ambient_write_op() else {
+            return false;
+        };
+        self.state
+            .lock()
+            .hooks
+            .entry(op)
+            .or_default()
+            .push(Box::new(hook));
+        true
+    }
+
+    /// Publishes operation `op`: the epoch advances, every image the
+    /// operation deposited becomes valid-for-readers-below-the-new-epoch,
+    /// and the operation's publish hooks run — all inside one critical
+    /// section, so no reader can pin the new epoch and still observe
+    /// pre-publish upper-layer state (e.g. a stale document-root RID).
+    fn end_write(&self, op: u64) {
+        let mut st = self.state.lock();
+        st.epoch += 1;
+        let e = st.epoch;
+        st.created.remove(&op);
+        if let Some(rids) = st.pending.remove(&op) {
+            for rid in rids {
+                if let Some(versions) = st.records.get_mut(&rid) {
+                    for v in versions.iter_mut() {
+                        if v.valid_until == u64::MAX && v.op == op {
+                            v.valid_until = e;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(hooks) = st.hooks.remove(&op) {
+            let floor = st.readers.keys().next().copied().unwrap_or(e);
+            for hook in hooks {
+                hook(e, floor);
+            }
+        }
+        self.gc(&mut st);
+    }
+
+    /// Drops every published version no pinned reader can need. A version
+    /// valid until epoch `v` is needed only by readers pinned below `v`;
+    /// the floor is the lowest pinned epoch (or the current epoch when
+    /// nothing is pinned — future readers pin at or above it).
+    fn gc(&self, st: &mut VersionState) {
+        let floor = st.readers.keys().next().copied().unwrap_or(st.epoch);
+        let mut dropped = 0usize;
+        st.records.retain(|_, versions| {
+            versions.retain(|v| {
+                let keep = v.valid_until == u64::MAX || v.valid_until > floor;
+                if !keep {
+                    dropped += 1;
+                }
+                keep
+            });
+            !versions.is_empty()
+        });
+        if dropped > 0 {
+            self.retained.fetch_sub(dropped, Ordering::Release);
+        }
+    }
+}
+
+/// RAII read snapshot: pins an epoch for the current thread and installs
+/// it as the thread's ambient snapshot. Dropping unpins and restores the
+/// previous ambient state. Not `Send` — the pin is bound to the thread's
+/// ambient slot.
+pub struct ReadPin<'a> {
+    store: &'a VersionStore,
+    epoch: u64,
+    prev: Option<(usize, u64)>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl ReadPin<'_> {
+    /// The pinned epoch — hand this to workers joining the snapshot via
+    /// [`VersionStore::adopt_read`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for ReadPin<'_> {
+    fn drop(&mut self) {
+        READ_PIN.set(self.prev);
+        self.store.unpin(self.epoch);
+    }
+}
+
+/// RAII write operation: deposits made through
+/// [`VersionStore::supersede`] under this token are published (epoch
+/// advance + version stamping) when the guard drops — on success, error
+/// and unwind alike, because the pages were modified either way. Not
+/// `Send`.
+pub struct WriteOp<'a> {
+    store: &'a VersionStore,
+    /// `None` for a nested guard (the outer operation publishes).
+    op: Option<u64>,
+    prev: Option<(usize, u64)>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for WriteOp<'_> {
+    fn drop(&mut self) {
+        if let Some(op) = self.op {
+            WRITE_OP.set(self.prev);
+            self.store.end_write(op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PContent;
+
+    fn tree_with_label(label: u16) -> Arc<RecordTree> {
+        Arc::new(RecordTree::new(
+            label,
+            PContent::Aggregate(Vec::new()),
+            Rid::invalid(),
+        ))
+    }
+
+    #[test]
+    fn reader_sees_deposit_until_publish_boundary() {
+        let vs = VersionStore::new();
+        let rid = Rid::new(3, 1);
+        let old = vs.pin_raw();
+        assert!(vs.lookup(rid, old).is_none());
+        // A writer deposits mid-operation: the pinned reader must see it.
+        let op = vs.begin_write();
+        let tok = vs.ambient_write_op().unwrap();
+        vs.supersede(tok, rid, tree_with_label(7));
+        assert_eq!(
+            vs.lookup(rid, old).unwrap().node(0).label,
+            7,
+            "pending version serves pinned readers"
+        );
+        drop(op);
+        // Still visible to the old pin, invisible to a fresh one.
+        assert!(vs.lookup(rid, old).is_some());
+        let fresh = vs.pin_raw();
+        assert!(vs.lookup(rid, fresh).is_none());
+        vs.unpin(fresh);
+        vs.unpin(old);
+        assert_eq!(vs.retained_versions(), 0, "gc after last unpin");
+    }
+
+    #[test]
+    fn first_deposit_per_op_wins() {
+        let vs = VersionStore::new();
+        let rid = Rid::new(1, 1);
+        let pin = vs.pin_raw();
+        let op = vs.begin_write();
+        let tok = vs.ambient_write_op().unwrap();
+        vs.supersede(tok, rid, tree_with_label(1));
+        vs.supersede(tok, rid, tree_with_label(2)); // intermediate — ignored
+        assert_eq!(vs.lookup(rid, pin).unwrap().node(0).label, 1);
+        drop(op);
+        vs.unpin(pin);
+    }
+
+    #[test]
+    fn pending_deposits_quarantine_the_slot_for_other_ops() {
+        let vs = VersionStore::new();
+        let rid = Rid::new(4, 4);
+        let pin = vs.pin_raw();
+        let op1 = vs.begin_write();
+        let tok1 = vs.ambient_write_op().unwrap();
+        vs.supersede(tok1, rid, tree_with_label(9));
+        // The depositing op itself may reuse the slot; others may not
+        // while the deposit is pending.
+        assert!(!vs.pending_elsewhere(rid, tok1));
+        assert!(vs.pending_elsewhere(rid, tok1 + 999));
+        drop(op1);
+        // Published: the validity window is closed, reuse is safe.
+        assert!(!vs.pending_elsewhere(rid, tok1 + 999));
+        vs.unpin(pin);
+    }
+
+    #[test]
+    fn records_created_by_an_op_deposit_nothing() {
+        let vs = VersionStore::new();
+        let rid = Rid::new(8, 0);
+        let pin = vs.pin_raw();
+        let op = vs.begin_write();
+        let tok = vs.ambient_write_op().unwrap();
+        vs.note_created(tok, rid);
+        assert!(vs.created_by(tok, rid));
+        vs.supersede(tok, rid, tree_with_label(5));
+        assert!(
+            vs.lookup(rid, pin).is_none(),
+            "self-created records retain no versions"
+        );
+        drop(op);
+        assert!(!vs.created_by(tok, rid), "created set cleared on publish");
+        vs.unpin(pin);
+        assert_eq!(vs.retained_versions(), 0);
+    }
+
+    #[test]
+    fn successive_ops_stack_versions_per_epoch() {
+        let vs = VersionStore::new();
+        let rid = Rid::new(2, 2);
+        let pin0 = vs.pin_raw(); // epoch 0
+        {
+            let _op = vs.begin_write();
+            vs.supersede(vs.ambient_write_op().unwrap(), rid, tree_with_label(10));
+        } // epoch 1
+        let pin1 = vs.pin_raw();
+        {
+            let _op = vs.begin_write();
+            vs.supersede(vs.ambient_write_op().unwrap(), rid, tree_with_label(11));
+        } // epoch 2
+        assert_eq!(vs.lookup(rid, pin0).unwrap().node(0).label, 10);
+        assert_eq!(vs.lookup(rid, pin1).unwrap().node(0).label, 11);
+        let pin2 = vs.pin_raw();
+        assert!(vs.lookup(rid, pin2).is_none());
+        vs.unpin(pin0);
+        vs.unpin(pin1);
+        vs.unpin(pin2);
+        assert_eq!(vs.retained_versions(), 0);
+    }
+
+    #[test]
+    fn nested_guards_share_ambient_state() {
+        let vs = VersionStore::new();
+        let outer = vs.begin_read();
+        let inner = vs.begin_read();
+        assert_eq!(outer.epoch(), inner.epoch());
+        assert_eq!(vs.ambient_read_epoch(), Some(outer.epoch()));
+        drop(inner);
+        assert_eq!(vs.ambient_read_epoch(), Some(outer.epoch()));
+        drop(outer);
+        assert_eq!(vs.ambient_read_epoch(), None);
+
+        let op_outer = vs.begin_write();
+        let tok = vs.ambient_write_op().unwrap();
+        let op_inner = vs.begin_write();
+        assert_eq!(vs.ambient_write_op(), Some(tok));
+        drop(op_inner);
+        assert_eq!(vs.ambient_write_op(), Some(tok), "inner guard is passive");
+        drop(op_outer);
+        assert_eq!(vs.ambient_write_op(), None);
+    }
+
+    #[test]
+    fn adoption_joins_a_snapshot_across_threads() {
+        let vs = Arc::new(VersionStore::new());
+        let pin = vs.begin_read();
+        let epoch = pin.epoch();
+        let rid = Rid::new(9, 0);
+        {
+            let _op = vs.begin_write();
+            vs.supersede(vs.ambient_write_op().unwrap(), rid, tree_with_label(42));
+        }
+        let vs2 = Arc::clone(&vs);
+        std::thread::spawn(move || {
+            let worker_pin = vs2.adopt_read(epoch);
+            assert_eq!(vs2.ambient_read_epoch(), Some(epoch));
+            assert_eq!(
+                vs2.lookup(rid, worker_pin.epoch()).unwrap().node(0).label,
+                42
+            );
+        })
+        .join()
+        .unwrap();
+        drop(pin);
+        assert_eq!(vs.retained_versions(), 0);
+    }
+}

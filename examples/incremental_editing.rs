@@ -2,15 +2,23 @@
 //! split as subtrees grow and (with the merge extension) coalesce again as
 //! they shrink, while logical node ids stay stable throughout.
 //!
+//! Since the record-level-versioning refactor the whole edit API takes
+//! `&self`: this example drives the growth phase from the main thread
+//! while a concurrent reader thread queries the very same document
+//! through shared references — each query observes a consistent snapshot
+//! of the notebook at some instant between two edits, never a torn one.
+//!
 //! ```sh
 //! cargo run --release --example incremental_editing
 //! ```
 
-use natix::{Repository, RepositoryOptions, TreeConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use natix::{PathQuery, Repository, RepositoryOptions, TreeConfig};
 use natix_tree::InsertPos;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut repo = Repository::create_in_memory(RepositoryOptions {
+    let repo = Repository::create_in_memory(RepositoryOptions {
         page_size: 2048,
         tree_config: TreeConfig {
             merge_enabled: true,
@@ -23,28 +31,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let root = repo.root(doc)?;
 
     // Grow: add 300 entries — watch the record count climb as splits keep
-    // every record under a page.
+    // every record under a page. A reader races the growth through
+    // `&Repository`, counting entries with snapshot queries: counts only
+    // ever move forward, and every observed state is a whole number of
+    // edits.
+    let growth_done = AtomicBool::new(false);
     let mut entries = Vec::new();
-    for i in 0..300 {
-        let entry = repo.insert_element(doc, root, InsertPos::Last, "ENTRY")?;
-        repo.insert_text(
-            doc,
-            entry,
-            InsertPos::Last,
-            &format!("note {i}: {}", "lorem ipsum ".repeat(1 + i % 5)),
-        )?;
-        entries.push(entry);
-        if i % 100 == 99 {
-            let s = repo.physical_stats("notebook")?;
-            println!(
-                "after {:>3} inserts: {:>3} records, {:>4} facade nodes, depth {}",
-                i + 1,
-                s.records,
-                s.facade_nodes,
-                s.record_depth
-            );
+    std::thread::scope(|s| -> Result<(), natix::NatixError> {
+        let repo = &repo;
+        let growth_done = &growth_done;
+        let reader = s.spawn(move || {
+            let q = PathQuery::parse("//ENTRY").unwrap();
+            let mut last = 0usize;
+            let mut observations = 0u32;
+            while !growth_done.load(Ordering::Acquire) {
+                let seen = repo.query_content(doc, &q).unwrap().len();
+                assert!(seen >= last, "snapshot counts must be monotonic");
+                last = seen;
+                observations += 1;
+            }
+            (last, observations)
+        });
+        for i in 0..300 {
+            let entry = repo.insert_element(doc, root, InsertPos::Last, "ENTRY")?;
+            repo.insert_text(
+                doc,
+                entry,
+                InsertPos::Last,
+                &format!("note {i}: {}", "lorem ipsum ".repeat(1 + i % 5)),
+            )?;
+            entries.push(entry);
+            if i % 100 == 99 {
+                let s = repo.physical_stats("notebook")?;
+                println!(
+                    "after {:>3} inserts: {:>3} records, {:>4} facade nodes, depth {}",
+                    i + 1,
+                    s.records,
+                    s.facade_nodes,
+                    s.record_depth
+                );
+            }
         }
-    }
+        growth_done.store(true, Ordering::Release);
+        let (last_seen, observations) = reader.join().expect("reader");
+        println!(
+            "concurrent reader: {observations} snapshot queries while editing, \
+             last count {last_seen}/300"
+        );
+        Ok(())
+    })?;
 
     // Edit in the middle: ids remain valid across the splits that happened
     // after they were handed out.

@@ -10,7 +10,7 @@ use natix_tree::InsertPos;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A fresh in-memory repository; `Repository::create_file` persists to
     // a single file instead.
-    let mut repo = Repository::create_in_memory(RepositoryOptions::default())?;
+    let repo = Repository::create_in_memory(RepositoryOptions::default())?;
 
     // 1. Store a document (the paper's figure-2 example).
     repo.put_xml(

@@ -10,7 +10,7 @@ use natix_corpus::{generate_corpus, CorpusConfig};
 use natix_xml::WriteOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut repo = Repository::create_in_memory(RepositoryOptions::paper(8192))?;
+    let repo = Repository::create_in_memory(RepositoryOptions::paper(8192))?;
 
     // Load a reduced corpus (8 plays) — `CorpusConfig::paper()` generates
     // the full ≈320k-node collection.

@@ -17,7 +17,7 @@ fn tiny_corpus() -> CorpusConfig {
 #[test]
 fn corpus_roundtrips_through_repository() {
     for page_size in [2048usize, 8192] {
-        let mut repo = Repository::create_in_memory(RepositoryOptions {
+        let repo = Repository::create_in_memory(RepositoryOptions {
             page_size,
             ..Default::default()
         })
@@ -42,7 +42,7 @@ fn corpus_roundtrips_through_repository() {
 
 #[test]
 fn corpus_roundtrips_in_one_to_one_mode() {
-    let mut repo = Repository::create_in_memory(RepositoryOptions {
+    let repo = Repository::create_in_memory(RepositoryOptions {
         page_size: 4096,
         matrix: SplitMatrix::all_standalone(),
         ..Default::default()
@@ -71,7 +71,7 @@ fn full_lifecycle_with_persistence() {
     };
 
     let expected = {
-        let mut repo = Repository::create_file(&path, options()).unwrap();
+        let repo = Repository::create_file(&path, options()).unwrap();
         let play = generate_play(&tiny_corpus(), 0, &mut repo.symbols_mut());
         repo.put_document("play", &play.doc).unwrap();
         repo.set_matrix_rule("SPEECH", "SPEAKER", SplitBehaviour::KeepWithParent);
@@ -83,7 +83,7 @@ fn full_lifecycle_with_persistence() {
     };
 
     // Re-open: everything is back, documents remain queryable & editable.
-    let mut repo = Repository::open_file(&path, options()).unwrap();
+    let repo = Repository::open_file(&path, options()).unwrap();
     assert_eq!(repo.get_xml("play").unwrap(), expected);
     let speakers = repo.query("play", "//SPEAKER").unwrap();
     assert!(!speakers.is_empty());
@@ -127,7 +127,7 @@ fn queries_agree_between_storage_modes() {
     ];
     let mut answers: Vec<Vec<usize>> = Vec::new();
     for matrix in [SplitMatrix::all_other(), SplitMatrix::all_standalone()] {
-        let mut repo = Repository::create_in_memory(RepositoryOptions {
+        let repo = Repository::create_in_memory(RepositoryOptions {
             page_size: 2048,
             matrix,
             ..Default::default()
@@ -159,7 +159,7 @@ fn queries_agree_between_storage_modes() {
 
 #[test]
 fn flat_stream_baseline_agrees_with_native_store() {
-    let mut repo = Repository::create_in_memory(RepositoryOptions {
+    let repo = Repository::create_in_memory(RepositoryOptions {
         page_size: 2048,
         ..Default::default()
     })
@@ -188,7 +188,7 @@ fn hyperstorm_style_matrix_round_trips() {
     // §5: HyperStorM "is equivalent to our algorithm with a Split Matrix
     // which contains only 0 and ∞ elements": coarse structures standalone,
     // fine structures pinned flat. Configure exactly that shape.
-    let mut repo = Repository::create_in_memory(RepositoryOptions {
+    let repo = Repository::create_in_memory(RepositoryOptions {
         page_size: 2048,
         matrix: SplitMatrix::with_default(SplitBehaviour::Standalone),
         ..Default::default()
@@ -233,7 +233,7 @@ fn hyperstorm_style_matrix_round_trips() {
 
 #[test]
 fn heavy_editing_session_stays_consistent() {
-    let mut repo = Repository::create_in_memory(RepositoryOptions {
+    let repo = Repository::create_in_memory(RepositoryOptions {
         page_size: 1024,
         tree_config: natix::TreeConfig {
             merge_enabled: true,
