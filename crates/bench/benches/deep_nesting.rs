@@ -1,0 +1,247 @@
+//! Deep-nesting benchmark: bulkload and descendant-query cost on the
+//! depth-stress corpus, over the throttled disk model.
+//!
+//! ```sh
+//! cargo bench -p natix-bench --bench deep_nesting             # writes BENCH_deep_nesting.json
+//! cargo bench -p natix-bench --bench deep_nesting -- --check  # CI mode: asserts the floors
+//! ```
+//!
+//! Deeply nested documents put their bytes on the *open spine*, not in
+//! packable sibling runs — the regime depth-aware packing (one
+//! continuation placeholder per spilled piece, separator-style prefix
+//! chains in the continuation groups) exists for. The benchmark loads the
+//! [`natix_corpus::deep`] corpus twice, with `depth_packing` on and off
+//! (the per-level ablation layout whose record-tree height tracks the
+//! document depth), plus once through the per-node oracle in memory for
+//! the height reference, and measures:
+//!
+//! * streaming bulkload wall time over the throttled disk;
+//! * record count and record-tree height of the stored tree;
+//! * a cold-buffer `//TAIL` descendant scan: wall time and buffer misses
+//!   (every record of the tree is claimed once — fewer, denser records
+//!   mean fewer page reads).
+//!
+//! Check mode (CI) asserts the depth-aware acceptance criteria:
+//! byte-identical `get_xml` across all three paths, packed record-tree
+//! height at most **1.1×** the per-node oracle's, and the packed layout
+//! no worse than the ablation layout on records, height and scan misses.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use natix::{ParallelQueryOptions, PathQuery, Repository, RepositoryOptions};
+use natix_corpus::{generate_deep, DeepConfig};
+use natix_storage::{DiskBackend, MemStorage, ThrottledDisk};
+use natix_tree::{SplitMatrix, TreeConfig};
+use natix_xml::{SymbolTable, WriteOptions};
+
+const PAGE_SIZE: usize = 2048;
+/// Small on purpose: the corpus must not fit the pool, so the descendant
+/// scan pays real (throttled) page reads per record.
+const BUFFER_FRAMES: usize = 24;
+const READ_LATENCY_US: u64 = 1_500;
+const WRITE_LATENCY_US: u64 = 3_000;
+const DEPTH: usize = 3_000;
+/// Acceptance ceiling asserted in `--check` mode: packed record-tree
+/// height vs the per-node oracle's (the depth-aware packing criterion).
+const HEIGHT_RATIO_CEILING: f64 = 1.1;
+
+struct Run {
+    layout: &'static str,
+    load_ms: f64,
+    records: usize,
+    height: usize,
+    record_bytes: usize,
+    scan_ms: f64,
+    scan_misses: u64,
+    tail_hits: usize,
+}
+
+fn corpus() -> (String, SymbolTable) {
+    let mut syms = SymbolTable::new();
+    let cfg = DeepConfig {
+        depth: DEPTH,
+        ..DeepConfig::paper()
+    };
+    let doc = generate_deep(&cfg, &mut syms);
+    let xml = natix_xml::write_document(&doc, &syms, WriteOptions::compact()).unwrap();
+    (xml, syms)
+}
+
+fn throttled_repo(depth_packing: bool) -> Repository {
+    let backend = Arc::new(ThrottledDisk::new(
+        MemStorage::new(PAGE_SIZE).unwrap(),
+        READ_LATENCY_US,
+        WRITE_LATENCY_US,
+    )) as Arc<dyn DiskBackend>;
+    Repository::create_on_backend(
+        backend,
+        RepositoryOptions {
+            page_size: PAGE_SIZE,
+            buffer_bytes: BUFFER_FRAMES * PAGE_SIZE,
+            matrix: SplitMatrix::all_other(),
+            tree_config: TreeConfig {
+                depth_packing,
+                ..TreeConfig::paper()
+            },
+            ..RepositoryOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+fn run_layout(layout: &'static str, depth_packing: bool, xml: &str) -> (Run, String) {
+    let repo = throttled_repo(depth_packing);
+    let t0 = Instant::now();
+    let doc = repo.put_xml_streaming("deep", xml).unwrap();
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = repo.physical_stats("deep").unwrap();
+    // Cold-buffer record-granular descendant scan.
+    let q = PathQuery::parse("//TAIL").unwrap();
+    let seq = ParallelQueryOptions {
+        threads: 1,
+        parallel_record_threshold: usize::MAX,
+    };
+    repo.clear_buffer().unwrap();
+    let before = repo.io_stats().snapshot();
+    let t0 = Instant::now();
+    let hits = repo.query_parallel(doc, &q, &seq).unwrap();
+    let scan_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let scan_misses = repo.io_stats().snapshot().since(&before).buffer_misses;
+    let roundtrip = repo.get_xml("deep").unwrap();
+    (
+        Run {
+            layout,
+            load_ms,
+            records: stats.records,
+            height: stats.record_depth,
+            record_bytes: stats.record_bytes,
+            scan_ms,
+            scan_misses,
+            tail_hits: hits.len(),
+        },
+        roundtrip,
+    )
+}
+
+/// Per-node oracle height reference, in memory (the throttled disk would
+/// make the O(record size)-per-node path take minutes without changing
+/// the structural result).
+fn oracle_height(xml: &str) -> (usize, String) {
+    let repo = Repository::create_in_memory(RepositoryOptions {
+        page_size: PAGE_SIZE,
+        matrix: SplitMatrix::all_other(),
+        ..RepositoryOptions::default()
+    })
+    .unwrap();
+    let mut syms = repo.symbols_mut().clone();
+    let doc =
+        natix_xml::parse_document(xml, &mut syms, natix_xml::ParserOptions::default()).unwrap();
+    *repo.symbols_mut() = syms;
+    repo.put_document_per_node("deep", &doc).unwrap();
+    let stats = repo.physical_stats("deep").unwrap();
+    (stats.record_depth, repo.get_xml("deep").unwrap())
+}
+
+fn write_json(runs: &[Run], oracle_h: usize, ratio: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(
+        s,
+        "  \"benchmark\": \"deep nesting: bulkload + descendant scan on the depth corpus\","
+    );
+    let _ = writeln!(s, "  \"page_size\": {PAGE_SIZE},");
+    let _ = writeln!(s, "  \"buffer_frames\": {BUFFER_FRAMES},");
+    let _ = writeln!(
+        s,
+        "  \"disk\": \"throttled: {READ_LATENCY_US} us/page read, \
+         {WRITE_LATENCY_US} us/page write\","
+    );
+    let _ = writeln!(s, "  \"corpus\": \"deep corpus, depth {DEPTH} spine\",");
+    let _ = writeln!(s, "  \"per_node_oracle_height\": {oracle_h},");
+    let _ = writeln!(s, "  \"packed_height_ratio_vs_oracle\": {ratio:.3},");
+    let _ = writeln!(s, "  \"height_ratio_ceiling\": {HEIGHT_RATIO_CEILING},");
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"layout\": \"{}\", \"load_ms\": {:.1}, \"records\": {}, \
+             \"record_tree_height\": {}, \"record_bytes\": {}, \
+             \"tail_scan_ms\": {:.1}, \"tail_scan_buffer_misses\": {}, \
+             \"tail_hits\": {}}}{}",
+            r.layout,
+            r.load_ms,
+            r.records,
+            r.height,
+            r.record_bytes,
+            r.scan_ms,
+            r.scan_misses,
+            r.tail_hits,
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+
+    println!(
+        "deep-nesting corpus ({PAGE_SIZE} B pages, {BUFFER_FRAMES}-frame pool, throttled disk):"
+    );
+    let (xml, _syms) = corpus();
+    let (packed, packed_xml) = run_layout("depth-aware packed", true, &xml);
+    let (ablation, ablation_xml) = run_layout("per-level pieces (ablation)", false, &xml);
+    let (oracle_h, oracle_xml) = oracle_height(&xml);
+    for r in [&packed, &ablation] {
+        println!(
+            "  {:<28} load {:>8.1} ms  {:>5} records  height {:>4}  \
+             //TAIL scan {:>8.1} ms ({} misses, {} hits)",
+            r.layout, r.load_ms, r.records, r.height, r.scan_ms, r.scan_misses, r.tail_hits
+        );
+    }
+    println!("  per-node oracle height: {oracle_h}");
+    assert_eq!(packed_xml, xml, "packed layout does not round-trip");
+    assert_eq!(ablation_xml, xml, "ablation layout does not round-trip");
+    assert_eq!(oracle_xml, xml, "per-node oracle does not round-trip");
+    assert_eq!(packed.tail_hits, ablation.tail_hits);
+
+    let ratio = packed.height as f64 / oracle_h as f64;
+    println!("  packed height ratio vs oracle: {ratio:.3} (ceiling {HEIGHT_RATIO_CEILING})");
+    if check {
+        assert!(
+            ratio <= HEIGHT_RATIO_CEILING,
+            "packed record-tree height {} vs per-node {} exceeds the \
+             {HEIGHT_RATIO_CEILING}x ceiling",
+            packed.height,
+            oracle_h
+        );
+        assert!(
+            packed.height <= ablation.height,
+            "packed height {} worse than the per-level ablation's {}",
+            packed.height,
+            ablation.height
+        );
+        assert!(
+            packed.records <= ablation.records,
+            "packed layout uses {} records, ablation {}",
+            packed.records,
+            ablation.records
+        );
+        assert!(
+            packed.scan_misses <= ablation.scan_misses,
+            "packed scan paid {} buffer misses, ablation {}",
+            packed.scan_misses,
+            ablation.scan_misses
+        );
+        println!("check mode: all floors met");
+    } else {
+        let json = write_json(&[packed, ablation], oracle_h, ratio);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_deep_nesting.json");
+        std::fs::write(path, &json).unwrap();
+        println!("wrote {path}");
+    }
+}

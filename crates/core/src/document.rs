@@ -282,6 +282,20 @@ pub(crate) fn chunk_limit(net_capacity: usize) -> usize {
     (net_capacity / 2).max(64)
 }
 
+/// What a structural edit did to the set of indexed (facade) nodes —
+/// drives attached-index maintenance (see
+/// [`crate::index::LabelIndex::apply_relocations`]).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EditImpact {
+    /// Nodes were added or removed: per-label occurrence numbering
+    /// shifted, the document's index entries go stale.
+    NodeSet,
+    /// Only literal values changed (plus any record moves/splits/
+    /// normalizations they caused): the indexed node set is intact and
+    /// relocated entries can be patched in place.
+    Values,
+}
+
 impl Repository {
     /// Completes one published structural edit: applies relocation events
     /// to the id map immediately (the writer needs them for its next
@@ -300,6 +314,15 @@ impl Repository {
     }
 
     fn finish_edit(&self, state: &Arc<DocState>, res: &OpResult) {
+        self.finish_edit_impact(state, res, EditImpact::NodeSet);
+    }
+
+    /// [`finish_edit`](Self::finish_edit) with an explicit index impact:
+    /// `Values` tells an attached [`crate::index::LabelIndex`] that the
+    /// edit introduced/removed no indexed nodes, so its entries are
+    /// patched from the relocation events instead of invalidating the
+    /// document.
+    fn finish_edit_impact(&self, state: &Arc<DocState>, res: &OpResult, impact: EditImpact) {
         state.apply_relocations(res);
         if let Some((old, new)) = res.root_moved {
             let st = Arc::clone(state);
@@ -313,6 +336,90 @@ impl Repository {
                 state.set_root_now(old, new);
             }
         }
+        let attached = self.attached_index.lock().clone();
+        if let Some(index) = attached {
+            if let Ok(doc) = self.doc_id(&state.name) {
+                let mut index = index.lock();
+                match impact {
+                    EditImpact::NodeSet => index.mark_stale(doc),
+                    EditImpact::Values => {
+                        // Best effort: a failed patch falls back to the
+                        // rescan the patch exists to avoid.
+                        if index
+                            .apply_relocations(self, doc, &res.relocations)
+                            .is_err()
+                        {
+                            index.mark_stale(doc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Binds logical node ids for pointers discovered under the calling
+    /// thread's read snapshot, **validated against the version store under
+    /// the document's edit latch**: a reader that raced a structural edit
+    /// may hold addresses the edit has already superseded — node identity
+    /// at such an address belongs to the reader's epoch, not to the live
+    /// record, and binding it would poison the id map (a later writer's
+    /// relocations only track entries that were current when it ran). The
+    /// latch makes {validate, insert} atomic against writers of this
+    /// document; a superseded address surfaces as
+    /// [`NatixError::SnapshotRace`] instead of a silently wrong id.
+    /// Without an ambient snapshot the bind is unvalidated (nothing can
+    /// have raced a read that has no epoch).
+    pub(crate) fn bind_snapshot(
+        &self,
+        state: &DocState,
+        ptrs: impl IntoIterator<Item = NodePtr>,
+    ) -> NatixResult<Vec<NodeId>> {
+        let Some(epoch) = self.tree.ambient_read_epoch() else {
+            return Ok(ptrs.into_iter().map(|p| state.bind(p)).collect());
+        };
+        let _latch = state.edit_latch.lock();
+        let versions = self.tree.versions();
+        let mut out = Vec::new();
+        for p in ptrs {
+            if versions.lookup(p.rid, epoch).is_some() {
+                return Err(NatixError::SnapshotRace(state.name.clone()));
+            }
+            out.push(state.bind(p));
+        }
+        Ok(out)
+    }
+
+    /// Runs a structural edit, normalizing depth-aware-packed clusters on
+    /// demand: a bulkloaded deep document stores late children in
+    /// continuation-group records whose layout in-place edits cannot
+    /// preserve, so the tree layer reports [`TreeError::PackedRecord`];
+    /// the cluster is then rewritten into plain records (relocations
+    /// applied to the id map) and the edit retried with fresh pointers —
+    /// which is why `f` must re-resolve its node ids on every attempt.
+    ///
+    /// [`TreeError::PackedRecord`]: natix_tree::TreeError::PackedRecord
+    fn edit_with_normalize<T>(
+        &self,
+        state: &Arc<DocState>,
+        mut f: impl FnMut(&Self) -> NatixResult<T>,
+    ) -> NatixResult<T> {
+        // Each round eliminates the packed cluster it tripped over; a
+        // bounded retry count turns a (logically impossible) livelock into
+        // a clean error.
+        for _ in 0..64 {
+            match f(self) {
+                Err(NatixError::Tree(natix_tree::TreeError::PackedRecord(rid))) => {
+                    let res = self.tree.normalize_packed(rid)?;
+                    // Normalization is a pure re-clustering: relocations
+                    // only, no logical nodes added or removed.
+                    self.finish_edit_impact(state, &res, EditImpact::Values);
+                }
+                other => return other,
+            }
+        }
+        Err(NatixError::Validation(
+            "structural edit kept hitting packed records".into(),
+        ))
     }
 
     // ==================================================================
@@ -649,7 +756,7 @@ impl Repository {
         let ptr = self.resolve(doc, node)?;
         let ptrs = self.tree.logical_children(ptr)?;
         let state = self.state(doc)?;
-        Ok(ptrs.into_iter().map(|p| state.bind(p)).collect())
+        self.bind_snapshot(&state, ptrs)
     }
 
     /// Logical parent of a node (`None` at the root). Read-only, like
@@ -659,7 +766,7 @@ impl Repository {
         let ptr = self.resolve(doc, node)?;
         let parent = self.tree.logical_parent(ptr)?;
         let state = self.state(doc)?;
-        Ok(parent.map(|p| state.bind(p)))
+        Ok(self.bind_snapshot(&state, parent)?.into_iter().next())
     }
 
     /// Calls `f` with the physical pointer of every record spanned by the
@@ -683,8 +790,8 @@ impl Repository {
         while let Some(p) = stack.pop() {
             f(p);
             self.tree.scan_record_subtree(p, &mut |entry| {
-                if let natix_tree::RecordEntry::ChildRecord(rid) = *entry {
-                    found.push(NodePtr::new(rid, 0));
+                if let natix_tree::RecordEntry::ChildRecord(ptr) = *entry {
+                    found.push(ptr);
                 }
                 Ok(true)
             })?;
@@ -723,10 +830,12 @@ impl Repository {
         // releases (drop order is reverse declaration order).
         let _op = self.tree.begin_write();
         let label = self.symbols.write().intern_element(tag);
-        let ptr = state
-            .resolve(parent)
-            .ok_or(NatixError::NoSuchNode(parent))?;
-        let res = self.tree.insert(ptr, pos, label, NewNode::Element)?;
+        let res = self.edit_with_normalize(&state, |repo| {
+            let ptr = state
+                .resolve(parent)
+                .ok_or(NatixError::NoSuchNode(parent))?;
+            Ok(repo.tree.insert(ptr, pos, label, NewNode::Element)?)
+        })?;
         self.finish_edit(&state, &res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
@@ -765,15 +874,17 @@ impl Repository {
         for chunk in chunks {
             // Re-resolve the parent for every chunk: inserting the
             // previous chunk may have split or moved its record.
-            let ptr = state
-                .resolve(parent)
-                .ok_or(NatixError::NoSuchNode(parent))?;
-            let res = self.tree.insert(
-                ptr,
-                insert_pos,
-                LABEL_TEXT,
-                NewNode::Literal(LiteralValue::String(chunk)),
-            )?;
+            let res = self.edit_with_normalize(&state, |repo| {
+                let ptr = state
+                    .resolve(parent)
+                    .ok_or(NatixError::NoSuchNode(parent))?;
+                Ok(repo.tree.insert(
+                    ptr,
+                    insert_pos,
+                    LABEL_TEXT,
+                    NewNode::Literal(LiteralValue::String(chunk.clone())),
+                )?)
+            })?;
             self.finish_edit(&state, &res);
             let id = state.fresh_id(res.new_node.expect("insert yields node"));
             // Subsequent chunks follow the one just inserted.
@@ -805,10 +916,12 @@ impl Repository {
         // releases (drop order is reverse declaration order).
         let _op = self.tree.begin_write();
         let label = self.symbols.write().intern_element(tag);
-        let ptr = state
-            .resolve(sibling)
-            .ok_or(NatixError::NoSuchNode(sibling))?;
-        let res = self.tree.insert_after(ptr, label, NewNode::Element)?;
+        let res = self.edit_with_normalize(&state, |repo| {
+            let ptr = state
+                .resolve(sibling)
+                .ok_or(NatixError::NoSuchNode(sibling))?;
+            Ok(repo.tree.insert_after(ptr, label, NewNode::Element)?)
+        })?;
         self.finish_edit(&state, &res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
@@ -831,12 +944,14 @@ impl Repository {
         // hook) after the edit's bookkeeping below, before the latch
         // releases (drop order is reverse declaration order).
         let _op = self.tree.begin_write();
-        let ptr = state
-            .resolve(sibling)
-            .ok_or(NatixError::NoSuchNode(sibling))?;
-        let res = self
-            .tree
-            .insert_after(ptr, label, NewNode::Literal(value))?;
+        let res = self.edit_with_normalize(&state, |repo| {
+            let ptr = state
+                .resolve(sibling)
+                .ok_or(NatixError::NoSuchNode(sibling))?;
+            Ok(repo
+                .tree
+                .insert_after(ptr, label, NewNode::Literal(value.clone()))?)
+        })?;
         self.finish_edit(&state, &res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
@@ -860,10 +975,12 @@ impl Repository {
         // hook) after the edit's bookkeeping below, before the latch
         // releases (drop order is reverse declaration order).
         let _op = self.tree.begin_write();
-        let ptr = state
-            .resolve(parent)
-            .ok_or(NatixError::NoSuchNode(parent))?;
-        let res = self.tree.insert(ptr, pos, label, node)?;
+        let res = self.edit_with_normalize(&state, |repo| {
+            let ptr = state
+                .resolve(parent)
+                .ok_or(NatixError::NoSuchNode(parent))?;
+            Ok(repo.tree.insert(ptr, pos, label, node.clone())?)
+        })?;
         self.finish_edit(&state, &res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
@@ -886,10 +1003,12 @@ impl Repository {
         // hook) after the edit's bookkeeping below, before the latch
         // releases (drop order is reverse declaration order).
         let _op = self.tree.begin_write();
-        let ptr = state
-            .resolve(sibling)
-            .ok_or(NatixError::NoSuchNode(sibling))?;
-        let res = self.tree.insert_after(ptr, label, node)?;
+        let res = self.edit_with_normalize(&state, |repo| {
+            let ptr = state
+                .resolve(sibling)
+                .ok_or(NatixError::NoSuchNode(sibling))?;
+            Ok(repo.tree.insert_after(ptr, label, node.clone())?)
+        })?;
         self.finish_edit(&state, &res);
         Ok(state.fresh_id(res.new_node.expect("insert yields node")))
     }
@@ -906,23 +1025,27 @@ impl Repository {
         // hook) after the edit's bookkeeping below, before the latch
         // releases (drop order is reverse declaration order).
         let _op = self.tree.begin_write();
-        let ptr = state.resolve(node).ok_or(NatixError::NoSuchNode(node))?;
-        // Collect the subtree's logical ids first (their pointers are
-        // purged before relocations are applied).
-        let mut victims = Vec::new();
-        natix_tree::traverse(&self.tree, ptr, &mut |ev| {
-            let p = match ev {
-                VisitEvent::Enter { ptr, .. } | VisitEvent::Literal { ptr, .. } => Some(ptr),
-                VisitEvent::Leave { .. } => None,
-            };
-            if let Some(p) = p {
-                if let Some(id) = state.lookup_ptr(p) {
-                    victims.push(id);
+        let (res, victims) = self.edit_with_normalize(&state, |repo| {
+            let ptr = state.resolve(node).ok_or(NatixError::NoSuchNode(node))?;
+            // Collect the subtree's logical ids first (their pointers are
+            // purged before relocations are applied); recollected on every
+            // attempt, since normalization relocates them.
+            let mut victims = Vec::new();
+            natix_tree::traverse(&repo.tree, ptr, &mut |ev| {
+                let p = match ev {
+                    VisitEvent::Enter { ptr, .. } | VisitEvent::Literal { ptr, .. } => Some(ptr),
+                    VisitEvent::Leave { .. } => None,
+                };
+                if let Some(p) = p {
+                    if let Some(id) = state.lookup_ptr(p) {
+                        victims.push(id);
+                    }
                 }
-            }
-            true
+                true
+            })?;
+            let res = repo.tree.delete_subtree(ptr)?;
+            Ok((res, victims))
         })?;
-        let res = self.tree.delete_subtree(ptr)?;
         state.purge(&victims);
         self.finish_edit(&state, &res);
         Ok(())
@@ -940,11 +1063,15 @@ impl Repository {
         // hook) after the edit's bookkeeping below, before the latch
         // releases (drop order is reverse declaration order).
         let _op = self.tree.begin_write();
-        let ptr = state.resolve(node).ok_or(NatixError::NoSuchNode(node))?;
-        let res = self
-            .tree
-            .update_literal(ptr, LiteralValue::String(text.to_string()))?;
-        self.finish_edit(&state, &res);
+        let res = self.edit_with_normalize(&state, |repo| {
+            let ptr = state.resolve(node).ok_or(NatixError::NoSuchNode(node))?;
+            Ok(repo
+                .tree
+                .update_literal(ptr, LiteralValue::String(text.to_string()))?)
+        })?;
+        // A value update adds/removes no indexed nodes: an attached label
+        // index is patched from the relocations, not invalidated.
+        self.finish_edit_impact(&state, &res, EditImpact::Values);
         Ok(())
     }
 

@@ -23,6 +23,12 @@ pub enum NatixError {
     Validation(String),
     /// Catalog corruption on open.
     Catalog(String),
+    /// A read pinned at an older epoch tried to bind logical node ids for
+    /// physical addresses a concurrent structural edit has already
+    /// superseded — binding them would poison the id map with historical
+    /// addresses. Retry the read (a fresh call pins a fresh epoch), or use
+    /// the snapshot-consistent `query_content` family, which never binds.
+    SnapshotRace(String),
 }
 
 /// Convenience alias for repository results.
@@ -40,6 +46,11 @@ impl fmt::Display for NatixError {
             NatixError::BadQuery(m) => write!(f, "bad path query: {m}"),
             NatixError::Validation(m) => write!(f, "validation failed: {m}"),
             NatixError::Catalog(m) => write!(f, "catalog: {m}"),
+            NatixError::SnapshotRace(n) => write!(
+                f,
+                "document '{n}': snapshot superseded by a concurrent edit before \
+                 its results could be bound; retry the read"
+            ),
         }
     }
 }

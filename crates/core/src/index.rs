@@ -136,6 +136,54 @@ impl LabelIndex {
         }
     }
 
+    /// Incremental maintenance for edits that introduce or remove **no**
+    /// indexed nodes (literal value updates, record moves and splits from
+    /// text growth, packed-cluster normalization): the set of indexed
+    /// `(label, occurrence)` keys is unchanged — document order of the
+    /// surviving nodes never shifts — so instead of invalidating the
+    /// document (a full rescan on the next indexed query), the entries of
+    /// relocated nodes are patched in place from the edit's relocation
+    /// events. Keys are label-major, so the document's entries are read
+    /// through one per-label range per alphabet label — the document's
+    /// own entries plus one B+-tree descent per label, never other
+    /// documents' entries — replacing a walk of the whole stored tree
+    /// plus a delete-and-reinsert of every entry.
+    ///
+    /// Edits that add or delete nodes must still use
+    /// [`mark_stale`](Self::mark_stale) — occurrence numbering shifts.
+    pub fn apply_relocations(
+        &mut self,
+        repo: &Repository,
+        doc: DocId,
+        relocations: &[natix_tree::Relocation],
+    ) -> NatixResult<()> {
+        if !self.indexed.contains(&doc) || self.stale.contains(&doc) || relocations.is_empty() {
+            return Ok(());
+        }
+        let moved: std::collections::HashMap<u64, u64> = relocations
+            .iter()
+            .map(|r| (pack(r.old), pack(r.new)))
+            .collect();
+        let labels = repo.symbols().len() as u16;
+        let bt = self.btree(repo)?;
+        let mut patches = Vec::new();
+        for label in 0..labels {
+            let lo = key(label, doc, 0);
+            let hi = key(label, doc, u64::MAX);
+            bt.scan_range(&lo, &hi, |k, v| {
+                debug_assert_eq!(k[2..6], doc.to_be_bytes());
+                if let Some(&new) = moved.get(&v) {
+                    patches.push((k.to_vec(), new));
+                }
+                true
+            })?;
+        }
+        for (k, v) in patches {
+            bt.insert(&k, v)?;
+        }
+        Ok(())
+    }
+
     /// True when the document is indexed and current.
     pub fn is_current(&self, doc: DocId) -> bool {
         self.indexed.contains(&doc) && !self.stale.contains(&doc)
@@ -250,6 +298,64 @@ mod tests {
         idx.ensure_current(&repo, "p").unwrap();
         let speakers = idx.lookup(&repo, "p", "SPEAKER").unwrap();
         assert_eq!(speakers.len(), 3);
+    }
+
+    #[test]
+    fn value_edits_keep_the_index_current() {
+        // Regression (PR 4 follow-up): LabelIndex was rebuild-on-stale —
+        // *any* structural edit forced a full-document rescan on the next
+        // indexed query. Edits that introduce/remove no indexed nodes
+        // (text updates, including ones that grow the text enough to
+        // split records and relocate every neighbour) now keep the index
+        // current: relocated entries are patched in place from the edit's
+        // relocation events.
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+
+        let repo = Repository::create_in_memory(RepositoryOptions {
+            page_size: 512, // small pages: growth forces splits/relocations
+            ..RepositoryOptions::default()
+        })
+        .unwrap();
+        repo.put_xml(
+            "p",
+            "<PLAY><SPEECH><SPEAKER>A</SPEAKER><LINE>one</LINE></SPEECH>\
+             <SPEECH><SPEAKER>B</SPEAKER><LINE>two</LINE></SPEECH></PLAY>",
+        )
+        .unwrap();
+        let doc = repo.doc_id("p").unwrap();
+        let idx = Arc::new(Mutex::new(LabelIndex::create(&repo).unwrap()));
+        idx.lock().index_document(&repo, "p").unwrap();
+        repo.attach_label_index(&idx);
+
+        // A text update big enough to split the record and relocate
+        // neighbours: the index must stay current and resolve the moved
+        // SPEAKER nodes without any rescan.
+        let lines = repo.query("p", "//LINE").unwrap();
+        let text_node = repo.children(doc, lines[0]).unwrap()[0];
+        repo.update_text(doc, text_node, &"G".repeat(300)).unwrap();
+        assert!(
+            idx.lock().is_current(doc),
+            "a value-only edit must not invalidate the index"
+        );
+        let speakers = idx.lock().lookup(&repo, "p", "SPEAKER").unwrap();
+        assert_eq!(speakers.len(), 2);
+        let texts: Vec<String> = speakers
+            .iter()
+            .map(|&s| repo.text_content(doc, s).unwrap())
+            .collect();
+        assert_eq!(texts, vec!["A", "B"], "patched entries resolve correctly");
+
+        // A node-set edit still invalidates.
+        let root = repo.root(doc).unwrap();
+        repo.insert_element(doc, root, InsertPos::Last, "SPEAKER")
+            .unwrap();
+        assert!(
+            !idx.lock().is_current(doc),
+            "adding a node shifts occurrence numbering: stale"
+        );
+        idx.lock().ensure_current(&repo, "p").unwrap();
+        assert_eq!(idx.lock().lookup(&repo, "p", "SPEAKER").unwrap().len(), 3);
     }
 
     #[test]

@@ -147,7 +147,7 @@ impl Repository {
         let _pin = self.tree.begin_read();
         let root = self.snapshot_root(&state)?;
         let current = self.eval_parallel_ptrs(doc, NodePtr::new(root, 0), q, opts, None)?;
-        Ok(current.into_iter().map(|p| state.bind(p)).collect())
+        self.bind_snapshot(&state, current)
     }
 
     /// [`query_parallel`](Self::query_parallel) with a [`LabelIndex`]:
@@ -168,7 +168,7 @@ impl Repository {
         let _pin = self.tree.begin_read();
         let root = self.snapshot_root(&state)?;
         let current = self.eval_parallel_ptrs(doc, NodePtr::new(root, 0), q, opts, Some(index))?;
-        Ok(current.into_iter().map(|p| state.bind(p)).collect())
+        self.bind_snapshot(&state, current)
     }
 
     /// Snapshot-consistent content query with parallel evaluation: like
@@ -573,13 +573,13 @@ impl Repository {
                         });
                     }
                 }
-                RecordEntry::ChildRecord(rid) => {
+                RecordEntry::ChildRecord(ptr) => {
                     let mut key = task.key.clone();
                     key.push(seq);
                     spawned.push(ScanTask {
                         ctx: task.ctx,
                         key,
-                        start: NodePtr::new(rid, 0),
+                        start: ptr,
                         is_ctx: false,
                     });
                 }

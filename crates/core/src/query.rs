@@ -168,8 +168,9 @@ impl Repository {
         let _pin = self.tree.begin_read();
         let root = self.snapshot_root(&state)?;
         let current = self.eval_lazy_ptrs(NodePtr::new(root, 0), q)?;
-        // Map to logical ids.
-        Ok(current.into_iter().map(|p| state.bind(p)).collect())
+        // Map to logical ids, validated against the snapshot (see
+        // `Repository::bind_snapshot`).
+        self.bind_snapshot(&state, current)
     }
 
     /// The lazy reference evaluator at physical-pointer level (no id

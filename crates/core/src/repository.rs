@@ -76,12 +76,14 @@
 //!   `crates/core/tests/prop_edit_race.rs` enforces this against a
 //!   recorded serial oracle.
 //!
-//! Caveat on logical node ids: binding result ids while the same document
-//! is being edited may bind addresses that the concurrent edit has
-//! already superseded. Racing readers that need self-contained results
-//! use the snapshot-consistent [`Repository::query_content`] family,
-//! which resolves labels and text within the query's own snapshot and
-//! never touches the id map.
+//! Logical node ids are epoch-validated: binding result ids under a read
+//! snapshot is checked against the version store **under the document's
+//! edit latch** — an address a concurrent edit has already superseded is
+//! refused with [`NatixError::SnapshotRace`] instead of poisoning the id
+//! map with a historical pointer. Racing readers that need
+//! self-contained results use the snapshot-consistent
+//! [`Repository::query_content`] family, which resolves labels and text
+//! within the query's own snapshot and never touches the id map.
 //!
 //! # Query-side lock and pin discipline
 //!
@@ -227,6 +229,10 @@ pub struct Repository {
     /// Serialises catalog checkpoints (two racing checkpoints would drop
     /// each other's catalog tree); ordinary edits and reads do not take it.
     checkpoint_lock: Mutex<()>,
+    /// A [`crate::index::LabelIndex`] attached for automatic maintenance:
+    /// structural edits notify it — relocation-only edits patch its
+    /// entries in place, node-set changes mark the document stale.
+    pub(crate) attached_index: Mutex<Option<Arc<Mutex<crate::index::LabelIndex>>>>,
 }
 
 impl Repository {
@@ -303,6 +309,7 @@ impl Repository {
             stats,
             sim,
             checkpoint_lock: Mutex::new(()),
+            attached_index: Mutex::new(None),
         };
         if !fresh {
             crate::catalog::load_catalog(&mut repo)?;
@@ -625,6 +632,22 @@ impl Repository {
         crate::catalog::save_catalog(self)?;
         self.sm.checkpoint()?;
         Ok(())
+    }
+
+    /// Attaches a [`crate::index::LabelIndex`] for automatic maintenance:
+    /// every structural edit notifies it — edits that only change literal
+    /// values (including the record moves, splits and packed-cluster
+    /// normalizations they trigger) patch the index's relocated entries
+    /// in place and the index **stays current**; edits that add or remove
+    /// nodes mark the document stale as before. Pass the same `Arc` the
+    /// query side uses.
+    pub fn attach_label_index(&self, index: &Arc<Mutex<crate::index::LabelIndex>>) {
+        *self.attached_index.lock() = Some(Arc::clone(index));
+    }
+
+    /// Detaches the automatically maintained label index.
+    pub fn detach_label_index(&self) {
+        *self.attached_index.lock() = None;
     }
 
     /// Changes a split-matrix rule by element names, interning them if

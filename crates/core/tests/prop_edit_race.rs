@@ -349,6 +349,61 @@ fn edits_of_different_documents_race_each_other_and_readers() {
 }
 
 #[test]
+fn stale_snapshot_binds_are_validated_not_poisoned() {
+    // Regression (PR 4 follow-up): the logical-id map was not
+    // epoch-versioned — a reader binding ids under an *old* snapshot
+    // while a structural edit relocated the same nodes would insert
+    // superseded physical addresses into the map. A later writer's
+    // relocations only track entries that were current when it ran, so
+    // the stale binding silently resolved to the wrong node (or nothing)
+    // forever after. Binds are now validated against the version store
+    // under the per-document edit latch: the racing bind surfaces as
+    // `SnapshotRace` instead, and the id map stays coherent.
+    let repo = Repository::create_in_memory(RepositoryOptions {
+        page_size: 512,
+        ..RepositoryOptions::default()
+    })
+    .unwrap();
+    let doc = repo
+        .put_xml_streaming("doc", "<r><a>one</a><b>two</b></r>")
+        .unwrap();
+    let root = repo.root(doc).unwrap();
+    let before = repo.children(doc, root).unwrap();
+
+    let stale = {
+        let _snap = repo.read_snapshot();
+        // A concurrent writer rewrites the root record and publishes
+        // while this thread's snapshot is pinned at the old epoch.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                repo.insert_element(doc, root, InsertPos::Last, "z")
+                    .unwrap();
+            });
+        });
+        // The child addresses this snapshot discovers live in the
+        // superseded record image; binding them must refuse.
+        repo.children(doc, root)
+    };
+    assert!(
+        matches!(stale, Err(NatixError::SnapshotRace(_))),
+        "stale bind must surface as SnapshotRace, got {stale:?}"
+    );
+
+    // A fresh read binds cleanly, sees the new child, and every id it
+    // hands out resolves — the map was not poisoned by the refused bind.
+    let after = repo.children(doc, root).unwrap();
+    assert_eq!(after.len(), before.len() + 1);
+    for &k in &after {
+        repo.node_summary(doc, k).unwrap();
+    }
+    for &k in &before {
+        // Pre-race ids stay valid too (relocations kept them current).
+        repo.node_summary(doc, k).unwrap();
+    }
+    assert!(repo.get_xml("doc").unwrap().contains("<z/>"));
+}
+
+#[test]
 fn caller_scoped_snapshot_spans_multiple_reads() {
     // `Repository::read_snapshot` freezes the view across several calls:
     // an edit committed by another thread mid-snapshot stays invisible

@@ -1,0 +1,137 @@
+//! A deeply nested document corpus — the depth-stress counterpoint to the
+//! plays (mid-depth, long sibling runs) and the order batches (shallow,
+//! huge fan-out).
+//!
+//! XML in the wild is occasionally *deep*: recursive part hierarchies,
+//! serialized ASTs, nested message envelopes. XRecursive-style systems
+//! store parent-path information precisely because such documents defeat
+//! sibling-run clustering — the open spine, not the sibling runs, carries
+//! the bytes. This corpus exercises exactly that regime, and the
+//! depth-aware packing the bulkloader uses to keep the record-tree height
+//! tracking fanout instead of document depth:
+//!
+//! ```text
+//! SECTION ── SECTION ── SECTION ── … (one spine, `depth` levels)
+//! ```
+//!
+//! with, per level (probabilistically, deterministic in the seed):
+//!
+//! * a short `#text` payload (spine weight beyond the bare headers);
+//! * a small `META(NOTE #text)` sidecar finished before the spine
+//!   descends further (packable sibling runs at every level);
+//! * a late `TAIL(#text)` straggler appended after the level's spine
+//!   child has closed — in stream order these arrive while the ancestors'
+//!   records are already spilled, forcing the continuation-group path.
+//!
+//! Generation is deterministic in the seed.
+
+use natix_xml::{Document, NodeData, SymbolTable};
+
+use crate::prng::SplitMix64;
+
+/// Deep-nesting generation parameters.
+#[derive(Debug, Clone)]
+pub struct DeepConfig {
+    /// Nesting depth of the spine (number of nested SECTION levels).
+    pub depth: usize,
+    /// One in `payload_every` levels carries a text payload (0 = none).
+    pub payload_every: usize,
+    /// One in `sidecar_every` levels carries a finished META sidecar
+    /// (0 = none).
+    pub sidecar_every: usize,
+    /// One in `straggler_every` levels receives a late TAIL child after
+    /// its spine subtree closed (0 = none).
+    pub straggler_every: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl DeepConfig {
+    /// The benchmark configuration: deep enough that the open spine spans
+    /// many records at every page size the paper sweeps.
+    pub fn paper() -> DeepConfig {
+        DeepConfig {
+            depth: 4000,
+            payload_every: 2,
+            sidecar_every: 3,
+            straggler_every: 4,
+            seed: 0xDEE9_C0DE,
+        }
+    }
+
+    /// A reduced configuration for fast tests.
+    pub fn tiny() -> DeepConfig {
+        DeepConfig {
+            depth: 400,
+            ..DeepConfig::paper()
+        }
+    }
+}
+
+/// Generates one deeply nested document. Respects the event-stream
+/// semantics of the shapes above: stragglers are appended to their level
+/// *after* the spine child, so a pre-order walk delivers them once the
+/// deeper subtree has closed.
+pub fn generate_deep(cfg: &DeepConfig, syms: &mut SymbolTable) -> Document {
+    let section = syms.intern_element("SECTION");
+    let meta = syms.intern_element("META");
+    let note = syms.intern_element("NOTE");
+    let tail = syms.intern_element("TAIL");
+    let mut g = SplitMix64::new(cfg.seed);
+    let mut doc = Document::new(NodeData::Element(section));
+    let mut spine = vec![doc.root()];
+    let hit = |g: &mut SplitMix64, every: usize| every != 0 && g.below(every) == 0;
+    for level in 0..cfg.depth {
+        let at = *spine.last().expect("spine non-empty");
+        if hit(&mut g, cfg.payload_every) {
+            doc.add_child(at, NodeData::text(format!("depth {level} payload")));
+        }
+        if hit(&mut g, cfg.sidecar_every) {
+            let m = doc.add_child(at, NodeData::Element(meta));
+            let n = doc.add_child(m, NodeData::Element(note));
+            doc.add_child(n, NodeData::text(format!("note {}", g.below(100_000))));
+        }
+        spine.push(doc.add_child(at, NodeData::Element(section)));
+    }
+    doc.add_child(
+        *spine.last().expect("spine non-empty"),
+        NodeData::text("innermost"),
+    );
+    // Stragglers, innermost level first — the order their events arrive in
+    // a pre-order stream.
+    for &at in spine.iter().rev() {
+        if hit(&mut g, cfg.straggler_every) {
+            let t = doc.add_child(at, NodeData::Element(tail));
+            doc.add_child(t, NodeData::text(format!("late {}", g.below(100_000))));
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_deep() {
+        let mut s1 = SymbolTable::new();
+        let d1 = generate_deep(&DeepConfig::tiny(), &mut s1);
+        let mut s2 = SymbolTable::new();
+        let d2 = generate_deep(&DeepConfig::tiny(), &mut s2);
+        let x1 = natix_xml::write_document(&d1, &s1, natix_xml::WriteOptions::compact()).unwrap();
+        let x2 = natix_xml::write_document(&d2, &s2, natix_xml::WriteOptions::compact()).unwrap();
+        assert_eq!(x1, x2, "generation must be deterministic in the seed");
+        // The spine really is `depth` levels of nested SECTIONs.
+        let mut depth = 0usize;
+        let mut at = d1.root();
+        while let Some(&next) = d1
+            .children(at)
+            .iter()
+            .find(|&&c| matches!(d1.data(c), NodeData::Element(l) if s1.name(*l) == "SECTION"))
+        {
+            depth += 1;
+            at = next;
+        }
+        assert_eq!(depth, DeepConfig::tiny().depth);
+    }
+}

@@ -21,12 +21,14 @@
 //!   child, Knuth vol. 1 §2.3.2), "resulting in an incremental update
 //!   pattern where inserts occur distributed over the whole document".
 
+pub mod deep;
 pub mod orders;
 pub mod prng;
 pub mod purchase;
 pub mod shakespeare;
 pub mod words;
 
+pub use deep::{generate_deep, DeepConfig};
 pub use orders::{append_order, incremental_order, Anchor, InsertStep};
 pub use prng::SplitMix64;
 pub use purchase::{generate_orders, OrdersConfig};

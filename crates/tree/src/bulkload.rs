@@ -33,6 +33,55 @@
 //!   parent RID is patched exactly once, when the record holding its proxy
 //!   is flushed.
 //!
+//! # Depth-aware packing
+//!
+//! When the document is deeper than a page, the open spine itself
+//! overflows and no finished subtree can move: the loader then cuts the
+//! spine into **pieces** — the upper levels flush as a record, the lower
+//! chain stays in flight behind a placeholder *chain proxy*. Two problems
+//! follow from depth, and both are solved separator-style (the same idea
+//! XRecursive applies to deep documents: store the parent path, keep
+//! access shallow):
+//!
+//! * **Late children.** Content can arrive for a spilled level long after
+//!   its piece flushed (the inner chain must close first). Instead of
+//!   reserving one placeholder per spilled level (14 bytes each — it was
+//!   the dominant per-level cost and made the record tree up to ~2× the
+//!   per-node path's height), each piece carries a **single
+//!   [`PContent::Continuation`] placeholder** for its whole spilled path,
+//!   as the last child of the path's deepest node. Late children of *any*
+//!   of the piece's levels re-attach through one **continuation-group
+//!   record** whose root is a chain of [`PContent::Prefix`] entries — one
+//!   labelled, scaffolding copy per spilled level, deeper levels hanging
+//!   first-child. Late children of level *i* attach under prefix *i*,
+//!   after its deeper-prefix child: exactly their document-order position,
+//!   because level *i* only receives content once level *i + 1* closed.
+//! * **Deferred closes.** A prefix entry emits no `Enter` on traversal —
+//!   the real facade lives in the piece — but emits the level's deferred
+//!   `Leave` once its children are done; facades whose subtree ends in a
+//!   continuation skip their own `Leave` (see [`crate::reconstruct`]).
+//!   A piece that closes without late children simply has its placeholder
+//!   stripped and its facades close themselves.
+//!
+//! A spilled spine level therefore costs 6 bytes in its piece (the bare
+//! embedded header) instead of 20, pieces hold ~3× more levels, and a
+//! document of depth *d* yields a record tree whose height tracks the
+//! split-matrix fanout rather than *d* — measured well *below* the
+//! per-node path's height on every deep corpus (`BENCH_deep_nesting.json`;
+//! the ≤1.1× acceptance envelope is enforced in CI). Groups spill like any
+//! other in-flight tree: their open prefix chain splits across records
+//! (the lower, prefix-rooted half rides behind a chain proxy), and a
+//! *closed* chain suffix — final by construction — is cut into a dense
+//! record of its own once it is worth one. Setting
+//! [`TreeConfig::depth_packing`](crate::config::TreeConfig) to `false`
+//! selects the per-level ablation layout (one level per piece, height ∝
+//! depth) for A/B measurement.
+//!
+//! Structural edits cannot preserve the packed layout in place;
+//! [`TreeStore::normalize_packed`] splices the groups back into their
+//! piece and re-stores it through the ordinary split machinery before an
+//! edit proceeds (the document manager drives this on demand).
+//!
 //! The result obeys every invariant of [`crate::validate::check_tree`] and
 //! reconstructs to the identical logical document as the per-node path,
 //! which remains in place for incremental edits and serves as the
@@ -68,17 +117,23 @@ pub struct BulkStats {
     pub nodes: u64,
 }
 
-/// A placeholder proxy awaiting its target record: `holder` is the flushed
-/// record containing the proxy, `sentinel` the unique invalid RID written
-/// into it (patched in place once the target exists, or removed when it
-/// turns out unused).
-#[derive(Debug, Clone, Copy)]
-struct PendingSlot {
+/// One spilled piece of the open spine: a flushed record whose spilled
+/// path (the chain of open elements it carries, plus — for spilled
+/// continuation groups — prefix copies of outer levels) may still receive
+/// late children. `holder` is the flushed record, `sentinel` the unique
+/// invalid RID written into its single continuation placeholder (patched
+/// to the continuation-group record once one exists, or stripped when the
+/// piece closes without late children).
+#[derive(Debug, Clone)]
+struct SpilledPiece {
     holder: Rid,
     sentinel: Rid,
-    /// Logical label of the open element this slot belongs to (split-matrix
-    /// decisions for its late children).
-    label: LabelId,
+    /// Labels of the piece's spilled path nodes, outermost first — the
+    /// prefix chain a continuation group for this piece must carry.
+    levels: Vec<LabelId>,
+    /// Leading levels still open (levels close deepest-first, so
+    /// `levels[open..]` are already closed).
+    open: usize,
 }
 
 /// Streaming bottom-up document builder over a [`TreeStore`].
@@ -105,20 +160,30 @@ pub struct BulkLoader<'s> {
     /// deepest open element lives in an already-flushed record; see
     /// `spilled`).
     cur: Option<RecordTree>,
-    /// Arena ids of the open elements inside `cur`, outermost first.
-    /// `spine[0]` is `cur.root()`; `spine[i + 1]` is always the *last*
-    /// child of `spine[i]` (events arrive in pre-order, appends only).
+    /// Arena ids of the open spine inside `cur`, outermost first: the
+    /// still-open prefix entries of a continuation group (the first
+    /// `prefix_base` entries), then the open elements. `spine[0]` is
+    /// `cur.root()`; `spine[i + 1]` is always the *last* child of
+    /// `spine[i]` (events arrive in pre-order, appends only — a prefix's
+    /// leading deeper-prefix child stops being its last child exactly when
+    /// content gets appended after it, at which point the deeper prefix
+    /// has left the spine).
     spine: Vec<PNodeId>,
-    /// True when `cur`'s root is a continuation scaffold (not an open
-    /// element): the record continues the deepest `spilled` level.
-    scaffold_base: bool,
-    /// The placeholder the eventual flush of `cur` resolves (chain pieces
-    /// and continuation groups; `None` for the original root tree).
-    cur_resolves: Option<PendingSlot>,
-    /// Open elements that were spilled to disk mid-document (deeply nested
-    /// documents), outermost first. Each carries the continuation
-    /// placeholder through which late children re-attach.
-    spilled: Vec<PendingSlot>,
+    /// Number of leading `spine` entries that are prefix entries — the
+    /// still-open levels of the continuation group (or split-chain piece)
+    /// being built. 0 for ordinary pieces.
+    prefix_base: usize,
+    /// True when flushing `cur` resolves the *top spilled piece's*
+    /// continuation placeholder (cur is its continuation group); false
+    /// when it resolves a chain placeholder (or nothing, for the root).
+    cur_is_group: bool,
+    /// The placeholder the eventual flush of `cur` resolves:
+    /// `(holder, sentinel)`. `None` for the original root tree.
+    cur_resolves: Option<(Rid, Rid)>,
+    /// Spilled spine pieces, outermost first; the top entry is the deepest
+    /// and closes first. Each carries one continuation placeholder through
+    /// which late children of *any* of its levels re-attach.
+    spilled: Vec<SpilledPiece>,
     /// Exact serialised size of `cur`, maintained incrementally.
     cur_size: usize,
     /// True once the root element has been closed.
@@ -129,9 +194,10 @@ pub struct BulkLoader<'s> {
     flushed: Vec<Rid>,
     /// RID of the record holding the document root (set on its flush).
     stored_root: Option<Rid>,
-    /// Continuation placeholders that turned out unused (their level closed
-    /// without late children); stripped from their records by `finish`.
-    unused_slots: Vec<PendingSlot>,
+    /// Continuation placeholders that turned out unused (their piece
+    /// closed without late children); stripped from their records by
+    /// `finish`.
+    unused_slots: Vec<(Rid, Rid)>,
     /// Monotonic counter making placeholder sentinels distinct.
     sentinels: u16,
     records: u64,
@@ -148,7 +214,8 @@ impl<'s> BulkLoader<'s> {
             store,
             cur: None,
             spine: Vec::new(),
-            scaffold_base: false,
+            prefix_base: 0,
+            cur_is_group: false,
             cur_resolves: None,
             spilled: Vec::new(),
             cur_size: 0,
@@ -203,13 +270,14 @@ impl<'s> BulkLoader<'s> {
                     Rid::invalid(),
                 ));
                 self.spine.push(self.cur.as_ref().expect("just set").root());
-                self.scaffold_base = false;
+                self.prefix_base = 0;
+                self.cur_is_group = false;
                 self.cur_resolves = None;
                 self.cur_size = STANDALONE_HEADER;
                 return Ok(());
             }
-            // Detached: a late child of a spilled open element — start its
-            // continuation group.
+            // Detached: a late child of a spilled open element — start the
+            // deepest spilled piece's continuation group.
             self.open_continuation();
         }
         let tree = self.cur.as_mut().expect("ensured above");
@@ -246,7 +314,9 @@ impl<'s> BulkLoader<'s> {
         }
         self.nodes += 1;
         let parent = *self.spine.last().expect("ensured above");
-        let parent_label = self.logical_label_of(parent);
+        // Prefix entries carry the copied ancestor's label, so the matrix
+        // lookup is uniform across pieces and continuation groups.
+        let parent_label = self.cur.as_ref().expect("ensured above").node(parent).label;
         let tree = self.cur.as_mut().expect("ensured above");
         if self.matrix.get(parent_label, label) == SplitBehaviour::Standalone {
             // §3.3: "x is stored as a standalone node"; the proxy goes into
@@ -274,33 +344,54 @@ impl<'s> BulkLoader<'s> {
             return Err(self.state_err("end_element without a matching start_element"));
         }
         if self.cur.is_none() {
-            // Detached: the event closes the deepest spilled level, which
-            // received no late children — its continuation placeholder is
-            // unused and will be stripped by `finish`.
-            let Some(slot) = self.spilled.pop() else {
+            // Detached: the event closes the deepest open level of the top
+            // spilled piece, which received no late children (a piece with
+            // a live continuation group closes through the group below).
+            let Some(piece) = self.spilled.last_mut() else {
                 return Err(self.state_err("end_element without a matching start_element"));
             };
-            self.unused_slots.push(slot);
-            if self.spilled.is_empty() {
-                self.root_closed = true;
+            debug_assert!(piece.open > 0, "piece with closed levels still stacked");
+            piece.open -= 1;
+            if piece.open == 0 {
+                // The whole piece closed without late children: its
+                // continuation placeholder is unused; strip it at finish.
+                let piece = self.spilled.pop().expect("checked above");
+                self.unused_slots.push((piece.holder, piece.sentinel));
+                if self.spilled.is_empty() {
+                    self.root_closed = true;
+                }
             }
             return Ok(());
         }
-        if self.scaffold_base && self.spine.len() == 1 {
-            // The event closes the spilled level this continuation group
-            // belongs to: the group is complete.
-            self.flush_cur_piece()?;
-            self.spilled
-                .pop()
-                .expect("continuation implies a spilled level");
-            if self.spilled.is_empty() {
-                self.root_closed = true;
+        if self.prefix_base > 0 && self.spine.len() == self.prefix_base {
+            // The event closes the deepest still-open prefix level of the
+            // continuation group (or split-chain piece) being built. The
+            // prefix entry stays in the tree — it emits the level's
+            // deferred `Leave` — but leaves the spine; late children of
+            // the next-outer level now append after it.
+            self.spine.pop();
+            self.prefix_base -= 1;
+            if self.cur_is_group {
+                let piece = self.spilled.last_mut().expect("group implies a piece");
+                debug_assert!(piece.open > 0);
+                piece.open -= 1;
+            }
+            if self.prefix_base == 0 {
+                // All levels closed: the group (or chain piece) is done.
+                let was_group = self.cur_is_group;
+                self.flush_cur_piece()?;
+                if was_group {
+                    self.spilled.pop().expect("group implies a piece");
+                    if self.spilled.is_empty() {
+                        self.root_closed = true;
+                    }
+                }
             }
             return Ok(());
         }
         let closed = self.spine.pop().expect("cur implies a non-empty spine");
         if self.spine.is_empty() {
-            debug_assert!(!self.scaffold_base);
+            debug_assert_eq!(self.prefix_base, 0);
             if self.spilled.is_empty() {
                 // The document root closed; `finish` flushes the tree.
                 self.root_closed = true;
@@ -311,7 +402,12 @@ impl<'s> BulkLoader<'s> {
             return Ok(());
         }
         let parent = *self.spine.last().expect("non-empty");
-        let parent_label = self.logical_label_of(parent);
+        let parent_label = self
+            .cur
+            .as_ref()
+            .expect("spine was non-empty")
+            .node(parent)
+            .label;
         let tree = self.cur.as_mut().expect("spine was non-empty");
         let closed_label = tree.node(closed).label;
         if self.matrix.get(parent_label, closed_label) == SplitBehaviour::Standalone {
@@ -360,8 +456,8 @@ impl<'s> BulkLoader<'s> {
             }
             // Strip the continuation placeholders that were never used.
             let unused = std::mem::take(&mut self.unused_slots);
-            for slot in unused {
-                self.store.remove_placeholder(slot.holder, slot.sentinel)?;
+            for (holder, sentinel) in unused {
+                self.store.remove_placeholder(holder, sentinel)?;
             }
             Ok(self.stored_root.expect("root record flushed"))
         })();
@@ -383,32 +479,37 @@ impl<'s> BulkLoader<'s> {
         }
     }
 
-    /// Logical label governing split-matrix lookups for children of
-    /// `parent`: the element's own label, or — for a continuation
-    /// scaffold root — the spilled element's label.
-    fn logical_label_of(&self, parent: PNodeId) -> LabelId {
-        let tree = self.cur.as_ref().expect("cur is live");
-        let label = tree.node(parent).label;
-        if label == LABEL_NONE && self.scaffold_base && parent == tree.root() {
-            self.spilled
-                .last()
-                .expect("scaffold continues a level")
-                .label
-        } else {
-            label
-        }
-    }
-
-    /// Starts a continuation group for the deepest spilled level: a
-    /// scaffolding-rooted in-flight tree whose flush will resolve that
-    /// level's continuation placeholder.
+    /// Starts the continuation group of the deepest spilled piece: an
+    /// in-flight tree whose root is a prefix chain copying *all* of the
+    /// piece's spilled-path levels (separator-style — one prefix per
+    /// level, deeper levels hanging first-child), with the still-open
+    /// levels forming the spine base. Late children of level *i* attach
+    /// under prefix *i*, after its deeper-prefix child — exactly their
+    /// document-order position, since level *i* only receives content once
+    /// level *i + 1* has closed. The group's flush (or spill) resolves the
+    /// piece's single continuation placeholder.
     fn open_continuation(&mut self) {
-        let slot = *self.spilled.last().expect("detached implies spilled");
-        let tree = RecordTree::new(LABEL_NONE, PContent::Aggregate(Vec::new()), slot.holder);
+        let piece = self.spilled.last().expect("detached implies spilled");
+        let (holder, sentinel) = (piece.holder, piece.sentinel);
+        let levels = piece.levels.clone();
+        let open = piece.open;
+        debug_assert!(open > 0, "late child for a fully closed piece");
+        let mut tree = RecordTree::new(levels[0], PContent::Prefix(Vec::new()), holder);
+        self.spine.clear();
         self.spine.push(tree.root());
-        self.scaffold_base = true;
-        self.cur_resolves = Some(slot);
-        self.cur_size = STANDALONE_HEADER;
+        let mut prev = tree.root();
+        for (i, &lv) in levels.iter().enumerate().skip(1) {
+            let p = tree.alloc(lv, PContent::Prefix(Vec::new()));
+            tree.attach(prev, 0, p);
+            prev = p;
+            if i < open {
+                self.spine.push(p);
+            }
+        }
+        self.prefix_base = open;
+        self.cur_is_group = true;
+        self.cur_resolves = Some((holder, sentinel));
+        self.cur_size = STANDALONE_HEADER + (levels.len() - 1) * EMBEDDED_HEADER;
         self.cur = Some(tree);
     }
 
@@ -417,14 +518,15 @@ impl<'s> BulkLoader<'s> {
     fn flush_cur_piece(&mut self) -> TreeResult<()> {
         let tree = self.cur.take().expect("piece to flush");
         self.spine.clear();
-        self.scaffold_base = false;
+        self.prefix_base = 0;
+        self.cur_is_group = false;
         let rid = self.write_record(&tree)?;
         if tree.parent_rid.is_invalid() {
             debug_assert!(self.stored_root.is_none());
             self.stored_root = Some(rid);
         }
-        if let Some(slot) = self.cur_resolves.take() {
-            self.store.repoint_proxy(slot.holder, slot.sentinel, rid)?;
+        if let Some((holder, sentinel)) = self.cur_resolves.take() {
+            self.store.repoint_proxy(holder, sentinel, rid)?;
         }
         Ok(())
     }
@@ -444,6 +546,13 @@ impl<'s> BulkLoader<'s> {
     /// the net page capacity again.
     fn spill_until_fits(&mut self) -> TreeResult<()> {
         while self.cur_size > self.capacity {
+            // Continuation groups first shed their *closed* prefix chain
+            // once it is worth a dense record of its own: the chain plus
+            // the late children its levels collected is final, and cutting
+            // it beats evicting those children one tiny record at a time.
+            if self.spill_closed_chain(self.capacity * 3 / 4)? {
+                continue;
+            }
             // Prefer runs that do not *start* with an already-packed proxy:
             // letting proxies accumulate until they fill a run of their own
             // yields a record tree with logarithmic fan-out, instead of one
@@ -469,6 +578,11 @@ impl<'s> BulkLoader<'s> {
             if self.spill_spine()? {
                 continue;
             }
+            // Last resort for continuation groups: shed the closed prefix
+            // chain no matter how small it is.
+            if self.spill_closed_chain(0)? {
+                continue;
+            }
             return Err(TreeError::OversizedNode {
                 size: self.cur_size,
                 max: self.capacity,
@@ -478,32 +592,46 @@ impl<'s> BulkLoader<'s> {
     }
 
     /// Flushes the upper part of the open spine as a record of its own,
-    /// leaving the lower part (rooted at a spine element) in flight — the
-    /// bulkload analogue of the incremental path splitting a too-deep
-    /// chain across records. The flushed record holds one placeholder
-    /// proxy for the rest of the chain (patched when the next piece
-    /// flushes) and one *continuation* placeholder per spilled open
-    /// element, through which late children — arriving after the inner
-    /// chain closes — re-attach without rewriting a full page. Returns
-    /// false when no spine prefix fits a record.
+    /// leaving the lower part in flight — the bulkload analogue of the
+    /// incremental path splitting a too-deep chain across records. The
+    /// flushed record holds one placeholder proxy for the rest of the
+    /// chain (patched when the next piece flushes) and — with depth-aware
+    /// packing — a **single** continuation placeholder for the whole
+    /// spilled path: late children of any of its levels, arriving after
+    /// the inner chain closes, re-attach through one continuation-group
+    /// record whose prefix chain mirrors the path (so a document of depth
+    /// *d* costs 6 bytes per spilled level instead of 20, and one group
+    /// record per piece instead of one per level). With `depth_packing`
+    /// off, each spilled level becomes its own single-level piece — the
+    /// pre-depth-aware layout, kept for A/B comparison. Returns false when
+    /// no spine prefix fits a record.
     fn spill_spine(&mut self) -> TreeResult<bool> {
         if self.spine.len() < 2 {
             return Ok(false);
         }
+        // Split-chain pieces and continuation groups always use multi-level
+        // pieces: their spilled path may contain prefix entries, whose
+        // chain a single-level piece could not carry.
+        let packed = self.store.config().depth_packing || self.prefix_base > 0;
         // The upper record is everything except the subtree at spine[k],
-        // plus k + 1 placeholder proxies (chain + one continuation per
-        // spilled spine node); embedded_size(spine[k]) shrinks as k grows,
-        // so take the largest k that still fits (fullest record, shortest
-        // remaining chain).
+        // plus the chain placeholder and the continuation placeholder;
+        // embedded_size(spine[k]) shrinks as k grows, so take the largest
+        // k that still fits (fullest record, shortest remaining chain).
+        // With depth-aware packing disabled, pieces are cut one level at a
+        // time (k = 1) — the ablation baseline whose record-tree height
+        // tracks the document depth.
         let tree = self.cur.as_ref().expect("spine is non-empty");
         let mut chosen = None;
         for k in 1..self.spine.len() {
             let upper = self.cur_size - tree.embedded_size(self.spine[k])
-                + (k + 1) * (EMBEDDED_HEADER + PROXY_BODY);
+                + 2 * (EMBEDDED_HEADER + PROXY_BODY);
             if upper <= self.capacity {
                 chosen = Some(k);
             } else {
                 break;
+            }
+            if !packed {
+                break; // single-level pieces
             }
         }
         let Some(k) = chosen else { return Ok(false) };
@@ -521,71 +649,66 @@ impl<'s> BulkLoader<'s> {
         let tree = self.cur.as_mut().expect("spine is non-empty");
         let proxy = tree.alloc(LABEL_NONE, PContent::Proxy(chain_sentinel));
         tree.attach(parent_of_split, at, proxy);
-        // One trailing continuation placeholder per spilled open element:
-        // late children are appended after everything it already has.
-        let mut continuations = Vec::with_capacity(k);
-        for i in 0..k {
+        // One continuation placeholder for the whole spilled path, as the
+        // last child of its deepest node (right after the chain proxy).
+        let piece = {
             let sentinel = self.new_sentinel();
-            let node = self.spine[i];
             let tree = self.cur.as_mut().expect("spine is non-empty");
-            let label = tree.node(node).label;
-            let p = tree.alloc(LABEL_NONE, PContent::Proxy(sentinel));
-            let end = tree.children(node).len();
-            tree.attach(node, end, p);
-            continuations.push((sentinel, label));
-        }
+            let levels: Vec<LabelId> = self.spine[..k]
+                .iter()
+                .map(|&n| tree.node(n).label)
+                .collect();
+            let p = tree.alloc(LABEL_NONE, PContent::Continuation(sentinel));
+            let end = tree.children(parent_of_split).len();
+            tree.attach(parent_of_split, end, p);
+            SpilledPiece {
+                holder: Rid::invalid(), // patched to upper_rid below
+                sentinel,
+                levels,
+                open: k,
+            }
+        };
         let upper = self.cur.take().expect("checked above");
-        let was_scaffold = self.scaffold_base;
+        let was_group = self.cur_is_group;
         let resolves = self.cur_resolves.take();
         let remaining_depth = self.spine.len() - k;
+        let lower_prefixes = self.prefix_base.saturating_sub(k);
         self.spine.clear();
-        self.scaffold_base = false;
+        self.prefix_base = 0;
+        self.cur_is_group = false;
         let upper_rid = self.write_record(&upper)?;
         if upper.parent_rid.is_invalid() {
             // This record holds the document root: it is the tree root.
             debug_assert!(self.stored_root.is_none());
             self.stored_root = Some(upper_rid);
         }
-        if let Some(slot) = resolves {
+        if let Some((holder, sentinel)) = resolves {
             // The upper piece is the record its placeholder was waiting
             // for (a chain piece's predecessor or a continuation group).
-            self.store
-                .repoint_proxy(slot.holder, slot.sentinel, upper_rid)?;
+            self.store.repoint_proxy(holder, sentinel, upper_rid)?;
         }
-        // Register the spilled open elements, outermost first. For a
-        // scaffold base, the first "element" is the continuation scaffold
-        // of an already-spilled level: its slot moves to the new record
-        // instead of stacking a new level.
-        for (i, (sentinel, label)) in continuations.into_iter().enumerate() {
-            let slot = PendingSlot {
-                holder: upper_rid,
-                sentinel,
-                label: if i == 0 && was_scaffold {
-                    self.spilled
-                        .last()
-                        .expect("scaffold continues a level")
-                        .label
-                } else {
-                    label
-                },
-            };
-            if i == 0 && was_scaffold {
-                *self.spilled.last_mut().expect("scaffold continues a level") = slot;
+        // Register the spilled piece. A spilled continuation group
+        // *replaces* the piece it was resolving (its still-open levels are
+        // now tracked by the flushed group record); everything else stacks
+        // a new piece.
+        {
+            let mut piece = piece;
+            piece.holder = upper_rid;
+            if was_group {
+                *self.spilled.last_mut().expect("group implies a piece") = piece;
             } else {
-                self.spilled.push(slot);
+                self.spilled.push(piece);
             }
         }
         // The lower chain continues in flight, parented on the record that
         // now holds its (placeholder) proxy.
         lower.parent_rid = upper_rid;
         self.cur_size = lower.record_size();
-        self.cur_resolves = Some(PendingSlot {
-            holder: upper_rid,
-            sentinel: chain_sentinel,
-            label: LABEL_NONE,
-        });
+        self.cur_resolves = Some((upper_rid, chain_sentinel));
         // The spine below the split survives as the chain of last children
-        // from the new root (no placeholders were added below the split).
+        // from the new root (no placeholders were added below the split);
+        // leading prefix entries below the split stay prefix spine.
+        self.prefix_base = lower_prefixes;
         let mut node = lower.root();
         self.spine.push(node);
         for _ in 1..remaining_depth {
@@ -596,6 +719,57 @@ impl<'s> BulkLoader<'s> {
             self.spine.push(node);
         }
         self.cur = Some(lower);
+        Ok(true)
+    }
+
+    /// Flushes the closed part of a continuation group's prefix chain —
+    /// the first-child prefix subtree below the deepest *open* prefix —
+    /// as a complete record of its own, leaving a chain proxy in its
+    /// place. Closed levels receive no further content, so the subtree
+    /// (deferred `Leave`s plus the late children those levels collected
+    /// while open) is final; the reassembly machinery already follows
+    /// proxied prefix-rooted records as split chains. Returns false when
+    /// there is no closed chain, it is smaller than `min_bytes` (as a
+    /// standalone record), or cutting it would not shrink the record.
+    fn spill_closed_chain(&mut self, min_bytes: usize) -> TreeResult<bool> {
+        if self.prefix_base == 0 {
+            return Ok(false);
+        }
+        let bottom = self.spine[self.prefix_base - 1];
+        let tree = self.cur.as_ref().expect("prefix spine implies cur");
+        let Some(&first) = tree.children(bottom).first() else {
+            return Ok(false);
+        };
+        if !tree.node(first).is_prefix() {
+            return Ok(false);
+        }
+        if tree.standalone_size(first) < min_bytes {
+            return Ok(false);
+        }
+        // Cut as high as a record can take: descend the first-child chain
+        // while the subtree would overflow a record of its own.
+        let mut head = first;
+        while tree.standalone_size(head) > self.capacity {
+            match tree.children(head).first() {
+                Some(&next) if tree.node(next).is_prefix() => head = next,
+                _ => return Ok(false),
+            }
+        }
+        let cut = tree.embedded_size(head);
+        if cut <= EMBEDDED_HEADER + PROXY_BODY {
+            return Ok(false);
+        }
+        let bottom = tree.node(head).parent.expect("chain below the spine");
+        let tree = self.cur.as_mut().expect("prefix spine implies cur");
+        let piece = RecordTree::from_transplant(tree, head);
+        // Parent pointer: patched automatically when the holder flushes
+        // (append_record re-homes every record its proxies reference).
+        let rid = self.write_record(&piece)?;
+        let tree = self.cur.as_mut().expect("prefix spine implies cur");
+        let proxy = tree.alloc(LABEL_NONE, PContent::Proxy(rid));
+        tree.attach(bottom, 0, proxy);
+        self.cur_size = self.cur_size - cut + EMBEDDED_HEADER + PROXY_BODY;
+        self.maybe_compact();
         Ok(true)
     }
 
@@ -643,9 +817,18 @@ impl<'s> BulkLoader<'s> {
         let mut bytes = 0usize;
         for (i, &k) in kids.iter().enumerate() {
             let node = tree.node(k);
-            let pinned = !ignore_matrix
-                && node.is_facade()
-                && self.matrix.get(parent_label, node.label) == SplitBehaviour::KeepWithParent;
+            // Prefix entries (and the deeper chain under them) are
+            // structure, not content: evicting one would sever the spilled
+            // path ↔ prefix chain correspondence. The matrix pins
+            // structural children unconditionally — `ignore_matrix` (the
+            // all-pinned fallback) never overrides that — and facade
+            // children per its entries.
+            let structural = node.is_prefix() || node.is_continuation();
+            let behaviour = self
+                .matrix
+                .packing_behaviour(parent_label, node.label, structural);
+            let pinned = behaviour == SplitBehaviour::KeepWithParent
+                && (structural || (!ignore_matrix && node.is_facade()));
             let evictable = Some(k) != spine_child
                 && !pinned
                 && (allow_proxy_start || count > 0 || !node.is_proxy());

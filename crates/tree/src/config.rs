@@ -41,6 +41,17 @@ pub struct TreeConfig {
     /// Fill fraction a merge result may not exceed (hysteresis so a merge
     /// is not immediately undone by the next insert).
     pub merge_fill_max: f64,
+    /// Depth-aware packing (bulkloader): when a deeply nested document
+    /// spills its open spine across records, cut multi-level pieces with
+    /// a **single** continuation placeholder each, and serve late
+    /// children of all of a piece's levels from one continuation-group
+    /// record whose separator-style prefix chain mirrors the spilled path
+    /// (6 bytes per level instead of 20). Keeps the record tree's height
+    /// tracking the split-matrix fanout rather than the document depth.
+    /// `false` cuts one level per piece instead — the ablation baseline
+    /// whose record-tree height tracks the document depth — kept for A/B
+    /// benchmarking.
+    pub depth_packing: bool,
 }
 
 impl Default for TreeConfig {
@@ -52,6 +63,7 @@ impl Default for TreeConfig {
             merge_enabled: false,
             merge_threshold: 0.25,
             merge_fill_max: 0.8,
+            depth_packing: true,
         }
     }
 }

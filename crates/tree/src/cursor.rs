@@ -21,6 +21,9 @@ pub struct Cursor<'a> {
     rid: Rid,
     tree: RecordTree,
     node: PNodeId,
+    /// Whether `tree` holds depth-aware-packing structure — computed once
+    /// per record load, so per-move checks stay O(1).
+    packed: bool,
 }
 
 impl<'a> Cursor<'a> {
@@ -28,11 +31,13 @@ impl<'a> Cursor<'a> {
     pub fn at_root(store: &'a TreeStore, root: Rid) -> TreeResult<Cursor<'a>> {
         let tree = store.load(root)?;
         let node = tree.root();
+        let packed = tree.has_packed_entries();
         let mut c = Cursor {
             store,
             rid: root,
             tree,
             node,
+            packed,
         };
         if !c.current().is_facade() {
             // A scaffolding-rooted record cannot be a tree root, but be
@@ -53,11 +58,13 @@ impl<'a> Cursor<'a> {
                 node: ptr.node,
             });
         }
+        let packed = tree.has_packed_entries();
         Ok(Cursor {
             store,
             rid: ptr.rid,
             tree,
             node: ptr.node,
+            packed,
         })
     }
 
@@ -92,6 +99,7 @@ impl<'a> Cursor<'a> {
         if rid != self.rid {
             self.tree = self.store.load(rid)?;
             self.rid = rid;
+            self.packed = self.tree.has_packed_entries();
         }
         self.node = node;
         Ok(())
@@ -106,13 +114,14 @@ impl<'a> Cursor<'a> {
                 return Ok(true);
             }
             match &n.content {
-                PContent::Proxy(target) => {
+                PContent::Proxy(target) | PContent::Continuation(target) => {
                     let t = *target;
                     self.tree = self.store.load(t)?;
                     self.rid = t;
+                    self.packed = self.tree.has_packed_entries();
                     self.node = self.tree.root();
                 }
-                PContent::Aggregate(kids) => {
+                PContent::Aggregate(kids) | PContent::Prefix(kids) => {
                     let Some(&first) = kids.first() else {
                         return Ok(false);
                     };
@@ -124,9 +133,21 @@ impl<'a> Cursor<'a> {
     }
 
     /// Moves to the first logical child. Returns false (without moving)
-    /// when there is none.
+    /// when there is none. On a record with depth-aware-packing structure
+    /// (cached `packed` flag) the logical child list may continue in a
+    /// continuation-group record, so local structural navigation is
+    /// insufficient and the cursor falls back to the store-level logical
+    /// walk.
     pub fn first_child(&mut self) -> TreeResult<bool> {
-        let (save_rid, save_node) = (self.rid, self.node);
+        if self.packed {
+            let kids = self.store.logical_children(self.ptr())?;
+            let Some(&first) = kids.first() else {
+                return Ok(false);
+            };
+            self.jump(first.rid, first.node)?;
+            return Ok(true);
+        }
+        let (save_rid, save_node, save_packed) = (self.rid, self.node, self.packed);
         let save_tree = self.tree.clone();
         let kids: Vec<PNodeId> = self.tree.children(self.node).to_vec();
         for k in kids {
@@ -138,18 +159,46 @@ impl<'a> Cursor<'a> {
             self.rid = save_rid;
             self.tree = save_tree.clone();
             self.node = save_node;
+            self.packed = save_packed;
             // (Only possible for degenerate empty helpers.)
         }
         self.rid = save_rid;
         self.tree = save_tree;
         self.node = save_node;
+        self.packed = save_packed;
         Ok(false)
+    }
+
+    /// Moves to the next logical sibling by position within the parent's
+    /// logical child list — the safe path when depth-aware packing splits
+    /// the list across a piece record and its continuation groups.
+    fn next_sibling_logical(&mut self) -> TreeResult<bool> {
+        let Some(parent) = self.store.logical_parent(self.ptr())? else {
+            return Ok(false);
+        };
+        let sibs = self.store.logical_children(parent)?;
+        let me = self.ptr();
+        let Some(at) = sibs.iter().position(|&p| p == me) else {
+            return Err(TreeError::Invariant(
+                "cursor node missing from its parent's child list".into(),
+            ));
+        };
+        match sibs.get(at + 1) {
+            Some(&next) => {
+                self.jump(next.rid, next.node)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 
     /// Moves to the next logical sibling, crossing record seams. Returns
     /// false (without moving) at the end of the sibling list.
     pub fn next_sibling(&mut self) -> TreeResult<bool> {
-        let (save_rid, save_node) = (self.rid, self.node);
+        if self.packed {
+            return self.next_sibling_logical();
+        }
+        let (save_rid, save_node, save_packed) = (self.rid, self.node, self.packed);
         let save_tree = self.tree.clone();
         loop {
             let n = self.tree.node(self.node);
@@ -175,6 +224,15 @@ impl<'a> Cursor<'a> {
                         }
                         let my_rid = self.rid;
                         self.jump(parent_rid, 0)?;
+                        if self.packed {
+                            // Packed parent: the sibling list may continue
+                            // in a continuation group.
+                            self.rid = save_rid;
+                            self.tree = save_tree.clone();
+                            self.node = save_node;
+                            self.packed = save_packed;
+                            return self.next_sibling_logical();
+                        }
                         let Some(proxy) = find_proxy(&self.tree, my_rid) else {
                             break;
                         };
@@ -191,6 +249,13 @@ impl<'a> Cursor<'a> {
                     }
                     let my_rid = self.rid;
                     self.jump(parent_rid, 0)?;
+                    if self.packed {
+                        self.rid = save_rid;
+                        self.tree = save_tree.clone();
+                        self.node = save_node;
+                        self.packed = save_packed;
+                        return self.next_sibling_logical();
+                    }
                     let Some(proxy) = find_proxy(&self.tree, my_rid) else {
                         break;
                     };
@@ -202,6 +267,7 @@ impl<'a> Cursor<'a> {
         self.rid = save_rid;
         self.tree = save_tree;
         self.node = save_node;
+        self.packed = save_packed;
         Ok(false)
     }
 

@@ -27,7 +27,11 @@
 //!   deletion with cascades, the merge extension, relocation events;
 //! * [`bulkload`] — the streaming bottom-up bulkloader for whole-document
 //!   loads (the paper's §4.3 append workload without per-node
-//!   read-modify-write);
+//!   read-modify-write), including depth-aware packing: deeply nested
+//!   documents spill their open spine into multi-level pieces whose late
+//!   children live in separator-style continuation groups (path-prefix
+//!   entries + a single continuation placeholder per piece), keeping the
+//!   record tree's height tracking fanout instead of document depth;
 //! * [`cursor`] — DOM-style navigation that transparently crosses records;
 //! * [`reconstruct`] — proxy substitution back into logical documents,
 //!   streaming traversal and XML serialisation;

@@ -91,6 +91,25 @@ impl SplitMatrix {
             .unwrap_or(self.default)
     }
 
+    /// Packing-time behaviour of a child under a parent, structure-aware:
+    /// *structural* children — path-prefix entries, continuation
+    /// placeholders and the deeper-prefix chains under them — are pinned
+    /// to their record regardless of any matrix entry (evicting one would
+    /// sever the spilled-path ↔ prefix-chain correspondence depth-aware
+    /// packing relies on); facade children follow the matrix.
+    pub fn packing_behaviour(
+        &self,
+        parent: LabelId,
+        child: LabelId,
+        child_is_structural: bool,
+    ) -> SplitBehaviour {
+        if child_is_structural {
+            SplitBehaviour::KeepWithParent
+        } else {
+            self.get(parent, child)
+        }
+    }
+
     /// Number of non-default overrides.
     pub fn override_count(&self) -> usize {
         self.entries.len()

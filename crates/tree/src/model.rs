@@ -59,7 +59,8 @@ pub const STANDALONE_HEADER: usize = 10;
 /// Serialised size of a proxy's body: the child record's RID.
 pub const PROXY_BODY: usize = 8;
 
-/// Content of a physical node (§2.3.1).
+/// Content of a physical node (§2.3.1, plus the depth-aware packing
+/// extension's two scaffolding kinds).
 #[derive(Debug, Clone, PartialEq)]
 pub enum PContent {
     /// Inner node; contains its children.
@@ -68,6 +69,23 @@ pub enum PContent {
     Literal(LiteralValue),
     /// Pointer to the record holding a connected subtree.
     Proxy(Rid),
+    /// Separator-style copy of an ancestor element packed into a
+    /// continuation-group record (depth-aware packing, XRecursive-style
+    /// parent-path storage). Carries the copied ancestor's *label* but is
+    /// scaffolding: traversal emits no `Enter` for it — the real facade
+    /// lives in an ancestor record — and emits the ancestor's *deferred*
+    /// `Leave` once the prefix's children (the ancestor's late children)
+    /// are done. Prefix entries form a chain from the group record's root,
+    /// one per spilled spine level of the record the group continues.
+    Prefix(Vec<PNodeId>),
+    /// Placeholder through which the whole open path of a spilled record
+    /// continues: points at the continuation-group record whose prefix
+    /// chain matches the spilled path. At most one per record, always the
+    /// last child of the spilled path's deepest node. Traversal treats the
+    /// target like a proxy but returns "open" to the holder, telling every
+    /// facade on the spilled path that its `Leave` was emitted by the
+    /// group's prefix entries.
+    Continuation(Rid),
 }
 
 /// One physical node.
@@ -88,10 +106,11 @@ pub struct PNode {
 
 impl PNode {
     /// Facade nodes represent logical nodes; scaffolding nodes exist only
-    /// for the physical structure (§2.3.3).
+    /// for the physical structure (§2.3.3). Prefix entries carry a label
+    /// but are scaffolding — the facade they copy lives elsewhere.
     pub fn is_facade(&self) -> bool {
         match self.content {
-            PContent::Proxy(_) => false,
+            PContent::Proxy(_) | PContent::Prefix(_) | PContent::Continuation(_) => false,
             _ => self.label != LABEL_NONE,
         }
     }
@@ -99,6 +118,16 @@ impl PNode {
     /// True for proxies.
     pub fn is_proxy(&self) -> bool {
         matches!(self.content, PContent::Proxy(_))
+    }
+
+    /// True for path-prefix entries (depth-aware packing).
+    pub fn is_prefix(&self) -> bool {
+        matches!(self.content, PContent::Prefix(_))
+    }
+
+    /// True for continuation placeholders (depth-aware packing).
+    pub fn is_continuation(&self) -> bool {
+        matches!(self.content, PContent::Continuation(_))
     }
 
     /// True for scaffolding aggregates (helper nodes like h1/h2 in the
@@ -187,6 +216,21 @@ impl RecordTree {
         self.nodes.len()
     }
 
+    /// True when the record holds depth-aware-packing structure (prefix
+    /// entries or a continuation placeholder). Allocation-free arena scan
+    /// — cheap enough for per-record checks on navigation paths.
+    pub fn has_packed_entries(&self) -> bool {
+        self.nodes.iter().any(|n| {
+            matches!(
+                n,
+                Some(PNode {
+                    content: PContent::Prefix(_) | PContent::Continuation(_),
+                    ..
+                })
+            )
+        })
+    }
+
     /// Borrow a node. Panics on tombstones — indices are only produced by
     /// this tree's own API.
     pub fn node(&self, id: PNodeId) -> &PNode {
@@ -203,10 +247,10 @@ impl RecordTree {
         self.nodes[id as usize].as_mut().expect("live node")
     }
 
-    /// Children of an aggregate (empty slice for leaves).
+    /// Children of an aggregate or prefix entry (empty slice for leaves).
     pub fn children(&self, id: PNodeId) -> &[PNodeId] {
         match &self.node(id).content {
-            PContent::Aggregate(kids) => kids,
+            PContent::Aggregate(kids) | PContent::Prefix(kids) => kids,
             _ => &[],
         }
     }
@@ -235,7 +279,7 @@ impl RecordTree {
             .expect("live parent")
             .content
         {
-            PContent::Aggregate(kids) => {
+            PContent::Aggregate(kids) | PContent::Prefix(kids) => {
                 let at = index.min(kids.len());
                 kids.insert(at, child);
             }
@@ -248,7 +292,7 @@ impl RecordTree {
         let Some(parent) = self.node(child).parent else {
             return;
         };
-        if let PContent::Aggregate(kids) = &mut self.nodes[parent as usize]
+        if let PContent::Aggregate(kids) | PContent::Prefix(kids) = &mut self.nodes[parent as usize]
             .as_mut()
             .expect("live parent")
             .content
@@ -259,8 +303,8 @@ impl RecordTree {
     }
 
     /// Removes the subtree under `id` (tombstoning every node), returning
-    /// the RIDs of any proxies it contained — the caller must cascade the
-    /// deletion into those records.
+    /// the RIDs of any proxies or continuations it contained — the caller
+    /// must cascade the deletion into those records.
     pub fn remove_subtree(&mut self, id: PNodeId) -> Vec<Rid> {
         self.detach(id);
         let mut proxies = Vec::new();
@@ -268,8 +312,8 @@ impl RecordTree {
         while let Some(n) = stack.pop() {
             let node = self.nodes[n as usize].take().expect("live node in subtree");
             match node.content {
-                PContent::Aggregate(kids) => stack.extend(kids),
-                PContent::Proxy(rid) => proxies.push(rid),
+                PContent::Aggregate(kids) | PContent::Prefix(kids) => stack.extend(kids),
+                PContent::Proxy(rid) | PContent::Continuation(rid) => proxies.push(rid),
                 PContent::Literal(_) => {}
             }
         }
@@ -282,7 +326,7 @@ impl RecordTree {
         let mut stack = vec![id];
         while let Some(n) = stack.pop() {
             out.push(n);
-            if let PContent::Aggregate(kids) = &self.node(n).content {
+            if let PContent::Aggregate(kids) | PContent::Prefix(kids) = &self.node(n).content {
                 stack.extend(kids.iter().rev());
             }
         }
@@ -294,8 +338,8 @@ impl RecordTree {
     pub fn body_len(&self, id: PNodeId) -> usize {
         match &self.node(id).content {
             PContent::Literal(v) => literal_body_len(v),
-            PContent::Proxy(_) => PROXY_BODY,
-            PContent::Aggregate(kids) => kids
+            PContent::Proxy(_) | PContent::Continuation(_) => PROXY_BODY,
+            PContent::Aggregate(kids) | PContent::Prefix(kids) => kids
                 .iter()
                 .map(|&c| EMBEDDED_HEADER + self.body_len(c))
                 .sum(),
@@ -317,12 +361,14 @@ impl RecordTree {
         STANDALONE_HEADER + self.body_len(id)
     }
 
-    /// All proxy RIDs in the subtree at `id`.
+    /// All child-record RIDs referenced from the subtree at `id` — proxies
+    /// *and* continuation placeholders (both name records whose standalone
+    /// parent pointer must track this record).
     pub fn proxies_under(&self, id: PNodeId) -> Vec<Rid> {
         self.pre_order(id)
             .into_iter()
             .filter_map(|n| match self.node(n).content {
-                PContent::Proxy(rid) => Some(rid),
+                PContent::Proxy(rid) | PContent::Continuation(rid) => Some(rid),
                 _ => None,
             })
             .collect()
@@ -346,6 +392,15 @@ impl RecordTree {
                 }
                 new_id
             }
+            PContent::Prefix(kids) => {
+                let new_id = dst.alloc(label, PContent::Prefix(Vec::new()));
+                dst.node_mut(new_id).orig = orig;
+                for (i, k) in kids.into_iter().enumerate() {
+                    let moved = self.transplant_inner(k, dst);
+                    dst.attach(new_id, i, moved);
+                }
+                new_id
+            }
             other => {
                 let new_id = dst.alloc(label, other);
                 dst.node_mut(new_id).orig = orig;
@@ -360,6 +415,15 @@ impl RecordTree {
         match content {
             PContent::Aggregate(kids) => {
                 let new_id = dst.alloc(label, PContent::Aggregate(Vec::new()));
+                dst.node_mut(new_id).orig = orig;
+                for (i, k) in kids.into_iter().enumerate() {
+                    let moved = self.transplant_inner(k, dst);
+                    dst.attach(new_id, i, moved);
+                }
+                new_id
+            }
+            PContent::Prefix(kids) => {
+                let new_id = dst.alloc(label, PContent::Prefix(Vec::new()));
                 dst.node_mut(new_id).orig = orig;
                 for (i, k) in kids.into_iter().enumerate() {
                     let moved = self.transplant_inner(k, dst);

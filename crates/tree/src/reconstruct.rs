@@ -37,10 +37,31 @@ pub enum VisitEvent<'a> {
     Leave { label: natix_xml::LabelId },
 }
 
+/// Outcome of walking one physical node (depth-aware packing aware).
+///
+/// `Open` means the node's subtree consumed a [`PContent::Continuation`]
+/// as its last event: the `Leave` events of every facade on the path from
+/// the continuation up to (and including) this node were emitted by the
+/// continuation group's prefix entries, so the enclosing facades must not
+/// emit their own. The flag propagates *within* a record only — a whole
+/// record reached through an ordinary proxy is always complete from the
+/// outside, because its continuation chain hangs inside its own subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    /// The visitor aborted the walk.
+    Stop,
+    /// Subtree complete; all `Leave`s emitted.
+    Done,
+    /// Subtree ended in a continuation: the holder's `Leave` was delegated.
+    Open,
+}
+
 /// Pre-order traversal of the whole stored tree under `ptr`, invoking
-/// `visit` for every facade node; scaffolding is skipped transparently and
-/// proxies are followed. `visit` returning `false` aborts the walk early
-/// (the remaining events are skipped, not an error).
+/// `visit` for every facade node; scaffolding is skipped transparently,
+/// proxies are followed, and continuation groups splice their late
+/// children and deferred `Leave` events in at the right stream positions.
+/// `visit` returning `false` aborts the walk early (the remaining events
+/// are skipped, not an error).
 pub fn traverse<F>(store: &TreeStore, ptr: NodePtr, visit: &mut F) -> TreeResult<bool>
 where
     F: FnMut(VisitEvent<'_>) -> bool,
@@ -52,57 +73,201 @@ where
             node: ptr.node,
         });
     }
-    walk(store, ptr.rid, &tree, ptr.node, visit)
+    Ok(walk(store, ptr.rid, &tree, ptr.node, ptr.node, visit)? != Flow::Stop)
 }
 
+/// Iterative engine of [`traverse`]: an explicit heap stack instead of
+/// call-stack recursion, because the logical nesting depth of a stored
+/// document (and, for the per-level ablation layout, its record-chain
+/// length) is unbounded while thread stacks are not.
+///
+/// `record_start` of a frame is the node the walk of *its* record began
+/// at: when the walk hits the record's continuation placeholder, only the
+/// group content belonging to levels at or below `record_start` on the
+/// spilled path is in scope, so the group is entered at its matching
+/// prefix entry.
 fn walk<F>(
     store: &TreeStore,
     rid: Rid,
     tree: &RecordTree,
     node: PNodeId,
+    record_start: PNodeId,
     visit: &mut F,
-) -> TreeResult<bool>
+) -> TreeResult<Flow>
 where
     F: FnMut(VisitEvent<'_>) -> bool,
 {
-    let n = tree.node(node);
-    match &n.content {
-        PContent::Proxy(target) => {
-            let child = store.load(*target)?;
-            walk(store, *target, &child, child.root(), visit)
-        }
-        PContent::Literal(v) => {
-            if n.is_facade() {
-                Ok(visit(VisitEvent::Literal {
-                    label: n.label,
-                    value: v,
-                    ptr: NodePtr::new(rid, node),
-                }))
-            } else {
-                Ok(true)
-            }
-        }
-        PContent::Aggregate(kids) => {
-            let facade = n.is_facade();
-            if facade
-                && !visit(VisitEvent::Enter {
-                    label: n.label,
-                    ptr: NodePtr::new(rid, node),
-                })
-            {
-                return Ok(false);
-            }
-            for &k in kids {
-                if !walk(store, rid, tree, k, visit)? {
-                    return Ok(false);
+    use std::rc::Rc;
+
+    /// One in-progress aggregate/prefix node (leaves are handled inline).
+    struct Frame {
+        rid: Rid,
+        tree: Rc<RecordTree>,
+        node: PNodeId,
+        /// The node this record's walk began at (continuation scoping).
+        record_start: PNodeId,
+        /// Next child index to process.
+        next: usize,
+        /// Flow of the most recently completed child.
+        last: Flow,
+        /// What this frame reports upward when it completes, overriding
+        /// its own flow: `Done` for a record entered through a proxy
+        /// (complete from the outside), `Open` for a continuation group
+        /// (the holder's `Leave`s were delegated). `None` for in-record
+        /// frames, which report their own flow.
+        report: Option<Flow>,
+    }
+
+    /// Pushes a frame for `node` in `tree`, emitting its `Enter`/literal
+    /// event; literals and empty aggregates complete immediately and
+    /// return their flow instead of pushing.
+    fn open_frame<F>(
+        stack: &mut Vec<Frame>,
+        rid: Rid,
+        tree: &Rc<RecordTree>,
+        node: PNodeId,
+        record_start: PNodeId,
+        report: Option<Flow>,
+        visit: &mut F,
+    ) -> TreeResult<Option<Flow>>
+    where
+        F: FnMut(VisitEvent<'_>) -> bool,
+    {
+        let n = tree.node(node);
+        match &n.content {
+            PContent::Literal(v) => {
+                if n.is_facade()
+                    && !visit(VisitEvent::Literal {
+                        label: n.label,
+                        value: v,
+                        ptr: NodePtr::new(rid, node),
+                    })
+                {
+                    return Ok(Some(Flow::Stop));
                 }
+                Ok(Some(report.unwrap_or(Flow::Done)))
             }
-            if facade {
-                return Ok(visit(VisitEvent::Leave { label: n.label }));
+            PContent::Aggregate(_) | PContent::Prefix(_) => {
+                if n.is_facade()
+                    && !visit(VisitEvent::Enter {
+                        label: n.label,
+                        ptr: NodePtr::new(rid, node),
+                    })
+                {
+                    return Ok(Some(Flow::Stop));
+                }
+                stack.push(Frame {
+                    rid,
+                    tree: Rc::clone(tree),
+                    node,
+                    record_start,
+                    next: 0,
+                    last: Flow::Done,
+                    report,
+                });
+                Ok(None)
             }
-            Ok(true)
+            // Proxies/continuations are record hops, resolved by the
+            // caller (`step`) so the target record is loaded exactly once.
+            PContent::Proxy(_) | PContent::Continuation(_) => {
+                unreachable!("record hops are opened via hop_frame")
+            }
         }
     }
+
+    let mut stack: Vec<Frame> = Vec::new();
+    let root_tree = Rc::new(tree.clone());
+    if let Some(flow) = open_frame(&mut stack, rid, &root_tree, node, record_start, None, visit)? {
+        return Ok(flow);
+    }
+    let mut completed: Option<Flow> = None;
+    while let Some(frame) = stack.last_mut() {
+        if let Some(flow) = completed.take() {
+            if flow == Flow::Stop {
+                return Ok(Flow::Stop);
+            }
+            frame.last = flow;
+        }
+        let kids = frame.tree.children(frame.node);
+        if frame.next < kids.len() {
+            let child = kids[frame.next];
+            frame.next += 1;
+            let (frid, ftree, fstart) = (frame.rid, Rc::clone(&frame.tree), frame.record_start);
+            let n = ftree.node(child);
+            match &n.content {
+                PContent::Proxy(target) => {
+                    // A proxied record is complete from the outside: its
+                    // own continuation chain (if any) hangs inside its
+                    // subtree, so any `Open` it reports concerns only
+                    // facades within it.
+                    let t = *target;
+                    let sub = Rc::new(store.load(t)?);
+                    let root = sub.root();
+                    if let Some(flow) =
+                        open_frame(&mut stack, t, &sub, root, root, Some(Flow::Done), visit)?
+                    {
+                        completed = Some(flow);
+                    }
+                }
+                PContent::Continuation(target) => {
+                    // The group's prefix entries emit the deferred
+                    // `Leave`s of the spilled path; report `Open` so the
+                    // holder's facades skip their own. The group is
+                    // entered at the prefix matching the walk's start
+                    // level — content of outer levels is outside the
+                    // walked subtree.
+                    let t = *target;
+                    let (_, path, _) = crate::store::spilled_path(&ftree).ok_or_else(|| {
+                        TreeError::Invariant(format!(
+                            "record {frid}: continuation without a spilled path"
+                        ))
+                    })?;
+                    let i0 = path.iter().position(|&p| p == fstart).ok_or_else(|| {
+                        TreeError::Invariant(format!(
+                            "record {frid}: walk start is not on the spilled path"
+                        ))
+                    })?;
+                    let sub = Rc::new(store.load(t)?);
+                    let entry = *crate::store::prefix_chain(&sub).get(i0).ok_or_else(|| {
+                        TreeError::Invariant(format!(
+                            "continuation group {t}: prefix chain shorter than spilled path"
+                        ))
+                    })?;
+                    if let Some(flow) =
+                        open_frame(&mut stack, t, &sub, entry, entry, Some(Flow::Open), visit)?
+                    {
+                        completed = Some(flow);
+                    }
+                }
+                _ => {
+                    if let Some(flow) =
+                        open_frame(&mut stack, frid, &ftree, child, fstart, None, visit)?
+                    {
+                        completed = Some(flow);
+                    }
+                }
+            }
+            continue;
+        }
+        // All children done: close this node.
+        let flow = if frame.last == Flow::Open {
+            // The subtree ended in a continuation: this node's `Leave`
+            // was emitted by the group's matching prefix (and an
+            // enclosing prefix delegates again to the *next* group).
+            Flow::Open
+        } else {
+            let n = frame.tree.node(frame.node);
+            let emit_leave = n.is_facade() || n.is_prefix();
+            if emit_leave && !visit(VisitEvent::Leave { label: n.label }) {
+                return Ok(Flow::Stop);
+            }
+            Flow::Done
+        };
+        let report = frame.report.unwrap_or(flow);
+        stack.pop();
+        completed = Some(report);
+    }
+    Ok(completed.unwrap_or(Flow::Done))
 }
 
 /// Rebuilds the logical document rooted at record `root`.

@@ -35,6 +35,8 @@ pub fn content_kind(content: &PContent) -> ContentKind {
     match content {
         PContent::Aggregate(_) => ContentKind::Aggregate,
         PContent::Proxy(_) => ContentKind::Proxy,
+        PContent::Prefix(_) => ContentKind::Prefix,
+        PContent::Continuation(_) => ContentKind::Continuation,
         PContent::Literal(v) => match v {
             LiteralValue::String(_) => ContentKind::LitString,
             LiteralValue::I8(_) => ContentKind::LitI8,
@@ -101,8 +103,8 @@ fn write_body(
 ) {
     match &tree.node(id).content {
         PContent::Literal(v) => write_literal(v, out),
-        PContent::Proxy(rid) => rid.encode_to(out),
-        PContent::Aggregate(kids) => {
+        PContent::Proxy(rid) | PContent::Continuation(rid) => rid.encode_to(out),
+        PContent::Aggregate(kids) | PContent::Prefix(kids) => {
             for &child in kids {
                 let header_off = out.len();
                 let cn = tree.node(child);
@@ -168,7 +170,9 @@ pub fn deserialize(bytes: &[u8], table: &TypeTable, rid: Rid) -> TreeResult<Reco
 fn placeholder(kind: ContentKind) -> PContent {
     match kind {
         ContentKind::Aggregate => PContent::Aggregate(Vec::new()),
+        ContentKind::Prefix => PContent::Prefix(Vec::new()),
         ContentKind::Proxy => PContent::Proxy(Rid::invalid()),
+        ContentKind::Continuation => PContent::Continuation(Rid::invalid()),
         _ => PContent::Literal(LiteralValue::String(String::new())),
     }
 }
@@ -193,13 +197,18 @@ fn parse_body(
         .get(body_at..body_at + body_len)
         .ok_or_else(|| corrupt("body extends past record end".into()))?;
     match kind {
-        ContentKind::Proxy => {
+        ContentKind::Proxy | ContentKind::Continuation => {
             if body_len != 8 {
                 return Err(corrupt(format!("proxy body of {body_len} bytes")));
             }
-            nodes[me as usize].as_mut().expect("live").content = PContent::Proxy(Rid::decode(body));
+            let target = Rid::decode(body);
+            nodes[me as usize].as_mut().expect("live").content = if kind == ContentKind::Proxy {
+                PContent::Proxy(target)
+            } else {
+                PContent::Continuation(target)
+            };
         }
-        ContentKind::Aggregate => {
+        ContentKind::Aggregate | ContentKind::Prefix => {
             let mut at = 0;
             let mut kids = Vec::new();
             while at < body_len {
@@ -240,7 +249,11 @@ fn parse_body(
                 )?;
                 at += size;
             }
-            nodes[me as usize].as_mut().expect("live").content = PContent::Aggregate(kids);
+            nodes[me as usize].as_mut().expect("live").content = if kind == ContentKind::Aggregate {
+                PContent::Aggregate(kids)
+            } else {
+                PContent::Prefix(kids)
+            };
         }
         lit => {
             let value = decode_literal(lit, body)
@@ -260,7 +273,10 @@ fn decode_literal(kind: ContentKind, body: &[u8]) -> Option<LiteralValue> {
         ContentKind::LitI32 => LiteralValue::I32(i32::from_le_bytes(body.try_into().ok()?)),
         ContentKind::LitI64 => LiteralValue::I64(i64::from_le_bytes(body.try_into().ok()?)),
         ContentKind::LitF64 => LiteralValue::F64(f64::from_le_bytes(body.try_into().ok()?)),
-        ContentKind::Aggregate | ContentKind::Proxy => return None,
+        ContentKind::Aggregate
+        | ContentKind::Proxy
+        | ContentKind::Prefix
+        | ContentKind::Continuation => return None,
     })
 }
 

@@ -135,6 +135,21 @@ pub fn plan_split(
     matrix: &SplitMatrix,
     page_size: usize,
 ) -> TreeResult<SplitPlan> {
+    // Depth-aware packing: prefix entries and continuation placeholders
+    // are position-dependent structure (the group mapping is by spilled
+    // path), which a separator split cannot preserve — such records are
+    // normalized back into plain form before any structural edit reaches
+    // the split path (`TreeStore::normalize_packed`). A prefix here is
+    // non-evictable by definition; reaching this point is a logic error.
+    if tree
+        .pre_order(tree.root())
+        .iter()
+        .any(|&n| tree.node(n).is_prefix() || tree.node(n).is_continuation())
+    {
+        return Err(TreeError::Invariant(
+            "cannot split a packed-prefix record; normalize the cluster first".into(),
+        ));
+    }
     let fallback = tree.clone();
     let plan = plan_split_inner(tree, cfg, matrix, page_size)?;
     if plan.partitions.is_empty() {

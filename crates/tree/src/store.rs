@@ -114,9 +114,13 @@ pub enum RecordEntry {
         /// element aggregates.
         literal: bool,
     },
-    /// A proxy to a child record, at its document-order position. The
-    /// caller scans the child record as a separate unit of work.
-    ChildRecord(Rid),
+    /// A proxy (or continuation placeholder) to a child record, at its
+    /// document-order position. The caller scans the child record —
+    /// starting at the carried node — as a separate unit of work. For
+    /// ordinary proxies the node is the record root; for continuation
+    /// groups it is the prefix entry matching the scan's start level, so
+    /// late children of levels *outside* the scanned subtree stay out.
+    ChildRecord(NodePtr),
 }
 
 /// Per-operation bookkeeping.
@@ -142,6 +146,19 @@ impl OpCtx {
             new_node: self.new_node,
             root_moved: self.root_moved,
         }
+    }
+
+    /// Records a root-record move. One operation can move the root more
+    /// than once (a root split whose separator splice re-splits the root;
+    /// packed-cluster normalization re-storing a whole chain): the moves
+    /// compose, and the caller of the operation must see `(first old,
+    /// final new)` — overwriting with the latest pair would lose the RID
+    /// the document manager knows the root by.
+    fn note_root_move(&mut self, old: Rid, new: Rid) {
+        self.root_moved = match self.root_moved.take() {
+            Some((first, _)) => Some((first, new)),
+            None => Some((old, new)),
+        };
     }
 }
 
@@ -315,6 +332,11 @@ impl TreeStore {
     /// copy-on-write half of record-level versioning. No-op outside a
     /// write operation (standalone stores keep the old single-writer
     /// behaviour) and for slots that hold no record.
+    ///
+    /// The deposit is *raw*: record bytes plus the page's encoded type
+    /// table, two memcpys. The parsed pre-image is produced lazily by the
+    /// version store on the first superseded load — an edit with zero
+    /// pinned readers behind it never pays a record decode.
     fn deposit_superseded(
         &self,
         rid: Rid,
@@ -330,11 +352,11 @@ impl TreeStore {
         if self.versions.created_by(op, rid) {
             // Created by this very operation (bulkloaded records being
             // parent-patched, recursively re-split partitions): no reader
-            // can reach it, so skip the pre-image decode entirely.
+            // can reach it, so skip the pre-image copy entirely.
             return Ok(());
         }
-        let tree = record::deserialize(bytes, table, rid)?;
-        self.versions.supersede(op, rid, Arc::new(tree));
+        self.versions
+            .supersede_raw(op, rid, bytes.to_vec(), table.encode());
         Ok(())
     }
 
@@ -661,7 +683,7 @@ impl TreeStore {
         let new_rid = self.write_new(&tree, PlacementHint::NearPage(old_rid.page), ctx)?;
         self.delete_record_raw(old_rid, ctx)?;
         if tree.parent_rid.is_invalid() {
-            ctx.root_moved = Some((old_rid, new_rid));
+            ctx.note_root_move(old_rid, new_rid);
         } else {
             self.repoint_proxy(tree.parent_rid, old_rid, new_rid)?;
         }
@@ -697,7 +719,13 @@ impl TreeStore {
                 "record {parent_rid} has no proxy for child {old}"
             )));
         };
-        parent.node_mut(proxy).content = PContent::Proxy(new);
+        // Preserve the reference kind: a continuation placeholder stays a
+        // continuation (its delegated-Leave semantics must survive the
+        // patch).
+        parent.node_mut(proxy).content = match parent.node(proxy).content {
+            PContent::Continuation(_) => PContent::Continuation(new),
+            _ => PContent::Proxy(new),
+        };
         // Same length: an in-place update can never fail for space.
         let mut scratch = OpCtx::default();
         self.write_at(parent_rid, &parent, &mut scratch)?;
@@ -728,7 +756,7 @@ impl TreeStore {
             // Storing the separator registers parent patches for every
             // proxy it contains (partitions and ∞-moved children alike).
             let sep_rid = self.store_possibly_oversized(separator, rid.page, ctx)?;
-            ctx.root_moved = Some((rid, sep_rid));
+            ctx.note_root_move(rid, sep_rid);
             return Ok(sep_rid);
         }
         // The separator is spliced into the *existing* parent record below
@@ -873,6 +901,9 @@ impl TreeStore {
     ) -> TreeResult<OpResult> {
         let _op = self.versions.begin_write();
         let tree = self.load_current(sibling.rid)?;
+        if tree_is_packed(&tree) {
+            return Err(TreeError::PackedRecord(sibling.rid));
+        }
         let parent = tree
             .try_node(sibling.node)
             .ok_or(TreeError::BadNodePtr {
@@ -905,6 +936,9 @@ impl TreeStore {
                     ));
                 }
                 let ptree = self.load_current(parent_rid)?;
+                if tree_is_packed(&ptree) {
+                    return Err(TreeError::PackedRecord(parent_rid));
+                }
                 let proxy = find_proxy(&ptree, sibling.rid).ok_or_else(|| {
                     TreeError::Invariant(format!(
                         "record {parent_rid} has no proxy for {}",
@@ -940,19 +974,40 @@ impl TreeStore {
         tree: &RecordTree,
         current: bool,
     ) -> TreeResult<Option<NodePtr>> {
+        enum Next {
+            Up(PNodeId),
+            Cross(Rid),
+            /// A prefix entry at the given chain index: hop to the record
+            /// whose node it copies.
+            Hop(usize, Rid),
+        }
         let mut owned: Option<RecordTree> = None;
         loop {
-            let (parent, parent_rid) = {
+            let action = {
                 let t = owned.as_ref().unwrap_or(tree);
                 let n = t.node(node);
                 if n.is_facade() {
                     return Ok(Some(NodePtr::new(rid, preorder_index(t, node))));
                 }
-                (n.parent, t.parent_rid)
+                if n.is_prefix() {
+                    // Chain index = number of (prefix) ancestors above.
+                    let mut i = 0usize;
+                    let mut up = n.parent;
+                    while let Some(p) = up {
+                        i += 1;
+                        up = t.node(p).parent;
+                    }
+                    Next::Hop(i, t.parent_rid)
+                } else {
+                    match n.parent {
+                        Some(p) => Next::Up(p),
+                        None => Next::Cross(t.parent_rid),
+                    }
+                }
             };
-            match parent {
-                Some(p) => node = p,
-                None => {
+            match action {
+                Next::Up(p) => node = p,
+                Next::Cross(parent_rid) => {
                     if parent_rid.is_invalid() {
                         return Ok(None);
                     }
@@ -967,6 +1022,46 @@ impl TreeStore {
                     node = ptree.node(proxy).parent.expect("proxy embedded");
                     rid = parent_rid;
                     owned = Some(ptree);
+                }
+                Next::Hop(mut level, mut holder_rid) => {
+                    // A prefix copies a spilled level of an ancestor
+                    // record: climb holders, offsetting the level index by
+                    // each split-chain piece's chain length, until the
+                    // record whose spilled path carries the level.
+                    loop {
+                        if holder_rid.is_invalid() {
+                            return Err(TreeError::Invariant(
+                                "prefix chain with no holder record".into(),
+                            ));
+                        }
+                        let holder = if current {
+                            self.load_current(holder_rid)?
+                        } else {
+                            self.load(holder_rid)?
+                        };
+                        if find_continuation(&holder).map(|(_, t)| t) == Some(rid) {
+                            // Our record is the holder's continuation
+                            // group: chain index i maps to spilled-path
+                            // node i.
+                            let (_, path, _) =
+                                spilled_path(&holder).expect("continuation implies a path");
+                            let at = *path.get(level).ok_or_else(|| {
+                                TreeError::Invariant(format!(
+                                    "record {holder_rid}: spilled path shorter than \
+                                     its group's prefix chain"
+                                ))
+                            })?;
+                            node = at;
+                            rid = holder_rid;
+                            owned = Some(holder);
+                            break;
+                        }
+                        // Reached via a chain proxy: our record continues
+                        // the holder's prefix chain.
+                        level += prefix_chain(&holder).len();
+                        rid = holder_rid;
+                        holder_rid = holder.parent_rid;
+                    }
                 }
             }
         }
@@ -1058,6 +1153,11 @@ impl TreeStore {
     /// designated siblings (wherever there is more free space)").
     fn resolve_site(&self, parent: NodePtr, pos: InsertPos) -> TreeResult<Site> {
         let tree = self.load_current(parent.rid)?;
+        if tree_is_packed(&tree) {
+            // Structural edits cannot preserve the packed-prefix layout;
+            // the caller normalizes the cluster and retries.
+            return Err(TreeError::PackedRecord(parent.rid));
+        }
         let pnode = preorder_to_arena(&tree, parent.node);
         let n = tree.try_node(pnode).ok_or(TreeError::BadNodePtr {
             rid: parent.rid,
@@ -1204,6 +1304,9 @@ impl TreeStore {
     pub fn update_literal(&self, ptr: NodePtr, value: LiteralValue) -> TreeResult<OpResult> {
         let _op = self.versions.begin_write();
         let mut tree = self.load_current(ptr.rid)?;
+        if tree_is_packed(&tree) {
+            return Err(TreeError::PackedRecord(ptr.rid));
+        }
         let arena = preorder_to_arena(&tree, ptr.node);
         let n = tree.try_node(arena).ok_or(TreeError::BadNodePtr {
             rid: ptr.rid,
@@ -1230,6 +1333,9 @@ impl TreeStore {
         let _op = self.versions.begin_write();
         let mut ctx = OpCtx::default();
         let tree = self.load_current(ptr.rid)?;
+        if tree_is_packed(&tree) {
+            return Err(TreeError::PackedRecord(ptr.rid));
+        }
         let arena = preorder_to_arena(&tree, ptr.node);
         if tree.try_node(arena).is_none() {
             return Err(TreeError::BadNodePtr {
@@ -1239,6 +1345,10 @@ impl TreeStore {
         }
         if arena == tree.root() {
             let parent_rid = tree.parent_rid;
+            if !parent_rid.is_invalid() && tree_is_packed(&self.load_current(parent_rid)?) {
+                // Removing this record rewrites the (packed) parent.
+                return Err(TreeError::PackedRecord(parent_rid));
+            }
             self.drop_record_recursive(ptr.rid, &mut ctx)?;
             if !parent_rid.is_invalid() {
                 self.remove_proxy_cascading(parent_rid, ptr.rid, &mut ctx)?;
@@ -1318,12 +1428,21 @@ impl TreeStore {
         if tree.record_size() as f64 > capacity as f64 * self.config.merge_threshold {
             return Ok(());
         }
+        if tree_is_packed(tree) {
+            // Packed records are normalized before structural edits reach
+            // them; never merge into one.
+            return Ok(());
+        }
         let budget = (capacity as f64 * self.config.merge_fill_max) as usize;
         // Absorb one child at a time until the budget stops us.
+        let mut rejected: std::collections::HashSet<Rid> = std::collections::HashSet::new();
         loop {
             let mut candidate = None;
             for id in tree.pre_order(tree.root()) {
                 if let PContent::Proxy(target) = tree.node(id).content {
+                    if rejected.contains(&target) {
+                        continue;
+                    }
                     candidate = Some((id, target));
                     break;
                 }
@@ -1332,6 +1451,12 @@ impl TreeStore {
                 return Ok(());
             };
             let child = self.load_current(target)?;
+            if tree_is_packed(&child) {
+                // A packed child (piece or split prefix chain) cannot be
+                // inlined without breaking its group mapping.
+                rejected.insert(target);
+                continue;
+            }
             let child_body = child.body_len(child.root());
             let inline_growth = if child.node(child.root()).is_scaffolding_aggregate() {
                 // Children splice in; the scaffolding root vanishes.
@@ -1369,6 +1494,131 @@ impl TreeStore {
             }
             self.delete_record_raw(target, ctx)?;
         }
+    }
+
+    // ==================================================================
+    // Depth-aware packing: normalization before structural edits.
+    // ==================================================================
+
+    /// Rewrites the depth-aware-packed cluster containing `rid` into plain
+    /// records: every continuation group is spliced back into its piece's
+    /// levels (late children re-join their facades' child lists in
+    /// document order), the group records are deleted, and the merged tree
+    /// is re-stored through the ordinary tree-growth machinery (splitting
+    /// as needed). Packed *ancestor* records are normalized first,
+    /// top-down, so a split's separator always splices into a plain
+    /// parent. Returns relocation events for the logical-id map.
+    ///
+    /// Structural edit entry points surface [`TreeError::PackedRecord`]
+    /// when they would touch packed structure; callers normalize and
+    /// retry.
+    pub fn normalize_packed(&self, rid: Rid) -> TreeResult<OpResult> {
+        let _op = self.versions.begin_write();
+        let mut ctx = OpCtx::default();
+        // Ancestor chain from `rid` upward while parents stay packed.
+        let mut chain = vec![rid];
+        let mut cur = rid;
+        loop {
+            let t = self.load_current(cur)?;
+            let parent = t.parent_rid;
+            if parent.is_invalid() {
+                break;
+            }
+            let pt = self.load_current(parent)?;
+            if !tree_is_packed(&pt) {
+                break;
+            }
+            chain.push(parent);
+            cur = parent;
+        }
+        for &rc in chain.iter().rev() {
+            if ctx.deleted.contains(&rc) {
+                continue; // consumed by an ancestor's normalization
+            }
+            let tree = self.load_current(rc)?;
+            if tree.node(tree.root()).is_prefix() || !tree_is_packed(&tree) {
+                // Groups and split-chain pieces are consumed by their
+                // holder's normalization; plain records need none.
+                continue;
+            }
+            let mut tree = tree;
+            self.inline_continuations(rc, &mut tree, &mut ctx)?;
+            self.store_updated(rc, tree, &mut ctx)?;
+            // Apply parent patches step by step: a later chain entry's
+            // split consults its parent record, which this step may just
+            // have restructured.
+            self.apply_patches(&mut ctx)?;
+        }
+        Ok(ctx.finish())
+    }
+
+    /// Splices every continuation group of `tree` (and, transitively, the
+    /// groups those groups spilled into) back into the spilled path's
+    /// child lists.
+    fn inline_continuations(
+        &self,
+        host_rid: Rid,
+        tree: &mut RecordTree,
+        ctx: &mut OpCtx,
+    ) -> TreeResult<()> {
+        while let Some((cont, path, target)) = spilled_path(tree) {
+            tree.remove_subtree(cont);
+            self.splice_group(host_rid, tree, &path, target, ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Moves the content of continuation group `group_rid` into `tree`:
+    /// each prefix entry's children are appended to the path node it
+    /// copies, in order; a split prefix chain's lower piece is inlined
+    /// under the remaining path; the group record is deleted. The group's
+    /// own continuation placeholder (if any) travels into `tree`, where
+    /// [`inline_continuations`](Self::inline_continuations) picks it up.
+    fn splice_group(
+        &self,
+        host_rid: Rid,
+        tree: &mut RecordTree,
+        path: &[PNodeId],
+        group_rid: Rid,
+        ctx: &mut OpCtx,
+    ) -> TreeResult<()> {
+        let mut group = self.load_current(group_rid)?;
+        let chain = prefix_chain(&group);
+        if chain.len() > path.len() {
+            return Err(TreeError::Invariant(format!(
+                "continuation group {group_rid}: prefix chain longer than the spilled path"
+            )));
+        }
+        for (i, &pnode) in chain.iter().enumerate() {
+            loop {
+                let next = group
+                    .children(pnode)
+                    .iter()
+                    .copied()
+                    .find(|&c| !group.node(c).is_prefix());
+                let Some(c) = next else { break };
+                if let PContent::Proxy(t) = group.node(c).content {
+                    let lower = self.load_current(t)?;
+                    if lower.node(lower.root()).is_prefix() {
+                        // Lower piece of a split prefix chain: its levels
+                        // continue this chain.
+                        group.remove_subtree(c);
+                        self.splice_group(host_rid, tree, &path[i + 1..], t, ctx)?;
+                        continue;
+                    }
+                }
+                // Child records referenced by the moved content re-home to
+                // the host (later patches from splits/moves override).
+                for r in group.proxies_under(c) {
+                    ctx.parent_patches.push((r, host_rid));
+                }
+                let moved = group.transplant(c, tree);
+                let end = tree.children(path[i]).len();
+                tree.attach(path[i], end, moved);
+            }
+        }
+        self.delete_record_raw(group_rid, ctx)?;
+        Ok(())
     }
 
     // ==================================================================
@@ -1424,11 +1674,62 @@ impl TreeStore {
                     let root = child.root();
                     if child.node(root).is_scaffolding_aggregate() {
                         self.expand_children(target, &child, root, out)?;
+                    } else if child.node(root).is_prefix() {
+                        // The lower half of a split prefix chain: its root
+                        // prefix copies *this* node's next spilled level,
+                        // so only content of deeper levels hangs here —
+                        // none of it is a child of `node`.
+                        debug_assert!(tree.node(node).is_prefix());
                     } else {
                         out.push(NodePtr::new(target, preorder_index(&child, root)));
                     }
                 }
+                // Deeper levels' late children — not children of `node`.
+                PContent::Prefix(_) => {}
+                // Late children of this record's spilled path: appended
+                // below, from the continuation group's matching prefix.
+                PContent::Continuation(_) => {}
                 _ => out.push(NodePtr::new(rid, preorder_index(tree, c))),
+            }
+        }
+        // Depth-aware packing: when the record has a continuation and
+        // `node` sits on its spilled path, the node's child list continues
+        // in the group record, under the prefix entry copying it.
+        if let Some((_, path, group)) = spilled_path(tree) {
+            if let Some(i) = path.iter().position(|&p| p == node) {
+                self.expand_group_children(group, i, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends the logical children stored in continuation group
+    /// `group_rid` under prefix-chain index `level` (late children of the
+    /// copied ancestor). A chain split across group records (the group
+    /// itself spilled inside its prefix chain) is followed through the
+    /// prefix-rooted lower piece.
+    fn expand_group_children(
+        &self,
+        group_rid: Rid,
+        level: usize,
+        out: &mut Vec<NodePtr>,
+    ) -> TreeResult<()> {
+        let group = self.load(group_rid)?;
+        let chain = prefix_chain(&group);
+        if let Some(&pnode) = chain.get(level) {
+            return self.expand_children(group_rid, &group, pnode, out);
+        }
+        // The level's prefix lives in the lower piece of a split chain,
+        // proxied from the deepest prefix of this record.
+        let Some(&last) = chain.last() else {
+            return Ok(());
+        };
+        for &c in group.children(last) {
+            if let PContent::Proxy(target) = group.node(c).content {
+                let child = self.load(target)?;
+                if child.node(child.root()).is_prefix() {
+                    return self.expand_group_children(target, level - chain.len(), out);
+                }
             }
         }
         Ok(())
@@ -1473,14 +1774,54 @@ impl TreeStore {
                         if !self.expand_children_lazy(target, &child, root, f)? {
                             return Ok(false);
                         }
+                    } else if child.node(root).is_prefix() {
+                        // Split prefix chain's lower piece: deeper levels
+                        // only (see `expand_children`).
+                        debug_assert!(tree.node(node).is_prefix());
                     } else if !f(NodePtr::new(target, preorder_index(&child, root)))? {
                         return Ok(false);
                     }
                 }
+                PContent::Prefix(_) | PContent::Continuation(_) => {}
                 _ => {
                     if !f(NodePtr::new(rid, preorder_index(tree, c)))? {
                         return Ok(false);
                     }
+                }
+            }
+        }
+        // Late children from the continuation group (depth-aware packing).
+        if let Some((_, path, group)) = spilled_path(tree) {
+            if let Some(i) = path.iter().position(|&p| p == node) {
+                return self.expand_group_children_lazy(group, i, f);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Lazy counterpart of [`expand_group_children`](Self::expand_group_children).
+    fn expand_group_children_lazy<F>(
+        &self,
+        group_rid: Rid,
+        level: usize,
+        f: &mut F,
+    ) -> TreeResult<bool>
+    where
+        F: FnMut(NodePtr) -> TreeResult<bool>,
+    {
+        let group = self.load(group_rid)?;
+        let chain = prefix_chain(&group);
+        if let Some(&pnode) = chain.get(level) {
+            return self.expand_children_lazy(group_rid, &group, pnode, f);
+        }
+        let Some(&last) = chain.last() else {
+            return Ok(true);
+        };
+        for &c in group.children(last) {
+            if let PContent::Proxy(target) = group.node(c).content {
+                let child = self.load(target)?;
+                if child.node(child.root()).is_prefix() {
+                    return self.expand_group_children_lazy(target, level - chain.len(), f);
                 }
             }
         }
@@ -1515,11 +1856,28 @@ impl TreeStore {
                 // them here would chain page reads under one task and
                 // defeat record-granular work claiming.
                 PContent::Proxy(target) => {
-                    if !f(&RecordEntry::ChildRecord(*target))? {
+                    if !f(&RecordEntry::ChildRecord(NodePtr::new(*target, 0)))? {
                         return Ok(false);
                     }
                     continue;
                 }
+                // A continuation group is a child record too — its facades
+                // (late children of this record's spilled path) belong to
+                // the scanned subtree, and the placeholder's pre-order
+                // position is exactly their document-order slot. The group
+                // is entered at the prefix matching the scan's start
+                // level, so late children of *outer* levels stay out.
+                PContent::Continuation(target) => {
+                    let entry = self.continuation_entry(&tree, arena, *target)?;
+                    if !f(&RecordEntry::ChildRecord(entry))? {
+                        return Ok(false);
+                    }
+                    continue;
+                }
+                // Prefix entries are scaffolding: no logical node of their
+                // own, but their children (the copied ancestor's late
+                // children) are scanned.
+                PContent::Prefix(_) => {}
                 PContent::Literal(_) => {
                     if node.is_facade()
                         && !f(&RecordEntry::Node {
@@ -1548,6 +1906,30 @@ impl TreeStore {
             }
         }
         Ok(true)
+    }
+
+    /// Resolves the scan entry point of a continuation group: the prefix
+    /// entry matching the scan start's level on the holder's spilled path.
+    fn continuation_entry(
+        &self,
+        tree: &RecordTree,
+        start: PNodeId,
+        target: Rid,
+    ) -> TreeResult<NodePtr> {
+        let (_, path, _) = spilled_path(tree).ok_or_else(|| {
+            TreeError::Invariant("continuation entry on a record with no continuation".into())
+        })?;
+        let i0 = path.iter().position(|&p| p == start).ok_or_else(|| {
+            TreeError::Invariant("scan start is not on the record's spilled path".into())
+        })?;
+        let group = self.load(target)?;
+        let chain = prefix_chain(&group);
+        let node = *chain.get(i0).ok_or_else(|| {
+            TreeError::Invariant(format!(
+                "continuation group {target}: prefix chain shorter than spilled path"
+            ))
+        })?;
+        Ok(NodePtr::new(target, preorder_index(&group, node)))
     }
 
     /// The logical parent of the facade node at `ptr` (`None` for the tree
@@ -1626,11 +2008,63 @@ fn preorder_index(tree: &RecordTree, arena: PNodeId) -> PNodeId {
     arena
 }
 
-/// Finds the proxy node in `tree` pointing at `child`.
+/// Finds the proxy (or continuation) node in `tree` pointing at `child`.
 fn find_proxy(tree: &RecordTree, child: Rid) -> Option<PNodeId> {
-    tree.pre_order(tree.root())
-        .into_iter()
-        .find(|&n| matches!(tree.node(n).content, PContent::Proxy(r) if r == child))
+    tree.pre_order(tree.root()).into_iter().find(|&n| {
+        matches!(tree.node(n).content,
+            PContent::Proxy(r) | PContent::Continuation(r) if r == child)
+    })
+}
+
+/// True when the record carries depth-aware-packing structure that
+/// in-place structural edits cannot preserve.
+pub(crate) fn tree_is_packed(tree: &RecordTree) -> bool {
+    tree.has_packed_entries()
+}
+
+/// The record's continuation placeholder and its target, if any (at most
+/// one per record — enforced by the validator).
+pub(crate) fn find_continuation(tree: &RecordTree) -> Option<(PNodeId, Rid)> {
+    tree.pre_order(tree.root()).into_iter().find_map(|n| {
+        if let PContent::Continuation(target) = tree.node(n).content {
+            Some((n, target))
+        } else {
+            None
+        }
+    })
+}
+
+/// The record's *spilled path* — the chain of nodes from the record root
+/// down to the continuation placeholder's parent, root first — plus the
+/// placeholder node itself and the continuation-group RID. `None` when
+/// the record has no continuation. The group's prefix chain mirrors the
+/// path entry for entry; every consumer of the path ↔ chain
+/// correspondence goes through this one helper.
+pub(crate) fn spilled_path(tree: &RecordTree) -> Option<(PNodeId, Vec<PNodeId>, Rid)> {
+    let (cont, target) = find_continuation(tree)?;
+    let mut path = Vec::new();
+    let mut at = tree.node(cont).parent;
+    while let Some(p) = at {
+        path.push(p);
+        at = tree.node(p).parent;
+    }
+    path.reverse();
+    Some((cont, path, target))
+}
+
+/// The prefix chain of a continuation-group record: the record root and
+/// its first-child descendants while they are prefix entries, root first.
+pub(crate) fn prefix_chain(tree: &RecordTree) -> Vec<PNodeId> {
+    let mut chain = Vec::new();
+    let mut at = tree.root();
+    while tree.node(at).is_prefix() {
+        chain.push(at);
+        match tree.children(at).first() {
+            Some(&first) if tree.node(first).is_prefix() => at = first,
+            _ => break,
+        }
+    }
+    chain
 }
 
 fn edge_child(tree: &RecordTree, node: PNodeId, first: bool) -> Option<PNodeId> {

@@ -34,6 +34,13 @@ pub enum ContentKind {
     LitI64 = 6,
     LitF64 = 7,
     LitUri = 8,
+    /// Path-prefix entry (depth-aware packing): a labelled scaffolding
+    /// copy of an open ancestor element inside a continuation group.
+    Prefix = 9,
+    /// Continuation placeholder (depth-aware packing): RID of the
+    /// continuation-group record that carries a spilled record's late
+    /// children and deferred closes.
+    Continuation = 10,
 }
 
 impl ContentKind {
@@ -49,6 +56,8 @@ impl ContentKind {
             6 => ContentKind::LitI64,
             7 => ContentKind::LitF64,
             8 => ContentKind::LitUri,
+            9 => ContentKind::Prefix,
+            10 => ContentKind::Continuation,
             _ => return None,
         })
     }
@@ -220,10 +229,10 @@ mod tests {
 
     #[test]
     fn all_kind_bytes_roundtrip() {
-        for v in 0..=8u8 {
+        for v in 0..=10u8 {
             let k = ContentKind::from_u8(v).unwrap();
             assert_eq!(k as u8, v);
         }
-        assert!(ContentKind::from_u8(9).is_none());
+        assert!(ContentKind::from_u8(11).is_none());
     }
 }

@@ -79,6 +79,7 @@ pub fn check_tree(store: &TreeStore, root: Rid) -> TreeResult<PhysicalStats> {
         stats.record_bytes += size;
         stats.record_depth = stats.record_depth.max(depth);
         pages.insert(rid.page);
+        let mut continuations = 0usize;
         for id in tree.pre_order(tree.root()) {
             let n = tree.node(id);
             match &n.content {
@@ -91,6 +92,45 @@ pub fn check_tree(store: &TreeStore, root: Rid) -> TreeResult<PhysicalStats> {
                     }
                     stats.proxies += 1;
                     work.push((*target, rid, depth + 1));
+                }
+                PContent::Continuation(target) => {
+                    // Depth-aware packing invariants: one continuation per
+                    // record, carrying no logical label, reached exactly
+                    // once like any other child record.
+                    if n.label != natix_xml::LABEL_NONE {
+                        return Err(TreeError::Invariant(format!(
+                            "record {rid}: continuation node {id} carries label {}",
+                            n.label
+                        )));
+                    }
+                    continuations += 1;
+                    if continuations > 1 {
+                        return Err(TreeError::Invariant(format!(
+                            "record {rid}: more than one continuation placeholder"
+                        )));
+                    }
+                    stats.proxies += 1;
+                    work.push((*target, rid, depth + 1));
+                }
+                PContent::Prefix(_) => {
+                    // Prefix entries copy a labelled ancestor and chain
+                    // down from the record root (each one's parent is a
+                    // prefix, or it is the root itself).
+                    if n.label == natix_xml::LABEL_NONE {
+                        return Err(TreeError::Invariant(format!(
+                            "record {rid}: prefix entry {id} carries no label"
+                        )));
+                    }
+                    match n.parent {
+                        None => {}
+                        Some(p) if tree.node(p).is_prefix() => {}
+                        Some(_) => {
+                            return Err(TreeError::Invariant(format!(
+                                "record {rid}: prefix entry {id} is not chained from the root"
+                            )))
+                        }
+                    }
+                    stats.scaffolding_aggregates += 1;
                 }
                 PContent::Aggregate(_) if n.is_scaffolding_aggregate() => {
                     if id != tree.root() {

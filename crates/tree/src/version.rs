@@ -64,6 +64,17 @@ thread_local! {
     static WRITE_OP: Cell<Option<(usize, u64)>> = const { Cell::new(None) };
 }
 
+/// A deposited pre-image: raw page bytes until a superseded load actually
+/// needs the parsed tree. Writers deposit on *every* overwrite, but most
+/// deposits are never read (no reader is pinned behind the edit), so the
+/// record decode — the dominant CPU cost of a deposit — is deferred to
+/// the first superseded load and cached for the rest.
+enum Image {
+    /// `(record bytes, encoded type table)` as of the deposit.
+    Raw(Vec<u8>, Vec<u8>),
+    Decoded(Arc<RecordTree>),
+}
+
 /// One retained pre-image of a record.
 struct RecordVersion {
     /// Epoch from which the replacement is current: readers pinned at an
@@ -72,7 +83,7 @@ struct RecordVersion {
     valid_until: u64,
     /// Token of the superseding operation (meaningful while pending).
     op: u64,
-    tree: Arc<RecordTree>,
+    image: Image,
 }
 
 /// A side effect an operation schedules for its publish point: runs with
@@ -225,16 +236,52 @@ impl VersionStore {
 
     /// The superseded image of `rid` a reader pinned at `epoch` must use,
     /// or `None` when the on-page record is current for that epoch.
+    /// Raw deposits are decoded on this first superseded load and the
+    /// parsed tree cached in place; the decode runs outside the state
+    /// mutex (the bytes are cloned), so concurrent lookups never stall
+    /// behind each other's parsing.
+    ///
+    /// # Panics
+    ///
+    /// If a raw deposit fails to decode — impossible unless the writer
+    /// deposited corrupt page bytes, which would have failed its own
+    /// operation first.
     pub fn lookup(&self, rid: Rid, epoch: u64) -> Option<Arc<RecordTree>> {
         if self.retained.load(Ordering::Acquire) == 0 {
             return None;
         }
-        let st = self.state.lock();
-        st.records
-            .get(&rid)?
-            .iter()
-            .find(|v| v.valid_until > epoch)
-            .map(|v| Arc::clone(&v.tree))
+        let raw = {
+            let st = self.state.lock();
+            let v = st
+                .records
+                .get(&rid)?
+                .iter()
+                .find(|v| v.valid_until > epoch)?;
+            match &v.image {
+                Image::Decoded(tree) => return Some(Arc::clone(tree)),
+                Image::Raw(bytes, table) => (v.valid_until, v.op, bytes.clone(), table.clone()),
+            }
+        };
+        let (valid_until, op, bytes, table) = raw;
+        let parsed = crate::typetable::TypeTable::decode(&table)
+            .and_then(|t| crate::record::deserialize(&bytes, &t, rid))
+            .unwrap_or_else(|e| panic!("corrupt pre-image deposit for {rid}: {e}"));
+        let tree = Arc::new(parsed);
+        let mut st = self.state.lock();
+        if let Some(versions) = st.records.get_mut(&rid) {
+            // Cache for later loads of the same version (matched by its
+            // window, not by position — publishes may have stamped it or
+            // stacked newer deposits meanwhile).
+            if let Some(v) = versions
+                .iter_mut()
+                .find(|v| v.op == op && (v.valid_until == valid_until || valid_until == u64::MAX))
+            {
+                if matches!(v.image, Image::Raw(..)) {
+                    v.image = Image::Decoded(Arc::clone(&tree));
+                }
+            }
+        }
+        Some(tree)
     }
 
     fn unpin(&self, epoch: u64) {
@@ -330,6 +377,18 @@ impl VersionStore {
     /// sticks — later rewrites of the same record within one operation are
     /// intermediate states no reader may observe.
     pub fn supersede(&self, op: u64, rid: Rid, tree: Arc<RecordTree>) {
+        self.deposit(op, rid, Image::Decoded(tree));
+    }
+
+    /// Like [`supersede`](Self::supersede), but deposits the raw record
+    /// bytes plus the page's encoded type table — the cheap (memcpy-only)
+    /// form writers use on their hot path. The decode happens lazily, on
+    /// the first superseded load, and only if one ever comes.
+    pub fn supersede_raw(&self, op: u64, rid: Rid, bytes: Vec<u8>, table: Vec<u8>) {
+        self.deposit(op, rid, Image::Raw(bytes, table));
+    }
+
+    fn deposit(&self, op: u64, rid: Rid, image: Image) {
         let mut st = self.state.lock();
         if st.created.get(&op).is_some_and(|s| s.contains(&rid)) {
             return; // created by this very operation — no reader can need it
@@ -345,7 +404,7 @@ impl VersionStore {
         st.records.entry(rid).or_default().push(RecordVersion {
             valid_until: u64::MAX,
             op,
-            tree,
+            image,
         });
         st.pending.entry(op).or_default().push(rid);
         self.retained.fetch_add(1, Ordering::Release);
@@ -505,6 +564,32 @@ mod tests {
         vs.unpin(fresh);
         vs.unpin(old);
         assert_eq!(vs.retained_versions(), 0, "gc after last unpin");
+    }
+
+    #[test]
+    fn raw_deposits_decode_lazily_and_cache() {
+        // The write-path deposit is raw bytes; the parsed tree appears on
+        // the first superseded load and later loads share it (pointer
+        // equality of the cached Arc).
+        let vs = VersionStore::new();
+        let rid = Rid::new(6, 2);
+        let src = tree_with_label(33);
+        let mut table = crate::typetable::TypeTable::new();
+        let (bytes, _) = crate::record::serialize(&src, &mut table);
+        let pin = vs.pin_raw();
+        let op = vs.begin_write();
+        let tok = vs.ambient_write_op().unwrap();
+        vs.supersede_raw(tok, rid, bytes, table.encode());
+        let first = vs.lookup(rid, pin).expect("pending raw deposit serves");
+        assert_eq!(first.node(first.root()).label, 33);
+        drop(op);
+        let second = vs.lookup(rid, pin).expect("published deposit serves");
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "decode must be cached, not repeated"
+        );
+        vs.unpin(pin);
+        assert_eq!(vs.retained_versions(), 0);
     }
 
     #[test]

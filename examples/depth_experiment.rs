@@ -1,0 +1,75 @@
+//! Depth-aware packing demo: record-tree heights on deeply nested
+//! documents, bulkloaded vs the per-node oracle, across document shapes
+//! and page sizes.
+//!
+//! ```sh
+//! cargo run --release --example depth_experiment
+//! ```
+//!
+//! The bulkloader spills the open spine of a deep document across
+//! records; depth-aware packing reserves a single continuation
+//! placeholder per spilled piece and serves late children from
+//! separator-style continuation groups, so the record tree stays flat
+//! (height tracking fanout) instead of growing with the document depth.
+
+use natix::{Repository, RepositoryOptions};
+use natix_corpus::{generate_deep, DeepConfig};
+use natix_tree::SplitMatrix;
+use natix_xml::{Document, NodeData, SymbolTable};
+
+fn compare(name: &str, syms: &SymbolTable, doc: &Document, page: usize) {
+    let mk = || {
+        let r = Repository::create_in_memory(RepositoryOptions {
+            page_size: page,
+            matrix: SplitMatrix::all_other(),
+            ..RepositoryOptions::default()
+        })
+        .unwrap();
+        *r.symbols_mut() = syms.clone();
+        r
+    };
+    let bulk = mk();
+    bulk.put_document("d", doc).unwrap();
+    let oracle = mk();
+    oracle.put_document_per_node("d", doc).unwrap();
+    assert_eq!(bulk.get_xml("d").unwrap(), oracle.get_xml("d").unwrap());
+    let bs = bulk.physical_stats("d").unwrap();
+    let os = oracle.physical_stats("d").unwrap();
+    println!(
+        "{name:<28} page {page:5}: bulk height {:4} ({:5} records) | \
+         per-node height {:4} ({:5} records) | ratio {:.2}",
+        bs.record_depth,
+        bs.records,
+        os.record_depth,
+        os.records,
+        bs.record_depth as f64 / os.record_depth as f64
+    );
+}
+
+fn main() {
+    // Pure chain: the open spine is all there is.
+    let mut syms = SymbolTable::new();
+    let a = syms.intern_element("a");
+    let mut chain = Document::new(NodeData::Element(a));
+    let mut cur = chain.root();
+    for _ in 0..3000 {
+        cur = chain.add_child(cur, NodeData::Element(a));
+    }
+    chain.add_child(cur, NodeData::text("bottom"));
+    for page in [512usize, 2048, 8192] {
+        compare("pure chain (3000)", &syms, &chain, page);
+    }
+
+    // The deep corpus: payloads, sidecars and late stragglers per level.
+    let mut syms = SymbolTable::new();
+    let deep = generate_deep(
+        &DeepConfig {
+            depth: 3000,
+            ..DeepConfig::paper()
+        },
+        &mut syms,
+    );
+    for page in [512usize, 2048, 8192] {
+        compare("deep corpus (3000)", &syms, &deep, page);
+    }
+}
