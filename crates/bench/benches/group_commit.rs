@@ -1,0 +1,238 @@
+//! Group-commit benchmark: durable ingest throughput, per-commit fsync
+//! versus a shared group-commit window, across writer counts.
+//!
+//! ```sh
+//! cargo bench -p natix-bench --bench group_commit             # writes BENCH_group_commit.json
+//! cargo bench -p natix-bench --bench group_commit -- --check  # CI mode: asserts the amortisation floor
+//! ```
+//!
+//! Every acknowledged `put_xml` is durable: the commit's log records are
+//! fsynced before the call returns. Under [`WalSyncMode::PerCommit`] each
+//! committer pays the full fsync itself; under [`WalSyncMode::Group`]
+//! concurrent committers share one — the leader syncs to the end of the
+//! log, followers piggyback on LSN watermarks. With W writers and an
+//! fsync that costs ~2 ms, per-commit throughput is capped near
+//! 1/fsync regardless of W, while group commit should approach W
+//! commits per fsync. That ratio — group over per-commit at the same
+//! writer count — is what this benchmark measures, on a log device whose
+//! sync sleeps a realistic latency and a throttled page store (so page
+//! I/O is not free either, as in the other concurrency benches).
+//!
+//! Check mode fails the build when group commit at 4 writers falls below
+//! **1.5×** the per-commit throughput at 4 writers.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use natix::{Repository, RepositoryOptions};
+use natix_corpus::{generate_orders, OrdersConfig};
+use natix_storage::wal::MemLogDevice;
+use natix_storage::{DiskBackend, MemStorage, ThrottledDisk, WalSyncMode};
+use natix_xml::{SymbolTable, WriteOptions};
+
+const PAGE_SIZE: usize = 8192;
+const BUFFER_FRAMES: usize = 48;
+/// Page latencies: an order of magnitude below the fsync, so the log
+/// force — not page I/O — is the cost being amortised.
+const READ_LATENCY_US: u64 = 150;
+const WRITE_LATENCY_US: u64 = 300;
+/// What one log fsync costs (the order of a commodity disk flush).
+const FSYNC_LATENCY_MS: u64 = 2;
+const WRITER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Repetitions per cell; the fastest run is reported.
+const REPS: usize = 3;
+/// Acceptance floor asserted in `--check` mode: group-commit throughput
+/// over per-commit throughput at 4 writers.
+const GROUP_GAIN_FLOOR_AT_4: f64 = 1.5;
+
+struct Run {
+    writers: usize,
+    wall_ms: f64,
+    docs_per_s: f64,
+    identical: bool,
+}
+
+struct ModeRows {
+    mode: &'static str,
+    runs: Vec<Run>,
+}
+
+/// Many small documents: each commit is a handful of pages, so the
+/// fsync dominates and the group-commit window has committers to batch.
+fn order_docs(quick: bool) -> Vec<(String, String)> {
+    let count = if quick { 24 } else { 48 };
+    let mut syms = SymbolTable::new();
+    (0..count)
+        .map(|i| {
+            let doc = generate_orders(
+                &OrdersConfig {
+                    orders: 6,
+                    seed: 0x6C0_77E0 ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                },
+                &mut syms,
+            );
+            let xml = natix_xml::write_document(&doc, &syms, WriteOptions::compact()).unwrap();
+            (format!("order-batch-{i}"), xml)
+        })
+        .collect()
+}
+
+fn durable_repo(mode: WalSyncMode) -> Repository {
+    let backend = Arc::new(
+        ThrottledDisk::new(
+            MemStorage::new(PAGE_SIZE).unwrap(),
+            READ_LATENCY_US,
+            WRITE_LATENCY_US,
+        )
+        .with_sync_latency(1_000),
+    ) as Arc<dyn DiskBackend>;
+    let log =
+        Box::new(MemLogDevice::new().with_sync_latency(Duration::from_millis(FSYNC_LATENCY_MS)));
+    Repository::create_on_backend_with_log(
+        backend,
+        log,
+        RepositoryOptions {
+            page_size: PAGE_SIZE,
+            buffer_bytes: BUFFER_FRAMES * PAGE_SIZE,
+            durability: Some(mode),
+            ..RepositoryOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+/// W writer threads pull documents from a shared queue; every `put_xml`
+/// returns only after its commit is durable. Wall time covers the whole
+/// batch; byte-identity is verified outside the window.
+fn bench_mode(mode: WalSyncMode, label: &'static str, docs: &[(String, String)]) -> ModeRows {
+    let mut runs = Vec::new();
+    for &writers in &WRITER_COUNTS {
+        let mut wall_ms = f64::INFINITY;
+        let mut identical = true;
+        for _ in 0..REPS {
+            let repo = Arc::new(durable_repo(mode));
+            let next = AtomicUsize::new(0);
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..writers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((name, xml)) = docs.get(i) else {
+                            break;
+                        };
+                        repo.put_xml(name, xml).unwrap();
+                    });
+                }
+            });
+            let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+            wall_ms = wall_ms.min(elapsed_ms);
+            identical &= docs
+                .iter()
+                .all(|(name, xml)| &repo.get_xml(name).unwrap() == xml);
+        }
+        runs.push(Run {
+            writers,
+            wall_ms,
+            docs_per_s: docs.len() as f64 / (wall_ms / 1e3),
+            identical,
+        });
+        let r = runs.last().unwrap();
+        println!(
+            "  {label:<10} {writers} writer(s): {:>8.1} ms  {:>7.1} docs/s  identical: {}",
+            r.wall_ms, r.docs_per_s, r.identical
+        );
+    }
+    ModeRows { mode: label, runs }
+}
+
+fn write_json(quick: bool, all: &[ModeRows], docs: usize, gain_at_4: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(
+        s,
+        "  \"benchmark\": \"group commit (durable ingest, per-commit vs shared fsync)\","
+    );
+    let _ = writeln!(s, "  \"page_size\": {PAGE_SIZE},");
+    let _ = writeln!(s, "  \"buffer_frames\": {BUFFER_FRAMES},");
+    let _ = writeln!(
+        s,
+        "  \"disk\": \"throttled: {READ_LATENCY_US} us/page read, \
+         {WRITE_LATENCY_US} us/page write, 1 ms page-store sync\","
+    );
+    let _ = writeln!(s, "  \"log_fsync_ms\": {FSYNC_LATENCY_MS},");
+    let _ = writeln!(s, "  \"documents\": {docs},");
+    let _ = writeln!(s, "  \"quick_mode\": {quick},");
+    let _ = writeln!(s, "  \"group_gain_at_4_writers\": {gain_at_4:.2},");
+    s.push_str("  \"modes\": [\n");
+    for (i, m) in all.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"mode\": \"{}\",", m.mode);
+        s.push_str("      \"runs\": [\n");
+        for (j, r) in m.runs.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "        {{\"writers\": {}, \"wall_ms\": {:.1}, \
+                 \"docs_per_s\": {:.2}, \"identical_get_xml\": {}}}{}",
+                r.writers,
+                r.wall_ms,
+                r.docs_per_s,
+                r.identical,
+                if j + 1 < m.runs.len() { "," } else { "" }
+            );
+        }
+        s.push_str("      ]\n");
+        let _ = writeln!(s, "    }}{}", if i + 1 < all.len() { "," } else { "" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--check" || a == "--quick");
+    let skip_json = args.iter().any(|a| a == "--check");
+
+    println!(
+        "group commit ({PAGE_SIZE} B pages, {BUFFER_FRAMES}-frame pool, \
+         {FSYNC_LATENCY_MS} ms log fsync{}):",
+        if quick { ", quick" } else { "" }
+    );
+    let docs = order_docs(quick);
+    let all = [
+        bench_mode(WalSyncMode::PerCommit, "per-commit", &docs),
+        bench_mode(WalSyncMode::Group, "group", &docs),
+    ];
+
+    for m in &all {
+        for r in &m.runs {
+            assert!(
+                r.identical,
+                "{} mode, {} writer(s): a document does not read back byte-identical",
+                m.mode, r.writers
+            );
+        }
+    }
+    let per_commit = &all[0];
+    let group = &all[1];
+    let at4 = |m: &ModeRows| m.runs.iter().find(|r| r.writers == 4).unwrap().docs_per_s;
+    let gain_at_4 = at4(group) / at4(per_commit);
+    if skip_json {
+        assert!(
+            gain_at_4 >= GROUP_GAIN_FLOOR_AT_4,
+            "group commit at 4 writers is only {gain_at_4:.2}x per-commit \
+             throughput, below the {GROUP_GAIN_FLOOR_AT_4}x acceptance floor",
+        );
+        println!(
+            "check mode: group/per-commit at 4 writers = {gain_at_4:.2}x \
+             (floor {GROUP_GAIN_FLOOR_AT_4}x)"
+        );
+    } else {
+        let json = write_json(quick, &all, docs.len(), gain_at_4);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_group_commit.json");
+        std::fs::write(path, &json).unwrap();
+        println!("wrote {path}");
+        println!("group/per-commit at 4 writers: {gain_at_4:.2}x (floor {GROUP_GAIN_FLOOR_AT_4}x)");
+    }
+}

@@ -140,7 +140,14 @@ fn build_catalog_doc(repo: &Repository, cs: &CatalogSymbols) -> Document {
         cs.a_default,
         behaviour_name(matrix.default_behaviour()),
     );
-    let mut rules: Vec<(u16, u16, SplitBehaviour)> = matrix.overrides().collect();
+    // Rules whose labels are not interned yet (a matrix installed before
+    // any document used those names) cannot affect stored content and have
+    // no printable name — skip them; a later checkpoint captures them.
+    let known = symbols.len() as u16;
+    let mut rules: Vec<(u16, u16, SplitBehaviour)> = matrix
+        .overrides()
+        .filter(|&(p, c, _)| p < known && c < known)
+        .collect();
     rules.sort_by_key(|&(p, c, _)| (p, c));
     for (p, c, b) in rules {
         let r = doc.add_child(m, NodeData::Element(cs.rule));

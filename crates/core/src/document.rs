@@ -448,8 +448,14 @@ impl Repository {
         match load() {
             // Node ids are handed out lazily as the document is navigated
             // (`children`/`parent` bind unseen pointers); only the root is
-            // bound eagerly.
-            Ok(root_rid) => Ok(self.register(DocState::new(name.to_string(), root_rid))),
+            // bound eagerly. The loader's operation has published (and
+            // logged) by now, so registration — and then the durability
+            // gate — come strictly after the content commit.
+            Ok(root_rid) => {
+                let id = self.register(DocState::new(name.to_string(), root_rid));
+                self.durable_gate()?;
+                Ok(id)
+            }
             Err(e) => {
                 self.abandon_claim(name);
                 Err(e)
@@ -464,7 +470,11 @@ impl Repository {
     pub fn put_document_per_node(&self, name: &str, doc: &Document) -> NatixResult<DocId> {
         self.claim_name(name)?;
         match self.per_node_load(name, doc) {
-            Ok(state) => Ok(self.register(state)),
+            Ok(state) => {
+                let id = self.register(state);
+                self.durable_gate()?;
+                Ok(id)
+            }
             Err(e) => {
                 self.abandon_claim(name);
                 Err(e)
@@ -478,6 +488,9 @@ impl Repository {
                 "document root must be an element".into(),
             ));
         };
+        // One write operation for the whole load: the version layer logs
+        // the created records, and the publish on return commits them.
+        let _op = self.tree.begin_write();
         let root_rid = self.tree.create_tree(*root_label)?;
         let state = DocState::new(name.to_string(), root_rid);
         let limit = chunk_limit(self.tree.net_capacity());
@@ -647,8 +660,18 @@ impl Repository {
     pub fn create_document(&self, name: &str, root_tag: &str) -> NatixResult<DocId> {
         self.claim_name(name)?;
         let label = self.symbols.write().intern_element(root_tag);
-        match self.tree.create_tree(label) {
-            Ok(root_rid) => Ok(self.register(DocState::new(name.to_string(), root_rid))),
+        let created = {
+            // Scoped write operation: it publishes (and logs its commit)
+            // before the registration below is appended to the log.
+            let _op = self.tree.begin_write();
+            self.tree.create_tree(label)
+        };
+        match created {
+            Ok(root_rid) => {
+                let id = self.register(DocState::new(name.to_string(), root_rid));
+                self.durable_gate()?;
+                Ok(id)
+            }
             Err(e) => {
                 self.abandon_claim(name);
                 Err(e.into())
@@ -694,36 +717,53 @@ impl Repository {
     pub fn delete_document(&self, name: &str) -> NatixResult<()> {
         let id = self.doc_id(name)?;
         let state = self.state(id)?;
-        let _latch = state.edit_latch.lock();
-        // The document may have been deleted while this writer waited on
-        // the latch: proceeding would mutate (or double-free) records
-        // whose slots another document may already own.
-        self.check_live(&state)?;
-        // Outer write operation: publishes (epoch advance + root-move
-        // hook) after the edit's bookkeeping below, before the latch
-        // releases (drop order is reverse declaration order).
-        let _op = self.tree.begin_write();
-        let result = self.tree.drop_tree(state.root_rid());
-        // Unregister and retire atomically with the publish: readers
-        // pinned earlier keep both name resolution and the deposited
-        // records; readers pinned later get a clean NoSuchDocument, and
-        // the name only becomes re-claimable once the delete's epoch
-        // exists. On a failed cascade the document is retired anyway — a
-        // half-freed tree must not stay addressable (the unfreed records
-        // leak, which beats dangling-pointer walks).
-        let st = Arc::clone(&state);
-        let registry = Arc::clone(&self.registry);
-        let doc_name = state.name.clone();
-        self.tree
-            .versions()
-            .defer_until_publish(move |epoch, floor| {
-                st.retire(epoch, floor);
-                let mut reg = registry.lock();
-                if reg.by_name.get(&doc_name) == Some(&id) {
-                    reg.by_name.remove(&doc_name);
-                    reg.docs[id as usize] = None;
-                }
-            });
+        let result = {
+            let _latch = state.edit_latch.lock();
+            // The document may have been deleted while this writer waited
+            // on the latch: proceeding would mutate (or double-free)
+            // records whose slots another document may already own.
+            self.check_live(&state)?;
+            // Outer write operation: publishes (epoch advance + root-move
+            // hook) after the edit's bookkeeping below, before the latch
+            // releases (drop order is reverse declaration order).
+            let _op = self.tree.begin_write();
+            let op_id = _op.id();
+            let result = self.tree.drop_tree(state.root_rid());
+            // Unregister and retire atomically with the publish: readers
+            // pinned earlier keep both name resolution and the deposited
+            // records; readers pinned later get a clean NoSuchDocument, and
+            // the name only becomes re-claimable once the delete's epoch
+            // exists. On a failed cascade the document is retired anyway —
+            // a half-freed tree must not stay addressable (the unfreed
+            // records leak, which beats dangling-pointer walks).
+            let st = Arc::clone(&state);
+            let registry = Arc::clone(&self.registry);
+            let doc_name = state.name.clone();
+            let wal = self.wal.clone();
+            self.tree
+                .versions()
+                .defer_until_publish(move |epoch, floor| {
+                    st.retire(epoch, floor);
+                    let mut reg = registry.lock();
+                    if reg.by_name.get(&doc_name) == Some(&id) {
+                        reg.by_name.remove(&doc_name);
+                        reg.docs[id as usize] = None;
+                        // Logged under the registry lock, like every other
+                        // directory mutation: the log's order matches the
+                        // registry's, so a racing registration whose
+                        // payload still lists this document cannot land
+                        // *after* the deletion and resurrect it.
+                        if let Some(w) = &wal {
+                            w.append(&natix_storage::WalRecord::DocDelete {
+                                op: op_id,
+                                name: doc_name.clone(),
+                            });
+                        }
+                    }
+                });
+            result
+        };
+        self.durable_gate()?;
         Ok(result?)
     }
 
@@ -820,24 +860,28 @@ impl Repository {
         tag: &str,
     ) -> NatixResult<NodeId> {
         let state = self.state(doc)?;
-        let _latch = state.edit_latch.lock();
-        // The document may have been deleted while this writer waited on
-        // the latch: proceeding would mutate (or double-free) records
-        // whose slots another document may already own.
-        self.check_live(&state)?;
-        // Outer write operation: publishes (epoch advance + root-move
-        // hook) after the edit's bookkeeping below, before the latch
-        // releases (drop order is reverse declaration order).
-        let _op = self.tree.begin_write();
-        let label = self.symbols.write().intern_element(tag);
-        let res = self.edit_with_normalize(&state, |repo| {
-            let ptr = state
-                .resolve(parent)
-                .ok_or(NatixError::NoSuchNode(parent))?;
-            Ok(repo.tree.insert(ptr, pos, label, NewNode::Element)?)
-        })?;
-        self.finish_edit(&state, &res);
-        Ok(state.fresh_id(res.new_node.expect("insert yields node")))
+        let id = {
+            let _latch = state.edit_latch.lock();
+            // The document may have been deleted while this writer waited
+            // on the latch: proceeding would mutate (or double-free)
+            // records whose slots another document may already own.
+            self.check_live(&state)?;
+            // Outer write operation: publishes (epoch advance + root-move
+            // hook) after the edit's bookkeeping below, before the latch
+            // releases (drop order is reverse declaration order).
+            let _op = self.tree.begin_write();
+            let label = self.symbols.write().intern_element(tag);
+            let res = self.edit_with_normalize(&state, |repo| {
+                let ptr = state
+                    .resolve(parent)
+                    .ok_or(NatixError::NoSuchNode(parent))?;
+                Ok(repo.tree.insert(ptr, pos, label, NewNode::Element)?)
+            })?;
+            self.finish_edit(&state, &res);
+            state.fresh_id(res.new_node.expect("insert yields node"))
+        };
+        self.durable_gate()?;
+        Ok(id)
     }
 
     /// Inserts a text literal under `parent`; long text is chunked into
@@ -850,6 +894,19 @@ impl Repository {
         text: &str,
     ) -> NatixResult<Vec<NodeId>> {
         let state = self.state(doc)?;
+        let ids = self.insert_text_inner(&state, parent, pos, text)?;
+        self.durable_gate()?;
+        Ok(ids)
+    }
+
+    fn insert_text_inner(
+        &self,
+        state: &Arc<DocState>,
+        parent: NodeId,
+        pos: InsertPos,
+        text: &str,
+    ) -> NatixResult<Vec<NodeId>> {
+        let state = Arc::clone(state);
         let _latch = state.edit_latch.lock();
         // The document may have been deleted while this writer waited on
         // the latch: proceeding would mutate (or double-free) records
@@ -906,24 +963,28 @@ impl Repository {
         tag: &str,
     ) -> NatixResult<NodeId> {
         let state = self.state(doc)?;
-        let _latch = state.edit_latch.lock();
-        // The document may have been deleted while this writer waited on
-        // the latch: proceeding would mutate (or double-free) records
-        // whose slots another document may already own.
-        self.check_live(&state)?;
-        // Outer write operation: publishes (epoch advance + root-move
-        // hook) after the edit's bookkeeping below, before the latch
-        // releases (drop order is reverse declaration order).
-        let _op = self.tree.begin_write();
-        let label = self.symbols.write().intern_element(tag);
-        let res = self.edit_with_normalize(&state, |repo| {
-            let ptr = state
-                .resolve(sibling)
-                .ok_or(NatixError::NoSuchNode(sibling))?;
-            Ok(repo.tree.insert_after(ptr, label, NewNode::Element)?)
-        })?;
-        self.finish_edit(&state, &res);
-        Ok(state.fresh_id(res.new_node.expect("insert yields node")))
+        let id = {
+            let _latch = state.edit_latch.lock();
+            // The document may have been deleted while this writer waited
+            // on the latch: proceeding would mutate (or double-free)
+            // records whose slots another document may already own.
+            self.check_live(&state)?;
+            // Outer write operation: publishes (epoch advance + root-move
+            // hook) after the edit's bookkeeping below, before the latch
+            // releases (drop order is reverse declaration order).
+            let _op = self.tree.begin_write();
+            let label = self.symbols.write().intern_element(tag);
+            let res = self.edit_with_normalize(&state, |repo| {
+                let ptr = state
+                    .resolve(sibling)
+                    .ok_or(NatixError::NoSuchNode(sibling))?;
+                Ok(repo.tree.insert_after(ptr, label, NewNode::Element)?)
+            })?;
+            self.finish_edit(&state, &res);
+            state.fresh_id(res.new_node.expect("insert yields node"))
+        };
+        self.durable_gate()?;
+        Ok(id)
     }
 
     /// Inserts a literal as the next sibling of `sibling`.
@@ -935,25 +996,29 @@ impl Repository {
         value: LiteralValue,
     ) -> NatixResult<NodeId> {
         let state = self.state(doc)?;
-        let _latch = state.edit_latch.lock();
-        // The document may have been deleted while this writer waited on
-        // the latch: proceeding would mutate (or double-free) records
-        // whose slots another document may already own.
-        self.check_live(&state)?;
-        // Outer write operation: publishes (epoch advance + root-move
-        // hook) after the edit's bookkeeping below, before the latch
-        // releases (drop order is reverse declaration order).
-        let _op = self.tree.begin_write();
-        let res = self.edit_with_normalize(&state, |repo| {
-            let ptr = state
-                .resolve(sibling)
-                .ok_or(NatixError::NoSuchNode(sibling))?;
-            Ok(repo
-                .tree
-                .insert_after(ptr, label, NewNode::Literal(value.clone()))?)
-        })?;
-        self.finish_edit(&state, &res);
-        Ok(state.fresh_id(res.new_node.expect("insert yields node")))
+        let id = {
+            let _latch = state.edit_latch.lock();
+            // The document may have been deleted while this writer waited
+            // on the latch: proceeding would mutate (or double-free)
+            // records whose slots another document may already own.
+            self.check_live(&state)?;
+            // Outer write operation: publishes (epoch advance + root-move
+            // hook) after the edit's bookkeeping below, before the latch
+            // releases (drop order is reverse declaration order).
+            let _op = self.tree.begin_write();
+            let res = self.edit_with_normalize(&state, |repo| {
+                let ptr = state
+                    .resolve(sibling)
+                    .ok_or(NatixError::NoSuchNode(sibling))?;
+                Ok(repo
+                    .tree
+                    .insert_after(ptr, label, NewNode::Literal(value.clone()))?)
+            })?;
+            self.finish_edit(&state, &res);
+            state.fresh_id(res.new_node.expect("insert yields node"))
+        };
+        self.durable_gate()?;
+        Ok(id)
     }
 
     /// Generic insert used by the benchmark harness (label id + payload).
@@ -966,23 +1031,27 @@ impl Repository {
         node: NewNode,
     ) -> NatixResult<NodeId> {
         let state = self.state(doc)?;
-        let _latch = state.edit_latch.lock();
-        // The document may have been deleted while this writer waited on
-        // the latch: proceeding would mutate (or double-free) records
-        // whose slots another document may already own.
-        self.check_live(&state)?;
-        // Outer write operation: publishes (epoch advance + root-move
-        // hook) after the edit's bookkeeping below, before the latch
-        // releases (drop order is reverse declaration order).
-        let _op = self.tree.begin_write();
-        let res = self.edit_with_normalize(&state, |repo| {
-            let ptr = state
-                .resolve(parent)
-                .ok_or(NatixError::NoSuchNode(parent))?;
-            Ok(repo.tree.insert(ptr, pos, label, node.clone())?)
-        })?;
-        self.finish_edit(&state, &res);
-        Ok(state.fresh_id(res.new_node.expect("insert yields node")))
+        let id = {
+            let _latch = state.edit_latch.lock();
+            // The document may have been deleted while this writer waited
+            // on the latch: proceeding would mutate (or double-free)
+            // records whose slots another document may already own.
+            self.check_live(&state)?;
+            // Outer write operation: publishes (epoch advance + root-move
+            // hook) after the edit's bookkeeping below, before the latch
+            // releases (drop order is reverse declaration order).
+            let _op = self.tree.begin_write();
+            let res = self.edit_with_normalize(&state, |repo| {
+                let ptr = state
+                    .resolve(parent)
+                    .ok_or(NatixError::NoSuchNode(parent))?;
+                Ok(repo.tree.insert(ptr, pos, label, node.clone())?)
+            })?;
+            self.finish_edit(&state, &res);
+            state.fresh_id(res.new_node.expect("insert yields node"))
+        };
+        self.durable_gate()?;
+        Ok(id)
     }
 
     /// Generic sibling insert used by the benchmark harness.
@@ -994,84 +1063,96 @@ impl Repository {
         node: NewNode,
     ) -> NatixResult<NodeId> {
         let state = self.state(doc)?;
-        let _latch = state.edit_latch.lock();
-        // The document may have been deleted while this writer waited on
-        // the latch: proceeding would mutate (or double-free) records
-        // whose slots another document may already own.
-        self.check_live(&state)?;
-        // Outer write operation: publishes (epoch advance + root-move
-        // hook) after the edit's bookkeeping below, before the latch
-        // releases (drop order is reverse declaration order).
-        let _op = self.tree.begin_write();
-        let res = self.edit_with_normalize(&state, |repo| {
-            let ptr = state
-                .resolve(sibling)
-                .ok_or(NatixError::NoSuchNode(sibling))?;
-            Ok(repo.tree.insert_after(ptr, label, node.clone())?)
-        })?;
-        self.finish_edit(&state, &res);
-        Ok(state.fresh_id(res.new_node.expect("insert yields node")))
+        let id = {
+            let _latch = state.edit_latch.lock();
+            // The document may have been deleted while this writer waited
+            // on the latch: proceeding would mutate (or double-free)
+            // records whose slots another document may already own.
+            self.check_live(&state)?;
+            // Outer write operation: publishes (epoch advance + root-move
+            // hook) after the edit's bookkeeping below, before the latch
+            // releases (drop order is reverse declaration order).
+            let _op = self.tree.begin_write();
+            let res = self.edit_with_normalize(&state, |repo| {
+                let ptr = state
+                    .resolve(sibling)
+                    .ok_or(NatixError::NoSuchNode(sibling))?;
+                Ok(repo.tree.insert_after(ptr, label, node.clone())?)
+            })?;
+            self.finish_edit(&state, &res);
+            state.fresh_id(res.new_node.expect("insert yields node"))
+        };
+        self.durable_gate()?;
+        Ok(id)
     }
 
     /// Deletes the subtree rooted at `node`.
     pub fn delete_node(&self, doc: DocId, node: NodeId) -> NatixResult<()> {
         let state = self.state(doc)?;
-        let _latch = state.edit_latch.lock();
-        // The document may have been deleted while this writer waited on
-        // the latch: proceeding would mutate (or double-free) records
-        // whose slots another document may already own.
-        self.check_live(&state)?;
-        // Outer write operation: publishes (epoch advance + root-move
-        // hook) after the edit's bookkeeping below, before the latch
-        // releases (drop order is reverse declaration order).
-        let _op = self.tree.begin_write();
-        let (res, victims) = self.edit_with_normalize(&state, |repo| {
-            let ptr = state.resolve(node).ok_or(NatixError::NoSuchNode(node))?;
-            // Collect the subtree's logical ids first (their pointers are
-            // purged before relocations are applied); recollected on every
-            // attempt, since normalization relocates them.
-            let mut victims = Vec::new();
-            natix_tree::traverse(&repo.tree, ptr, &mut |ev| {
-                let p = match ev {
-                    VisitEvent::Enter { ptr, .. } | VisitEvent::Literal { ptr, .. } => Some(ptr),
-                    VisitEvent::Leave { .. } => None,
-                };
-                if let Some(p) = p {
-                    if let Some(id) = state.lookup_ptr(p) {
-                        victims.push(id);
+        {
+            let _latch = state.edit_latch.lock();
+            // The document may have been deleted while this writer waited
+            // on the latch: proceeding would mutate (or double-free)
+            // records whose slots another document may already own.
+            self.check_live(&state)?;
+            // Outer write operation: publishes (epoch advance + root-move
+            // hook) after the edit's bookkeeping below, before the latch
+            // releases (drop order is reverse declaration order).
+            let _op = self.tree.begin_write();
+            let (res, victims) = self.edit_with_normalize(&state, |repo| {
+                let ptr = state.resolve(node).ok_or(NatixError::NoSuchNode(node))?;
+                // Collect the subtree's logical ids first (their pointers are
+                // purged before relocations are applied); recollected on every
+                // attempt, since normalization relocates them.
+                let mut victims = Vec::new();
+                natix_tree::traverse(&repo.tree, ptr, &mut |ev| {
+                    let p = match ev {
+                        VisitEvent::Enter { ptr, .. } | VisitEvent::Literal { ptr, .. } => {
+                            Some(ptr)
+                        }
+                        VisitEvent::Leave { .. } => None,
+                    };
+                    if let Some(p) = p {
+                        if let Some(id) = state.lookup_ptr(p) {
+                            victims.push(id);
+                        }
                     }
-                }
-                true
+                    true
+                })?;
+                let res = repo.tree.delete_subtree(ptr)?;
+                Ok((res, victims))
             })?;
-            let res = repo.tree.delete_subtree(ptr)?;
-            Ok((res, victims))
-        })?;
-        state.purge(&victims);
-        self.finish_edit(&state, &res);
+            state.purge(&victims);
+            self.finish_edit(&state, &res);
+        }
+        self.durable_gate()?;
         Ok(())
     }
 
     /// Replaces the value of a text/literal node.
     pub fn update_text(&self, doc: DocId, node: NodeId, text: &str) -> NatixResult<()> {
         let state = self.state(doc)?;
-        let _latch = state.edit_latch.lock();
-        // The document may have been deleted while this writer waited on
-        // the latch: proceeding would mutate (or double-free) records
-        // whose slots another document may already own.
-        self.check_live(&state)?;
-        // Outer write operation: publishes (epoch advance + root-move
-        // hook) after the edit's bookkeeping below, before the latch
-        // releases (drop order is reverse declaration order).
-        let _op = self.tree.begin_write();
-        let res = self.edit_with_normalize(&state, |repo| {
-            let ptr = state.resolve(node).ok_or(NatixError::NoSuchNode(node))?;
-            Ok(repo
-                .tree
-                .update_literal(ptr, LiteralValue::String(text.to_string()))?)
-        })?;
-        // A value update adds/removes no indexed nodes: an attached label
-        // index is patched from the relocations, not invalidated.
-        self.finish_edit_impact(&state, &res, EditImpact::Values);
+        {
+            let _latch = state.edit_latch.lock();
+            // The document may have been deleted while this writer waited
+            // on the latch: proceeding would mutate (or double-free)
+            // records whose slots another document may already own.
+            self.check_live(&state)?;
+            // Outer write operation: publishes (epoch advance + root-move
+            // hook) after the edit's bookkeeping below, before the latch
+            // releases (drop order is reverse declaration order).
+            let _op = self.tree.begin_write();
+            let res = self.edit_with_normalize(&state, |repo| {
+                let ptr = state.resolve(node).ok_or(NatixError::NoSuchNode(node))?;
+                Ok(repo
+                    .tree
+                    .update_literal(ptr, LiteralValue::String(text.to_string()))?)
+            })?;
+            // A value update adds/removes no indexed nodes: an attached
+            // label index is patched from the relocations, not invalidated.
+            self.finish_edit_impact(&state, &res, EditImpact::Values);
+        }
+        self.durable_gate()?;
         Ok(())
     }
 

@@ -118,7 +118,13 @@ impl Repository {
     ) -> NatixResult<DocId> {
         self.claim_name(name)?;
         match self.stream_load(store, xml) {
-            Ok(stats) => Ok(self.register(DocState::new(name.to_string(), stats.root_rid))),
+            Ok(stats) => {
+                // The load's write operation has published and logged by
+                // now; register the name, then gate on log durability.
+                let id = self.register(DocState::new(name.to_string(), stats.root_rid));
+                self.durable_gate()?;
+                Ok(id)
+            }
             Err(e) => {
                 // stream_load already rolled back every flushed record.
                 self.abandon_claim(name);

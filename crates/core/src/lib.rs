@@ -48,6 +48,7 @@ pub mod index;
 pub mod ingest;
 pub mod parallel_query;
 pub mod query;
+pub(crate) mod recovery;
 pub mod repository;
 pub mod schema;
 

@@ -118,6 +118,60 @@
 //! ingests of the same name produce exactly one winner and no leaked
 //! pages.
 //!
+//! # Durability
+//!
+//! When a log device is attached (the default for file-backed and
+//! crash-harness repositories; `durability: None` disables it), nothing
+//! acknowledged is ever lost. The write-ahead log
+//! ([`natix_storage::wal`]) sits **below** every lock above: no lock in
+//! the hierarchy is ever taken while holding the log's append mutex, and
+//! log appends happen either inside an operation (pre-images, allocation
+//! events — under whatever latches that operation already holds) or at
+//! its publish point.
+//!
+//! The commit protocol rides the version store's publish point:
+//!
+//! 1. During the operation, storage-level events are logged as they
+//!    happen — `PreImage` (undo: a record's bytes before the first
+//!    overwrite), `Created` (undo: delete on rollback), `Alloc`/`Free`/
+//!    `SegCreate` (allocator replay), `Symbols` (alphabet growth past
+//!    the logged watermark). None of these are forced; they ride in the
+//!    log buffer.
+//! 2. At publish, the version store's commit hook captures a full page
+//!    image of every page the operation touched (`PageImage` records —
+//!    physical redo, idempotent by construction) and appends `Commit`.
+//! 3. The **durability gate** every public write API passes through then
+//!    forces the log: `PerCommit` syncs immediately, `Group` joins a
+//!    bounded group-commit window so concurrent committers share one
+//!    fsync. Only after the force does the call return `Ok` — an
+//!    acknowledged operation is on stable storage.
+//!
+//! The **WAL rule** is enforced one layer down: the buffer manager never
+//! writes a dirty frame back (eviction steal, flush or clear) without
+//! first forcing the log to its current end, so the base file never
+//! holds effects whose log records could still be lost. Recovery
+//! ([`crate::recovery`]) is ARIES-shaped over physical redo: analysis
+//! finds the last checkpoint and the committed-operation set, redo
+//! replays committed page images at or above the checkpoint's horizon,
+//! undo reverts the loser operations' record-level effects in reverse
+//! log order.
+//!
+//! [`Repository::checkpoint`] is fuzzy: it captures the allocator and
+//! directory, flushes the pool, and — only when no write operation is
+//! active — atomically truncate-resets the log to a single checkpoint
+//! record (whose redo horizon is 0: LSNs restart in the new log's
+//! coordinates); otherwise the checkpoint appends behind the running
+//! operations' records and the log keeps its history.
+//!
+//! Known limitations, by design: split-matrix and DTD changes are
+//! durable only at the next directory dump (registration or
+//! checkpoint); the flat-file and B+-tree side stores are not logged;
+//! page writes are assumed atomic at the backend's page size; and pages
+//! allocated by a loser operation may leak until a later checkpoint
+//! rebuilds the free-space inventory — recovery re-adopts every
+//! committed allocation but never reclaims a loser's, trading space for
+//! simplicity.
+//!
 //! [`children`]: Repository::children
 //! [`parent`]: Repository::parent
 //! [`node_summary`]: Repository::node_summary
@@ -130,9 +184,10 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use natix_storage::buffer::EvictionPolicy;
+use natix_storage::wal::{log_suppressed, take_commit_error, SuppressLogging};
 use natix_storage::{
-    BufferManager, DiskBackend, DiskProfile, FileStorage, IoStats, MemStorage, Rid, SimDisk,
-    StorageManager,
+    BufferManager, DiskBackend, DiskProfile, FileLogDevice, FileStorage, IoStats, LogDevice,
+    MemLogDevice, MemStorage, Rid, SimDisk, StorageManager, Wal, WalRecord, WalSyncMode,
 };
 use natix_tree::version::ReadPin;
 use natix_tree::{NodePtr, SplitMatrix, TreeConfig, TreeStore, VersionStore};
@@ -160,6 +215,13 @@ pub struct RepositoryOptions {
     pub disk_profile: Option<DiskProfile>,
     /// Keep whitespace-only text nodes when parsing (default: drop).
     pub keep_whitespace_text: bool,
+    /// Write-ahead logging. `Some(mode)` makes every completed write
+    /// operation durable before its API call returns — `mode` picks how
+    /// log syncs are scheduled (per commit, or group commit). `None`
+    /// disables the log entirely: durability then comes only from
+    /// explicit [`Repository::checkpoint`] calls (the paper's
+    /// measurement configuration, where logging is out of scope).
+    pub durability: Option<WalSyncMode>,
 }
 
 impl Default for RepositoryOptions {
@@ -172,6 +234,7 @@ impl Default for RepositoryOptions {
             matrix: SplitMatrix::all_other(),
             disk_profile: None,
             keep_whitespace_text: false,
+            durability: Some(WalSyncMode::Group),
         }
     }
 }
@@ -183,6 +246,9 @@ impl RepositoryOptions {
         RepositoryOptions {
             page_size,
             disk_profile: Some(DiskProfile::dcas_34330w()),
+            // The paper's measurements charge I/O to the disk model only;
+            // logging is out of scope there.
+            durability: None,
             ..RepositoryOptions::default()
         }
     }
@@ -215,7 +281,13 @@ pub struct Repository {
     pub(crate) sm: Arc<StorageManager>,
     pub(crate) tree: TreeStore,
     pub(crate) catalog_tree: TreeStore,
-    pub(crate) symbols: RwLock<SymbolTable>,
+    pub(crate) symbols: Arc<RwLock<SymbolTable>>,
+    /// Count of label rows already covered by the log (a `Symbols` record
+    /// or a checkpoint's directory payload). The commit hook appends the
+    /// alphabet's growth past this watermark before each commit record,
+    /// so redo never replays a record whose labels recovery cannot name.
+    /// Lock order: this mutex before the symbol table's lock.
+    logged_symbols: Arc<Mutex<usize>>,
     pub(crate) registry: Arc<Mutex<DocRegistry>>,
     pub(crate) schema: RwLock<SchemaManager>,
     pub(crate) options: RepositoryOptions,
@@ -226,6 +298,9 @@ pub struct Repository {
     flat_seg: natix_storage::SegmentId,
     stats: Arc<IoStats>,
     sim: Option<Arc<dyn SimControl>>,
+    /// Write-ahead log, when the repository was built with one. Present
+    /// ⇒ every public write API ends in [`Repository::durable_gate`].
+    pub(crate) wal: Option<Arc<Wal>>,
     /// Serialises catalog checkpoints (two racing checkpoints would drop
     /// each other's catalog tree); ordinary edits and reads do not take it.
     checkpoint_lock: Mutex<()>,
@@ -238,6 +313,7 @@ pub struct Repository {
 impl Repository {
     fn build(
         backend: Arc<dyn DiskBackend>,
+        log: Option<Box<dyn LogDevice>>,
         sim: Option<Arc<dyn SimControl>>,
         options: RepositoryOptions,
         stats: Arc<IoStats>,
@@ -249,10 +325,29 @@ impl Repository {
             options.eviction,
             Arc::clone(&stats),
         ));
+        // A non-fresh open whose log holds a checkpoint recovers from the
+        // log (the base file may be mid-crash); otherwise — fresh store,
+        // no log, or a log never checkpointed (pre-logging store) — the
+        // base file is authoritative.
+        let mut recovered = None;
         let sm = if fresh {
-            Arc::new(StorageManager::create(bm)?)
+            Arc::new(StorageManager::create(Arc::clone(&bm))?)
         } else {
-            Arc::new(StorageManager::open(bm)?)
+            let records = match &log {
+                Some(device) => Wal::read_log(&**device)?,
+                None => Vec::new(),
+            };
+            if records
+                .iter()
+                .any(|(_, r)| matches!(r, WalRecord::Checkpoint(_)))
+            {
+                let out = crate::recovery::replay(Arc::clone(&bm), &records, "catalog")?;
+                let sm = Arc::clone(&out.sm);
+                recovered = Some(out);
+                sm
+            } else {
+                Arc::new(StorageManager::open(Arc::clone(&bm))?)
+            }
         };
         let (docs_seg, cat_seg, index_seg, flat_seg) = if fresh {
             (
@@ -289,13 +384,68 @@ impl Repository {
             cat_seg,
             options.tree_config,
             SplitMatrix::all_other(),
-            versions,
+            Arc::clone(&versions),
         );
+        let wal =
+            log.map(|device| Arc::new(Wal::new(device, options.durability.unwrap_or_default())));
+        let symbols = Arc::new(RwLock::new(SymbolTable::new()));
+        let logged_symbols = Arc::new(Mutex::new(0usize));
+        if let Some(w) = &wal {
+            // Wire the log into every layer: the buffer honours the WAL
+            // rule on dirty-frame write-back, the allocator logs its
+            // events, the version store logs undo images — and the commit
+            // hook below captures redo images when an operation publishes.
+            bm.set_wal(Arc::clone(w));
+            sm.attach_wal(Arc::clone(w));
+            versions.attach_wal(Arc::clone(w));
+            let hook_wal = Arc::clone(w);
+            let hook_bm = Arc::clone(&bm);
+            let hook_syms = Arc::clone(&symbols);
+            let hook_mark = Arc::clone(&logged_symbols);
+            versions.set_commit_hook(Box::new(move |op, pages| {
+                let mut images = Vec::with_capacity(pages.len());
+                for p in pages {
+                    match hook_bm.pin(p) {
+                        Ok(pin) => images.push((p, pin.read().bytes().to_vec())),
+                        Err(e) => {
+                            // The log can no longer describe the published
+                            // state: poison it so no later commit is
+                            // acknowledged, and surface the error at this
+                            // thread's durability gate.
+                            hook_wal.poison();
+                            natix_storage::wal::set_commit_error(e);
+                            return;
+                        }
+                    }
+                }
+                {
+                    // Any label this operation interned must be decodable
+                    // on replay: log the alphabet's growth past the
+                    // watermark before the images it names.
+                    let mut mark = hook_mark.lock();
+                    let syms = hook_syms.read();
+                    if syms.len() > *mark {
+                        let rows = syms
+                            .iter()
+                            .skip(*mark)
+                            .map(|(_, k, n)| (crate::recovery::kind_code(k), n.to_string()))
+                            .collect();
+                        hook_wal.append(&WalRecord::Symbols {
+                            base: *mark as u32,
+                            rows,
+                        });
+                        *mark = syms.len();
+                    }
+                }
+                hook_wal.append_commit_batch(op, images);
+            }));
+        }
         let mut repo = Repository {
             sm,
             tree,
             catalog_tree,
-            symbols: RwLock::new(SymbolTable::new()),
+            symbols,
+            logged_symbols,
             registry: Arc::new(Mutex::new(DocRegistry {
                 docs: Vec::new(),
                 by_name: HashMap::new(),
@@ -308,26 +458,53 @@ impl Repository {
             flat_seg,
             stats,
             sim,
+            wal,
             checkpoint_lock: Mutex::new(()),
             attached_index: Mutex::new(None),
         };
-        if !fresh {
+        if let Some(out) = recovered {
+            // Rebuild the directory from the log, not from catalog pages
+            // (recovery discarded those). Suppressed: the checkpoint
+            // below re-seeds the log with the final state.
+            let _quiet = SuppressLogging::new();
+            crate::recovery::apply_directory(
+                &mut repo,
+                &out.directory,
+                &out.deletions,
+                &out.symbols,
+            )?;
+        } else if !fresh {
+            let _quiet = repo.wal.is_some().then(SuppressLogging::new);
             crate::catalog::load_catalog(&mut repo)?;
         }
+        if repo.wal.is_some() {
+            // Seed (fresh store), reset (clean recovery), or re-anchor
+            // (pre-logging store) the log with a checkpoint: from here on
+            // every committed operation is recoverable.
+            repo.checkpoint()?;
+        }
         Ok(repo)
+    }
+
+    /// The log device implied by the options for a memory-backed store.
+    fn mem_log(options: &RepositoryOptions) -> Option<Box<dyn LogDevice>> {
+        options
+            .durability
+            .map(|_| Box::new(MemLogDevice::new()) as Box<dyn LogDevice>)
     }
 
     /// Creates a fresh in-memory repository.
     pub fn create_in_memory(options: RepositoryOptions) -> NatixResult<Repository> {
         let stats = IoStats::new_shared();
         let mem = MemStorage::new(options.page_size)?;
+        let log = Repository::mem_log(&options);
         match options.disk_profile {
             Some(profile) => {
                 let sim = Arc::new(SimDisk::new(mem, profile, Arc::clone(&stats)));
                 let backend: Arc<dyn DiskBackend> = Arc::clone(&sim) as Arc<dyn DiskBackend>;
-                Repository::build(backend, Some(sim), options, stats, true)
+                Repository::build(backend, log, Some(sim), options, stats, true)
             }
-            None => Repository::build(Arc::new(mem), None, options, stats, true),
+            None => Repository::build(Arc::new(mem), log, None, options, stats, true),
         }
     }
 
@@ -348,7 +525,65 @@ impl Repository {
             )));
         }
         let stats = IoStats::new_shared();
-        Repository::build(backend, None, options, stats, true)
+        let log = Repository::mem_log(&options);
+        Repository::build(backend, log, None, options, stats, true)
+    }
+
+    /// Creates a fresh repository over a caller-provided backend *and*
+    /// log device (the crash-injection harness: both sit behind a shared
+    /// fault controller, and the caller keeps handles to reopen them
+    /// after a simulated crash). The log is used regardless of
+    /// `options.durability`; the mode defaults to group commit.
+    pub fn create_on_backend_with_log(
+        backend: Arc<dyn DiskBackend>,
+        log: Box<dyn LogDevice>,
+        options: RepositoryOptions,
+    ) -> NatixResult<Repository> {
+        if backend.page_size() != options.page_size {
+            return Err(NatixError::Catalog(format!(
+                "backend page size {} != options page size {}",
+                backend.page_size(),
+                options.page_size
+            )));
+        }
+        let stats = IoStats::new_shared();
+        Repository::build(backend, Some(log), None, options, stats, true)
+    }
+
+    /// Opens an existing repository over a caller-provided backend and
+    /// log device, running crash recovery if the log demands it.
+    pub fn open_on_backend_with_log(
+        backend: Arc<dyn DiskBackend>,
+        log: Box<dyn LogDevice>,
+        options: RepositoryOptions,
+    ) -> NatixResult<Repository> {
+        if backend.page_size() != options.page_size {
+            return Err(NatixError::Catalog(format!(
+                "backend page size {} != options page size {}",
+                backend.page_size(),
+                options.page_size
+            )));
+        }
+        let stats = IoStats::new_shared();
+        Repository::build(backend, Some(log), None, options, stats, false)
+    }
+
+    /// The log device implied by the options for a file-backed store:
+    /// the `<path>.wal` sidecar.
+    fn file_log(
+        path: &Path,
+        options: &RepositoryOptions,
+        fresh: bool,
+    ) -> NatixResult<Option<Box<dyn LogDevice>>> {
+        let Some(_) = options.durability else {
+            return Ok(None);
+        };
+        let device = FileLogDevice::open(&FileLogDevice::sidecar_path(path))?;
+        if fresh {
+            // The base file was truncated; a stale log must not outlive it.
+            device.truncate(0)?;
+        }
+        Ok(Some(Box::new(device)))
     }
 
     /// Creates a fresh file-backed repository (truncates `path`).
@@ -357,31 +592,35 @@ impl Repository {
         options: RepositoryOptions,
     ) -> NatixResult<Repository> {
         let stats = IoStats::new_shared();
-        let file = FileStorage::create(path, options.page_size)?;
+        let file = FileStorage::create(&path, options.page_size)?;
+        let log = Repository::file_log(path.as_ref(), &options, true)?;
         match options.disk_profile {
             Some(profile) => {
                 let sim = Arc::new(SimDisk::new(file, profile, Arc::clone(&stats)));
                 let backend: Arc<dyn DiskBackend> = Arc::clone(&sim) as Arc<dyn DiskBackend>;
-                Repository::build(backend, Some(sim), options, stats, true)
+                Repository::build(backend, log, Some(sim), options, stats, true)
             }
-            None => Repository::build(Arc::new(file), None, options, stats, true),
+            None => Repository::build(Arc::new(file), log, None, options, stats, true),
         }
     }
 
-    /// Opens an existing file-backed repository, restoring the catalog.
+    /// Opens an existing file-backed repository, restoring the catalog —
+    /// through crash recovery when its log sidecar holds a checkpoint,
+    /// directly from the base file otherwise.
     pub fn open_file<P: AsRef<Path>>(
         path: P,
         options: RepositoryOptions,
     ) -> NatixResult<Repository> {
         let stats = IoStats::new_shared();
-        let file = FileStorage::open(path, options.page_size)?;
+        let file = FileStorage::open(&path, options.page_size)?;
+        let log = Repository::file_log(path.as_ref(), &options, false)?;
         match options.disk_profile {
             Some(profile) => {
                 let sim = Arc::new(SimDisk::new(file, profile, Arc::clone(&stats)));
                 let backend: Arc<dyn DiskBackend> = Arc::clone(&sim) as Arc<dyn DiskBackend>;
-                Repository::build(backend, Some(sim), options, stats, false)
+                Repository::build(backend, log, Some(sim), options, stats, false)
             }
-            None => Repository::build(Arc::new(file), None, options, stats, false),
+            None => Repository::build(Arc::new(file), log, None, options, stats, false),
         }
     }
 
@@ -562,11 +801,37 @@ impl Repository {
     /// published) resolve the document to "not there yet".
     pub(crate) fn register(&self, state: DocState) -> DocId {
         state.set_born(self.tree.versions().epoch());
+        if self.wal.is_none() || log_suppressed() {
+            let mut reg = self.registry.lock();
+            let id = reg.docs.len() as DocId;
+            reg.pending.remove(&state.name);
+            reg.by_name.insert(state.name.clone(), id);
+            reg.docs.push(Some(Arc::new(state)));
+            return id;
+        }
+        // Log the updated directory while still holding the registry
+        // lock: every directory mutation appends in registry order, so
+        // recovery's "latest payload wins" fold is race-free. Symbol
+        // lock first — the hierarchy is symbols → registry → matrix →
+        // schema (same as the catalog writer's).
+        let symbols = self.symbols.read();
         let mut reg = self.registry.lock();
         let id = reg.docs.len() as DocId;
         reg.pending.remove(&state.name);
         reg.by_name.insert(state.name.clone(), id);
         reg.docs.push(Some(Arc::new(state)));
+        let payload = {
+            let matrix = self.tree.matrix();
+            let schema = self.schema.read();
+            crate::recovery::capture_directory(&symbols, &reg, &matrix, &schema)
+        };
+        // op 0: unconditional. The document's content committed before
+        // register was called (the loader's operation published and
+        // logged its images), so the registration itself must stick.
+        self.wal
+            .as_ref()
+            .expect("checked above")
+            .append(&WalRecord::Catalog { op: 0, payload });
         id
     }
 
@@ -629,8 +894,73 @@ impl Repository {
     /// snapshot is taken under the registry lock.
     pub fn checkpoint(&self) -> NatixResult<()> {
         let _ck = self.checkpoint_lock.lock();
-        crate::catalog::save_catalog(self)?;
-        self.sm.checkpoint()?;
+        let Some(wal) = &self.wal else {
+            crate::catalog::save_catalog(self)?;
+            self.sm.checkpoint()?;
+            return Ok(());
+        };
+        // Quiescence baseline, taken before the suppressed work below
+        // (whose operations are deliberately uncounted): if no outside
+        // operation begins or finishes across the whole checkpoint, the
+        // log can be truncated to just the checkpoint record.
+        let versions = self.tree.versions();
+        let b0 = versions.ops_begun();
+        let f0 = versions.ops_finished();
+        // Redo horizon: the flush below writes every page state visible
+        // at this point into the base file, so committed images logged
+        // before this LSN never need replay. Captured before the flush —
+        // images appended *during* it land above the horizon and are
+        // replayed, whether or not the flush caught them.
+        let redo_horizon = wal.appended_lsn();
+        {
+            // The catalog rewrite and the flush are checkpoint internals:
+            // their pages are rebuilt from the checkpoint itself, never
+            // rolled forward or back individually.
+            let _quiet = SuppressLogging::new();
+            crate::catalog::save_catalog(self)?;
+            self.sm.checkpoint()?;
+        }
+        let payload = {
+            // Lock order: the watermark mutex before the symbol table.
+            // The payload dumps the full alphabet, so every row is now
+            // covered by the log; commits racing this block either logged
+            // their Symbols record already (it survives until the next
+            // truncate-reset, which installs this payload) or will see
+            // the advanced watermark and log only newer rows.
+            let mut mark = self.logged_symbols.lock();
+            let symbols = self.symbols.read();
+            *mark = symbols.len();
+            let reg = self.registry.lock();
+            let matrix = self.tree.matrix();
+            let schema = self.schema.read();
+            crate::recovery::capture_directory(&symbols, &reg, &matrix, &schema)
+        };
+        let quiesced = move || {
+            versions.active_ops() == 0
+                && versions.ops_begun() == b0
+                && versions.ops_finished() == f0
+        };
+        self.sm
+            .append_checkpoint(redo_horizon, payload, Some(&quiesced))?;
+        wal.sync_to(wal.appended_lsn())?;
+        Ok(())
+    }
+
+    /// The durability gate every public write API passes through after
+    /// its write operation published: surfaces a commit-hook failure
+    /// (poisoning the log — the published state is no longer described
+    /// by it), then waits until the log is durable up to this thread's
+    /// last append. Under group commit that wait batches with other
+    /// committers' into one device sync.
+    pub(crate) fn durable_gate(&self) -> NatixResult<()> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        if let Some(e) = take_commit_error() {
+            wal.poison();
+            return Err(e.into());
+        }
+        wal.sync_to(wal.appended_lsn())?;
         Ok(())
     }
 

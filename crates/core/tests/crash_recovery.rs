@@ -1,0 +1,451 @@
+//! Crash-injection recovery tests: nothing committed is ever lost.
+//!
+//! The harness runs a deterministic workload (ingest / edit / delete /
+//! checkpoint over corpus documents) against a repository whose page store
+//! and log device share one [`FaultControl`] write budget. When the budget
+//! runs out the "machine" dies fail-stop: every further write and fsync
+//! fails, and only what an fsync already made durable survives. The
+//! workload stops at the first error, the dead repository is dropped, and
+//! the store is reopened over the durable images — recovery replays the
+//! log.
+//!
+//! After reopen the harness asserts, for every kill point:
+//!
+//! * every **acknowledged** operation (its API call returned `Ok`) is
+//!   byte-for-byte present: each committed document serializes exactly to
+//!   the oracle copy recorded when the operation returned;
+//! * the single **in-flight** operation is atomic: the affected document
+//!   is either untouched (its pre-state) or carries the complete effect of
+//!   the operation (computed by replaying the same step on a scratch
+//!   repository) — never a torn intermediate;
+//! * no other document exists, and the recovered repository is fully
+//!   writable (a fresh document round-trips, and survives a second
+//!   clean reopen).
+//!
+//! Kill points sweep the whole post-creation write sequence: a baseline
+//! run counts the writes of the uncrashed workload, then `KILL_POINTS`
+//! budgets are spread evenly across that range, so crashes land inside
+//! bulkloads, edits, commit syncs and checkpoints alike. Everything is
+//! seeded — failures reproduce exactly.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use natix::{NatixResult, Repository, RepositoryOptions};
+use natix_corpus::{
+    generate_deep, generate_orders, generate_play, CorpusConfig, DeepConfig, OrdersConfig,
+};
+use natix_storage::wal::MemLogDevice;
+use natix_storage::{DiskBackend, FaultControl, FaultDisk, MemStorage};
+use natix_tree::InsertPos;
+use natix_xml::{write_document, SymbolTable, WriteOptions};
+
+/// Kill points per corpus (the CI floor is 50).
+const KILL_POINTS: u64 = 50;
+
+const PAGE: usize = 4096;
+
+fn options() -> RepositoryOptions {
+    RepositoryOptions {
+        page_size: PAGE,
+        // A small pool forces evictions mid-operation, exercising the
+        // write-ahead rule (log forced before a dirty page leaves the
+        // pool) and mid-operation log syncs.
+        buffer_bytes: 48 * PAGE,
+        ..RepositoryOptions::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corpora: small deterministic documents from the three generators.
+// ---------------------------------------------------------------------------
+
+fn shakespeare_docs() -> Vec<(String, String)> {
+    let mut syms = SymbolTable::new();
+    let cfg = CorpusConfig {
+        plays: 37,
+        seed: 0x5EED_CAFE,
+        scale: 0.02,
+    };
+    (0..5)
+        .map(|i| {
+            let play = generate_play(&cfg, i, &mut syms);
+            let xml = write_document(&play.doc, &syms, WriteOptions::compact()).unwrap();
+            (format!("play{i}"), xml)
+        })
+        .collect()
+}
+
+fn orders_docs() -> Vec<(String, String)> {
+    (0..5)
+        .map(|i| {
+            let mut syms = SymbolTable::new();
+            let cfg = OrdersConfig {
+                orders: 25,
+                seed: 0xBEEF_0000 + i as u64,
+            };
+            let doc = generate_orders(&cfg, &mut syms);
+            let xml = write_document(&doc, &syms, WriteOptions::compact()).unwrap();
+            (format!("orders{i}"), xml)
+        })
+        .collect()
+}
+
+fn deep_docs() -> Vec<(String, String)> {
+    (0..5)
+        .map(|i| {
+            let mut syms = SymbolTable::new();
+            let cfg = DeepConfig {
+                depth: 80 + 15 * i,
+                payload_every: 2,
+                sidecar_every: 3,
+                straggler_every: 4,
+                seed: 0xDE00_0000 + i as u64,
+            };
+            let doc = generate_deep(&cfg, &mut syms);
+            let xml = write_document(&doc, &syms, WriteOptions::compact()).unwrap();
+            (format!("deep{i}"), xml)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Workload: a fixed step script, each step one acknowledged operation.
+// ---------------------------------------------------------------------------
+
+/// One durable operation. Steps are *structural* — they resolve their
+/// target nodes relative to the document root at execution time — so the
+/// same step applied to the same document bytes has the same effect on
+/// any repository (which is what lets a scratch repository compute the
+/// expected post-state of an in-flight step).
+#[derive(Clone, Debug)]
+enum Step {
+    /// Ingest `docs[i]` through the streaming bulkloader.
+    Put(usize),
+    /// Delete document `i`.
+    Delete(usize),
+    /// Append `<ANNEXk/>` under the root of document `i`.
+    AnnexEl(usize, u32),
+    /// Append a text literal under the root of document `i`.
+    AnnexText(usize, u32),
+    /// Delete the last child of the root of document `i`.
+    Prune(usize),
+    /// Checkpoint: flush everything, truncate the log if quiesced.
+    Checkpoint,
+}
+
+impl Step {
+    /// The document a step touches (`None` for checkpoints).
+    fn doc(&self) -> Option<usize> {
+        match *self {
+            Step::Put(i)
+            | Step::Delete(i)
+            | Step::AnnexEl(i, _)
+            | Step::AnnexText(i, _)
+            | Step::Prune(i) => Some(i),
+            Step::Checkpoint => None,
+        }
+    }
+}
+
+/// The script: ingests all five documents with edits, deletions,
+/// re-ingestion and checkpoints interleaved.
+fn script() -> Vec<Step> {
+    use Step::*;
+    vec![
+        Put(0),
+        Put(1),
+        AnnexText(0, 1),
+        Checkpoint,
+        Put(2),
+        AnnexEl(1, 1),
+        Delete(0),
+        Put(3),
+        Prune(1),
+        AnnexText(2, 2),
+        Checkpoint,
+        Put(4),
+        Put(0),
+        AnnexEl(4, 2),
+        Delete(2),
+        AnnexText(3, 3),
+        Prune(3),
+        Checkpoint,
+        AnnexText(4, 4),
+    ]
+}
+
+fn apply_step(repo: &Repository, docs: &[(String, String)], step: &Step) -> NatixResult<()> {
+    match *step {
+        Step::Put(i) => {
+            repo.put_xml_streaming(&docs[i].0, &docs[i].1)?;
+        }
+        Step::Delete(i) => repo.delete_document(&docs[i].0)?,
+        Step::AnnexEl(i, k) => {
+            let d = repo.doc_id(&docs[i].0)?;
+            let root = repo.root(d)?;
+            repo.insert_element(d, root, InsertPos::Last, &format!("ANNEX{k}"))?;
+        }
+        Step::AnnexText(i, k) => {
+            let d = repo.doc_id(&docs[i].0)?;
+            let root = repo.root(d)?;
+            repo.insert_text(
+                d,
+                root,
+                InsertPos::Last,
+                &format!("crash harness payload {k}"),
+            )?;
+        }
+        Step::Prune(i) => {
+            let d = repo.doc_id(&docs[i].0)?;
+            let root = repo.root(d)?;
+            let kids = repo.children(d, root)?;
+            if let Some(&last) = kids.last() {
+                repo.delete_node(d, last)?;
+            }
+        }
+        Step::Checkpoint => repo.checkpoint()?,
+    }
+    Ok(())
+}
+
+/// What the fault run reports back: the oracle of acknowledged state and
+/// the step (if any) that was cut down by the injected crash.
+struct DriveOutcome {
+    /// name → last acknowledged serialization, for every live document.
+    oracle: BTreeMap<String, String>,
+    /// The in-flight step, with the affected document's pre-state.
+    crashed: Option<(Step, Option<String>)>,
+}
+
+/// Runs the script until the first error (fail-stop), maintaining the
+/// oracle from re-serialization after every acknowledged step.
+fn drive(repo: &Repository, docs: &[(String, String)]) -> DriveOutcome {
+    let mut oracle = BTreeMap::new();
+    for step in script() {
+        let pre = step
+            .doc()
+            .and_then(|i| oracle.get(&docs[i].0 as &str).cloned());
+        if apply_step(repo, docs, &step).is_err() {
+            return DriveOutcome {
+                oracle,
+                crashed: Some((step, pre)),
+            };
+        }
+        if let Some(i) = step.doc() {
+            let name = &docs[i].0;
+            match step {
+                Step::Delete(_) => {
+                    oracle.remove(name);
+                }
+                _ => {
+                    // Reads survive the crash budget; the serialization a
+                    // caller could take right after the Ok is the state
+                    // the operation promised to make durable.
+                    let xml = repo
+                        .get_xml(name)
+                        .expect("read-back of an acknowledged document");
+                    oracle.insert(name.clone(), xml);
+                }
+            }
+        }
+    }
+    DriveOutcome {
+        oracle,
+        crashed: None,
+    }
+}
+
+/// Computes the allowed *post*-state of the in-flight step by replaying it
+/// on a scratch repository seeded with the pre-state. Returns `None` when
+/// the step's full effect removes the document (an in-flight delete).
+fn expected_post(docs: &[(String, String)], step: &Step, pre: &Option<String>) -> Option<String> {
+    let i = step.doc()?;
+    let name = &docs[i].0;
+    let scratch = Repository::create_in_memory(options()).unwrap();
+    if let Some(pre) = pre {
+        scratch.put_xml_streaming(name, pre).unwrap();
+    }
+    apply_step(&scratch, docs, step).unwrap();
+    scratch.get_xml(name).ok()
+}
+
+// ---------------------------------------------------------------------------
+// The harness.
+// ---------------------------------------------------------------------------
+
+struct Machine {
+    store: Arc<MemStorage>,
+    log: Arc<MemLogDevice>,
+    control: Arc<FaultControl>,
+}
+
+impl Machine {
+    fn boot(store: Arc<MemStorage>, durable_log: Vec<u8>, budget: Option<u64>) -> Machine {
+        let control = Arc::new(match budget {
+            Some(b) => FaultControl::with_budget(b),
+            None => FaultControl::unlimited(),
+        });
+        let log = Arc::new(MemLogDevice::new().with_fault(Arc::clone(&control)));
+        log.restore(durable_log);
+        Machine {
+            store,
+            log,
+            control,
+        }
+    }
+
+    fn backend(&self) -> Arc<dyn DiskBackend> {
+        Arc::new(FaultDisk::new(
+            Arc::clone(&self.store),
+            Arc::clone(&self.control),
+        ))
+    }
+
+    fn consumed(&self, initial: u64) -> u64 {
+        initial - self.control.writes_remaining() as u64
+    }
+}
+
+/// Baseline run without faults: returns (writes consumed by repository
+/// creation, writes consumed by creation + the full workload).
+fn baseline(docs: &[(String, String)]) -> (u64, u64) {
+    let initial = i64::MAX as u64;
+    let m = Machine::boot(Arc::new(MemStorage::new(PAGE).unwrap()), Vec::new(), None);
+    let repo = Repository::create_on_backend_with_log(
+        m.backend(),
+        Box::new(Arc::clone(&m.log)),
+        options(),
+    )
+    .unwrap();
+    let create_cost = m.consumed(initial);
+    let out = drive(&repo, docs);
+    assert!(out.crashed.is_none(), "baseline run must not fail");
+    let total = m.consumed(initial);
+    assert!(
+        total - create_cost > KILL_POINTS,
+        "workload too small to seed {KILL_POINTS} distinct kill points"
+    );
+    (create_cost, total)
+}
+
+/// One kill point: create + drive under `budget`, then reopen over the
+/// durable images and check the recovery contract.
+fn crash_at(docs: &[(String, String)], budget: u64) {
+    let store = Arc::new(MemStorage::new(PAGE).unwrap());
+    let m = Machine::boot(Arc::clone(&store), Vec::new(), Some(budget));
+    let repo = Repository::create_on_backend_with_log(
+        m.backend(),
+        Box::new(Arc::clone(&m.log)),
+        options(),
+    )
+    .expect("budget always covers repository creation");
+    let out = drive(&repo, docs);
+    drop(repo);
+    let durable = m.log.durable_bytes();
+
+    // Reboot: fresh fault-free devices over the surviving images.
+    let m2 = Machine::boot(Arc::clone(&store), durable, None);
+    let reopened = Repository::open_on_backend_with_log(
+        m2.backend(),
+        Box::new(Arc::clone(&m2.log)),
+        options(),
+    )
+    .unwrap_or_else(|e| panic!("recovery failed at budget {budget}: {e}"));
+
+    // 1. Every acknowledged document is byte-for-byte intact.
+    for (name, xml) in &out.oracle {
+        let got = reopened
+            .get_xml(name)
+            .unwrap_or_else(|e| panic!("budget {budget}: committed {name} lost: {e}"));
+        assert_eq!(&got, xml, "budget {budget}: committed {name} corrupted");
+    }
+
+    // 2. The in-flight operation is atomic: pre-state or full post-state.
+    let affected = out
+        .crashed
+        .as_ref()
+        .and_then(|(s, _)| s.doc())
+        .map(|i| docs[i].0.clone());
+    if let Some((step, pre)) = &out.crashed {
+        if let Some(name) = &affected {
+            let post = expected_post(docs, step, pre);
+            match reopened.get_xml(name) {
+                Ok(got) => {
+                    let matches_pre = pre.as_ref() == Some(&got);
+                    let matches_post = post.as_ref() == Some(&got);
+                    assert!(
+                        matches_pre || matches_post,
+                        "budget {budget}: in-flight {step:?} left {name} torn"
+                    );
+                }
+                Err(_) => {
+                    // Absence is fine exactly when the step's pre- or
+                    // post-state has no document.
+                    assert!(
+                        pre.is_none() || post.is_none(),
+                        "budget {budget}: in-flight {step:?} erased committed {name}"
+                    );
+                }
+            }
+        }
+    }
+
+    // 3. No ghost documents.
+    for name in reopened.document_names() {
+        let known = out.oracle.contains_key(&name) || affected.as_deref() == Some(&name);
+        assert!(
+            known,
+            "budget {budget}: ghost document {name} after recovery"
+        );
+    }
+
+    // 4. The recovered repository is writable, and a clean reopen keeps
+    //    everything again.
+    reopened
+        .put_xml("fresh-after-recovery", "<ok crash=\"survived\">fresh</ok>")
+        .unwrap_or_else(|e| panic!("budget {budget}: recovered repo not writable: {e}"));
+    let expect_fresh = reopened.get_xml("fresh-after-recovery").unwrap();
+    drop(reopened);
+    let m3 = Machine::boot(Arc::clone(&store), m2.log.durable_bytes(), None);
+    let again = Repository::open_on_backend_with_log(
+        m3.backend(),
+        Box::new(Arc::clone(&m3.log)),
+        options(),
+    )
+    .unwrap_or_else(|e| panic!("second reopen failed at budget {budget}: {e}"));
+    for (name, xml) in &out.oracle {
+        assert_eq!(
+            &again.get_xml(name).unwrap(),
+            xml,
+            "budget {budget}: {name} after second reopen"
+        );
+    }
+    assert_eq!(again.get_xml("fresh-after-recovery").unwrap(), expect_fresh);
+}
+
+/// Sweeps `KILL_POINTS` budgets evenly across the post-creation write
+/// sequence of the workload.
+fn sweep(docs: &[(String, String)]) {
+    let (create_cost, total) = baseline(docs);
+    let span = total - create_cost;
+    for k in 0..KILL_POINTS {
+        let budget = create_cost + 1 + (span - 2) * k / (KILL_POINTS - 1);
+        crash_at(docs, budget);
+    }
+}
+
+#[test]
+fn crash_recovery_shakespeare() {
+    sweep(&shakespeare_docs());
+}
+
+#[test]
+fn crash_recovery_orders() {
+    sweep(&orders_docs());
+}
+
+#[test]
+fn crash_recovery_deep_nesting() {
+    sweep(&deep_docs());
+}

@@ -9,7 +9,8 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -36,6 +37,31 @@ pub trait DiskBackend: Send + Sync {
 
     /// Flushes to durable storage where applicable.
     fn sync(&self) -> StorageResult<()>;
+}
+
+// A shared handle is itself a backend: the crash harness keeps an
+// `Arc<MemStorage>` so the page store survives dropping the repository
+// that wrote it (simulated reboot), re-wrapping the same pages under a
+// fresh fault controller.
+impl<B: DiskBackend + ?Sized> DiskBackend for Arc<B> {
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        (**self).read_page(page, buf)
+    }
+    fn write_page(&self, page: PageId, buf: &[u8]) -> StorageResult<()> {
+        (**self).write_page(page, buf)
+    }
+    fn page_count(&self) -> u64 {
+        (**self).page_count()
+    }
+    fn grow(&self, new_count: u64) -> StorageResult<()> {
+        (**self).grow(new_count)
+    }
+    fn sync(&self) -> StorageResult<()> {
+        (**self).sync()
+    }
 }
 
 /// In-memory page store.
@@ -122,15 +148,44 @@ impl FileStorage {
         })
     }
 
-    /// Opens an existing store file; its length must be a whole number of
-    /// pages of the given size.
+    /// Opens an existing store file, validating that it really is a NATIX
+    /// store of the requested page size before any page is interpreted:
+    ///
+    /// * a file too short to hold the header page, or whose length is not
+    ///   a whole number of pages, fails with [`StorageError::Corrupt`];
+    /// * a file without the NATIX magic fails with
+    ///   [`StorageError::Corrupt`];
+    /// * a store formatted with a different page size fails with
+    ///   [`StorageError::WrongPageSize`] carrying both sizes.
     pub fn open<P: AsRef<Path>>(path: P, page_size: usize) -> StorageResult<FileStorage> {
         crate::validate_page_size(page_size)?;
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
+        // The header prefix (16-byte page header + magic + version + page
+        // size) lives in the first 32 bytes regardless of page size.
+        let mut head = [0u8; 32];
+        if len < head.len() as u64 {
+            return Err(StorageError::Corrupt(format!(
+                "file of {len} bytes is too short to be a NATIX store"
+            )));
+        }
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut head)?;
+        if &head[16..24] != b"NATIXSTO" {
+            return Err(StorageError::Corrupt(
+                "missing NATIX magic: not a NATIX store".into(),
+            ));
+        }
+        let stored_ps = u32::from_le_bytes([head[28], head[29], head[30], head[31]]) as usize;
+        if stored_ps != page_size {
+            return Err(StorageError::WrongPageSize {
+                stored: stored_ps,
+                requested: page_size,
+            });
+        }
         if len % page_size as u64 != 0 {
             return Err(StorageError::Corrupt(format!(
-                "file length {len} is not a multiple of page size {page_size}"
+                "file length {len} is not a multiple of page size {page_size}: truncated store"
             )));
         }
         Ok(FileStorage {
@@ -203,16 +258,27 @@ pub struct ThrottledDisk<B> {
     inner: B,
     read_latency: std::time::Duration,
     write_latency: std::time::Duration,
+    sync_latency: std::time::Duration,
 }
 
 impl<B: DiskBackend> ThrottledDisk<B> {
-    /// Wraps `inner`, charging the given per-page service times.
+    /// Wraps `inner`, charging the given per-page service times. `sync`
+    /// is free; see [`with_sync_latency`](Self::with_sync_latency).
     pub fn new(inner: B, read_latency_us: u64, write_latency_us: u64) -> ThrottledDisk<B> {
         ThrottledDisk {
             inner,
             read_latency: std::time::Duration::from_micros(read_latency_us),
             write_latency: std::time::Duration::from_micros(write_latency_us),
+            sync_latency: std::time::Duration::ZERO,
         }
+    }
+
+    /// Charges `sync_latency_us` per `sync` call, so durability benches
+    /// reflect real fsync cost (a barrier plus device cache flush, not a
+    /// page transfer).
+    pub fn with_sync_latency(mut self, sync_latency_us: u64) -> ThrottledDisk<B> {
+        self.sync_latency = std::time::Duration::from_micros(sync_latency_us);
+        self
     }
 }
 
@@ -242,6 +308,125 @@ impl<B: DiskBackend> DiskBackend for ThrottledDisk<B> {
     }
 
     fn sync(&self) -> StorageResult<()> {
+        if !self.sync_latency.is_zero() {
+            std::thread::sleep(self.sync_latency);
+        }
+        self.inner.sync()
+    }
+}
+
+/// Shared write budget for crash injection. One controller is shared by a
+/// [`FaultDisk`] (page writes) and a [`crate::wal::MemLogDevice`] (log
+/// writes); every write consumes one unit, and once the budget is
+/// exhausted the "machine" is dead: all further writes and syncs fail
+/// (fail-stop). Reads and file growth keep succeeding — the crash harness
+/// still drives the workload to completion, collecting errors.
+pub struct FaultControl {
+    remaining: AtomicI64,
+    dead: AtomicBool,
+}
+
+impl FaultControl {
+    /// A controller that allows exactly `budget` writes before dying.
+    pub fn with_budget(budget: u64) -> FaultControl {
+        FaultControl {
+            remaining: AtomicI64::new(budget.min(i64::MAX as u64) as i64),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// A controller that never trips.
+    pub fn unlimited() -> FaultControl {
+        FaultControl::with_budget(i64::MAX as u64)
+    }
+
+    fn crash_error() -> StorageError {
+        StorageError::Io(std::io::Error::other(
+            "injected crash: write budget exhausted",
+        ))
+    }
+
+    /// Charges one write against the budget; kills the controller when it
+    /// runs out.
+    pub fn consume_write(&self) -> StorageResult<()> {
+        if self.dead.load(Ordering::Acquire) {
+            return Err(Self::crash_error());
+        }
+        let left = self.remaining.fetch_sub(1, Ordering::AcqRel);
+        if left <= 0 {
+            self.dead.store(true, Ordering::Release);
+            return Err(Self::crash_error());
+        }
+        Ok(())
+    }
+
+    /// Fails once the controller is dead (used by `sync`).
+    pub fn check_alive(&self) -> StorageResult<()> {
+        if self.dead.load(Ordering::Acquire) {
+            Err(Self::crash_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// True once the injected crash has happened.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Writes still allowed (for harness diagnostics).
+    pub fn writes_remaining(&self) -> i64 {
+        self.remaining.load(Ordering::Acquire).max(0)
+    }
+}
+
+/// Fault-injecting backend wrapper (sibling of [`ThrottledDisk`]): page
+/// writes draw on a shared [`FaultControl`] budget and fail permanently
+/// once it is exhausted, simulating a kill at an arbitrary I/O point.
+pub struct FaultDisk<B> {
+    inner: B,
+    control: Arc<FaultControl>,
+}
+
+impl<B: DiskBackend> FaultDisk<B> {
+    /// Wraps `inner` under the given controller.
+    pub fn new(inner: B, control: Arc<FaultControl>) -> FaultDisk<B> {
+        FaultDisk { inner, control }
+    }
+
+    /// The shared controller.
+    pub fn control(&self) -> &Arc<FaultControl> {
+        &self.control
+    }
+}
+
+impl<B: DiskBackend> DiskBackend for FaultDisk<B> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        // Reads survive the "crash": the process still sees what reached
+        // the store before death. Durability is judged at reopen.
+        self.inner.read_page(page, buf)
+    }
+
+    fn write_page(&self, page: PageId, buf: &[u8]) -> StorageResult<()> {
+        self.control.consume_write()?;
+        self.inner.write_page(page, buf)
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+
+    fn grow(&self, new_count: u64) -> StorageResult<()> {
+        // Growth is metadata, not a page transfer.
+        self.inner.grow(new_count)
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        self.control.check_alive()?;
         self.inner.sync()
     }
 }
@@ -274,6 +459,17 @@ mod tests {
         exercise(&m);
     }
 
+    /// Stamps a minimal valid NATIX header (magic + page size) on page 0
+    /// so `FileStorage::open`'s validation accepts the file.
+    fn stamp_header(backend: &dyn DiskBackend) {
+        let ps = backend.page_size();
+        let mut page = vec![0u8; ps];
+        backend.read_page(0, &mut page).unwrap();
+        page[16..24].copy_from_slice(b"NATIXSTO");
+        page[28..32].copy_from_slice(&(ps as u32).to_le_bytes());
+        backend.write_page(0, &page).unwrap();
+    }
+
     #[test]
     fn file_backend_roundtrip_and_reopen() {
         let dir = std::env::temp_dir().join(format!("natix-disk-test-{}", std::process::id()));
@@ -282,6 +478,7 @@ mod tests {
         {
             let f = FileStorage::create(&path, 1024).unwrap();
             exercise(&f);
+            stamp_header(&f);
         }
         {
             let f = FileStorage::open(&path, 1024).unwrap();
@@ -296,6 +493,95 @@ mod tests {
             "wrong page size detected"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_wrong_page_size_with_typed_error() {
+        let dir = std::env::temp_dir().join(format!("natix-disk-ps-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.natix");
+        {
+            let f = FileStorage::create(&path, 1024).unwrap();
+            f.grow(2).unwrap();
+            stamp_header(&f);
+        }
+        match FileStorage::open(&path, 2048) {
+            Err(StorageError::WrongPageSize { stored, requested }) => {
+                assert_eq!(stored, 1024);
+                assert_eq!(requested, 2048);
+            }
+            Err(other) => panic!("expected WrongPageSize, got {other:?}"),
+            Ok(_) => panic!("expected WrongPageSize, got Ok"),
+        }
+        // The right page size still opens.
+        FileStorage::open(&path, 1024).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_rejects_truncated_and_corrupt_files() {
+        let dir = std::env::temp_dir().join(format!("natix-disk-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Too short to hold a header at all.
+        let short = dir.join("short.natix");
+        std::fs::write(&short, b"tiny").unwrap();
+        assert!(matches!(
+            FileStorage::open(&short, 1024),
+            Err(StorageError::Corrupt(_))
+        ));
+        // Long enough but no NATIX magic.
+        let junk = dir.join("junk.natix");
+        std::fs::write(&junk, vec![0x5A; 1024]).unwrap();
+        assert!(matches!(
+            FileStorage::open(&junk, 1024),
+            Err(StorageError::Corrupt(_))
+        ));
+        // Valid header but a torn tail (length not a page multiple).
+        let torn = dir.join("torn.natix");
+        {
+            let f = FileStorage::create(&torn, 1024).unwrap();
+            f.grow(2).unwrap();
+            stamp_header(&f);
+        }
+        let bytes = std::fs::read(&torn).unwrap();
+        std::fs::write(&torn, &bytes[..1536]).unwrap();
+        assert!(matches!(
+            FileStorage::open(&torn, 1024),
+            Err(StorageError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn throttled_sync_pays_latency() {
+        let t = ThrottledDisk::new(MemStorage::new(512).unwrap(), 0, 0).with_sync_latency(2_000);
+        let t0 = std::time::Instant::now();
+        for _ in 0..3 {
+            t.sync().unwrap();
+        }
+        assert!(
+            t0.elapsed() >= std::time::Duration::from_millis(6),
+            "three 2 ms syncs must take at least 6 ms"
+        );
+    }
+
+    #[test]
+    fn fault_disk_dies_after_budget() {
+        let ctl = Arc::new(FaultControl::with_budget(2));
+        let d = FaultDisk::new(MemStorage::new(512).unwrap(), Arc::clone(&ctl));
+        d.grow(4).unwrap();
+        let page = vec![7u8; 512];
+        d.write_page(0, &page).unwrap();
+        d.write_page(1, &page).unwrap();
+        assert!(!ctl.is_dead());
+        assert!(d.write_page(2, &page).is_err(), "third write trips");
+        assert!(ctl.is_dead());
+        assert!(d.write_page(3, &page).is_err(), "stays dead");
+        assert!(d.sync().is_err(), "sync fails after death");
+        // Reads still work: the surviving state is inspectable.
+        let mut out = vec![0u8; 512];
+        d.read_page(0, &mut out).unwrap();
+        assert_eq!(out, page);
     }
 
     #[test]

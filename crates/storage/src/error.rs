@@ -13,6 +13,14 @@ pub enum StorageError {
     PageOutOfBounds(PageId),
     /// Page size outside the supported range or misaligned.
     BadPageSize(usize),
+    /// A store file was opened with a different page size than it was
+    /// formatted with.
+    WrongPageSize {
+        /// Page size recorded in the store's header.
+        stored: usize,
+        /// Page size the caller asked for.
+        requested: usize,
+    },
     /// The on-disk image is not a NATIX store or has an incompatible layout.
     Corrupt(String),
     /// A RID did not refer to a live record.
@@ -40,6 +48,10 @@ impl fmt::Display for StorageError {
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
             StorageError::PageOutOfBounds(p) => write!(f, "page {p} out of bounds"),
             StorageError::BadPageSize(s) => write!(f, "unsupported page size {s}"),
+            StorageError::WrongPageSize { stored, requested } => write!(
+                f,
+                "store was formatted with page size {stored}, opened with {requested}"
+            ),
             StorageError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
             StorageError::RecordNotFound(rid) => write!(f, "record {rid} not found"),
             StorageError::RecordTooLarge { len, max } => {

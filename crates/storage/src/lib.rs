@@ -39,15 +39,17 @@ pub mod segment;
 pub mod simdisk;
 pub mod slotted;
 pub mod stats;
+pub mod wal;
 
 pub use buffer::{BufferManager, EvictionPolicy, PinnedPage};
-pub use disk::{DiskBackend, FileStorage, MemStorage, ThrottledDisk};
+pub use disk::{DiskBackend, FaultControl, FaultDisk, FileStorage, MemStorage, ThrottledDisk};
 pub use error::{StorageError, StorageResult};
 pub use page::{PageBuf, PageKind, PAGE_HEADER_SIZE};
 pub use rid::{PageId, Rid, SlotId, INVALID_PAGE};
 pub use segment::{SegmentId, StorageManager};
 pub use simdisk::{DiskProfile, SimDisk};
 pub use stats::IoStats;
+pub use wal::{FileLogDevice, LogDevice, MemLogDevice, StoreSnapshot, Wal, WalRecord, WalSyncMode};
 
 /// Smallest page size supported (the paper sweeps 2K–32K).
 pub const MIN_PAGE_SIZE: usize = 512;

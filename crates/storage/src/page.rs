@@ -14,7 +14,7 @@
 //! 4   u16  free_start          (offset of the first unused data byte)
 //! 6   u16  free_total          (free bytes including holes)
 //! 8   u32  next_page           (chained plain pages / B+-tree siblings)
-//! 12  u32  reserved
+//! 12  u32  lsn                 (truncated page LSN, stamped by WAL replay)
 //! 16  ...  payload
 //! ```
 
@@ -183,6 +183,22 @@ impl PageBuf {
     #[inline]
     pub fn set_next_page(&mut self, p: PageId) {
         self.data[8..12].copy_from_slice(&p.to_le_bytes());
+    }
+
+    /// Page LSN (truncated to 32 bits): the log position of the last redo
+    /// image written for this page, stamped by WAL replay and by the
+    /// commit hook's image capture. Informational — recovery replay is
+    /// idempotent and does not depend on it (stolen frames reach disk
+    /// without a stamp).
+    #[inline]
+    pub fn lsn32(&self) -> u32 {
+        self.read_u32(12)
+    }
+
+    /// Sets the page LSN field (header bytes 12..16, formerly reserved).
+    #[inline]
+    pub fn set_lsn32(&mut self, lsn: u32) {
+        self.write_u32(12, lsn);
     }
 
     /// Initialises the header for a fresh page of the given kind.

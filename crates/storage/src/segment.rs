@@ -14,11 +14,15 @@
 //!   [`checkpoint`](StorageManager::checkpoint).
 //!
 //! On top of that it offers RID-granular record operations used by the tree
-//! storage manager and the catalog. There is no write-ahead logging or
-//! crash recovery — the paper's system has none either; durability is via
-//! explicit checkpointing.
+//! storage manager and the catalog. The paper's system has no recovery
+//! component — durability there is via explicit checkpointing. Here, when a
+//! [`Wal`] is attached via [`StorageManager::attach_wal`], allocation-state
+//! transitions (page alloc/free, segment creation) are additionally logged
+//! so recovery can rebuild the allocator from a checkpoint snapshot plus
+//! the log suffix: after a crash the header page, free-list chain and space
+//! maps on disk are all untrustworthy (they are ordinary unlogged pages).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -28,6 +32,7 @@ use crate::freespace::FreeSpaceInventory;
 use crate::page::{PageKind, PAGE_HEADER_SIZE};
 use crate::rid::{PageId, Rid, INVALID_PAGE};
 use crate::slotted::{max_record_payload, SlottedPage, SlottedPageRef};
+use crate::wal::{SegmentSnapshot, StoreSnapshot, Wal, WalRecord, NO_ALLOC_SEGMENT};
 
 /// Identifies a segment within a repository.
 pub type SegmentId = u16;
@@ -89,6 +94,8 @@ impl PlacementHint {
 pub struct StorageManager {
     buffer: Arc<BufferManager>,
     state: Mutex<SmState>,
+    /// Attached write-ahead log; allocation transitions are logged when set.
+    wal: OnceLock<Arc<Wal>>,
 }
 
 impl StorageManager {
@@ -113,6 +120,7 @@ impl StorageManager {
                 free_list_head: INVALID_PAGE,
                 segments: Vec::new(),
             }),
+            wal: OnceLock::new(),
         })
     }
 
@@ -184,7 +192,21 @@ impl StorageManager {
                 free_list_head,
                 segments,
             }),
+            wal: OnceLock::new(),
         })
+    }
+
+    /// Attaches the write-ahead log. From now on page allocation, page
+    /// frees and segment creation append log records (unless the calling
+    /// thread suppresses logging, e.g. during checkpoint or recovery).
+    pub fn attach_wal(&self, wal: Arc<Wal>) {
+        let _ = self.wal.set(wal);
+    }
+
+    fn wal_append(&self, rec: &WalRecord) {
+        if let Some(wal) = self.wal.get() {
+            wal.append(rec);
+        }
     }
 
     /// The shared buffer manager.
@@ -247,6 +269,11 @@ impl StorageManager {
             fsi: FreeSpaceInventory::new(),
             spacemap_head: INVALID_PAGE,
         });
+        // Logged under the state lock so the record order in the log
+        // matches the positional segment-id order recovery replays.
+        self.wal_append(&WalRecord::SegCreate {
+            name: name.to_string(),
+        });
         self.persist_segdir(&st)?;
         Ok((st.segments.len() - 1) as SegmentId)
     }
@@ -271,18 +298,29 @@ impl StorageManager {
             .collect()
     }
 
-    fn alloc_raw(&self, st: &mut SmState) -> StorageResult<PageId> {
+    /// `fsi_segment` is the inventory the caller will register the page
+    /// in ([`NO_ALLOC_SEGMENT`] for space-map chains) — recorded in the
+    /// log so recovery can re-adopt surviving allocations.
+    fn alloc_raw(&self, st: &mut SmState, fsi_segment: SegmentId) -> StorageResult<PageId> {
         if st.free_list_head != INVALID_PAGE {
             let page = st.free_list_head;
             let pin = self.buffer.pin(page)?;
             st.free_list_head = pin.read().next_page();
             drop(pin);
+            self.wal_append(&WalRecord::Alloc {
+                page,
+                segment: fsi_segment,
+            });
             self.persist_alloc_state(st)?;
             return Ok(page);
         }
         let page = st.next_unallocated;
         st.next_unallocated += 1;
         self.buffer.backend().grow(st.next_unallocated as u64)?;
+        self.wal_append(&WalRecord::Alloc {
+            page,
+            segment: fsi_segment,
+        });
         self.persist_alloc_state(st)?;
         Ok(page)
     }
@@ -295,7 +333,7 @@ impl StorageManager {
             if segment as usize >= st.segments.len() {
                 return Err(StorageError::NoSuchSegment(segment));
             }
-            self.alloc_raw(&mut st)?
+            self.alloc_raw(&mut st, segment)?
         };
         // Format outside the allocator lock: pinning the fresh page can
         // evict a dirty frame (a disk write), and holding the state mutex
@@ -333,6 +371,7 @@ impl StorageManager {
         }
         drop(pin);
         st.free_list_head = page;
+        self.wal_append(&WalRecord::Free { page });
         self.persist_alloc_state(&st)
     }
 
@@ -577,7 +616,7 @@ impl StorageManager {
             }
             let pages_needed = entries.chunks(per_page).count().max(1);
             while chain.len() < pages_needed {
-                let p = self.alloc_raw(&mut st)?;
+                let p = self.alloc_raw(&mut st, NO_ALLOC_SEGMENT)?;
                 let pin = self.buffer.pin_new(p)?;
                 pin.write().format(PageKind::SpaceMap);
                 chain.push(p);
@@ -622,6 +661,258 @@ impl StorageManager {
     /// the header and space maps.
     pub fn allocated_pages(&self) -> u64 {
         self.state.lock().next_unallocated as u64
+    }
+
+    // ------------------------------------------------------------------
+    // WAL checkpointing and crash recovery.
+    // ------------------------------------------------------------------
+
+    /// Builds an allocator snapshot and appends it to the attached log as
+    /// a [`WalRecord::Checkpoint`]. Snapshot capture and append both run
+    /// under the state lock — the same lock every Alloc/Free/SegCreate
+    /// append holds — so each allocation event lands either inside the
+    /// snapshot or after the checkpoint record in the log, never both.
+    ///
+    /// When `quiesced` is provided the truncate-reset fast path is tried
+    /// first: flush the append buffer, then atomically replace the whole
+    /// log with the single checkpoint record if nothing appended meanwhile
+    /// and `quiesced` still holds (see [`Wal::try_truncate_reset`]).
+    /// Otherwise (or on any mismatch) a fuzzy checkpoint is appended; the
+    /// caller is responsible for syncing it.
+    ///
+    /// No-op without an attached log. Must be called outside any
+    /// [`crate::wal::SuppressLogging`] region.
+    pub fn append_checkpoint(
+        &self,
+        redo_horizon: u64,
+        catalog: Vec<u8>,
+        quiesced: Option<&dyn Fn() -> bool>,
+    ) -> StorageResult<()> {
+        let Some(wal) = self.wal.get() else {
+            return Ok(());
+        };
+        let user_root = self.user_root()?.to_vec();
+        let st = self.state.lock();
+        let mut free_list = Vec::new();
+        let mut cur = st.free_list_head;
+        while cur != INVALID_PAGE {
+            free_list.push(cur);
+            cur = self.buffer.pin(cur)?.read().next_page();
+        }
+        // Space-map chain pages are reachable only through the header
+        // page, which recovery discards; listing them as free lets a
+        // recovered store reuse them (chains are rebuilt from the FSI on
+        // the next checkpoint).
+        for seg in &st.segments {
+            let mut cur = seg.spacemap_head;
+            while cur != INVALID_PAGE {
+                free_list.push(cur);
+                cur = self.buffer.pin(cur)?.read().next_page();
+            }
+        }
+        let segments = st
+            .segments
+            .iter()
+            .map(|s| {
+                let mut pages: Vec<(PageId, u16)> = s.fsi.iter().collect();
+                pages.sort_unstable();
+                SegmentSnapshot {
+                    name: s.name.clone(),
+                    pages,
+                }
+            })
+            .collect();
+        let snap = StoreSnapshot {
+            redo_horizon,
+            next_unallocated: st.next_unallocated,
+            free_list,
+            segments,
+            user_root,
+            catalog,
+        };
+        if let Some(pred) = quiesced {
+            wal.flush_buffered()?;
+            let expected = wal.appended_lsn();
+            // In the reset log this checkpoint sits at offset 0 and is the
+            // only surviving record: every LSN restarts, so the redo
+            // horizon must restart with them — keeping the pre-truncate
+            // horizon would make every later record look pre-checkpoint
+            // and redo would skip it all.
+            let reset = WalRecord::Checkpoint(Box::new(StoreSnapshot {
+                redo_horizon: 0,
+                ..snap.clone()
+            }));
+            if wal.try_truncate_reset(expected, pred, &reset)? {
+                return Ok(());
+            }
+        }
+        wal.append(&WalRecord::Checkpoint(Box::new(snap)));
+        Ok(())
+    }
+
+    /// Rebuilds a storage manager from a checkpoint snapshot, rewriting
+    /// the (untrustworthy post-crash) header page from it. The free list
+    /// starts empty — recovery folds the post-checkpoint Alloc/Free
+    /// records into the snapshot's list and installs the result via
+    /// [`install_free_list`](Self::install_free_list).
+    pub fn restore_from_snapshot(
+        buffer: Arc<BufferManager>,
+        snap: &StoreSnapshot,
+    ) -> StorageResult<StorageManager> {
+        let next_unallocated = snap.next_unallocated.max(1);
+        buffer.backend().grow(next_unallocated as u64)?;
+        buffer.discard(0)?;
+        {
+            let hdr = buffer.pin_new(0)?;
+            let mut page = hdr.write();
+            page.format(PageKind::Header);
+            page.bytes_mut()[OFF_MAGIC..OFF_MAGIC + 8].copy_from_slice(MAGIC);
+            page.write_u32(OFF_VERSION, VERSION);
+            page.write_u32(OFF_PAGE_SIZE, buffer.page_size() as u32);
+            page.write_u32(OFF_NEXT_UNALLOCATED, next_unallocated);
+            page.write_u32(OFF_FREE_LIST, INVALID_PAGE);
+            page.write_u16(OFF_SEGMENT_COUNT, snap.segments.len() as u16);
+            let n = snap.user_root.len().min(USER_ROOT_LEN);
+            page.bytes_mut()[OFF_USER_ROOT..OFF_USER_ROOT + n]
+                .copy_from_slice(&snap.user_root[..n]);
+            for (i, seg) in snap.segments.iter().enumerate() {
+                let at = OFF_SEGDIR + i * SEGDIR_ENTRY;
+                page.write_u32(at, INVALID_PAGE);
+                let name = seg.name.as_bytes();
+                page.write_u16(at + 4, name.len() as u16);
+                page.bytes_mut()[at + 6..at + 6 + name.len()].copy_from_slice(name);
+            }
+        }
+        let segments = snap
+            .segments
+            .iter()
+            .map(|s| {
+                let mut fsi = FreeSpaceInventory::new();
+                for &(p, f) in &s.pages {
+                    fsi.set(p, f);
+                }
+                SegmentState {
+                    name: s.name.clone(),
+                    fsi,
+                    spacemap_head: INVALID_PAGE,
+                }
+            })
+            .collect();
+        Ok(StorageManager {
+            buffer,
+            state: Mutex::new(SmState {
+                next_unallocated,
+                free_list_head: INVALID_PAGE,
+                segments,
+            }),
+            wal: OnceLock::new(),
+        })
+    }
+
+    /// Raises the allocation high-water mark (recovery: fold of the
+    /// post-checkpoint Alloc records) and grows the backend to match.
+    pub fn set_next_unallocated(&self, next: PageId) -> StorageResult<()> {
+        let mut st = self.state.lock();
+        if next > st.next_unallocated {
+            st.next_unallocated = next;
+            self.buffer.backend().grow(next as u64)?;
+        }
+        self.persist_alloc_state(&st)
+    }
+
+    /// Installs `pages` (head first) as the free list: formats each page
+    /// as `Free`, chains them, and drops them from every free-space
+    /// inventory.
+    pub fn install_free_list(&self, pages: &[PageId]) -> StorageResult<()> {
+        let mut st = self.state.lock();
+        let mut head = INVALID_PAGE;
+        for &p in pages.iter().rev() {
+            self.buffer.discard(p)?;
+            let pin = self.buffer.pin_new(p)?;
+            {
+                let mut buf = pin.write();
+                buf.format(PageKind::Free);
+                buf.set_next_page(head);
+            }
+            head = p;
+        }
+        st.free_list_head = head;
+        for seg in &mut st.segments {
+            for &p in pages {
+                seg.fsi.remove(p);
+            }
+        }
+        self.persist_alloc_state(&st)
+    }
+
+    /// Re-registers `page` in `segment`'s free-space inventory with a
+    /// placeholder value (recovery: a page allocated after the checkpoint
+    /// whose Alloc record survived — without this the page would stay
+    /// allocated but invisible to the inventory and to every later
+    /// snapshot). Call [`refresh_fsi_from_pages`] afterwards to replace
+    /// the placeholder with the page's real free space. Unknown segments
+    /// are ignored: the log may carry allocations for segments whose
+    /// creation never became durable.
+    ///
+    /// [`refresh_fsi_from_pages`]: Self::refresh_fsi_from_pages
+    pub fn adopt_page(&self, segment: SegmentId, page: PageId) {
+        let mut st = self.state.lock();
+        if let Some(seg) = st.segments.get_mut(segment as usize) {
+            seg.fsi.set(page, 0);
+        }
+    }
+
+    /// Re-derives every cached free-space value from the pages themselves
+    /// (recovery: redo/undo may have changed them since the snapshot).
+    /// Entries whose page is free — or unreadable — are dropped.
+    pub fn refresh_fsi_from_pages(&self) -> StorageResult<()> {
+        let mut st = self.state.lock();
+        for si in 0..st.segments.len() {
+            let pages: Vec<PageId> = st.segments[si].fsi.iter().map(|(p, _)| p).collect();
+            for p in pages {
+                let pin = self.buffer.pin(p)?;
+                let free = {
+                    let buf = pin.read();
+                    match buf.kind() {
+                        Ok(PageKind::Free) | Err(_) => None,
+                        Ok(_) => Some(buf.free_total()),
+                    }
+                };
+                match free {
+                    Some(f) => st.segments[si].fsi.set(p, f),
+                    None => {
+                        st.segments[si].fsi.remove(p);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reformats every page of `segment` as an empty slotted page
+    /// (recovery: the catalog segment is rebuilt from the logged
+    /// directory, so its stale pre-crash pages are wiped first).
+    pub fn wipe_segment_pages(&self, segment: SegmentId) -> StorageResult<()> {
+        let mut st = self.state.lock();
+        if segment as usize >= st.segments.len() {
+            return Err(StorageError::NoSuchSegment(segment));
+        }
+        let pages: Vec<PageId> = st.segments[segment as usize]
+            .fsi
+            .iter()
+            .map(|(p, _)| p)
+            .collect();
+        for p in pages {
+            self.buffer.discard(p)?;
+            let pin = self.buffer.pin_new(p)?;
+            let free = {
+                let mut buf = pin.write();
+                SlottedPage::format(&mut buf);
+                buf.free_total()
+            };
+            st.segments[segment as usize].fsi.set(p, free);
+        }
+        Ok(())
     }
 }
 

@@ -44,14 +44,15 @@
 //! with [`VersionStore::adopt_read`].
 
 use std::cell::Cell;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
-use natix_storage::Rid;
+use natix_storage::wal::{log_suppressed, Wal, WalRecord};
+use natix_storage::{PageId, Rid};
 
 use crate::model::RecordTree;
 
@@ -116,6 +117,12 @@ struct VersionState {
     next_op: u64,
 }
 
+/// Commit-time callback installed by the repository: `(op, touched pages)`,
+/// invoked after an operation publishes. The repository's hook captures
+/// full images of the touched pages and appends them to the log together
+/// with the operation's commit record.
+pub type CommitHook = Box<dyn Fn(u64, Vec<PageId>) + Send + Sync>;
+
 /// The shared epoch/version state of one repository's record stores. All
 /// [`crate::TreeStore`]s of one storage manager share a single
 /// `Arc<VersionStore>`, because records are addressed globally.
@@ -125,6 +132,16 @@ pub struct VersionStore {
     /// means no writer has deposited anything a reader could need, so
     /// `lookup` never takes the mutex.
     retained: AtomicUsize,
+    /// Attached write-ahead log: deposits double as logged undo images.
+    wal: OnceLock<Arc<Wal>>,
+    /// Redo-logging hook run when an operation publishes.
+    commit_hook: OnceLock<CommitHook>,
+    /// Outer write operations started (counts up-front, before the
+    /// operation's first log append can happen).
+    ops_begun: AtomicU64,
+    /// Outer write operations fully finished — published *and* done with
+    /// their commit hook, i.e. past their last log append.
+    ops_finished: AtomicU64,
 }
 
 impl Default for VersionStore {
@@ -147,7 +164,40 @@ impl VersionStore {
                 next_op: 0,
             }),
             retained: AtomicUsize::new(0),
+            wal: OnceLock::new(),
+            commit_hook: OnceLock::new(),
+            ops_begun: AtomicU64::new(0),
+            ops_finished: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches the write-ahead log: from now on every first deposit and
+    /// creation notice is also appended as an undo record.
+    pub fn attach_wal(&self, wal: Arc<Wal>) {
+        let _ = self.wal.set(wal);
+    }
+
+    /// Installs the redo-logging commit hook (at most once).
+    pub fn set_commit_hook(&self, hook: CommitHook) {
+        let _ = self.commit_hook.set(hook);
+    }
+
+    /// Outer write operations started so far.
+    pub fn ops_begun(&self) -> u64 {
+        self.ops_begun.load(Ordering::Acquire)
+    }
+
+    /// Outer write operations fully finished (published, commit hook run).
+    pub fn ops_finished(&self) -> u64 {
+        self.ops_finished.load(Ordering::Acquire)
+    }
+
+    /// Write operations currently in flight. Racy by nature — meaningful
+    /// for quiescence checks only together with
+    /// [`ops_begun`](Self::ops_begun)/[`ops_finished`](Self::ops_finished)
+    /// equality over an interval.
+    pub fn active_ops(&self) -> u64 {
+        self.ops_begun().saturating_sub(self.ops_finished())
     }
 
     /// Identity used to match thread-local ambient state to this store.
@@ -309,6 +359,7 @@ impl VersionStore {
                 store: self,
                 op: None,
                 prev,
+                counted: false,
                 _not_send: PhantomData,
             };
         }
@@ -317,11 +368,22 @@ impl VersionStore {
             st.next_op += 1;
             st.next_op
         };
+        // Counted before the operation can log anything: a checkpoint's
+        // quiescence check that sees an unchanged count knows no record of
+        // this operation can be in the log it is about to truncate.
+        // Suppressed operations (checkpoint/recovery internals) never log,
+        // so they stay invisible to that check — otherwise a checkpoint's
+        // own catalog save would veto its log truncation.
+        let counted = !log_suppressed();
+        if counted {
+            self.ops_begun.fetch_add(1, Ordering::AcqRel);
+        }
         WRITE_OP.set(Some((self.id(), op)));
         WriteOp {
             store: self,
             op: Some(op),
             prev,
+            counted,
             _not_send: PhantomData,
         }
     }
@@ -338,7 +400,12 @@ impl VersionStore {
     /// no snapshot older than the operation can reach it, so later
     /// supersedes within the same operation are skipped.
     pub fn note_created(&self, op: u64, rid: Rid) {
-        self.state.lock().created.entry(op).or_default().insert(rid);
+        let mut st = self.state.lock();
+        if st.created.entry(op).or_default().insert(rid) {
+            if let Some(wal) = self.wal.get() {
+                wal.append(&WalRecord::Created { op, rid });
+            }
+        }
     }
 
     /// True when `rid` was created by operation `op` (its supersedes need
@@ -401,6 +468,17 @@ impl VersionStore {
                 return; // already deposited by this operation
             }
         }
+        // The sticking deposit *is* the undo image: log it before the
+        // caller touches the page bytes. (The decoded form is test-only;
+        // the write path always deposits raw bytes + table.)
+        if let (Some(wal), Image::Raw(bytes, table)) = (self.wal.get(), &image) {
+            wal.append(&WalRecord::PreImage {
+                op,
+                rid,
+                table: table.clone(),
+                bytes: bytes.clone(),
+            });
+        }
         st.records.entry(rid).or_default().push(RecordVersion {
             valid_until: u64::MAX,
             op,
@@ -432,13 +510,22 @@ impl VersionStore {
     /// and the operation's publish hooks run — all inside one critical
     /// section, so no reader can pin the new epoch and still observe
     /// pre-publish upper-layer state (e.g. a stale document-root RID).
-    fn end_write(&self, op: u64) {
+    ///
+    /// Returns the set of pages the operation touched (every page holding
+    /// a record it superseded or created), for the commit hook.
+    fn end_write(&self, op: u64) -> Vec<PageId> {
         let mut st = self.state.lock();
         st.epoch += 1;
         let e = st.epoch;
-        st.created.remove(&op);
+        let mut pages: BTreeSet<PageId> = BTreeSet::new();
+        if let Some(created) = st.created.remove(&op) {
+            for rid in created {
+                pages.insert(rid.page);
+            }
+        }
         if let Some(rids) = st.pending.remove(&op) {
             for rid in rids {
+                pages.insert(rid.page);
                 if let Some(versions) = st.records.get_mut(&rid) {
                     for v in versions.iter_mut() {
                         if v.valid_until == u64::MAX && v.op == op {
@@ -455,6 +542,7 @@ impl VersionStore {
             }
         }
         self.gc(&mut st);
+        pages.into_iter().collect()
     }
 
     /// Drops every published version no pinned reader can need. A version
@@ -516,14 +604,43 @@ pub struct WriteOp<'a> {
     /// `None` for a nested guard (the outer operation publishes).
     op: Option<u64>,
     prev: Option<(usize, u64)>,
+    /// Whether this guard bumped `ops_begun` (false when it began under
+    /// log suppression and is invisible to quiescence checks).
+    counted: bool,
     _not_send: PhantomData<*const ()>,
+}
+
+impl WriteOp<'_> {
+    /// The operation's token (the outer operation's for a nested guard).
+    pub fn id(&self) -> u64 {
+        self.op.unwrap_or_else(|| {
+            self.store
+                .ambient_write_op()
+                .expect("nested WriteOp implies an ambient operation")
+        })
+    }
 }
 
 impl Drop for WriteOp<'_> {
     fn drop(&mut self) {
         if let Some(op) = self.op {
             WRITE_OP.set(self.prev);
-            self.store.end_write(op);
+            let pages = self.store.end_write(op);
+            // Redo logging: capture-and-commit the touched pages. Runs
+            // after publish (the images must be the final, published
+            // bytes) but before the operation counts as finished — a
+            // checkpoint's quiescence check must not truncate the log
+            // while the hook is still appending to it. Skipped for
+            // operations that touched nothing and under log suppression
+            // (checkpoint/recovery internals).
+            if !pages.is_empty() && !log_suppressed() {
+                if let Some(hook) = self.store.commit_hook.get() {
+                    hook(op, pages);
+                }
+            }
+            if self.counted {
+                self.store.ops_finished.fetch_add(1, Ordering::AcqRel);
+            }
         }
     }
 }
