@@ -110,15 +110,18 @@ impl DocState {
         let root_id = fresh(&mut ids, root_ptr);
         DocState {
             name,
-            root: Mutex::new(RootSlot {
-                current: root_rid,
-                old: Vec::new(),
-                born_at: 0,
-                dead_from: None,
-            }),
+            root: Mutex::with_rank(
+                &parking_lot::rank::DOC_ROOT,
+                RootSlot {
+                    current: root_rid,
+                    old: Vec::new(),
+                    born_at: 0,
+                    dead_from: None,
+                },
+            ),
             root_id,
-            ids: Mutex::new(ids),
-            edit_latch: Mutex::new(()),
+            ids: Mutex::with_rank(&parking_lot::rank::DOC_IDS, ids),
+            edit_latch: Mutex::with_rank(&parking_lot::rank::DOC_EDIT_LATCH, ()),
         }
     }
 

@@ -84,8 +84,10 @@ impl Repository {
         }
         let stores: Vec<Arc<TreeStore>> = stores.into_iter().map(Arc::new).collect();
         let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<NatixResult<DocId>>>> =
-            docs.iter().map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<NatixResult<DocId>>>> = docs
+            .iter()
+            .map(|_| Mutex::with_rank(&parking_lot::rank::RESULT_SLOT, None))
+            .collect();
         std::thread::scope(|scope| {
             for w in 0..writers {
                 let store = Arc::clone(&stores[w % slots]);

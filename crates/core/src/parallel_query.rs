@@ -317,8 +317,10 @@ impl Repository {
             return docs.iter().map(|&d| self.query_sequential(d, q)).collect();
         }
         let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<NatixResult<Vec<NodeId>>>>> =
-            docs.iter().map(|_| Mutex::new(None)).collect();
+        let results: Vec<Mutex<Option<NatixResult<Vec<NodeId>>>>> = docs
+            .iter()
+            .map(|_| Mutex::with_rank(&parking_lot::rank::RESULT_SLOT, None))
+            .collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -394,11 +396,14 @@ impl Repository {
         }
         if !queue.is_empty() {
             let shared = ScanQueue {
-                state: Mutex::new(ScanQueueState {
-                    tasks: queue,
-                    active: 0,
-                    failed: false,
-                }),
+                state: Mutex::with_rank(
+                    &parking_lot::rank::SCAN_QUEUE,
+                    ScanQueueState {
+                        tasks: queue,
+                        active: 0,
+                        failed: false,
+                    },
+                ),
                 work: Condvar::new(),
             };
             // The calling thread drains alongside `threads - 1` helpers.
@@ -602,10 +607,13 @@ impl Repository {
         label: Option<LabelId>,
         threads: usize,
     ) -> NatixResult<Vec<NodePtr>> {
-        let slots: Vec<Mutex<Vec<NodePtr>>> =
-            contexts.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let slots: Vec<Mutex<Vec<NodePtr>>> = contexts
+            .iter()
+            .map(|_| Mutex::with_rank(&parking_lot::rank::RESULT_SLOT, Vec::new()))
+            .collect();
         let next = AtomicUsize::new(0);
-        let failed: Mutex<Option<NatixError>> = Mutex::new(None);
+        let failed: Mutex<Option<NatixError>> =
+            Mutex::with_rank(&parking_lot::rank::RESULT_SLOT, None);
         let epoch = self.tree.ambient_read_epoch();
         std::thread::scope(|scope| {
             for _ in 0..threads {

@@ -497,6 +497,14 @@ pub(crate) fn replay(
     }
     sm.refresh_fsi_from_pages()?;
 
+    // Loser allocations: `Alloc` records carry no operation id, so the
+    // fold above re-adopted every post-checkpoint allocation, and the
+    // refresh just dropped the ones whose content never reached disk.
+    // Without this sweep those pages stay allocated but unreachable —
+    // invisible to the inventories and to every later snapshot — until a
+    // full checkpoint happens to rebuild the free list. Release them now.
+    sm.reclaim_untracked_pages()?;
+
     // --- Directory fold: the snapshot's payload, superseded by any
     //     later unconditional (op 0) or committed directory record;
     //     committed deletions after that base drop their document.

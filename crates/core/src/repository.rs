@@ -10,26 +10,72 @@
 //!
 //! The repository is a multi-user server in the paper's design, and this
 //! implementation is `Sync`: a `&Repository` may be shared across threads.
-//! The locks, from the outside in:
 //!
-//! * **Symbol table** — `RwLock<SymbolTable>`: readers (serialisation,
-//!   queries, name lookups) share; interning a *new* label takes the write
-//!   lock briefly. Concurrent parsers intern through a read-locked lookup
-//!   fast path ([`Repository::intern_shared`]) and only escalate on a
-//!   genuinely new name, so label interning does not serialize ingestion.
-//! * **Schema manager** — `RwLock<SchemaManager>`: DTD registration is
-//!   exclusive, validation shares.
-//! * **Document registry** — `Mutex<DocRegistry>`: the name→id directory
-//!   plus the *pending* set of the claim-name-then-publish protocol (see
-//!   below). Held only for map operations, never across I/O. Each
-//!   registered document is an `Arc<DocState>` whose lazy node-id map sits
-//!   behind its own mutex, so read-only traversal ([`children`],
-//!   [`parent`], [`node_summary`]) takes `&self` and never blocks behind a
-//!   writer of a *different* document.
-//! * **Storage** — the buffer pool performs all disk I/O outside its pool
-//!   mutex (stalls of different threads overlap), the storage manager's
-//!   allocator lock is never held across page I/O, and the tree stores are
-//!   lock-free apart from their split-matrix `RwLock`.
+//! Every long-lived lock in the engine is constructed against the ranked
+//! shim ([`parking_lot::Mutex::with_rank`] / [`parking_lot::RwLock::with_rank`])
+//! naming a class from [`parking_lot::rank`] — that module is the single
+//! source of truth for the hierarchy, and the table below cites its
+//! constants. Under `cargo test --features lockdep` every acquisition is
+//! validated at runtime: per-thread rank monotonicity (a thread may only
+//! acquire classes at or below its deepest held class), same-class
+//! recursion, a cross-thread lock-order graph with cycle detection, and
+//! a held-across-I/O detector (the buffer manager and WAL declare their
+//! device-I/O regions; holding any non-I/O-tolerant lock inside one
+//! panics). Release builds compile the whole checker away.
+//!
+//! Outermost first — a thread holding a class may only acquire classes
+//! *below* it in this table:
+//!
+//! | Rank constant (in `parking_lot::rank`) | Level | Guards |
+//! |---|---|---|
+//! | `CHECKPOINT` | 100 (io) | [`Repository::checkpoint`] serialisation |
+//! | `DOC_EDIT_LATCH` | 200 (io) | per-document edit latch (`DocState::edit_latch`) |
+//! | `INDEX_ATTACH` | 300 | the attached-index slot |
+//! | `INGEST_POOL` | 350 (io) | ingestion segment pool |
+//! | `SYMBOL_MARK` | 400 | logged-symbol watermark |
+//! | `SYMBOLS` | 500 | shared symbol table |
+//! | `SPLIT_MATRIX` | 550 | split-matrix rules (`TreeStore`) |
+//! | `VERSION_STORE` | 600 | version-store state, publish hooks |
+//! | `REGISTRY` | 700 | document registry / directory |
+//! | `SCHEMA` | 800 | schema manager |
+//! | `DOC_ROOT` | 900 | per-document root slot |
+//! | `DOC_IDS` | 950 | per-document logical-id map |
+//! | `SCAN_QUEUE` | 960 | parallel-query work queue |
+//! | `RESULT_SLOT` | 970 | per-worker result slots |
+//! | `ALLOCATOR` | 1000 (io) | storage-manager allocator state |
+//! | `BUFFER_POOL` | 1100 (io) | buffer-pool frame table |
+//! | `WAL` | 1200 (io) | WAL append buffer / sync batching |
+//! | `DISK_SIM` | 1290 (io) | simulated-disk head position |
+//! | `DEVICE` | 1300 (io) | raw page/log device state |
+//!
+//! "(io)" marks the I/O-tolerant classes: they exist to serialise device
+//! I/O and are exempt from the held-across-I/O detector. Everything else
+//! must be released before any page read, write-back or log sync.
+//!
+//! Two orderings in the table are load-bearing and easy to get backwards:
+//! `SYMBOLS` precedes `SCHEMA` (directory capture and validation take the
+//! symbol guard first), and `SPLIT_MATRIX` precedes `VERSION_STORE` and
+//! `REGISTRY` (bulkloads hold the matrix read guard across version-store
+//! entry, and the delete publish hook holds the version store across the
+//! registry — so directory writers take the matrix *before* the
+//! registry).
+//!
+//! Deliberately unranked: per-frame page-content `RwLock`s (leaf locks
+//! acquired one at a time under the pool's protocol — see
+//! `crates/storage/src/buffer.rs`) and `LabelIndex` internals (the index
+//! object is caller-owned; only its holder slot is ranked).
+//!
+//! Usage notes behind the table: symbol readers (serialisation, queries,
+//! name lookups) share the `SYMBOLS` lock and concurrent parsers intern
+//! through a read-locked fast path ([`Repository::intern_shared`]),
+//! escalating to the write lock only for a genuinely new name; the
+//! `REGISTRY` mutex is held only for map operations, never across I/O,
+//! and each registered document is an `Arc<DocState>` whose lazy node-id
+//! map sits behind its own `DOC_IDS` mutex, so read-only traversal
+//! ([`children`], [`parent`], [`node_summary`]) never blocks behind a
+//! writer of a *different* document; and the buffer pool performs all
+//! disk I/O outside its `BUFFER_POOL` mutex, so stalls of different
+//! threads overlap.
 //!
 //! What may run in parallel: any number of read-only operations;
 //! read-only operations against structural edits **and streaming
@@ -166,11 +212,10 @@
 //! Known limitations, by design: split-matrix and DTD changes are
 //! durable only at the next directory dump (registration or
 //! checkpoint); the flat-file and B+-tree side stores are not logged;
-//! page writes are assumed atomic at the backend's page size; and pages
-//! allocated by a loser operation may leak until a later checkpoint
-//! rebuilds the free-space inventory — recovery re-adopts every
-//! committed allocation but never reclaims a loser's, trading space for
-//! simplicity.
+//! and page writes are assumed atomic at the backend's page size.
+//! (Loser-allocated pages no longer leak: recovery sweeps pages that no
+//! inventory, free list or space-map chain accounts for back into the
+//! free pool — see `StorageManager::reclaim_untracked_pages`.)
 //!
 //! [`children`]: Repository::children
 //! [`parent`]: Repository::parent
@@ -388,8 +433,11 @@ impl Repository {
         );
         let wal =
             log.map(|device| Arc::new(Wal::new(device, options.durability.unwrap_or_default())));
-        let symbols = Arc::new(RwLock::new(SymbolTable::new()));
-        let logged_symbols = Arc::new(Mutex::new(0usize));
+        let symbols = Arc::new(RwLock::with_rank(
+            &parking_lot::rank::SYMBOLS,
+            SymbolTable::new(),
+        ));
+        let logged_symbols = Arc::new(Mutex::with_rank(&parking_lot::rank::SYMBOL_MARK, 0usize));
         if let Some(w) = &wal {
             // Wire the log into every layer: the buffer honours the WAL
             // rule on dirty-frame write-back, the allocator logs its
@@ -446,21 +494,24 @@ impl Repository {
             catalog_tree,
             symbols,
             logged_symbols,
-            registry: Arc::new(Mutex::new(DocRegistry {
-                docs: Vec::new(),
-                by_name: HashMap::new(),
-                pending: HashSet::new(),
-            })),
-            schema: RwLock::new(SchemaManager::new()),
+            registry: Arc::new(Mutex::with_rank(
+                &parking_lot::rank::REGISTRY,
+                DocRegistry {
+                    docs: Vec::new(),
+                    by_name: HashMap::new(),
+                    pending: HashSet::new(),
+                },
+            )),
+            schema: RwLock::with_rank(&parking_lot::rank::SCHEMA, SchemaManager::new()),
             options,
-            ingest_segs: Mutex::new(HashMap::new()),
+            ingest_segs: Mutex::with_rank(&parking_lot::rank::INGEST_POOL, HashMap::new()),
             index_seg,
             flat_seg,
             stats,
             sim,
             wal,
-            checkpoint_lock: Mutex::new(()),
-            attached_index: Mutex::new(None),
+            checkpoint_lock: Mutex::with_rank(&parking_lot::rank::CHECKPOINT, ()),
+            attached_index: Mutex::with_rank(&parking_lot::rank::INDEX_ATTACH, None),
         };
         if let Some(out) = recovered {
             // Rebuild the directory from the log, not from catalog pages
@@ -811,17 +862,20 @@ impl Repository {
         }
         // Log the updated directory while still holding the registry
         // lock: every directory mutation appends in registry order, so
-        // recovery's "latest payload wins" fold is race-free. Symbol
-        // lock first — the hierarchy is symbols → registry → matrix →
-        // schema (same as the catalog writer's).
+        // recovery's "latest payload wins" fold is race-free. Guard order
+        // follows the rank table: SYMBOLS → SPLIT_MATRIX → REGISTRY →
+        // SCHEMA (the matrix guard comes *before* the registry because
+        // bulkloads hold the matrix across version-store entry, and the
+        // delete publish hook holds the version store across the
+        // registry — same as the catalog writer's order).
         let symbols = self.symbols.read();
+        let matrix = self.tree.matrix();
         let mut reg = self.registry.lock();
         let id = reg.docs.len() as DocId;
         reg.pending.remove(&state.name);
         reg.by_name.insert(state.name.clone(), id);
         reg.docs.push(Some(Arc::new(state)));
         let payload = {
-            let matrix = self.tree.matrix();
             let schema = self.schema.read();
             crate::recovery::capture_directory(&symbols, &reg, &matrix, &schema)
         };
@@ -930,8 +984,8 @@ impl Repository {
             let mut mark = self.logged_symbols.lock();
             let symbols = self.symbols.read();
             *mark = symbols.len();
-            let reg = self.registry.lock();
             let matrix = self.tree.matrix();
+            let reg = self.registry.lock();
             let schema = self.schema.read();
             crate::recovery::capture_directory(&symbols, &reg, &matrix, &schema)
         };

@@ -35,7 +35,7 @@ use natix::{NatixResult, Repository, RepositoryOptions};
 use natix_corpus::{
     generate_deep, generate_orders, generate_play, CorpusConfig, DeepConfig, OrdersConfig,
 };
-use natix_storage::wal::MemLogDevice;
+use natix_storage::wal::{MemLogDevice, Wal, WalRecord, WalSyncMode};
 use natix_storage::{DiskBackend, FaultControl, FaultDisk, MemStorage};
 use natix_tree::InsertPos;
 use natix_xml::{write_document, SymbolTable, WriteOptions};
@@ -353,6 +353,15 @@ fn crash_at(docs: &[(String, String)], budget: u64) {
     )
     .unwrap_or_else(|e| panic!("recovery failed at budget {budget}: {e}"));
 
+    // 0. No orphaned pages: recovery reclaims loser allocations, so
+    //    every allocated page is either the header, on the free list, in
+    //    a free-space inventory, or on a space-map chain.
+    let orphans = reopened.storage().untracked_pages().unwrap();
+    assert!(
+        orphans.is_empty(),
+        "budget {budget}: recovery leaked pages {orphans:?}"
+    );
+
     // 1. Every acknowledged document is byte-for-byte intact.
     for (name, xml) in &out.oracle {
         let got = reopened
@@ -422,6 +431,11 @@ fn crash_at(docs: &[(String, String)], budget: u64) {
         );
     }
     assert_eq!(again.get_xml("fresh-after-recovery").unwrap(), expect_fresh);
+    let orphans = again.storage().untracked_pages().unwrap();
+    assert!(
+        orphans.is_empty(),
+        "budget {budget}: orphaned pages {orphans:?} after second reopen"
+    );
 }
 
 /// Sweeps `KILL_POINTS` budgets evenly across the post-creation write
@@ -433,6 +447,57 @@ fn sweep(docs: &[(String, String)]) {
         let budget = create_cost + 1 + (span - 2) * k / (KILL_POINTS - 1);
         crash_at(docs, budget);
     }
+}
+
+/// A *loser allocation*: an `Alloc` record that became durable (riding
+/// another operation's fsync or an eviction's write-ahead) while its
+/// operation never committed. The random kill-point sweeps above rarely
+/// produce this exact interleaving, so forge the log shape directly:
+/// recovery must raise the high-water mark past the page (the Alloc is
+/// durable) but hand the page back to the free pool instead of leaking
+/// it until the next checkpoint.
+#[test]
+fn recovery_reclaims_loser_allocations() {
+    let store = Arc::new(MemStorage::new(PAGE).unwrap());
+    let m = Machine::boot(Arc::clone(&store), Vec::new(), None);
+    let repo = Repository::create_on_backend_with_log(
+        m.backend(),
+        Box::new(Arc::clone(&m.log)),
+        options(),
+    )
+    .unwrap();
+    repo.put_xml("doc", "<d>survivor</d>").unwrap();
+    repo.checkpoint().unwrap();
+    let high_water = repo.storage().allocated_pages() as u32;
+    drop(repo);
+
+    // Append the loser's Alloc to the durable log image, commit-less.
+    let forged = Arc::new(MemLogDevice::new());
+    forged.restore(m.log.durable_bytes());
+    let wal = Wal::new(Box::new(Arc::clone(&forged)), WalSyncMode::Group);
+    wal.append(&WalRecord::Alloc {
+        page: high_water,
+        segment: 0,
+    });
+    wal.flush_buffered().unwrap();
+
+    let m2 = Machine::boot(Arc::clone(&store), forged.durable_bytes(), None);
+    let reopened = Repository::open_on_backend_with_log(
+        m2.backend(),
+        Box::new(Arc::clone(&m2.log)),
+        options(),
+    )
+    .unwrap();
+    assert_eq!(reopened.get_xml("doc").unwrap(), "<d>survivor</d>");
+    assert!(
+        reopened.storage().allocated_pages() as u32 > high_water,
+        "recovery must honour the durable Alloc's high-water mark"
+    );
+    let orphans = reopened.storage().untracked_pages().unwrap();
+    assert!(
+        orphans.is_empty(),
+        "loser-allocated pages {orphans:?} leaked past recovery"
+    );
 }
 
 #[test]

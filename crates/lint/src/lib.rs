@@ -1,0 +1,736 @@
+//! `natix-lint` — repo-specific static invariants the compiler cannot
+//! express and clippy does not know about. Run as
+//! `cargo run -p natix-lint -- check` (CI does, and fails on violations).
+//!
+//! The scanner is hand-rolled: the build environment is offline, so no
+//! `syn`. Sources are sanitised (comments and string/char literals blanked,
+//! line structure preserved) and then checked line- and item-wise with
+//! brace/paren tracking. That is enough for the four rules below, all of
+//! which key on tokens that survive sanitisation:
+//!
+//! 1. **durable-gate** — every `pub fn` write API in
+//!    `crates/core/src/document.rs` / `repository.rs` that reaches the
+//!    version store's publish hook (`begin_write` /
+//!    `defer_until_publish`, directly or through same-file helpers) must
+//!    also reach `durable_gate`. Committed-but-not-durable write paths
+//!    were PR 6's whole point; this keeps the next API honest.
+//! 2. **guard-discipline** — no `let _ = <guard-producing call>`: binding
+//!    a `ReadPin`, `WriteOp`, page pin, or lock guard to `_` drops it on
+//!    the same line, which compiles and then silently serialises nothing.
+//! 3. **storage-panic** — no `.unwrap()` / `.expect(` in
+//!    `crates/storage` non-test code. A panic in the storage layer while
+//!    holding pool or allocator state poisons the engine; storage code
+//!    returns `Result`.
+//! 4. **shim-bypass** — no `std::sync::Mutex` / `RwLock` / `Condvar`
+//!    outside `crates/shims`: locks built behind the shim's back are
+//!    invisible to the lockdep hierarchy checker. (`Arc`, atomics and
+//!    `OnceLock` are fine.)
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A single rule violation, keyed by repo-relative path and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source sanitisation
+// ---------------------------------------------------------------------------
+
+/// Blank out comments and string/char literal *contents* with spaces,
+/// preserving byte offsets and line structure, so later token scans never
+/// match inside a literal or a doc comment. Handles nested block comments,
+/// escape sequences, raw strings up to `r###"`, byte strings, and the
+/// char-literal-vs-lifetime ambiguity (heuristically: a `'` opens a char
+/// literal only if a closing `'` follows within a few bytes).
+pub fn sanitize(source: &str) -> String {
+    let b = source.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |out: &mut Vec<u8>, b: &[u8], from: usize, to: usize| {
+        for &c in &b[from..to] {
+            out.push(if c == b'\n' { b'\n' } else { b' ' });
+        }
+    };
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let end = source[i..].find('\n').map(|p| i + p).unwrap_or(b.len());
+            blank(&mut out, b, i, end);
+            i = end;
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            blank(&mut out, b, i, j);
+            i = j;
+            continue;
+        }
+        // Raw (byte) string: r"..."  r#"..."#  br##"..."## etc.
+        if c == b'r' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'r') {
+            let r_at = if c == b'r' { i } else { i + 1 };
+            // Must not be part of a longer identifier (e.g. `for r in ..`
+            // is fine: we only trigger when `#` or `"` follows the `r`).
+            let prev_ident = i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+            let mut j = r_at + 1;
+            let mut hashes = 0;
+            while j < b.len() && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if !prev_ident && j < b.len() && b[j] == b'"' {
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                let body_start = j + 1;
+                let end = b[body_start..]
+                    .windows(closer.len())
+                    .position(|w| w == closer.as_slice())
+                    .map(|p| body_start + p + closer.len())
+                    .unwrap_or(b.len());
+                out.extend_from_slice(&b[i..body_start]);
+                blank(&mut out, b, body_start, end);
+                i = end;
+                continue;
+            }
+        }
+        // Plain (byte) string.
+        if c == b'"' {
+            let mut j = i + 1;
+            while j < b.len() {
+                if b[j] == b'\\' {
+                    j += 2;
+                } else if b[j] == b'"' {
+                    j += 1;
+                    break;
+                } else {
+                    j += 1;
+                }
+            }
+            out.push(b'"');
+            blank(&mut out, b, i + 1, j.min(b.len()));
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let is_char = if i + 1 < b.len() && b[i + 1] == b'\\' {
+                true
+            } else {
+                // 'x' closes within 5 bytes (covers multi-byte chars).
+                b[i + 1..b.len().min(i + 6)].contains(&b'\'')
+                    && !(i + 1 < b.len() && b[i + 1] == b'\'')
+            };
+            if is_char {
+                let mut j = i + 1;
+                if j < b.len() && b[j] == b'\\' {
+                    j += 2;
+                }
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                j = (j + 1).min(b.len());
+                out.push(b'\'');
+                blank(&mut out, b, i + 1, j);
+                i = j;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    String::from_utf8(out).expect("sanitiser only substitutes ASCII spaces")
+}
+
+// ---------------------------------------------------------------------------
+// `#[cfg(test)]` masking
+// ---------------------------------------------------------------------------
+
+/// Per-line flags: `true` when the line lies inside a `#[cfg(test)] mod`
+/// item. Operates on sanitised source.
+pub fn test_mask(clean: &str) -> Vec<bool> {
+    let line_count = clean.lines().count();
+    let mut mask = vec![false; line_count];
+    let b = clean.as_bytes();
+    let mut search_from = 0;
+    while let Some(found) = clean[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + found;
+        let mut j = attr_at + "#[cfg(test)]".len();
+        // Skip whitespace and further attributes.
+        loop {
+            while j < b.len() && (b[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'#' {
+                while j < b.len() && b[j] != b']' {
+                    j += 1;
+                }
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        let rest = &clean[j..];
+        let is_mod = rest.starts_with("mod ")
+            || rest.starts_with("pub mod ")
+            || rest.starts_with("pub(crate) mod ");
+        if is_mod {
+            if let Some(open_rel) = rest.find('{') {
+                let open = j + open_rel;
+                let close = match_brace(b, open);
+                let start_line = clean[..attr_at].bytes().filter(|&c| c == b'\n').count();
+                let end_line = clean[..close.min(b.len())]
+                    .bytes()
+                    .filter(|&c| c == b'\n')
+                    .count()
+                    + 1;
+                for line_flag in mask
+                    .iter_mut()
+                    .take(end_line.min(line_count))
+                    .skip(start_line)
+                {
+                    *line_flag = true;
+                }
+                search_from = close.min(b.len());
+                continue;
+            }
+        }
+        search_from = attr_at + 1;
+    }
+    mask
+}
+
+/// Index one past the brace matching `b[open]` (which must be `{`).
+fn match_brace(b: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < b.len() {
+        match b[j] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    b.len()
+}
+
+fn line_of(clean: &str, byte: usize) -> usize {
+    clean[..byte.min(clean.len())]
+        .bytes()
+        .filter(|&c| c == b'\n')
+        .count()
+        + 1
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Does `hay` contain `word` as a whole token (not part of a longer
+/// identifier)?
+fn contains_word(hay: &str, word: &str) -> bool {
+    let b = hay.as_bytes();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(word) {
+        let at = from + p;
+        let before_ok = at == 0 || !is_ident(b[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= b.len() || !is_ident(b[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: durable-gate coverage in document.rs / repository.rs
+// ---------------------------------------------------------------------------
+
+struct FnItem {
+    name: String,
+    is_pub: bool,
+    line: usize,
+    body: String,
+    in_test: bool,
+}
+
+fn collect_fns(clean: &str, mask: &[bool]) -> Vec<FnItem> {
+    let b = clean.as_bytes();
+    let mut items = Vec::new();
+    let mut from = 0;
+    while let Some(p) = clean[from..].find("fn ") {
+        let at = from + p;
+        from = at + 3;
+        // Must be the `fn` keyword, not the tail of an identifier.
+        if at > 0 && is_ident(b[at - 1]) {
+            continue;
+        }
+        let name_start = at + 3;
+        let mut name_end = name_start;
+        while name_end < b.len() && is_ident(b[name_end]) {
+            name_end += 1;
+        }
+        if name_end == name_start {
+            continue;
+        }
+        let name = clean[name_start..name_end].to_string();
+        // `pub` / `pub(crate)` etc. on the same declaration line, before `fn`.
+        let decl_line_start = clean[..at].rfind('\n').map(|x| x + 1).unwrap_or(0);
+        let is_pub = clean[decl_line_start..at].trim_start().starts_with("pub");
+        // Body: first `{` at paren/bracket depth 0 after the signature.
+        let mut j = name_end;
+        let mut depth = 0i32;
+        let open = loop {
+            if j >= b.len() {
+                break None;
+            }
+            match b[j] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => break Some(j),
+                b';' if depth == 0 => break None, // trait method, no body
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else { continue };
+        let close = match_brace(b, open);
+        let line = line_of(clean, at);
+        let in_test = mask.get(line - 1).copied().unwrap_or(false);
+        items.push(FnItem {
+            name,
+            is_pub,
+            line,
+            body: clean[open..close].to_string(),
+            in_test,
+        });
+    }
+    items
+}
+
+/// Check durable-gate coverage over the fns of one or more files belonging
+/// to the same `impl` surface. `files` pairs a repo-relative path with its
+/// *raw* source.
+pub fn rule_durable_gate(files: &[(&Path, &str)]) -> Vec<Violation> {
+    let mut all: Vec<(PathBuf, FnItem)> = Vec::new();
+    for (path, source) in files {
+        let clean = sanitize(source);
+        let mask = test_mask(&clean);
+        for f in collect_fns(&clean, &mask) {
+            all.push((path.to_path_buf(), f));
+        }
+    }
+    let publishes_directly = |f: &FnItem| {
+        contains_word(&f.body, "begin_write") || contains_word(&f.body, "defer_until_publish")
+    };
+    let gates_directly = |f: &FnItem| contains_word(&f.body, "durable_gate");
+
+    // Transitive closure over the same-surface call graph: fn A "calls"
+    // fn B if B's name appears as a call token in A's body.
+    let closure = |direct: &dyn Fn(&FnItem) -> bool| -> Vec<bool> {
+        let mut flag: Vec<bool> = all.iter().map(|(_, f)| direct(f)).collect();
+        loop {
+            let mut changed = false;
+            for i in 0..all.len() {
+                if flag[i] {
+                    continue;
+                }
+                for j in 0..all.len() {
+                    if flag[j]
+                        && contains_word(&all[i].1.body, &all[j].1.name)
+                        && all[i].1.body.contains(&format!("{}(", all[j].1.name))
+                    {
+                        flag[i] = true;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        flag
+    };
+    let publishes = closure(&publishes_directly);
+    let gates = closure(&gates_directly);
+
+    let mut out = Vec::new();
+    for (i, (path, f)) in all.iter().enumerate() {
+        if f.is_pub && !f.in_test && publishes[i] && !gates[i] && f.name != "durable_gate" {
+            out.push(Violation {
+                file: path.clone(),
+                line: f.line,
+                rule: "durable-gate",
+                message: format!(
+                    "pub fn `{}` reaches the version store's publish hook but never \
+                     calls `durable_gate`; committed work may be lost on crash",
+                    f.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: `let _ =` must not bind RAII guards
+// ---------------------------------------------------------------------------
+
+/// Method / function names whose return value is an RAII guard that must
+/// outlive its use: lock guards, page pins, version-store pins and ops.
+const GUARD_CALLS: &[&str] = &[
+    "lock",
+    "try_lock",
+    "read",
+    "write",
+    "try_read",
+    "try_write",
+    "pin",
+    "pin_new",
+    "begin_read",
+    "begin_write",
+    "adopt_read",
+    "wait",
+    "wait_timeout",
+    "io_region",
+];
+
+/// The name of the last *top-level* call in an expression (`a.b(c.d()).e()`
+/// yields `e`; nested calls inside argument lists are ignored), peeling
+/// trailing `unwrap`/`expect`.
+fn last_toplevel_call(expr: &str) -> Option<String> {
+    let b = expr.as_bytes();
+    let mut depth = 0i32;
+    let mut calls: Vec<String> = Vec::new();
+    for (j, &c) in b.iter().enumerate() {
+        match c {
+            b'(' | b'[' => {
+                if depth == 0 && c == b'(' {
+                    let mut k = j;
+                    while k > 0 && (is_ident(b[k - 1]) || b[k - 1] == b'!') {
+                        k -= 1;
+                    }
+                    if k < j {
+                        calls.push(expr[k..j].trim_end_matches('!').to_string());
+                    }
+                }
+                depth += 1;
+            }
+            b')' | b']' => depth -= 1,
+            _ => {}
+        }
+    }
+    while matches!(
+        calls.last().map(String::as_str),
+        Some("unwrap") | Some("expect")
+    ) {
+        calls.pop();
+    }
+    calls.pop()
+}
+
+pub fn rule_guard_discipline(path: &Path, source: &str) -> Vec<Violation> {
+    let clean = sanitize(source);
+    let b = clean.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = clean[from..].find("let _") {
+        let at = from + p;
+        from = at + 5;
+        if at > 0 && is_ident(b[at - 1]) {
+            continue;
+        }
+        // Exactly `_`, not `_named`.
+        let mut j = at + 5;
+        if j < b.len() && is_ident(b[j]) {
+            continue;
+        }
+        while j < b.len() && (b[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != b'=' || (j + 1 < b.len() && b[j + 1] == b'=') {
+            continue;
+        }
+        // Statement RHS up to `;` at depth 0.
+        let rhs_start = j + 1;
+        let mut depth = 0i32;
+        let mut k = rhs_start;
+        while k < b.len() {
+            match b[k] {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => depth -= 1,
+                b';' if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let rhs = &clean[rhs_start..k.min(clean.len())];
+        if let Some(call) = last_toplevel_call(rhs) {
+            if GUARD_CALLS.contains(&call.as_str()) {
+                out.push(Violation {
+                    file: path.to_path_buf(),
+                    line: line_of(&clean, at),
+                    rule: "guard-discipline",
+                    message: format!(
+                        "`let _ = ...{call}(...)` drops the returned guard immediately; \
+                         bind it to a named variable so it lives to the end of scope"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: no unwrap/expect in crates/storage non-test code
+// ---------------------------------------------------------------------------
+
+pub fn rule_storage_panic(path: &Path, source: &str) -> Vec<Violation> {
+    let clean = sanitize(source);
+    let mask = test_mask(&clean);
+    let mut out = Vec::new();
+    for (idx, line) in clean.lines().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        for needle in [".unwrap()", ".expect("] {
+            if line.contains(needle) {
+                out.push(Violation {
+                    file: path.to_path_buf(),
+                    line: idx + 1,
+                    rule: "storage-panic",
+                    message: format!(
+                        "`{needle}..` in storage non-test code; a panic here can poison \
+                         pool/allocator state — return a StorageError instead"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: no std::sync lock primitives outside the shim
+// ---------------------------------------------------------------------------
+
+pub fn rule_shim_bypass(path: &Path, source: &str) -> Vec<Violation> {
+    let clean = sanitize(source);
+    let mask = test_mask(&clean);
+    let mut out = Vec::new();
+    for (idx, line) in clean.lines().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let direct = [
+            "std::sync::Mutex",
+            "std::sync::RwLock",
+            "std::sync::Condvar",
+        ]
+        .iter()
+        .any(|n| line.contains(n));
+        let via_use = line.trim_start().starts_with("use std::sync::")
+            && ["Mutex", "RwLock", "Condvar"]
+                .iter()
+                .any(|n| contains_word(line, n));
+        if direct || via_use {
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: idx + 1,
+                rule: "shim-bypass",
+                message: "std::sync lock primitive outside the parking_lot shim; such \
+                          locks bypass the lockdep hierarchy checker — use the shim's \
+                          Mutex/RwLock/Condvar (ranked where long-lived)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Workspace driver
+// ---------------------------------------------------------------------------
+
+fn is_storage_src(rel: &Path) -> bool {
+    rel.starts_with("crates/storage/src")
+}
+
+fn in_shim(rel: &Path) -> bool {
+    rel.components()
+        .any(|c| c.as_os_str().to_str() == Some("shims"))
+}
+
+fn is_test_tree(rel: &Path) -> bool {
+    rel.components().any(|c| {
+        matches!(
+            c.as_os_str().to_str(),
+            Some("tests") | Some("benches") | Some("examples") | Some("fixtures")
+        )
+    })
+}
+
+/// Apply every applicable rule to one file. `rel` is the repo-relative
+/// path; dispatch is purely path-based so fixtures can impersonate any
+/// location.
+pub fn check_file(rel: &Path, source: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if in_shim(rel) {
+        return out;
+    }
+    out.extend(rule_guard_discipline(rel, source));
+    if is_storage_src(rel) {
+        out.extend(rule_storage_panic(rel, source));
+    }
+    if !is_test_tree(rel) {
+        out.extend(rule_shim_bypass(rel, source));
+    }
+    out
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            walk(&path, files);
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+}
+
+/// Scan the whole workspace rooted at `root`. Returns all violations,
+/// sorted by path and line.
+pub fn check_workspace(root: &Path) -> Vec<Violation> {
+    let mut files = Vec::new();
+    for top in ["src", "crates", "examples"] {
+        walk(&root.join(top), &mut files);
+    }
+    files.sort();
+
+    let mut out = Vec::new();
+    let mut gate_files: Vec<(PathBuf, String)> = Vec::new();
+    for path in &files {
+        let Ok(source) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+        if rel == Path::new("crates/core/src/document.rs")
+            || rel == Path::new("crates/core/src/repository.rs")
+        {
+            gate_files.push((rel.clone(), source.clone()));
+        }
+        out.extend(check_file(&rel, &source));
+    }
+    let borrowed: Vec<(&Path, &str)> = gate_files
+        .iter()
+        .map(|(p, s)| (p.as_path(), s.as_str()))
+        .collect();
+    out.extend(rule_durable_gate(&borrowed));
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizer_blanks_comments_and_strings() {
+        let src = "let x = \"a.unwrap()\"; // .expect(\nlet c = 'y'; /* std::sync::Mutex */\n";
+        let clean = sanitize(src);
+        assert!(!clean.contains("unwrap"));
+        assert!(!clean.contains("expect"));
+        assert!(!clean.contains("Mutex"));
+        assert_eq!(clean.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn sanitizer_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"lock() \"inner\" \"#; }";
+        let clean = sanitize(src);
+        assert!(!clean.contains("lock()"));
+        assert!(clean.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let clean = sanitize(src);
+        let mask = test_mask(&clean);
+        assert!(!mask[0]);
+        assert!(mask[2]);
+        assert!(mask[3]);
+        assert!(!mask[5]);
+    }
+
+    #[test]
+    fn last_toplevel_call_ignores_nested_args() {
+        assert_eq!(
+            last_toplevel_call("writeln!(s, \"{}\", m.lock())").as_deref(),
+            Some("writeln")
+        );
+        assert_eq!(
+            last_toplevel_call("results[i].lock()").as_deref(),
+            Some("lock")
+        );
+        assert_eq!(
+            last_toplevel_call("m.try_lock().unwrap()").as_deref(),
+            Some("try_lock")
+        );
+        assert_eq!(
+            last_toplevel_call("g.read().bytes()[0]").as_deref(),
+            Some("bytes")
+        );
+    }
+}

@@ -1,0 +1,35 @@
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let root = match args.get(1) {
+                Some(p) => PathBuf::from(p),
+                None => match std::env::current_dir() {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("natix-lint: cannot determine working directory: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            let violations = natix_lint::check_workspace(&root);
+            for v in &violations {
+                println!("{v}");
+            }
+            if violations.is_empty() {
+                println!("natix-lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                println!("natix-lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: natix-lint check [workspace-root]");
+            ExitCode::FAILURE
+        }
+    }
+}

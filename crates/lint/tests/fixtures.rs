@@ -1,0 +1,91 @@
+//! Fixture tests: each known-bad snippet under `tests/fixtures/` must
+//! trip exactly its rule at the expected lines, and the real workspace
+//! must scan clean. Fixtures are fed to [`natix_lint::check_file`] under
+//! impersonated repo-relative paths (rule dispatch is path-based), so a
+//! fixture can pretend to live anywhere in the tree.
+
+use std::path::Path;
+
+use natix_lint::{check_file, rule_durable_gate, Violation};
+
+fn lines_for(violations: &[Violation], rule: &str) -> Vec<usize> {
+    violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+#[test]
+fn storage_panic_fixture_trips_rule() {
+    let src = include_str!("fixtures/storage_panics.rs");
+    let violations = check_file(Path::new("crates/storage/src/storage_panics.rs"), src);
+    assert_eq!(lines_for(&violations, "storage-panic"), vec![5, 9]);
+    assert!(
+        violations.iter().all(|v| v.rule == "storage-panic"),
+        "unexpected extra rules: {violations:?}"
+    );
+}
+
+#[test]
+fn storage_panic_rule_is_path_scoped() {
+    // The same source outside crates/storage/src is not the rule's business.
+    let src = include_str!("fixtures/storage_panics.rs");
+    let violations = check_file(Path::new("crates/core/src/storage_panics.rs"), src);
+    assert!(lines_for(&violations, "storage-panic").is_empty());
+}
+
+#[test]
+fn dropped_guard_fixture_trips_rule() {
+    let src = include_str!("fixtures/dropped_guards.rs");
+    let violations = check_file(Path::new("crates/core/src/dropped_guards.rs"), src);
+    assert_eq!(lines_for(&violations, "guard-discipline"), vec![5, 6, 7]);
+}
+
+#[test]
+fn std_sync_fixture_trips_rule() {
+    let src = include_str!("fixtures/std_sync.rs");
+    let violations = check_file(Path::new("crates/core/src/std_sync.rs"), src);
+    assert_eq!(lines_for(&violations, "shim-bypass"), vec![5, 9, 13, 14]);
+}
+
+#[test]
+fn shim_itself_is_exempt() {
+    let src = include_str!("fixtures/std_sync.rs");
+    let violations = check_file(Path::new("crates/shims/parking_lot/src/std_sync.rs"), src);
+    assert!(violations.is_empty());
+}
+
+#[test]
+fn missing_gate_fixture_trips_rule() {
+    let src = include_str!("fixtures/missing_gate.rs");
+    let violations = rule_durable_gate(&[(Path::new("crates/core/src/document.rs"), src)]);
+    let flagged: Vec<&str> = violations
+        .iter()
+        .map(|v| {
+            v.message
+                .split('`')
+                .nth(1)
+                .expect("message names the fn in backticks")
+        })
+        .collect();
+    assert_eq!(flagged, vec!["bad_direct_edit", "bad_indirect_edit"]);
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate sits two levels under the workspace root");
+    let violations = natix_lint::check_workspace(root);
+    assert!(
+        violations.is_empty(),
+        "workspace lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,20 @@
+//! Known-bad fixture for the `guard-discipline` rule: `let _ =` bindings
+//! that drop RAII guards on the spot. Never compiled.
+
+fn bad(state: &parking_lot::Mutex<u32>, latch: &parking_lot::RwLock<u32>) {
+    let _ = state.lock(); // line 5: flagged (guard dropped immediately)
+    let _ = latch.read(); // line 6: flagged
+    let _ = latch.try_write().unwrap(); // line 7: flagged through the unwrap
+}
+
+fn fine(state: &parking_lot::Mutex<u32>) -> String {
+    let _guard = state.lock(); // named binding lives to end of scope: ok
+    let _ = compute(); // not a guard-producing call: ok
+    let mut s = String::new();
+    let _ = writeln!(s, "{}", state.lock()); // top-level call is writeln: ok
+    s
+}
+
+fn compute() -> u32 {
+    7
+}

@@ -1,0 +1,46 @@
+//! Known-bad fixture for the `durable-gate` rule. Impersonated as
+//! `crates/core/src/document.rs` by the harness; never compiled.
+
+impl Document {
+    /// Publishes directly but never gates: flagged.
+    pub fn bad_direct_edit(&self) -> Result<(), ()> {
+        let op = self.versions.begin_write();
+        op.apply()?;
+        Ok(())
+    }
+
+    /// Publishes through a helper and never gates: flagged (transitive).
+    pub fn bad_indirect_edit(&self) -> Result<(), ()> {
+        self.publish_helper()?;
+        Ok(())
+    }
+
+    /// Publishes and gates: clean.
+    pub fn good_edit(&self) -> Result<(), ()> {
+        let op = self.versions.begin_write();
+        op.apply()?;
+        self.durable_gate()?;
+        Ok(())
+    }
+
+    /// Gates through a helper: clean.
+    pub fn good_indirect_edit(&self) -> Result<(), ()> {
+        self.publish_helper()?;
+        self.gate_helper()?;
+        Ok(())
+    }
+
+    /// No publish at all: clean even without a gate.
+    pub fn read_only(&self) -> u32 {
+        self.len()
+    }
+
+    fn publish_helper(&self) -> Result<(), ()> {
+        self.versions.defer_until_publish();
+        Ok(())
+    }
+
+    fn gate_helper(&self) -> Result<(), ()> {
+        self.durable_gate()
+    }
+}

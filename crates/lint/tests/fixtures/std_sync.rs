@@ -1,0 +1,15 @@
+//! Known-bad fixture for the `shim-bypass` rule: std::sync lock
+//! primitives constructed behind the shim's back. Never compiled.
+
+use std::sync::Arc; // Arc is fine
+use std::sync::Mutex; // line 5: flagged
+use std::sync::atomic::AtomicU64; // atomics are fine
+
+struct Holder {
+    slot: std::sync::RwLock<u32>, // line 9: flagged
+    count: Arc<AtomicU64>,
+}
+
+fn make() -> std::sync::Condvar {
+    std::sync::Condvar::new() // lines 13+14: flagged
+}

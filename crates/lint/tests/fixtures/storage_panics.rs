@@ -1,0 +1,23 @@
+//! Known-bad fixture for the `storage-panic` rule. Impersonated as a
+//! `crates/storage/src` file by the harness; never compiled.
+
+pub fn bad_unwrap(map: &std::collections::HashMap<u32, u32>) -> u32 {
+    *map.get(&0).unwrap() // line 5: flagged
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("always there") // line 9: flagged
+}
+
+pub fn fine(v: Option<u32>) -> Result<u32, String> {
+    // A comment saying .unwrap() is not a violation, nor is ".expect(" here.
+    v.ok_or_else(|| "missing".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+    }
+}

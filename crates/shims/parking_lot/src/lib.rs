@@ -4,38 +4,111 @@
 //! workspace (`Mutex`, `RwLock` and their guards, all non-poisoning) is
 //! provided here with identical signatures. Poisoned locks are recovered
 //! transparently — `parking_lot` has no poisoning, and neither do we.
+//!
+//! On top of the plain shim this crate carries the NATIX
+//! **lock-hierarchy checker**: locks built with [`Mutex::with_rank`] /
+//! [`RwLock::with_rank`] name a class from [`rank`], and under
+//! `cfg(any(test, feature = "lockdep"))` every acquisition is validated
+//! against a per-thread acquisition stack (rank monotonicity, recursion)
+//! and a global lock-order graph (cycle detection across threads), with
+//! declared I/O regions rejecting held non-I/O-tolerant locks — see
+//! [`lockdep`]. Without the feature, `with_rank` discards the rank and
+//! the shim compiles down to bare `std::sync` wrappers.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 
+pub mod rank;
+
+#[cfg(any(test, feature = "lockdep"))]
+pub mod lockdep;
+
+use rank::Rank;
+
+#[cfg(any(test, feature = "lockdep"))]
+use lockdep::GuardKind;
+
 /// A mutual-exclusion lock whose `lock` never returns a `Result`.
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(any(test, feature = "lockdep"))]
+    rank: Option<&'static Rank>,
+    inner: std::sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
+    #[cfg(any(test, feature = "lockdep"))]
+    const fn build(rank: Option<&'static Rank>, value: T) -> Mutex<T> {
+        Mutex {
+            rank,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    #[cfg(not(any(test, feature = "lockdep")))]
+    const fn build(_rank: Option<&'static Rank>, value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex(std::sync::Mutex::new(value))
+        Self::build(None, value)
+    }
+
+    /// A mutex registered under `rank` in the global lock hierarchy.
+    /// Identical to [`Mutex::new`] unless lockdep is compiled in.
+    pub const fn with_rank(rank: &'static Rank, value: T) -> Mutex<T> {
+        Self::build(Some(rank), value)
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
-    }
-
-    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard(g)),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
-            Err(std::sync::TryLockError::WouldBlock) => None,
+    #[cfg(any(test, feature = "lockdep"))]
+    fn guard<'a>(&self, inner: std::sync::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        MutexGuard {
+            rank: self.rank,
+            inner,
         }
     }
 
+    #[cfg(not(any(test, feature = "lockdep")))]
+    fn guard<'a>(&self, inner: std::sync::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        MutexGuard { inner }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(any(test, feature = "lockdep"))]
+        if let Some(r) = self.rank {
+            lockdep::acquire(r, GuardKind::Exclusive);
+        }
+        self.guard(self.inner.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        #[cfg(any(test, feature = "lockdep"))]
+        if let Some(r) = self.rank {
+            lockdep::acquire(r, GuardKind::Exclusive);
+        }
+        let got = match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        };
+        #[cfg(any(test, feature = "lockdep"))]
+        if got.is_none() {
+            if let Some(r) = self.rank {
+                lockdep::release(r);
+            }
+        }
+        got.map(|g| self.guard(g))
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
-        match self.0.get_mut() {
+        match self.inner.get_mut() {
             Ok(v) => v,
             Err(e) => e.into_inner(),
         }
@@ -55,18 +128,32 @@ impl<T: fmt::Debug + ?Sized> fmt::Debug for Mutex<T> {
 }
 
 /// Guard returned by [`Mutex::lock`].
-pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+#[must_use = "dropping a MutexGuard immediately releases the lock"]
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(any(test, feature = "lockdep"))]
+    rank: Option<&'static Rank>,
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+#[cfg(any(test, feature = "lockdep"))]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(r) = self.rank {
+            lockdep::release(r);
+        }
+    }
+}
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
     }
 }
 
@@ -76,13 +163,42 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 #[derive(Default)]
 pub struct Condvar(std::sync::Condvar);
 
+/// Take the inner std guard out of a shim guard without running the shim
+/// guard's `Drop` (which would pop the lockdep stack a second time).
+fn dissolve<'a, T: ?Sized>(guard: MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T> {
+    let g = std::mem::ManuallyDrop::new(guard);
+    // SAFETY: `g` is never dropped, and `inner` is read exactly once; the
+    // only other field (the cfg-gated rank) is `Copy`.
+    unsafe { std::ptr::read(&g.inner) }
+}
+
 impl Condvar {
     pub const fn new() -> Condvar {
         Condvar(std::sync::Condvar::new())
     }
 
     pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-        MutexGuard(self.0.wait(guard.0).unwrap_or_else(|e| e.into_inner()))
+        #[cfg(any(test, feature = "lockdep"))]
+        let rank = guard.rank;
+        // The mutex is released for the duration of the wait: pop it from
+        // the lockdep stack and re-validate the acquisition on wake-up.
+        #[cfg(any(test, feature = "lockdep"))]
+        if let Some(r) = rank {
+            lockdep::release(r);
+        }
+        let inner = self
+            .0
+            .wait(dissolve(guard))
+            .unwrap_or_else(|e| e.into_inner());
+        #[cfg(any(test, feature = "lockdep"))]
+        if let Some(r) = rank {
+            lockdep::acquire(r, GuardKind::Exclusive);
+        }
+        MutexGuard {
+            #[cfg(any(test, feature = "lockdep"))]
+            rank,
+            inner,
+        }
     }
 
     /// Waits with an upper bound; returns the reacquired guard and whether
@@ -94,11 +210,28 @@ impl Condvar {
         guard: MutexGuard<'a, T>,
         timeout: std::time::Duration,
     ) -> (MutexGuard<'a, T>, bool) {
-        let (g, res) = self
+        #[cfg(any(test, feature = "lockdep"))]
+        let rank = guard.rank;
+        #[cfg(any(test, feature = "lockdep"))]
+        if let Some(r) = rank {
+            lockdep::release(r);
+        }
+        let (inner, res) = self
             .0
-            .wait_timeout(guard.0, timeout)
+            .wait_timeout(dissolve(guard), timeout)
             .unwrap_or_else(|e| e.into_inner());
-        (MutexGuard(g), res.timed_out())
+        #[cfg(any(test, feature = "lockdep"))]
+        if let Some(r) = rank {
+            lockdep::acquire(r, GuardKind::Exclusive);
+        }
+        (
+            MutexGuard {
+                #[cfg(any(test, feature = "lockdep"))]
+                rank,
+                inner,
+            },
+            res.timed_out(),
+        )
     }
 
     pub fn notify_one(&self) {
@@ -111,45 +244,132 @@ impl Condvar {
 }
 
 /// A reader-writer lock whose `read`/`write` never return a `Result`.
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(any(test, feature = "lockdep"))]
+    rank: Option<&'static Rank>,
+    inner: std::sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
+    #[cfg(any(test, feature = "lockdep"))]
+    const fn build(rank: Option<&'static Rank>, value: T) -> RwLock<T> {
+        RwLock {
+            rank,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    #[cfg(not(any(test, feature = "lockdep")))]
+    const fn build(_rank: Option<&'static Rank>, value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock(std::sync::RwLock::new(value))
+        Self::build(None, value)
+    }
+
+    /// An rwlock registered under `rank` in the global lock hierarchy.
+    /// Identical to [`RwLock::new`] unless lockdep is compiled in.
+    pub const fn with_rank(rank: &'static Rank, value: T) -> RwLock<T> {
+        Self::build(Some(rank), value)
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
+    #[cfg(any(test, feature = "lockdep"))]
+    fn read_guard<'a>(&self, inner: std::sync::RwLockReadGuard<'a, T>) -> RwLockReadGuard<'a, T> {
+        RwLockReadGuard {
+            rank: self.rank,
+            inner,
+        }
+    }
+
+    #[cfg(not(any(test, feature = "lockdep")))]
+    fn read_guard<'a>(&self, inner: std::sync::RwLockReadGuard<'a, T>) -> RwLockReadGuard<'a, T> {
+        RwLockReadGuard { inner }
+    }
+
+    #[cfg(any(test, feature = "lockdep"))]
+    fn write_guard<'a>(
+        &self,
+        inner: std::sync::RwLockWriteGuard<'a, T>,
+    ) -> RwLockWriteGuard<'a, T> {
+        RwLockWriteGuard {
+            rank: self.rank,
+            inner,
+        }
+    }
+
+    #[cfg(not(any(test, feature = "lockdep")))]
+    fn write_guard<'a>(
+        &self,
+        inner: std::sync::RwLockWriteGuard<'a, T>,
+    ) -> RwLockWriteGuard<'a, T> {
+        RwLockWriteGuard { inner }
+    }
+
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+        #[cfg(any(test, feature = "lockdep"))]
+        if let Some(r) = self.rank {
+            lockdep::acquire(r, GuardKind::Shared);
+        }
+        self.read_guard(self.inner.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+        #[cfg(any(test, feature = "lockdep"))]
+        if let Some(r) = self.rank {
+            lockdep::acquire(r, GuardKind::Exclusive);
+        }
+        self.write_guard(self.inner.write().unwrap_or_else(|e| e.into_inner()))
     }
 
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
-            Ok(g) => Some(RwLockReadGuard(g)),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockReadGuard(e.into_inner())),
-            Err(std::sync::TryLockError::WouldBlock) => None,
+        #[cfg(any(test, feature = "lockdep"))]
+        if let Some(r) = self.rank {
+            lockdep::acquire(r, GuardKind::Shared);
         }
+        let got = match self.inner.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        };
+        #[cfg(any(test, feature = "lockdep"))]
+        if got.is_none() {
+            if let Some(r) = self.rank {
+                lockdep::release(r);
+            }
+        }
+        got.map(|g| self.read_guard(g))
     }
 
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
-            Ok(g) => Some(RwLockWriteGuard(g)),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard(e.into_inner())),
-            Err(std::sync::TryLockError::WouldBlock) => None,
+        #[cfg(any(test, feature = "lockdep"))]
+        if let Some(r) = self.rank {
+            lockdep::acquire(r, GuardKind::Exclusive);
         }
+        let got = match self.inner.try_write() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        };
+        #[cfg(any(test, feature = "lockdep"))]
+        if got.is_none() {
+            if let Some(r) = self.rank {
+                lockdep::release(r);
+            }
+        }
+        got.map(|g| self.write_guard(g))
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        match self.0.get_mut() {
+        match self.inner.get_mut() {
             Ok(v) => v,
             Err(e) => e.into_inner(),
         }
@@ -169,34 +389,73 @@ impl<T: fmt::Debug + ?Sized> fmt::Debug for RwLock<T> {
 }
 
 /// Guard returned by [`RwLock::read`].
-pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+#[must_use = "dropping an RwLockReadGuard immediately releases the lock"]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(any(test, feature = "lockdep"))]
+    rank: Option<&'static Rank>,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+#[cfg(any(test, feature = "lockdep"))]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(r) = self.rank {
+            lockdep::release(r);
+        }
+    }
+}
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 /// Guard returned by [`RwLock::write`].
-pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+#[must_use = "dropping an RwLockWriteGuard immediately releases the lock"]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(any(test, feature = "lockdep"))]
+    rank: Option<&'static Rank>,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+#[cfg(any(test, feature = "lockdep"))]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(r) = self.rank {
+            lockdep::release(r);
+        }
+    }
+}
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = err.downcast_ref::<String>() {
+            s.clone()
+        } else if let Some(s) = err.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else {
+            String::from("<non-string panic>")
+        }
+    }
 
     #[test]
     fn mutex_basics() {
@@ -214,5 +473,174 @@ mod tests {
         let r1 = l.read();
         let r2 = l.read();
         assert_eq!(&*r1, &*r2);
+    }
+
+    #[test]
+    fn ranked_ordering_is_tracked() {
+        static OUTER: Rank = Rank::new("test.tracked-outer", 10);
+        static INNER: Rank = Rank::new("test.tracked-inner", 20);
+        let a = Mutex::with_rank(&OUTER, 1);
+        let b = RwLock::with_rank(&INNER, 2);
+        let ga = a.lock();
+        let gb = b.read();
+        assert_eq!(
+            lockdep::held_rank_names(),
+            vec!["test.tracked-outer", "test.tracked-inner"]
+        );
+        // Out-of-LIFO-order release must not corrupt the stack.
+        drop(ga);
+        assert_eq!(lockdep::held_rank_names(), vec!["test.tracked-inner"]);
+        drop(gb);
+        assert!(lockdep::held_rank_names().is_empty());
+    }
+
+    #[test]
+    fn inversion_panics_with_both_rank_names() {
+        static LOW: Rank = Rank::new("test.inversion-low", 10);
+        static HIGH: Rank = Rank::new("test.inversion-high", 20);
+        let low = Mutex::with_rank(&LOW, ());
+        let high = Mutex::with_rank(&HIGH, ());
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _h = high.lock();
+            let _l = low.lock(); // inversion: level 10 after level 20
+        }))
+        .unwrap_err();
+        let msg = panic_message(err);
+        assert!(msg.contains("lock-order inversion"), "{msg}");
+        assert!(msg.contains("test.inversion-low"), "{msg}");
+        assert!(msg.contains("test.inversion-high"), "{msg}");
+        assert!(lockdep::held_rank_names().is_empty());
+    }
+
+    #[test]
+    fn two_thread_opposite_order_cycle_is_detected() {
+        // Equal-level classes pass the monotonicity check, so opposite
+        // acquisition orders across threads are exactly what the global
+        // order graph must catch.
+        static EQ_A: Rank = Rank::new("test.cycle-a", 50);
+        static EQ_B: Rank = Rank::new("test.cycle-b", 50);
+        let a = std::sync::Arc::new(Mutex::with_rank(&EQ_A, ()));
+        let b = std::sync::Arc::new(Mutex::with_rank(&EQ_B, ()));
+
+        // Thread 1 establishes the order a -> b.
+        {
+            let (a, b) = (std::sync::Arc::clone(&a), std::sync::Arc::clone(&b));
+            std::thread::spawn(move || {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            })
+            .join()
+            .unwrap();
+        }
+
+        // Thread 2 attempts b -> a; lockdep must refuse before deadlock.
+        let err = std::thread::spawn(move || {
+            catch_unwind(AssertUnwindSafe(|| {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            }))
+            .unwrap_err()
+        })
+        .join()
+        .unwrap();
+        let msg = panic_message(err);
+        assert!(msg.contains("lock-order cycle"), "{msg}");
+        assert!(msg.contains("test.cycle-a"), "{msg}");
+        assert!(msg.contains("test.cycle-b"), "{msg}");
+        assert!(msg.contains("this acquisition at"), "{msg}");
+        assert!(msg.contains("first established at"), "{msg}");
+    }
+
+    #[test]
+    fn recursive_acquisition_panics() {
+        static REC: Rank = Rank::new("test.recursive", 30);
+        let l = RwLock::with_rank(&REC, ());
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _r1 = l.read();
+            let _r2 = l.read(); // same class twice: deadlocks with a queued writer
+        }))
+        .unwrap_err();
+        let msg = panic_message(err);
+        assert!(msg.contains("recursive acquisition"), "{msg}");
+        assert!(msg.contains("test.recursive"), "{msg}");
+    }
+
+    #[test]
+    fn io_region_rejects_held_exclusive_lock() {
+        static NO_IO: Rank = Rank::new("test.no-io", 40);
+        let l = Mutex::with_rank(&NO_IO, ());
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _g = l.lock();
+            let _io = lockdep::io_region("test.write-page");
+        }))
+        .unwrap_err();
+        let msg = panic_message(err);
+        assert!(msg.contains("I/O region 'test.write-page'"), "{msg}");
+        assert!(msg.contains("test.no-io"), "{msg}");
+    }
+
+    #[test]
+    fn io_region_allows_tolerant_and_shared_holders() {
+        static TOLERANT: Rank = Rank::new_io_tolerant("test.io-tolerant", 41);
+        static SHARED: Rank = Rank::new("test.io-shared", 42);
+        let m = Mutex::with_rank(&TOLERANT, ());
+        let rw = RwLock::with_rank(&SHARED, ());
+        let _g = m.lock();
+        let _r = rw.read();
+        let _io = lockdep::io_region("test.read-page");
+        // Acquiring a non-tolerant exclusive lock *inside* the region is
+        // still a violation.
+        static NO_IO2: Rank = Rank::new("test.no-io-inside", 43);
+        let bad = Mutex::with_rank(&NO_IO2, ());
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let _b = bad.lock();
+        }))
+        .unwrap_err();
+        let msg = panic_message(err);
+        assert!(msg.contains("inside a declared I/O region"), "{msg}");
+        assert!(msg.contains("test.no-io-inside"), "{msg}");
+    }
+
+    #[test]
+    fn condvar_wait_releases_and_reacquires_rank() {
+        static CV: Rank = Rank::new("test.condvar", 60);
+        let m = Mutex::with_rank(&CV, false);
+        let cv = Condvar::new();
+        let g = m.lock();
+        assert_eq!(lockdep::held_rank_names(), vec!["test.condvar"]);
+        let (g, timed_out) = cv.wait_timeout(g, std::time::Duration::from_millis(10));
+        assert!(timed_out);
+        // The rank is held again after the wait returns...
+        assert_eq!(lockdep::held_rank_names(), vec!["test.condvar"]);
+        drop(g);
+        // ...and fully released afterwards.
+        assert!(lockdep::held_rank_names().is_empty());
+    }
+
+    #[test]
+    fn failed_try_lock_leaves_stack_clean() {
+        static TRY: Rank = Rank::new("test.try-lock", 70);
+        let m = std::sync::Arc::new(Mutex::with_rank(&TRY, ()));
+        let g = m.lock();
+        let m2 = std::sync::Arc::clone(&m);
+        std::thread::spawn(move || {
+            assert!(m2.try_lock().is_none());
+            assert!(lockdep::held_rank_names().is_empty());
+        })
+        .join()
+        .unwrap();
+        drop(g);
+    }
+
+    #[test]
+    fn production_rank_table_is_strictly_ordered() {
+        let levels: Vec<u16> = rank::ALL.iter().map(|r| r.level).collect();
+        for pair in levels.windows(2) {
+            assert!(pair[0] < pair[1], "rank table must be strictly increasing");
+        }
+        let mut names: Vec<&str> = rank::ALL.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), rank::ALL.len(), "rank names must be unique");
     }
 }

@@ -1,0 +1,236 @@
+//! Lockdep-style runtime validation of the NATIX lock hierarchy.
+//!
+//! Compiled only under `cfg(any(test, feature = "lockdep"))`; release
+//! builds of the shim carry none of this. Three checks run on every
+//! acquisition of a *ranked* lock (unranked locks are invisible here):
+//!
+//! 1. **Recursion** — acquiring a class this thread already holds panics.
+//! 2. **Rank monotonicity** — acquiring a class whose level is *lower*
+//!    than the most recently acquired held lock panics with both rank
+//!    names and the full held chain.
+//! 3. **Order-graph cycles** — every `held -> acquired` pair becomes an
+//!    edge in a global graph (first-occurrence backtrace recorded). If
+//!    the new acquisition closes a cycle — e.g. two equal-level classes
+//!    taken in opposite orders by two threads — the panic reports both
+//!    offending sites.
+//!
+//! Additionally the storage layer declares **I/O regions**
+//! ([`io_region`]): entering one while holding any exclusive lock whose
+//! rank is not `io_tolerant` panics, as does acquiring such a lock while
+//! inside a region. Shared (read) guards are exempt — holding a read
+//! guard across I/O starves no one.
+
+use crate::rank::Rank;
+use std::backtrace::Backtrace;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// How a ranked lock is held; read guards are `Shared`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GuardKind {
+    Exclusive,
+    Shared,
+}
+
+#[derive(Clone, Copy)]
+struct Held {
+    rank: &'static Rank,
+    kind: GuardKind,
+}
+
+thread_local! {
+    /// Ranked locks this thread currently holds, in acquisition order.
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    /// Nesting depth of declared I/O regions on this thread.
+    static IO_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// First-seen site of a lock-order edge, kept for cycle diagnostics.
+struct Edge {
+    site: String,
+}
+
+/// `graph[a][b]` exists iff some thread acquired class `b` while holding
+/// class `a`. Keyed by rank name (class names are unique).
+type Graph = HashMap<&'static str, HashMap<&'static str, Edge>>;
+
+fn graph() -> &'static StdMutex<Graph> {
+    static G: OnceLock<StdMutex<Graph>> = OnceLock::new();
+    G.get_or_init(|| StdMutex::new(HashMap::new()))
+}
+
+fn capture_site() -> String {
+    format!("{}", Backtrace::force_capture())
+}
+
+fn held_chain(held: &[Held]) -> String {
+    held.iter()
+        .map(|h| format!("{} (level {})", h.rank.name, h.rank.level))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Depth-first search for a path `from -> ... -> to` through recorded
+/// edges. Returns the node sequence after `from` (so the first edge on the
+/// path is `from -> path[0]`), or `None` if `to` is unreachable.
+fn find_path(
+    g: &Graph,
+    from: &str,
+    to: &str,
+    seen: &mut Vec<&'static str>,
+) -> Option<Vec<&'static str>> {
+    let next = g.get(from)?;
+    for (&succ, _) in next.iter() {
+        if succ == to {
+            return Some(vec![succ]);
+        }
+        if seen.contains(&succ) {
+            continue;
+        }
+        seen.push(succ);
+        if let Some(mut rest) = find_path(g, succ, to, seen) {
+            rest.insert(0, succ);
+            return Some(rest);
+        }
+    }
+    None
+}
+
+/// Validate and record the acquisition of `rank`. Called *before* the
+/// thread blocks on the underlying lock, so violations are reported as
+/// panics rather than deadlocks. Pushes the rank onto the thread's held
+/// stack; a failed `try_lock` must undo that with [`release`].
+pub fn acquire(rank: &'static Rank, kind: GuardKind) {
+    HELD.with(|cell| {
+        let held = cell.borrow();
+
+        for h in held.iter() {
+            if std::ptr::eq(h.rank, rank) {
+                drop(held);
+                panic!(
+                    "lockdep: recursive acquisition of lock class {} (level {})",
+                    rank.name, rank.level
+                );
+            }
+        }
+
+        if let Some(top) = held.last().copied() {
+            if top.rank.level > rank.level {
+                let chain = held_chain(&held);
+                drop(held);
+                panic!(
+                    "lockdep: lock-order inversion: acquiring {} (level {}) while \
+                     holding {} (level {}); held chain: {}",
+                    rank.name, rank.level, top.rank.name, top.rank.level, chain
+                );
+            }
+        }
+
+        if kind == GuardKind::Exclusive && !rank.io_tolerant && IO_DEPTH.with(Cell::get) > 0 {
+            let chain = held_chain(&held);
+            drop(held);
+            panic!(
+                "lockdep: acquiring non-I/O-tolerant lock {} (level {}) inside a \
+                 declared I/O region; held chain: {}",
+                rank.name, rank.level, chain
+            );
+        }
+
+        // Record held -> rank edges and look for a cycle back to anything
+        // currently held. Backtraces are captured only on first occurrence
+        // of an edge, so steady-state cost is two hash probes per pair.
+        if !held.is_empty() {
+            let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+            for h in held.iter() {
+                g.entry(h.rank.name)
+                    .or_default()
+                    .entry(rank.name)
+                    .or_insert_with(|| Edge {
+                        site: capture_site(),
+                    });
+            }
+            for h in held.iter() {
+                let mut seen = Vec::new();
+                if let Some(path) = find_path(&g, rank.name, h.rank.name, &mut seen) {
+                    let here = capture_site();
+                    let there = g
+                        .get(rank.name)
+                        .and_then(|m| m.get(path[0]))
+                        .map(|e| e.site.clone())
+                        .unwrap_or_else(|| "<unknown>".to_string());
+                    let (held_name, rank_name) = (h.rank.name, rank.name);
+                    let order = std::iter::once(rank_name)
+                        .chain(path.iter().copied())
+                        .collect::<Vec<_>>()
+                        .join(" -> ");
+                    drop(g);
+                    drop(held);
+                    panic!(
+                        "lockdep: lock-order cycle: this thread acquires {rank_name} \
+                         while holding {held_name}, but an established order already \
+                         requires {order}.\n\
+                         -- this acquisition at:\n{here}\n\
+                         -- conflicting order first established at:\n{there}"
+                    );
+                }
+            }
+        }
+
+        drop(held);
+        cell.borrow_mut().push(Held { rank, kind });
+    });
+}
+
+/// Remove the most recent entry for `rank` from the thread's held stack.
+/// Guards may be dropped out of LIFO order, so this searches from the top.
+pub fn release(rank: &'static Rank) {
+    HELD.with(|cell| {
+        let mut held = cell.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|h| std::ptr::eq(h.rank, rank)) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// Names of the ranked locks this thread currently holds, in acquisition
+/// order. For tests.
+pub fn held_rank_names() -> Vec<&'static str> {
+    HELD.with(|cell| cell.borrow().iter().map(|h| h.rank.name).collect())
+}
+
+/// RAII marker for a declared I/O region. See [`io_region`].
+#[must_use = "dropping an IoRegion immediately ends the declared I/O region"]
+pub struct IoRegion {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for IoRegion {
+    fn drop(&mut self) {
+        IO_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Declare that the current thread is about to perform device I/O
+/// (page read/write, log write/sync). Panics if the thread holds any
+/// exclusive ranked lock whose rank is not `io_tolerant`. Regions nest.
+pub fn io_region(what: &'static str) -> IoRegion {
+    HELD.with(|cell| {
+        let held = cell.borrow();
+        for h in held.iter().copied() {
+            if h.kind == GuardKind::Exclusive && !h.rank.io_tolerant {
+                let chain = held_chain(&held);
+                drop(held);
+                panic!(
+                    "lockdep: I/O region '{what}' entered while holding \
+                     non-I/O-tolerant lock {} (level {}); held chain: {}",
+                    h.rank.name, h.rank.level, chain
+                );
+            }
+        }
+    });
+    IO_DEPTH.with(|d| d.set(d.get() + 1));
+    IoRegion {
+        _not_send: std::marker::PhantomData,
+    }
+}

@@ -52,6 +52,12 @@ pub enum EvictionPolicy {
 }
 
 struct Frame {
+    /// Page contents. Deliberately *unranked* under lockdep: `pin_inner`
+    /// takes the pool mutex while holding a reserved frame's write guard
+    /// (safe — the frame is unmapped, so no pool-lock holder touches it),
+    /// while `write_back` takes a frame guard under the pool mutex.
+    /// Class-level order checking would flag that as an inversion even
+    /// though the reserved-frame invariant makes it cycle-free.
     data: RwLock<PageBuf>,
     pin_count: AtomicU32,
     dirty: AtomicBool,
@@ -108,15 +114,18 @@ impl BufferManager {
         BufferManager {
             backend,
             frames,
-            state: Mutex::new(PoolState {
-                table: HashMap::with_capacity(frame_count * 2),
-                resident: vec![None; frame_count],
-                last_use: vec![0; frame_count],
-                ref_bit: vec![false; frame_count],
-                clock_hand: 0,
-                tick: 0,
-                io_in_flight: HashSet::new(),
-            }),
+            state: Mutex::with_rank(
+                &parking_lot::rank::BUFFER_POOL,
+                PoolState {
+                    table: HashMap::with_capacity(frame_count * 2),
+                    resident: vec![None; frame_count],
+                    last_use: vec![0; frame_count],
+                    ref_bit: vec![false; frame_count],
+                    clock_hand: 0,
+                    tick: 0,
+                    io_in_flight: HashSet::new(),
+                },
+            ),
             io_done: Condvar::new(),
             policy,
             stats,
@@ -225,6 +234,8 @@ impl BufferManager {
     fn write_back(&self, frame: usize, page: PageId) -> StorageResult<()> {
         let f = &self.frames[frame];
         if f.dirty.swap(false, Ordering::AcqRel) {
+            #[cfg(feature = "lockdep")]
+            let _io = parking_lot::lockdep::io_region("buffer.write-back");
             if let Err(e) = self.wal_barrier() {
                 f.dirty.store(true, Ordering::Release);
                 return Err(e);
@@ -328,8 +339,11 @@ impl BufferManager {
         // image must NOT be dropped: restore the flag and re-map the old
         // page so its latest contents stay resident and a later flush can
         // retry — losing them would silently corrupt the store.
-        if dirty_old {
-            let old_page = old.expect("dirty_old implies an evicted page");
+        // `dirty_old` is only ever set together with an evicted page; the
+        // `if let` keeps that coupling without a panicking assertion.
+        if let (true, Some(old_page)) = (dirty_old, old) {
+            #[cfg(feature = "lockdep")]
+            let _io = parking_lot::lockdep::io_region("buffer.steal-write-back");
             self.frames[frame].dirty.store(false, Ordering::Release);
             // WAL rule: the log must be flushed to its current append point
             // before a dirty frame is stolen to disk, so redo images for the
@@ -363,6 +377,8 @@ impl BufferManager {
             self.io_done.notify_all();
         }
         let result = if load_from_disk {
+            #[cfg(feature = "lockdep")]
+            let _io = parking_lot::lockdep::io_region("buffer.read-page");
             self.backend
                 .read_page(page, data.bytes_mut())
                 .map(|()| self.stats.add_read())
@@ -476,6 +492,7 @@ impl BufferManager {
 ///
 /// [`read`]: PinnedPage::read
 /// [`write`]: PinnedPage::write
+#[must_use = "dropping a PinnedPage immediately makes the frame evictable"]
 pub struct PinnedPage {
     frame: Arc<Frame>,
     page: PageId,

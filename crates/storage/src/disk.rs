@@ -76,7 +76,7 @@ impl MemStorage {
         crate::validate_page_size(page_size)?;
         Ok(MemStorage {
             page_size,
-            pages: Mutex::new(Vec::new()),
+            pages: Mutex::with_rank(&parking_lot::rank::DEVICE, Vec::new()),
         })
     }
 }
@@ -143,7 +143,7 @@ impl FileStorage {
             .open(path)?;
         Ok(FileStorage {
             page_size,
-            file: Mutex::new(file),
+            file: Mutex::with_rank(&parking_lot::rank::DEVICE, file),
             page_count: AtomicU64::new(0),
         })
     }
@@ -190,7 +190,7 @@ impl FileStorage {
         }
         Ok(FileStorage {
             page_size,
-            file: Mutex::new(file),
+            file: Mutex::with_rank(&parking_lot::rank::DEVICE, file),
             page_count: AtomicU64::new(len / page_size as u64),
         })
     }

@@ -115,11 +115,14 @@ impl StorageManager {
         }
         Ok(StorageManager {
             buffer,
-            state: Mutex::new(SmState {
-                next_unallocated: 1,
-                free_list_head: INVALID_PAGE,
-                segments: Vec::new(),
-            }),
+            state: Mutex::with_rank(
+                &parking_lot::rank::ALLOCATOR,
+                SmState {
+                    next_unallocated: 1,
+                    free_list_head: INVALID_PAGE,
+                    segments: Vec::new(),
+                },
+            ),
             wal: OnceLock::new(),
         })
     }
@@ -187,11 +190,14 @@ impl StorageManager {
         }
         Ok(StorageManager {
             buffer,
-            state: Mutex::new(SmState {
-                next_unallocated,
-                free_list_head,
-                segments,
-            }),
+            state: Mutex::with_rank(
+                &parking_lot::rank::ALLOCATOR,
+                SmState {
+                    next_unallocated,
+                    free_list_head,
+                    segments,
+                },
+            ),
             wal: OnceLock::new(),
         })
     }
@@ -622,8 +628,7 @@ impl StorageManager {
                 chain.push(p);
             }
             // Return surplus chain pages to the free pool.
-            while chain.len() > pages_needed {
-                let p = chain.pop().unwrap();
+            while let Some(p) = (chain.len() > pages_needed).then(|| chain.pop()).flatten() {
                 self.buffer.discard(p)?;
                 let pin = self.buffer.pin_new(p)?;
                 {
@@ -800,11 +805,14 @@ impl StorageManager {
             .collect();
         Ok(StorageManager {
             buffer,
-            state: Mutex::new(SmState {
-                next_unallocated,
-                free_list_head: INVALID_PAGE,
-                segments,
-            }),
+            state: Mutex::with_rank(
+                &parking_lot::rank::ALLOCATOR,
+                SmState {
+                    next_unallocated,
+                    free_list_head: INVALID_PAGE,
+                    segments,
+                },
+            ),
             wal: OnceLock::new(),
         })
     }
@@ -815,6 +823,8 @@ impl StorageManager {
         let mut st = self.state.lock();
         if next > st.next_unallocated {
             st.next_unallocated = next;
+            #[cfg(feature = "lockdep")]
+            let _io = parking_lot::lockdep::io_region("storage.grow");
             self.buffer.backend().grow(next as u64)?;
         }
         self.persist_alloc_state(&st)
@@ -887,6 +897,88 @@ impl StorageManager {
             }
         }
         Ok(())
+    }
+
+    /// Pages below the allocation high-water mark that no structure
+    /// accounts for: not the header page, not on the free-list chain, in
+    /// no segment's free-space inventory, and on no space-map chain.
+    ///
+    /// On a healthy quiescent store this is empty. After crash recovery
+    /// it is exactly the *loser allocations*: `Alloc` records carry no
+    /// operation id, so recovery re-adopts every post-checkpoint
+    /// allocation, and [`refresh_fsi_from_pages`] then drops the ones
+    /// whose content never reached disk (unreadable or still zeroed) —
+    /// leaving them allocated but unreachable until the next full
+    /// checkpoint rebuilds the snapshot. Callers must hold the store
+    /// quiescent: a concurrent [`allocate_page`] has a window where the
+    /// fresh page is in no inventory yet.
+    ///
+    /// [`refresh_fsi_from_pages`]: Self::refresh_fsi_from_pages
+    /// [`allocate_page`]: Self::allocate_page
+    pub fn untracked_pages(&self) -> StorageResult<Vec<PageId>> {
+        let st = self.state.lock();
+        let mut tracked = vec![false; st.next_unallocated as usize];
+        if let Some(header) = tracked.get_mut(0) {
+            *header = true;
+        }
+        let mut cur = st.free_list_head;
+        while cur != INVALID_PAGE {
+            if let Some(t) = tracked.get_mut(cur as usize) {
+                *t = true;
+            }
+            cur = self.buffer.pin(cur)?.read().next_page();
+        }
+        for seg in &st.segments {
+            for (p, _) in seg.fsi.iter() {
+                if let Some(t) = tracked.get_mut(p as usize) {
+                    *t = true;
+                }
+            }
+            let mut cur = seg.spacemap_head;
+            while cur != INVALID_PAGE {
+                if let Some(t) = tracked.get_mut(cur as usize) {
+                    *t = true;
+                }
+                cur = self.buffer.pin(cur)?.read().next_page();
+            }
+        }
+        Ok(tracked
+            .iter()
+            .enumerate()
+            .filter(|&(_, tracked)| !tracked)
+            .map(|(p, _)| p as PageId)
+            .collect())
+    }
+
+    /// Returns every [`untracked_pages`] orphan to the global free pool
+    /// (recovery: release loser allocations instead of leaking them until
+    /// the next checkpoint). Reports the pages it reclaimed. Frees are
+    /// logged like [`free_page`] frees, so a crash after recovery cannot
+    /// resurrect the orphans; without an attached log this is a no-op
+    /// append.
+    ///
+    /// [`untracked_pages`]: Self::untracked_pages
+    /// [`free_page`]: Self::free_page
+    pub fn reclaim_untracked_pages(&self) -> StorageResult<Vec<PageId>> {
+        let orphans = self.untracked_pages()?;
+        if orphans.is_empty() {
+            return Ok(orphans);
+        }
+        let mut st = self.state.lock();
+        for &page in &orphans {
+            self.buffer.discard(page)?;
+            let pin = self.buffer.pin_new(page)?;
+            {
+                let mut buf = pin.write();
+                buf.format(PageKind::Free);
+                buf.set_next_page(st.free_list_head);
+            }
+            drop(pin);
+            st.free_list_head = page;
+            self.wal_append(&WalRecord::Free { page });
+        }
+        self.persist_alloc_state(&st)?;
+        Ok(orphans)
     }
 
     /// Reformats every page of `segment` as an empty slotted page

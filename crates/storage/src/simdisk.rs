@@ -90,7 +90,7 @@ impl<B: DiskBackend> SimDisk<B> {
             inner,
             profile,
             stats,
-            head: Mutex::new(None),
+            head: Mutex::with_rank(&parking_lot::rank::DISK_SIM, None),
         }
     }
 

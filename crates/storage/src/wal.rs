@@ -650,7 +650,7 @@ impl FileLogDevice {
             .open(path)?;
         let len = file.metadata()?.len();
         Ok(FileLogDevice {
-            file: Mutex::new(file),
+            file: Mutex::with_rank(&parking_lot::rank::DEVICE, file),
             len: AtomicU64::new(len),
         })
     }
@@ -720,10 +720,13 @@ impl MemLogDevice {
     /// A plain in-memory log with no faults and no latency.
     pub fn new() -> MemLogDevice {
         MemLogDevice {
-            state: Mutex::new(MemLogState {
-                staging: Vec::new(),
-                durable: Vec::new(),
-            }),
+            state: Mutex::with_rank(
+                &parking_lot::rank::DEVICE,
+                MemLogState {
+                    staging: Vec::new(),
+                    durable: Vec::new(),
+                },
+            ),
             fault: None,
             sync_latency: Duration::ZERO,
         }
@@ -844,11 +847,14 @@ impl Wal {
         let len = device.len();
         Wal {
             device,
-            core: Mutex::new(WalCore {
-                buf: Vec::new(),
-                buf_base: len,
-                syncing: false,
-            }),
+            core: Mutex::with_rank(
+                &parking_lot::rank::WAL,
+                WalCore {
+                    buf: Vec::new(),
+                    buf_base: len,
+                    syncing: false,
+                },
+            ),
             cond: Condvar::new(),
             appended: AtomicU64::new(len),
             durable: AtomicU64::new(len),
@@ -927,6 +933,8 @@ impl Wal {
     }
 
     fn write_and_sync(&self, batch: &[u8]) -> StorageResult<()> {
+        #[cfg(feature = "lockdep")]
+        let _io = parking_lot::lockdep::io_region("wal.write-and-sync");
         if !batch.is_empty() {
             self.device.write(batch)?;
         }
@@ -1045,6 +1053,8 @@ impl Wal {
         if appended != expected || self.durable.load(Ordering::Acquire) != expected || !quiesced() {
             return Ok(false);
         }
+        #[cfg(feature = "lockdep")]
+        let _io = parking_lot::lockdep::io_region("wal.truncate-reset");
         self.device.truncate(0)?;
         core.buf.clear();
         core.buf_base = 0;

@@ -202,7 +202,7 @@ impl TreeStore {
             sm,
             segment,
             config,
-            matrix: parking_lot::RwLock::new(matrix),
+            matrix: parking_lot::RwLock::with_rank(&parking_lot::rank::SPLIT_MATRIX, matrix),
             versions,
         }
     }

@@ -154,15 +154,18 @@ impl VersionStore {
     /// Creates an empty version store at epoch 0.
     pub fn new() -> VersionStore {
         VersionStore {
-            state: Mutex::new(VersionState {
-                epoch: 0,
-                readers: BTreeMap::new(),
-                records: HashMap::new(),
-                pending: HashMap::new(),
-                hooks: HashMap::new(),
-                created: HashMap::new(),
-                next_op: 0,
-            }),
+            state: Mutex::with_rank(
+                &parking_lot::rank::VERSION_STORE,
+                VersionState {
+                    epoch: 0,
+                    readers: BTreeMap::new(),
+                    records: HashMap::new(),
+                    pending: HashMap::new(),
+                    hooks: HashMap::new(),
+                    created: HashMap::new(),
+                    next_op: 0,
+                },
+            ),
             retained: AtomicUsize::new(0),
             wal: OnceLock::new(),
             commit_hook: OnceLock::new(),
@@ -572,6 +575,7 @@ impl VersionStore {
 /// it as the thread's ambient snapshot. Dropping unpins and restores the
 /// previous ambient state. Not `Send` — the pin is bound to the thread's
 /// ambient slot.
+#[must_use = "dropping a ReadPin immediately releases the snapshot; bind it for the read's duration"]
 pub struct ReadPin<'a> {
     store: &'a VersionStore,
     epoch: u64,
@@ -599,6 +603,7 @@ impl Drop for ReadPin<'_> {
 /// advance + version stamping) when the guard drops — on success, error
 /// and unwind alike, because the pages were modified either way. Not
 /// `Send`.
+#[must_use = "dropping a WriteOp immediately publishes the operation; bind it for the edit's duration"]
 pub struct WriteOp<'a> {
     store: &'a VersionStore,
     /// `None` for a nested guard (the outer operation publishes).

@@ -89,9 +89,12 @@ fn full_lifecycle_with_persistence() {
     assert!(!speakers.is_empty());
     // Validation against the persisted DTD.
     let doc = repo.get_document("play").unwrap();
+    // Lock order: symbols (level 500) before schema (level 800).
+    let symbols = repo.symbols();
     repo.schema()
-        .validate_document(&doc, &repo.symbols(), "play")
+        .validate_document(&doc, &symbols, "play")
         .unwrap();
+    drop(symbols);
     // Edit after re-open, checkpoint again, re-open again.
     let id = repo.doc_id("play").unwrap();
     let root = repo.root(id).unwrap();
