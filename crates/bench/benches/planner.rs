@@ -1,0 +1,290 @@
+//! Cost-based planner benchmark: summary answers vs record scans.
+//!
+//! ```sh
+//! cargo bench -p natix-bench --bench planner             # writes BENCH_planner.json
+//! cargo bench -p natix-bench --bench planner -- --check  # CI mode: asserts the floors
+//! ```
+//!
+//! The corpus is one catalog document shaped for plan divergence: a few
+//! dozen fat `BULK` sections of filler records, with a handful of small
+//! `RARE` sections scattered between them. Over the throttled disk
+//! (8 KB pages, a pool far smaller than the document, a per-page read
+//! latency in the paper's late-90s ballpark) the two plan families
+//! separate cleanly:
+//!
+//! * **structural counts** (`//FILLER`, `//DATA/text()`, `//*`) — the
+//!   planner answers from the path summary without touching a page; the
+//!   baseline is the same count through a forced parallel record scan.
+//!   Check floor: **10x**.
+//! * **selective node queries** (`//RARE/NEEDLE`, `//NEEDLE`) —
+//!   the summary-seeded descent enters only subtrees on the match
+//!   closure's paths; the baseline is the unseeded 4-thread parallel
+//!   scan of the whole document. Check floor: **2x**.
+//!
+//! Every timed pair is also compared for bit-identical results (counts
+//! and node-id lists alike), and the planner's *unforced* choice is
+//! asserted to be the summary shape — the floors pin the speedup the
+//! cost model's choice actually delivers.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use natix::{ParallelQueryOptions, PlanShape, PlannerOptions, Repository, RepositoryOptions};
+use natix_storage::{DiskBackend, MemStorage, ThrottledDisk};
+
+const PAGE_SIZE: usize = 8192;
+/// Small on purpose: the catalog must not fit the pool, so scans stall on
+/// reads while summary plans skip them entirely.
+const BUFFER_FRAMES: usize = 48;
+const READ_LATENCY_US: u64 = 1_500;
+const WRITE_LATENCY_US: u64 = 0;
+/// Repetitions per measurement; the fastest run is reported.
+const REPS: usize = 3;
+/// Check-mode floor: structural counts answered from the summary vs the
+/// same count through a forced parallel record scan.
+const COUNT_FLOOR: f64 = 10.0;
+/// Check-mode floor: summary-seeded selective queries vs the unseeded
+/// parallel scan at `SCAN_THREADS` threads.
+const SEEDED_FLOOR: f64 = 2.0;
+const SCAN_THREADS: usize = 4;
+
+const COUNT_QUERIES: &[&str] = &["//FILLER", "//DATA/text()", "//*"];
+const SEEDED_QUERIES: &[&str] = &["//RARE/NEEDLE", "//NEEDLE"];
+
+/// A catalog with 32 fat prunable sections (under one `BULKS` group —
+/// the label of a child-record proxy costs one page read to discover, so
+/// the corpus keeps the root's fanout small and lets the descent prune
+/// the whole bulk with a single probe) and a rare selective path.
+fn corpus_xml(quick: bool) -> String {
+    let sections = 32;
+    let fillers = if quick { 500 } else { 1000 };
+    let mut s = String::from("<CATALOG><BULKS>");
+    for i in 0..sections {
+        s.push_str("<BULK>");
+        for j in 0..fillers {
+            write!(
+                s,
+                "<FILLER><DATA>payload {i}-{j} lorem ipsum dolor sit amet</DATA></FILLER>"
+            )
+            .unwrap();
+        }
+        s.push_str("</BULK>");
+    }
+    s.push_str("</BULKS>");
+    for i in 0..4 {
+        write!(s, "<RARE><NEEDLE>needle {i}</NEEDLE></RARE>").unwrap();
+    }
+    s.push_str("</CATALOG>");
+    s
+}
+
+fn throttled_repo() -> Repository {
+    let backend = Arc::new(ThrottledDisk::new(
+        MemStorage::new(PAGE_SIZE).unwrap(),
+        READ_LATENCY_US,
+        WRITE_LATENCY_US,
+    )) as Arc<dyn DiskBackend>;
+    Repository::create_on_backend(
+        backend,
+        RepositoryOptions {
+            page_size: PAGE_SIZE,
+            buffer_bytes: BUFFER_FRAMES * PAGE_SIZE,
+            ..RepositoryOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+struct Row {
+    query: &'static str,
+    kind: &'static str,
+    chosen_shape: String,
+    summary_ms: f64,
+    scan_ms: f64,
+    speedup: f64,
+    hits: u64,
+}
+
+/// Times `f` over `REPS` cold runs (buffer cleared each time), returning
+/// the fastest wall time in milliseconds and the last result.
+fn time_cold<T>(repo: &Repository, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        repo.clear_buffer().unwrap();
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+fn bench(quick: bool) -> Vec<Row> {
+    let repo = throttled_repo();
+    repo.put_xml_streaming("catalog", &corpus_xml(quick))
+        .unwrap();
+    let scan_opts = PlannerOptions {
+        force: Some(PlanShape::ParallelScan),
+        exec: ParallelQueryOptions {
+            threads: SCAN_THREADS,
+            parallel_record_threshold: 8,
+        },
+    };
+    let mut rows = Vec::new();
+
+    for &q in COUNT_QUERIES {
+        // The unforced plan must be the summary count.
+        let (n_summary, explain) = repo
+            .count_planned("catalog", q, &PlannerOptions::default())
+            .unwrap();
+        assert_eq!(
+            explain.shape,
+            PlanShape::SummaryOnly,
+            "{q}: the planner did not choose the summary for a structural count"
+        );
+        let (summary_ms, _) = time_cold(&repo, || {
+            repo.count_planned("catalog", q, &PlannerOptions::default())
+                .unwrap()
+                .0
+        });
+        let (scan_ms, n_scan) = time_cold(&repo, || {
+            repo.count_planned("catalog", q, &scan_opts).unwrap().0
+        });
+        assert_eq!(
+            n_summary, n_scan,
+            "{q}: summary count diverges from the scan"
+        );
+        let speedup = scan_ms / summary_ms;
+        println!(
+            "  count  {q:<22} summary {summary_ms:>8.2} ms   scan {scan_ms:>8.1} ms   {speedup:>6.1}x   ({n_summary} hits)"
+        );
+        rows.push(Row {
+            query: q,
+            kind: "structural-count",
+            chosen_shape: format!("{:?}", explain.shape),
+            summary_ms,
+            scan_ms,
+            speedup,
+            hits: n_summary,
+        });
+    }
+
+    for &q in SEEDED_QUERIES {
+        let seeded_opts = PlannerOptions {
+            force: Some(PlanShape::SummarySeeded),
+            ..PlannerOptions::default()
+        };
+        let explain = repo
+            .explain("catalog", q, &PlannerOptions::default())
+            .unwrap();
+        assert_eq!(
+            explain.shape,
+            PlanShape::SummarySeeded,
+            "{q}: the planner did not choose the seeded descent for a selective query"
+        );
+        let (summary_ms, ids_seeded) = time_cold(&repo, || {
+            repo.query_planned("catalog", q, &seeded_opts).unwrap().0
+        });
+        let (scan_ms, ids_scan) = time_cold(&repo, || {
+            repo.query_planned("catalog", q, &scan_opts).unwrap().0
+        });
+        assert_eq!(
+            ids_seeded, ids_scan,
+            "{q}: seeded descent diverges from the parallel scan"
+        );
+        let speedup = scan_ms / summary_ms;
+        println!(
+            "  seeded {q:<22} seeded  {summary_ms:>8.2} ms   scan {scan_ms:>8.1} ms   {speedup:>6.1}x   ({} hits)",
+            ids_seeded.len()
+        );
+        rows.push(Row {
+            query: q,
+            kind: "selective-seeded",
+            chosen_shape: format!("{:?}", explain.shape),
+            summary_ms,
+            scan_ms,
+            speedup,
+            hits: ids_seeded.len() as u64,
+        });
+    }
+    rows
+}
+
+fn write_json(quick: bool, rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(
+        s,
+        "  \"benchmark\": \"cost-based planner: summary plans vs record scans\","
+    );
+    let _ = writeln!(s, "  \"page_size\": {PAGE_SIZE},");
+    let _ = writeln!(s, "  \"buffer_frames\": {BUFFER_FRAMES},");
+    let _ = writeln!(
+        s,
+        "  \"disk\": \"throttled: {READ_LATENCY_US} us/page read, free writes\","
+    );
+    let _ = writeln!(s, "  \"scan_threads\": {SCAN_THREADS},");
+    let _ = writeln!(s, "  \"quick_mode\": {quick},");
+    s.push_str("  \"queries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"query\": \"{}\", \"kind\": \"{}\", \"chosen_shape\": \"{}\", \
+             \"plan_ms\": {:.3}, \"scan_ms\": {:.1}, \"speedup\": {:.1}, \
+             \"hits\": {}, \"identical_results\": true}}{}",
+            r.query,
+            r.kind,
+            r.chosen_shape,
+            r.summary_ms,
+            r.scan_ms,
+            r.speedup,
+            r.hits,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--check" || a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+
+    println!(
+        "planner plans vs record scans ({PAGE_SIZE} B pages, {BUFFER_FRAMES}-frame pool, \
+         throttled disk{}):",
+        if quick { ", quick" } else { "" }
+    );
+    let rows = bench(quick);
+
+    for r in &rows {
+        let floor = match r.kind {
+            "structural-count" => COUNT_FLOOR,
+            _ => SEEDED_FLOOR,
+        };
+        if check {
+            assert!(
+                r.speedup >= floor,
+                "{} '{}': {:.1}x fell below the {floor}x acceptance floor",
+                r.kind,
+                r.query,
+                r.speedup
+            );
+        }
+        println!(
+            "{} '{}': {:.1}x (floor {floor}x)",
+            r.kind, r.query, r.speedup
+        );
+    }
+    if !check {
+        let json = write_json(quick, &rows);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planner.json");
+        std::fs::write(path, &json).unwrap();
+        println!("wrote {path}");
+    } else {
+        println!("check mode: all floors met");
+    }
+}

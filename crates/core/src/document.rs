@@ -31,6 +31,7 @@ use natix_tree::{BulkStats, InsertPos, NewNode, NodePtr, OpResult, TreeStore, Vi
 use natix_xml::{Document, LiteralValue, NodeData, SymbolTable, LABEL_TEXT};
 
 use crate::error::{NatixError, NatixResult};
+use crate::path_summary::{PathSummary, SummaryBuilder, SummaryDelta};
 use crate::repository::Repository;
 
 /// Identifies a document within a repository.
@@ -438,15 +439,14 @@ impl Repository {
     /// [`put_document_per_node`]: Self::put_document_per_node
     pub fn put_document(&self, name: &str, doc: &Document) -> NatixResult<DocId> {
         self.claim_name(name)?;
-        let load = || -> NatixResult<Rid> {
+        let load = || -> NatixResult<BulkStats> {
             if !matches!(doc.data(doc.root()), NodeData::Element(_)) {
                 return Err(NatixError::Validation(
                     "document root must be an element".into(),
                 ));
             }
             let limit = chunk_limit(self.tree.net_capacity());
-            let stats = natix_tree::bulkload_document(&self.tree, doc, Some(limit))?;
-            Ok(stats.root_rid)
+            Ok(natix_tree::bulkload_document(&self.tree, doc, Some(limit))?)
         };
         match load() {
             // Node ids are handed out lazily as the document is navigated
@@ -454,8 +454,10 @@ impl Repository {
             // bound eagerly. The loader's operation has published (and
             // logged) by now, so registration — and then the durability
             // gate — come strictly after the content commit.
-            Ok(root_rid) => {
-                let id = self.register(DocState::new(name.to_string(), root_rid));
+            Ok(stats) => {
+                let id = self.register(DocState::new(name.to_string(), stats.root_rid));
+                self.summaries
+                    .install(id, Arc::new(self.dom_summary(doc, stats.records)), 0);
                 self.durable_gate()?;
                 Ok(id)
             }
@@ -547,6 +549,112 @@ impl Repository {
         Ok(state)
     }
 
+    /// Builds a [`PathSummary`] from a logical document, mirroring the
+    /// bulkloader's storage decisions: long character data counts once
+    /// per stored chunk, so the summary equals what a walk of the stored
+    /// tree would produce.
+    fn dom_summary(&self, doc: &Document, records: u64) -> PathSummary {
+        enum Walk {
+            Enter(natix_xml::NodeIdx),
+            Leave,
+        }
+        let limit = chunk_limit(self.tree.net_capacity());
+        let mut b = SummaryBuilder::new();
+        let mut stack = vec![Walk::Enter(doc.root())];
+        while let Some(w) = stack.pop() {
+            match w {
+                Walk::Leave => b.end_element(),
+                Walk::Enter(n) => match doc.data(n) {
+                    NodeData::Element(label) => {
+                        b.start_element(*label);
+                        stack.push(Walk::Leave);
+                        for &c in doc.children(n).iter().rev() {
+                            stack.push(Walk::Enter(c));
+                        }
+                    }
+                    NodeData::Literal { label, value } => {
+                        let chunks = match value {
+                            LiteralValue::String(s) if s.len() > limit && *label == LABEL_TEXT => {
+                                natix_xml::chunk_str(s, limit).count()
+                            }
+                            _ => 1,
+                        };
+                        for _ in 0..chunks {
+                            b.literal(*label);
+                        }
+                    }
+                },
+            }
+        }
+        b.finish(records)
+    }
+
+    /// Schedules a path-summary increment for a node just inserted at
+    /// `new_ptr`, to apply atomically when the surrounding write
+    /// operation publishes. Must be called inside the write operation
+    /// (after the edit succeeded) so the label path reads the writer's
+    /// own, not-yet-published state. If the update cannot be deferred the
+    /// summary is dropped — a later query rebuilds it lazily.
+    fn note_summary_insert(&self, doc: DocId, new_ptr: NodePtr, literal: bool) {
+        if !self.summaries.has_slot(doc) {
+            return;
+        }
+        match self.tree.label_path(new_ptr) {
+            Ok(path) => {
+                let store = Arc::clone(&self.summaries);
+                let delta = SummaryDelta::Insert {
+                    path,
+                    literal,
+                    count: 1,
+                };
+                let deferred = self
+                    .tree
+                    .versions()
+                    .defer_until_publish(move |epoch, floor| {
+                        store.apply_delta(doc, &delta, epoch, floor);
+                    });
+                if !deferred {
+                    self.summaries.remove(doc);
+                }
+            }
+            Err(_) => {
+                // The new node's label path could not be read; mark the
+                // summary stale from this edit's epoch on — readers pinned
+                // before it keep their versions.
+                let store = Arc::clone(&self.summaries);
+                let deferred = self
+                    .tree
+                    .versions()
+                    .defer_until_publish(move |epoch, floor| store.invalidate(doc, epoch, floor));
+                if !deferred {
+                    self.summaries.remove(doc);
+                }
+            }
+        }
+    }
+
+    /// Schedules the path-summary decrements of a just-deleted subtree
+    /// (per-path node counts collected by the delete's own traversal).
+    /// Same deferral protocol as [`Self::note_summary_insert`].
+    fn note_summary_remove(&self, doc: DocId, decrements: HashMap<Vec<natix_xml::LabelId>, u64>) {
+        if decrements.is_empty() || !self.summaries.has_slot(doc) {
+            return;
+        }
+        let store = Arc::clone(&self.summaries);
+        let delta = SummaryDelta::Remove {
+            decrements: decrements.into_iter().collect(),
+        };
+        let deferred = self
+            .tree
+            .versions()
+            .defer_until_publish(move |epoch, floor| {
+                store.apply_delta(doc, &delta, epoch, floor);
+            });
+        if !deferred {
+            self.summaries.remove(doc);
+        }
+    }
+
     /// Parses and stores XML text.
     pub fn put_xml(&self, name: &str, xml: &str) -> NatixResult<DocId> {
         let options = self.parser_options();
@@ -584,13 +692,24 @@ impl Repository {
     /// Labels are interned through the read-locked fast path, so any
     /// number of these can run concurrently. On failure every flushed
     /// record has been rolled back; registry bookkeeping is the caller's.
-    pub(crate) fn stream_load(&self, tree: &TreeStore, xml: &str) -> NatixResult<BulkStats> {
+    /// Returns the bulkload stats together with a [`PathSummary`] built
+    /// from the same event stream — one literal per *stored* node, so
+    /// chunked long text counts once per chunk, exactly as a walk of the
+    /// stored tree would count it.
+    pub(crate) fn stream_load(
+        &self,
+        tree: &TreeStore,
+        xml: &str,
+    ) -> NatixResult<(BulkStats, PathSummary)> {
         use natix_xml::{LabelKind, PullParser, XmlEvent};
         let options = self.parser_options();
         let limit = chunk_limit(tree.net_capacity());
         let mut parser = PullParser::new(xml, options);
         let mut loader = natix_tree::BulkLoader::new(tree);
-        let mut feed = |loader: &mut natix_tree::BulkLoader<'_>| -> NatixResult<()> {
+        let mut builder = SummaryBuilder::new();
+        let mut feed = |loader: &mut natix_tree::BulkLoader<'_>,
+                        builder: &mut SummaryBuilder|
+         -> NatixResult<()> {
             let mut seen_root = false;
             while let Some(event) = parser.next_event()? {
                 match event {
@@ -598,13 +717,19 @@ impl Repository {
                         // A second root element is rejected by the parser
                         // itself (`XmlError::Structure`).
                         seen_root = true;
-                        loader.start_element(self.intern_shared(LabelKind::Element, tag))?;
+                        let tag_label = self.intern_shared(LabelKind::Element, tag);
+                        loader.start_element(tag_label)?;
+                        builder.start_element(tag_label);
                         for (attr_name, value) in attrs {
                             let label = self.intern_shared(LabelKind::Attribute, attr_name);
                             loader.literal(label, LiteralValue::String(value))?;
+                            builder.literal(label);
                         }
                     }
-                    XmlEvent::EndElement { .. } => loader.end_element()?,
+                    XmlEvent::EndElement { .. } => {
+                        loader.end_element()?;
+                        builder.end_element();
+                    }
                     XmlEvent::Text(t) => {
                         if !seen_root || parser.depth() == 0 {
                             return Err(NatixError::Validation("text outside root".into()));
@@ -616,9 +741,11 @@ impl Repository {
                             for chunk in natix_xml::chunk_str(&t, limit) {
                                 loader
                                     .literal(LABEL_TEXT, LiteralValue::String(chunk.to_owned()))?;
+                                builder.literal(LABEL_TEXT);
                             }
                         } else {
                             loader.literal(LABEL_TEXT, LiteralValue::String(t))?;
+                            builder.literal(LABEL_TEXT);
                         }
                     }
                     XmlEvent::Comment(c) => {
@@ -629,6 +756,7 @@ impl Repository {
                                 natix_xml::LABEL_COMMENT,
                                 LiteralValue::String(c.to_string()),
                             )?;
+                            builder.literal(natix_xml::LABEL_COMMENT);
                         }
                     }
                     XmlEvent::Pi { target, data } => {
@@ -639,6 +767,7 @@ impl Repository {
                                 format!("{target} {data}")
                             };
                             loader.literal(natix_xml::LABEL_PI, LiteralValue::String(body))?;
+                            builder.literal(natix_xml::LABEL_PI);
                         }
                     }
                     XmlEvent::Doctype { .. } => {}
@@ -649,8 +778,12 @@ impl Repository {
             }
             Ok(())
         };
-        match feed(&mut loader) {
-            Ok(()) => Ok(loader.finish()?),
+        match feed(&mut loader, &mut builder) {
+            Ok(()) => {
+                let stats = loader.finish()?;
+                let summary = builder.finish(stats.records);
+                Ok((stats, summary))
+            }
             Err(e) => {
                 // Never leak the records flushed before the failure.
                 loader.abort();
@@ -743,10 +876,12 @@ impl Repository {
             let registry = Arc::clone(&self.registry);
             let doc_name = state.name.clone();
             let wal = self.wal.clone();
+            let summaries = Arc::clone(&self.summaries);
             self.tree
                 .versions()
                 .defer_until_publish(move |epoch, floor| {
                     st.retire(epoch, floor);
+                    summaries.remove(id);
                     let mut reg = registry.lock();
                     if reg.by_name.get(&doc_name) == Some(&id) {
                         reg.by_name.remove(&doc_name);
@@ -881,7 +1016,9 @@ impl Repository {
                 Ok(repo.tree.insert(ptr, pos, label, NewNode::Element)?)
             })?;
             self.finish_edit(&state, &res);
-            state.fresh_id(res.new_node.expect("insert yields node"))
+            let new_ptr = res.new_node.expect("insert yields node");
+            self.note_summary_insert(doc, new_ptr, false);
+            state.fresh_id(new_ptr)
         };
         self.durable_gate()?;
         Ok(id)
@@ -897,13 +1034,14 @@ impl Repository {
         text: &str,
     ) -> NatixResult<Vec<NodeId>> {
         let state = self.state(doc)?;
-        let ids = self.insert_text_inner(&state, parent, pos, text)?;
+        let ids = self.insert_text_inner(doc, &state, parent, pos, text)?;
         self.durable_gate()?;
         Ok(ids)
     }
 
     fn insert_text_inner(
         &self,
+        doc: DocId,
         state: &Arc<DocState>,
         parent: NodeId,
         pos: InsertPos,
@@ -946,7 +1084,9 @@ impl Repository {
                 )?)
             })?;
             self.finish_edit(&state, &res);
-            let id = state.fresh_id(res.new_node.expect("insert yields node"));
+            let new_ptr = res.new_node.expect("insert yields node");
+            self.note_summary_insert(doc, new_ptr, true);
+            let id = state.fresh_id(new_ptr);
             // Subsequent chunks follow the one just inserted.
             insert_pos = match insert_pos {
                 InsertPos::First => InsertPos::At(1),
@@ -984,7 +1124,9 @@ impl Repository {
                 Ok(repo.tree.insert_after(ptr, label, NewNode::Element)?)
             })?;
             self.finish_edit(&state, &res);
-            state.fresh_id(res.new_node.expect("insert yields node"))
+            let new_ptr = res.new_node.expect("insert yields node");
+            self.note_summary_insert(doc, new_ptr, false);
+            state.fresh_id(new_ptr)
         };
         self.durable_gate()?;
         Ok(id)
@@ -1018,7 +1160,9 @@ impl Repository {
                     .insert_after(ptr, label, NewNode::Literal(value.clone()))?)
             })?;
             self.finish_edit(&state, &res);
-            state.fresh_id(res.new_node.expect("insert yields node"))
+            let new_ptr = res.new_node.expect("insert yields node");
+            self.note_summary_insert(doc, new_ptr, true);
+            state.fresh_id(new_ptr)
         };
         self.durable_gate()?;
         Ok(id)
@@ -1044,6 +1188,7 @@ impl Repository {
             // hook) after the edit's bookkeeping below, before the latch
             // releases (drop order is reverse declaration order).
             let _op = self.tree.begin_write();
+            let literal = matches!(node, NewNode::Literal(_));
             let res = self.edit_with_normalize(&state, |repo| {
                 let ptr = state
                     .resolve(parent)
@@ -1051,7 +1196,9 @@ impl Repository {
                 Ok(repo.tree.insert(ptr, pos, label, node.clone())?)
             })?;
             self.finish_edit(&state, &res);
-            state.fresh_id(res.new_node.expect("insert yields node"))
+            let new_ptr = res.new_node.expect("insert yields node");
+            self.note_summary_insert(doc, new_ptr, literal);
+            state.fresh_id(new_ptr)
         };
         self.durable_gate()?;
         Ok(id)
@@ -1076,6 +1223,7 @@ impl Repository {
             // hook) after the edit's bookkeeping below, before the latch
             // releases (drop order is reverse declaration order).
             let _op = self.tree.begin_write();
+            let literal = matches!(node, NewNode::Literal(_));
             let res = self.edit_with_normalize(&state, |repo| {
                 let ptr = state
                     .resolve(sibling)
@@ -1083,7 +1231,9 @@ impl Repository {
                 Ok(repo.tree.insert_after(ptr, label, node.clone())?)
             })?;
             self.finish_edit(&state, &res);
-            state.fresh_id(res.new_node.expect("insert yields node"))
+            let new_ptr = res.new_node.expect("insert yields node");
+            self.note_summary_insert(doc, new_ptr, literal);
+            state.fresh_id(new_ptr)
         };
         self.durable_gate()?;
         Ok(id)
@@ -1102,31 +1252,47 @@ impl Repository {
             // hook) after the edit's bookkeeping below, before the latch
             // releases (drop order is reverse declaration order).
             let _op = self.tree.begin_write();
-            let (res, victims) = self.edit_with_normalize(&state, |repo| {
+            let (res, victims, decrements) = self.edit_with_normalize(&state, |repo| {
                 let ptr = state.resolve(node).ok_or(NatixError::NoSuchNode(node))?;
                 // Collect the subtree's logical ids first (their pointers are
                 // purged before relocations are applied); recollected on every
-                // attempt, since normalization relocates them.
+                // attempt, since normalization relocates them. The same walk
+                // tallies per-path node counts for the summary decrement,
+                // keyed by root-to-node label path: `prefix` starts as the
+                // victim root's *ancestor* path and tracks the walk depth.
                 let mut victims = Vec::new();
+                let mut decrements: HashMap<Vec<natix_xml::LabelId>, u64> = HashMap::new();
+                let mut prefix = repo.tree.label_path(ptr)?;
+                prefix.pop();
                 natix_tree::traverse(&repo.tree, ptr, &mut |ev| {
-                    let p = match ev {
-                        VisitEvent::Enter { ptr, .. } | VisitEvent::Literal { ptr, .. } => {
-                            Some(ptr)
+                    match ev {
+                        VisitEvent::Enter { ptr, label } => {
+                            if let Some(id) = state.lookup_ptr(ptr) {
+                                victims.push(id);
+                            }
+                            prefix.push(label);
+                            *decrements.entry(prefix.clone()).or_default() += 1;
                         }
-                        VisitEvent::Leave { .. } => None,
-                    };
-                    if let Some(p) = p {
-                        if let Some(id) = state.lookup_ptr(p) {
-                            victims.push(id);
+                        VisitEvent::Literal { ptr, label, .. } => {
+                            if let Some(id) = state.lookup_ptr(ptr) {
+                                victims.push(id);
+                            }
+                            prefix.push(label);
+                            *decrements.entry(prefix.clone()).or_default() += 1;
+                            prefix.pop();
+                        }
+                        VisitEvent::Leave { .. } => {
+                            prefix.pop();
                         }
                     }
                     true
                 })?;
                 let res = repo.tree.delete_subtree(ptr)?;
-                Ok((res, victims))
+                Ok((res, victims, decrements))
             })?;
             state.purge(&victims);
             self.finish_edit(&state, &res);
+            self.note_summary_remove(doc, decrements);
         }
         self.durable_gate()?;
         Ok(())

@@ -23,6 +23,12 @@ pub enum NatixError {
     Validation(String),
     /// Catalog corruption on open.
     Catalog(String),
+    /// A forced plan shape cannot execute the given query (e.g. forcing
+    /// the summary-only plan for a query that must touch records, or an
+    /// index-seeded plan with no attached index). Only surfaced when the
+    /// caller forces a shape; the planner itself never picks an
+    /// inapplicable plan.
+    PlanUnsupported(String),
     /// A read pinned at an older epoch tried to bind logical node ids for
     /// physical addresses a concurrent structural edit has already
     /// superseded — binding them would poison the id map with historical
@@ -46,6 +52,7 @@ impl fmt::Display for NatixError {
             NatixError::BadQuery(m) => write!(f, "bad path query: {m}"),
             NatixError::Validation(m) => write!(f, "validation failed: {m}"),
             NatixError::Catalog(m) => write!(f, "catalog: {m}"),
+            NatixError::PlanUnsupported(m) => write!(f, "plan not applicable: {m}"),
             NatixError::SnapshotRace(n) => write!(
                 f,
                 "document '{n}': snapshot superseded by a concurrent edit before \

@@ -120,10 +120,11 @@ impl Repository {
     ) -> NatixResult<DocId> {
         self.claim_name(name)?;
         match self.stream_load(store, xml) {
-            Ok(stats) => {
+            Ok((stats, summary)) => {
                 // The load's write operation has published and logged by
                 // now; register the name, then gate on log durability.
                 let id = self.register(DocState::new(name.to_string(), stats.root_rid));
+                self.summaries.install(id, std::sync::Arc::new(summary), 0);
                 self.durable_gate()?;
                 Ok(id)
             }

@@ -47,6 +47,7 @@ pub mod flatfile;
 pub mod index;
 pub mod ingest;
 pub mod parallel_query;
+pub mod path_summary;
 pub mod query;
 pub(crate) mod recovery;
 pub mod repository;
@@ -57,7 +58,8 @@ pub use error::{NatixError, NatixResult};
 pub use flatfile::FlatStore;
 pub use index::LabelIndex;
 pub use parallel_query::ParallelQueryOptions;
-pub use query::PathQuery;
+pub use path_summary::PathSummary;
+pub use query::{PathQuery, PlanExplain, PlanShape, PlannerOptions};
 pub use repository::{Repository, RepositoryOptions};
 pub use schema::SchemaManager;
 

@@ -194,8 +194,10 @@ impl Repository {
     }
 
     /// The parallel evaluator at physical-pointer level. The caller owns
-    /// the snapshot pin; workers spawned here adopt its epoch.
-    fn eval_parallel_ptrs(
+    /// the snapshot pin; workers spawned here adopt its epoch. Crate-wide
+    /// so the planner ([`crate::query`]) can drive the scan and
+    /// index-seeded plan shapes directly.
+    pub(crate) fn eval_parallel_ptrs(
         &self,
         doc: DocId,
         root: NodePtr,

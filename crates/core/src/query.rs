@@ -16,11 +16,15 @@
 //! counting among the nodes matching the step's name test within each
 //! parent), and a final `text()` step.
 
+use std::sync::Arc;
+
 use natix_tree::NodePtr;
 use natix_xml::LABEL_TEXT;
 
 use crate::document::{DocId, NodeId};
 use crate::error::{NatixError, NatixResult};
+use crate::parallel_query::ParallelQueryOptions;
+use crate::path_summary::{PathMatch, PathSummary};
 use crate::repository::Repository;
 
 /// A name test within a step.
@@ -114,6 +118,74 @@ impl PathQuery {
     pub fn step_count(&self) -> usize {
         self.steps.len()
     }
+}
+
+/// A plan shape the cost-based planner can emit. Every shape is
+/// independently forceable through [`PlannerOptions::force`] and pinned
+/// by a differential oracle (see the "plan shapes and their oracles"
+/// section of [`crate::repository`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanShape {
+    /// Answered entirely from the path summary: exact counts and
+    /// provably-empty results, zero record access.
+    SummaryOnly,
+    /// Document-order descent pruned to the ancestor closure of the
+    /// summary's matching paths.
+    SummarySeeded,
+    /// Leading descendant step seeded from an attached, current
+    /// [`crate::index::LabelIndex`].
+    IndexSeeded,
+    /// Record-granular parallel scan ([`crate::parallel_query`]).
+    ParallelScan,
+    /// The sequential lazy reference walk.
+    LazyWalk,
+}
+
+/// Planner configuration: execution tuning plus the force-plan override
+/// the differential harness uses to reach every shape.
+#[derive(Debug, Clone, Default)]
+pub struct PlannerOptions {
+    /// Force this plan shape instead of letting the cost model choose.
+    /// Forcing a shape whose preconditions do not hold for the query
+    /// surfaces [`NatixError::PlanUnsupported`] — never a wrong answer.
+    pub force: Option<PlanShape>,
+    /// Execution knobs for the scan-based shapes.
+    pub exec: ParallelQueryOptions,
+}
+
+/// How the planner arrived at a plan; returned alongside every planned
+/// result and by [`Repository::explain`].
+#[derive(Debug, Clone)]
+pub struct PlanExplain {
+    /// The shape that ran (or would run).
+    pub shape: PlanShape,
+    /// Whether the shape was forced rather than chosen.
+    pub forced: bool,
+    /// Human-readable choice rationale.
+    pub reason: String,
+    /// Whether a live path summary served this query's epoch.
+    pub summary_current: bool,
+    /// Exact result cardinality from the summary, when path-decidable.
+    pub estimated_matches: Option<u64>,
+    /// Nodes a summary-pruned descent would visit.
+    pub estimated_visited: Option<u64>,
+    /// Total facade nodes per the summary.
+    pub total_nodes: Option<u64>,
+}
+
+/// What a planned evaluation produces.
+enum PlannedOutput {
+    Ids(Vec<NodeId>),
+    Count(u64),
+    ExplainOnly,
+}
+
+/// What the caller asked the planned evaluation for.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PlanMode {
+    Ids,
+    Count,
+    Explain,
 }
 
 /// Adapts repository errors for use inside tree-store callbacks.
@@ -311,6 +383,389 @@ impl Repository {
             }
         }
         Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Cost-based planner
+    // -----------------------------------------------------------------
+
+    /// Evaluates a path query through the cost-based planner, returning
+    /// the matches plus how the plan was chosen. Semantically identical
+    /// to [`Repository::query`] for every plan shape — the plan-shape
+    /// differential suite enforces this bit-for-bit.
+    pub fn query_planned(
+        &self,
+        name: &str,
+        path: &str,
+        opts: &PlannerOptions,
+    ) -> NatixResult<(Vec<NodeId>, PlanExplain)> {
+        let q = PathQuery::parse(path)?;
+        let doc = self.doc_id(name)?;
+        self.query_planned_parsed(doc, &q, opts)
+    }
+
+    /// [`query_planned`](Self::query_planned) over a pre-parsed query.
+    pub fn query_planned_parsed(
+        &self,
+        doc: DocId,
+        q: &PathQuery,
+        opts: &PlannerOptions,
+    ) -> NatixResult<(Vec<NodeId>, PlanExplain)> {
+        match self.eval_planned(doc, q, opts, PlanMode::Ids)? {
+            (PlannedOutput::Ids(ids), explain) => Ok((ids, explain)),
+            _ => unreachable!("Ids mode returns ids"),
+        }
+    }
+
+    /// Structural count of a path query's matches (duplicates included,
+    /// exactly as `query(..).len()` counts them). Served straight from
+    /// the path summary whenever the query is path-decidable — zero
+    /// record access — and by the cheapest applicable evaluator
+    /// otherwise.
+    pub fn count_planned(
+        &self,
+        name: &str,
+        path: &str,
+        opts: &PlannerOptions,
+    ) -> NatixResult<(u64, PlanExplain)> {
+        let q = PathQuery::parse(path)?;
+        let doc = self.doc_id(name)?;
+        match self.eval_planned(doc, &q, opts, PlanMode::Count)? {
+            (PlannedOutput::Count(n), explain) => Ok((n, explain)),
+            _ => unreachable!("Count mode returns a count"),
+        }
+    }
+
+    /// [`count_planned`](Self::count_planned) with default options.
+    pub fn query_count(&self, name: &str, path: &str) -> NatixResult<u64> {
+        Ok(self
+            .count_planned(name, path, &PlannerOptions::default())?
+            .0)
+    }
+
+    /// Whether the query matches anything (a pure structural existence
+    /// probe — summary-answered when possible).
+    pub fn query_exists(&self, name: &str, path: &str) -> NatixResult<bool> {
+        Ok(self.query_count(name, path)? > 0)
+    }
+
+    /// The plan the planner would choose, without executing it.
+    pub fn explain(
+        &self,
+        name: &str,
+        path: &str,
+        opts: &PlannerOptions,
+    ) -> NatixResult<PlanExplain> {
+        let q = PathQuery::parse(path)?;
+        let doc = self.doc_id(name)?;
+        Ok(self.eval_planned(doc, &q, opts, PlanMode::Explain)?.1)
+    }
+
+    /// Plans and (per `mode`) executes one query. The decision order is
+    /// load-bearing:
+    ///
+    /// 1. Unknown name test, no forced shape → empty before touching the
+    ///    summary, the snapshot, or a single page.
+    /// 2. Build the summary if missing (outside the pin; skipped under an
+    ///    ambient snapshot), then pin and read the summary *at the pinned
+    ///    epoch* — a stale or missing summary abstains, never lies.
+    /// 3. Choose: positional predicates go to the walk/scan shapes;
+    ///    summary-decidable counts and provably-empty results are
+    ///    summary-only; selective node queries descend through the
+    ///    summary's ancestor closure or an attached current index;
+    ///    everything else is the parallel record scan.
+    ///
+    /// Forcing a shape runs exactly that machinery, or fails with
+    /// [`NatixError::PlanUnsupported`] when its preconditions do not
+    /// hold.
+    fn eval_planned(
+        &self,
+        doc: DocId,
+        q: &PathQuery,
+        opts: &PlannerOptions,
+        mode: PlanMode,
+    ) -> NatixResult<(PlannedOutput, PlanExplain)> {
+        let state = self.state(doc)?;
+        let resolved = self.resolve_steps(q);
+        let unknown = resolved
+            .iter()
+            .any(|(s, l)| matches!(s.test, Test::Name(_)) && l.is_none());
+        let positional = q.steps.iter().any(|s| s.position.is_some());
+        let lazy_positional = q.steps.iter().any(|s| s.descendant && s.position.is_some());
+
+        // 1. Unknown-label short circuit: a name the alphabet has never
+        // seen occurs in no stored document. Answered with zero page
+        // reads (pinned by the buffer-miss counter test) unless a
+        // record-touching shape is forced.
+        if unknown && matches!(opts.force, None | Some(PlanShape::SummaryOnly)) {
+            let explain = PlanExplain {
+                shape: PlanShape::SummaryOnly,
+                forced: opts.force.is_some(),
+                reason: "name test not in the alphabet: provably empty".into(),
+                summary_current: self.summaries.has_current(doc),
+                estimated_matches: Some(0),
+                estimated_visited: Some(0),
+                total_nodes: None,
+            };
+            return Ok((Self::empty_output(mode), explain));
+        }
+
+        // 2. Summary + snapshot.
+        self.ensure_summary(doc, &state)?;
+        let _pin = self.tree.begin_read();
+        let epoch = self.tree.ambient_read_epoch();
+        let root = NodePtr::new(self.snapshot_root(&state)?, 0);
+        let summary = self.summaries.summary_at(doc, epoch);
+        let summary_current = summary.is_some();
+        let pmatch = summary.as_ref().and_then(|s| s.match_query(&resolved));
+
+        // An attached index is usable when the seed it provides is the
+        // one `eval_parallel_ptrs` would actually take: leading
+        // descendant step over a resolvable name (or `text()`), index
+        // current for this document. The slot guard is dropped
+        // immediately; only the (unranked, caller-owned) index lock is
+        // held across execution, and released before id binding.
+        let index_arc = self.attached_index.lock().clone();
+        let index_usable = index_arc.as_ref().is_some_and(|idx| {
+            let (first, first_label) = resolved[0];
+            first.descendant
+                && match first.test {
+                    Test::Name(_) => first_label.is_some(),
+                    Test::Text => true,
+                    Test::Any => false,
+                }
+                && idx.lock().is_current(doc)
+        });
+
+        let (shape, reason) = match opts.force {
+            Some(forced) => {
+                self.check_forced(forced, positional, index_usable, &pmatch, mode)?;
+                (forced, "forced by caller".to_string())
+            }
+            None => Self::choose_plan(
+                positional,
+                lazy_positional,
+                index_usable,
+                &pmatch,
+                summary.as_deref(),
+                mode,
+            ),
+        };
+        let explain = PlanExplain {
+            shape,
+            forced: opts.force.is_some(),
+            reason,
+            summary_current,
+            estimated_matches: pmatch.as_ref().map(|pm| pm.matched),
+            estimated_visited: pmatch.as_ref().map(|pm| pm.visited),
+            total_nodes: summary.as_ref().map(|s| s.total_nodes()),
+        };
+        if mode == PlanMode::Explain {
+            return Ok((PlannedOutput::ExplainOnly, explain));
+        }
+
+        // 3. Execute under the pin; drop the index guard before binding
+        // ids (binding takes the edit latch, which writers hold while
+        // notifying the attached index — holding the index lock there
+        // would deadlock).
+        let output = match shape {
+            PlanShape::SummaryOnly => {
+                let pm = pmatch.as_ref().expect("checked by choose/force");
+                match mode {
+                    PlanMode::Count => PlannedOutput::Count(pm.matched),
+                    _ => PlannedOutput::Ids(Vec::new()),
+                }
+            }
+            PlanShape::SummarySeeded => {
+                let pm = pmatch.as_ref().expect("checked by choose/force");
+                let summary = summary.as_ref().expect("match implies summary");
+                let ptrs = self.eval_summary_seeded(root, summary, pm)?;
+                self.finish_ptrs(&state, ptrs, mode)?
+            }
+            PlanShape::IndexSeeded => {
+                let idx = index_arc.as_ref().expect("checked by choose/force");
+                let ptrs = {
+                    let guard = idx.lock();
+                    self.eval_parallel_ptrs(doc, root, q, &opts.exec, Some(&guard))?
+                };
+                self.finish_ptrs(&state, ptrs, mode)?
+            }
+            PlanShape::ParallelScan => {
+                let ptrs = self.eval_parallel_ptrs(doc, root, q, &opts.exec, None)?;
+                self.finish_ptrs(&state, ptrs, mode)?
+            }
+            PlanShape::LazyWalk => {
+                let ptrs = self.eval_lazy_ptrs(root, q)?;
+                self.finish_ptrs(&state, ptrs, mode)?
+            }
+        };
+        Ok((output, explain))
+    }
+
+    fn empty_output(mode: PlanMode) -> PlannedOutput {
+        match mode {
+            PlanMode::Ids => PlannedOutput::Ids(Vec::new()),
+            PlanMode::Count => PlannedOutput::Count(0),
+            PlanMode::Explain => PlannedOutput::ExplainOnly,
+        }
+    }
+
+    /// Binds or counts a shape's physical matches (counting never touches
+    /// the id map).
+    fn finish_ptrs(
+        &self,
+        state: &crate::document::DocState,
+        ptrs: Vec<NodePtr>,
+        mode: PlanMode,
+    ) -> NatixResult<PlannedOutput> {
+        Ok(match mode {
+            PlanMode::Count => PlannedOutput::Count(ptrs.len() as u64),
+            _ => PlannedOutput::Ids(self.bind_snapshot(state, ptrs)?),
+        })
+    }
+
+    /// The cost model. `pmatch` is `Some` exactly when the summary is
+    /// current for this snapshot *and* the query is path-decidable (no
+    /// positional predicates).
+    fn choose_plan(
+        positional: bool,
+        lazy_positional: bool,
+        index_usable: bool,
+        pmatch: &Option<PathMatch>,
+        summary: Option<&PathSummary>,
+        mode: PlanMode,
+    ) -> (PlanShape, String) {
+        let Some(pm) = pmatch else {
+            return if positional && lazy_positional && !index_usable {
+                (
+                    PlanShape::LazyWalk,
+                    "positional descendant step: lazy early-exit walk".into(),
+                )
+            } else if index_usable {
+                (
+                    PlanShape::IndexSeeded,
+                    "summary cannot decide; attached index is current".into(),
+                )
+            } else if positional {
+                (
+                    PlanShape::ParallelScan,
+                    "positional predicate is not path-decidable".into(),
+                )
+            } else {
+                (
+                    PlanShape::ParallelScan,
+                    "no current summary for this snapshot: falling back to scan".into(),
+                )
+            };
+        };
+        if pm.is_empty() {
+            return (
+                PlanShape::SummaryOnly,
+                "summary proves the result is empty".into(),
+            );
+        }
+        if mode == PlanMode::Count {
+            return (
+                PlanShape::SummaryOnly,
+                "exact cardinality from summary counts".into(),
+            );
+        }
+        let total = summary.map(|s| s.total_nodes()).unwrap_or(0);
+        if pm.enumerable && pm.visited.saturating_mul(2) <= total {
+            return (
+                PlanShape::SummarySeeded,
+                format!(
+                    "selective: pruned descent visits {} of {} nodes",
+                    pm.visited, total
+                ),
+            );
+        }
+        if index_usable {
+            return (
+                PlanShape::IndexSeeded,
+                "unselective for pruning; attached index seeds the leading step".into(),
+            );
+        }
+        (
+            PlanShape::ParallelScan,
+            "unselective: record-granular parallel scan".into(),
+        )
+    }
+
+    /// Validates a forced shape's preconditions, so forcing never yields
+    /// a wrong (as opposed to refused) answer.
+    fn check_forced(
+        &self,
+        forced: PlanShape,
+        positional: bool,
+        index_usable: bool,
+        pmatch: &Option<PathMatch>,
+        mode: PlanMode,
+    ) -> NatixResult<()> {
+        let unsupported = |m: &str| Err(NatixError::PlanUnsupported(m.to_string()));
+        match forced {
+            PlanShape::SummaryOnly => match pmatch {
+                None if positional => {
+                    unsupported("summary-only cannot evaluate positional predicates")
+                }
+                None => unsupported("no current path summary for this snapshot"),
+                Some(pm) if mode != PlanMode::Count && !pm.is_empty() => {
+                    unsupported("summary-only answers counts and emptiness, not node lists")
+                }
+                Some(_) => Ok(()),
+            },
+            PlanShape::SummarySeeded => match pmatch {
+                None if positional => {
+                    unsupported("summary-seeded descent cannot evaluate positional predicates")
+                }
+                None => unsupported("no current path summary for this snapshot"),
+                Some(pm) if !pm.enumerable => unsupported(
+                    "nested context sets: per-context emission differs from document order",
+                ),
+                Some(_) => Ok(()),
+            },
+            PlanShape::IndexSeeded if !index_usable => {
+                unsupported("no attached current index can seed this query's leading step")
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// The summary-seeded evaluator: a document-order descent that only
+    /// enters children whose label path lies in the ancestor closure of
+    /// the final match set, emitting nodes whose path is a final match.
+    /// Exactly equal to the lazy walk whenever the match is `enumerable`
+    /// (enforced by the planner and the differential suite).
+    fn eval_summary_seeded(
+        &self,
+        root: NodePtr,
+        summary: &Arc<PathSummary>,
+        pm: &PathMatch,
+    ) -> NatixResult<Vec<NodePtr>> {
+        let mut out = Vec::new();
+        if !pm.closure.first().copied().unwrap_or(false) {
+            return Ok(out);
+        }
+        let mut stack: Vec<(NodePtr, u32)> = vec![(root, 0)];
+        while let Some((p, pid)) = stack.pop() {
+            if pm.mult[pid as usize] > 0 {
+                out.push(p);
+            }
+            let kids = self.tree.logical_children(p)?;
+            let mut frame = Vec::new();
+            for k in kids {
+                let label = self.tree.node_info(k)?.label;
+                if let Some(cid) = summary.step_child(pid, label) {
+                    if pm.closure[cid as usize] {
+                        frame.push((k, cid));
+                    }
+                }
+            }
+            for entry in frame.into_iter().rev() {
+                stack.push(entry);
+            }
+        }
+        Ok(out)
     }
 }
 

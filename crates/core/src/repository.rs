@@ -39,6 +39,7 @@
 //! | `REGISTRY` | 700 | document registry / directory |
 //! | `SCHEMA` | 800 | schema manager |
 //! | `DOC_ROOT` | 900 | per-document root slot |
+//! | `PATH_SUMMARY` | 920 | per-document path-summary slots |
 //! | `DOC_IDS` | 950 | per-document logical-id map |
 //! | `SCAN_QUEUE` | 960 | parallel-query work queue |
 //! | `RESULT_SLOT` | 970 | per-worker result slots |
@@ -156,6 +157,33 @@
 //!    documents (and scans racing ingestion of other documents) never
 //!    serialize on shared mutable state.
 //!
+//! # Plan shapes and their oracles
+//!
+//! [`Repository::query_planned`] routes every path query through the
+//! cost-based planner ([`crate::query`]), which picks one of five plan
+//! shapes from the document's path summary ([`crate::path_summary`]).
+//! Each shape is independently forceable via
+//! [`crate::query::PlannerOptions`] and each is pinned by a differential
+//! oracle — no plan path exists without oracle coverage:
+//!
+//! | Shape | Strategy | Oracle |
+//! |---|---|---|
+//! | `SummaryOnly` | counts/emptiness straight from summary counts, zero record access | DOM re-evaluation (`prop_query.rs`), exact-cardinality vs evaluator output |
+//! | `SummarySeeded` | document-order descent pruned to the ancestor closure of matching paths | bit-identical node list vs the lazy walk and the DOM oracle |
+//! | `IndexSeeded` | leading descendant step seeded from an attached, current [`LabelIndex`] | same differential corpus, plus the index staleness gate |
+//! | `ParallelScan` | record-granular parallel scan (`parallel_query`) | existing scan-vs-lazy differential suite, re-run per forced shape |
+//! | `LazyWalk` | the sequential lazy evaluator | DOM oracle (`prop_query.rs`) |
+//!
+//! The planner only picks a shape whose preconditions hold (summary
+//! current for the pinned epoch, no positional predicates for the
+//! summary shapes, per-context emission provably equal to document
+//! order); forcing an inapplicable shape surfaces
+//! [`NatixError::PlanUnsupported`] rather than a wrong answer. A stale
+//! summary (failed delta, pin older than the last rebuild) always falls
+//! back to scans — the summary never lies, it only abstains. Racing
+//! edits are covered by `prop_edit_race.rs` (counts vs a serial oracle),
+//! reopen/recovery equivalence by `reopen.rs` / `crash_recovery.rs`.
+//!
 //! **Claim-name-then-publish:** storing a document first *claims* its name
 //! atomically in the registry (the name is neither taken nor pending, or
 //! the caller gets [`NatixError::DocumentExists`]), then performs the
@@ -235,7 +263,7 @@ use natix_storage::{
     MemLogDevice, MemStorage, Rid, SimDisk, StorageManager, Wal, WalRecord, WalSyncMode,
 };
 use natix_tree::version::ReadPin;
-use natix_tree::{NodePtr, SplitMatrix, TreeConfig, TreeStore, VersionStore};
+use natix_tree::{NodePtr, SplitMatrix, TreeConfig, TreeStore, VersionStore, VisitEvent};
 use natix_xml::{LabelId, LabelKind, ParserOptions, SymbolTable};
 
 use crate::document::{DocId, DocState, NodeId};
@@ -353,6 +381,10 @@ pub struct Repository {
     /// structural edits notify it — relocation-only edits patch its
     /// entries in place, node-set changes mark the document stale.
     pub(crate) attached_index: Mutex<Option<Arc<Mutex<crate::index::LabelIndex>>>>,
+    /// Per-document path summaries (epoch-versioned label-path counts);
+    /// built at load or lazily by the planner, maintained by structural
+    /// edits via publish hooks. See [`crate::path_summary`].
+    pub(crate) summaries: Arc<crate::path_summary::SummaryStore>,
 }
 
 impl Repository {
@@ -512,6 +544,7 @@ impl Repository {
             wal,
             checkpoint_lock: Mutex::with_rank(&parking_lot::rank::CHECKPOINT, ()),
             attached_index: Mutex::with_rank(&parking_lot::rank::INDEX_ATTACH, None),
+            summaries: Arc::new(crate::path_summary::SummaryStore::new()),
         };
         if let Some(out) = recovered {
             // Rebuild the directory from the log, not from catalog pages
@@ -901,6 +934,74 @@ impl Repository {
                 .ok_or_else(|| NatixError::NoSuchDocument(state.name.clone())),
             None => Ok(state.root_rid()),
         }
+    }
+
+    /// Builds the document's path summary from the stored tree if no live
+    /// summary exists. Skipped under an ambient pin: rebuilding against
+    /// the current tree could not serve the pinned epoch, so that read
+    /// simply falls back to scans. Taking the edit latch freezes the
+    /// document's structure, so the walk needs no snapshot pin; the
+    /// summary is stamped with the epoch current at build time (readers
+    /// pinned earlier keep falling back, which is conservative but never
+    /// wrong).
+    pub(crate) fn ensure_summary(&self, doc: DocId, state: &Arc<DocState>) -> NatixResult<()> {
+        if self.summaries.has_current(doc) || self.tree.ambient_read_epoch().is_some() {
+            return Ok(());
+        }
+        let _latch = state.edit_latch.lock();
+        if state.is_dead() || self.summaries.has_current(doc) {
+            return Ok(());
+        }
+        let summary = self.build_summary(state.root_rid())?;
+        self.summaries
+            .install(doc, Arc::new(summary), self.tree.versions().epoch());
+        Ok(())
+    }
+
+    /// Walks a stored subtree into a fresh summary. The record count is
+    /// exact: the number of distinct RIDs the walk touches.
+    pub(crate) fn build_summary(&self, root: Rid) -> NatixResult<crate::path_summary::PathSummary> {
+        let mut b = crate::path_summary::SummaryBuilder::new();
+        let mut rids = HashSet::new();
+        natix_tree::traverse(&self.tree, NodePtr::new(root, 0), &mut |ev| {
+            match ev {
+                VisitEvent::Enter { label, ptr } => {
+                    rids.insert(ptr.rid);
+                    b.start_element(label);
+                }
+                VisitEvent::Literal { label, ptr, .. } => {
+                    rids.insert(ptr.rid);
+                    b.literal(label);
+                }
+                VisitEvent::Leave { .. } => b.end_element(),
+            }
+            true
+        })?;
+        Ok(b.finish(rids.len() as u64))
+    }
+
+    /// Canonical form of the document's path summary (building it first
+    /// if needed): sorted `(root-first label names, literal, node count)`
+    /// rows. Test/diagnostic surface — two equal canonical forms mean the
+    /// summaries describe the same document structure.
+    pub fn path_summary_canonical(&self, name: &str) -> NatixResult<Vec<(Vec<String>, bool, u64)>> {
+        let doc = self.doc_id(name)?;
+        let state = self.state(doc)?;
+        self.ensure_summary(doc, &state)?;
+        let summary = self
+            .summaries
+            .summary_at(doc, None)
+            .ok_or_else(|| NatixError::NoSuchDocument(name.to_string()))?;
+        Ok(summary.canonical(&self.symbols()))
+    }
+
+    /// Drops the document's path summary (and its version chain) so the
+    /// next planned query rebuilds from the stored tree. Test hook for
+    /// the stale-fallback and rebuild-equivalence suites.
+    pub fn invalidate_path_summary(&self, name: &str) -> NatixResult<()> {
+        let doc = self.doc_id(name)?;
+        self.summaries.remove(doc);
+        Ok(())
     }
 
     /// Root record RID of a document (harness / validation access).

@@ -31,7 +31,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use natix::{NatixResult, Repository, RepositoryOptions};
+use natix::{NatixResult, PlanShape, PlannerOptions, Repository, RepositoryOptions};
 use natix_corpus::{
     generate_deep, generate_orders, generate_play, CorpusConfig, DeepConfig, OrdersConfig,
 };
@@ -409,7 +409,30 @@ fn crash_at(docs: &[(String, String)], budget: u64) {
         );
     }
 
-    // 4. The recovered repository is writable, and a clean reopen keeps
+    // 4. Structural counts are never served wrong: path summaries are
+    //    process-local, so recovery starts with none — the planner's
+    //    lazily rebuilt summary must agree with a forced record scan on
+    //    every surviving document (rebuild-on-recovery is the accepted
+    //    strategy; equivalence is the contract).
+    let scan = PlannerOptions {
+        force: Some(PlanShape::ParallelScan),
+        ..PlannerOptions::default()
+    };
+    for name in reopened.document_names() {
+        for q in ["//*", "//text()"] {
+            let (planned, _) = reopened
+                .count_planned(&name, q, &PlannerOptions::default())
+                .unwrap_or_else(|e| panic!("budget {budget}: count {name} {q}: {e}"));
+            let (scanned, _) = reopened.count_planned(&name, q, &scan).unwrap();
+            assert_eq!(
+                planned, scanned,
+                "budget {budget}: {name} '{q}': recovered structural count \
+                 diverges from the record scan"
+            );
+        }
+    }
+
+    // 5. The recovered repository is writable, and a clean reopen keeps
     //    everything again.
     reopened
         .put_xml("fresh-after-recovery", "<ok crash=\"survived\">fresh</ok>")

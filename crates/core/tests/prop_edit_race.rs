@@ -17,12 +17,15 @@
 //! The suite is seed-driven by the local SplitMix64 generator (no
 //! proptest in the offline build), reproducible by seed.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use natix::{DocId, NatixError, ParallelQueryOptions, PathQuery, Repository, RepositoryOptions};
+use natix::{
+    DocId, NatixError, ParallelQueryOptions, PathQuery, PlanShape, PlannerOptions, Repository,
+    RepositoryOptions,
+};
 use natix_corpus::SplitMix64 as Gen;
 use natix_tree::InsertPos;
 
@@ -346,6 +349,150 @@ fn edits_of_different_documents_race_each_other_and_readers() {
     });
     repo.physical_stats("w0").unwrap();
     repo.physical_stats("w1").unwrap();
+}
+
+/// Path-summary maintenance under the race: the writer's serial history
+/// records structural counts through **forced parallel scans** (the
+/// record-level oracle); racing readers count through the **planner's own
+/// choice** — which answers from the incrementally maintained summary
+/// whenever it can — and every count a reader observes must equal some
+/// recorded serial version. The summary must actually serve reads (not
+/// just fall back forever), and the quiesced summary must agree with the
+/// scan on every query.
+#[test]
+fn summary_counts_under_racing_edits_match_serial_scan_oracle() {
+    let repo = Repository::create_in_memory(RepositoryOptions {
+        page_size: 512,
+        ..RepositoryOptions::default()
+    })
+    .unwrap();
+    let mut g = Gen::new(0x5CA1E);
+    let doc = repo.put_xml_streaming("doc", &seed_doc(&mut g)).unwrap();
+    let scan = PlannerOptions {
+        force: Some(PlanShape::ParallelScan),
+        exec: ParallelQueryOptions {
+            threads: 2,
+            parallel_record_threshold: 1,
+        },
+    };
+    // One serial version = every query's count after one whole edit.
+    let versions: Mutex<Vec<Vec<u64>>> = Mutex::new(Vec::new());
+    let record = |versions: &Mutex<Vec<Vec<u64>>>| {
+        let counts: Vec<u64> = QUERIES
+            .iter()
+            .map(|q| repo.count_planned("doc", q, &scan).unwrap().0)
+            .collect();
+        versions.lock().push(counts);
+    };
+    record(&versions);
+
+    let done = AtomicBool::new(false);
+    let summary_hits = AtomicUsize::new(0);
+    let (done, summary_hits) = (&done, &summary_hits);
+    let (repo_ref, versions, scan) = (&repo, &versions, &scan);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut g = Gen::new(0x5CA1E ^ 0xDEAD_BEEF);
+            let mut elements = vec![repo_ref.root(doc).unwrap()];
+            let mut texts = Vec::new();
+            for &k in &repo_ref.children(doc, elements[0]).unwrap() {
+                if repo_ref.node_summary(doc, k).unwrap().text.is_none() {
+                    elements.push(k);
+                }
+            }
+            for _ in 0..80 {
+                random_edit(repo_ref, doc, &mut g, &mut elements, &mut texts);
+                record(versions);
+            }
+            done.store(true, Ordering::Release);
+        });
+        for r in 0..2u64 {
+            s.spawn(move || {
+                let mut g = Gen::new(0xBEEF ^ r);
+                while !done.load(Ordering::Acquire) {
+                    let qi = g.below(QUERIES.len());
+                    let (n, explain) = repo_ref
+                        .count_planned("doc", QUERIES[qi], &PlannerOptions::default())
+                        .unwrap();
+                    if explain.shape == PlanShape::SummaryOnly && explain.summary_current {
+                        summary_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    assert_eventually(|| versions.lock().iter().any(|v| v[qi] == n), QUERIES[qi]);
+                }
+            });
+        }
+    });
+    assert!(
+        summary_hits.load(Ordering::Relaxed) > 0,
+        "the maintained summary never served a racing count"
+    );
+    // Quiesced: planner counts (summary) equal forced-scan counts on every
+    // query, and both equal the last recorded serial version.
+    let last = versions.lock().last().unwrap().clone();
+    for (qi, q) in QUERIES.iter().enumerate() {
+        let (planned, _) = repo
+            .count_planned("doc", q, &PlannerOptions::default())
+            .unwrap();
+        let (scanned, _) = repo.count_planned("doc", q, scan).unwrap();
+        assert_eq!(planned, scanned, "{q}: summary diverged from the scan");
+        assert_eq!(
+            planned, last[qi],
+            "{q}: final count diverged from the oracle"
+        );
+    }
+}
+
+/// The stale-summary fallback, exercised deterministically: with the
+/// summary slot dropped and a pinned ambient snapshot (under which the
+/// planner refuses to rebuild), a count must fall back to a record scan —
+/// and still be right; once the pin is gone, the next query rebuilds the
+/// summary and answers from it again.
+#[test]
+fn stale_summary_falls_back_to_scan_then_rebuilds() {
+    let repo = Repository::create_in_memory(RepositoryOptions {
+        page_size: 512,
+        ..RepositoryOptions::default()
+    })
+    .unwrap();
+    let mut g = Gen::new(0x57A1E);
+    repo.put_xml_streaming("doc", &seed_doc(&mut g)).unwrap();
+
+    // Fresh load: the summary is current and answers the count.
+    let (n0, explain) = repo
+        .count_planned("doc", "//a", &PlannerOptions::default())
+        .unwrap();
+    assert_eq!(explain.shape, PlanShape::SummaryOnly);
+    assert!(explain.summary_current);
+
+    // Drop the slot (the test hook behind crash/reopen paths) and pin a
+    // snapshot: ensure-on-read must not rebuild under an ambient pin, so
+    // the planner has no summary and must scan — correctly.
+    repo.invalidate_path_summary("doc").unwrap();
+    {
+        let _snap = repo.read_snapshot();
+        let (n1, explain) = repo
+            .count_planned("doc", "//a", &PlannerOptions::default())
+            .unwrap();
+        assert_eq!(n1, n0, "fallback scan returned a wrong count");
+        assert!(
+            !explain.summary_current,
+            "no summary can be current for a pre-rebuild snapshot"
+        );
+        assert_ne!(
+            explain.shape,
+            PlanShape::SummaryOnly,
+            "a dropped summary cannot answer counts"
+        );
+    }
+
+    // Unpinned again: the next planned query rebuilds and the summary
+    // serves once more.
+    let (n2, explain) = repo
+        .count_planned("doc", "//a", &PlannerOptions::default())
+        .unwrap();
+    assert_eq!(n2, n0);
+    assert_eq!(explain.shape, PlanShape::SummaryOnly);
+    assert!(explain.summary_current);
 }
 
 #[test]

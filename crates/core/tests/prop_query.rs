@@ -18,11 +18,16 @@
 //! No network access at build time, so the cases are driven by the local
 //! SplitMix64 generator over many seeds — reproducible by seed.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
-use natix::{DocId, NodeId, ParallelQueryOptions, PathQuery, Repository, RepositoryOptions};
+use natix::{
+    DocId, LabelIndex, NatixError, NodeId, ParallelQueryOptions, PathQuery, PlanShape,
+    PlannerOptions, Repository, RepositoryOptions,
+};
 use natix_corpus::SplitMix64 as Gen;
 use natix_xml::{Document, NodeData, NodeIdx, SymbolTable, LABEL_TEXT};
+use parking_lot::Mutex;
 
 const TAGS: &[&str] = &["a", "b", "c", "d", "e"];
 
@@ -328,6 +333,155 @@ fn fanout_matches_per_document_sequential_on_random_corpora() {
             assert_eq!(par, seq, "case {case} '{path}'");
         }
     }
+}
+
+const ALL_SHAPES: &[PlanShape] = &[
+    PlanShape::SummaryOnly,
+    PlanShape::SummarySeeded,
+    PlanShape::IndexSeeded,
+    PlanShape::ParallelScan,
+    PlanShape::LazyWalk,
+];
+
+/// The plan-shape matrix: every shape the planner can emit is forced over
+/// the generated document × query corpus and must return bit-identical
+/// results to the DOM oracle — or refuse with `PlanUnsupported` when its
+/// preconditions don't hold (never a wrong answer). The planner's freely
+/// chosen plan must equal its forced equivalent, and every shape must be
+/// exercised somewhere in the corpus.
+#[test]
+fn every_forced_plan_shape_matches_the_dom_oracle() {
+    let mut exercised: HashSet<PlanShape> = HashSet::new();
+    for case in 0..12u64 {
+        let mut g = Gen::new(0x51A9 ^ case);
+        let mut syms = SymbolTable::new();
+        let doc = random_document(&mut g, &mut syms);
+        let page_size = [512usize, 1024, 2048][g.below(3)];
+        let queries: Vec<(String, Vec<OStep>)> = (0..10).map(|_| random_query(&mut g)).collect();
+
+        let r = repo(page_size, &syms);
+        let id = r.put_document("d", &doc).unwrap();
+        // A current attached label index makes `IndexSeeded` reachable.
+        let idx = Arc::new(Mutex::new(LabelIndex::create(&r).unwrap()));
+        idx.lock().index_document(&r, "d").unwrap();
+        r.attach_label_index(&idx);
+
+        let dom_pre: Vec<NodeIdx> = doc.pre_order().collect();
+        let dom_pos: HashMap<NodeIdx, usize> =
+            dom_pre.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let repo_pre = collect_preorder_ids(&r, id);
+        let repo_pos: HashMap<NodeId, usize> =
+            repo_pre.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+        for (path, osteps) in &queries {
+            let q = PathQuery::parse(path).unwrap();
+            let oracle = oracle_eval(&doc, &syms, osteps);
+            let oracle_pos: Vec<usize> = oracle.iter().map(|n| dom_pos[n]).collect();
+
+            // The planner's own choice is the baseline.
+            let (chosen_ids, chosen) = r
+                .query_planned_parsed(id, &q, &PlannerOptions::default())
+                .unwrap();
+            let chosen_pos: Vec<usize> = chosen_ids.iter().map(|n| repo_pos[n]).collect();
+            assert_eq!(
+                chosen_pos, oracle_pos,
+                "case {case} '{path}': chosen plan {:?} diverges from the DOM oracle",
+                chosen.shape
+            );
+            let (chosen_count, chosen_count_explain) = r
+                .count_planned("d", path, &PlannerOptions::default())
+                .unwrap();
+            assert_eq!(
+                chosen_count,
+                oracle.len() as u64,
+                "case {case} '{path}': chosen count plan {:?} diverges from the oracle",
+                chosen_count_explain.shape
+            );
+
+            for &shape in ALL_SHAPES {
+                let forced = PlannerOptions {
+                    force: Some(shape),
+                    ..PlannerOptions::default()
+                };
+                match r.query_planned_parsed(id, &q, &forced) {
+                    Ok((ids, explain)) => {
+                        assert_eq!(explain.shape, shape, "case {case} '{path}'");
+                        assert!(explain.forced, "case {case} '{path}'");
+                        let pos: Vec<usize> = ids.iter().map(|n| repo_pos[n]).collect();
+                        assert_eq!(
+                            pos, oracle_pos,
+                            "case {case} '{path}' forced {shape:?}: diverges from the DOM oracle"
+                        );
+                        // The chosen plan equals its forced equivalent.
+                        if chosen.shape == shape {
+                            assert_eq!(
+                                ids, chosen_ids,
+                                "case {case} '{path}': chosen {shape:?} differs from forced"
+                            );
+                        }
+                        exercised.insert(shape);
+                    }
+                    Err(NatixError::PlanUnsupported(_)) => {
+                        // The shape's preconditions do not hold for this
+                        // query — the planner must not have chosen it.
+                        assert_ne!(
+                            chosen.shape, shape,
+                            "case {case} '{path}': planner chose a shape forcing refuses"
+                        );
+                    }
+                    Err(e) => panic!("case {case} '{path}' forced {shape:?}: {e}"),
+                }
+                match r.count_planned("d", path, &forced) {
+                    Ok((n, explain)) => {
+                        assert_eq!(explain.shape, shape, "case {case} '{path}'");
+                        assert_eq!(
+                            n,
+                            oracle.len() as u64,
+                            "case {case} '{path}' forced {shape:?}: count diverges"
+                        );
+                        exercised.insert(shape);
+                    }
+                    Err(NatixError::PlanUnsupported(_)) => {}
+                    Err(e) => panic!("case {case} '{path}' forced {shape:?} (count): {e}"),
+                }
+            }
+        }
+    }
+    for &shape in ALL_SHAPES {
+        assert!(
+            exercised.contains(&shape),
+            "{shape:?} was never exercised by the corpus"
+        );
+    }
+}
+
+/// Satellite pin: a query whose name test is not even in the symbol
+/// alphabet is provably empty and must be answered from the planner's
+/// short circuit with **zero page reads** — pinned by the buffer-miss
+/// counter after clearing the pool.
+#[test]
+fn unknown_label_short_circuits_with_zero_page_reads() {
+    let mut g = Gen::new(0xD0C5);
+    let mut syms = SymbolTable::new();
+    let doc = random_document(&mut g, &mut syms);
+    let r = repo(512, &syms);
+    r.put_document("d", &doc).unwrap();
+
+    r.clear_buffer().unwrap();
+    let before = r.io_stats().snapshot();
+    let (ids, explain) = r
+        .query_planned("d", "/zz/a", &PlannerOptions::default())
+        .unwrap();
+    assert!(ids.is_empty());
+    assert_eq!(explain.shape, PlanShape::SummaryOnly);
+    assert_eq!(explain.estimated_matches, Some(0));
+    assert_eq!(r.query_count("d", "//zz").unwrap(), 0);
+    assert!(!r.query_exists("d", "/a/zz/text()").unwrap());
+    let misses = r.io_stats().snapshot().since(&before).buffer_misses;
+    assert_eq!(
+        misses, 0,
+        "unknown-label queries must not touch a single page"
+    );
 }
 
 #[test]

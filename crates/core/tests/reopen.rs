@@ -136,6 +136,55 @@ fn reopen_without_checkpoint_recovers_from_log() {
 }
 
 #[test]
+fn reopened_summaries_equal_from_scratch_rebuild() {
+    // Path summaries are process-local (never persisted): a reopened
+    // repository rebuilds them lazily on first ask. The rebuilt summary
+    // must equal the summary the original process maintained, and a
+    // forced from-scratch rebuild must equal it again — three ways of
+    // computing the same structure, one canonical answer.
+    let tmp = TempRepo::new("summary");
+    let before = {
+        let repo = Repository::create_file(&tmp.0, options()).unwrap();
+        let mut canon = BTreeMap::new();
+        for (name, xml) in corpus_docs() {
+            repo.put_xml(&name, &xml).unwrap();
+            canon.insert(name.clone(), repo.path_summary_canonical(&name).unwrap());
+        }
+        repo.checkpoint().unwrap();
+        canon
+    };
+    let repo = Repository::open_file(&tmp.0, options()).unwrap();
+    for (name, canon) in &before {
+        assert_eq!(
+            &repo.path_summary_canonical(name).unwrap(),
+            canon,
+            "{name}: lazily rebuilt summary diverges from the pre-close one"
+        );
+        repo.invalidate_path_summary(name).unwrap();
+        assert_eq!(
+            &repo.path_summary_canonical(name).unwrap(),
+            canon,
+            "{name}: forced from-scratch rebuild diverges"
+        );
+    }
+    // Incremental maintenance on a reopened repository: an edit's delta
+    // must leave exactly the summary a rebuild computes.
+    let doc = repo.doc_id("play0").unwrap();
+    let root = repo.root(doc).unwrap();
+    repo.insert_element(doc, root, natix_tree::InsertPos::Last, "EPILOGUE")
+        .unwrap();
+    let kids = repo.children(doc, root).unwrap();
+    repo.delete_node(doc, kids[0]).unwrap();
+    let maintained = repo.path_summary_canonical("play0").unwrap();
+    repo.invalidate_path_summary("play0").unwrap();
+    assert_eq!(
+        repo.path_summary_canonical("play0").unwrap(),
+        maintained,
+        "play0: delta-maintained summary diverges from a rebuild after edits"
+    );
+}
+
+#[test]
 fn reopen_twice_after_edits() {
     // Edits after the checkpoint, then two reopen generations: the first
     // reopen recovers checkpoint + log tail, re-checkpoints on open, and

@@ -110,6 +110,12 @@ pub static SCHEMA: Rank = Rank::new("repository.schema", 800);
 /// Per-document root slot (`DocState::root`): epoch-versioned root RID.
 pub static DOC_ROOT: Rank = Rank::new("document.root-slot", 900);
 
+/// Per-document path-summary slots (`SummaryStore::slots`): epoch-versioned
+/// label-path statistics. Publish hooks apply summary deltas under the
+/// version-store lock, so this sits below it; the planner reads it after
+/// the document band's root slot.
+pub static PATH_SUMMARY: Rank = Rank::new("document.path-summary", 920);
+
 /// Per-document logical-id map (`DocState::ids`).
 pub static DOC_IDS: Rank = Rank::new("document.id-map", 950);
 
@@ -157,6 +163,7 @@ pub static ALL: &[&Rank] = &[
     &REGISTRY,
     &SCHEMA,
     &DOC_ROOT,
+    &PATH_SUMMARY,
     &DOC_IDS,
     &SCAN_QUEUE,
     &RESULT_SLOT,

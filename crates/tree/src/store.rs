@@ -1963,6 +1963,23 @@ impl TreeStore {
             }
         }
     }
+
+    /// Root-to-node label path of a logical node: the labels of all its
+    /// logical ancestors from the document root down, ending with the
+    /// node's own label. Feeds path-summary maintenance: an inserted
+    /// node's path identifies exactly the summary entry to bump. Cost is
+    /// one record load per logical ancestor (record depth, not node
+    /// depth, thanks to intra-record parent chains).
+    pub fn label_path(&self, ptr: NodePtr) -> TreeResult<Vec<LabelId>> {
+        let mut path = vec![self.node_info(ptr)?.label];
+        let mut cur = ptr;
+        while let Some(parent) = self.logical_parent(cur)? {
+            path.push(self.node_info(parent)?.label);
+            cur = parent;
+        }
+        path.reverse();
+        Ok(path)
+    }
 }
 
 /// Placement state of a sequential bulk append: the page currently being
