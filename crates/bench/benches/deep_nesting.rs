@@ -25,6 +25,15 @@
 //! byte-identical `get_xml` across all three paths, packed record-tree
 //! height at most **1.1×** the per-node oracle's, and the packed layout
 //! no worse than the ablation layout on records, height and scan misses.
+//!
+//! A second ablation times the **first structural edit** deep in the
+//! packed corpus with lazy normalization scoping on vs off: the lazy
+//! path inserts in place when the site's child list is local to its
+//! record (falling back to touched-cluster normalization otherwise),
+//! while the eager path unpacks the packed structure from the cluster
+//! host down before the edit can proceed. Both paths must produce
+//! byte-identical documents; check mode asserts the lazy first edit is
+//! at least [`LAZY_EDIT_FLOOR`]× faster.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -46,6 +55,9 @@ const DEPTH: usize = 3_000;
 /// Acceptance ceiling asserted in `--check` mode: packed record-tree
 /// height vs the per-node oracle's (the depth-aware packing criterion).
 const HEIGHT_RATIO_CEILING: f64 = 1.1;
+/// Check-mode floor: cold first-edit wall time, eager full-chain
+/// normalization vs the lazy in-place edit path.
+const LAZY_EDIT_FLOOR: f64 = 1.3;
 
 struct Run {
     layout: &'static str,
@@ -67,6 +79,62 @@ fn corpus() -> (String, SymbolTable) {
     let doc = generate_deep(&cfg, &mut syms);
     let xml = natix_xml::write_document(&doc, &syms, WriteOptions::compact()).unwrap();
     (xml, syms)
+}
+
+struct EditRun {
+    mode: &'static str,
+    first_edit_ms: f64,
+    edit_misses: u64,
+}
+
+/// Cold first structural edit deep in the packed corpus, with lazy
+/// normalization scoping on vs off. The edit target is the mid-spine
+/// `//TAIL` hit — the site where the eager path's cluster-host walk
+/// reaches highest and its transitive group inlining unpacks roughly
+/// half the document, while the lazy path inserts in place (the site's
+/// child list is local to its record, so no normalization runs at all).
+fn edit_ablation(xml: &str, mode: &'static str, lazy: bool) -> (EditRun, String) {
+    let backend = Arc::new(ThrottledDisk::new(
+        MemStorage::new(PAGE_SIZE).unwrap(),
+        READ_LATENCY_US,
+        WRITE_LATENCY_US,
+    )) as Arc<dyn DiskBackend>;
+    let repo = Repository::create_on_backend(
+        backend,
+        RepositoryOptions {
+            page_size: PAGE_SIZE,
+            buffer_bytes: BUFFER_FRAMES * PAGE_SIZE,
+            matrix: SplitMatrix::all_other(),
+            tree_config: TreeConfig {
+                depth_packing: true,
+                lazy_normalize: lazy,
+                ..TreeConfig::paper()
+            },
+            ..RepositoryOptions::default()
+        },
+    )
+    .unwrap();
+    let doc = repo.put_xml_streaming("deep", xml).unwrap();
+    let q = PathQuery::parse("//TAIL").unwrap();
+    let seq = ParallelQueryOptions {
+        threads: 1,
+        parallel_record_threshold: usize::MAX,
+        ..Default::default()
+    };
+    let hits = repo.query_parallel(doc, &q, &seq).unwrap();
+    let target = hits[hits.len() / 2];
+    repo.clear_buffer().unwrap();
+    let s0 = repo.io_stats().snapshot();
+    let t0 = Instant::now();
+    repo.insert_element(doc, target, natix_tree::InsertPos::Last, "NOTE")
+        .unwrap();
+    let first_edit_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let run = EditRun {
+        mode,
+        first_edit_ms,
+        edit_misses: repo.io_stats().snapshot().since(&s0).buffer_misses,
+    };
+    (run, repo.get_xml("deep").unwrap())
 }
 
 fn throttled_repo(depth_packing: bool) -> Repository {
@@ -102,6 +170,7 @@ fn run_layout(layout: &'static str, depth_packing: bool, xml: &str) -> (Run, Str
     let seq = ParallelQueryOptions {
         threads: 1,
         parallel_record_threshold: usize::MAX,
+        ..Default::default()
     };
     repo.clear_buffer().unwrap();
     let before = repo.io_stats().snapshot();
@@ -144,7 +213,7 @@ fn oracle_height(xml: &str) -> (usize, String) {
     (stats.record_depth, repo.get_xml("deep").unwrap())
 }
 
-fn write_json(runs: &[Run], oracle_h: usize, ratio: f64) -> String {
+fn write_json(runs: &[Run], oracle_h: usize, ratio: f64, edits: &[EditRun]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(
@@ -181,7 +250,22 @@ fn write_json(runs: &[Run], oracle_h: usize, ratio: f64) -> String {
             if i + 1 < runs.len() { "," } else { "" }
         );
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str("  \"first_edit_normalization\": [\n");
+    for (i, e) in edits.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"mode\": \"{}\", \"first_edit_ms\": {:.1}, \
+             \"edit_buffer_misses\": {}, \"identical_results\": true}}{}",
+            e.mode,
+            e.first_edit_ms,
+            e.edit_misses,
+            if i + 1 < edits.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(s, "  \"lazy_edit_floor\": {LAZY_EDIT_FLOOR}");
+    s.push_str("}\n");
     s
 }
 
@@ -211,6 +295,23 @@ fn main() {
 
     let ratio = packed.height as f64 / oracle_h as f64;
     println!("  packed height ratio vs oracle: {ratio:.3} (ceiling {HEIGHT_RATIO_CEILING})");
+
+    let (lazy_edit, lazy_xml) = edit_ablation(&xml, "lazy (in-place)", true);
+    let (eager_edit, eager_xml) = edit_ablation(&xml, "eager (normalize chain)", false);
+    assert_eq!(
+        lazy_xml, eager_xml,
+        "edit result diverged across normalization modes"
+    );
+    for e in [&lazy_edit, &eager_edit] {
+        println!(
+            "  first edit, {:<24} {:>8.1} ms  ({} buffer misses)",
+            e.mode, e.first_edit_ms, e.edit_misses
+        );
+    }
+    let edit_speedup = eager_edit.first_edit_ms / lazy_edit.first_edit_ms;
+    println!(
+        "  lazy-normalization first-edit speedup: {edit_speedup:.2}x (floor {LAZY_EDIT_FLOOR})"
+    );
     if check {
         assert!(
             ratio <= HEIGHT_RATIO_CEILING,
@@ -237,9 +338,20 @@ fn main() {
             packed.scan_misses,
             ablation.scan_misses
         );
+        assert!(
+            edit_speedup >= LAZY_EDIT_FLOOR,
+            "lazy first edit {:.1} ms is not {LAZY_EDIT_FLOOR}x faster than eager {:.1} ms",
+            lazy_edit.first_edit_ms,
+            eager_edit.first_edit_ms
+        );
         println!("check mode: all floors met");
     } else {
-        let json = write_json(&[packed, ablation], oracle_h, ratio);
+        let json = write_json(
+            &[packed, ablation],
+            oracle_h,
+            ratio,
+            &[lazy_edit, eager_edit],
+        );
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_deep_nesting.json");
         std::fs::write(path, &json).unwrap();
         println!("wrote {path}");

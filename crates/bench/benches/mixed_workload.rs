@@ -125,6 +125,7 @@ fn setup() -> Setup {
     let seq = ParallelQueryOptions {
         threads: 1,
         parallel_record_threshold: usize::MAX,
+        ..Default::default()
     };
     let note_texts = repo.query_parallel(doc, &q_note_text, &seq).unwrap();
     let expected_sku = repo.query_content_opts(doc, &q_sku, &seq).unwrap();
@@ -159,6 +160,7 @@ fn baseline_ms(readers: usize) -> f64 {
     let opts = ParallelQueryOptions {
         threads: 1,
         parallel_record_threshold: usize::MAX,
+        ..Default::default()
     };
     let total_queries = readers * QUERIES_PER_READER;
     let mut g = SplitMix64::new(1);
@@ -204,6 +206,7 @@ fn concurrent_ms(readers: usize) -> (f64, bool) {
                 let opts = ParallelQueryOptions {
                     threads: 1,
                     parallel_record_threshold: usize::MAX,
+                    ..Default::default()
                 };
                 let mut ok = true;
                 let _ = r;

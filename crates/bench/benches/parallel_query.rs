@@ -242,6 +242,7 @@ fn bench_corpus(corpus: &'static str, docs: &[(String, String)], big_xml: &str) 
         let opts = ParallelQueryOptions {
             threads,
             parallel_record_threshold: usize::MAX, // fan-out only
+            ..Default::default()
         };
         let mut wall_ms = f64::INFINITY;
         let mut last: Vec<(natix::DocId, Vec<NodeId>)> = Vec::new();
@@ -301,6 +302,7 @@ fn bench_corpus(corpus: &'static str, docs: &[(String, String)], big_xml: &str) 
         let opts = ParallelQueryOptions {
             threads,
             parallel_record_threshold: 8,
+            ..Default::default()
         };
         let mut wall_ms = f64::INFINITY;
         let mut last: Vec<(natix::DocId, Vec<NodeId>)> = Vec::new();

@@ -5,12 +5,13 @@
 //! cargo bench -p natix-bench --bench planner -- --check  # CI mode: asserts the floors
 //! ```
 //!
-//! The corpus is one catalog document shaped for plan divergence: a few
-//! dozen fat `BULK` sections of filler records, with a handful of small
-//! `RARE` sections scattered between them. Over the throttled disk
-//! (8 KB pages, a pool far smaller than the document, a per-page read
-//! latency in the paper's late-90s ballpark) the two plan families
-//! separate cleanly:
+//! The corpus is one catalog document shaped for plan divergence: dozens
+//! of fat `BULK` sections of filler records **directly under the root**
+//! (a high-fanout root — proxy label digests let the seeded descent
+//! prune each one without a page read), with a handful of small `RARE`
+//! sections after them. Over the throttled disk (8 KB pages, a pool far
+//! smaller than the document, a per-page read latency in the paper's
+//! late-90s ballpark) the plan families separate cleanly:
 //!
 //! * **structural counts** (`//FILLER`, `//DATA/text()`, `//*`) — the
 //!   planner answers from the path summary without touching a page; the
@@ -20,6 +21,11 @@
 //!   the summary-seeded descent enters only subtrees on the match
 //!   closure's paths; the baseline is the unseeded 4-thread parallel
 //!   scan of the whole document. Check floor: **2x**.
+//! * **digest ablation** (same selective queries) — the seeded descent
+//!   with proxy label digests vs the same forced descent on a repository
+//!   bulkloaded with `TreeConfig::proxy_digests = false`, where every
+//!   root child costs one page read just to learn its label. Check
+//!   floor: **1.5x** (the high-fanout root makes it far higher).
 //!
 //! Every timed pair is also compared for bit-identical results (counts
 //! and node-id lists alike), and the planner's *unforced* choice is
@@ -32,6 +38,7 @@ use std::time::Instant;
 
 use natix::{ParallelQueryOptions, PlanShape, PlannerOptions, Repository, RepositoryOptions};
 use natix_storage::{DiskBackend, MemStorage, ThrottledDisk};
+use natix_tree::TreeConfig;
 
 const PAGE_SIZE: usize = 8192;
 /// Small on purpose: the catalog must not fit the pool, so scans stall on
@@ -47,19 +54,23 @@ const COUNT_FLOOR: f64 = 10.0;
 /// Check-mode floor: summary-seeded selective queries vs the unseeded
 /// parallel scan at `SCAN_THREADS` threads.
 const SEEDED_FLOOR: f64 = 2.0;
+/// Check-mode floor: seeded descent with proxy label digests vs the same
+/// descent on a digest-less repository (one page read per root child).
+const DIGEST_FLOOR: f64 = 1.5;
 const SCAN_THREADS: usize = 4;
 
 const COUNT_QUERIES: &[&str] = &["//FILLER", "//DATA/text()", "//*"];
 const SEEDED_QUERIES: &[&str] = &["//RARE/NEEDLE", "//NEEDLE"];
 
-/// A catalog with 32 fat prunable sections (under one `BULKS` group —
-/// the label of a child-record proxy costs one page read to discover, so
-/// the corpus keeps the root's fanout small and lets the descent prune
-/// the whole bulk with a single probe) and a rare selective path.
+/// A catalog with a high-fanout root: 48 fat prunable `BULK` sections
+/// directly under `CATALOG`, then a rare selective path. Before proxy
+/// label digests, learning each root child's label cost one page read —
+/// which is exactly what the digest ablation measures; with digests the
+/// descent prunes all 48 sections from the root record alone.
 fn corpus_xml(quick: bool) -> String {
-    let sections = 32;
-    let fillers = if quick { 500 } else { 1000 };
-    let mut s = String::from("<CATALOG><BULKS>");
+    let sections = 48;
+    let fillers = if quick { 350 } else { 700 };
+    let mut s = String::from("<CATALOG>");
     for i in 0..sections {
         s.push_str("<BULK>");
         for j in 0..fillers {
@@ -71,7 +82,6 @@ fn corpus_xml(quick: bool) -> String {
         }
         s.push_str("</BULK>");
     }
-    s.push_str("</BULKS>");
     for i in 0..4 {
         write!(s, "<RARE><NEEDLE>needle {i}</NEEDLE></RARE>").unwrap();
     }
@@ -79,7 +89,7 @@ fn corpus_xml(quick: bool) -> String {
     s
 }
 
-fn throttled_repo() -> Repository {
+fn throttled_repo(digests: bool) -> Repository {
     let backend = Arc::new(ThrottledDisk::new(
         MemStorage::new(PAGE_SIZE).unwrap(),
         READ_LATENCY_US,
@@ -90,6 +100,10 @@ fn throttled_repo() -> Repository {
         RepositoryOptions {
             page_size: PAGE_SIZE,
             buffer_bytes: BUFFER_FRAMES * PAGE_SIZE,
+            tree_config: TreeConfig {
+                proxy_digests: digests,
+                ..TreeConfig::paper()
+            },
             ..RepositoryOptions::default()
         },
     )
@@ -122,7 +136,7 @@ fn time_cold<T>(repo: &Repository, mut f: impl FnMut() -> T) -> (f64, T) {
 }
 
 fn bench(quick: bool) -> Vec<Row> {
-    let repo = throttled_repo();
+    let repo = throttled_repo(true);
     repo.put_xml_streaming("catalog", &corpus_xml(quick))
         .unwrap();
     let scan_opts = PlannerOptions {
@@ -130,7 +144,9 @@ fn bench(quick: bool) -> Vec<Row> {
         exec: ParallelQueryOptions {
             threads: SCAN_THREADS,
             parallel_record_threshold: 8,
+            ..Default::default()
         },
+        ..PlannerOptions::default()
     };
     let mut rows = Vec::new();
 
@@ -209,6 +225,44 @@ fn bench(quick: bool) -> Vec<Row> {
             hits: ids_seeded.len() as u64,
         });
     }
+
+    // Digest ablation: the identical forced seeded descent against a
+    // repository whose bulkload wrote no proxy label digests — every
+    // pruning decision at the high-fanout root then costs one page read
+    // just to learn the child's label.
+    let plain = throttled_repo(false);
+    plain
+        .put_xml_streaming("catalog", &corpus_xml(quick))
+        .unwrap();
+    for &q in SEEDED_QUERIES {
+        let seeded_opts = PlannerOptions {
+            force: Some(PlanShape::SummarySeeded),
+            ..PlannerOptions::default()
+        };
+        let (digest_ms, n_digest) = time_cold(&repo, || {
+            repo.count_planned("catalog", q, &seeded_opts).unwrap().0
+        });
+        let (plain_ms, n_plain) = time_cold(&plain, || {
+            plain.count_planned("catalog", q, &seeded_opts).unwrap().0
+        });
+        assert_eq!(
+            n_digest, n_plain,
+            "{q}: digested descent diverges from the digest-less one"
+        );
+        let speedup = plain_ms / digest_ms;
+        println!(
+            "  digest {q:<22} digest  {digest_ms:>8.2} ms   none {plain_ms:>8.1} ms   {speedup:>6.1}x   ({n_digest} hits)"
+        );
+        rows.push(Row {
+            query: q,
+            kind: "seeded-digest-ablation",
+            chosen_shape: "SummarySeeded".to_string(),
+            summary_ms: digest_ms,
+            scan_ms: plain_ms,
+            speedup,
+            hits: n_digest,
+        });
+    }
     rows
 }
 
@@ -263,6 +317,7 @@ fn main() {
     for r in &rows {
         let floor = match r.kind {
             "structural-count" => COUNT_FLOOR,
+            "seeded-digest-ablation" => DIGEST_FLOOR,
             _ => SEEDED_FLOOR,
         };
         if check {

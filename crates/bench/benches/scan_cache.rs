@@ -1,0 +1,424 @@
+//! Scan/cache interaction benchmark: point-lookup tail latency under a
+//! concurrent full scan, per eviction policy, plus the prefetch
+//! read-ahead delta on multi-threaded record-queue scans.
+//!
+//! ```sh
+//! cargo bench -p natix-bench --bench scan_cache             # writes BENCH_scan_cache.json
+//! cargo bench -p natix-bench --bench scan_cache -- --check  # CI mode: asserts the floors
+//! ```
+//!
+//! Two documents share one throttled-disk repository: a small `hot`
+//! document whose pages are the point-access working set, and a `cold`
+//! catalog several times larger than the buffer pool. The benchmark
+//! measures, per eviction policy (`Lru` vs `ScanResistant`):
+//!
+//! * **solo** — P50/P99 latency of a point lookup (`/HOT/ITEM/text()`
+//!   content query) with nothing else running: the working set is
+//!   resident, both policies serve hits.
+//! * **under scan** — the same lookup racing a continuous forced
+//!   `//MARK` parallel record scan of the cold document (one hit, so
+//!   the scanner is I/O-bound, not sort-bound). Lookups are spaced by a
+//!   think time longer than one pool turnover, the regime where naive
+//!   LRU is pathological: between two touches of the working set the
+//!   scan streams more distinct pages than the pool holds, so every
+//!   lookup re-faults its pages at disk latency. Under the
+//!   scan-resistant policy the scan's pages are confined to the bounded
+//!   cold set and the working set survives untouched.
+//!   Check floor: **scan-resistant P99 ≤ 0.5× the LRU P99**.
+//! * **prefetch delta** — wall clock of a cold 4-thread record-queue
+//!   scan with the read-ahead window on vs off. The throttled disk
+//!   charges a batch of n pages one full service time plus (n−1)
+//!   transfer shares, so overlap is honestly measurable. Check floor:
+//!   **≥ 1.3×** (asserted on the LRU pool, where the window is not
+//!   capped by the cold set; the scan-resistant delta is reported too).
+//!
+//! Every measured configuration is also checked for bit-identical
+//! results: the `//*` scan count and the hot content list must agree
+//! across policies and across prefetch on/off.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use natix::{
+    ParallelQueryOptions, PathQuery, PlanShape, PlannerOptions, Repository, RepositoryOptions,
+};
+use natix_storage::buffer::EvictionPolicy;
+use natix_storage::{DiskBackend, MemStorage, ThrottledDisk};
+
+const PAGE_SIZE: usize = 8192;
+/// Small on purpose: the cold catalog must be several times the pool, so
+/// an unhinted full scan evicts the hot working set.
+const BUFFER_FRAMES: usize = 48;
+const READ_LATENCY_US: u64 = 1_000;
+const WRITE_LATENCY_US: u64 = 0;
+/// Point lookups per latency distribution.
+const LOOKUPS: usize = 120;
+/// Think time between point lookups. Longer than one pool turnover
+/// under the concurrent scan (~2 pages/ms against a 48-frame pool), so
+/// naive LRU has streamed the working set out before the next touch.
+const THINK_MS: u64 = 40;
+/// Cold-scan repetitions for the prefetch delta; fastest run reported.
+const REPS: usize = 3;
+/// Threads of the prefetch-delta record-queue scan.
+const SCAN_THREADS: usize = 4;
+/// Read-ahead window of the "prefetch on" configuration.
+const PREFETCH_WINDOW: usize = 8;
+/// Check-mode floor: scan-resistant point-lookup P99 under a concurrent
+/// scan vs the naive-LRU P99.
+const P99_RATIO_CEILING: f64 = 0.5;
+/// Check-mode floor: 4-thread cold-scan wall clock, prefetch on vs off.
+const PREFETCH_FLOOR: f64 = 1.3;
+
+/// ~96 fat items: a working set of several pages, so an LRU eviction of
+/// the hot document costs a visible burst of re-faults, not one read.
+fn hot_xml() -> String {
+    let mut s = String::from("<HOT>");
+    for i in 0..96 {
+        write!(s, "<ITEM>hot item {i} {}</ITEM>", "x".repeat(560)).unwrap();
+    }
+    s.push_str("</HOT>");
+    s
+}
+
+/// Cold catalog several times the pool size (~2× in quick mode, ~4×
+/// full). The single `<MARK>` in the last section gives the continuous
+/// scanner a query that touches every record but produces one hit.
+fn cold_xml(quick: bool) -> String {
+    let sections = if quick { 800 } else { 1600 };
+    let mut s = String::from("<CATALOG>");
+    for i in 0..sections {
+        s.push_str("<SECTION>");
+        for j in 0..20 {
+            write!(s, "<FILLER>payload {i}-{j} lorem ipsum</FILLER>").unwrap();
+        }
+        if i + 1 == sections {
+            s.push_str("<MARK>needle</MARK>");
+        }
+        s.push_str("</SECTION>");
+    }
+    s.push_str("</CATALOG>");
+    s
+}
+
+fn repo_with(policy: EvictionPolicy) -> Repository {
+    let backend = Arc::new(ThrottledDisk::new(
+        MemStorage::new(PAGE_SIZE).unwrap(),
+        READ_LATENCY_US,
+        WRITE_LATENCY_US,
+    )) as Arc<dyn DiskBackend>;
+    Repository::create_on_backend(
+        backend,
+        RepositoryOptions {
+            page_size: PAGE_SIZE,
+            buffer_bytes: BUFFER_FRAMES * PAGE_SIZE,
+            eviction: policy,
+            ..RepositoryOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+fn scan_opts(threads: usize, prefetch_window: usize) -> PlannerOptions {
+    PlannerOptions {
+        force: Some(PlanShape::ParallelScan),
+        exec: ParallelQueryOptions {
+            threads,
+            parallel_record_threshold: 1,
+            prefetch_window,
+        },
+        ..PlannerOptions::default()
+    }
+}
+
+fn percentile(sorted_ms: &[f64], pct: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 - 1.0) * pct / 100.0).round() as usize;
+    sorted_ms[idx]
+}
+
+struct PolicyRow {
+    policy: &'static str,
+    solo_p50_ms: f64,
+    solo_p99_ms: f64,
+    scan_p50_ms: f64,
+    scan_p99_ms: f64,
+    scan_passes: u64,
+    scan_evictions: u64,
+    normal_evictions: u64,
+}
+
+struct PrefetchRow {
+    policy: &'static str,
+    off_ms: f64,
+    on_ms: f64,
+    speedup: f64,
+}
+
+/// One point lookup: a content query over the hot document (loads its
+/// records through normal-priority pins, exactly the point-access path).
+fn point_lookup(repo: &Repository, doc: natix::DocId, q: &PathQuery) -> Vec<String> {
+    let seq = ParallelQueryOptions {
+        threads: 1,
+        parallel_record_threshold: usize::MAX,
+        prefetch_window: 0,
+    };
+    repo.query_content_opts(doc, q, &seq)
+        .unwrap()
+        .into_iter()
+        .map(|c| format!("{c:?}"))
+        .collect()
+}
+
+fn latencies_ms(
+    repo: &Repository,
+    doc: natix::DocId,
+    q: &PathQuery,
+    expected: &[String],
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(LOOKUPS);
+    for _ in 0..LOOKUPS {
+        std::thread::sleep(std::time::Duration::from_millis(THINK_MS));
+        let t0 = Instant::now();
+        let got = point_lookup(repo, doc, q);
+        out.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(got, *expected, "point lookup answer changed mid-run");
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    out
+}
+
+fn bench_policy(
+    policy: EvictionPolicy,
+    name: &'static str,
+    quick: bool,
+    expected_cold: &mut Option<u64>,
+    expected_hot: &mut Option<Vec<String>>,
+) -> (PolicyRow, PrefetchRow) {
+    let repo = repo_with(policy);
+    let hot = repo.put_xml_streaming("hot", &hot_xml()).unwrap();
+    repo.put_xml_streaming("cold", &cold_xml(quick)).unwrap();
+    let hot_q = PathQuery::parse("/HOT/ITEM/text()").unwrap();
+
+    // Bit-identity across policies and prefetch settings: the `//*`
+    // count and the hot content list are pinned to the first policy's
+    // answers.
+    let (cold_count, _) = repo
+        .count_planned("cold", "//*", &scan_opts(SCAN_THREADS, PREFETCH_WINDOW))
+        .unwrap();
+    let (cold_count_noprefetch, _) = repo
+        .count_planned("cold", "//*", &scan_opts(SCAN_THREADS, 0))
+        .unwrap();
+    assert_eq!(
+        cold_count, cold_count_noprefetch,
+        "{name}: prefetch changed the scan result"
+    );
+    let hot_answer = point_lookup(&repo, hot, &hot_q);
+    match expected_cold {
+        Some(n) => assert_eq!(
+            *n, cold_count,
+            "{name}: scan count diverged across policies"
+        ),
+        None => *expected_cold = Some(cold_count),
+    }
+    match expected_hot {
+        Some(h) => assert_eq!(
+            *h, hot_answer,
+            "{name}: hot answer diverged across policies"
+        ),
+        None => *expected_hot = Some(hot_answer.clone()),
+    }
+
+    // Solo distribution: warm the working set, then measure.
+    repo.clear_buffer().unwrap();
+    for _ in 0..3 {
+        point_lookup(&repo, hot, &hot_q);
+    }
+    let solo = latencies_ms(&repo, hot, &hot_q, &hot_answer);
+
+    // Under a continuous 2-thread record-queue scan of the cold catalog.
+    // `//MARK` touches every record but yields one hit, so the scanner
+    // spends its time on I/O (the displacement source), not on sorting
+    // tens of thousands of hits on a shared CPU.
+    let (mark_count, _) = repo
+        .count_planned("cold", "//MARK", &scan_opts(2, PREFETCH_WINDOW))
+        .unwrap();
+    assert_eq!(mark_count, 1, "{name}: sentinel query should hit once");
+    let stop = AtomicBool::new(false);
+    let before = repo.io_stats().snapshot();
+    let mut passes = 0u64;
+    let under_scan = std::thread::scope(|scope| {
+        let scanner = scope.spawn(|| {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let (count, _) = repo
+                    .count_planned("cold", "//MARK", &scan_opts(2, PREFETCH_WINDOW))
+                    .unwrap();
+                assert_eq!(count, mark_count, "racing scan result changed");
+                n += 1;
+            }
+            n
+        });
+        // Let the scan start displacing frames before sampling.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let lat = latencies_ms(&repo, hot, &hot_q, &hot_answer);
+        stop.store(true, Ordering::Release);
+        passes = scanner.join().expect("scanner panicked");
+        lat
+    });
+    let after = repo.io_stats().snapshot().since(&before);
+
+    let row = PolicyRow {
+        policy: name,
+        solo_p50_ms: percentile(&solo, 50.0),
+        solo_p99_ms: percentile(&solo, 99.0),
+        scan_p50_ms: percentile(&under_scan, 50.0),
+        scan_p99_ms: percentile(&under_scan, 99.0),
+        scan_passes: passes,
+        scan_evictions: after.scan_evictions,
+        normal_evictions: after.normal_evictions,
+    };
+    println!(
+        "  {name:<14} solo p50 {:>7.3} ms  p99 {:>7.3} ms   under-scan p50 {:>7.3} ms  p99 {:>7.3} ms  ({} scan passes)",
+        row.solo_p50_ms, row.solo_p99_ms, row.scan_p50_ms, row.scan_p99_ms, passes
+    );
+
+    // Prefetch delta: cold 4-thread record-queue scans, window on vs off.
+    let mut best = [f64::INFINITY; 2];
+    for (slot, window) in [(0usize, 0usize), (1, PREFETCH_WINDOW)] {
+        for _ in 0..REPS {
+            repo.clear_buffer().unwrap();
+            let t0 = Instant::now();
+            let (count, _) = repo
+                .count_planned("cold", "//*", &scan_opts(SCAN_THREADS, window))
+                .unwrap();
+            best[slot] = best[slot].min(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(count, cold_count, "{name}: cold scan result changed");
+        }
+    }
+    let prefetch = PrefetchRow {
+        policy: name,
+        off_ms: best[0],
+        on_ms: best[1],
+        speedup: best[0] / best[1],
+    };
+    println!(
+        "  {name:<14} {SCAN_THREADS}-thread cold scan: prefetch off {:>8.1} ms   on {:>8.1} ms   {:.2}x",
+        prefetch.off_ms, prefetch.on_ms, prefetch.speedup
+    );
+    (row, prefetch)
+}
+
+fn write_json(quick: bool, rows: &[PolicyRow], prefetch: &[PrefetchRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(
+        s,
+        "  \"benchmark\": \"scan/cache interaction: point-lookup tail latency vs a concurrent full scan, prefetch delta\","
+    );
+    let _ = writeln!(s, "  \"page_size\": {PAGE_SIZE},");
+    let _ = writeln!(s, "  \"buffer_frames\": {BUFFER_FRAMES},");
+    let _ = writeln!(
+        s,
+        "  \"disk\": \"throttled: {READ_LATENCY_US} us/page read, batched reads at 1/4 share, free writes\","
+    );
+    let _ = writeln!(s, "  \"lookups_per_distribution\": {LOOKUPS},");
+    let _ = writeln!(s, "  \"quick_mode\": {quick},");
+    s.push_str("  \"policies\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"policy\": \"{}\", \"solo_p50_ms\": {:.3}, \"solo_p99_ms\": {:.3}, \
+             \"under_scan_p50_ms\": {:.3}, \"under_scan_p99_ms\": {:.3}, \
+             \"scan_passes\": {}, \"scan_evictions\": {}, \"normal_evictions\": {}, \
+             \"identical_results\": true}}{}",
+            r.policy,
+            r.solo_p50_ms,
+            r.solo_p99_ms,
+            r.scan_p50_ms,
+            r.scan_p99_ms,
+            r.scan_passes,
+            r.scan_evictions,
+            r.normal_evictions,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"prefetch\": [\n");
+    for (i, p) in prefetch.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"policy\": \"{}\", \"scan_threads\": {SCAN_THREADS}, \"window\": {PREFETCH_WINDOW}, \
+             \"off_ms\": {:.1}, \"on_ms\": {:.1}, \"speedup\": {:.2}, \"identical_results\": true}}{}",
+            p.policy,
+            p.off_ms,
+            p.on_ms,
+            p.speedup,
+            if i + 1 < prefetch.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"floors\": {{\"scan_resistant_p99_ratio_ceiling\": {P99_RATIO_CEILING}, \
+         \"prefetch_speedup_floor\": {PREFETCH_FLOOR}}}"
+    );
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--check" || a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+
+    println!(
+        "scan/cache interaction ({PAGE_SIZE} B pages, {BUFFER_FRAMES}-frame pool, throttled disk{}):",
+        if quick { ", quick" } else { "" }
+    );
+    let mut expected_cold = None;
+    let mut expected_hot = None;
+    let (lru_row, lru_prefetch) = bench_policy(
+        EvictionPolicy::Lru,
+        "lru",
+        quick,
+        &mut expected_cold,
+        &mut expected_hot,
+    );
+    let (sr_row, sr_prefetch) = bench_policy(
+        EvictionPolicy::ScanResistant,
+        "scan-resistant",
+        quick,
+        &mut expected_cold,
+        &mut expected_hot,
+    );
+
+    let p99_ratio = sr_row.scan_p99_ms / lru_row.scan_p99_ms;
+    println!(
+        "under-scan P99: scan-resistant {:.3} ms vs lru {:.3} ms — ratio {:.2} (ceiling {P99_RATIO_CEILING})",
+        sr_row.scan_p99_ms, lru_row.scan_p99_ms, p99_ratio
+    );
+    println!(
+        "prefetch at {SCAN_THREADS} threads: lru {:.2}x, scan-resistant {:.2}x (floor {PREFETCH_FLOOR}x on lru)",
+        lru_prefetch.speedup, sr_prefetch.speedup
+    );
+    if check {
+        assert!(
+            p99_ratio <= P99_RATIO_CEILING,
+            "scan-resistant under-scan P99 {:.3} ms is not ≤ {P99_RATIO_CEILING}× the LRU P99 {:.3} ms",
+            sr_row.scan_p99_ms,
+            lru_row.scan_p99_ms
+        );
+        assert!(
+            lru_prefetch.speedup >= PREFETCH_FLOOR,
+            "prefetch speedup {:.2}x fell below the {PREFETCH_FLOOR}x floor",
+            lru_prefetch.speedup
+        );
+        println!("check mode: all floors met");
+    } else {
+        let json = write_json(quick, &[lru_row, sr_row], &[lru_prefetch, sr_prefetch]);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan_cache.json");
+        std::fs::write(path, &json).unwrap();
+        println!("wrote {path}");
+    }
+}

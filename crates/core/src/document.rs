@@ -968,7 +968,7 @@ impl Repository {
         while let Some(p) = stack.pop() {
             f(p);
             self.tree.scan_record_subtree(p, &mut |entry| {
-                if let natix_tree::RecordEntry::ChildRecord(ptr) = *entry {
+                if let natix_tree::RecordEntry::ChildRecord { ptr, .. } = *entry {
                     found.push(ptr);
                 }
                 Ok(true)

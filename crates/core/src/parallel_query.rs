@@ -70,6 +70,14 @@ pub struct ParallelQueryOptions {
     /// least this many pending records; below that it runs to completion
     /// on the calling thread.
     pub parallel_record_threshold: usize,
+    /// Read-ahead window per scan worker: after claiming a record, the
+    /// worker issues a best-effort batched prefetch for the pages of up
+    /// to this many *queued* records (plus the claimed one), so the
+    /// buffer pool overlaps their reads with the current record's scan.
+    /// 0 disables prefetch. The prefetch runs outside the scan-queue
+    /// lock (it is an I/O region) and enters frames at scan priority,
+    /// so it cannot displace the point-access working set.
+    pub prefetch_window: usize,
 }
 
 impl Default for ParallelQueryOptions {
@@ -80,6 +88,7 @@ impl Default for ParallelQueryOptions {
                 .unwrap_or(1)
                 .min(8),
             parallel_record_threshold: 16,
+            prefetch_window: 4,
         }
     }
 }
@@ -292,6 +301,7 @@ impl Repository {
             &ParallelQueryOptions {
                 threads: 1,
                 parallel_record_threshold: usize::MAX,
+                ..Default::default()
             },
         )
     }
@@ -415,14 +425,15 @@ impl Repository {
             let helpers = opts.threads - 1;
             let mut worker_hits = std::thread::scope(|scope| -> NatixResult<Vec<Vec<ScanHit>>> {
                 let handles: Vec<_> = (0..helpers)
-                    .map(|_| {
-                        scope.spawn(|| {
+                    .map(|w| {
+                        let shared = &shared;
+                        scope.spawn(move || {
                             let _pin = epoch.map(|e| self.tree.adopt_read(e));
-                            self.drain_scan_queue(&shared, step, label)
+                            self.drain_scan_queue(shared, step, label, opts.prefetch_window, w + 1)
                         })
                     })
                     .collect();
-                let mine = self.drain_scan_queue(&shared, step, label);
+                let mine = self.drain_scan_queue(&shared, step, label, opts.prefetch_window, 0);
                 let mut all = Vec::with_capacity(helpers + 1);
                 let mut first_err = None;
                 for res in handles
@@ -472,18 +483,36 @@ impl Repository {
     /// Worker loop of the parallel drain: claim a record, scan it, feed
     /// discovered child records back, until the queue is empty with no
     /// active scanners (or a worker failed).
+    ///
+    /// With a non-zero `prefetch_window` the worker keeps a small
+    /// read-ahead in flight: on each claim it snapshots the pages of the
+    /// next queued records *under* the queue lock, then — with the lock
+    /// dropped, since the read is an I/O region — hands them to the
+    /// buffer pool as one batched, scan-priority prefetch together with
+    /// the claimed record's own page. A demand pin racing the prefetch
+    /// coalesces on the pool's in-flight set, so no page is read twice.
+    ///
+    /// Each worker's window is offset by `worker * prefetch_window`
+    /// *distinct* pages into the queue, so concurrent workers keep
+    /// disjoint batches in flight. Without the stride every worker would
+    /// snapshot the same head-of-queue pages, the pool's in-flight set
+    /// would collapse the batches into one, and the scan would serialize
+    /// on a single reader instead of overlapping batched reads.
     fn drain_scan_queue(
         &self,
         shared: &ScanQueue,
         step: &Step,
         label: Option<LabelId>,
+        prefetch_window: usize,
+        worker: usize,
     ) -> NatixResult<Vec<ScanHit>> {
         let mut hits = Vec::new();
         let mut spawned = Vec::new();
+        let mut ahead: Vec<natix_storage::PageId> = Vec::new();
         loop {
             let task = {
                 let mut st = shared.state.lock();
-                loop {
+                let t = loop {
                     if st.failed {
                         return Ok(hits);
                     }
@@ -495,8 +524,39 @@ impl Repository {
                         return Ok(hits);
                     }
                     st = shared.work.wait(st);
+                };
+                if prefetch_window > 0 {
+                    ahead.clear();
+                    ahead.push(t.start.rid.page);
+                    // Records are dense on pages, so counting *tasks*
+                    // would collapse the window to a page or two; count
+                    // distinct pages instead, skipping this worker's
+                    // stride offset. The queue walk is bounded so a deep
+                    // queue can't stretch the lock hold time.
+                    let skip = worker * prefetch_window;
+                    let mut seen: Vec<natix_storage::PageId> = Vec::new();
+                    for queued in st.tasks.iter().take((skip + prefetch_window) * 64) {
+                        if ahead.len() > prefetch_window {
+                            break;
+                        }
+                        let page = queued.start.rid.page;
+                        if page == t.start.rid.page || seen.contains(&page) {
+                            continue;
+                        }
+                        seen.push(page);
+                        if seen.len() > skip {
+                            ahead.push(page);
+                        }
+                    }
                 }
+                t
             };
+            if !ahead.is_empty() {
+                // Advisory: a prefetch failure is not a query failure —
+                // the demand read below surfaces any persistent error.
+                let _ = self.tree.prefetch_pages(&ahead);
+                ahead.clear();
+            }
             // A panicking scan must not strand the queue: `active` was
             // incremented above, and a sibling (or the caller) waiting on
             // the condvar would sleep forever if this task silently
@@ -580,7 +640,7 @@ impl Repository {
                         });
                     }
                 }
-                RecordEntry::ChildRecord(ptr) => {
+                RecordEntry::ChildRecord { ptr, .. } => {
                     let mut key = task.key.clone();
                     key.push(seq);
                     spawned.push(ScanTask {
@@ -660,6 +720,7 @@ mod tests {
         ParallelQueryOptions {
             threads,
             parallel_record_threshold: threshold,
+            ..Default::default()
         }
     }
 

@@ -151,7 +151,28 @@ pub struct PlannerOptions {
     pub force: Option<PlanShape>,
     /// Execution knobs for the scan-based shapes.
     pub exec: ParallelQueryOptions,
+    /// Cost the planner charges for one buffer-pool page miss, in
+    /// nanoseconds. `None` (the default) calibrates it from the pool's
+    /// measured miss-latency EWMA ([`natix_storage::IoStats`]), falling
+    /// back to [`DEFAULT_PAGE_COST_NS`] before the first miss. The value
+    /// actually used is reported in [`PlanExplain::page_cost_ns`].
+    pub page_cost_ns: Option<u64>,
 }
+
+/// Fallback page-miss cost (ns) used before the buffer pool has measured
+/// one. Chosen so the uncalibrated break-even between a seeded descent
+/// and a scan reproduces the pre-calibration "`visited * 2 <= total`"
+/// rule on the in-memory backend.
+pub const DEFAULT_PAGE_COST_NS: u64 = 2_000;
+/// CPU cost (ns) the model charges per facade node visited, any shape.
+const NODE_COST_NS: u64 = 100;
+/// Nodes over which a summary-seeded descent amortises one page miss —
+/// its proxy hops are random access, so misses are frequent.
+const SEEDED_NODES_PER_READ: u64 = 16;
+/// Nodes over which a record-granular scan amortises one page miss —
+/// the scan workers keep a prefetch window in flight, so misses are
+/// batched and rare per node.
+const SCAN_NODES_PER_READ: u64 = 128;
 
 /// How the planner arrived at a plan; returned alongside every planned
 /// result and by [`Repository::explain`].
@@ -171,6 +192,10 @@ pub struct PlanExplain {
     pub estimated_visited: Option<u64>,
     /// Total facade nodes per the summary.
     pub total_nodes: Option<u64>,
+    /// The page-miss cost (ns) the cost model charged for this plan:
+    /// [`PlannerOptions::page_cost_ns`] if set, else the buffer pool's
+    /// measured miss-latency EWMA, else [`DEFAULT_PAGE_COST_NS`].
+    pub page_cost_ns: u64,
 }
 
 /// What a planned evaluation produces.
@@ -493,6 +518,18 @@ impl Repository {
         let positional = q.steps.iter().any(|s| s.position.is_some());
         let lazy_positional = q.steps.iter().any(|s| s.descendant && s.position.is_some());
 
+        // Calibrated page-miss cost: the caller's override, else the
+        // buffer pool's live miss-latency EWMA (random-access reads
+        // measured at the demand-miss path), else the static fallback.
+        let page_cost_ns = opts.page_cost_ns.unwrap_or_else(|| {
+            let measured = self.io_stats().miss_latency_ns();
+            if measured == 0 {
+                DEFAULT_PAGE_COST_NS
+            } else {
+                measured
+            }
+        });
+
         // 1. Unknown-label short circuit: a name the alphabet has never
         // seen occurs in no stored document. Answered with zero page
         // reads (pinned by the buffer-miss counter test) unless a
@@ -506,6 +543,7 @@ impl Repository {
                 estimated_matches: Some(0),
                 estimated_visited: Some(0),
                 total_nodes: None,
+                page_cost_ns,
             };
             return Ok((Self::empty_output(mode), explain));
         }
@@ -549,6 +587,7 @@ impl Repository {
                 &pmatch,
                 summary.as_deref(),
                 mode,
+                page_cost_ns,
             ),
         };
         let explain = PlanExplain {
@@ -559,6 +598,7 @@ impl Repository {
             estimated_matches: pmatch.as_ref().map(|pm| pm.matched),
             estimated_visited: pmatch.as_ref().map(|pm| pm.visited),
             total_nodes: summary.as_ref().map(|s| s.total_nodes()),
+            page_cost_ns,
         };
         if mode == PlanMode::Explain {
             return Ok((PlannedOutput::ExplainOnly, explain));
@@ -627,6 +667,16 @@ impl Repository {
     /// The cost model. `pmatch` is `Some` exactly when the summary is
     /// current for this snapshot *and* the query is path-decidable (no
     /// positional predicates).
+    ///
+    /// The seeded-vs-scan decision is *calibrated*: `page_cost_ns` is the
+    /// measured buffer-pool miss latency (or an override/fallback), and
+    /// each shape's per-node cost adds that miss cost amortised over the
+    /// nodes one read serves — few for the random proxy hops of a seeded
+    /// descent, many for a prefetched scan. On a fast (cached, in-memory)
+    /// pool the two converge and the seeded descent wins whenever it
+    /// visits fewer nodes; on a slow pool (cold spinning disk) random
+    /// access is penalised and the descent must be far more selective.
+    #[allow(clippy::too_many_arguments)]
     fn choose_plan(
         positional: bool,
         lazy_positional: bool,
@@ -634,6 +684,7 @@ impl Repository {
         pmatch: &Option<PathMatch>,
         summary: Option<&PathSummary>,
         mode: PlanMode,
+        page_cost_ns: u64,
     ) -> (PlanShape, String) {
         let Some(pm) = pmatch else {
             return if positional && lazy_positional && !index_usable {
@@ -671,11 +722,16 @@ impl Repository {
             );
         }
         let total = summary.map(|s| s.total_nodes()).unwrap_or(0);
-        if pm.enumerable && pm.visited.saturating_mul(2) <= total {
+        let seeded_per_node = NODE_COST_NS + page_cost_ns / SEEDED_NODES_PER_READ;
+        let scan_per_node = NODE_COST_NS + page_cost_ns / SCAN_NODES_PER_READ;
+        let seeded_cost = pm.visited.saturating_mul(seeded_per_node);
+        let scan_cost = total.saturating_mul(scan_per_node);
+        if pm.enumerable && seeded_cost <= scan_cost {
             return (
                 PlanShape::SummarySeeded,
                 format!(
-                    "selective: pruned descent visits {} of {} nodes",
+                    "selective: pruned descent visits {} of {} nodes \
+                     ({seeded_cost} vs {scan_cost} ns at {page_cost_ns} ns/miss)",
                     pm.visited, total
                 ),
             );
@@ -736,6 +792,13 @@ impl Repository {
     /// the final match set, emitting nodes whose path is a final match.
     /// Exactly equal to the lazy walk whenever the match is `enumerable`
     /// (enforced by the planner and the differential suite).
+    ///
+    /// Children come from [`natix_tree::TreeStore::logical_children_labeled`],
+    /// so a pruned child behind a digested proxy costs *no page read*:
+    /// the proxy's label digest feeds `step_child` directly, and the
+    /// child record is only ever loaded if the descent actually enters
+    /// it. On a high-fanout root this is the difference between one read
+    /// per child and one read per *entered* child.
     fn eval_summary_seeded(
         &self,
         root: NodePtr,
@@ -751,10 +814,9 @@ impl Repository {
             if pm.mult[pid as usize] > 0 {
                 out.push(p);
             }
-            let kids = self.tree.logical_children(p)?;
+            let kids = self.tree.logical_children_labeled(p)?;
             let mut frame = Vec::new();
-            for k in kids {
-                let label = self.tree.node_info(k)?.label;
+            for (k, label) in kids {
                 if let Some(cid) = summary.step_child(pid, label) {
                     if pm.closure[cid as usize] {
                         frame.push((k, cid));

@@ -156,6 +156,46 @@
 //!    the end, to bind the merged result list — so scans of different
 //!    documents (and scans racing ingestion of other documents) never
 //!    serialize on shared mutable state.
+//! 4. **Prefetch is an I/O region, issued lock-free.** A scan worker
+//!    with a non-zero
+//!    [`crate::parallel_query::ParallelQueryOptions::prefetch_window`]
+//!    snapshots
+//!    the pages of the next queued records while it holds the
+//!    `SCAN_QUEUE` mutex (a map lookup, no I/O), *drops the lock*, and
+//!    only then issues the batched read-ahead
+//!    ([`natix_tree::TreeStore::prefetch_pages`] →
+//!    `BufferManager::prefetch`). The buffer manager declares the batch
+//!    read as an I/O region (`buffer.prefetch`), so the lockdep
+//!    held-across-I/O detector enforces the rule mechanically: holding
+//!    any non-I/O-tolerant lock across a prefetch panics under
+//!    `--features lockdep`. Prefetched pages are marked in-flight in the
+//!    pool, so a racing demand pin coalesces on the same condvar as a
+//!    demand miss — never a duplicate read. Prefetch is *advisory*:
+//!    it stops early rather than evict a dirty frame, and a prefetch
+//!    error is swallowed (the demand read surfaces any real failure).
+//!
+//! # Replacement hint classes
+//!
+//! Every pin carries an [`natix_storage::AccessHint`] telling the buffer
+//! pool what kind of access it is:
+//!
+//! * **`Normal`** — point accesses (navigation, edits, catalog and
+//!   id-map reads). Under the scan-resistant policy these enter at hot
+//!   priority and are promoted on re-reference, exactly like classic
+//!   second chance.
+//! * **`Scan`** — one-shot streams: record-queue scan workers
+//!   ([`natix_tree::TreeStore::scan_record_subtree`]), bulkload append
+//!   streams, and all prefetched pages. Scan-hinted frames enter a
+//!   *bounded cold set* and are never promoted past one reference bit,
+//!   so a full `//*` scan of an arbitrarily large document recycles a
+//!   bounded set of frames instead of flushing the point-access working
+//!   set (classic scan resistance; `BENCH_scan_cache.json` pins the
+//!   point-lookup tail latency under a concurrent scan).
+//!
+//! The pool's hit/miss/eviction counters are split by hint class
+//! ([`natix_storage::IoStats`]), and the demand-miss path feeds a
+//! miss-latency EWMA that the query planner reads as its calibrated
+//! page-cost constant ([`crate::query::PlannerOptions::page_cost_ns`]).
 //!
 //! # Plan shapes and their oracles
 //!

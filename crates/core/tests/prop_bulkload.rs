@@ -508,6 +508,7 @@ fn deep_corpus_queries_match_the_lazy_oracle() {
     let par = natix::ParallelQueryOptions {
         threads: 3,
         parallel_record_threshold: 1,
+        ..Default::default()
     };
     for path in [
         "//TAIL",

@@ -277,6 +277,7 @@ fn parallel_and_sequential_match_dom_oracle() {
                             &ParallelQueryOptions {
                                 threads,
                                 parallel_record_threshold: 1,
+                                ..Default::default()
                             },
                         )
                         .unwrap();
@@ -325,6 +326,7 @@ fn fanout_matches_per_document_sequential_on_random_corpora() {
                     &ParallelQueryOptions {
                         threads: 4,
                         parallel_record_threshold: 16,
+                        ..Default::default()
                     },
                 )
                 .into_iter()
@@ -482,6 +484,69 @@ fn unknown_label_short_circuits_with_zero_page_reads() {
         misses, 0,
         "unknown-label queries must not touch a single page"
     );
+}
+
+/// Scan-cache matrix: the parallel evaluator must be bit-identical to
+/// sequential evaluation under every eviction policy × prefetch-window
+/// combination, on a pool so small (8 frames) that scans evict
+/// continuously and prefetched frames are reclaimed while still queued.
+/// Prefetch and scan-priority admission are advisory — they must never
+/// change results, only latency.
+#[test]
+fn eviction_policy_and_prefetch_window_never_change_results() {
+    use natix_storage::buffer::EvictionPolicy;
+
+    const POLICIES: &[EvictionPolicy] = &[
+        EvictionPolicy::Lru,
+        EvictionPolicy::Clock,
+        EvictionPolicy::ScanResistant,
+    ];
+    for case in 0..6u64 {
+        let mut g = Gen::new(0x5CA9_CAC4E ^ case);
+        let mut syms = SymbolTable::new();
+        let doc = random_document(&mut g, &mut syms);
+        let page_size = [512usize, 1024][g.below(2)];
+        let queries: Vec<String> = (0..6).map(|_| random_query(&mut g).0).collect();
+
+        for &policy in POLICIES {
+            let r = Repository::create_in_memory(RepositoryOptions {
+                page_size,
+                // 8 frames: descendant scans turn the pool over many
+                // times per query, so eviction decisions really differ
+                // between the policies.
+                buffer_bytes: 8 * page_size,
+                eviction: policy,
+                ..RepositoryOptions::default()
+            })
+            .unwrap();
+            *r.symbols_mut() = syms.clone();
+            let id = r.put_document("d", &doc).unwrap();
+
+            for path in &queries {
+                let q = PathQuery::parse(path).unwrap();
+                let seq = r.query_parsed(id, &q).unwrap();
+                for prefetch_window in [0usize, 4] {
+                    r.clear_buffer().unwrap();
+                    let par = r
+                        .query_parallel(
+                            id,
+                            &q,
+                            &ParallelQueryOptions {
+                                threads: 4,
+                                parallel_record_threshold: 1,
+                                prefetch_window,
+                            },
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        par, seq,
+                        "case {case} '{path}' [{policy:?}, window {prefetch_window}]: \
+                         parallel diverges from sequential"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //! The scanner is hand-rolled: the build environment is offline, so no
 //! `syn`. Sources are sanitised (comments and string/char literals blanked,
 //! line structure preserved) and then checked line- and item-wise with
-//! brace/paren tracking. That is enough for the four rules below, all of
+//! brace/paren tracking. That is enough for the five rules below, all of
 //! which key on tokens that survive sanitisation:
 //!
 //! 1. **durable-gate** — every `pub fn` write API in
@@ -25,6 +25,11 @@
 //!    outside `crates/shims`: locks built behind the shim's back are
 //!    invisible to the lockdep hierarchy checker. (`Arc`, atomics and
 //!    `OnceLock` are fine.)
+//! 5. **prefetch-lock-hold** — upper-layer code must not issue a buffer
+//!    prefetch or batched read (`prefetch` / `prefetch_pages` /
+//!    `read_pages`) while a mutex guard is lexically live; those calls
+//!    enter a buffer I/O region and the held lock would stall every
+//!    contender for a device round-trip.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -290,6 +295,9 @@ struct FnItem {
     name: String,
     is_pub: bool,
     line: usize,
+    /// Line of the body's opening brace (multi-line signatures put it
+    /// well below `line`).
+    body_line: usize,
     body: String,
     in_test: bool,
 }
@@ -341,6 +349,7 @@ fn collect_fns(clean: &str, mask: &[bool]) -> Vec<FnItem> {
             name,
             is_pub,
             line,
+            body_line: line_of(clean, open),
             body: clean[open..close].to_string(),
             in_test,
         });
@@ -591,6 +600,115 @@ pub fn rule_shim_bypass(path: &Path, source: &str) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 5: no lock held across buffer prefetch / batched reads
+// ---------------------------------------------------------------------------
+
+/// Call tokens that enter a buffer-pool I/O region: issuing one while a
+/// ranked (non-io-tolerant) lock is held is a held-across-I/O bug that
+/// lockdep would catch at runtime — this rule catches the lexical shape
+/// statically, before the path is ever exercised.
+const PREFETCH_IO_CALLS: &[&str] = &["prefetch", "prefetch_pages", "read_pages"];
+
+/// Guard producers whose result is a mutex guard in the upper layers.
+/// RwLock and page-latch guards are left to the runtime `io_region`
+/// check: their receivers are io-tolerant storage-band locks far more
+/// often than not, and flagging them here would drown the signal.
+const LOCK_GUARD_CALLS: &[&str] = &["lock", "try_lock"];
+
+/// Scan one statement for a prefetch-band I/O call.
+fn stmt_enters_io(stmt: &str) -> Option<&'static str> {
+    PREFETCH_IO_CALLS
+        .iter()
+        .find(|c| contains_word(stmt, c) && stmt.contains(&format!("{c}(")))
+        .copied()
+}
+
+/// Upper-layer callers of `prefetch` / `prefetch_pages` / `read_pages`
+/// must not hold a mutex guard across the call: the pattern is "snapshot
+/// under the lock, drop the guard (explicitly or by closing its block),
+/// then issue the batched read". Tracked lexically per function body:
+/// `let g = ....lock();` registers a live guard at the current brace
+/// depth; `drop(g)` or leaving the guard's block retires it.
+pub fn rule_prefetch_lock_hold(path: &Path, source: &str) -> Vec<Violation> {
+    let clean = sanitize(source);
+    let mask = test_mask(&clean);
+    let mut out = Vec::new();
+    for f in collect_fns(&clean, &mask) {
+        if f.in_test {
+            continue;
+        }
+        let b = f.body.as_bytes();
+        let mut guards: Vec<(String, i32)> = Vec::new();
+        let mut depth = 0i32;
+        let mut stmt_start = 0usize;
+        let mut j = 0;
+        while j < b.len() {
+            match b[j] {
+                b'{' => {
+                    depth += 1;
+                    stmt_start = j + 1;
+                }
+                b'}' => {
+                    depth -= 1;
+                    guards.retain(|g| g.1 <= depth);
+                    stmt_start = j + 1;
+                }
+                b';' => {
+                    let stmt = &f.body[stmt_start..j];
+                    if let Some(call) = stmt_enters_io(stmt) {
+                        if let Some((name, _)) = guards.first() {
+                            let call_at = stmt_start + stmt.find(&format!("{call}(")).unwrap_or(0);
+                            out.push(Violation {
+                                file: path.to_path_buf(),
+                                line: f.body_line
+                                    + f.body[..call_at].bytes().filter(|&c| c == b'\n').count(),
+                                rule: "prefetch-lock-hold",
+                                message: format!(
+                                    "`{call}(..)` issued while lock guard `{name}` is live; \
+                                     batched reads are an I/O region — snapshot under the \
+                                     lock, drop the guard, then prefetch"
+                                ),
+                            });
+                        }
+                    }
+                    let t = stmt.trim_start();
+                    if let Some(rest) = t.strip_prefix("let ") {
+                        let rest = rest.trim_start();
+                        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+                        let name: String = rest
+                            .bytes()
+                            .take_while(|&c| is_ident(c))
+                            .map(char::from)
+                            .collect();
+                        if !name.is_empty() && name != "_" {
+                            if let Some(eq) = stmt.find('=') {
+                                if let Some(call) = last_toplevel_call(&stmt[eq + 1..]) {
+                                    if LOCK_GUARD_CALLS.contains(&call.as_str()) {
+                                        guards.push((name, depth));
+                                    }
+                                }
+                            }
+                        }
+                    } else if t.starts_with("drop(") || t.starts_with("drop (") {
+                        let inner: String = t[t.find('(').unwrap_or(0) + 1..]
+                            .trim_start()
+                            .bytes()
+                            .take_while(|&c| is_ident(c))
+                            .map(char::from)
+                            .collect();
+                        guards.retain(|g| g.0 != inner);
+                    }
+                    stmt_start = j + 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Workspace driver
 // ---------------------------------------------------------------------------
 
@@ -626,6 +744,12 @@ pub fn check_file(rel: &Path, source: &str) -> Vec<Violation> {
     }
     if !is_test_tree(rel) {
         out.extend(rule_shim_bypass(rel, source));
+        // Storage-band locks are io-tolerant by design (the runtime
+        // io_region check exempts them); the static rule audits the
+        // upper layers, where every lock is a scheduling lock.
+        if !is_storage_src(rel) {
+            out.extend(rule_prefetch_lock_hold(rel, source));
+        }
     }
     out
 }

@@ -73,6 +73,21 @@ fn missing_gate_fixture_trips_rule() {
 }
 
 #[test]
+fn held_prefetch_fixture_trips_rule() {
+    let src = include_str!("fixtures/held_prefetch.rs");
+    let violations = check_file(Path::new("crates/core/src/held_prefetch.rs"), src);
+    assert_eq!(lines_for(&violations, "prefetch-lock-hold"), vec![7, 15]);
+}
+
+#[test]
+fn held_prefetch_rule_skips_storage_band() {
+    // Storage-band locks are io-tolerant; the static rule stays out.
+    let src = include_str!("fixtures/held_prefetch.rs");
+    let violations = check_file(Path::new("crates/storage/src/held_prefetch.rs"), src);
+    assert!(lines_for(&violations, "prefetch-lock-hold").is_empty());
+}
+
+#[test]
 fn workspace_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()

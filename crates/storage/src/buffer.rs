@@ -29,6 +29,21 @@
 //! superseded frame image stays alive and readable until the last pin
 //! drops. Writers freeing storage therefore never block on, or fail
 //! because of, concurrent snapshot readers holding short pins.
+//!
+//! Replacement hints and prefetch: a pin carries an [`AccessHint`].
+//! Under [`EvictionPolicy::ScanResistant`], scan-hinted pages live in a
+//! bounded *cold set* (at most `frame_count / 8` frames) and never earn
+//! more than one reference bit, so a full-document scan recycles its own
+//! frames instead of flushing the point-access working set; a normal pin
+//! on a cold page promotes it out. [`BufferManager::prefetch`] issues a
+//! batched read-ahead ([`DiskBackend::read_pages`]) into free or cleanly
+//! evictable frames without returning pins; prefetched pages are marked
+//! in-flight exactly like demand loads, so a demand pin racing a prefetch
+//! of the same page blocks on the shared condvar instead of issuing a
+//! second read. Prefetch never steals a dirty frame (read-ahead must not
+//! add foreground write I/O) and is a new held-across-I/O region
+//! (`buffer.prefetch`) under lockdep: like every other buffer I/O it runs
+//! outside the pool mutex, against reserved unmapped frames.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -49,6 +64,27 @@ pub enum EvictionPolicy {
     Lru,
     /// Second-chance clock.
     Clock,
+    /// Scan-hinted second-chance clock. Pages faulted in through
+    /// [`AccessHint::Scan`] enter a bounded cold set (`frame_count / 8`
+    /// frames, at least 2) with no reference bit; once the set is full, a
+    /// scan miss must recycle a cold frame and cannot touch the rest of
+    /// the pool. A scan hit grants at most the one clock reference bit; a
+    /// normal hit adopts the page into the working set.
+    ScanResistant,
+}
+
+/// How a pin intends to use its page — the replacement hint consumed by
+/// [`EvictionPolicy::ScanResistant`] (the other policies ignore it, which
+/// is what makes the hint safe to thread through unconditionally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessHint {
+    /// Point access: the page belongs to the working set.
+    #[default]
+    Normal,
+    /// One pass of a sequential stream (record-queue scans, bulkload
+    /// appends): cache at cold priority, never promote past one
+    /// reference bit.
+    Scan,
 }
 
 struct Frame {
@@ -70,6 +106,11 @@ struct PoolState {
     resident: Vec<Option<PageId>>,
     last_use: Vec<u64>,
     ref_bit: Vec<bool>,
+    /// Frame belongs to the scan cold set ([`EvictionPolicy::ScanResistant`]
+    /// only; always false under the other policies).
+    cold: Vec<bool>,
+    /// Number of `true` entries in `cold`.
+    cold_count: usize,
     clock_hand: usize,
     tick: u64,
     /// Evicted pages whose dirty image is still being written back (the
@@ -86,6 +127,9 @@ pub struct BufferManager {
     /// Signalled whenever an entry leaves `io_in_flight`.
     io_done: Condvar,
     policy: EvictionPolicy,
+    /// Largest number of frames scan-hinted pages may occupy at once
+    /// (`frame_count / 8`, at least 2) under `ScanResistant`.
+    cold_cap: usize,
     stats: Arc<IoStats>,
     /// When attached, the WAL rule is enforced: the log is made durable
     /// before any dirty frame is written back (steal or flush).
@@ -121,6 +165,8 @@ impl BufferManager {
                     resident: vec![None; frame_count],
                     last_use: vec![0; frame_count],
                     ref_bit: vec![false; frame_count],
+                    cold: vec![false; frame_count],
+                    cold_count: 0,
                     clock_hand: 0,
                     tick: 0,
                     io_in_flight: HashSet::new(),
@@ -128,6 +174,7 @@ impl BufferManager {
             ),
             io_done: Condvar::new(),
             policy,
+            cold_cap: (frame_count / 8).max(2).min(frame_count),
             stats,
             wal: std::sync::OnceLock::new(),
         }
@@ -181,14 +228,46 @@ impl BufferManager {
         &self.backend
     }
 
-    fn touch(&self, st: &mut PoolState, frame: usize) {
+    /// Flips a frame's cold-set membership, keeping the count in sync.
+    fn set_cold(&self, st: &mut PoolState, frame: usize, cold: bool) {
+        if st.cold[frame] != cold {
+            st.cold[frame] = cold;
+            if cold {
+                st.cold_count += 1;
+            } else {
+                st.cold_count -= 1;
+            }
+        }
+    }
+
+    fn touch(&self, st: &mut PoolState, frame: usize, hint: AccessHint) {
         st.tick += 1;
         let tick = st.tick;
         st.last_use[frame] = tick;
+        // A scan reference grants at most this one bit; a normal reference
+        // additionally promotes a cold page into the working set.
         st.ref_bit[frame] = true;
+        if hint == AccessHint::Normal {
+            self.set_cold(st, frame, false);
+        }
     }
 
-    fn find_victim(&self, st: &mut PoolState) -> StorageResult<usize> {
+    /// Publishes replacement state for a freshly loaded frame. Under
+    /// `ScanResistant`, a scan-hinted load enters the cold set *without* a
+    /// reference bit — the load itself is not a reference, so an
+    /// unclaimed prefetched page is the first thing recycled.
+    fn install(&self, st: &mut PoolState, frame: usize, hint: AccessHint) {
+        if self.policy == EvictionPolicy::ScanResistant && hint == AccessHint::Scan {
+            st.tick += 1;
+            st.last_use[frame] = st.tick;
+            st.ref_bit[frame] = false;
+            self.set_cold(st, frame, true);
+        } else {
+            self.touch(st, frame, hint);
+        }
+    }
+
+    fn find_victim(&self, st: &mut PoolState, hint: AccessHint) -> StorageResult<usize> {
         // Prefer an unused frame. The pin-count check matters: a frame
         // mid-install (reserved, I/O in flight) has no resident page but
         // must not be handed out again.
@@ -228,6 +307,53 @@ impl BufferManager {
                 }
                 Err(StorageError::BufferExhausted)
             }
+            EvictionPolicy::ScanResistant => {
+                let n = self.frames.len();
+                if hint == AccessHint::Scan {
+                    // A scan miss recycles *within the cold set* whenever
+                    // it can: a cold-only second-chance sweep that leaves
+                    // hot frames' reference bits untouched (a global sweep
+                    // here would let a long scan strip the working set's
+                    // bits one miss at a time). Only when every cold frame
+                    // is pinned — concurrent scans, prefetch claims — may
+                    // the scan grow the set, and only up to the cap.
+                    for _ in 0..2 * n {
+                        let i = st.clock_hand;
+                        st.clock_hand = (st.clock_hand + 1) % n;
+                        if !st.cold[i] || self.frames[i].pin_count.load(Ordering::Acquire) != 0 {
+                            continue;
+                        }
+                        if st.ref_bit[i] {
+                            st.ref_bit[i] = false;
+                        } else {
+                            return Ok(i);
+                        }
+                    }
+                    if st.cold_count >= self.cold_cap {
+                        // The allowance is exhausted and all of it is in
+                        // use: wait (patience loop) rather than touch the
+                        // working set — the bounded-eviction guarantee.
+                        return Err(StorageError::BufferExhausted);
+                    }
+                }
+                // Normal misses, and scan misses still growing their
+                // allowance: global second-chance sweep. Cold frames carry
+                // at most one reference bit, so the sweep reclaims them
+                // ahead of the working set.
+                for _ in 0..2 * n {
+                    let i = st.clock_hand;
+                    st.clock_hand = (st.clock_hand + 1) % n;
+                    if self.frames[i].pin_count.load(Ordering::Acquire) != 0 {
+                        continue;
+                    }
+                    if st.ref_bit[i] {
+                        st.ref_bit[i] = false;
+                    } else {
+                        return Ok(i);
+                    }
+                }
+                Err(StorageError::BufferExhausted)
+            }
         }
     }
 
@@ -250,7 +376,13 @@ impl BufferManager {
         Ok(())
     }
 
-    fn pin_inner(&self, page: PageId, load_from_disk: bool) -> StorageResult<PinnedPage> {
+    fn pin_inner(
+        &self,
+        page: PageId,
+        load_from_disk: bool,
+        hint: AccessHint,
+    ) -> StorageResult<PinnedPage> {
+        let scan = hint == AccessHint::Scan;
         let mut st = self.state.lock();
         // Bounded patience for the all-frames-pinned case below: pins are
         // short-lived (a guard over one record operation), so a brief
@@ -259,9 +391,9 @@ impl BufferManager {
         let mut patience = 64u32;
         let frame = loop {
             if let Some(&frame) = st.table.get(&page) {
-                self.stats.add_hit();
+                self.stats.add_hit(scan);
                 self.frames[frame].pin_count.fetch_add(1, Ordering::AcqRel);
-                self.touch(&mut st, frame);
+                self.touch(&mut st, frame, hint);
                 return Ok(PinnedPage {
                     frame: Arc::clone(&self.frames[frame]),
                     page,
@@ -275,7 +407,7 @@ impl BufferManager {
                 st = self.io_done.wait(st);
                 continue;
             }
-            match self.find_victim(&mut st) {
+            match self.find_victim(&mut st, hint) {
                 Ok(f) => break f,
                 // No evictable frame right now. With many threads missing
                 // concurrently this is usually *transient*: frames reserved
@@ -301,7 +433,7 @@ impl BufferManager {
                 }
             }
         };
-        self.stats.add_miss();
+        self.stats.add_miss(scan);
         // Reserve the frame under the lock: the nonzero pin count keeps it
         // from being re-victimised while the I/O below runs without the
         // lock. The page→frame mapping is NOT published yet — a mapping
@@ -316,11 +448,19 @@ impl BufferManager {
         // mutating the dirty flag concurrently.
         let dirty_old = old.is_some() && self.frames[frame].dirty.load(Ordering::Acquire);
         if let Some(old_page) = old {
+            self.stats.add_eviction(scan);
             st.table.remove(&old_page);
             if dirty_old {
                 st.io_in_flight.insert(old_page);
             }
         }
+        // Pre-charge cold-set membership while the load is in flight: a
+        // scan-claimed frame counts against the cap *immediately*, so
+        // concurrent scan misses cannot slip past it and evict working-set
+        // frames beyond the bound. `install` re-asserts the same state on
+        // publish; the error paths below undo it.
+        let enter_cold = scan && self.policy == EvictionPolicy::ScanResistant;
+        self.set_cold(&mut st, frame, enter_cold);
         if !dirty_old {
             // A frame retired by `discard` while its page was dirty keeps
             // the stale flag; clear it so the new tenant starts clean.
@@ -360,6 +500,7 @@ impl BufferManager {
                 st.io_in_flight.remove(&page);
                 st.resident[frame] = Some(old_page);
                 st.table.insert(old_page, frame);
+                self.set_cold(&mut st, frame, false);
                 drop(st);
                 self.io_done.notify_all();
                 self.frames[frame].pin_count.fetch_sub(1, Ordering::AcqRel);
@@ -379,9 +520,14 @@ impl BufferManager {
         let result = if load_from_disk {
             #[cfg(feature = "lockdep")]
             let _io = parking_lot::lockdep::io_region("buffer.read-page");
-            self.backend
-                .read_page(page, data.bytes_mut())
-                .map(|()| self.stats.add_read())
+            // The elapsed read time feeds the miss-latency EWMA the query
+            // planner calibrates its per-page cost constant from.
+            let t0 = std::time::Instant::now();
+            self.backend.read_page(page, data.bytes_mut()).map(|()| {
+                self.stats
+                    .record_miss_latency(t0.elapsed().as_nanos() as u64);
+                self.stats.add_read()
+            })
         } else {
             data.clear();
             self.frames[frame].dirty.store(true, Ordering::Release);
@@ -395,13 +541,18 @@ impl BufferManager {
             Ok(()) => {
                 st.resident[frame] = Some(page);
                 st.table.insert(page, frame);
-                self.touch(&mut st, frame);
+                self.install(&mut st, frame, hint);
                 Ok(PinnedPage {
                     frame: Arc::clone(&self.frames[frame]),
                     page,
                 })
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                // The frame stays unmapped; release its pre-charged
+                // cold-set slot along with it.
+                self.set_cold(&mut st, frame, false);
+                Err(e)
+            }
         };
         drop(st);
         self.io_done.notify_all();
@@ -416,14 +567,114 @@ impl BufferManager {
 
     /// Pins `page` for access, reading it from disk on a miss.
     pub fn pin(&self, page: PageId) -> StorageResult<PinnedPage> {
-        self.pin_inner(page, true)
+        self.pin_inner(page, true, AccessHint::Normal)
+    }
+
+    /// [`pin`](Self::pin) under an explicit replacement hint.
+    pub fn pin_hinted(&self, page: PageId, hint: AccessHint) -> StorageResult<PinnedPage> {
+        self.pin_inner(page, true, hint)
     }
 
     /// Pins a freshly allocated page *without* reading it from disk: the
     /// frame is zeroed and marked dirty. The caller must have allocated the
     /// page id (see [`crate::segment::StorageManager`]).
     pub fn pin_new(&self, page: PageId) -> StorageResult<PinnedPage> {
-        self.pin_inner(page, false)
+        self.pin_inner(page, false, AccessHint::Normal)
+    }
+
+    /// [`pin_new`](Self::pin_new) under an explicit replacement hint
+    /// (bulkload append streams pass [`AccessHint::Scan`]: freshly
+    /// written pages of a one-pass load are not a working set).
+    pub fn pin_new_hinted(&self, page: PageId, hint: AccessHint) -> StorageResult<PinnedPage> {
+        self.pin_inner(page, false, hint)
+    }
+
+    /// Best-effort batched read-ahead of `pages`, without returning pins.
+    ///
+    /// Pages already resident or already in flight are skipped. Each
+    /// remaining page claims a victim frame under scan priority; the
+    /// claim stops early (prefetch is advisory, never an error) when the
+    /// pool has no victim or only a *dirty* one — read-ahead must never
+    /// add a foreground write-back. Claimed pages are marked in-flight,
+    /// so a demand pin racing the prefetch coalesces on the shared
+    /// condvar instead of re-reading; the batch itself goes through
+    /// [`DiskBackend::read_pages`] outside the pool mutex. Returns the
+    /// number of pages read. On a read error nothing is published: the
+    /// claimed frames return to the pool free, and the error is reported
+    /// (callers treat it as advisory — the demand read will surface it).
+    pub fn prefetch(&self, pages: &[PageId]) -> StorageResult<usize> {
+        let mut claims: Vec<(PageId, usize)> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            for &page in pages {
+                if st.table.contains_key(&page)
+                    || st.io_in_flight.contains(&page)
+                    || claims.iter().any(|&(p, _)| p == page)
+                {
+                    continue;
+                }
+                let Ok(frame) = self.find_victim(&mut st, AccessHint::Scan) else {
+                    break;
+                };
+                if st.resident[frame].is_some() && self.frames[frame].dirty.load(Ordering::Acquire)
+                {
+                    break;
+                }
+                // Reserve exactly like a demand miss: pin count up,
+                // mapping unpublished, page marked in-flight, cold-set
+                // membership pre-charged against the scan cap.
+                self.frames[frame].pin_count.fetch_add(1, Ordering::AcqRel);
+                if let Some(old) = st.resident[frame].take() {
+                    self.stats.add_eviction(true);
+                    st.table.remove(&old);
+                }
+                self.set_cold(&mut st, frame, self.policy == EvictionPolicy::ScanResistant);
+                self.frames[frame].dirty.store(false, Ordering::Release);
+                st.io_in_flight.insert(page);
+                claims.push((page, frame));
+            }
+        }
+        if claims.is_empty() {
+            return Ok(0);
+        }
+
+        // The batched read, outside the pool mutex. The claimed frames are
+        // reserved and unmapped, so their content locks are uncontended
+        // (same invariant as a demand miss).
+        let mut guards: Vec<RwLockWriteGuard<'_, PageBuf>> = claims
+            .iter()
+            .map(|&(_, frame)| self.frames[frame].data.write())
+            .collect();
+        let result = {
+            #[cfg(feature = "lockdep")]
+            let _io = parking_lot::lockdep::io_region("buffer.prefetch");
+            let mut reqs: Vec<(PageId, &mut [u8])> = claims
+                .iter()
+                .zip(guards.iter_mut())
+                .map(|(&(page, _), guard)| (page, guard.bytes_mut()))
+                .collect();
+            self.backend.read_pages(&mut reqs)
+        };
+        drop(guards);
+
+        let mut st = self.state.lock();
+        for &(page, frame) in &claims {
+            st.io_in_flight.remove(&page);
+            if result.is_ok() {
+                st.resident[frame] = Some(page);
+                st.table.insert(page, frame);
+                self.install(&mut st, frame, AccessHint::Scan);
+            } else {
+                self.set_cold(&mut st, frame, false);
+            }
+            self.frames[frame].pin_count.fetch_sub(1, Ordering::AcqRel);
+        }
+        drop(st);
+        self.io_done.notify_all();
+        result.map(|()| {
+            self.stats.add_reads(claims.len() as u64);
+            claims.len()
+        })
     }
 
     /// Writes back every dirty frame (pages stay resident).
@@ -459,6 +710,8 @@ impl BufferManager {
         st.resident.iter_mut().for_each(|r| *r = None);
         st.last_use.iter_mut().for_each(|t| *t = 0);
         st.ref_bit.iter_mut().for_each(|b| *b = false);
+        st.cold.iter_mut().for_each(|c| *c = false);
+        st.cold_count = 0;
         Ok(())
     }
 
@@ -480,6 +733,7 @@ impl BufferManager {
             self.frames[frame].dirty.store(false, Ordering::Release);
             st.table.remove(&page);
             st.resident[frame] = None;
+            self.set_cold(&mut st, frame, false);
             // If pinned, the nonzero pin count keeps `find_victim` away
             // until the last holder unpins; nothing else to do.
         }
@@ -536,7 +790,7 @@ mod tests {
     fn pool(frames: usize, policy: EvictionPolicy) -> (Arc<BufferManager>, Arc<IoStats>) {
         let stats = IoStats::new_shared();
         let backend = Arc::new(MemStorage::new(512).unwrap());
-        backend.grow(64).unwrap();
+        backend.grow(256).unwrap();
         let bm = Arc::new(BufferManager::new(
             backend,
             frames,
@@ -881,6 +1135,183 @@ mod tests {
             stats.snapshot().physical_writes,
             writes_after_seed,
             "read-only storm wrote pages back"
+        );
+    }
+
+    #[test]
+    fn scan_hints_cannot_evict_beyond_the_cold_cap() {
+        // 16 frames → cold cap 2. Fill the pool with a normal-hinted
+        // working set, then stream 64 scan-hinted pages through: the scan
+        // must recycle within its 2-frame allowance, so at most 2 of the
+        // 16 working-set pages may be displaced, no matter how long the
+        // scan runs.
+        let (bm, stats) = pool(16, EvictionPolicy::ScanResistant);
+        for p in 0..16u32 {
+            drop(bm.pin(p).unwrap());
+        }
+        let before = stats.snapshot();
+        for p in 100..164u32 {
+            let g = bm.pin_hinted(p, AccessHint::Scan).unwrap();
+            let _ = g.read().bytes()[0];
+        }
+        let st = bm.state.lock();
+        let survivors = (0..16u32).filter(|p| st.table.contains_key(p)).count();
+        drop(st);
+        assert!(
+            survivors >= 14,
+            "scan displaced {} working-set pages; the cold cap allows 2",
+            16 - survivors
+        );
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.scan_misses, 64);
+        assert_eq!(delta.scan_hits, 0);
+        assert_eq!(
+            delta.normal_evictions, 0,
+            "only the scan evicted during the stream"
+        );
+    }
+
+    #[test]
+    fn normal_hit_promotes_a_scanned_page_out_of_the_cold_set() {
+        let (bm, _) = pool(16, EvictionPolicy::ScanResistant);
+        for p in 0..14u32 {
+            drop(bm.pin(p).unwrap());
+        }
+        // Page 40 arrives via scan (cold), then a point access adopts it.
+        drop(bm.pin_hinted(40, AccessHint::Scan).unwrap());
+        drop(bm.pin(40).unwrap());
+        // A long scan stream may recycle the cold allowance freely, but
+        // the promoted page is working set now and must survive.
+        for p in 100..150u32 {
+            drop(bm.pin_hinted(p, AccessHint::Scan).unwrap());
+        }
+        let st = bm.state.lock();
+        assert!(st.table.contains_key(&40), "promoted page was evicted");
+    }
+
+    #[test]
+    fn lru_ignores_scan_hints_and_flushes_the_working_set() {
+        // The ablation baseline the scan_cache bench measures against:
+        // under plain LRU the same scan stream displaces everything.
+        let (bm, _) = pool(8, EvictionPolicy::Lru);
+        for p in 0..8u32 {
+            drop(bm.pin(p).unwrap());
+        }
+        for p in 100..132u32 {
+            drop(bm.pin_hinted(p, AccessHint::Scan).unwrap());
+        }
+        let st = bm.state.lock();
+        let survivors = (0..8u32).filter(|p| st.table.contains_key(p)).count();
+        assert_eq!(survivors, 0, "LRU kept {survivors} pages under a scan");
+    }
+
+    #[test]
+    fn prefetch_loads_pages_and_demand_pins_hit() {
+        let (bm, stats) = pool(8, EvictionPolicy::Lru);
+        assert_eq!(bm.prefetch(&[3, 4, 5]).unwrap(), 3);
+        let before = stats.snapshot();
+        for p in 3..6u32 {
+            drop(bm.pin(p).unwrap());
+        }
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.buffer_hits, 3, "prefetched pages must hit");
+        assert_eq!(delta.physical_reads, 0);
+        // Resident and in-flight pages are skipped: nothing re-read.
+        assert_eq!(bm.prefetch(&[3, 4, 5]).unwrap(), 0);
+    }
+
+    #[test]
+    fn prefetch_skips_dirty_victims_and_stays_write_free() {
+        // A 2-frame pool whose every frame is dirty: prefetch must give
+        // up rather than write anything back.
+        let (bm, stats) = pool(2, EvictionPolicy::Lru);
+        for p in 0..2u32 {
+            let g = bm.pin(p).unwrap();
+            g.write().bytes_mut()[0] = 1;
+        }
+        assert_eq!(bm.prefetch(&[10, 11]).unwrap(), 0);
+        assert_eq!(stats.snapshot().physical_writes, 0);
+    }
+
+    #[test]
+    fn prefetch_under_scan_resistance_respects_the_cold_cap() {
+        let (bm, _) = pool(16, EvictionPolicy::ScanResistant);
+        for p in 0..16u32 {
+            drop(bm.pin(p).unwrap());
+        }
+        // Read-ahead of a whole "document": only the cold allowance may
+        // be claimed, the working set stays resident.
+        let want: Vec<PageId> = (100..140).collect();
+        let got = bm.prefetch(&want).unwrap();
+        assert!(got <= 2, "prefetch claimed {got} frames; cap is 2");
+        let st = bm.state.lock();
+        let survivors = (0..16u32).filter(|p| st.table.contains_key(p)).count();
+        assert!(survivors >= 14);
+    }
+
+    #[test]
+    fn concurrent_scan_and_point_pins_keep_the_working_set_resident() {
+        // The scan_cache bench's workload in miniature, as a correctness
+        // stress: one thread streams scan-hinted misses while others
+        // hammer a small hot set with normal pins. Every access must
+        // return the right bytes, and the hot set must stay resident.
+        let stats = IoStats::new_shared();
+        let backend = Arc::new(MemStorage::new(512).unwrap());
+        backend.grow(256).unwrap();
+        let bm = Arc::new(BufferManager::new(
+            backend,
+            32,
+            EvictionPolicy::ScanResistant,
+            stats,
+        ));
+        for p in 0..256u32 {
+            let g = bm.pin(p).unwrap();
+            g.write().bytes_mut()[0] = p as u8;
+        }
+        bm.flush_all().unwrap();
+        bm.clear().unwrap();
+        let hot: Vec<PageId> = (0..8).collect();
+        for &p in &hot {
+            drop(bm.pin(p).unwrap());
+        }
+        let scanner = {
+            let bm = Arc::clone(&bm);
+            std::thread::spawn(move || {
+                for pass in 0..4 {
+                    for p in 8..256u32 {
+                        let g = bm.pin_hinted(p, AccessHint::Scan).unwrap();
+                        assert_eq!(g.read().bytes()[0], p as u8, "pass {pass}");
+                    }
+                }
+            })
+        };
+        let mut pointers = Vec::new();
+        for t in 0..2u32 {
+            let bm = Arc::clone(&bm);
+            let hot = hot.clone();
+            pointers.push(std::thread::spawn(move || {
+                let mut x = 0xBEEF ^ t;
+                for _ in 0..4_000 {
+                    x ^= x << 13;
+                    x ^= x >> 17;
+                    x ^= x << 5;
+                    let p = hot[(x as usize) % hot.len()];
+                    let g = bm.pin(p).unwrap();
+                    assert_eq!(g.read().bytes()[0], p as u8);
+                }
+            }));
+        }
+        scanner.join().unwrap();
+        for h in pointers {
+            h.join().unwrap();
+        }
+        // After the storm the hot set is still resident: point misses
+        // stay bounded by the cold allowance, not the scan volume.
+        let st = bm.state.lock();
+        let survivors = hot.iter().filter(|p| st.table.contains_key(p)).count();
+        assert!(
+            survivors >= hot.len() - 4,
+            "hot set flushed by scan: {survivors}/8 resident"
         );
     }
 

@@ -41,7 +41,7 @@ pub mod slotted;
 pub mod stats;
 pub mod wal;
 
-pub use buffer::{BufferManager, EvictionPolicy, PinnedPage};
+pub use buffer::{AccessHint, BufferManager, EvictionPolicy, PinnedPage};
 pub use disk::{DiskBackend, FaultControl, FaultDisk, FileStorage, MemStorage, ThrottledDisk};
 pub use error::{StorageError, StorageResult};
 pub use page::{PageBuf, PageKind, PAGE_HEADER_SIZE};

@@ -26,7 +26,7 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
-use crate::buffer::{BufferManager, PinnedPage};
+use crate::buffer::{AccessHint, BufferManager, PinnedPage};
 use crate::error::{StorageError, StorageResult};
 use crate::freespace::FreeSpaceInventory;
 use crate::page::{PageKind, PAGE_HEADER_SIZE};
@@ -38,7 +38,13 @@ use crate::wal::{SegmentSnapshot, StoreSnapshot, Wal, WalRecord, NO_ALLOC_SEGMEN
 pub type SegmentId = u16;
 
 const MAGIC: &[u8; 8] = b"NATIXSTO";
-const VERSION: u32 = 1;
+/// On-disk format version. Version 2 adds proxy label digests: child-record
+/// proxies may carry the child root's label in their type-table entry.
+/// Version-1 stores (whose proxies all decode as `LABEL_NONE`, the
+/// "must read" digest sentinel) stay readable — see `MIN_VERSION`.
+const VERSION: u32 = 2;
+/// Oldest on-disk format this build still opens.
+const MIN_VERSION: u32 = 1;
 
 // Header page layout (after the common 16-byte page header).
 const OFF_MAGIC: usize = 16;
@@ -137,8 +143,12 @@ impl StorageManager {
             {
                 return Err(StorageError::Corrupt("missing NATIX header".into()));
             }
-            if page.read_u32(OFF_VERSION) != VERSION {
-                return Err(StorageError::Corrupt("unsupported version".into()));
+            let version = page.read_u32(OFF_VERSION);
+            if !(MIN_VERSION..=VERSION).contains(&version) {
+                return Err(StorageError::Corrupt(format!(
+                    "unsupported format version {version} (supported: \
+                     {MIN_VERSION}..={VERSION})"
+                )));
             }
             let stored_ps = page.read_u32(OFF_PAGE_SIZE) as usize;
             if stored_ps != buffer.page_size() {
@@ -334,6 +344,18 @@ impl StorageManager {
     /// Allocates and formats a page for `segment`. Slotted pages enter the
     /// segment's free-space inventory immediately.
     pub fn allocate_page(&self, segment: SegmentId, kind: PageKind) -> StorageResult<PageId> {
+        self.allocate_page_hinted(segment, kind, AccessHint::Normal)
+    }
+
+    /// [`allocate_page`](Self::allocate_page) under a buffer-replacement
+    /// hint: bulkload append streams pass [`AccessHint::Scan`] so the
+    /// pages they fill once enter the pool at cold priority.
+    pub fn allocate_page_hinted(
+        &self,
+        segment: SegmentId,
+        kind: PageKind,
+        hint: AccessHint,
+    ) -> StorageResult<PageId> {
         let page = {
             let mut st = self.state.lock();
             if segment as usize >= st.segments.len() {
@@ -347,7 +369,7 @@ impl StorageManager {
         // writer's I/O stall. The page id is not published anywhere until
         // the FSI entry below, so no other thread can reach it yet.
         let free = {
-            let pin = self.buffer.pin_new(page)?;
+            let pin = self.buffer.pin_new_hinted(page, hint)?;
             let mut buf = pin.write();
             if kind == PageKind::Slotted {
                 SlottedPage::format(&mut buf);
@@ -384,6 +406,19 @@ impl StorageManager {
     /// Pins a page for direct access (tree storage manager, B+-tree).
     pub fn pin(&self, page: PageId) -> StorageResult<PinnedPage> {
         self.buffer.pin(page)
+    }
+
+    /// Pins a page for direct access under a replacement hint — scans and
+    /// bulkload append streams pass [`AccessHint::Scan`] so their one-shot
+    /// pages do not displace the point-access working set.
+    pub fn pin_hinted(&self, page: PageId, hint: AccessHint) -> StorageResult<PinnedPage> {
+        self.buffer.pin_hinted(page, hint)
+    }
+
+    /// Best-effort read-ahead: see [`BufferManager::prefetch`]. Returns
+    /// the number of pages actually read.
+    pub fn prefetch(&self, pages: &[PageId]) -> StorageResult<usize> {
+        self.buffer.prefetch(pages)
     }
 
     /// Updates the cached free-space value for a slotted page. `segment`
@@ -1137,6 +1172,54 @@ mod tests {
             .insert_record(seg, &[9u8; 16], PlacementHint::Anywhere)
             .unwrap();
         assert!(rids.iter().any(|old| old.page == r.page));
+    }
+
+    /// Old-format fixture: a version-1 image (written before proxy label
+    /// digests existed) must still open — digest-less proxies decode as
+    /// the "must read" sentinel upstream. Versions outside
+    /// `MIN_VERSION..=VERSION` must be rejected.
+    #[test]
+    fn version_1_stores_open_and_future_versions_are_rejected() {
+        use crate::disk::DiskBackend;
+        let backend = Arc::new(MemStorage::new(1024).unwrap());
+        let stats = IoStats::new_shared();
+        let bm = Arc::new(BufferManager::new(
+            Arc::clone(&backend) as Arc<dyn DiskBackend>,
+            16,
+            EvictionPolicy::Lru,
+            Arc::clone(&stats),
+        ));
+        let sm = StorageManager::create(Arc::clone(&bm)).unwrap();
+        let seg = sm.create_segment("docs").unwrap();
+        let rid = sm
+            .insert_record(seg, b"pre-digest payload", PlacementHint::Anywhere)
+            .unwrap();
+        sm.checkpoint().unwrap();
+        drop(sm);
+
+        let reopen_with_version = |version: u32| {
+            bm.clear().unwrap();
+            let mut hdr = vec![0u8; 1024];
+            backend.read_page(0, &mut hdr).unwrap();
+            hdr[OFF_VERSION..OFF_VERSION + 4].copy_from_slice(&version.to_le_bytes());
+            backend.write_page(0, &hdr).unwrap();
+            bm.clear().unwrap();
+            StorageManager::open(Arc::clone(&bm))
+        };
+
+        let sm = reopen_with_version(1).expect("version-1 image must open");
+        assert_eq!(sm.read_record(rid).unwrap(), b"pre-digest payload");
+        drop(sm);
+
+        for bad in [0u32, VERSION + 1] {
+            let Err(err) = reopen_with_version(bad) else {
+                panic!("version {bad} must be rejected");
+            };
+            assert!(
+                err.to_string().contains("unsupported format version"),
+                "unexpected error for version {bad}: {err}"
+            );
+        }
     }
 
     #[test]

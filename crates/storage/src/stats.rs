@@ -19,10 +19,24 @@ pub struct IoStats {
     pub buffer_hits: AtomicU64,
     /// Buffer pool misses (each implies a physical read).
     pub buffer_misses: AtomicU64,
+    /// Buffer hits taken through a scan-hinted pin
+    /// ([`crate::buffer::AccessHint::Scan`]); a subset of `buffer_hits`.
+    pub scan_hits: AtomicU64,
+    /// Buffer misses on scan-hinted pins; a subset of `buffer_misses`.
+    pub scan_misses: AtomicU64,
+    /// Resident pages displaced to serve a scan-hinted miss (including
+    /// prefetch claims).
+    pub scan_evictions: AtomicU64,
+    /// Resident pages displaced to serve a normal (point-access) miss.
+    pub normal_evictions: AtomicU64,
     /// Simulated elapsed disk time in nanoseconds (filled by [`crate::SimDisk`]).
     pub sim_disk_ns: AtomicU64,
     /// Seeks charged by the simulated disk (non-sequential accesses).
     pub sim_seeks: AtomicU64,
+    /// EWMA (α = ⅛) of the demand-miss read service time in nanoseconds —
+    /// the measured cost of one buffer-pool miss, fed to the query
+    /// planner's per-page cost constant. A gauge, not a counter.
+    miss_latency_ewma_ns: AtomicU64,
 }
 
 impl IoStats {
@@ -37,8 +51,13 @@ impl IoStats {
         self.physical_writes.store(0, Ordering::Relaxed);
         self.buffer_hits.store(0, Ordering::Relaxed);
         self.buffer_misses.store(0, Ordering::Relaxed);
+        self.scan_hits.store(0, Ordering::Relaxed);
+        self.scan_misses.store(0, Ordering::Relaxed);
+        self.scan_evictions.store(0, Ordering::Relaxed);
+        self.normal_evictions.store(0, Ordering::Relaxed);
         self.sim_disk_ns.store(0, Ordering::Relaxed);
         self.sim_seeks.store(0, Ordering::Relaxed);
+        self.miss_latency_ewma_ns.store(0, Ordering::Relaxed);
     }
 
     /// Takes a consistent-enough snapshot for reporting.
@@ -48,25 +67,63 @@ impl IoStats {
             physical_writes: self.physical_writes.load(Ordering::Relaxed),
             buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
             buffer_misses: self.buffer_misses.load(Ordering::Relaxed),
+            scan_hits: self.scan_hits.load(Ordering::Relaxed),
+            scan_misses: self.scan_misses.load(Ordering::Relaxed),
+            scan_evictions: self.scan_evictions.load(Ordering::Relaxed),
+            normal_evictions: self.normal_evictions.load(Ordering::Relaxed),
             sim_disk_ns: self.sim_disk_ns.load(Ordering::Relaxed),
             sim_seeks: self.sim_seeks.load(Ordering::Relaxed),
+            miss_latency_ns: self.miss_latency_ewma_ns.load(Ordering::Relaxed),
         }
+    }
+
+    /// Smoothed demand-miss read service time in nanoseconds; `0` until
+    /// the first miss has been measured.
+    pub fn miss_latency_ns(&self) -> u64 {
+        self.miss_latency_ewma_ns.load(Ordering::Relaxed)
+    }
+
+    /// Folds one measured miss service time into the EWMA. The
+    /// read-modify-write is racy by design: the value is a smoothed gauge
+    /// and a lost update moves it by at most one sample's α-share.
+    pub(crate) fn record_miss_latency(&self, ns: u64) {
+        let old = self.miss_latency_ewma_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { ns } else { old - old / 8 + ns / 8 };
+        self.miss_latency_ewma_ns.store(new, Ordering::Relaxed);
     }
 
     pub(crate) fn add_read(&self) {
         self.physical_reads.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_reads(&self, n: u64) {
+        self.physical_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn add_write(&self) {
         self.physical_writes.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn add_hit(&self) {
+    pub(crate) fn add_hit(&self, scan: bool) {
         self.buffer_hits.fetch_add(1, Ordering::Relaxed);
+        if scan {
+            self.scan_hits.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    pub(crate) fn add_miss(&self) {
+    pub(crate) fn add_miss(&self, scan: bool) {
         self.buffer_misses.fetch_add(1, Ordering::Relaxed);
+        if scan {
+            self.scan_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn add_eviction(&self, scan: bool) {
+        if scan {
+            self.scan_evictions.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.normal_evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -77,8 +134,16 @@ pub struct IoSnapshot {
     pub physical_writes: u64,
     pub buffer_hits: u64,
     pub buffer_misses: u64,
+    pub scan_hits: u64,
+    pub scan_misses: u64,
+    pub scan_evictions: u64,
+    pub normal_evictions: u64,
     pub sim_disk_ns: u64,
     pub sim_seeks: u64,
+    /// Smoothed miss service time at snapshot instant (a gauge:
+    /// [`since`](IoSnapshot::since) carries the later value through
+    /// instead of subtracting).
+    pub miss_latency_ns: u64,
 }
 
 impl IoSnapshot {
@@ -94,8 +159,13 @@ impl IoSnapshot {
             physical_writes: self.physical_writes - earlier.physical_writes,
             buffer_hits: self.buffer_hits - earlier.buffer_hits,
             buffer_misses: self.buffer_misses - earlier.buffer_misses,
+            scan_hits: self.scan_hits - earlier.scan_hits,
+            scan_misses: self.scan_misses - earlier.scan_misses,
+            scan_evictions: self.scan_evictions - earlier.scan_evictions,
+            normal_evictions: self.normal_evictions - earlier.normal_evictions,
             sim_disk_ns: self.sim_disk_ns - earlier.sim_disk_ns,
             sim_seeks: self.sim_seeks - earlier.sim_seeks,
+            miss_latency_ns: self.miss_latency_ns,
         }
     }
 }
@@ -110,15 +180,38 @@ mod tests {
         s.add_read();
         s.add_read();
         s.add_write();
-        s.add_hit();
-        s.add_miss();
+        s.add_hit(false);
+        s.add_miss(true);
+        s.add_eviction(true);
         let snap = s.snapshot();
         assert_eq!(snap.physical_reads, 2);
         assert_eq!(snap.physical_writes, 1);
         assert_eq!(snap.buffer_hits, 1);
         assert_eq!(snap.buffer_misses, 1);
+        assert_eq!(snap.scan_hits, 0);
+        assert_eq!(snap.scan_misses, 1);
+        assert_eq!(snap.scan_evictions, 1);
+        assert_eq!(snap.normal_evictions, 0);
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn miss_latency_ewma_smooths() {
+        let s = IoStats::new_shared();
+        assert_eq!(s.miss_latency_ns(), 0);
+        s.record_miss_latency(8_000);
+        assert_eq!(s.miss_latency_ns(), 8_000, "first sample adopted whole");
+        s.record_miss_latency(16_000);
+        let after = s.miss_latency_ns();
+        assert!(
+            after > 8_000 && after < 16_000,
+            "EWMA moves toward the sample: {after}"
+        );
+        // A gauge, not a counter: `since` carries the value through.
+        let a = s.snapshot();
+        let b = s.snapshot();
+        assert_eq!(b.since(&a).miss_latency_ns, after);
     }
 
     #[test]

@@ -65,6 +65,26 @@ fn page_read_rejects_held_upper_layer_lock() {
 }
 
 #[test]
+fn prefetch_rejects_held_upper_layer_lock() {
+    let bm = pool(4);
+    for p in 0..3 {
+        dirty_page(&bm, p);
+    }
+    bm.flush_all().unwrap();
+    bm.clear().unwrap();
+    let held = Mutex::with_rank(&UPPER, ());
+    let guard = held.lock();
+    let err = catch_unwind(AssertUnwindSafe(|| bm.prefetch(&[0, 1, 2]).map(|_| ()))).unwrap_err();
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic carries a formatted message");
+    assert!(msg.contains("I/O region 'buffer.prefetch'"), "{msg}");
+    assert!(msg.contains("test.upper-layer"), "{msg}");
+    drop(guard);
+}
+
+#[test]
 fn io_tolerant_holders_pass() {
     let bm = pool(4);
     dirty_page(&bm, 0);
@@ -75,5 +95,7 @@ fn io_tolerant_holders_pass() {
     let pin = bm.pin(0).unwrap();
     assert_eq!(pin.read().bytes()[0], 0xA5);
     drop(pin);
+    bm.clear().unwrap();
+    bm.prefetch(&[0]).unwrap();
     drop(guard);
 }

@@ -323,8 +323,9 @@ impl<'s> BulkLoader<'s> {
             // the designated record.
             let child = RecordTree::new(label, PContent::Literal(value), Rid::invalid());
             let rid = self.write_record(&child)?;
+            let digest = self.store.proxy_digest(&child);
             let tree = self.cur.as_mut().expect("ensured above");
-            let proxy = tree.alloc(LABEL_NONE, PContent::Proxy(rid));
+            let proxy = tree.alloc(digest, PContent::Proxy(rid));
             let at = tree.children(parent).len();
             tree.attach(parent, at, proxy);
             self.cur_size += EMBEDDED_HEADER + PROXY_BODY;
@@ -421,8 +422,9 @@ impl<'s> BulkLoader<'s> {
             let tree = self.cur.as_mut().expect("spine was non-empty");
             let child = RecordTree::from_transplant(tree, closed);
             let rid = self.write_record(&child)?;
+            let digest = self.store.proxy_digest(&child);
             let tree = self.cur.as_mut().expect("spine was non-empty");
-            let proxy = tree.alloc(LABEL_NONE, PContent::Proxy(rid));
+            let proxy = tree.alloc(digest, PContent::Proxy(rid));
             tree.attach(parent, at, proxy);
             self.cur_size = self.cur_size - sub_size + EMBEDDED_HEADER + PROXY_BODY;
             self.maybe_compact();
@@ -885,8 +887,12 @@ impl<'s> BulkLoader<'s> {
             group
         };
         let rid = self.write_record(&record)?;
+        // Single-subtree runs are facade-rooted: their proxy carries the
+        // label digest. Sibling groups (scaffolding-rooted) stay "must
+        // read".
+        let digest = self.store.proxy_digest(&record);
         let tree = self.cur.as_mut().expect("run was found");
-        let proxy = tree.alloc(LABEL_NONE, PContent::Proxy(rid));
+        let proxy = tree.alloc(digest, PContent::Proxy(rid));
         tree.attach(parent, start, proxy);
         self.cur_size = self.cur_size - bytes + EMBEDDED_HEADER + PROXY_BODY;
         self.maybe_compact();

@@ -91,8 +91,12 @@ pub enum PContent {
 /// One physical node.
 #[derive(Debug, Clone)]
 pub struct PNode {
-    /// Logical label; [`LABEL_NONE`] marks scaffolding aggregates. Proxies
-    /// always carry [`LABEL_NONE`].
+    /// Logical label; [`LABEL_NONE`] marks scaffolding aggregates. A
+    /// proxy's label is a *digest*: the referenced record root's label
+    /// when that root is a facade (so a reader can prune the child
+    /// without loading its page), [`LABEL_NONE`] when the child is
+    /// scaffolding-rooted, the digest is unknown (pre-format-2 records),
+    /// or digests are disabled. A digest never makes a proxy a facade.
     pub label: LabelId,
     pub content: PContent,
     /// Arena index of the parent (`None` for the record root).

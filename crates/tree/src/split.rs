@@ -202,6 +202,7 @@ fn plan_split_inner(
                         &mut partitions,
                         &mut partition_proxies,
                         &mut moved_proxies,
+                        cfg.proxy_digests,
                     );
                 }
             };
@@ -277,6 +278,7 @@ fn flush_run_into(
     partitions: &mut Vec<RecordTree>,
     partition_proxies: &mut Vec<(PNodeId, usize)>,
     moved_proxies: &mut Vec<(Rid, ProxyHome)>,
+    digests: bool,
 ) {
     debug_assert!(!run.is_empty());
     if run.len() == 1 && tree.node(run[0]).is_proxy() {
@@ -306,8 +308,16 @@ fn flush_run_into(
     for rid in partition.proxies_under(partition.root()) {
         moved_proxies.push((rid, ProxyHome::Partition(part_idx)));
     }
+    // Proxy label digest: a facade-rooted partition's root label rides on
+    // the placeholder proxy (the RID is patched in later, the digest is
+    // final now); scaffolding-rooted partitions stay "must read".
+    let digest = if digests && partition.node(partition.root()).is_facade() {
+        partition.node(partition.root()).label
+    } else {
+        LABEL_NONE
+    };
     partitions.push(partition);
-    let proxy = separator.alloc(LABEL_NONE, PContent::Proxy(Rid::invalid()));
+    let proxy = separator.alloc(digest, PContent::Proxy(Rid::invalid()));
     separator.attach(sep_parent, *attach_at, proxy);
     *attach_at += 1;
     partition_proxies.push((proxy, part_idx));

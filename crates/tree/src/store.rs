@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use natix_storage::segment::PlacementHint;
 use natix_storage::slotted::{SlottedPage, SlottedPageRef, SLOT_ENTRY_SIZE};
-use natix_storage::{PageKind, Rid, SegmentId, StorageError, StorageManager};
+use natix_storage::{AccessHint, PageKind, Rid, SegmentId, StorageError, StorageManager};
 use natix_xml::{LabelId, LiteralValue, LABEL_NONE};
 
 use crate::config::TreeConfig;
@@ -120,7 +120,13 @@ pub enum RecordEntry {
     /// ordinary proxies the node is the record root; for continuation
     /// groups it is the prefix entry matching the scan's start level, so
     /// late children of levels *outside* the scanned subtree stay out.
-    ChildRecord(NodePtr),
+    ChildRecord {
+        ptr: NodePtr,
+        /// The proxy's label digest: the child record root's label, or
+        /// [`LABEL_NONE`] when unknown (continuation groups, scaffolding-
+        /// rooted children, digest-less pre-format-2 records).
+        label: LabelId,
+    },
 }
 
 /// Per-operation bookkeeping.
@@ -245,6 +251,15 @@ impl TreeStore {
         &self.sm
     }
 
+    /// Best-effort batched read-ahead of record pages (see
+    /// [`StorageManager::prefetch`]). Pages enter the pool at scan
+    /// priority; already-resident or in-flight pages are skipped. This is
+    /// an I/O region: callers must not hold any non-I/O-tolerant lock
+    /// across it. Returns the number of pages actually read.
+    pub fn prefetch_pages(&self, pages: &[natix_storage::PageId]) -> TreeResult<usize> {
+        Ok(self.sm.prefetch(pages)?)
+    }
+
     /// The segment records live in.
     pub fn segment(&self) -> SegmentId {
         self.segment
@@ -263,6 +278,19 @@ impl TreeStore {
     /// Net page capacity — the split threshold for records.
     pub fn net_capacity(&self) -> usize {
         self.config.net_capacity(self.page_size())
+    }
+
+    /// Digest label for a proxy referencing `child`: the child record
+    /// root's label when that root is a facade (readers can then prune
+    /// the child without loading its page), [`LABEL_NONE`] ("must read")
+    /// for scaffolding-rooted children or with digests disabled.
+    pub(crate) fn proxy_digest(&self, child: &RecordTree) -> LabelId {
+        let root = child.node(child.root());
+        if self.config.proxy_digests && root.is_facade() {
+            root.label
+        } else {
+            LABEL_NONE
+        }
     }
 
     /// Read access to the split matrix.
@@ -294,13 +322,21 @@ impl TreeStore {
     /// Without a pin (and on every writer's own loads) the on-page image
     /// is authoritative.
     pub fn load(&self, rid: Rid) -> TreeResult<RecordTree> {
+        self.load_hinted(rid, AccessHint::Normal)
+    }
+
+    /// [`load`](Self::load) under a buffer-replacement hint: record-queue
+    /// scans pass [`AccessHint::Scan`] so their one-shot pages enter the
+    /// pool at cold priority instead of displacing the point-access
+    /// working set.
+    pub fn load_hinted(&self, rid: Rid, hint: AccessHint) -> TreeResult<RecordTree> {
         let Some(epoch) = self.versions.ambient_read_epoch() else {
-            return self.load_current(rid);
+            return self.load_current_hinted(rid, hint);
         };
         if let Some(v) = self.versions.lookup(rid, epoch) {
             return Ok((*v).clone());
         }
-        let current = self.load_current(rid);
+        let current = self.load_current_hinted(rid, hint);
         // A writer may have superseded `rid` between the lookup above and
         // the page read; the deposit lands in the version store *before*
         // the page bytes change (see `crate::version`), so a second
@@ -314,7 +350,11 @@ impl TreeStore {
 
     /// Loads the on-page image of the record at `rid` (no versioning).
     fn load_current(&self, rid: Rid) -> TreeResult<RecordTree> {
-        let pin = self.sm.pin(rid.page)?;
+        self.load_current_hinted(rid, AccessHint::Normal)
+    }
+
+    fn load_current_hinted(&self, rid: Rid, hint: AccessHint) -> TreeResult<RecordTree> {
+        let pin = self.sm.pin_hinted(rid.page, hint)?;
         let buf = pin.read();
         let sp = SlottedPageRef::open(&buf)?;
         let table = match sp.get(0) {
@@ -447,13 +487,13 @@ impl TreeStore {
                 }
             };
             let Some(page) = candidate else { break };
-            if let Some(rid) = self.try_write_on_page(page, tree, ctx)? {
+            if let Some(rid) = self.try_write_on_page(page, tree, ctx, AccessHint::Normal)? {
                 return Ok(rid);
             }
             tried = Some(page);
         }
         let page = self.sm.allocate_page(self.segment, PageKind::Slotted)?;
-        match self.try_write_on_page(page, tree, ctx)? {
+        match self.try_write_on_page(page, tree, ctx, AccessHint::Normal)? {
             Some(rid) => Ok(rid),
             None => Err(TreeError::Storage(StorageError::RecordTooLarge {
                 len,
@@ -469,8 +509,9 @@ impl TreeStore {
         page: u32,
         tree: &RecordTree,
         ctx: &mut OpCtx,
+        hint: AccessHint,
     ) -> TreeResult<Option<Rid>> {
-        let pin = self.sm.pin(page)?;
+        let pin = self.sm.pin_hinted(page, hint)?;
         let mut buf = pin.write();
         let mut sp = SlottedPage::open(&mut buf)?;
         let had_tt = sp.is_live(0);
@@ -545,15 +586,20 @@ impl TreeStore {
     pub fn append_record(&self, tree: &RecordTree, cursor: &mut AppendCursor) -> TreeResult<Rid> {
         let _op = self.versions.begin_write();
         let mut ctx = OpCtx::default();
+        // Append streams are one-shot writers: their pages enter the
+        // buffer pool at scan (cold) priority so a long bulkload does not
+        // flush the point-access working set.
         let rid = 'placed: {
             if let Some(page) = cursor.page {
-                if let Some(rid) = self.try_write_on_page(page, tree, &mut ctx)? {
+                if let Some(rid) = self.try_write_on_page(page, tree, &mut ctx, AccessHint::Scan)? {
                     break 'placed rid;
                 }
             }
-            let page = self.sm.allocate_page(self.segment, PageKind::Slotted)?;
+            let page =
+                self.sm
+                    .allocate_page_hinted(self.segment, PageKind::Slotted, AccessHint::Scan)?;
             cursor.page = Some(page);
-            match self.try_write_on_page(page, tree, &mut ctx)? {
+            match self.try_write_on_page(page, tree, &mut ctx, AccessHint::Scan)? {
                 Some(rid) => rid,
                 None => {
                     return Err(TreeError::Storage(StorageError::RecordTooLarge {
@@ -1112,6 +1158,34 @@ impl TreeStore {
             node: logical_parent.node,
         })?;
 
+        // A split of the site record splices its separator into ancestor
+        // records, and the splice machinery requires plain (non-packed)
+        // ancestors — lazy normalization deliberately leaves them packed.
+        // When this insert could overflow the site record, demand plain
+        // ancestors all the way up *before any page is written*: the
+        // document layer normalizes the reported cluster and retries, one
+        // level per round, until the chain is plain.
+        let growth = crate::model::EMBEDDED_HEADER
+            + crate::model::PROXY_BODY.max(match &node {
+                NewNode::Element => 0,
+                NewNode::Literal(v) => crate::model::literal_body_len(v),
+            });
+        if site.tree.record_size() + growth > self.net_capacity() {
+            if tree_is_packed(&site.tree) {
+                // An in-place edit of a packed record is only safe while
+                // it cannot split: a split would run the plan/separator
+                // machinery on packed structure. Normalize and retry.
+                return Err(TreeError::PackedRecord(site.rid));
+            }
+            let mut p = site.tree.parent_rid;
+            while !p.is_invalid() {
+                let pt = self.load_current(p)?;
+                if tree_is_packed(&pt) {
+                    return Err(TreeError::PackedRecord(p));
+                }
+                p = pt.parent_rid;
+            }
+        }
         let behaviour = self.matrix.read().get(parent_label, label);
         let mut ctx = OpCtx::default();
         match behaviour {
@@ -1124,7 +1198,9 @@ impl TreeStore {
                 child.node_mut(child.root()).orig = Some(WATCH);
                 let child_rid =
                     self.write_new(&child, PlacementHint::NearPage(site.rid.page), &mut ctx)?;
-                let proxy = site.tree.alloc(LABEL_NONE, PContent::Proxy(child_rid));
+                let proxy = site
+                    .tree
+                    .alloc(self.proxy_digest(&child), PContent::Proxy(child_rid));
                 site.tree.attach(site.parent_node, site.index, proxy);
                 let final_rid = self.store_updated(site.rid, site.tree, &mut ctx)?;
                 if final_rid == site.rid {
@@ -1153,7 +1229,7 @@ impl TreeStore {
     /// designated siblings (wherever there is more free space)").
     fn resolve_site(&self, parent: NodePtr, pos: InsertPos) -> TreeResult<Site> {
         let tree = self.load_current(parent.rid)?;
-        if tree_is_packed(&tree) {
+        if tree_is_packed(&tree) && !self.config.lazy_normalize {
             // Structural edits cannot preserve the packed-prefix layout;
             // the caller normalizes the cluster and retries.
             return Err(TreeError::PackedRecord(parent.rid));
@@ -1163,6 +1239,15 @@ impl TreeStore {
             rid: parent.rid,
             node: parent.node,
         })?;
+        if tree_is_packed(&tree) && !packed_site_is_plain(&tree, pnode) {
+            // Lazy mode: an insert whose site node's child list is local
+            // to this record (not a prefix entry, not on the spilled
+            // path) proceeds in place — the packed structure around it is
+            // untouched, so no normalization is needed. Sites that *do*
+            // participate in the packed layout still take the
+            // normalize-and-retry path.
+            return Err(TreeError::PackedRecord(parent.rid));
+        }
         if !matches!(n.content, PContent::Aggregate(_)) {
             return Err(TreeError::NotAnAggregate {
                 rid: parent.rid,
@@ -1206,6 +1291,12 @@ impl TreeStore {
                 .is_scaffolding_aggregate()
             {
                 break; // facade-rooted record is a logical child itself
+            }
+            if tree_is_packed(&child_tree) {
+                // The designated sibling's host is packed and its root's
+                // child list is part of the packed layout — edge
+                // resolution there needs the cluster normalized first.
+                return Err(TreeError::PackedRecord(target));
             }
             deep = Some((target, child_tree));
         }
@@ -1271,6 +1362,12 @@ impl TreeStore {
                         .node(child_tree.root())
                         .is_scaffolding_aggregate()
                     {
+                        if tree_is_packed(&child_tree) {
+                            // A packed scaffolding host's local child list
+                            // is incomplete — indexing through it would
+                            // miscount; normalize the cluster first.
+                            return Err(TreeError::PackedRecord(target));
+                        }
                         let root = child_tree.root();
                         stack.push((crid, ctree, cnode, idx + 1));
                         stack.push((target, child_tree, root, 0));
@@ -1515,6 +1612,20 @@ impl TreeStore {
     pub fn normalize_packed(&self, rid: Rid) -> TreeResult<OpResult> {
         let _op = self.versions.begin_write();
         let mut ctx = OpCtx::default();
+        // Lazy path: when the touched cluster provably merges back into a
+        // single record (no split, so no separator ever reaches a packed
+        // parent), normalize it alone and leave packed ancestors packed —
+        // an edit deep in a packed corpus then rewrites one cluster
+        // instead of the whole ancestor chain.
+        if self.config.lazy_normalize {
+            if let Some(host) = self.lazy_cluster_host(rid)? {
+                let mut tree = self.load_current(host)?;
+                self.inline_continuations(host, &mut tree, &mut ctx)?;
+                self.store_updated(host, tree, &mut ctx)?;
+                self.apply_patches(&mut ctx)?;
+                return Ok(ctx.finish());
+            }
+        }
         // Ancestor chain from `rid` upward while parents stay packed.
         let mut chain = vec![rid];
         let mut cur = rid;
@@ -1550,6 +1661,65 @@ impl TreeStore {
             self.apply_patches(&mut ctx)?;
         }
         Ok(ctx.finish())
+    }
+
+    /// Decides whether the packed cluster containing `rid` can be
+    /// normalized lazily: resolves the cluster *host* (walking out of
+    /// prefix-rooted group/chain records to the record holding the
+    /// continuation placeholder) and sums an upper bound on the merged
+    /// record — the host plus every group and chain-piece record its
+    /// continuations splice back in. Prefix entries, placeholders and the
+    /// merged records' standalone headers all vanish in the merge, so the
+    /// raw sum over-counts; if even the over-count fits the net capacity,
+    /// the merge cannot split and packed ancestors can stay packed.
+    /// Returns the host RID, or `None` when the eager full-chain path
+    /// must run (cluster too big, or `rid`'s record is plain).
+    fn lazy_cluster_host(&self, rid: Rid) -> TreeResult<Option<Rid>> {
+        let mut host = rid;
+        let mut tree = self.load_current(host)?;
+        while tree.node(tree.root()).is_prefix() {
+            let parent = tree.parent_rid;
+            if parent.is_invalid() {
+                return Ok(None); // orphan piece: let the eager path report
+            }
+            host = parent;
+            tree = self.load_current(host)?;
+        }
+        if !tree_is_packed(&tree) {
+            // The record itself is plain; any packed *ancestors* need the
+            // eager top-down walk.
+            return Ok(None);
+        }
+        let budget = self.net_capacity();
+        let mut bound = tree.record_size();
+        let mut work: Vec<Rid> = spilled_path(&tree).map(|(_, _, g)| g).into_iter().collect();
+        while let Some(g) = work.pop() {
+            let gt = self.load_current(g)?;
+            bound += gt.record_size();
+            if bound > budget {
+                return Ok(None);
+            }
+            if let Some((_, _, next)) = spilled_path(&gt) {
+                work.push(next);
+            }
+            // Split prefix chains: lower pieces hang as digest-less
+            // proxies under the chain's prefix entries (a labelled proxy
+            // is facade-rooted content, never a chain piece — the digest
+            // saves the probe read).
+            for &p in &prefix_chain(&gt) {
+                for &c in gt.children(p) {
+                    if let PContent::Proxy(t) = gt.node(c).content {
+                        if gt.node(c).label == LABEL_NONE {
+                            let ct = self.load_current(t)?;
+                            if ct.node(ct.root()).is_prefix() {
+                                work.push(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Some(host))
     }
 
     /// Splices every continuation group of `tree` (and, transitively, the
@@ -1647,6 +1817,20 @@ impl TreeStore {
     /// The logical children of the facade node at `ptr`, crossing proxies
     /// and skipping scaffolding.
     pub fn logical_children(&self, ptr: NodePtr) -> TreeResult<Vec<NodePtr>> {
+        Ok(self
+            .logical_children_labeled(ptr)?
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect())
+    }
+
+    /// [`logical_children`](Self::logical_children) with each child's
+    /// label alongside its pointer. Proxy label digests make this cheaper
+    /// than `logical_children` + `node_info` per child: a digested proxy
+    /// yields `(child root, digest)` with **no page read** — only
+    /// digest-less proxies (scaffolding-rooted children, pre-format-2
+    /// records) are resolved by loading the child record.
+    pub fn logical_children_labeled(&self, ptr: NodePtr) -> TreeResult<Vec<(NodePtr, LabelId)>> {
         let tree = self.load(ptr.rid)?;
         let arena = preorder_to_arena(&tree, ptr.node);
         if tree.try_node(arena).is_none() {
@@ -1665,11 +1849,19 @@ impl TreeStore {
         rid: Rid,
         tree: &RecordTree,
         node: PNodeId,
-        out: &mut Vec<NodePtr>,
+        out: &mut Vec<(NodePtr, LabelId)>,
     ) -> TreeResult<()> {
         for &c in tree.children(node) {
-            match tree.node(c).content {
+            let n = tree.node(c);
+            match n.content {
                 PContent::Proxy(target) => {
+                    if n.label != LABEL_NONE {
+                        // Label digest: the child is facade-rooted (a
+                        // digest is only ever written for one) with this
+                        // label at pre-order index 0 — no page read.
+                        out.push((NodePtr::new(target, 0), n.label));
+                        continue;
+                    }
                     let child = self.load(target)?;
                     let root = child.root();
                     if child.node(root).is_scaffolding_aggregate() {
@@ -1681,7 +1873,10 @@ impl TreeStore {
                         // none of it is a child of `node`.
                         debug_assert!(tree.node(node).is_prefix());
                     } else {
-                        out.push(NodePtr::new(target, preorder_index(&child, root)));
+                        out.push((
+                            NodePtr::new(target, preorder_index(&child, root)),
+                            child.node(root).label,
+                        ));
                     }
                 }
                 // Deeper levels' late children — not children of `node`.
@@ -1689,7 +1884,7 @@ impl TreeStore {
                 // Late children of this record's spilled path: appended
                 // below, from the continuation group's matching prefix.
                 PContent::Continuation(_) => {}
-                _ => out.push(NodePtr::new(rid, preorder_index(tree, c))),
+                _ => out.push((NodePtr::new(rid, preorder_index(tree, c)), n.label)),
             }
         }
         // Depth-aware packing: when the record has a continuation and
@@ -1712,7 +1907,7 @@ impl TreeStore {
         &self,
         group_rid: Rid,
         level: usize,
-        out: &mut Vec<NodePtr>,
+        out: &mut Vec<(NodePtr, LabelId)>,
     ) -> TreeResult<()> {
         let group = self.load(group_rid)?;
         let chain = prefix_chain(&group);
@@ -1768,6 +1963,14 @@ impl TreeStore {
         for &c in tree.children(node) {
             match tree.node(c).content {
                 PContent::Proxy(target) => {
+                    if tree.node(c).label != LABEL_NONE {
+                        // Label digest: facade-rooted child, root at
+                        // pre-order index 0 — no page read needed.
+                        if !f(NodePtr::new(target, 0))? {
+                            return Ok(false);
+                        }
+                        continue;
+                    }
                     let child = self.load(target)?;
                     let root = child.root();
                     if child.node(root).is_scaffolding_aggregate() {
@@ -1840,7 +2043,9 @@ impl TreeStore {
     where
         F: FnMut(&RecordEntry) -> TreeResult<bool>,
     {
-        let tree = self.load(ptr.rid)?;
+        // Scan-hinted load: record-queue scans touch each page once, so
+        // their frames enter the buffer pool at cold priority.
+        let tree = self.load_hinted(ptr.rid, AccessHint::Scan)?;
         let arena = preorder_to_arena(&tree, ptr.node);
         if tree.try_node(arena).is_none() {
             return Err(TreeError::BadNodePtr {
@@ -1856,7 +2061,10 @@ impl TreeStore {
                 // them here would chain page reads under one task and
                 // defeat record-granular work claiming.
                 PContent::Proxy(target) => {
-                    if !f(&RecordEntry::ChildRecord(NodePtr::new(*target, 0)))? {
+                    if !f(&RecordEntry::ChildRecord {
+                        ptr: NodePtr::new(*target, 0),
+                        label: node.label,
+                    })? {
                         return Ok(false);
                     }
                     continue;
@@ -1869,7 +2077,10 @@ impl TreeStore {
                 // level, so late children of *outer* levels stay out.
                 PContent::Continuation(target) => {
                     let entry = self.continuation_entry(&tree, arena, *target)?;
-                    if !f(&RecordEntry::ChildRecord(entry))? {
+                    if !f(&RecordEntry::ChildRecord {
+                        ptr: entry,
+                        label: LABEL_NONE,
+                    })? {
                         return Ok(false);
                     }
                     continue;
@@ -1922,7 +2133,7 @@ impl TreeStore {
         let i0 = path.iter().position(|&p| p == start).ok_or_else(|| {
             TreeError::Invariant("scan start is not on the record's spilled path".into())
         })?;
-        let group = self.load(target)?;
+        let group = self.load_hinted(target, AccessHint::Scan)?;
         let chain = prefix_chain(&group);
         let node = *chain.get(i0).ok_or_else(|| {
             TreeError::Invariant(format!(
@@ -2037,6 +2248,24 @@ fn find_proxy(tree: &RecordTree, child: Rid) -> Option<PNodeId> {
 /// in-place structural edits cannot preserve.
 pub(crate) fn tree_is_packed(tree: &RecordTree) -> bool {
     tree.has_packed_entries()
+}
+
+/// True when `node`'s logical child list is entirely local to this
+/// packed record, so an in-place insert cannot disturb the packed
+/// structure: the node is not a prefix entry (its local children are
+/// only the *late* tail of a child list whose head lives in an earlier
+/// piece), and not on the spilled path (whose child lists continue in
+/// the continuation group). Anything else inside a packed record — a
+/// descendant of a prefix entry, content beside the spilled path — owns
+/// its whole child list, and normalization moves such subtrees intact.
+pub(crate) fn packed_site_is_plain(tree: &RecordTree, node: PNodeId) -> bool {
+    if tree.node(node).is_prefix() {
+        return false;
+    }
+    match spilled_path(tree) {
+        Some((_, path, _)) => !path.contains(&node),
+        None => true,
+    }
 }
 
 /// The record's continuation placeholder and its target, if any (at most

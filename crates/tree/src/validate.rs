@@ -11,7 +11,10 @@
 //! 4. every non-root record's standalone parent pointer names the record
 //!    whose proxy refers to it;
 //! 5. the proxy graph is acyclic (each record is reached exactly once);
-//! 6. proxies and scaffolding aggregates carry no logical label.
+//! 6. scaffolding aggregates and continuation placeholders carry no
+//!    logical label, and a proxy's label is either
+//!    [`natix_xml::LABEL_NONE`] ("must read") or an exact *digest* of the
+//!    referenced record's root: the root is a facade carrying that label.
 //!
 //! [`physical_stats`] gathers the figures the evaluation section talks
 //! about: record counts, scaffolding overhead, on-disk bytes (Figure 14)
@@ -21,6 +24,7 @@
 use std::collections::HashSet;
 
 use natix_storage::Rid;
+use natix_xml::LabelId;
 
 use crate::error::{TreeError, TreeResult};
 use crate::model::PContent;
@@ -54,8 +58,9 @@ pub fn check_tree(store: &TreeStore, root: Rid) -> TreeResult<PhysicalStats> {
     let mut stats = PhysicalStats::default();
     let mut seen: HashSet<Rid> = HashSet::new();
     let mut pages: HashSet<u32> = HashSet::new();
-    let mut work: Vec<(Rid, Rid, usize)> = vec![(root, Rid::invalid(), 1)];
-    while let Some((rid, expected_parent, depth)) = work.pop() {
+    let mut work: Vec<(Rid, Rid, usize, LabelId)> =
+        vec![(root, Rid::invalid(), 1, natix_xml::LABEL_NONE)];
+    while let Some((rid, expected_parent, depth, digest)) = work.pop() {
         if !seen.insert(rid) {
             return Err(TreeError::Invariant(format!(
                 "record {rid} reached twice: proxy graph is not a tree"
@@ -67,6 +72,19 @@ pub fn check_tree(store: &TreeStore, root: Rid) -> TreeResult<PhysicalStats> {
                 "record {rid}: standalone parent {} but reached from {expected_parent}",
                 tree.parent_rid
             )));
+        }
+        if digest != natix_xml::LABEL_NONE {
+            // Invariant 6: a proxy digest must be exact — readers prune
+            // on it without loading this record.
+            let root_node = tree.node(tree.root());
+            if !root_node.is_facade() || root_node.label != digest {
+                return Err(TreeError::Invariant(format!(
+                    "record {rid}: proxy digest {digest} does not match root \
+                     (facade: {}, label {})",
+                    root_node.is_facade(),
+                    root_node.label
+                )));
+            }
         }
         let size = tree.record_size();
         if size > store.net_capacity() {
@@ -84,14 +102,8 @@ pub fn check_tree(store: &TreeStore, root: Rid) -> TreeResult<PhysicalStats> {
             let n = tree.node(id);
             match &n.content {
                 PContent::Proxy(target) => {
-                    if n.label != natix_xml::LABEL_NONE {
-                        return Err(TreeError::Invariant(format!(
-                            "record {rid}: proxy node {id} carries label {}",
-                            n.label
-                        )));
-                    }
                     stats.proxies += 1;
-                    work.push((*target, rid, depth + 1));
+                    work.push((*target, rid, depth + 1, n.label));
                 }
                 PContent::Continuation(target) => {
                     // Depth-aware packing invariants: one continuation per
@@ -110,7 +122,7 @@ pub fn check_tree(store: &TreeStore, root: Rid) -> TreeResult<PhysicalStats> {
                         )));
                     }
                     stats.proxies += 1;
-                    work.push((*target, rid, depth + 1));
+                    work.push((*target, rid, depth + 1, natix_xml::LABEL_NONE));
                 }
                 PContent::Prefix(_) => {
                     // Prefix entries copy a labelled ancestor and chain
