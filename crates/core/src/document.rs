@@ -139,6 +139,14 @@ impl DocState {
         if epoch < r.born_at || r.dead_from.is_some_and(|d| epoch >= d) {
             return None;
         }
+        // natix-model fail point: reverting the epoch re-check hands a
+        // pinned reader the *current* root — possibly published after the
+        // reader pinned, whose record images belong to a later epoch. The
+        // model suite's root-publish scenario catches the resulting
+        // snapshot instability.
+        if parking_lot::fail_point("root-slot.epoch-recheck") {
+            return Some(r.current);
+        }
         Some(
             r.old
                 .iter()

@@ -160,7 +160,7 @@ impl Repository {
             seg,
             self.options.tree_config,
             self.tree.matrix().clone(),
-        ))
+        )?)
     }
 }
 

@@ -285,6 +285,51 @@
 //! inventory, free list or space-map chain accounts for back into the
 //! free pool — see `StorageManager::reclaim_untracked_pages`.)
 //!
+//! # Model-checked protocols
+//!
+//! The concurrency protocols above are not just documented — the
+//! load-bearing ones are exhaustively explored by the deterministic
+//! model checker built into the `parking_lot` shim
+//! (`parking_lot::model`, compiled under `cfg(any(test, feature =
+//! "model"))`). Under the checker, every shim lock/condvar operation,
+//! tracked atomic access and `model::spawn` is a scheduling decision
+//! point; one thread runs at a time, and the scheduler either enumerates
+//! interleavings bounded-exhaustively (DFS over the decision tree) or
+//! samples them with a seeded PCT-style random walk. Every failure
+//! report carries a **schedule token** (`dfs:0.1.0...` / `seed:N`) that
+//! replays the exact interleaving deterministically.
+//!
+//! Five scenarios in `crates/core/tests/model/` pin the protocols down
+//! (`cargo test -p natix --features model --test model`):
+//!
+//! * **root-publish** — a pinned snapshot reader vs a writer that forces
+//!   a root-record split; the epoch-versioned root slot must keep
+//!   resolving the pinned epoch's root at every interleaving point.
+//! * **deposit-read** — deposit-before-overwrite: a pinned reader races
+//!   an in-place text update and must never observe the writer's
+//!   in-progress bytes.
+//! * **buffer-coalesce** — a demand pin racing an in-flight prefetch of
+//!   the same page (and the mirror case) must coalesce onto one frame
+//!   and one physical read; the frame table is validated for duplicate
+//!   residency.
+//! * **wal-commit** — group commit from two committers plus the
+//!   force-before-steal rule: a dirty page may reach disk only once the
+//!   log covering its commit record is durable (checked by an
+//!   LSN-asserting disk wrapper).
+//! * **path-summary** — a pinned reader's query counts (eager and lazy
+//!   plan shapes) must agree with its epoch's path summary while a
+//!   writer inserts matching elements.
+//!
+//! Each scenario is paired with a **mutation harness**: reverting a
+//! named production guard (`root-slot.epoch-recheck`,
+//! `wal.force-before-write-back`, `buffer.inflight-recheck`,
+//! `buffer.prefetch-coalesce` — see `parking_lot::fail_point`) must make
+//! the checker report a violation whose token replays to the identical
+//! failure, proving the suite actually guards those lines. A
+//! vector-clock race detector over tracked atomics runs inside the same
+//! exploration. CI runs the suite in both modes with the seed logged
+//! (`NATIX_MODEL_SEED` / `NATIX_MODEL_SCHEDULES` override).
+//!
 //! [`children`]: Repository::children
 //! [`parent`]: Repository::parent
 //! [`node_summary`]: Repository::node_summary
@@ -495,14 +540,14 @@ impl Repository {
             options.tree_config,
             options.matrix.clone(),
             Arc::clone(&versions),
-        );
+        )?;
         let catalog_tree = TreeStore::with_versions(
             Arc::clone(&sm),
             cat_seg,
             options.tree_config,
             SplitMatrix::all_other(),
             Arc::clone(&versions),
-        );
+        )?;
         let wal =
             log.map(|device| Arc::new(Wal::new(device, options.durability.unwrap_or_default())));
         let symbols = Arc::new(RwLock::with_rank(

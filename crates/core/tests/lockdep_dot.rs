@@ -1,0 +1,58 @@
+//! Dumps the observed lock-order graph as GraphViz DOT. Runs a small but
+//! representative repository workload first, so the recorded edges cover
+//! the ingest, query, edit, and snapshot paths, then writes
+//! `target/lockdep-graph.dot`. CI archives the file as an artifact: the
+//! lock hierarchy is reviewable (and diffable across PRs) without reading
+//! panic backtraces.
+#![cfg(feature = "lockdep")]
+
+use std::path::PathBuf;
+
+use natix::{PlannerOptions, Repository, RepositoryOptions};
+
+fn target_dir() -> PathBuf {
+    // Honour an explicit CARGO_TARGET_DIR; otherwise the workspace target
+    // directory sits two levels above this crate.
+    std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("target")
+        })
+}
+
+#[test]
+fn dump_lock_order_graph() {
+    let repo = Repository::create_in_memory(RepositoryOptions::default()).unwrap();
+    let doc = repo
+        .put_xml_streaming("doc", "<r><a>alpha</a><b>beta</b></r>")
+        .unwrap();
+
+    // Query path (planner + executor locks).
+    let (n, _) = repo
+        .count_planned("doc", "//a", &PlannerOptions::default())
+        .unwrap();
+    assert_eq!(n, 1);
+
+    // Edit path under a pinned snapshot (version store + edit latch).
+    let snap = repo.read_snapshot();
+    let root = repo.root(doc).unwrap();
+    let a_el = repo.children(doc, root).unwrap()[0];
+    let a_text = repo.children(doc, a_el).unwrap()[0];
+    repo.update_text(doc, a_text, "ALPHA").unwrap();
+    drop(snap);
+    repo.checkpoint().unwrap();
+
+    let dot = parking_lot::lockdep::dot_graph();
+    assert!(dot.starts_with("digraph lockdep {"), "{dot}");
+    // The workload above must have recorded at least one ordered pair.
+    assert!(dot.contains("->"), "no lock-order edges recorded:\n{dot}");
+
+    let dir = target_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("lockdep-graph.dot");
+    std::fs::write(&path, &dot).unwrap();
+    println!("lockdep: wrote {} ({} bytes)", path.display(), dot.len());
+}

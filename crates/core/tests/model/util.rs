@@ -1,0 +1,87 @@
+//! Shared driver helpers for the model scenarios: run a body clean under
+//! both exploration modes (logging the seed so CI output is replayable),
+//! and the mutation harness (catch + deterministic replay).
+
+use parking_lot::model::{self, Config};
+
+/// Base seed for the random mode; override with `NATIX_MODEL_SEED`.
+pub fn base_seed() -> u64 {
+    std::env::var("NATIX_MODEL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x4E41_5449_5830)
+}
+
+/// Random schedules per scenario; override with `NATIX_MODEL_SCHEDULES`.
+pub fn random_schedules(default: usize) -> usize {
+    std::env::var("NATIX_MODEL_SCHEDULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Explore `body` with no mutations under bounded-exhaustive DFS and
+/// then under seeded random scheduling; panic (with a replay token) on
+/// any failing schedule.
+pub fn assert_clean<F: Fn()>(name: &str, exhaustive_cap: usize, rand_default: usize, body: F) {
+    let cfg = Config::exhaustive().with_max_schedules(exhaustive_cap);
+    let r = model::explore(&cfg, &body);
+    println!(
+        "model[{name}]: exhaustive clean over {} schedules ({} pruned)",
+        r.schedules, r.pruned
+    );
+    let seed = base_seed();
+    let n = random_schedules(rand_default);
+    let r = model::explore(&Config::random(seed, n), &body);
+    println!(
+        "model[{name}]: random clean over {} schedules (seed {seed:#x})",
+        r.schedules
+    );
+}
+
+/// Revert the named production guard and assert the checker catches the
+/// violation, that the failure carries `needle`, and that replaying the
+/// reported token reproduces the identical failure.
+///
+/// Detection first tries `cap` bounded-exhaustive schedules; if the
+/// buggy interleaving diverges early (DFS backtracks tail-first, so
+/// early divergences are reached last) it falls back to seeded random
+/// exploration, which preempts anywhere.
+pub fn assert_mutation_caught<F: Fn()>(
+    name: &str,
+    mutation: &str,
+    needle: &str,
+    cap: usize,
+    body: F,
+) {
+    let cfg = Config::exhaustive()
+        .with_max_schedules(cap)
+        .with_mutation(mutation);
+    let failure = match model::explore_result(&cfg, &body) {
+        Err(f) => f,
+        Ok(_) => {
+            let seed = base_seed();
+            let n = random_schedules(300).max(cap);
+            model::explore_result(&Config::random(seed, n).with_mutation(mutation), &body)
+                .expect_err(&format!(
+                    "model[{name}]: reverting guard '{mutation}' went undetected over \
+                     {cap} exhaustive + {n} random schedules (seed {seed:#x})"
+                ))
+        }
+    };
+    assert!(
+        failure.message.contains(needle),
+        "model[{name}]: unexpected failure for '{mutation}': {failure}"
+    );
+    println!("model[{name}]: mutation '{mutation}' caught — {failure}");
+    let replay_cfg = Config::replay(&failure.token).with_mutation(mutation);
+    let replay = model::explore_result(&replay_cfg, &body).expect_err(&format!(
+        "model[{name}]: token '{}' did not replay the '{mutation}' failure",
+        failure.token
+    ));
+    assert_eq!(
+        replay.message, failure.message,
+        "model[{name}]: replay of '{}' reproduced a different failure",
+        failure.token
+    );
+}

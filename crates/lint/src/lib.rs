@@ -30,6 +30,17 @@
 //!    `read_pages`) while a mutex guard is lexically live; those calls
 //!    enter a buffer I/O region and the held lock would stall every
 //!    contender for a device round-trip.
+//! 6. **unranked-lock** — no bare `Mutex::new` / `RwLock::new` in
+//!    `crates/{core,storage,tree}` non-test code: a long-lived lock
+//!    built without `with_rank` is invisible to the lockdep hierarchy
+//!    checker *and* unnamed in model-checker schedules. Genuinely
+//!    short-lived or deliberately unranked locks carry an in-file
+//!    `// natix-lint: allow(unranked-lock): <reason>` exemption on the
+//!    same or preceding line.
+//!
+//! Rule 3 covers `crates/storage` and `crates/tree`: both layers sit
+//! under the engine's recovery and latching protocols, where a panic
+//! while holding pool/allocator/version-store state poisons the engine.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -533,7 +544,7 @@ pub fn rule_guard_discipline(path: &Path, source: &str) -> Vec<Violation> {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 3: no unwrap/expect in crates/storage non-test code
+// Rule 3: no unwrap/expect in crates/storage or crates/tree non-test code
 // ---------------------------------------------------------------------------
 
 pub fn rule_storage_panic(path: &Path, source: &str) -> Vec<Violation> {
@@ -551,11 +562,74 @@ pub fn rule_storage_panic(path: &Path, source: &str) -> Vec<Violation> {
                     line: idx + 1,
                     rule: "storage-panic",
                     message: format!(
-                        "`{needle}..` in storage non-test code; a panic here can poison \
-                         pool/allocator state — return a StorageError instead"
+                        "`{needle}..` in storage/tree non-test code; a panic here can \
+                         poison pool/allocator/version-store state — return an error \
+                         instead"
                     ),
                 });
             }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: long-lived locks in engine crates must be ranked
+// ---------------------------------------------------------------------------
+
+/// Exemption marker for rule 6, written in a comment on the same line as
+/// the bare constructor or the line above it, followed by a reason:
+/// `// natix-lint: allow(unranked-lock): per-frame latch, see rank docs`.
+pub const UNRANKED_LOCK_ALLOW: &str = "natix-lint: allow(unranked-lock)";
+
+/// No bare `Mutex::new` / `RwLock::new` in engine non-test code: an
+/// unranked lock is invisible to the lockdep hierarchy checker and
+/// unnamed in model-checker schedules, so every long-lived lock goes
+/// through `with_rank`. The allow marker (see [`UNRANKED_LOCK_ALLOW`])
+/// exempts deliberate cases in-file, keeping the exemption next to the
+/// lock it justifies.
+pub fn rule_unranked_lock(path: &Path, source: &str) -> Vec<Violation> {
+    let clean = sanitize(source);
+    let mask = test_mask(&clean);
+    // The marker lives in a comment, which sanitisation blanks — read it
+    // from the raw source. A marker covers its own line and the next.
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let allowed = |idx: usize| {
+        raw_lines
+            .get(idx)
+            .is_some_and(|l| l.contains(UNRANKED_LOCK_ALLOW))
+            || (idx > 0
+                && raw_lines
+                    .get(idx - 1)
+                    .is_some_and(|l| l.contains(UNRANKED_LOCK_ALLOW)))
+    };
+    let mut out = Vec::new();
+    for (idx, line) in clean.lines().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) || allowed(idx) {
+            continue;
+        }
+        for ty in ["Mutex", "RwLock"] {
+            let needle = format!("{ty}::new(");
+            let Some(p) = line.find(&needle) else {
+                continue;
+            };
+            // A path-qualified constructor that is not the shim's is some
+            // other type's business (`std::sync::Mutex::new` is rule 4's).
+            let prefix = &line[..p];
+            if prefix.ends_with("::") && !prefix.ends_with("parking_lot::") {
+                continue;
+            }
+            out.push(Violation {
+                file: path.to_path_buf(),
+                line: idx + 1,
+                rule: "unranked-lock",
+                message: format!(
+                    "bare `{ty}::new(..)` builds a lock with no rank — invisible to the \
+                     lockdep hierarchy and unnamed in model schedules; use \
+                     `{ty}::with_rank(&rank::..., ..)`, or justify with \
+                     `// {UNRANKED_LOCK_ALLOW}: <reason>`"
+                ),
+            });
         }
     }
     out
@@ -716,6 +790,19 @@ fn is_storage_src(rel: &Path) -> bool {
     rel.starts_with("crates/storage/src")
 }
 
+/// Layers under the panic audit (rule 3): storage since PR 7, tree since
+/// PR 10 — both run under the engine's recovery and latching protocols.
+fn is_panic_audited_src(rel: &Path) -> bool {
+    is_storage_src(rel) || rel.starts_with("crates/tree/src")
+}
+
+/// Crates whose locks participate in the rank hierarchy (rule 6).
+fn is_ranked_lock_src(rel: &Path) -> bool {
+    rel.starts_with("crates/core/src")
+        || rel.starts_with("crates/storage/src")
+        || rel.starts_with("crates/tree/src")
+}
+
 fn in_shim(rel: &Path) -> bool {
     rel.components()
         .any(|c| c.as_os_str().to_str() == Some("shims"))
@@ -739,8 +826,11 @@ pub fn check_file(rel: &Path, source: &str) -> Vec<Violation> {
         return out;
     }
     out.extend(rule_guard_discipline(rel, source));
-    if is_storage_src(rel) {
+    if is_panic_audited_src(rel) {
         out.extend(rule_storage_panic(rel, source));
+    }
+    if !is_test_tree(rel) && is_ranked_lock_src(rel) {
+        out.extend(rule_unranked_lock(rel, source));
     }
     if !is_test_tree(rel) {
         out.extend(rule_shim_bypass(rel, source));

@@ -88,6 +88,45 @@ fn held_prefetch_rule_skips_storage_band() {
 }
 
 #[test]
+fn storage_panic_rule_covers_tree() {
+    // The same fixture trips when impersonated as a crates/tree file —
+    // the tree layer sits under the same recovery/latching protocols.
+    let src = include_str!("fixtures/storage_panics.rs");
+    let violations = check_file(Path::new("crates/tree/src/storage_panics.rs"), src);
+    assert_eq!(lines_for(&violations, "storage-panic"), vec![5, 9]);
+}
+
+#[test]
+fn unranked_lock_fixture_trips_rule() {
+    let src = include_str!("fixtures/unranked_locks.rs");
+    let violations = check_file(Path::new("crates/storage/src/unranked_locks.rs"), src);
+    assert_eq!(lines_for(&violations, "unranked-lock"), vec![7, 11, 15]);
+}
+
+#[test]
+fn unranked_lock_fixture_trips_in_every_engine_crate() {
+    let src = include_str!("fixtures/unranked_locks.rs");
+    for krate in ["core", "tree"] {
+        let path = format!("crates/{krate}/src/unranked_locks.rs");
+        let violations = check_file(Path::new(&path), src);
+        assert_eq!(
+            lines_for(&violations, "unranked-lock"),
+            vec![7, 11, 15],
+            "under crates/{krate}"
+        );
+    }
+}
+
+#[test]
+fn unranked_lock_rule_is_path_scoped() {
+    // Outside the engine crates (core/storage/tree) a bare constructor —
+    // e.g. in a bench harness — is not the rule's business.
+    let src = include_str!("fixtures/unranked_locks.rs");
+    let violations = check_file(Path::new("crates/lint/src/unranked_locks.rs"), src);
+    assert!(lines_for(&violations, "unranked-lock").is_empty());
+}
+
+#[test]
 fn workspace_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()

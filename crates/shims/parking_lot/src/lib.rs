@@ -5,17 +5,30 @@
 //! provided here with identical signatures. Poisoned locks are recovered
 //! transparently — `parking_lot` has no poisoning, and neither do we.
 //!
-//! On top of the plain shim this crate carries the NATIX
-//! **lock-hierarchy checker**: locks built with [`Mutex::with_rank`] /
-//! [`RwLock::with_rank`] name a class from [`rank`], and under
-//! `cfg(any(test, feature = "lockdep"))` every acquisition is validated
-//! against a per-thread acquisition stack (rank monotonicity, recursion)
-//! and a global lock-order graph (cycle detection across threads), with
-//! declared I/O regions rejecting held non-I/O-tolerant locks — see
-//! [`lockdep`]. Without the feature, `with_rank` discards the rank and
-//! the shim compiles down to bare `std::sync` wrappers.
+//! On top of the plain shim this crate carries two NATIX checkers:
+//!
+//! - the **lock-hierarchy checker** ([`lockdep`]): locks built with
+//!   [`Mutex::with_rank`] / [`RwLock::with_rank`] name a class from
+//!   [`rank`], and under `cfg(any(test, feature = "lockdep"))` every
+//!   acquisition is validated against a per-thread acquisition stack
+//!   (rank monotonicity, recursion) and a global lock-order graph
+//!   (cycle detection across threads), with declared I/O regions
+//!   rejecting held non-I/O-tolerant locks;
+//! - the **deterministic model checker** ([`model`]): under
+//!   `cfg(any(test, feature = "model"))`, threads registered with a
+//!   running [`model::explore`] have every lock/condvar/tracked-atomic
+//!   operation turned into a cooperative scheduling decision, enabling
+//!   bounded-exhaustive and seeded-random interleaving exploration with
+//!   replayable failure seeds.
+//!
+//! Without either feature, `with_rank` discards the rank and the shim
+//! compiles down to bare `std::sync` wrappers (the lock's data lives in
+//! an `UnsafeCell` beside a `std::sync` lock of `()`, which costs
+//! nothing extra and lets the model checker bypass the real lock).
 
+use std::cell::UnsafeCell;
 use std::fmt;
+use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
 
 pub mod rank;
@@ -23,31 +36,68 @@ pub mod rank;
 #[cfg(any(test, feature = "lockdep"))]
 pub mod lockdep;
 
+#[cfg(any(test, feature = "model"))]
+pub mod model;
+
+mod tracked;
+pub use tracked::{TrackedAtomicBool, TrackedAtomicU32, TrackedAtomicU64, TrackedAtomicUsize};
+
 use rank::Rank;
 
 #[cfg(any(test, feature = "lockdep"))]
 use lockdep::GuardKind;
 
-/// A mutual-exclusion lock whose `lock` never returns a `Result`.
-pub struct Mutex<T: ?Sized> {
-    #[cfg(any(test, feature = "lockdep"))]
-    rank: Option<&'static Rank>,
-    inner: std::sync::Mutex<T>,
+/// Query a named model-checker mutation (fail point). Production guards
+/// call this to let model tests revert them: `true` only while a
+/// [`model::explore`] run with that mutation is driving the calling
+/// thread. Compiles to a constant `false` outside model builds.
+#[cfg(any(test, feature = "model"))]
+#[inline]
+pub fn fail_point(name: &str) -> bool {
+    model::mutation(name)
 }
 
+/// Outside model builds every fail point is inactive.
+#[cfg(not(any(test, feature = "model")))]
+#[inline(always)]
+pub fn fail_point(_name: &str) -> bool {
+    false
+}
+
+/// A mutual-exclusion lock whose `lock` never returns a `Result`.
+///
+/// The protected value lives in an `UnsafeCell` beside a raw
+/// `std::sync::Mutex<()>`; guards hold the raw guard (or, under the
+/// model checker, a model-level ownership record instead).
+pub struct Mutex<T: ?Sized> {
+    #[cfg(any(test, feature = "lockdep", feature = "model"))]
+    rank: Option<&'static Rank>,
+    raw: std::sync::Mutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: a Mutex hands out exclusive access to `T` one thread at a
+// time (via the raw std lock, or the model scheduler's ownership map),
+// so sharing the Mutex across threads only requires `T: Send` — the
+// same bounds as `std::sync::Mutex<T>`.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
 impl<T> Mutex<T> {
-    #[cfg(any(test, feature = "lockdep"))]
+    #[cfg(any(test, feature = "lockdep", feature = "model"))]
     const fn build(rank: Option<&'static Rank>, value: T) -> Mutex<T> {
         Mutex {
             rank,
-            inner: std::sync::Mutex::new(value),
+            raw: std::sync::Mutex::new(()),
+            data: UnsafeCell::new(value),
         }
     }
 
-    #[cfg(not(any(test, feature = "lockdep")))]
+    #[cfg(not(any(test, feature = "lockdep", feature = "model")))]
     const fn build(_rank: Option<&'static Rank>, value: T) -> Mutex<T> {
         Mutex {
-            inner: std::sync::Mutex::new(value),
+            raw: std::sync::Mutex::new(()),
+            data: UnsafeCell::new(value),
         }
     }
 
@@ -62,22 +112,27 @@ impl<T> Mutex<T> {
     }
 
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.data.into_inner()
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
-    #[cfg(any(test, feature = "lockdep"))]
-    fn guard<'a>(&self, inner: std::sync::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-        MutexGuard {
-            rank: self.rank,
-            inner,
-        }
+    #[cfg(any(test, feature = "model"))]
+    fn addr(&self) -> usize {
+        &self.raw as *const std::sync::Mutex<()> as usize
     }
 
-    #[cfg(not(any(test, feature = "lockdep")))]
-    fn guard<'a>(&self, inner: std::sync::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-        MutexGuard { inner }
+    #[cfg(any(test, feature = "model"))]
+    fn rank_name(&self) -> Option<&'static str> {
+        self.rank.map(|r| r.name)
+    }
+
+    fn guard<'a>(&'a self, raw: Option<std::sync::MutexGuard<'a, ()>>) -> MutexGuard<'a, T> {
+        MutexGuard {
+            lock: self,
+            raw,
+            _marker: PhantomData,
+        }
     }
 
     pub fn lock(&self) -> MutexGuard<'_, T> {
@@ -85,7 +140,12 @@ impl<T: ?Sized> Mutex<T> {
         if let Some(r) = self.rank {
             lockdep::acquire(r, GuardKind::Exclusive);
         }
-        self.guard(self.inner.lock().unwrap_or_else(|e| e.into_inner()))
+        #[cfg(any(test, feature = "model"))]
+        if model::active_on_this_thread() {
+            model::rt::mutex_lock(self.addr(), self.rank_name());
+            return self.guard(None);
+        }
+        self.guard(Some(self.raw.lock().unwrap_or_else(|e| e.into_inner())))
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
@@ -93,7 +153,18 @@ impl<T: ?Sized> Mutex<T> {
         if let Some(r) = self.rank {
             lockdep::acquire(r, GuardKind::Exclusive);
         }
-        let got = match self.inner.try_lock() {
+        #[cfg(any(test, feature = "model"))]
+        if model::active_on_this_thread() {
+            if model::rt::mutex_try_lock(self.addr(), self.rank_name()) {
+                return Some(self.guard(None));
+            }
+            #[cfg(any(test, feature = "lockdep"))]
+            if let Some(r) = self.rank {
+                lockdep::release(r);
+            }
+            return None;
+        }
+        let got = match self.raw.try_lock() {
             Ok(g) => Some(g),
             Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
             Err(std::sync::TryLockError::WouldBlock) => None,
@@ -104,14 +175,12 @@ impl<T: ?Sized> Mutex<T> {
                 lockdep::release(r);
             }
         }
-        got.map(|g| self.guard(g))
+        got.map(|g| self.guard(Some(g)))
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        match self.inner.get_mut() {
-            Ok(v) => v,
-            Err(e) => e.into_inner(),
-        }
+        // SAFETY: `&mut self` guarantees no guard is outstanding.
+        unsafe { &mut *self.data.get() }
     }
 }
 
@@ -127,18 +196,27 @@ impl<T: fmt::Debug + ?Sized> fmt::Debug for Mutex<T> {
     }
 }
 
-/// Guard returned by [`Mutex::lock`].
+/// Guard returned by [`Mutex::lock`]. `raw` is `None` only while the
+/// model scheduler owns the acquisition on the shim's behalf.
 #[must_use = "dropping a MutexGuard immediately releases the lock"]
 pub struct MutexGuard<'a, T: ?Sized> {
-    #[cfg(any(test, feature = "lockdep"))]
-    rank: Option<&'static Rank>,
-    inner: std::sync::MutexGuard<'a, T>,
+    lock: &'a Mutex<T>,
+    // Held for its Drop (releases the raw lock); never read directly.
+    #[allow(dead_code)]
+    raw: Option<std::sync::MutexGuard<'a, ()>>,
+    /// Ties `Send`/`Sync` of the guard to `&mut T` like std's guard.
+    _marker: PhantomData<&'a mut T>,
 }
 
-#[cfg(any(test, feature = "lockdep"))]
+#[cfg(any(test, feature = "lockdep", feature = "model"))]
 impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
-        if let Some(r) = self.rank {
+        #[cfg(any(test, feature = "model"))]
+        if self.raw.is_none() {
+            model::rt::mutex_unlock(self.lock.addr());
+        }
+        #[cfg(any(test, feature = "lockdep"))]
+        if let Some(r) = self.lock.rank {
             lockdep::release(r);
         }
     }
@@ -147,13 +225,17 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        // SAFETY: the guard proves exclusive ownership of the lock
+        // (raw std guard, or model-scheduler ownership when raw is
+        // None), so dereferencing the cell is race-free.
+        unsafe { &*self.lock.data.get() }
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        // SAFETY: as in `deref`.
+        unsafe { &mut *self.lock.data.get() }
     }
 }
 
@@ -163,106 +245,137 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 #[derive(Default)]
 pub struct Condvar(std::sync::Condvar);
 
-/// Take the inner std guard out of a shim guard without running the shim
-/// guard's `Drop` (which would pop the lockdep stack a second time).
-fn dissolve<'a, T: ?Sized>(guard: MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T> {
-    let g = std::mem::ManuallyDrop::new(guard);
-    // SAFETY: `g` is never dropped, and `inner` is read exactly once; the
-    // only other field (the cfg-gated rank) is `Copy`.
-    unsafe { std::ptr::read(&g.inner) }
-}
-
 impl Condvar {
     pub const fn new() -> Condvar {
         Condvar(std::sync::Condvar::new())
     }
 
-    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    #[cfg(any(test, feature = "model"))]
+    fn addr(&self) -> usize {
+        &self.0 as *const std::sync::Condvar as usize
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
         #[cfg(any(test, feature = "lockdep"))]
-        let rank = guard.rank;
+        let rank = guard.lock.rank;
         // The mutex is released for the duration of the wait: pop it from
         // the lockdep stack and re-validate the acquisition on wake-up.
         #[cfg(any(test, feature = "lockdep"))]
         if let Some(r) = rank {
             lockdep::release(r);
         }
-        let inner = self
-            .0
-            .wait(dissolve(guard))
-            .unwrap_or_else(|e| e.into_inner());
+        #[cfg(any(test, feature = "model"))]
+        if guard.raw.is_none() {
+            model::rt::condvar_wait(self.addr(), guard.lock.addr(), false);
+            #[cfg(any(test, feature = "lockdep"))]
+            if let Some(r) = rank {
+                lockdep::acquire(r, GuardKind::Exclusive);
+            }
+            return guard;
+        }
+        if let Some(raw) = guard.raw.take() {
+            let raw = self.0.wait(raw).unwrap_or_else(|e| e.into_inner());
+            guard.raw = Some(raw);
+        }
         #[cfg(any(test, feature = "lockdep"))]
         if let Some(r) = rank {
             lockdep::acquire(r, GuardKind::Exclusive);
         }
-        MutexGuard {
-            #[cfg(any(test, feature = "lockdep"))]
-            rank,
-            inner,
-        }
+        guard
     }
 
     /// Waits with an upper bound; returns the reacquired guard and whether
     /// the wait timed out (same consume-and-return style as [`wait`]).
     ///
+    /// Under the model scheduler the timeout duration is ignored: a
+    /// timed wait is simply a waiter the scheduler may wake *without* a
+    /// notification, reporting `timed_out = true`.
+    ///
     /// [`wait`]: Condvar::wait
     pub fn wait_timeout<'a, T>(
         &self,
-        guard: MutexGuard<'a, T>,
+        mut guard: MutexGuard<'a, T>,
         timeout: std::time::Duration,
     ) -> (MutexGuard<'a, T>, bool) {
         #[cfg(any(test, feature = "lockdep"))]
-        let rank = guard.rank;
+        let rank = guard.lock.rank;
         #[cfg(any(test, feature = "lockdep"))]
         if let Some(r) = rank {
             lockdep::release(r);
         }
-        let (inner, res) = self
-            .0
-            .wait_timeout(dissolve(guard), timeout)
-            .unwrap_or_else(|e| e.into_inner());
+        #[cfg(any(test, feature = "model"))]
+        if guard.raw.is_none() {
+            let timed_out = model::rt::condvar_wait(self.addr(), guard.lock.addr(), true);
+            #[cfg(any(test, feature = "lockdep"))]
+            if let Some(r) = rank {
+                lockdep::acquire(r, GuardKind::Exclusive);
+            }
+            return (guard, timed_out);
+        }
+        let mut timed_out = false;
+        if let Some(raw) = guard.raw.take() {
+            let (raw, res) = self
+                .0
+                .wait_timeout(raw, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            guard.raw = Some(raw);
+            timed_out = res.timed_out();
+        }
         #[cfg(any(test, feature = "lockdep"))]
         if let Some(r) = rank {
             lockdep::acquire(r, GuardKind::Exclusive);
         }
-        (
-            MutexGuard {
-                #[cfg(any(test, feature = "lockdep"))]
-                rank,
-                inner,
-            },
-            res.timed_out(),
-        )
+        (guard, timed_out)
     }
 
     pub fn notify_one(&self) {
+        #[cfg(any(test, feature = "model"))]
+        if model::active_on_this_thread() {
+            model::rt::condvar_notify(self.addr(), false);
+            return;
+        }
         self.0.notify_one();
     }
 
     pub fn notify_all(&self) {
+        #[cfg(any(test, feature = "model"))]
+        if model::active_on_this_thread() {
+            model::rt::condvar_notify(self.addr(), true);
+            return;
+        }
         self.0.notify_all();
     }
 }
 
 /// A reader-writer lock whose `read`/`write` never return a `Result`.
 pub struct RwLock<T: ?Sized> {
-    #[cfg(any(test, feature = "lockdep"))]
+    #[cfg(any(test, feature = "lockdep", feature = "model"))]
     rank: Option<&'static Rank>,
-    inner: std::sync::RwLock<T>,
+    raw: std::sync::RwLock<()>,
+    data: UnsafeCell<T>,
 }
 
+// SAFETY: as for `Mutex`, plus shared read guards hand out `&T` from
+// multiple threads simultaneously, which additionally requires
+// `T: Sync` — the same bounds as `std::sync::RwLock<T>`.
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
 impl<T> RwLock<T> {
-    #[cfg(any(test, feature = "lockdep"))]
+    #[cfg(any(test, feature = "lockdep", feature = "model"))]
     const fn build(rank: Option<&'static Rank>, value: T) -> RwLock<T> {
         RwLock {
             rank,
-            inner: std::sync::RwLock::new(value),
+            raw: std::sync::RwLock::new(()),
+            data: UnsafeCell::new(value),
         }
     }
 
-    #[cfg(not(any(test, feature = "lockdep")))]
+    #[cfg(not(any(test, feature = "lockdep", feature = "model")))]
     const fn build(_rank: Option<&'static Rank>, value: T) -> RwLock<T> {
         RwLock {
-            inner: std::sync::RwLock::new(value),
+            raw: std::sync::RwLock::new(()),
+            data: UnsafeCell::new(value),
         }
     }
 
@@ -277,41 +390,41 @@ impl<T> RwLock<T> {
     }
 
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.data.into_inner()
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
-    #[cfg(any(test, feature = "lockdep"))]
-    fn read_guard<'a>(&self, inner: std::sync::RwLockReadGuard<'a, T>) -> RwLockReadGuard<'a, T> {
+    #[cfg(any(test, feature = "model"))]
+    fn addr(&self) -> usize {
+        &self.raw as *const std::sync::RwLock<()> as usize
+    }
+
+    #[cfg(any(test, feature = "model"))]
+    fn rank_name(&self) -> Option<&'static str> {
+        self.rank.map(|r| r.name)
+    }
+
+    fn read_guard<'a>(
+        &'a self,
+        raw: Option<std::sync::RwLockReadGuard<'a, ()>>,
+    ) -> RwLockReadGuard<'a, T> {
         RwLockReadGuard {
-            rank: self.rank,
-            inner,
+            lock: self,
+            raw,
+            _marker: PhantomData,
         }
     }
 
-    #[cfg(not(any(test, feature = "lockdep")))]
-    fn read_guard<'a>(&self, inner: std::sync::RwLockReadGuard<'a, T>) -> RwLockReadGuard<'a, T> {
-        RwLockReadGuard { inner }
-    }
-
-    #[cfg(any(test, feature = "lockdep"))]
     fn write_guard<'a>(
-        &self,
-        inner: std::sync::RwLockWriteGuard<'a, T>,
+        &'a self,
+        raw: Option<std::sync::RwLockWriteGuard<'a, ()>>,
     ) -> RwLockWriteGuard<'a, T> {
         RwLockWriteGuard {
-            rank: self.rank,
-            inner,
+            lock: self,
+            raw,
+            _marker: PhantomData,
         }
-    }
-
-    #[cfg(not(any(test, feature = "lockdep")))]
-    fn write_guard<'a>(
-        &self,
-        inner: std::sync::RwLockWriteGuard<'a, T>,
-    ) -> RwLockWriteGuard<'a, T> {
-        RwLockWriteGuard { inner }
     }
 
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
@@ -319,7 +432,12 @@ impl<T: ?Sized> RwLock<T> {
         if let Some(r) = self.rank {
             lockdep::acquire(r, GuardKind::Shared);
         }
-        self.read_guard(self.inner.read().unwrap_or_else(|e| e.into_inner()))
+        #[cfg(any(test, feature = "model"))]
+        if model::active_on_this_thread() {
+            model::rt::rw_lock(self.addr(), self.rank_name(), false);
+            return self.read_guard(None);
+        }
+        self.read_guard(Some(self.raw.read().unwrap_or_else(|e| e.into_inner())))
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
@@ -327,7 +445,12 @@ impl<T: ?Sized> RwLock<T> {
         if let Some(r) = self.rank {
             lockdep::acquire(r, GuardKind::Exclusive);
         }
-        self.write_guard(self.inner.write().unwrap_or_else(|e| e.into_inner()))
+        #[cfg(any(test, feature = "model"))]
+        if model::active_on_this_thread() {
+            model::rt::rw_lock(self.addr(), self.rank_name(), true);
+            return self.write_guard(None);
+        }
+        self.write_guard(Some(self.raw.write().unwrap_or_else(|e| e.into_inner())))
     }
 
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
@@ -335,7 +458,18 @@ impl<T: ?Sized> RwLock<T> {
         if let Some(r) = self.rank {
             lockdep::acquire(r, GuardKind::Shared);
         }
-        let got = match self.inner.try_read() {
+        #[cfg(any(test, feature = "model"))]
+        if model::active_on_this_thread() {
+            if model::rt::rw_try_lock(self.addr(), self.rank_name(), false) {
+                return Some(self.read_guard(None));
+            }
+            #[cfg(any(test, feature = "lockdep"))]
+            if let Some(r) = self.rank {
+                lockdep::release(r);
+            }
+            return None;
+        }
+        let got = match self.raw.try_read() {
             Ok(g) => Some(g),
             Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
             Err(std::sync::TryLockError::WouldBlock) => None,
@@ -346,7 +480,7 @@ impl<T: ?Sized> RwLock<T> {
                 lockdep::release(r);
             }
         }
-        got.map(|g| self.read_guard(g))
+        got.map(|g| self.read_guard(Some(g)))
     }
 
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
@@ -354,7 +488,18 @@ impl<T: ?Sized> RwLock<T> {
         if let Some(r) = self.rank {
             lockdep::acquire(r, GuardKind::Exclusive);
         }
-        let got = match self.inner.try_write() {
+        #[cfg(any(test, feature = "model"))]
+        if model::active_on_this_thread() {
+            if model::rt::rw_try_lock(self.addr(), self.rank_name(), true) {
+                return Some(self.write_guard(None));
+            }
+            #[cfg(any(test, feature = "lockdep"))]
+            if let Some(r) = self.rank {
+                lockdep::release(r);
+            }
+            return None;
+        }
+        let got = match self.raw.try_write() {
             Ok(g) => Some(g),
             Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
             Err(std::sync::TryLockError::WouldBlock) => None,
@@ -365,14 +510,12 @@ impl<T: ?Sized> RwLock<T> {
                 lockdep::release(r);
             }
         }
-        got.map(|g| self.write_guard(g))
+        got.map(|g| self.write_guard(Some(g)))
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        match self.inner.get_mut() {
-            Ok(v) => v,
-            Err(e) => e.into_inner(),
-        }
+        // SAFETY: `&mut self` guarantees no guard is outstanding.
+        unsafe { &mut *self.data.get() }
     }
 }
 
@@ -391,15 +534,22 @@ impl<T: fmt::Debug + ?Sized> fmt::Debug for RwLock<T> {
 /// Guard returned by [`RwLock::read`].
 #[must_use = "dropping an RwLockReadGuard immediately releases the lock"]
 pub struct RwLockReadGuard<'a, T: ?Sized> {
-    #[cfg(any(test, feature = "lockdep"))]
-    rank: Option<&'static Rank>,
-    inner: std::sync::RwLockReadGuard<'a, T>,
+    lock: &'a RwLock<T>,
+    // Held for its Drop (releases the raw lock); never read directly.
+    #[allow(dead_code)]
+    raw: Option<std::sync::RwLockReadGuard<'a, ()>>,
+    _marker: PhantomData<&'a T>,
 }
 
-#[cfg(any(test, feature = "lockdep"))]
+#[cfg(any(test, feature = "lockdep", feature = "model"))]
 impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
     fn drop(&mut self) {
-        if let Some(r) = self.rank {
+        #[cfg(any(test, feature = "model"))]
+        if self.raw.is_none() {
+            model::rt::rw_unlock(self.lock.addr(), false);
+        }
+        #[cfg(any(test, feature = "lockdep"))]
+        if let Some(r) = self.lock.rank {
             lockdep::release(r);
         }
     }
@@ -408,22 +558,31 @@ impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        // SAFETY: the guard proves a live shared acquisition; writers
+        // are excluded for its lifetime.
+        unsafe { &*self.lock.data.get() }
     }
 }
 
 /// Guard returned by [`RwLock::write`].
 #[must_use = "dropping an RwLockWriteGuard immediately releases the lock"]
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
-    #[cfg(any(test, feature = "lockdep"))]
-    rank: Option<&'static Rank>,
-    inner: std::sync::RwLockWriteGuard<'a, T>,
+    lock: &'a RwLock<T>,
+    // Held for its Drop (releases the raw lock); never read directly.
+    #[allow(dead_code)]
+    raw: Option<std::sync::RwLockWriteGuard<'a, ()>>,
+    _marker: PhantomData<&'a mut T>,
 }
 
-#[cfg(any(test, feature = "lockdep"))]
+#[cfg(any(test, feature = "lockdep", feature = "model"))]
 impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
     fn drop(&mut self) {
-        if let Some(r) = self.rank {
+        #[cfg(any(test, feature = "model"))]
+        if self.raw.is_none() {
+            model::rt::rw_unlock(self.lock.addr(), true);
+        }
+        #[cfg(any(test, feature = "lockdep"))]
+        if let Some(r) = self.lock.rank {
             lockdep::release(r);
         }
     }
@@ -432,13 +591,15 @@ impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        // SAFETY: the guard proves a live exclusive acquisition.
+        unsafe { &*self.lock.data.get() }
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        // SAFETY: as in `deref`.
+        unsafe { &mut *self.lock.data.get() }
     }
 }
 
@@ -642,5 +803,225 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), rank::ALL.len(), "rank names must be unique");
+    }
+}
+
+#[cfg(test)]
+mod model_tests {
+    //! Self-tests for the deterministic model checker. These run as part
+    //! of the tier-1 suite (the shim's own `cargo test`); the protocol
+    //! scenarios against the real engine live in `crates/core/tests`.
+    use super::*;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    #[test]
+    fn exhaustive_explores_both_orders_of_two_tasks() {
+        // Two tasks append to a shared log; DFS must produce schedules
+        // in which each order occurs, and more than one schedule total.
+        let report = model::explore(&model::Config::exhaustive(), || {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let l1 = Arc::clone(&log);
+            let l2 = Arc::clone(&log);
+            let t1 = model::spawn(move || l1.lock().push(1));
+            let t2 = model::spawn(move || l2.lock().push(2));
+            t1.join();
+            t2.join();
+            let v = log.lock().clone();
+            assert!(v == vec![1, 2] || v == vec![2, 1], "{v:?}");
+        });
+        assert!(report.schedules > 1, "expected >1 schedule, got {report:?}");
+    }
+
+    #[test]
+    fn model_deadlock_is_detected_and_replayable() {
+        // Classic AB-BA deadlock with *unranked* locks (invisible to
+        // lockdep): the model scheduler must find it, and the reported
+        // token must reproduce it deterministically.
+        let run = |cfg: &model::Config| {
+            model::explore_result(cfg, || {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t1 = model::spawn(move || {
+                    let _ga = a1.lock();
+                    let _gb = b1.lock();
+                });
+                let t2 = model::spawn(move || {
+                    let _gb = b2.lock();
+                    let _ga = a2.lock();
+                });
+                t1.join();
+                t2.join();
+            })
+        };
+        let failure = run(&model::Config::exhaustive()).unwrap_err();
+        assert!(failure.message.contains("deadlock"), "{failure}");
+        let replay = run(&model::Config::replay(&failure.token)).unwrap_err();
+        assert!(replay.message.contains("deadlock"), "{replay}");
+        assert_eq!(replay.schedules, 1, "replay must fail on its only schedule");
+    }
+
+    #[test]
+    fn random_mode_finds_deadlock_and_seed_replays_it() {
+        let body = || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = model::spawn(move || {
+                let _ga = a1.lock();
+                let _gb = b1.lock();
+            });
+            let t2 = model::spawn(move || {
+                let _gb = b2.lock();
+                let _ga = a2.lock();
+            });
+            t1.join();
+            t2.join();
+        };
+        let failure = model::explore_result(&model::Config::random(0xA11CE, 300), body)
+            .expect_err("random exploration should find the AB-BA deadlock");
+        assert!(failure.token.starts_with("seed:"), "{}", failure.token);
+        let replay = model::explore_result(&model::Config::replay(&failure.token), body)
+            .expect_err("seed replay must reproduce the deadlock");
+        assert_eq!(replay.message, failure.message);
+    }
+
+    #[test]
+    fn race_detector_flags_relaxed_and_passes_release_acquire() {
+        // Relaxed publication: flag + data written non-atomically
+        // under no ordering — the detector must flag it.
+        let relaxed = model::explore_result(&model::Config::exhaustive().with_races(), || {
+            let flag = Arc::new(TrackedAtomicU64::new(0));
+            let (f1, f2) = (Arc::clone(&flag), Arc::clone(&flag));
+            let t1 = model::spawn(move || f1.store(1, Ordering::Relaxed));
+            let t2 = model::spawn(move || f2.load(Ordering::Relaxed));
+            t1.join();
+            t2.join();
+        });
+        let failure = relaxed.expect_err("relaxed concurrent accesses must be flagged");
+        assert!(failure.message.contains("data race"), "{failure}");
+
+        // The same shape with Release/Acquire ordering is clean.
+        let ordered = model::explore_result(&model::Config::exhaustive().with_races(), || {
+            let flag = Arc::new(TrackedAtomicU64::new(0));
+            let (f1, f2) = (Arc::clone(&flag), Arc::clone(&flag));
+            let t1 = model::spawn(move || f1.store(1, Ordering::Release));
+            let t2 = model::spawn(move || f2.load(Ordering::Acquire));
+            t1.join();
+            t2.join();
+        });
+        assert!(ordered.is_ok(), "{ordered:?}");
+    }
+
+    #[test]
+    fn condvar_predicate_recheck_survives_spurious_wakeups() {
+        // A correct condvar loop (while !ready { wait }) must be clean
+        // even though the scheduler injects spurious wake-ups.
+        let report = model::explore(&model::Config::exhaustive(), || {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s1 = Arc::clone(&state);
+            let waiter = model::spawn(move || {
+                let (m, cv) = &*s1;
+                let mut g = m.lock();
+                while !*g {
+                    g = cv.wait(g);
+                }
+            });
+            let s2 = Arc::clone(&state);
+            let setter = model::spawn(move || {
+                let (m, cv) = &*s2;
+                *m.lock() = true;
+                cv.notify_one();
+            });
+            waiter.join();
+            setter.join();
+        });
+        assert!(report.schedules > 1, "{report:?}");
+    }
+
+    #[test]
+    fn condvar_missing_recheck_is_caught_with_replayable_token() {
+        // The same scenario with the re-check loop degraded to a single
+        // `if` (the classic lost-wakeup/spurious bug, here driven by a
+        // named mutation): a spurious wake-up slips past the predicate
+        // and the post-wait assertion fires.
+        let body = || {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s1 = Arc::clone(&state);
+            let waiter = model::spawn(move || {
+                let (m, cv) = &*s1;
+                let mut g = m.lock();
+                if fail_point("shim-test.drop-recheck") {
+                    if !*g {
+                        g = cv.wait(g);
+                    }
+                } else {
+                    while !*g {
+                        g = cv.wait(g);
+                    }
+                }
+                assert!(*g, "woke with predicate false: re-check loop missing");
+            });
+            let s2 = Arc::clone(&state);
+            let setter = model::spawn(move || {
+                let (m, cv) = &*s2;
+                *m.lock() = true;
+                cv.notify_one();
+            });
+            waiter.join();
+            setter.join();
+        };
+        let cfg = model::Config::exhaustive().with_mutation("shim-test.drop-recheck");
+        let failure = model::explore_result(&cfg, body).expect_err("mutation must be caught");
+        assert!(
+            failure.message.contains("re-check loop missing"),
+            "{failure}"
+        );
+        let replay_cfg =
+            model::Config::replay(&failure.token).with_mutation("shim-test.drop-recheck");
+        let replay = model::explore_result(&replay_cfg, body).unwrap_err();
+        assert!(replay.message.contains("re-check loop missing"), "{replay}");
+    }
+
+    #[test]
+    fn fail_point_is_inactive_without_a_mutation_and_outside_explore() {
+        assert!(!fail_point("shim-test.never-registered"));
+        model::explore(&model::Config::exhaustive(), || {
+            assert!(!fail_point("shim-test.not-configured"));
+        });
+    }
+
+    #[test]
+    fn rwlock_readers_share_and_writers_exclude_under_model() {
+        let report = model::explore(
+            &model::Config::exhaustive().with_max_schedules(2_000),
+            || {
+                let l = Arc::new(RwLock::new(0u32));
+                let (l1, l2, l3) = (Arc::clone(&l), Arc::clone(&l), Arc::clone(&l));
+                let w = model::spawn(move || *l1.write() += 1);
+                let r1 = model::spawn(move || *l2.read());
+                let r2 = model::spawn(move || *l3.read());
+                w.join();
+                let (a, b) = (r1.join(), r2.join());
+                assert!(a <= 1 && b <= 1);
+                assert_eq!(*l.read(), 1);
+            },
+        );
+        assert!(report.schedules > 1, "{report:?}");
+    }
+
+    #[test]
+    fn tracked_atomics_pass_through_on_unregistered_threads() {
+        let a = TrackedAtomicUsize::new(7);
+        assert_eq!(a.load(Ordering::SeqCst), 7);
+        a.store(9, Ordering::SeqCst);
+        assert_eq!(a.fetch_add(1, Ordering::SeqCst), 9);
+        assert_eq!(a.load(Ordering::SeqCst), 10);
+        let b = TrackedAtomicBool::new(false);
+        assert!(!b.swap(true, Ordering::SeqCst));
+        assert!(b.load(Ordering::SeqCst));
     }
 }

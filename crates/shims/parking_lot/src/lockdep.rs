@@ -234,3 +234,64 @@ pub fn io_region(what: &'static str) -> IoRegion {
         _not_send: std::marker::PhantomData,
     }
 }
+
+/// Render the lock hierarchy as GraphViz DOT: one node per production
+/// rank (labelled with its level; io-tolerant storage-band classes drawn
+/// as boxes) plus any test-minted classes that appear in recorded edges,
+/// and one edge per acquired-while-holding pair observed so far in this
+/// process. CI runs the lockdep suite and archives the dump
+/// (`target/lockdep-graph.dot`), so hierarchy drift shows up as an
+/// artifact diff rather than a surprise cycle panic two PRs later.
+pub fn dot_graph() -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+
+    // Rank metadata by name: production ranks from the table, classes
+    // seen only in edges (test-minted) fall back to bare nodes.
+    let meta: BTreeMap<&str, &'static Rank> =
+        crate::rank::ALL.iter().map(|r| (r.name, *r)).collect();
+    let mut edges: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    {
+        let g = graph().lock().unwrap_or_else(|e| e.into_inner());
+        for (&from, tos) in g.iter() {
+            let mut names: Vec<&str> = tos.keys().copied().collect();
+            names.sort_unstable();
+            edges.insert(from, names);
+        }
+    }
+    let mut out = String::from("digraph lockdep {\n    rankdir=TB;\n");
+    let emit_node = |out: &mut String, name: &str| match meta.get(name) {
+        Some(r) => {
+            let shape = if r.io_tolerant { "box" } else { "ellipse" };
+            let _ = writeln!(
+                out,
+                "    \"{name}\" [label=\"{name}\\nlevel {}\", shape={shape}];",
+                r.level
+            );
+        }
+        None => {
+            let _ = writeln!(out, "    \"{name}\" [style=dashed];");
+        }
+    };
+    let mut named: Vec<&str> = meta.keys().copied().collect();
+    for (&from, tos) in edges.iter() {
+        if !named.contains(&from) {
+            named.push(from);
+        }
+        for &to in tos {
+            if !named.contains(&to) {
+                named.push(to);
+            }
+        }
+    }
+    for name in named {
+        emit_node(&mut out, name);
+    }
+    for (from, tos) in edges {
+        for to in tos {
+            let _ = writeln!(out, "    \"{from}\" -> \"{to}\";");
+        }
+    }
+    out.push_str("}\n");
+    out
+}

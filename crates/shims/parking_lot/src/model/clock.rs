@@ -1,0 +1,65 @@
+//! Vector clocks for the happens-before layer of `natix-model`.
+//!
+//! Every model task carries a clock; locks, condvars and tracked atomics
+//! carry "release" clocks that synchronising operations join into the
+//! acquiring task. Two events are *concurrent* when neither clock is
+//! component-wise `<=` the other — the race detector flags concurrent
+//! conflicting accesses to a tracked atomic when at least one side used
+//! `Ordering::Relaxed` (properly release/acquire-ordered protocols are
+//! never flagged).
+
+/// A grow-on-demand vector clock indexed by model task id.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    /// Advance this clock's own component: a new local event.
+    pub(crate) fn tick(&mut self, id: usize) {
+        if self.0.len() <= id {
+            self.0.resize(id + 1, 0);
+        }
+        self.0[id] += 1;
+    }
+
+    /// Component-wise maximum: `self` learns everything `other` knows.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// `true` iff every event in `self` is already known to `other`
+    /// (i.e. `self` happens-before-or-equals `other`).
+    pub(crate) fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.0.get(i).copied().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_ordering() {
+        let mut a = VClock::default();
+        let mut b = VClock::default();
+        a.tick(0);
+        b.tick(1);
+        // Independent ticks are concurrent: neither <= the other.
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        b.join(&a);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        let empty = VClock::default();
+        assert!(empty.le(&a));
+    }
+}

@@ -1,0 +1,370 @@
+//! `natix-model` — a loom/shuttle-style deterministic concurrency model
+//! checker baked into the parking_lot shim (hand-rolled: this repository
+//! builds offline). Compiled only under `cfg(any(test, feature =
+//! "model"))`; release builds keep the zero-cost shim.
+//!
+//! # How it works
+//!
+//! [`explore`] runs a scenario body repeatedly, once per *schedule*.
+//! Inside a schedule, every shim synchronisation operation — `Mutex` /
+//! `RwLock` acquire and release, `Condvar` wait/notify, tracked-atomic
+//! access ([`crate::TrackedAtomicU64`] and friends), [`spawn`] / join —
+//! becomes a cooperative decision point: a single scheduler picks which
+//! task runs next and parks everyone else, so exactly one OS thread is
+//! ever runnable and the schedule's outcome is a pure function of the
+//! choice sequence.
+//!
+//! Two exploration modes:
+//! - **bounded-exhaustive DFS** ([`Mode::Exhaustive`]) enumerates every
+//!   interleaving of a small model, bounded by a branch budget and a
+//!   schedule cap;
+//! - **seeded random** ([`Mode::Random`]), PCT-flavoured (biased toward
+//!   few preemptions), samples large models; each schedule derives its
+//!   own seed from the base seed, and a failure prints that seed.
+//!
+//! Every failure carries a replay **token** (`seed:N` or `dfs:0.1.2`);
+//! [`Config::replay`] re-runs exactly that interleaving.
+//!
+//! A vector-clock happens-before race detector (enable with
+//! [`Config::with_races`]) is layered over tracked atomics: concurrent
+//! conflicting accesses where at least one side is `Ordering::Relaxed`
+//! are reported as races — correctly release/acquire-ordered protocols
+//! are never flagged.
+//!
+//! Named **mutations** ([`Config::with_mutation`]) drive the fail-point
+//! harness: production guards query [`crate::fail_point`] (a const
+//! `false` outside model builds) so model tests can revert a specific
+//! guard and assert the checker catches the resulting race.
+
+pub(crate) mod clock;
+pub(crate) mod rt;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+
+/// Is the calling OS thread a registered task of a running exploration?
+/// When `false`, shim primitives behave exactly as without the model.
+pub fn active_on_this_thread() -> bool {
+    rt::active_on_this_thread()
+}
+
+/// Is the named mutation active in the current exploration? `false` on
+/// unregistered threads. Production code should prefer
+/// [`crate::fail_point`], which also compiles (to `false`) in release
+/// builds.
+pub fn mutation(name: &str) -> bool {
+    rt::mutation_active(name)
+}
+
+/// Exploration policy.
+#[derive(Clone, Debug)]
+pub enum Mode {
+    /// Bounded-exhaustive DFS over all interleavings, stopping after
+    /// `max_schedules` schedules if the space is larger.
+    Exhaustive { max_schedules: usize },
+    /// `schedules` seeded random schedules; schedule `i` runs under a
+    /// seed derived from `seed` and `i`, printed on failure.
+    Random { seed: u64, schedules: usize },
+    /// Replay a single schedule from a failure token
+    /// (`seed:N` or `dfs:0.1.2`).
+    Replay { token: String },
+}
+
+/// Configuration for one [`explore`] call.
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub mode: Mode,
+    /// Branching-decision budget per schedule; exceeding it silently
+    /// prunes the schedule (counted in [`Report::pruned`]).
+    pub max_branches: usize,
+    /// Spurious condvar wake-ups the scheduler may inject per task per
+    /// schedule. 1 is enough to catch missing re-check loops.
+    pub max_spurious: usize,
+    /// Enable the vector-clock happens-before race detector over
+    /// tracked atomics.
+    pub check_races: bool,
+    /// Active mutation (fail-point) names; see [`crate::fail_point`].
+    pub mutations: Vec<String>,
+}
+
+impl Config {
+    pub fn exhaustive() -> Config {
+        Config {
+            mode: Mode::Exhaustive {
+                max_schedules: 20_000,
+            },
+            max_branches: 4_000,
+            max_spurious: 1,
+            check_races: false,
+            mutations: Vec::new(),
+        }
+    }
+
+    pub fn random(seed: u64, schedules: usize) -> Config {
+        Config {
+            mode: Mode::Random { seed, schedules },
+            ..Config::exhaustive()
+        }
+    }
+
+    /// Build a replay config from a failure token (`seed:N` / `dfs:...`).
+    pub fn replay(token: &str) -> Config {
+        Config {
+            mode: Mode::Replay {
+                token: token.to_string(),
+            },
+            ..Config::exhaustive()
+        }
+    }
+
+    pub fn with_max_schedules(mut self, n: usize) -> Config {
+        if let Mode::Exhaustive { max_schedules } = &mut self.mode {
+            *max_schedules = n;
+        }
+        self
+    }
+
+    pub fn with_max_branches(mut self, n: usize) -> Config {
+        self.max_branches = n;
+        self
+    }
+
+    pub fn with_max_spurious(mut self, n: usize) -> Config {
+        self.max_spurious = n;
+        self
+    }
+
+    pub fn with_races(mut self) -> Config {
+        self.check_races = true;
+        self
+    }
+
+    pub fn with_mutation(mut self, name: &str) -> Config {
+        self.mutations.push(name.to_string());
+        self
+    }
+}
+
+/// Summary of a clean exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Schedules fully executed.
+    pub schedules: usize,
+    /// Schedules cut short by the branch budget.
+    pub pruned: usize,
+}
+
+/// A failing schedule: the failure message plus the token that replays
+/// the exact interleaving via [`Config::replay`].
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub message: String,
+    pub token: String,
+    /// Schedules executed up to and including the failing one.
+    pub schedules: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [schedule {} — replay with token '{}']",
+            self.message, self.schedules, self.token
+        )
+    }
+}
+
+fn run_gate() -> &'static StdMutex<()> {
+    static G: OnceLock<StdMutex<()>> = OnceLock::new();
+    G.get_or_init(|| StdMutex::new(()))
+}
+
+fn parse_token(token: &str) -> Result<rt::Sched, String> {
+    if let Some(seed) = token.strip_prefix("seed:") {
+        let seed: u64 = seed
+            .parse()
+            .map_err(|e| format!("model: bad seed token '{token}': {e}"))?;
+        return Ok(rt::Sched::Rand { state: seed, seed });
+    }
+    if let Some(trace) = token.strip_prefix("dfs:") {
+        let mut stack = Vec::new();
+        if !trace.is_empty() {
+            for part in trace.split('.') {
+                let c: usize = part
+                    .parse()
+                    .map_err(|e| format!("model: bad dfs token '{token}': {e}"))?;
+                stack.push((c, usize::MAX));
+            }
+        }
+        return Ok(rt::Sched::Dfs { stack, depth: 0 });
+    }
+    Err(format!("model: unrecognised replay token '{token}'"))
+}
+
+/// Explore the scenario under `config`, returning either a clean
+/// [`Report`] or the first [`Failure`] (with its replay token).
+///
+/// The body runs once per schedule on the calling thread (task 0) and
+/// may [`spawn`] further tasks; it must construct any shared state
+/// fresh inside the closure so schedules are independent. Explorations
+/// are serialised process-wide.
+pub fn explore_result<F: Fn()>(config: &Config, body: F) -> Result<Report, Failure> {
+    let _gate = run_gate().lock().unwrap_or_else(|e| e.into_inner());
+    let mut schedules = 0usize;
+    let mut pruned_total = 0usize;
+    let mut dfs_stack: Vec<(usize, usize)> = Vec::new();
+    let mut index = 0usize;
+    loop {
+        let sched = match &config.mode {
+            Mode::Exhaustive { .. } => rt::Sched::Dfs {
+                stack: dfs_stack.clone(),
+                depth: 0,
+            },
+            Mode::Random { seed, .. } => {
+                let s = rt::derive_seed(*seed, index);
+                rt::Sched::Rand { state: s, seed: s }
+            }
+            Mode::Replay { token } => match parse_token(token) {
+                Ok(s) => s,
+                Err(msg) => {
+                    return Err(Failure {
+                        message: msg,
+                        token: token.clone(),
+                        schedules: 0,
+                    })
+                }
+            },
+        };
+        rt::begin_schedule(
+            sched,
+            config.max_branches,
+            config.max_spurious,
+            config.check_races,
+            &config.mutations,
+        );
+        let payload = catch_unwind(AssertUnwindSafe(&body)).err();
+        rt::task_done(0, payload);
+        let out = rt::end_schedule();
+        schedules += 1;
+        if out.pruned {
+            pruned_total += 1;
+        }
+        if let Some(message) = out.failure {
+            return Err(Failure {
+                message,
+                token: out.token,
+                schedules,
+            });
+        }
+        match &config.mode {
+            Mode::Exhaustive { max_schedules } => {
+                if schedules >= *max_schedules {
+                    break;
+                }
+                let mut stack = out.dfs_stack.unwrap_or_default();
+                // Backtrack: advance the deepest decision with an
+                // untried alternative; exploration is complete when
+                // none remains.
+                loop {
+                    match stack.last_mut() {
+                        None => {
+                            return Ok(Report {
+                                schedules,
+                                pruned: pruned_total,
+                            })
+                        }
+                        Some(last) => {
+                            if last.0 + 1 < last.1 {
+                                last.0 += 1;
+                                break;
+                            }
+                            stack.pop();
+                        }
+                    }
+                }
+                dfs_stack = stack;
+            }
+            Mode::Random { schedules: n, .. } => {
+                index += 1;
+                if index >= *n {
+                    break;
+                }
+            }
+            Mode::Replay { .. } => break,
+        }
+    }
+    Ok(Report {
+        schedules,
+        pruned: pruned_total,
+    })
+}
+
+/// Like [`explore_result`] but panics on failure with a message that
+/// includes the replay token.
+pub fn explore<F: Fn()>(config: &Config, body: F) -> Report {
+    match explore_result(config, body) {
+        Ok(r) => r,
+        Err(f) => panic!("natix-model failure: {f}"),
+    }
+}
+
+/// Handle to a task spawned with [`spawn`]; `join` blocks the calling
+/// task cooperatively and returns the closure's value.
+pub struct JoinHandle<T> {
+    id: usize,
+    result: Arc<StdMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> T {
+        rt::join_block(self.id);
+        let taken = self.result.lock().unwrap_or_else(|e| e.into_inner()).take();
+        match taken {
+            Some(v) => v,
+            // The task ended without a value, i.e. it panicked; the
+            // runtime is already aborting — propagate.
+            None => std::panic::panic_any(rt::Abort),
+        }
+    }
+}
+
+/// Spawn a model task on its own OS thread. Must be called from a
+/// registered task of a running exploration. The spawn itself and the
+/// child's first step are scheduling decisions; panics in `f` become
+/// schedule failures with a replay token.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let id = rt::spawn_register();
+    let result = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    let os = std::thread::Builder::new()
+        .name(format!("model-task-{id}"))
+        .spawn(move || {
+            rt::register_thread(id);
+            let payload = catch_unwind(AssertUnwindSafe(|| {
+                rt::first_wait(id);
+                f()
+            }));
+            match payload {
+                Ok(v) => {
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                    rt::task_done(id, None);
+                }
+                Err(p) => rt::task_done(id, Some(p)),
+            }
+        })
+        .expect("model: failed to spawn an OS thread for a model task");
+    rt::os_handle_register(os);
+    rt::after_spawn_yield();
+    JoinHandle { id, result }
+}
+
+/// An explicit decision point with no side effects.
+pub fn yield_now() {
+    if rt::active_on_this_thread() {
+        rt::yield_now();
+    }
+}

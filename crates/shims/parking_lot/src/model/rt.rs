@@ -1,0 +1,1094 @@
+//! The deterministic scheduler runtime behind [`crate::model`].
+//!
+//! One schedule = one run of the user's scenario body with every
+//! synchronisation operation (shim lock acquire/release, condvar
+//! wait/notify, tracked-atomic access, spawn/join) turned into a
+//! *decision point*: the runtime picks which registered task runs next
+//! and blocks everyone else on a baton (a std condvar over the global
+//! runtime state). Real OS threads back the tasks, but exactly one is
+//! ever runnable, so a schedule's outcome is a pure function of the
+//! choice sequence — which is what makes failures replayable.
+//!
+//! The scheduling policy lives in [`Sched`]: bounded-exhaustive DFS over
+//! a replayed choice stack, or seeded (PCT-flavoured, preemption-biased)
+//! random. Both only branch when more than one task is eligible.
+//!
+//! The runtime also carries the vector-clock state for the
+//! happens-before race detector (see [`super::clock`]) and the named
+//! mutation set for the fail-point harness.
+
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+
+use super::clock::VClock;
+
+/// Absolute per-schedule decision cap: a backstop against livelock in
+/// the modelled code itself. Branching decisions are bounded separately
+/// (and much lower) by `State::max_branches`.
+const ABS_MAX_STEPS: usize = 2_000_000;
+
+/// Panic payload used to unwind tasks when a schedule aborts (a failure
+/// was recorded elsewhere, or the branch budget pruned this schedule).
+/// Swallowed by the per-task `catch_unwind`; never user-visible.
+pub(crate) struct Abort;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Running,
+    Runnable,
+    Blocked,
+    Done,
+}
+
+enum Wait {
+    None,
+    Mutex(usize),
+    RwShared(usize),
+    RwExclusive(usize),
+    Condvar {
+        cv: usize,
+        mutex: usize,
+        can_time_out: bool,
+        notified: bool,
+    },
+    Join(usize),
+}
+
+struct Task {
+    status: Status,
+    wait: Wait,
+    clock: VClock,
+    /// Spurious condvar wake-ups granted to this task this schedule.
+    spurious: usize,
+    /// Set by `grant` when a `wait_timeout` waiter is woken without a
+    /// pending notification; read back by `condvar_wait`.
+    woke_by_timeout: bool,
+}
+
+impl Task {
+    fn fresh(clock: VClock) -> Task {
+        Task {
+            status: Status::Runnable,
+            wait: Wait::None,
+            clock,
+            spurious: 0,
+            woke_by_timeout: false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct LockState {
+    exclusive: Option<usize>,
+    shared: Vec<usize>,
+    /// Joined from each releasing task; joined into each acquiring task.
+    clock: VClock,
+    /// Rank name when the lock is ranked — deadlock diagnostics only.
+    rank: Option<&'static str>,
+    /// Per-schedule creation ordinal: a deterministic name for
+    /// diagnostics (raw addresses vary between runs and would make
+    /// replayed failure messages differ from the original).
+    ord: usize,
+}
+
+impl LockState {
+    fn free_for_exclusive(&self) -> bool {
+        self.exclusive.is_none() && self.shared.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct CvState {
+    /// Waiting task ids in registration order (notify_one wakes the
+    /// oldest un-notified waiter, like a fair queue).
+    waiters: Vec<usize>,
+    /// Joined from each notifier; joined into each *notified* waiter.
+    clock: VClock,
+    /// Per-schedule creation ordinal (see `LockState::ord`).
+    ord: usize,
+}
+
+#[derive(Clone)]
+struct Access {
+    task: usize,
+    clock: VClock,
+    relaxed: bool,
+}
+
+#[derive(Default)]
+struct AtomicState {
+    /// Release clock: joined by release-ordered writes, joined into
+    /// acquire-ordered loads/RMWs.
+    clock: VClock,
+    last_write: Option<Access>,
+    /// Last read per task (bounded by task count).
+    reads: Vec<Access>,
+    /// Per-schedule creation ordinal (see `LockState::ord`).
+    ord: usize,
+}
+
+/// What kind of tracked-atomic operation occurred (for HB + race rules).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum AtomOp {
+    Load,
+    Store,
+    Rmw,
+}
+
+/// Scheduling policy state for one schedule.
+pub(crate) enum Sched {
+    /// Bounded-exhaustive DFS. `stack` holds `(chosen, options)` per
+    /// branching decision; the prefix below `stack.len()` replays, the
+    /// first fresh decision pushes `(0, n)`. The driver backtracks by
+    /// advancing the deepest frame with alternatives left.
+    Dfs {
+        stack: Vec<(usize, usize)>,
+        depth: usize,
+    },
+    /// Seeded random, biased toward *not* preempting the running task
+    /// (1-in-4 preemption chance), which concentrates schedules on the
+    /// small preemption counts where real races live (PCT-style).
+    Rand { state: u64, seed: u64 },
+}
+
+struct State {
+    tasks: Vec<Task>,
+    current: usize,
+    locks: HashMap<usize, LockState>,
+    cvs: HashMap<usize, CvState>,
+    atomics: HashMap<usize, AtomicState>,
+    sched: Sched,
+    /// Branching decisions (options > 1) this schedule.
+    branches: usize,
+    /// All decisions this schedule (livelock backstop).
+    steps: usize,
+    max_branches: usize,
+    max_spurious: usize,
+    check_races: bool,
+    mutations: HashSet<String>,
+    failure: Option<String>,
+    pruned: bool,
+    aborting: bool,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    /// Next creation ordinal for locks/condvars/atomics (diagnostics).
+    next_ord: usize,
+}
+
+/// Look up or create the lock record for `addr`, stamping a creation
+/// ordinal on first sight so diagnostics are replay-stable.
+fn lock_mut(state: &mut State, addr: usize) -> &mut LockState {
+    if !state.locks.contains_key(&addr) {
+        let ord = state.next_ord;
+        state.next_ord += 1;
+        state.locks.insert(
+            addr,
+            LockState {
+                ord,
+                ..LockState::default()
+            },
+        );
+    }
+    state.locks.get_mut(&addr).expect("just inserted")
+}
+
+/// As [`lock_mut`], for condvars.
+fn cv_mut(state: &mut State, addr: usize) -> &mut CvState {
+    if !state.cvs.contains_key(&addr) {
+        let ord = state.next_ord;
+        state.next_ord += 1;
+        state.cvs.insert(
+            addr,
+            CvState {
+                ord,
+                ..CvState::default()
+            },
+        );
+    }
+    state.cvs.get_mut(&addr).expect("just inserted")
+}
+
+/// As [`lock_mut`], for tracked atomics.
+fn atomic_mut(state: &mut State, addr: usize) -> &mut AtomicState {
+    if !state.atomics.contains_key(&addr) {
+        let ord = state.next_ord;
+        state.next_ord += 1;
+        state.atomics.insert(
+            addr,
+            AtomicState {
+                ord,
+                ..AtomicState::default()
+            },
+        );
+    }
+    state.atomics.get_mut(&addr).expect("just inserted")
+}
+
+impl State {
+    fn idle() -> State {
+        State {
+            tasks: Vec::new(),
+            current: 0,
+            locks: HashMap::new(),
+            cvs: HashMap::new(),
+            atomics: HashMap::new(),
+            sched: Sched::Dfs {
+                stack: Vec::new(),
+                depth: 0,
+            },
+            branches: 0,
+            steps: 0,
+            max_branches: 0,
+            max_spurious: 0,
+            check_races: false,
+            mutations: HashSet::new(),
+            failure: None,
+            pruned: false,
+            aborting: false,
+            os_handles: Vec::new(),
+            next_ord: 0,
+        }
+    }
+}
+
+struct Rt {
+    mx: StdMutex<State>,
+    cv: StdCondvar,
+}
+
+fn rt() -> &'static Rt {
+    static R: OnceLock<Rt> = OnceLock::new();
+    R.get_or_init(|| Rt {
+        mx: StdMutex::new(State::idle()),
+        cv: StdCondvar::new(),
+    })
+}
+
+fn st() -> StdMutexGuard<'static, State> {
+    rt().mx.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    /// The model task id this OS thread is registered as, if any.
+    /// Unregistered threads pass straight through to the real shim.
+    static CURRENT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+pub(crate) fn current_task() -> Option<usize> {
+    CURRENT.with(Cell::get)
+}
+
+/// Is this thread a registered model task of a running exploration?
+pub(crate) fn active_on_this_thread() -> bool {
+    current_task().is_some()
+}
+
+fn must_current() -> usize {
+    match current_task() {
+        Some(id) => id,
+        None => unreachable!("model runtime entered from an unregistered thread"),
+    }
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the per-schedule seed for schedule `index` of a random run.
+pub(crate) fn derive_seed(base: u64, index: usize) -> u64 {
+    let mut x = base ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1);
+    splitmix64(&mut x)
+}
+
+fn fail(state: &mut State, message: String) {
+    if state.failure.is_none() {
+        state.failure = Some(message);
+    }
+    state.aborting = true;
+}
+
+fn abort_now() -> ! {
+    rt().cv.notify_all();
+    std::panic::panic_any(Abort)
+}
+
+fn check(r: Result<(), Abort>) {
+    if r.is_err() {
+        std::panic::panic_any(Abort);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Eligibility, granting, and the central scheduling decision
+// ---------------------------------------------------------------------------
+
+fn eligible(state: &State, t: usize) -> bool {
+    match state.tasks[t].status {
+        Status::Running | Status::Runnable => true,
+        Status::Done => false,
+        Status::Blocked => match state.tasks[t].wait {
+            Wait::None => false,
+            Wait::Mutex(a) | Wait::RwExclusive(a) => state
+                .locks
+                .get(&a)
+                .is_none_or(LockState::free_for_exclusive),
+            Wait::RwShared(a) => state.locks.get(&a).is_none_or(|l| l.exclusive.is_none()),
+            Wait::Condvar {
+                mutex,
+                can_time_out,
+                notified,
+                ..
+            } => {
+                // Waking a waiter reacquires its mutex in the same step,
+                // so the mutex must be free; an un-notified waiter can
+                // still wake by timeout or by a (budgeted) spurious wake.
+                state
+                    .locks
+                    .get(&mutex)
+                    .is_none_or(LockState::free_for_exclusive)
+                    && (notified || can_time_out || state.tasks[t].spurious < state.max_spurious)
+            }
+            Wait::Join(j) => state.tasks[j].status == Status::Done,
+        },
+    }
+}
+
+/// Make `t` the running task, performing whatever its wake-up implies
+/// (lock acquisition, condvar dequeue + mutex reacquire, join edge).
+fn grant(state: &mut State, t: usize) {
+    if state.tasks[t].status != Status::Blocked {
+        state.tasks[t].status = Status::Running;
+        return;
+    }
+    let wait = std::mem::replace(&mut state.tasks[t].wait, Wait::None);
+    match wait {
+        Wait::None => {}
+        Wait::Mutex(a) | Wait::RwExclusive(a) => {
+            let lock = lock_mut(state, a);
+            lock.exclusive = Some(t);
+            let lc = lock.clock.clone();
+            state.tasks[t].clock.join(&lc);
+        }
+        Wait::RwShared(a) => {
+            let lock = lock_mut(state, a);
+            lock.shared.push(t);
+            let lc = lock.clock.clone();
+            state.tasks[t].clock.join(&lc);
+        }
+        Wait::Condvar {
+            cv,
+            mutex,
+            can_time_out,
+            notified,
+        } => {
+            if let Some(c) = state.cvs.get_mut(&cv) {
+                c.waiters.retain(|&w| w != t);
+            }
+            state.tasks[t].woke_by_timeout = can_time_out && !notified;
+            if !notified && !can_time_out {
+                state.tasks[t].spurious += 1;
+            }
+            if notified {
+                if let Some(cc) = state.cvs.get(&cv).map(|c| c.clock.clone()) {
+                    state.tasks[t].clock.join(&cc);
+                }
+            }
+            let lock = lock_mut(state, mutex);
+            lock.exclusive = Some(t);
+            let lc = lock.clock.clone();
+            state.tasks[t].clock.join(&lc);
+        }
+        Wait::Join(j) => {
+            let jc = state.tasks[j].clock.clone();
+            state.tasks[t].clock.join(&jc);
+        }
+    }
+    state.tasks[t].status = Status::Running;
+}
+
+/// Pick an index into `options` according to the schedule policy.
+/// Only calls with `options.len() > 1` consume policy state.
+fn choose(state: &mut State, options: &[usize]) -> usize {
+    if options.len() == 1 {
+        return options[0];
+    }
+    state.branches += 1;
+    if state.branches > state.max_branches {
+        state.pruned = true;
+        state.aborting = true;
+        return options[0];
+    }
+    let cur = state.current;
+    let idx = match &mut state.sched {
+        Sched::Dfs { stack, depth } => {
+            let d = *depth;
+            *depth += 1;
+            if d < stack.len() {
+                stack[d].0.min(options.len() - 1)
+            } else {
+                stack.push((0, options.len()));
+                0
+            }
+        }
+        Sched::Rand { state: rng, .. } => {
+            let r = splitmix64(rng);
+            match options.iter().position(|&t| t == cur) {
+                // Preempt the running task only 1 time in 4.
+                Some(p) if r & 3 != 0 => p,
+                Some(p) => {
+                    let k = ((r >> 2) as usize) % (options.len() - 1);
+                    if k < p {
+                        k
+                    } else {
+                        k + 1
+                    }
+                }
+                None => (r as usize) % options.len(),
+            }
+        }
+    };
+    options[idx]
+}
+
+fn describe_blocked(state: &State) -> String {
+    let mut parts = Vec::new();
+    for (i, t) in state.tasks.iter().enumerate() {
+        if t.status != Status::Blocked {
+            continue;
+        }
+        let what = match t.wait {
+            Wait::None => "nothing".to_string(),
+            Wait::Mutex(a) | Wait::RwExclusive(a) | Wait::RwShared(a) => {
+                let (rank, ord) = state
+                    .locks
+                    .get(&a)
+                    .map(|l| (l.rank.unwrap_or("<unranked>"), l.ord))
+                    .unwrap_or(("<unranked>", usize::MAX));
+                format!("lock {rank} #{ord}")
+            }
+            Wait::Condvar { cv, .. } => {
+                let ord = state.cvs.get(&cv).map(|c| c.ord).unwrap_or(usize::MAX);
+                format!("condvar #{ord}")
+            }
+            Wait::Join(j) => format!("join of task {j}"),
+        };
+        parts.push(format!("task {i} blocked on {what}"));
+    }
+    parts.join("; ")
+}
+
+/// The single scheduling decision. The caller must already have set its
+/// own status (Runnable to cede, Blocked to wait). Hands the baton to
+/// the chosen task and, if that is not `me`, parks until it comes back.
+fn decide_and_wait(mut state: StdMutexGuard<'static, State>, me: usize) -> Result<(), Abort> {
+    state.steps += 1;
+    if state.steps > ABS_MAX_STEPS {
+        fail(
+            &mut state,
+            "model: schedule exceeded the absolute step limit (livelock in the modelled code?)"
+                .to_string(),
+        );
+    }
+    if state.aborting {
+        drop(state);
+        rt().cv.notify_all();
+        return Err(Abort);
+    }
+    let options: Vec<usize> = (0..state.tasks.len())
+        .filter(|&t| eligible(&state, t))
+        .collect();
+    if options.is_empty() {
+        let msg = format!(
+            "model: deadlock — no task can run ({})",
+            describe_blocked(&state)
+        );
+        fail(&mut state, msg);
+        drop(state);
+        rt().cv.notify_all();
+        return Err(Abort);
+    }
+    let chosen = choose(&mut state, &options);
+    if state.aborting {
+        drop(state);
+        rt().cv.notify_all();
+        return Err(Abort);
+    }
+    grant(&mut state, chosen);
+    state.current = chosen;
+    if chosen == me {
+        return Ok(());
+    }
+    rt().cv.notify_all();
+    loop {
+        state = rt().cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        if state.aborting {
+            drop(state);
+            rt().cv.notify_all();
+            return Err(Abort);
+        }
+        if state.current == me && state.tasks[me].status == Status::Running {
+            return Ok(());
+        }
+    }
+}
+
+/// A decision point at which the caller stays eligible.
+fn yield_decision(me: usize) -> Result<(), Abort> {
+    let mut state = st();
+    if state.tasks[me].status == Status::Running {
+        state.tasks[me].status = Status::Runnable;
+    }
+    decide_and_wait(state, me)
+}
+
+/// A decision point at which the caller blocks on `wait`; returns once
+/// the scheduler has granted the wake-up (see [`grant`]).
+fn block_decision(
+    mut state: StdMutexGuard<'static, State>,
+    me: usize,
+    wait: Wait,
+) -> Result<(), Abort> {
+    state.tasks[me].status = Status::Blocked;
+    state.tasks[me].wait = wait;
+    decide_and_wait(state, me)
+}
+
+// ---------------------------------------------------------------------------
+// Entry points called from the shim primitives
+// ---------------------------------------------------------------------------
+
+pub(crate) fn yield_now() {
+    let me = must_current();
+    if std::thread::panicking() {
+        return;
+    }
+    check(yield_decision(me));
+}
+
+pub(crate) fn mutex_lock(addr: usize, rank: Option<&'static str>) {
+    let me = must_current();
+    if std::thread::panicking() {
+        // Unwinding code paths must make progress without scheduling.
+        let mut state = st();
+        let lock = lock_mut(&mut state, addr);
+        lock.exclusive = Some(me);
+        return;
+    }
+    check(yield_decision(me));
+    let mut state = st();
+    let lock = lock_mut(&mut state, addr);
+    lock.rank = lock.rank.or(rank);
+    if lock.free_for_exclusive() {
+        lock.exclusive = Some(me);
+        let lc = lock.clock.clone();
+        state.tasks[me].clock.join(&lc);
+        return;
+    }
+    check(block_decision(state, me, Wait::Mutex(addr)));
+}
+
+pub(crate) fn mutex_try_lock(addr: usize, rank: Option<&'static str>) -> bool {
+    let me = must_current();
+    if std::thread::panicking() {
+        let mut state = st();
+        let lock = lock_mut(&mut state, addr);
+        if lock.free_for_exclusive() {
+            lock.exclusive = Some(me);
+            return true;
+        }
+        return false;
+    }
+    check(yield_decision(me));
+    let mut state = st();
+    let lock = lock_mut(&mut state, addr);
+    lock.rank = lock.rank.or(rank);
+    if lock.free_for_exclusive() {
+        lock.exclusive = Some(me);
+        let lc = lock.clock.clone();
+        state.tasks[me].clock.join(&lc);
+        true
+    } else {
+        false
+    }
+}
+
+pub(crate) fn mutex_unlock(addr: usize) {
+    let Some(me) = current_task() else { return };
+    let mut state = st();
+    let my_clock = state.tasks[me].clock.clone();
+    if let Some(lock) = state.locks.get_mut(&addr) {
+        lock.clock.join(&my_clock);
+        if lock.exclusive == Some(me) {
+            lock.exclusive = None;
+        }
+    }
+    state.tasks[me].clock.tick(me);
+    if state.aborting || std::thread::panicking() {
+        drop(state);
+        rt().cv.notify_all();
+        return;
+    }
+    // Post-release decision point: a waiter may claim the lock before
+    // the releasing task continues.
+    state.tasks[me].status = Status::Runnable;
+    check(decide_and_wait(state, me));
+}
+
+pub(crate) fn rw_lock(addr: usize, rank: Option<&'static str>, exclusive: bool) {
+    let me = must_current();
+    if std::thread::panicking() {
+        let mut state = st();
+        let lock = lock_mut(&mut state, addr);
+        if exclusive {
+            lock.exclusive = Some(me);
+        } else {
+            lock.shared.push(me);
+        }
+        return;
+    }
+    check(yield_decision(me));
+    let mut state = st();
+    let lock = lock_mut(&mut state, addr);
+    lock.rank = lock.rank.or(rank);
+    let can = if exclusive {
+        lock.free_for_exclusive()
+    } else {
+        lock.exclusive.is_none()
+    };
+    if can {
+        if exclusive {
+            lock.exclusive = Some(me);
+        } else {
+            lock.shared.push(me);
+        }
+        let lc = lock.clock.clone();
+        state.tasks[me].clock.join(&lc);
+        return;
+    }
+    let wait = if exclusive {
+        Wait::RwExclusive(addr)
+    } else {
+        Wait::RwShared(addr)
+    };
+    check(block_decision(state, me, wait));
+}
+
+pub(crate) fn rw_try_lock(addr: usize, rank: Option<&'static str>, exclusive: bool) -> bool {
+    let me = must_current();
+    if !std::thread::panicking() {
+        check(yield_decision(me));
+    }
+    let mut state = st();
+    let lock = lock_mut(&mut state, addr);
+    lock.rank = lock.rank.or(rank);
+    let can = if exclusive {
+        lock.free_for_exclusive()
+    } else {
+        lock.exclusive.is_none()
+    };
+    if can {
+        if exclusive {
+            lock.exclusive = Some(me);
+        } else {
+            lock.shared.push(me);
+        }
+        let lc = lock.clock.clone();
+        state.tasks[me].clock.join(&lc);
+    }
+    can
+}
+
+pub(crate) fn rw_unlock(addr: usize, exclusive: bool) {
+    let Some(me) = current_task() else { return };
+    let mut state = st();
+    let my_clock = state.tasks[me].clock.clone();
+    if let Some(lock) = state.locks.get_mut(&addr) {
+        lock.clock.join(&my_clock);
+        if exclusive {
+            if lock.exclusive == Some(me) {
+                lock.exclusive = None;
+            }
+        } else if let Some(pos) = lock.shared.iter().position(|&s| s == me) {
+            lock.shared.swap_remove(pos);
+        }
+    }
+    state.tasks[me].clock.tick(me);
+    if state.aborting || std::thread::panicking() {
+        drop(state);
+        rt().cv.notify_all();
+        return;
+    }
+    state.tasks[me].status = Status::Runnable;
+    check(decide_and_wait(state, me));
+}
+
+/// Cooperative condvar wait: releases `mutex`, parks on `cv`, and
+/// returns with the mutex reacquired. Returns whether the wake-up was a
+/// timeout (only possible when `can_time_out`).
+pub(crate) fn condvar_wait(cv_addr: usize, mutex: usize, can_time_out: bool) -> bool {
+    let me = must_current();
+    if std::thread::panicking() {
+        return true;
+    }
+    let mut state = st();
+    // Release the mutex (the wait's contract) with release semantics.
+    let my_clock = state.tasks[me].clock.clone();
+    if let Some(lock) = state.locks.get_mut(&mutex) {
+        lock.clock.join(&my_clock);
+        if lock.exclusive == Some(me) {
+            lock.exclusive = None;
+        }
+    }
+    state.tasks[me].clock.tick(me);
+    cv_mut(&mut state, cv_addr).waiters.push(me);
+    check(block_decision(
+        state,
+        me,
+        Wait::Condvar {
+            cv: cv_addr,
+            mutex,
+            can_time_out,
+            notified: false,
+        },
+    ));
+    let mut state = st();
+    let timed_out = state.tasks[me].woke_by_timeout;
+    state.tasks[me].woke_by_timeout = false;
+    timed_out
+}
+
+pub(crate) fn condvar_notify(cv_addr: usize, all: bool) {
+    let me = must_current();
+    let mut state = st();
+    let my_clock = state.tasks[me].clock.clone();
+    let waiters = {
+        let c = cv_mut(&mut state, cv_addr);
+        c.clock.join(&my_clock);
+        c.waiters.clone()
+    };
+    for w in waiters {
+        if let Wait::Condvar {
+            ref mut notified, ..
+        } = state.tasks[w].wait
+        {
+            if !*notified {
+                *notified = true;
+                if !all {
+                    break;
+                }
+            }
+        }
+    }
+    state.tasks[me].clock.tick(me);
+    if state.aborting || std::thread::panicking() {
+        drop(state);
+        rt().cv.notify_all();
+        return;
+    }
+    state.tasks[me].status = Status::Runnable;
+    check(decide_and_wait(state, me));
+}
+
+// ---------------------------------------------------------------------------
+// Tracked atomics
+// ---------------------------------------------------------------------------
+
+pub(crate) fn atomic_event(addr: usize, op: AtomOp, order: Ordering) {
+    let Some(me) = current_task() else { return };
+    if std::thread::panicking() {
+        return;
+    }
+    check(yield_decision(me));
+    let mut state = st();
+    let relaxed = matches!(order, Ordering::Relaxed);
+    let is_load_acq = matches!(op, AtomOp::Load | AtomOp::Rmw)
+        && matches!(
+            order,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        );
+    let is_store_rel = matches!(op, AtomOp::Store | AtomOp::Rmw)
+        && matches!(
+            order,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        );
+    let is_write = !matches!(op, AtomOp::Load);
+
+    // Race check against the pre-join clock: two conflicting accesses
+    // that are concurrent under happens-before are flagged when at
+    // least one of them is Relaxed. (All-ordered pairs synchronise
+    // through the atomic itself; relaxed pairs do not.)
+    if state.check_races {
+        let my_clock = state.tasks[me].clock.clone();
+        let mut race: Option<String> = None;
+        if let Some(a) = state.atomics.get(&addr) {
+            let ord = a.ord;
+            if let Some(w) = &a.last_write {
+                if w.task != me && !w.clock.le(&my_clock) && (w.relaxed || relaxed) {
+                    race = Some(format!(
+                        "model: data race on tracked atomic #{ord}: {} by task {me} \
+                         ({order:?}) is concurrent with a write by task {} ({}), and at \
+                         least one side is Relaxed",
+                        if is_write { "write" } else { "read" },
+                        w.task,
+                        if w.relaxed { "Relaxed" } else { "ordered" },
+                    ));
+                }
+            }
+            if is_write && race.is_none() {
+                for r in &a.reads {
+                    if r.task != me && !r.clock.le(&my_clock) && (r.relaxed || relaxed) {
+                        race = Some(format!(
+                            "model: data race on tracked atomic #{ord}: write by task \
+                             {me} ({order:?}) is concurrent with a read by task {} ({}), \
+                             and at least one side is Relaxed",
+                            r.task,
+                            if r.relaxed { "Relaxed" } else { "ordered" },
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(msg) = race {
+            fail(&mut state, msg);
+            drop(state);
+            abort_now();
+        }
+    }
+
+    if is_load_acq {
+        if let Some(ac) = state.atomics.get(&addr).map(|a| a.clock.clone()) {
+            state.tasks[me].clock.join(&ac);
+        }
+    }
+    state.tasks[me].clock.tick(me);
+    let my_clock = state.tasks[me].clock.clone();
+    let a = atomic_mut(&mut state, addr);
+    if is_store_rel {
+        a.clock.join(&my_clock);
+    }
+    if is_write {
+        a.last_write = Some(Access {
+            task: me,
+            clock: my_clock,
+            relaxed,
+        });
+    } else {
+        let access = Access {
+            task: me,
+            clock: my_clock,
+            relaxed,
+        };
+        if let Some(r) = a.reads.iter_mut().find(|r| r.task == me) {
+            *r = access;
+        } else {
+            a.reads.push(access);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spawn / join / task lifecycle
+// ---------------------------------------------------------------------------
+
+/// Allocate a task id for a child of the calling task (happens-before
+/// edge from parent to child).
+pub(crate) fn spawn_register() -> usize {
+    let me = must_current();
+    let mut state = st();
+    let id = state.tasks.len();
+    let mut clock = state.tasks[me].clock.clone();
+    clock.tick(id);
+    state.tasks.push(Task::fresh(clock));
+    state.tasks[me].clock.tick(me);
+    id
+}
+
+/// Record the OS handle backing a task so `end_schedule` can join it
+/// even if the scenario dropped its model `JoinHandle`.
+pub(crate) fn os_handle_register(h: std::thread::JoinHandle<()>) {
+    st().os_handles.push(h);
+}
+
+/// Register the calling OS thread as model task `id`.
+pub(crate) fn register_thread(id: usize) {
+    CURRENT.with(|c| c.set(Some(id)));
+}
+
+/// Park a freshly spawned task until the scheduler first picks it.
+pub(crate) fn first_wait(id: usize) {
+    let mut state = st();
+    loop {
+        if state.aborting {
+            drop(state);
+            abort_now();
+        }
+        if state.current == id && state.tasks[id].status == Status::Running {
+            return;
+        }
+        state = rt().cv.wait(state).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// The decision point right after `spawn` returns in the parent.
+pub(crate) fn after_spawn_yield() {
+    let me = must_current();
+    check(yield_decision(me));
+}
+
+/// Block until task `target` is done (adds the join happens-before edge).
+pub(crate) fn join_block(target: usize) {
+    let me = must_current();
+    if std::thread::panicking() {
+        return;
+    }
+    let mut state = st();
+    if state.tasks[target].status == Status::Done {
+        let jc = state.tasks[target].clock.clone();
+        state.tasks[me].clock.join(&jc);
+        return;
+    }
+    check(block_decision(state, me, Wait::Join(target)));
+}
+
+fn panic_message(p: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Mark task `id` done (optionally with the panic payload that ended
+/// it) and pass the baton on. Called by the task's own OS thread.
+pub(crate) fn task_done(id: usize, payload: Option<Box<dyn std::any::Any + Send>>) {
+    let mut state = st();
+    if let Some(p) = payload {
+        if !p.is::<Abort>() {
+            let msg = format!("model: task {id} panicked: {}", panic_message(&p));
+            fail(&mut state, msg);
+        }
+    }
+    state.tasks[id].status = Status::Done;
+    state.tasks[id].clock.tick(id);
+    CURRENT.with(|c| c.set(None));
+    if !state.aborting {
+        let options: Vec<usize> = (0..state.tasks.len())
+            .filter(|&t| eligible(&state, t))
+            .collect();
+        if options.is_empty() {
+            if state.tasks.iter().any(|t| t.status != Status::Done) {
+                let msg = format!(
+                    "model: deadlock — no task can run ({})",
+                    describe_blocked(&state)
+                );
+                fail(&mut state, msg);
+            }
+        } else {
+            let chosen = choose(&mut state, &options);
+            if !state.aborting {
+                grant(&mut state, chosen);
+                state.current = chosen;
+            }
+        }
+    }
+    drop(state);
+    rt().cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Mutations (fail points)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn mutation_active(name: &str) -> bool {
+    if current_task().is_none() {
+        return false;
+    }
+    st().mutations.contains(name)
+}
+
+// ---------------------------------------------------------------------------
+// Schedule lifecycle (driven by `model::explore`)
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Outcome {
+    pub failure: Option<String>,
+    pub pruned: bool,
+    pub token: String,
+    /// For DFS: the choice stack truncated to the decisions actually
+    /// consumed, ready for backtracking.
+    pub dfs_stack: Option<Vec<(usize, usize)>>,
+}
+
+/// Reset the runtime for one schedule and register the calling thread
+/// as task 0 (the scenario body).
+pub(crate) fn begin_schedule(
+    sched: Sched,
+    max_branches: usize,
+    max_spurious: usize,
+    check_races: bool,
+    mutations: &[String],
+) {
+    let mut state = st();
+    let mut fresh = State::idle();
+    fresh.sched = sched;
+    fresh.max_branches = max_branches;
+    fresh.max_spurious = max_spurious;
+    fresh.check_races = check_races;
+    fresh.mutations = mutations.iter().cloned().collect();
+    let mut main = Task::fresh(VClock::default());
+    main.status = Status::Running;
+    fresh.tasks.push(main);
+    fresh.current = 0;
+    *state = fresh;
+    drop(state);
+    register_thread(0);
+}
+
+/// Wait for every task to finish, join the backing OS threads, and
+/// extract the schedule's outcome. Clears the thread registration.
+pub(crate) fn end_schedule() -> Outcome {
+    let mut state = st();
+    while state.tasks.iter().any(|t| t.status != Status::Done) {
+        state = rt().cv.wait(state).unwrap_or_else(|e| e.into_inner());
+    }
+    let handles = std::mem::take(&mut state.os_handles);
+    drop(state);
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut state = st();
+    let failure = state.failure.take();
+    let pruned = state.pruned;
+    let (token, dfs_stack) = match &state.sched {
+        Sched::Dfs { stack, depth } => {
+            let consumed: Vec<(usize, usize)> = stack[..(*depth).min(stack.len())].to_vec();
+            let token = format!(
+                "dfs:{}",
+                consumed
+                    .iter()
+                    .map(|(c, _)| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(".")
+            );
+            (token, Some(consumed))
+        }
+        Sched::Rand { seed, .. } => (format!("seed:{seed}"), None),
+    };
+    *state = State::idle();
+    drop(state);
+    CURRENT.with(|c| c.set(None));
+    Outcome {
+        failure,
+        pruned,
+        token,
+        dfs_stack,
+    }
+}

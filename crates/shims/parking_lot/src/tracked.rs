@@ -1,0 +1,150 @@
+//! Tracked atomics: drop-in wrappers over `std::sync::atomic` types
+//! that double as `natix-model` scheduler decision points and
+//! happens-before race-detector events when the calling thread is a
+//! registered model task. Outside model builds (`cfg(any(test, feature
+//! = "model"))` off) every method inlines to the bare std operation.
+//!
+//! Adopted by the protocol-critical shared counters of the engine: the
+//! version store's epoch watermarks, the buffer manager's pin counts
+//! and dirty flags, and the WAL's appended/durable LSN watermarks.
+
+use std::sync::atomic::Ordering;
+
+#[cfg(any(test, feature = "model"))]
+use crate::model::rt::{self, AtomOp};
+
+/// Emit a scheduler/race-detector event for an atomic access. Expands to
+/// nothing outside model builds, so release binaries carry only the bare
+/// std operation.
+macro_rules! atom_event {
+    ($self:expr, $kind:ident, $order:expr) => {
+        #[cfg(any(test, feature = "model"))]
+        {
+            if rt::active_on_this_thread() {
+                rt::atomic_event($self as *const _ as usize, AtomOp::$kind, $order);
+            }
+        }
+    };
+}
+
+macro_rules! tracked_common {
+    ($name:ident, $std:ty, $prim:ty) => {
+        impl $name {
+            pub const fn new(v: $prim) -> Self {
+                Self {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $prim {
+                atom_event!(self, Load, order);
+                self.inner.load(order)
+            }
+
+            #[inline]
+            pub fn store(&self, v: $prim, order: Ordering) {
+                atom_event!(self, Store, order);
+                self.inner.store(v, order)
+            }
+
+            #[inline]
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                atom_event!(self, Rmw, order);
+                self.inner.swap(v, order)
+            }
+
+            #[inline]
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                atom_event!(self, Rmw, success);
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            #[inline]
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.inner.get_mut()
+            }
+
+            #[inline]
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+    };
+}
+
+macro_rules! tracked_numeric {
+    ($name:ident, $std:ty, $prim:ty) => {
+        /// See the module docs: a model-aware drop-in for the std atomic.
+        #[derive(Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        tracked_common!($name, $std, $prim);
+
+        impl $name {
+            #[inline]
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                atom_event!(self, Rmw, order);
+                self.inner.fetch_add(v, order)
+            }
+
+            #[inline]
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                atom_event!(self, Rmw, order);
+                self.inner.fetch_sub(v, order)
+            }
+
+            #[inline]
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                atom_event!(self, Rmw, order);
+                self.inner.fetch_max(v, order)
+            }
+
+            #[inline]
+            pub fn fetch_min(&self, v: $prim, order: Ordering) -> $prim {
+                atom_event!(self, Rmw, order);
+                self.inner.fetch_min(v, order)
+            }
+        }
+    };
+}
+
+tracked_numeric!(TrackedAtomicU64, std::sync::atomic::AtomicU64, u64);
+tracked_numeric!(TrackedAtomicU32, std::sync::atomic::AtomicU32, u32);
+tracked_numeric!(TrackedAtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+/// See the module docs: a model-aware drop-in for `AtomicBool`.
+#[derive(Default)]
+pub struct TrackedAtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+tracked_common!(TrackedAtomicBool, std::sync::atomic::AtomicBool, bool);
+
+impl TrackedAtomicBool {
+    #[inline]
+    pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+        atom_event!(self, Rmw, order);
+        self.inner.fetch_or(v, order)
+    }
+
+    #[inline]
+    pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+        atom_event!(self, Rmw, order);
+        self.inner.fetch_and(v, order)
+    }
+}

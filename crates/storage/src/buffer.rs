@@ -46,10 +46,12 @@
 //! outside the pool mutex, against reserved unmapped frames.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{
+    Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard, TrackedAtomicBool, TrackedAtomicU32,
+};
 
 use crate::disk::DiskBackend;
 use crate::error::{StorageError, StorageResult};
@@ -95,8 +97,8 @@ struct Frame {
     /// Class-level order checking would flag that as an inversion even
     /// though the reserved-frame invariant makes it cycle-free.
     data: RwLock<PageBuf>,
-    pin_count: AtomicU32,
-    dirty: AtomicBool,
+    pin_count: TrackedAtomicU32,
+    dirty: TrackedAtomicBool,
 }
 
 struct PoolState {
@@ -149,9 +151,14 @@ impl BufferManager {
         let frames = (0..frame_count)
             .map(|_| {
                 Arc::new(Frame {
+                    // Per-frame page latch: one of N interchangeable leaf
+                    // locks, below every ranked lock, never nested with
+                    // another frame's — a single shared rank slot would
+                    // false-positive on unrelated frames.
+                    // natix-lint: allow(unranked-lock): per-frame leaf latch, deliberately rankless
                     data: RwLock::new(PageBuf::new(page_size)),
-                    pin_count: AtomicU32::new(0),
-                    dirty: AtomicBool::new(false),
+                    pin_count: TrackedAtomicU32::new(0),
+                    dirty: TrackedAtomicBool::new(false),
                 })
             })
             .collect();
@@ -190,6 +197,12 @@ impl BufferManager {
     }
 
     fn wal_barrier(&self) -> StorageResult<()> {
+        // natix-model fail point: reverting the WAL rule (log forced
+        // before a dirty page overwrites its base image) must be caught
+        // by the model suite's LSN-checking disk.
+        if parking_lot::fail_point("wal.force-before-write-back") {
+            return Ok(());
+        }
         match self.wal.get() {
             Some(wal) => wal.flush_buffered(),
             None => Ok(()),
@@ -216,6 +229,40 @@ impl BufferManager {
     /// Number of frames in the pool.
     pub fn frame_count(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Internal-consistency check of the frame table: every published
+    /// mapping points at a frame whose resident page maps back, and no
+    /// page is resident in two frames at once. O(frames); used by the
+    /// model-check suite as the detector for coalescing bugs (a demand
+    /// pin and a prefetch loading the same page into two frames).
+    pub fn validate_frame_table(&self) -> Result<(), String> {
+        let st = self.state.lock();
+        let mut seen: HashMap<PageId, usize> = HashMap::new();
+        for (frame, resident) in st.resident.iter().enumerate() {
+            if let Some(page) = *resident {
+                if let Some(prev) = seen.insert(page, frame) {
+                    return Err(format!(
+                        "buffer invariant violated: page {page:?} resident in frames {prev} and {frame}"
+                    ));
+                }
+                if st.table.get(&page) != Some(&frame) {
+                    return Err(format!(
+                        "buffer invariant violated: frame {frame} holds page {page:?} but the table maps it to {:?}",
+                        st.table.get(&page)
+                    ));
+                }
+            }
+        }
+        for (&page, &frame) in &st.table {
+            if st.resident.get(frame).copied().flatten() != Some(page) {
+                return Err(format!(
+                    "buffer invariant violated: table maps page {page:?} to frame {frame} which holds {:?}",
+                    st.resident.get(frame)
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The shared statistics block.
@@ -405,7 +452,16 @@ impl BufferManager {
                 // stale image), or another thread is loading it right now.
                 // Block until that I/O settles, then re-check.
                 st = self.io_done.wait(st);
-                continue;
+                // natix-model fail point: the `continue` below re-runs the
+                // whole predicate (resident? still in flight?) because a
+                // wake-up only means *some* I/O settled — it may have been
+                // spurious or for another page. Reverting the re-check
+                // treats any wake as "our page is ready" and claims a
+                // second frame for a page already being loaded; the model
+                // suite catches the resulting duplicate-frame state.
+                if !parking_lot::fail_point("buffer.inflight-recheck") {
+                    continue;
+                }
             }
             match self.find_victim(&mut st, hint) {
                 Ok(f) => break f,
@@ -607,8 +663,15 @@ impl BufferManager {
         {
             let mut st = self.state.lock();
             for &page in pages {
+                // natix-model fail point: dropping the in-flight check
+                // breaks the coalescing contract with demand pins — the
+                // prefetch claims a second frame for a page another thread
+                // is loading right now, which the model suite catches as a
+                // duplicate-frame state.
+                let in_flight_elsewhere = st.io_in_flight.contains(&page)
+                    && !parking_lot::fail_point("buffer.prefetch-coalesce");
                 if st.table.contains_key(&page)
-                    || st.io_in_flight.contains(&page)
+                    || in_flight_elsewhere
                     || claims.iter().any(|&(p, _)| p == page)
                 {
                     continue;

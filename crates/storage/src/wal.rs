@@ -37,11 +37,11 @@ use std::cell::{Cell, RefCell};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, TrackedAtomicBool, TrackedAtomicU64};
 
 use crate::disk::FaultControl;
 use crate::error::{StorageError, StorageResult};
@@ -834,9 +834,9 @@ pub struct Wal {
     device: Box<dyn LogDevice>,
     core: Mutex<WalCore>,
     cond: Condvar,
-    appended: AtomicU64,
-    durable: AtomicU64,
-    dead: AtomicBool,
+    appended: TrackedAtomicU64,
+    durable: TrackedAtomicU64,
+    dead: TrackedAtomicBool,
     mode: WalSyncMode,
 }
 
@@ -856,9 +856,9 @@ impl Wal {
                 },
             ),
             cond: Condvar::new(),
-            appended: AtomicU64::new(len),
-            durable: AtomicU64::new(len),
-            dead: AtomicBool::new(false),
+            appended: TrackedAtomicU64::new(len),
+            durable: TrackedAtomicU64::new(len),
+            dead: TrackedAtomicBool::new(false),
             mode,
         }
     }

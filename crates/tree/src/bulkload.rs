@@ -106,6 +106,13 @@ use crate::version::WriteOp;
 /// below `u16::MAX` works; compacting earlier keeps the copies small.
 const COMPACT_THRESHOLD: usize = 48_000;
 
+/// A broken loader invariant, surfaced as an error instead of a panic.
+/// Free-standing so `ok_or_else` closures can build it while `self` is
+/// mutably borrowed.
+fn bulk_invariant(what: &str) -> TreeError {
+    TreeError::Invariant(format!("bulkload: {what}"))
+}
+
 /// Summary of one bulk load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BulkStats {
@@ -255,6 +262,31 @@ impl<'s> BulkLoader<'s> {
         TreeError::Invariant(format!("bulkload: {what}"))
     }
 
+    /// The in-flight tree, shared. Loader state transitions guarantee one
+    /// exists on every caller's path; a broken transition surfaces as an
+    /// error rather than a panic (tree code runs under the engine's
+    /// latching protocols, where unwinding poisons shared state).
+    fn cur_ref(&self) -> TreeResult<&RecordTree> {
+        self.cur
+            .as_ref()
+            .ok_or_else(|| bulk_invariant("no in-flight tree"))
+    }
+
+    /// The in-flight tree, exclusive. See [`Self::cur_ref`].
+    fn cur_mut(&mut self) -> TreeResult<&mut RecordTree> {
+        self.cur
+            .as_mut()
+            .ok_or_else(|| bulk_invariant("no in-flight tree"))
+    }
+
+    /// The deepest open spine node.
+    fn top(&self) -> TreeResult<PNodeId> {
+        self.spine
+            .last()
+            .copied()
+            .ok_or_else(|| bulk_invariant("empty spine"))
+    }
+
     /// Opens an element with `label`.
     pub fn start_element(&mut self, label: LabelId) -> TreeResult<()> {
         if self.root_closed {
@@ -264,12 +296,9 @@ impl<'s> BulkLoader<'s> {
         if self.cur.is_none() {
             if self.spilled.is_empty() {
                 // The document root.
-                self.cur = Some(RecordTree::new(
-                    label,
-                    PContent::Aggregate(Vec::new()),
-                    Rid::invalid(),
-                ));
-                self.spine.push(self.cur.as_ref().expect("just set").root());
+                let tree = RecordTree::new(label, PContent::Aggregate(Vec::new()), Rid::invalid());
+                self.spine.push(tree.root());
+                self.cur = Some(tree);
                 self.prefix_base = 0;
                 self.cur_is_group = false;
                 self.cur_resolves = None;
@@ -278,16 +307,16 @@ impl<'s> BulkLoader<'s> {
             }
             // Detached: a late child of a spilled open element — start the
             // deepest spilled piece's continuation group.
-            self.open_continuation();
+            self.open_continuation()?;
         }
-        let tree = self.cur.as_mut().expect("ensured above");
-        let parent = *self.spine.last().expect("continuation has a base");
+        let parent = self.top()?;
+        let tree = self.cur_mut()?;
         let node = tree.alloc(label, PContent::Aggregate(Vec::new()));
         let at = tree.children(parent).len();
         tree.attach(parent, at, node);
         self.spine.push(node);
         self.cur_size += EMBEDDED_HEADER;
-        self.maybe_compact();
+        self.maybe_compact()?;
         self.spill_until_fits()
     }
 
@@ -300,7 +329,7 @@ impl<'s> BulkLoader<'s> {
             if self.spilled.is_empty() {
                 return Err(self.state_err("literal outside the root element"));
             }
-            self.open_continuation();
+            self.open_continuation()?;
         }
         let body = literal_body_len(&value);
         if STANDALONE_HEADER + body > self.capacity {
@@ -313,29 +342,29 @@ impl<'s> BulkLoader<'s> {
             });
         }
         self.nodes += 1;
-        let parent = *self.spine.last().expect("ensured above");
+        let parent = self.top()?;
         // Prefix entries carry the copied ancestor's label, so the matrix
         // lookup is uniform across pieces and continuation groups.
-        let parent_label = self.cur.as_ref().expect("ensured above").node(parent).label;
-        let tree = self.cur.as_mut().expect("ensured above");
+        let parent_label = self.cur_ref()?.node(parent).label;
         if self.matrix.get(parent_label, label) == SplitBehaviour::Standalone {
             // §3.3: "x is stored as a standalone node"; the proxy goes into
             // the designated record.
             let child = RecordTree::new(label, PContent::Literal(value), Rid::invalid());
             let rid = self.write_record(&child)?;
             let digest = self.store.proxy_digest(&child);
-            let tree = self.cur.as_mut().expect("ensured above");
+            let tree = self.cur_mut()?;
             let proxy = tree.alloc(digest, PContent::Proxy(rid));
             let at = tree.children(parent).len();
             tree.attach(parent, at, proxy);
             self.cur_size += EMBEDDED_HEADER + PROXY_BODY;
         } else {
+            let tree = self.cur_mut()?;
             let node = tree.alloc(label, PContent::Literal(value));
             let at = tree.children(parent).len();
             tree.attach(parent, at, node);
             self.cur_size += EMBEDDED_HEADER + body;
         }
-        self.maybe_compact();
+        self.maybe_compact()?;
         self.spill_until_fits()
     }
 
@@ -356,7 +385,10 @@ impl<'s> BulkLoader<'s> {
             if piece.open == 0 {
                 // The whole piece closed without late children: its
                 // continuation placeholder is unused; strip it at finish.
-                let piece = self.spilled.pop().expect("checked above");
+                let piece = self
+                    .spilled
+                    .pop()
+                    .ok_or_else(|| bulk_invariant("closed piece missing from the spill stack"))?;
                 self.unused_slots.push((piece.holder, piece.sentinel));
                 if self.spilled.is_empty() {
                     self.root_closed = true;
@@ -373,7 +405,9 @@ impl<'s> BulkLoader<'s> {
             self.spine.pop();
             self.prefix_base -= 1;
             if self.cur_is_group {
-                let piece = self.spilled.last_mut().expect("group implies a piece");
+                let piece = self.spilled.last_mut().ok_or_else(|| {
+                    bulk_invariant("continuation group without its spilled piece")
+                })?;
                 debug_assert!(piece.open > 0);
                 piece.open -= 1;
             }
@@ -382,7 +416,9 @@ impl<'s> BulkLoader<'s> {
                 let was_group = self.cur_is_group;
                 self.flush_cur_piece()?;
                 if was_group {
-                    self.spilled.pop().expect("group implies a piece");
+                    self.spilled.pop().ok_or_else(|| {
+                        bulk_invariant("continuation group without its spilled piece")
+                    })?;
                     if self.spilled.is_empty() {
                         self.root_closed = true;
                     }
@@ -390,7 +426,10 @@ impl<'s> BulkLoader<'s> {
             }
             return Ok(());
         }
-        let closed = self.spine.pop().expect("cur implies a non-empty spine");
+        let closed = self
+            .spine
+            .pop()
+            .ok_or_else(|| bulk_invariant("end_element with an empty spine"))?;
         if self.spine.is_empty() {
             debug_assert_eq!(self.prefix_base, 0);
             if self.spilled.is_empty() {
@@ -402,32 +441,27 @@ impl<'s> BulkLoader<'s> {
             self.flush_cur_piece()?;
             return Ok(());
         }
-        let parent = *self.spine.last().expect("non-empty");
-        let parent_label = self
-            .cur
-            .as_ref()
-            .expect("spine was non-empty")
-            .node(parent)
-            .label;
-        let tree = self.cur.as_mut().expect("spine was non-empty");
-        let closed_label = tree.node(closed).label;
+        let parent = self.top()?;
+        let parent_label = self.cur_ref()?.node(parent).label;
+        let closed_label = self.cur_ref()?.node(closed).label;
         if self.matrix.get(parent_label, closed_label) == SplitBehaviour::Standalone {
             // The finished subtree becomes a record of its own right away.
+            let tree = self.cur_mut()?;
             let at = tree
                 .children(parent)
                 .iter()
                 .position(|&c| c == closed)
-                .expect("closed element is a child of its parent");
+                .ok_or_else(|| bulk_invariant("closed element not listed under its parent"))?;
             let sub_size = tree.embedded_size(closed);
-            let tree = self.cur.as_mut().expect("spine was non-empty");
+            let tree = self.cur_mut()?;
             let child = RecordTree::from_transplant(tree, closed);
             let rid = self.write_record(&child)?;
             let digest = self.store.proxy_digest(&child);
-            let tree = self.cur.as_mut().expect("spine was non-empty");
+            let tree = self.cur_mut()?;
             let proxy = tree.alloc(digest, PContent::Proxy(rid));
             tree.attach(parent, at, proxy);
             self.cur_size = self.cur_size - sub_size + EMBEDDED_HEADER + PROXY_BODY;
-            self.maybe_compact();
+            self.maybe_compact()?;
         }
         self.spill_until_fits()
     }
@@ -461,7 +495,8 @@ impl<'s> BulkLoader<'s> {
             for (holder, sentinel) in unused {
                 self.store.remove_placeholder(holder, sentinel)?;
             }
-            Ok(self.stored_root.expect("root record flushed"))
+            self.stored_root
+                .ok_or_else(|| bulk_invariant("finish without a stored root record"))
         })();
         match result {
             Ok(root_rid) => {
@@ -490,8 +525,11 @@ impl<'s> BulkLoader<'s> {
     /// document-order position, since level *i* only receives content once
     /// level *i + 1* has closed. The group's flush (or spill) resolves the
     /// piece's single continuation placeholder.
-    fn open_continuation(&mut self) {
-        let piece = self.spilled.last().expect("detached implies spilled");
+    fn open_continuation(&mut self) -> TreeResult<()> {
+        let piece = self
+            .spilled
+            .last()
+            .ok_or_else(|| bulk_invariant("continuation without a spilled piece"))?;
         let (holder, sentinel) = (piece.holder, piece.sentinel);
         let levels = piece.levels.clone();
         let open = piece.open;
@@ -513,12 +551,16 @@ impl<'s> BulkLoader<'s> {
         self.cur_resolves = Some((holder, sentinel));
         self.cur_size = STANDALONE_HEADER + (levels.len() - 1) * EMBEDDED_HEADER;
         self.cur = Some(tree);
+        Ok(())
     }
 
     /// Flushes `cur` as a complete record and resolves the placeholder it
     /// was created for. Leaves the loader detached.
     fn flush_cur_piece(&mut self) -> TreeResult<()> {
-        let tree = self.cur.take().expect("piece to flush");
+        let tree = self
+            .cur
+            .take()
+            .ok_or_else(|| bulk_invariant("flush without an in-flight piece"))?;
         self.spine.clear();
         self.prefix_base = 0;
         self.cur_is_group = false;
@@ -622,7 +664,7 @@ impl<'s> BulkLoader<'s> {
         // With depth-aware packing disabled, pieces are cut one level at a
         // time (k = 1) — the ablation baseline whose record-tree height
         // tracks the document depth.
-        let tree = self.cur.as_ref().expect("spine is non-empty");
+        let tree = self.cur_ref()?;
         let mut chosen = None;
         for k in 1..self.spine.len() {
             let upper = self.cur_size - tree.embedded_size(self.spine[k])
@@ -639,27 +681,30 @@ impl<'s> BulkLoader<'s> {
         let Some(k) = chosen else { return Ok(false) };
         let split_node = self.spine[k];
         let parent_of_split = self.spine[k - 1];
-        let tree = self.cur.as_mut().expect("spine is non-empty");
+        let tree = self.cur_mut()?;
         let at = tree
             .children(parent_of_split)
             .iter()
             .position(|&c| c == split_node)
-            .expect("spine child listed under its parent");
+            .ok_or_else(|| bulk_invariant("spine child not listed under its parent"))?;
         let mut lower = RecordTree::from_transplant(tree, split_node);
         // Chain placeholder where the lower chain used to hang.
         let chain_sentinel = self.new_sentinel();
-        let tree = self.cur.as_mut().expect("spine is non-empty");
+        let tree = self.cur_mut()?;
         let proxy = tree.alloc(LABEL_NONE, PContent::Proxy(chain_sentinel));
         tree.attach(parent_of_split, at, proxy);
         // One continuation placeholder for the whole spilled path, as the
         // last child of its deepest node (right after the chain proxy).
         let piece = {
             let sentinel = self.new_sentinel();
-            let tree = self.cur.as_mut().expect("spine is non-empty");
-            let levels: Vec<LabelId> = self.spine[..k]
-                .iter()
-                .map(|&n| tree.node(n).label)
-                .collect();
+            let levels: Vec<LabelId> = {
+                let tree = self.cur_ref()?;
+                self.spine[..k]
+                    .iter()
+                    .map(|&n| tree.node(n).label)
+                    .collect()
+            };
+            let tree = self.cur_mut()?;
             let p = tree.alloc(LABEL_NONE, PContent::Continuation(sentinel));
             let end = tree.children(parent_of_split).len();
             tree.attach(parent_of_split, end, p);
@@ -670,7 +715,10 @@ impl<'s> BulkLoader<'s> {
                 open: k,
             }
         };
-        let upper = self.cur.take().expect("checked above");
+        let upper = self
+            .cur
+            .take()
+            .ok_or_else(|| bulk_invariant("spine spill without an in-flight tree"))?;
         let was_group = self.cur_is_group;
         let resolves = self.cur_resolves.take();
         let remaining_depth = self.spine.len() - k;
@@ -697,7 +745,9 @@ impl<'s> BulkLoader<'s> {
             let mut piece = piece;
             piece.holder = upper_rid;
             if was_group {
-                *self.spilled.last_mut().expect("group implies a piece") = piece;
+                *self.spilled.last_mut().ok_or_else(|| {
+                    bulk_invariant("continuation group without its spilled piece")
+                })? = piece;
             } else {
                 self.spilled.push(piece);
             }
@@ -717,7 +767,7 @@ impl<'s> BulkLoader<'s> {
             node = *lower
                 .children(node)
                 .last()
-                .expect("spine child is the last child");
+                .ok_or_else(|| bulk_invariant("spine level with no children"))?;
             self.spine.push(node);
         }
         self.cur = Some(lower);
@@ -738,7 +788,7 @@ impl<'s> BulkLoader<'s> {
             return Ok(false);
         }
         let bottom = self.spine[self.prefix_base - 1];
-        let tree = self.cur.as_ref().expect("prefix spine implies cur");
+        let tree = self.cur_ref()?;
         let Some(&first) = tree.children(bottom).first() else {
             return Ok(false);
         };
@@ -761,17 +811,20 @@ impl<'s> BulkLoader<'s> {
         if cut <= EMBEDDED_HEADER + PROXY_BODY {
             return Ok(false);
         }
-        let bottom = tree.node(head).parent.expect("chain below the spine");
-        let tree = self.cur.as_mut().expect("prefix spine implies cur");
+        let bottom = tree
+            .node(head)
+            .parent
+            .ok_or_else(|| bulk_invariant("closed chain head without a parent"))?;
+        let tree = self.cur_mut()?;
         let piece = RecordTree::from_transplant(tree, head);
         // Parent pointer: patched automatically when the holder flushes
         // (append_record re-homes every record its proxies reference).
         let rid = self.write_record(&piece)?;
-        let tree = self.cur.as_mut().expect("prefix spine implies cur");
+        let tree = self.cur_mut()?;
         let proxy = tree.alloc(LABEL_NONE, PContent::Proxy(rid));
         tree.attach(bottom, 0, proxy);
         self.cur_size = self.cur_size - cut + EMBEDDED_HEADER + PROXY_BODY;
-        self.maybe_compact();
+        self.maybe_compact()?;
         Ok(true)
     }
 
@@ -870,7 +923,7 @@ impl<'s> BulkLoader<'s> {
         count: usize,
         bytes: usize,
     ) -> TreeResult<()> {
-        let tree = self.cur.as_mut().expect("run was found");
+        let tree = self.cur_mut()?;
         let record = if count == 1 {
             let child = tree.children(parent)[start];
             RecordTree::from_transplant(tree, child)
@@ -891,26 +944,21 @@ impl<'s> BulkLoader<'s> {
         // label digest. Sibling groups (scaffolding-rooted) stay "must
         // read".
         let digest = self.store.proxy_digest(&record);
-        let tree = self.cur.as_mut().expect("run was found");
+        let tree = self.cur_mut()?;
         let proxy = tree.alloc(digest, PContent::Proxy(rid));
         tree.attach(parent, start, proxy);
         self.cur_size = self.cur_size - bytes + EMBEDDED_HEADER + PROXY_BODY;
-        self.maybe_compact();
+        self.maybe_compact()?;
         Ok(())
     }
 
     /// Rebuilds the in-flight arena when tombstones (from packed-away
     /// subtrees) approach the `u16` id space. Live nodes are bounded by
     /// the page capacity, so this copies little and happens rarely.
-    fn maybe_compact(&mut self) {
-        let needs = self
-            .cur
-            .as_ref()
-            .is_some_and(|t| t.arena_len() >= COMPACT_THRESHOLD);
-        if !needs {
-            return;
-        }
-        let mut old = self.cur.take().expect("checked above");
+    fn maybe_compact(&mut self) -> TreeResult<()> {
+        let Some(mut old) = self.cur.take_if(|t| t.arena_len() >= COMPACT_THRESHOLD) else {
+            return Ok(());
+        };
         let root = old.root();
         let mut fresh = RecordTree::from_transplant(&mut old, root);
         // from_transplant starts a parentless tree — carry the parent
@@ -930,11 +978,12 @@ impl<'s> BulkLoader<'s> {
                 at = *fresh
                     .children(at)
                     .last()
-                    .expect("spine child is the last child");
+                    .ok_or_else(|| bulk_invariant("spine level with no children"))?;
                 self.spine.push(at);
             }
         }
         self.cur = Some(fresh);
+        Ok(())
     }
 }
 
@@ -1018,7 +1067,7 @@ mod tests {
         ));
         let sm = Arc::new(StorageManager::create(bm).unwrap());
         let seg = sm.create_segment("docs").unwrap();
-        TreeStore::new(sm, seg, TreeConfig::paper(), matrix)
+        TreeStore::new(sm, seg, TreeConfig::paper(), matrix).unwrap()
     }
 
     fn text(s: &str) -> LiteralValue {

@@ -205,7 +205,11 @@ impl<'a> Cursor<'a> {
             match n.parent {
                 Some(p) => {
                     let kids: Vec<PNodeId> = self.tree.children(p).to_vec();
-                    let my = kids.iter().position(|&c| c == self.node).expect("listed");
+                    let Some(my) = kids.iter().position(|&c| c == self.node) else {
+                        return Err(TreeError::Invariant(
+                            "cursor node missing from its parent's child list".into(),
+                        ));
+                    };
                     for &k in &kids[my + 1..] {
                         self.node = k;
                         if self.descend_to_first_facade()? {

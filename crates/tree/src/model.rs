@@ -238,7 +238,10 @@ impl RecordTree {
     /// Borrow a node. Panics on tombstones — indices are only produced by
     /// this tree's own API.
     pub fn node(&self, id: PNodeId) -> &PNode {
-        self.nodes[id as usize].as_ref().expect("live node")
+        match self.nodes[id as usize].as_ref() {
+            Some(n) => n,
+            None => unreachable!("record-tree id {id} points at a tombstone"),
+        }
     }
 
     /// Checked borrow (external pointers may be stale).
@@ -248,7 +251,10 @@ impl RecordTree {
 
     /// Mutable borrow.
     pub fn node_mut(&mut self, id: PNodeId) -> &mut PNode {
-        self.nodes[id as usize].as_mut().expect("live node")
+        match self.nodes[id as usize].as_mut() {
+            Some(n) => n,
+            None => unreachable!("record-tree id {id} points at a tombstone"),
+        }
     }
 
     /// Children of an aggregate or prefix entry (empty slice for leaves).
@@ -274,15 +280,8 @@ impl RecordTree {
 
     /// Attaches `child` under `parent` at `index` (clamped).
     pub fn attach(&mut self, parent: PNodeId, index: usize, child: PNodeId) {
-        self.nodes[child as usize]
-            .as_mut()
-            .expect("live child")
-            .parent = Some(parent);
-        match &mut self.nodes[parent as usize]
-            .as_mut()
-            .expect("live parent")
-            .content
-        {
+        self.node_mut(child).parent = Some(parent);
+        match &mut self.node_mut(parent).content {
             PContent::Aggregate(kids) | PContent::Prefix(kids) => {
                 let at = index.min(kids.len());
                 kids.insert(at, child);
@@ -296,12 +295,12 @@ impl RecordTree {
         let Some(parent) = self.node(child).parent else {
             return;
         };
-        if let PContent::Aggregate(kids) | PContent::Prefix(kids) = &mut self.nodes[parent as usize]
-            .as_mut()
-            .expect("live parent")
-            .content
-        {
-            kids.retain(|&c| c != child);
+        // A tombstoned parent has no child list left to prune; clearing
+        // the child's back-pointer below is all the detach there is.
+        if let Some(Some(p)) = self.nodes.get_mut(parent as usize) {
+            if let PContent::Aggregate(kids) | PContent::Prefix(kids) = &mut p.content {
+                kids.retain(|&c| c != child);
+            }
         }
         self.node_mut(child).parent = None;
     }
@@ -314,7 +313,11 @@ impl RecordTree {
         let mut proxies = Vec::new();
         let mut stack = vec![id];
         while let Some(n) = stack.pop() {
-            let node = self.nodes[n as usize].take().expect("live node in subtree");
+            // Already-tombstoned entries (removal is idempotent) have
+            // nothing left to cascade.
+            let Some(node) = self.nodes[n as usize].take() else {
+                continue;
+            };
             match node.content {
                 PContent::Aggregate(kids) | PContent::Prefix(kids) => stack.extend(kids),
                 PContent::Proxy(rid) | PContent::Continuation(rid) => proxies.push(rid),
@@ -384,7 +387,9 @@ impl RecordTree {
     /// serialised).
     pub fn transplant(&mut self, id: PNodeId, dst: &mut RecordTree) -> PNodeId {
         self.detach(id);
-        let node = self.nodes[id as usize].take().expect("live node");
+        let Some(node) = self.nodes[id as usize].take() else {
+            unreachable!("transplant of tombstoned node {id}");
+        };
         let (label, content, orig) = (node.label, node.content, node.orig);
         match content {
             PContent::Aggregate(kids) => {
@@ -414,7 +419,9 @@ impl RecordTree {
     }
 
     fn transplant_inner(&mut self, id: PNodeId, dst: &mut RecordTree) -> PNodeId {
-        let node = self.nodes[id as usize].take().expect("live node");
+        let Some(node) = self.nodes[id as usize].take() else {
+            unreachable!("transplant of tombstoned node {id}");
+        };
         let (label, content, orig) = (node.label, node.content, node.orig);
         match content {
             PContent::Aggregate(kids) => {

@@ -177,6 +177,19 @@ fn placeholder(kind: ContentKind) -> PContent {
     }
 }
 
+/// Mutable access to a parsed node's arena slot. The parser itself hands
+/// out every index, so a missing or tombstoned slot means the record bytes
+/// drove it off the rails — a corrupt-record error, not a panic.
+fn node_slot(nodes: &mut [Option<PNode>], id: PNodeId, rid: Rid) -> TreeResult<&mut PNode> {
+    nodes
+        .get_mut(id as usize)
+        .and_then(|n| n.as_mut())
+        .ok_or_else(|| TreeError::CorruptRecord {
+            rid,
+            message: format!("parsed node {id} lost its arena slot"),
+        })
+}
+
 /// Parses the body of node `me` (arena index) located at
 /// `[body_at, body_at+body_len)`; `my_header_off` is where `me`'s header
 /// starts (0 for the root).
@@ -202,7 +215,7 @@ fn parse_body(
                 return Err(corrupt(format!("proxy body of {body_len} bytes")));
             }
             let target = Rid::decode(body);
-            nodes[me as usize].as_mut().expect("live").content = if kind == ContentKind::Proxy {
+            node_slot(nodes, me, rid)?.content = if kind == ContentKind::Proxy {
                 PContent::Proxy(target)
             } else {
                 PContent::Continuation(target)
@@ -249,7 +262,7 @@ fn parse_body(
                 )?;
                 at += size;
             }
-            nodes[me as usize].as_mut().expect("live").content = if kind == ContentKind::Aggregate {
+            node_slot(nodes, me, rid)?.content = if kind == ContentKind::Aggregate {
                 PContent::Aggregate(kids)
             } else {
                 PContent::Prefix(kids)
@@ -258,7 +271,7 @@ fn parse_body(
         lit => {
             let value = decode_literal(lit, body)
                 .ok_or_else(|| corrupt(format!("bad literal body for {lit:?}")))?;
-            nodes[me as usize].as_mut().expect("live").content = PContent::Literal(value);
+            node_slot(nodes, me, rid)?.content = PContent::Literal(value);
         }
     }
     Ok(())

@@ -97,12 +97,15 @@ pub fn find_separator(
             }
             pos += sz;
         }
-        let (chosen, chosen_pos) = found.unwrap_or_else(|| {
+        let (chosen, chosen_pos) = match (found, kids.last()) {
+            (Some(f), _) => f,
             // Target beyond the last child (standalone-header slack): the
             // physical middle lies in the last child.
-            let last = *kids.last().expect("non-empty");
-            (last, pos - tree.embedded_size(last))
-        });
+            (None, Some(&last)) => (last, pos - tree.embedded_size(last)),
+            (None, None) => {
+                return Err(TreeError::Invariant("split level with no children".into()));
+            }
+        };
         let chosen_size = tree.embedded_size(chosen);
         let is_leaf = tree.children(chosen).is_empty();
         if is_leaf || chosen_size < tolerance {

@@ -183,13 +183,14 @@ pub struct TreeStore {
 
 impl TreeStore {
     /// Creates a tree store over `segment` of an existing storage manager,
-    /// with its own private version store.
+    /// with its own private version store. Fails on an invalid
+    /// [`TreeConfig`].
     pub fn new(
         sm: Arc<StorageManager>,
         segment: SegmentId,
         config: TreeConfig,
         matrix: SplitMatrix,
-    ) -> TreeStore {
+    ) -> TreeResult<TreeStore> {
         TreeStore::with_versions(sm, segment, config, matrix, Arc::new(VersionStore::new()))
     }
 
@@ -202,15 +203,17 @@ impl TreeStore {
         config: TreeConfig,
         matrix: SplitMatrix,
         versions: Arc<VersionStore>,
-    ) -> TreeStore {
-        config.validate().expect("invalid tree configuration");
-        TreeStore {
+    ) -> TreeResult<TreeStore> {
+        config
+            .validate()
+            .map_err(|m| TreeError::Invariant(format!("invalid tree configuration: {m}")))?;
+        Ok(TreeStore {
             sm,
             segment,
             config,
             matrix: parking_lot::RwLock::with_rank(&parking_lot::rank::SPLIT_MATRIX, matrix),
             versions,
-        }
+        })
     }
 
     /// The shared record-version store.
@@ -826,12 +829,19 @@ impl TreeStore {
                 "record {parent_rid} has no proxy for split child {rid}"
             )));
         };
-        let proxy_parent = parent.node(proxy).parent.expect("proxy is embedded");
+        let proxy_parent = parent
+            .node(proxy)
+            .parent
+            .ok_or_else(|| TreeError::Invariant(format!("record {parent_rid}: detached proxy")))?;
         let at = parent
             .children(proxy_parent)
             .iter()
             .position(|&c| c == proxy)
-            .expect("proxy is a child of its parent");
+            .ok_or_else(|| {
+                TreeError::Invariant(format!(
+                    "record {parent_rid}: proxy missing from its parent's child list"
+                ))
+            })?;
         parent.detach(proxy);
         let sep_root = separator.root();
         if separator.node(sep_root).is_scaffolding_aggregate() {
@@ -963,7 +973,11 @@ impl TreeStore {
                     .children(p)
                     .iter()
                     .position(|&c| c == sibling.node)
-                    .expect("child listed under its parent")
+                    .ok_or_else(|| {
+                        TreeError::Invariant(
+                            "sibling node missing from its parent's child list".into(),
+                        )
+                    })?
                     + 1;
                 Site {
                     rid: sibling.rid,
@@ -991,8 +1005,19 @@ impl TreeStore {
                         sibling.rid
                     ))
                 })?;
-                let pp = ptree.node(proxy).parent.expect("proxy embedded");
-                let idx = ptree.children(pp).iter().position(|&c| c == proxy).unwrap() + 1;
+                let pp = ptree.node(proxy).parent.ok_or_else(|| {
+                    TreeError::Invariant(format!("record {parent_rid}: detached proxy"))
+                })?;
+                let idx = ptree
+                    .children(pp)
+                    .iter()
+                    .position(|&c| c == proxy)
+                    .ok_or_else(|| {
+                        TreeError::Invariant(format!(
+                            "record {parent_rid}: proxy missing from its parent's child list"
+                        ))
+                    })?
+                    + 1;
                 Site {
                     rid: parent_rid,
                     tree: ptree,
@@ -1065,7 +1090,9 @@ impl TreeStore {
                     let proxy = find_proxy(&ptree, rid).ok_or_else(|| {
                         TreeError::Invariant(format!("record {parent_rid} has no proxy for {rid}"))
                     })?;
-                    node = ptree.node(proxy).parent.expect("proxy embedded");
+                    node = ptree.node(proxy).parent.ok_or_else(|| {
+                        TreeError::Invariant(format!("record {parent_rid}: detached proxy"))
+                    })?;
                     rid = parent_rid;
                     owned = Some(ptree);
                 }
@@ -1089,8 +1116,12 @@ impl TreeStore {
                             // Our record is the holder's continuation
                             // group: chain index i maps to spilled-path
                             // node i.
-                            let (_, path, _) =
-                                spilled_path(&holder).expect("continuation implies a path");
+                            let (_, path, _) = spilled_path(&holder).ok_or_else(|| {
+                                TreeError::Invariant(format!(
+                                    "record {holder_rid}: continuation group without a \
+                                     spilled path"
+                                ))
+                            })?;
                             let at = *path.get(level).ok_or_else(|| {
                                 TreeError::Invariant(format!(
                                     "record {holder_rid}: spilled path shorter than \
@@ -1567,12 +1598,17 @@ impl TreeStore {
                 return Ok(());
             }
             let mut child = child;
-            let pparent = tree.node(proxy).parent.expect("proxy embedded");
+            let pparent = tree
+                .node(proxy)
+                .parent
+                .ok_or_else(|| TreeError::Invariant("detached proxy".into()))?;
             let at = tree
                 .children(pparent)
                 .iter()
                 .position(|&c| c == proxy)
-                .unwrap();
+                .ok_or_else(|| {
+                    TreeError::Invariant("proxy missing from its parent's child list".into())
+                })?;
             tree.remove_subtree(proxy);
             if child.node(child.root()).is_scaffolding_aggregate() {
                 let mut i = 0;
@@ -2169,7 +2205,9 @@ impl TreeStore {
                         ptr.rid
                     ))
                 })?;
-                let pp = ptree.node(proxy).parent.expect("proxy embedded");
+                let pp = ptree.node(proxy).parent.ok_or_else(|| {
+                    TreeError::Invariant(format!("record {parent_rid}: detached proxy"))
+                })?;
                 self.logical_parent_from(parent_rid, pp, &ptree, false)
             }
         }

@@ -46,10 +46,10 @@
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, TrackedAtomicU64, TrackedAtomicUsize};
 
 use natix_storage::wal::{log_suppressed, Wal, WalRecord};
 use natix_storage::{PageId, Rid};
@@ -131,17 +131,17 @@ pub struct VersionStore {
     /// Number of retained versions — the readers' fast-path gate. Zero
     /// means no writer has deposited anything a reader could need, so
     /// `lookup` never takes the mutex.
-    retained: AtomicUsize,
+    retained: TrackedAtomicUsize,
     /// Attached write-ahead log: deposits double as logged undo images.
     wal: OnceLock<Arc<Wal>>,
     /// Redo-logging hook run when an operation publishes.
     commit_hook: OnceLock<CommitHook>,
     /// Outer write operations started (counts up-front, before the
     /// operation's first log append can happen).
-    ops_begun: AtomicU64,
+    ops_begun: TrackedAtomicU64,
     /// Outer write operations fully finished — published *and* done with
     /// their commit hook, i.e. past their last log append.
-    ops_finished: AtomicU64,
+    ops_finished: TrackedAtomicU64,
 }
 
 impl Default for VersionStore {
@@ -166,11 +166,11 @@ impl VersionStore {
                     next_op: 0,
                 },
             ),
-            retained: AtomicUsize::new(0),
+            retained: TrackedAtomicUsize::new(0),
             wal: OnceLock::new(),
             commit_hook: OnceLock::new(),
-            ops_begun: AtomicU64::new(0),
-            ops_finished: AtomicU64::new(0),
+            ops_begun: TrackedAtomicU64::new(0),
+            ops_finished: TrackedAtomicU64::new(0),
         }
     }
 
@@ -357,14 +357,17 @@ impl VersionStore {
     /// publish.
     pub fn begin_write(&self) -> WriteOp<'_> {
         let prev = WRITE_OP.get();
-        if matches!(prev, Some((id, _)) if id == self.id()) {
-            return WriteOp {
-                store: self,
-                op: None,
-                prev,
-                counted: false,
-                _not_send: PhantomData,
-            };
+        if let Some((id, ambient)) = prev {
+            if id == self.id() {
+                return WriteOp {
+                    store: self,
+                    op: None,
+                    token: ambient,
+                    prev,
+                    counted: false,
+                    _not_send: PhantomData,
+                };
+            }
         }
         let op = {
             let mut st = self.state.lock();
@@ -385,6 +388,7 @@ impl VersionStore {
         WriteOp {
             store: self,
             op: Some(op),
+            token: op,
             prev,
             counted,
             _not_send: PhantomData,
@@ -608,6 +612,10 @@ pub struct WriteOp<'a> {
     store: &'a VersionStore,
     /// `None` for a nested guard (the outer operation publishes).
     op: Option<u64>,
+    /// The operation token this guard works under — its own for an outer
+    /// guard, the enclosing operation's for a nested one. Captured at
+    /// construction so `id` never has to re-derive it from thread state.
+    token: u64,
     prev: Option<(usize, u64)>,
     /// Whether this guard bumped `ops_begun` (false when it began under
     /// log suppression and is invisible to quiescence checks).
@@ -618,11 +626,7 @@ pub struct WriteOp<'a> {
 impl WriteOp<'_> {
     /// The operation's token (the outer operation's for a nested guard).
     pub fn id(&self) -> u64 {
-        self.op.unwrap_or_else(|| {
-            self.store
-                .ambient_write_op()
-                .expect("nested WriteOp implies an ambient operation")
-        })
+        self.token
     }
 }
 

@@ -16,7 +16,7 @@ fn mk_store(page_size: usize, matrix: SplitMatrix) -> TreeStore {
     ));
     let sm = Arc::new(StorageManager::create(bm).unwrap());
     let seg = sm.create_segment("docs").unwrap();
-    TreeStore::new(sm, seg, TreeConfig::paper(), matrix)
+    TreeStore::new(sm, seg, TreeConfig::paper(), matrix).unwrap()
 }
 
 /// Builds a wide tree that certainly spans several records:

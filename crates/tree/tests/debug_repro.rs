@@ -52,7 +52,8 @@ fn standalone_insert_sequence() {
     ));
     let sm = Arc::new(StorageManager::create(bm).unwrap());
     let seg = sm.create_segment("docs").unwrap();
-    let store = TreeStore::new(sm, seg, TreeConfig::paper(), SplitMatrix::all_standalone());
+    let store =
+        TreeStore::new(sm, seg, TreeConfig::paper(), SplitMatrix::all_standalone()).unwrap();
     let root_rid = store.create_tree(1).unwrap();
     let mut h = H {
         store,
